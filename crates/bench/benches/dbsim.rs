@@ -1,0 +1,116 @@
+//! Criterion micro-benchmarks for the DBMS simulator substrate: buffer
+//! pool operations, simulated-second throughput, and the probe-scan path
+//! buffer-pool gauging stresses.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use kairos_dbsim::{ClockCache, DbmsConfig, DbmsInstance, Host, OpBatch, PageId, UpdateSpec};
+use kairos_types::{Bytes, MachineSpec};
+use kairos_workloads::{Driver, TpccWorkload};
+use std::hint::black_box;
+
+fn bench_clock_cache(c: &mut Criterion) {
+    c.bench_function("buffer/touch_hit", |b| {
+        let mut cache = ClockCache::new(65_536);
+        for i in 0..65_536u64 {
+            cache.touch(PageId(i), false);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7919) % 65_536;
+            black_box(cache.touch(PageId(i), false))
+        })
+    });
+    c.bench_function("buffer/touch_evicting", |b| {
+        let mut cache = ClockCache::new(4_096);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(cache.touch(PageId(i), i % 3 == 0))
+        })
+    });
+    c.bench_function("buffer/dirty_batch_1k", |b| {
+        b.iter_batched(
+            || {
+                let mut cache = ClockCache::new(16_384);
+                for i in 0..8_192u64 {
+                    cache.touch(PageId(i), true);
+                }
+                cache
+            },
+            |mut cache| black_box(cache.take_dirty_batch(1_000).len()),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_instance_tick(c: &mut Criterion) {
+    c.bench_function("engine/tick_1k_updates", |b| {
+        let mut inst = DbmsInstance::new(DbmsConfig::mysql(Bytes::mib(512)));
+        let db = inst.create_database("bench");
+        let t = inst.create_table(db, 1_000_000, 164).unwrap();
+        inst.prewarm_table(t);
+        let grant = kairos_dbsim::DeviceGrant {
+            fg_fraction: 1.0,
+            writeback_pages: 300.0,
+            cpu_fraction: 1.0,
+            cpu_latency_factor: 1.0,
+            read_service_secs: 0.008,
+            disk_utilization: 0.5,
+        };
+        b.iter(|| {
+            let batch = OpBatch {
+                txns: 100.0,
+                updates: vec![UpdateSpec {
+                    table: t,
+                    prefix_pages: 0,
+                    rows: 1_000.0,
+                }],
+                cpu_core_secs: 0.04,
+                ..Default::default()
+            };
+            inst.prepare_tick(0.1, &[(db, batch)]);
+            black_box(inst.complete_tick(0.1, grant).committed_txns)
+        })
+    });
+}
+
+fn bench_hosted_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("host");
+    group.sample_size(10);
+    group.bench_function("tpcc_10s_simulated", |b| {
+        b.iter_batched(
+            || {
+                let mut host = Host::new(MachineSpec::server1());
+                host.add_instance(DbmsInstance::new(DbmsConfig::mysql(Bytes::gib(2))));
+                let mut driver = Driver::new();
+                driver.bind(&mut host, 0, Box::new(TpccWorkload::new(5, 200.0)));
+                (host, driver)
+            },
+            |(mut host, mut driver)| {
+                let stats = driver.run(&mut host, 10.0);
+                black_box(stats[0].committed_txns)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_probe_scan(c: &mut Criterion) {
+    c.bench_function("engine/probe_scan_64mib", |b| {
+        let mut inst = DbmsInstance::new(DbmsConfig::mysql(Bytes::mib(256)));
+        let db = inst.create_database("probe");
+        let t = inst.create_table(db, 4_096, 16_384).unwrap();
+        inst.prewarm_table(t);
+        b.iter(|| black_box(inst.scan_count(t, u64::MAX)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_clock_cache,
+    bench_instance_tick,
+    bench_hosted_simulation,
+    bench_probe_scan
+);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion micro-benchmarks for the disk-model crate: LAR fitting and
+//! model prediction throughput (the consolidation engine calls predict in
+//! its constraint inner loop).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kairos_diskmodel::{DiskModel, DiskPoint, DiskProfile, Poly2D};
+use kairos_types::{Bytes, DiskDemand, Rate};
+use std::hint::black_box;
+
+fn synthetic_profile(n_ws: usize, n_rates: usize) -> DiskProfile {
+    let mut points = Vec::new();
+    for i in 1..=n_ws {
+        let ws = i as f64 * 0.5e9;
+        let sat = 45_000.0 - ws * 5e-6;
+        for j in 1..=n_rates {
+            let rate = (j as f64 * 4_000.0).min(sat);
+            points.push(DiskPoint {
+                ws_bytes: ws,
+                rows_per_sec: rate,
+                write_bytes_per_sec: 240.0 * rate + ws * 0.0015,
+                achieved_fraction: if j as f64 * 4_000.0 <= sat { 1.0 } else { 0.6 },
+            });
+        }
+    }
+    DiskProfile {
+        machine: "bench".into(),
+        points,
+    }
+}
+
+fn bench_lar_fit(c: &mut Criterion) {
+    let samples: Vec<(f64, f64, f64)> = synthetic_profile(8, 12)
+        .points
+        .iter()
+        .map(|p| (p.ws_bytes, p.rows_per_sec, p.write_bytes_per_sec))
+        .collect();
+    c.bench_function("poly/lar_fit_96pts", |b| {
+        b.iter(|| black_box(Poly2D::fit_lar(&samples).unwrap().coeffs))
+    });
+    c.bench_function("poly/lsq_fit_96pts", |b| {
+        b.iter(|| black_box(Poly2D::fit_least_squares(&samples).unwrap().coeffs))
+    });
+}
+
+fn bench_model(c: &mut Criterion) {
+    let model = DiskModel::fit(&synthetic_profile(8, 12)).unwrap();
+    c.bench_function("model/fit_full", |b| {
+        let profile = synthetic_profile(8, 12);
+        b.iter(|| black_box(DiskModel::fit(&profile).unwrap().machine().len()))
+    });
+    c.bench_function("model/predict", |b| {
+        let d = DiskDemand::new(Bytes(2_000_000_000), Rate(15_000.0));
+        b.iter(|| black_box(model.predict_write_bytes(d)))
+    });
+    c.bench_function("model/utilization", |b| {
+        let d = DiskDemand::new(Bytes(2_000_000_000), Rate(15_000.0));
+        b.iter(|| black_box(model.utilization(d)))
+    });
+}
+
+criterion_group!(benches, bench_lar_fit, bench_model);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Figure 4 — the empirical disk model: disk write throughput (MB/s) over
+//! the (working-set size × rows-updated/s) plane, plus the quadratic
+//! saturation frontier (the dashed line / black circles).
+//!
+//! Expected shape: writes grow sub-linearly with update rate (coalescing),
+//! grow with working-set size at a fixed rate, and the maximum sustainable
+//! rate falls as working sets grow.
+
+use kairos_bench::{mbps, print_table, quick, section};
+use kairos_diskmodel::{run_profiler, DiskModel, ProfilerConfig, Quadratic};
+use kairos_types::{Bytes, DiskDemand, Rate};
+
+fn main() {
+    let cfg = if quick() {
+        ProfilerConfig {
+            ws_points: (0..4).map(|i| Bytes::mib(1024 + i * 768)).collect(),
+            rate_points: (1..=5).map(|i| i as f64 * 7_000.0).collect(),
+            settle_secs: 30.0,
+            measure_secs: 12.0,
+            ..ProfilerConfig::paper_like()
+        }
+    } else {
+        ProfilerConfig {
+            ws_points: (0..6).map(|i| Bytes::mib(1024 + i * 512)).collect(),
+            rate_points: (1..=10).map(|i| i as f64 * 4_000.0).collect(),
+            ..ProfilerConfig::paper_like()
+        }
+    };
+    section(&format!(
+        "Figure 4: profiling {} (ws, rate) points on {}",
+        cfg.ws_points.len() * cfg.rate_points.len(),
+        cfg.machine.name
+    ));
+    let profile = run_profiler(&cfg);
+
+    // The response map: rows = working set, cols = offered rate.
+    let mut rows = Vec::new();
+    for &ws in &cfg.ws_points {
+        let mut row = vec![format!("{:.0}", ws.as_mib())];
+        for &rate in &cfg.rate_points {
+            let p = profile
+                .points
+                .iter()
+                .filter(|p| (p.ws_bytes - ws.as_f64()).abs() < 1.0)
+                .min_by(|a, b| {
+                    let da = (a.rows_per_sec - rate).abs();
+                    let db = (b.rows_per_sec - rate).abs();
+                    da.partial_cmp(&db).expect("NaN")
+                })
+                .expect("point exists");
+            let marker = if p.saturated() { "*" } else { "" };
+            row.push(format!("{}{}", mbps(p.write_bytes_per_sec), marker));
+        }
+        rows.push(row);
+    }
+    let rate_headers: Vec<String> = cfg
+        .rate_points
+        .iter()
+        .map(|r| format!("{:.0}r/s", r))
+        .collect();
+    let mut headers: Vec<&str> = vec!["ws MiB"];
+    headers.extend(rate_headers.iter().map(|s| s.as_str()));
+    section("disk writes MB/s (rows: working set, cols: offered update rate; * = saturated)");
+    print_table(&headers, &rows);
+
+    // Saturation frontier (black circles) + quadratic fit (dashed line).
+    section("saturation frontier: max achieved rows/s per working set");
+    let sat = profile.saturation_points();
+    let q = Quadratic::fit(&sat).expect("frontier fit");
+    let mut rows = Vec::new();
+    for &(ws, rate) in &sat {
+        rows.push(vec![
+            format!("{:.0}", ws / 1024.0 / 1024.0),
+            format!("{:.0}", rate),
+            format!("{:.0}", q.eval(ws)),
+        ]);
+    }
+    print_table(&["ws MiB", "max rows/s", "quadratic fit"], &rows);
+
+    // The fitted LAR polynomial (the contour surface).
+    let model = DiskModel::fit(&profile).expect("model fits");
+    section("LAR second-order polynomial spot checks (predicted vs measured MB/s)");
+    let mut rows = Vec::new();
+    for p in profile.points.iter().filter(|p| !p.saturated()).step_by(7) {
+        let pred = model.predict_write_bytes(DiskDemand::new(
+            Bytes(p.ws_bytes as u64),
+            Rate(p.rows_per_sec),
+        ));
+        let err = (pred - p.write_bytes_per_sec).abs() / p.write_bytes_per_sec.max(1.0);
+        rows.push(vec![
+            format!("{:.0}", p.ws_bytes / 1024.0 / 1024.0),
+            format!("{:.0}", p.rows_per_sec),
+            mbps(p.write_bytes_per_sec),
+            mbps(pred),
+            format!("{:.1}%", err * 100.0),
+        ]);
+    }
+    print_table(
+        &["ws MiB", "rows/s", "measured", "predicted", "rel err"],
+        &rows,
+    );
+}

@@ -1,0 +1,72 @@
+//! Figure 8 — aggregate CPU load over time on the consolidated servers of
+//! the ALL dataset: mean, 5th and 95th percentile of per-server CPU
+//! utilization per time window.
+//!
+//! Expected shape: the three curves track each other closely (good
+//! balance) and the 95th percentile stays well below saturation.
+
+use kairos_bench::{fleet_engine, last_day_profiles, print_table, section};
+use kairos_traces::{generate_all, FleetConfig};
+use kairos_types::series::percentile_of_sorted;
+
+fn main() {
+    let fleet = generate_all(&FleetConfig {
+        weeks: 1,
+        ..Default::default()
+    });
+    let profiles = last_day_profiles(&fleet);
+    section(&format!(
+        "Figure 8: consolidating ALL ({} workloads)",
+        profiles.len()
+    ));
+    let engine = fleet_engine();
+    let plan = engine.consolidate(&profiles).expect("feasible plan");
+    let loads = &plan.report.evaluation.loads;
+    println!(
+        "  {} workloads on {} servers (feasible: {})",
+        profiles.len(),
+        plan.machines_used(),
+        plan.report.evaluation.feasible
+    );
+
+    let windows = loads.first().map(|(_, s)| s.len()).unwrap_or(0);
+    section("hour of day vs CPU utilization (%) across consolidated servers");
+    let mut rows = Vec::new();
+    let per_hour = (windows / 24).max(1);
+    for h in 0..24 {
+        // Collect all server utilizations within the hour.
+        let mut vals: Vec<f64> = Vec::new();
+        for t in h * per_hour..((h + 1) * per_hour).min(windows) {
+            for (_, series) in loads {
+                vals.push(series[t].cpu * 100.0);
+            }
+        }
+        if vals.is_empty() {
+            continue;
+        }
+        vals.sort_by(|a, b| a.partial_cmp(b).expect("NaN"));
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        rows.push(vec![
+            format!("{h:02}:00"),
+            format!("{:.1}", mean),
+            format!("{:.1}", percentile_of_sorted(&vals, 5.0)),
+            format!("{:.1}", percentile_of_sorted(&vals, 95.0)),
+        ]);
+    }
+    print_table(&["hour", "avg cpu %", "5th pct", "95th pct"], &rows);
+
+    // Balance headline: spread between p95 and average.
+    let all_cpu: Vec<f64> = loads
+        .iter()
+        .flat_map(|(_, s)| s.iter().map(|w| w.cpu * 100.0))
+        .collect();
+    let mut sorted = all_cpu.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN"));
+    println!(
+        "\noverall: mean {:.1}%, p95 {:.1}%, max {:.1}% (of per-server capacity)",
+        all_cpu.iter().sum::<f64>() / all_cpu.len() as f64,
+        percentile_of_sorted(&sorted, 95.0),
+        sorted.last().copied().unwrap_or(0.0)
+    );
+    println!("95th percentile far from 100% => low saturation risk (paper's reading)");
+}

@@ -1,0 +1,71 @@
+//! Figure 9 — per-server CPU box-plot statistics and peak RAM for the
+//! ALL consolidation (197→21-class result in the paper).
+//!
+//! Expected shape: load approximately balanced across servers, and on
+//! every server either RAM or CPU close enough to the cap that no further
+//! pairwise merging is possible.
+
+use kairos_bench::{fleet_engine, last_day_profiles, print_table, section};
+use kairos_traces::{generate_all, FleetConfig};
+use kairos_types::series::percentile_of_sorted;
+
+fn main() {
+    let fleet = generate_all(&FleetConfig {
+        weeks: 1,
+        ..Default::default()
+    });
+    let profiles = last_day_profiles(&fleet);
+    let engine = fleet_engine();
+    let plan = engine.consolidate(&profiles).expect("feasible plan");
+    section(&format!(
+        "Figure 9: {} workloads on {} consolidated servers",
+        profiles.len(),
+        plan.machines_used()
+    ));
+
+    let mut rows = Vec::new();
+    for (idx, (machine, series)) in plan.report.evaluation.loads.iter().enumerate() {
+        let mut cpu: Vec<f64> = series.iter().map(|w| w.cpu * 100.0).collect();
+        cpu.sort_by(|a, b| a.partial_cmp(b).expect("NaN"));
+        let ram_max = series.iter().map(|w| w.ram * 100.0).fold(0.0, f64::max);
+        let tenants = plan.on_machine(*machine).len();
+        rows.push(vec![
+            format!("{}", idx + 1),
+            tenants.to_string(),
+            format!("{:.1}", cpu.first().copied().unwrap_or(0.0)),
+            format!("{:.1}", percentile_of_sorted(&cpu, 25.0)),
+            format!("{:.1}", percentile_of_sorted(&cpu, 50.0)),
+            format!("{:.1}", percentile_of_sorted(&cpu, 75.0)),
+            format!("{:.1}", cpu.last().copied().unwrap_or(0.0)),
+            format!("{:.1}", ram_max),
+        ]);
+    }
+    print_table(
+        &[
+            "server", "tenants", "cpu min", "q1", "median", "q3", "cpu max", "ram max %",
+        ],
+        &rows,
+    );
+
+    // The "no further consolidation" check: for every server pair, adding
+    // their peak RAM or CPU would breach the cap.
+    let loads = &plan.report.evaluation.loads;
+    let mut mergeable = 0;
+    for i in 0..loads.len() {
+        for j in i + 1..loads.len() {
+            let windows = loads[i].1.len().min(loads[j].1.len());
+            let fits = (0..windows).all(|t| {
+                loads[i].1[t].cpu + loads[j].1[t].cpu <= 0.95
+                    && loads[i].1[t].ram + loads[j].1[t].ram <= 0.95
+                    && loads[i].1[t].disk + loads[j].1[t].disk <= 0.95
+            });
+            if fits {
+                mergeable += 1;
+            }
+        }
+    }
+    println!(
+        "\nserver pairs that could still merge under linear resource checks: {mergeable} \
+         (paper: none — every pair blocked by RAM or CPU)"
+    );
+}

@@ -1,0 +1,51 @@
+//! Figure 13 — past load predicts future load: total fleet CPU for the
+//! third week predicted as the mean of the first two weeks, for the
+//! Wikipedia and Second Life fleets.
+//!
+//! Expected shape: low RMSE (the paper reports ~25 scaled-CPU units,
+//! i.e. predictions 7–8 % off), with Second Life's nightly snapshot pool
+//! visible as late-night peaks in both actual and predicted curves.
+
+use kairos_bench::{print_table, section};
+use kairos_traces::{fleet_total_cpu, generate_fleet, predict_last_period, Dataset, FleetConfig};
+
+fn main() {
+    let cfg = FleetConfig::default(); // 3 weeks @ 5 min
+    let week_len = (7.0 * 86_400.0 / cfg.interval_secs) as usize;
+
+    for dataset in [Dataset::Wikipedia, Dataset::SecondLife] {
+        section(&format!("Figure 13: {}", dataset.label()));
+        let fleet = generate_fleet(dataset, &cfg);
+        let total = fleet_total_cpu(&fleet);
+        let p = predict_last_period(&total, week_len).expect("3 weeks of data");
+
+        println!(
+            "  RMSE {:.2} standardized cores, relative error {:.1}% (paper: ~7-8%)",
+            p.rmse,
+            p.relative_error * 100.0
+        );
+
+        // Print the third week at 6-hour granularity: prediction vs real.
+        let stride = (6.0 * 3600.0 / cfg.interval_secs) as usize;
+        let mut rows = Vec::new();
+        let days = ["Wed", "Thu", "Fri", "Sat", "Sun", "Mon", "Tue"];
+        for (i, (pred, act)) in p
+            .predicted
+            .values()
+            .iter()
+            .zip(p.actual.values())
+            .enumerate()
+            .step_by(stride)
+        {
+            let day = days[(i / (week_len / 7)).min(6)];
+            let hour = (i % (week_len / 7)) as f64 * cfg.interval_secs / 3600.0;
+            rows.push(vec![
+                format!("{day} {hour:02.0}:00"),
+                format!("{act:.1}"),
+                format!("{pred:.1}"),
+                format!("{:+.1}", pred - act),
+            ]);
+        }
+        print_table(&["time", "real wk3", "predicted", "error"], &rows);
+    }
+}

@@ -1,0 +1,151 @@
+//! # kairos-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper's evaluation (see DESIGN.md's
+//! per-experiment index). Each binary prints the same rows/series the
+//! paper reports, so EXPERIMENTS.md can record paper-vs-measured shape
+//! comparisons. Run e.g.:
+//!
+//! ```text
+//! cargo run --release -p kairos-bench --bin fig07_ratios
+//! KAIROS_QUICK=1 cargo run --release -p kairos-bench --bin fig04_disk_profile
+//! ```
+//!
+//! `KAIROS_QUICK=1` shrinks grids/horizons for smoke runs.
+
+use kairos_core::{ConsolidationEngine, EngineBuilder};
+use kairos_diskmodel::{run_profiler, DiskModel, ProfilerConfig};
+use kairos_traces::{generate_fleet, Dataset, FleetConfig, ServerTrace};
+use kairos_types::{Bytes, WorkloadProfile};
+
+/// Whether to run in quick (smoke) mode.
+pub fn quick() -> bool {
+    std::env::var("KAIROS_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Print a section header.
+pub fn section(title: &str) {
+    println!();
+    println!("== {title} ==");
+}
+
+/// Render an aligned text table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut out = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            out.push_str(&format!("{:>w$}  ", c, w = widths[i]));
+        }
+        println!("{}", out.trim_end());
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Format bytes/s as MB/s.
+pub fn mbps(bytes_per_sec: f64) -> String {
+    format!("{:.2}", bytes_per_sec / 1e6)
+}
+
+/// The §6 RAM scaling factor for un-gaugeable historical statistics.
+pub const RAM_SCALE: f64 = 0.7;
+
+/// Fleet profiles for a dataset over the last 24 h (Fig 7–9 input).
+pub fn dataset_profiles(dataset: Dataset, seed: u64) -> Vec<WorkloadProfile> {
+    let cfg = FleetConfig {
+        weeks: 1,
+        seed,
+        ..Default::default()
+    };
+    let fleet = generate_fleet(dataset, &cfg);
+    last_day_profiles(&fleet)
+}
+
+/// Convert traces to profiles restricted to their final day.
+pub fn last_day_profiles(fleet: &[ServerTrace]) -> Vec<WorkloadProfile> {
+    fleet
+        .iter()
+        .map(|s| {
+            let p = s.to_profile(RAM_SCALE);
+            let day = (86_400.0 / p.interval_secs()) as usize;
+            let take_last = |series: &kairos_types::TimeSeries| {
+                let v = series.values();
+                let start = v.len().saturating_sub(day);
+                kairos_types::TimeSeries::new(series.interval_secs(), v[start..].to_vec())
+            };
+            WorkloadProfile::new(
+                p.name.clone(),
+                take_last(&p.cpu_cores),
+                take_last(&p.ram_bytes),
+                take_last(&p.disk_working_set_bytes),
+                take_last(&p.disk_update_rows_per_sec),
+            )
+        })
+        .collect()
+}
+
+/// Fit a disk model suitable for the controlled experiments (working sets
+/// up to ~13 GB, the Table 1 co-location range).
+pub fn fit_wide_disk_model() -> DiskModel {
+    let cfg = if quick() {
+        ProfilerConfig {
+            ws_points: vec![Bytes::gib(2), Bytes::gib(6), Bytes::gib(13)],
+            rate_points: vec![2_000.0, 6_000.0, 12_000.0],
+            buffer_pool: Bytes::gib(16),
+            settle_secs: 30.0,
+            measure_secs: 10.0,
+            ..ProfilerConfig::paper_like()
+        }
+    } else {
+        ProfilerConfig {
+            ws_points: (1..=6).map(|i| Bytes::gib(i * 2) + Bytes::mib(256)).collect(),
+            rate_points: (1..=8).map(|i| i as f64 * 1_800.0).collect(),
+            buffer_pool: Bytes::gib(16),
+            settle_secs: 60.0,
+            measure_secs: 20.0,
+            ..ProfilerConfig::paper_like()
+        }
+    };
+    let profile = run_profiler(&cfg);
+    DiskModel::fit(&profile).expect("wide profile fits")
+}
+
+/// Engine wired the way the real-world experiments use it.
+pub fn fleet_engine() -> ConsolidationEngine {
+    EngineBuilder::default().headroom(0.95).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_without_panicking() {
+        print_table(
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+
+    #[test]
+    fn dataset_profiles_cover_one_day() {
+        let profiles = dataset_profiles(Dataset::Internal, 1);
+        assert_eq!(profiles.len(), 25);
+        assert_eq!(profiles[0].windows(), 288);
+    }
+
+    #[test]
+    fn mbps_formats() {
+        assert_eq!(mbps(12_500_000.0), "12.50");
+    }
+}

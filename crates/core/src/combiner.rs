@@ -1,0 +1,149 @@
+//! Adapters plugging the empirical disk model into the solver.
+
+use kairos_diskmodel::DiskModel;
+use kairos_solver::DiskCombiner;
+use kairos_types::{Bytes, DiskDemand, Rate};
+use std::sync::Arc;
+
+/// [`DiskCombiner`] backed by a fitted [`DiskModel`]: a machine's disk
+/// utilization is the aggregate update rate over the saturation rate at
+/// the aggregate working set — the §5 non-linear `diskModel(DISK_ti,
+/// x_ij) < MaxDISK_j` constraint.
+#[derive(Clone)]
+pub struct ModelDiskCombiner {
+    model: Arc<DiskModel>,
+}
+
+impl ModelDiskCombiner {
+    pub fn new(model: Arc<DiskModel>) -> ModelDiskCombiner {
+        ModelDiskCombiner { model }
+    }
+
+    pub fn model(&self) -> &DiskModel {
+        &self.model
+    }
+}
+
+impl DiskCombiner for ModelDiskCombiner {
+    fn utilization(&self, ws_bytes: f64, rows_per_sec: f64) -> f64 {
+        if rows_per_sec <= 0.0 {
+            return 0.0;
+        }
+        let demand = DiskDemand::new(Bytes(ws_bytes.max(0.0) as u64), Rate(rows_per_sec));
+        self.model.utilization(demand)
+    }
+}
+
+/// A fixed analytic combiner for when no profile has been collected,
+/// calibrated to the simulator's SATA disk + 512 MB redo log. The
+/// saturation frontier has two regimes, mirroring the mechanism behind
+/// Fig 4's dashed line:
+///
+/// * small working sets: flushing keeps up; the flat cap reflects
+///   foreground log bandwidth/forces;
+/// * large working sets: log reclaim binds. Sustained log bytes/s ≤
+///   `log_capacity × flush_pages_per_sec × page_bytes / ws_bytes`, i.e.
+///   the sustainable row rate falls as `1/ws` — the `log_row_constant`
+///   default is 512 MB × 2160 pages/s × 16 KiB / 240 B-per-row ≈ 7.5e13.
+#[derive(Debug, Clone)]
+pub struct AnalyticDiskCombiner {
+    /// Flat cap at small working sets, rows/s.
+    pub rate_at_zero_ws: f64,
+    /// `cap(ws) = log_row_constant / ws_bytes` in the reclaim-bound regime.
+    pub log_row_constant: f64,
+    /// Floor on the saturation rate.
+    pub min_rate: f64,
+}
+
+impl Default for AnalyticDiskCombiner {
+    fn default() -> AnalyticDiskCombiner {
+        AnalyticDiskCombiner {
+            rate_at_zero_ws: 28_000.0,
+            log_row_constant: 7.5e13,
+            min_rate: 1_200.0,
+        }
+    }
+}
+
+impl AnalyticDiskCombiner {
+    /// The saturation row rate for a working set.
+    pub fn saturation_rate(&self, ws_bytes: f64) -> f64 {
+        let reclaim_bound = if ws_bytes > 0.0 {
+            self.log_row_constant / ws_bytes
+        } else {
+            f64::INFINITY
+        };
+        reclaim_bound.min(self.rate_at_zero_ws).max(self.min_rate)
+    }
+}
+
+impl DiskCombiner for AnalyticDiskCombiner {
+    fn utilization(&self, ws_bytes: f64, rows_per_sec: f64) -> f64 {
+        rows_per_sec / self.saturation_rate(ws_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kairos_diskmodel::{DiskPoint, DiskProfile};
+
+    fn fitted_model() -> Arc<DiskModel> {
+        let mut points = Vec::new();
+        for i in 1..=5 {
+            let ws = i as f64 * 0.5e9;
+            let sat = 40_000.0 - ws * 5e-6;
+            for j in 1..=8 {
+                let rate = (j as f64 * 5_000.0).min(sat);
+                points.push(DiskPoint {
+                    ws_bytes: ws,
+                    rows_per_sec: rate,
+                    write_bytes_per_sec: 240.0 * rate + ws * 0.002,
+                    achieved_fraction: if j as f64 * 5_000.0 <= sat { 1.0 } else { 0.5 },
+                });
+            }
+        }
+        Arc::new(DiskModel::fit(&DiskProfile { machine: "t".into(), points }).unwrap())
+    }
+
+    #[test]
+    fn model_combiner_tracks_saturation() {
+        let c = ModelDiskCombiner::new(fitted_model());
+        let ws = 1e9;
+        let sat = c.model().saturation_rate(Bytes(ws as u64));
+        let u = c.utilization(ws, sat * 0.5);
+        assert!((u - 0.5).abs() < 0.02, "utilization {u}");
+    }
+
+    #[test]
+    fn model_combiner_zero_rate_is_free() {
+        let c = ModelDiskCombiner::new(fitted_model());
+        assert_eq!(c.utilization(5e9, 0.0), 0.0);
+    }
+
+    #[test]
+    fn model_combiner_superlinear_in_colocated_demand() {
+        // Doubling both ws and rate more than doubles utilization
+        // (saturation falls with ws) — the non-linearity that breaks
+        // naive packing.
+        let c = ModelDiskCombiner::new(fitted_model());
+        let u1 = c.utilization(1e9, 8_000.0);
+        let u2 = c.utilization(2e9, 16_000.0);
+        assert!(u2 > 2.0 * u1, "u1 {u1}, u2 {u2}");
+    }
+
+    #[test]
+    fn analytic_combiner_shape() {
+        let c = AnalyticDiskCombiner::default();
+        // Flat regime at small working sets.
+        assert_eq!(c.saturation_rate(1e8), c.rate_at_zero_ws);
+        // Reclaim-bound regime: capacity falls as 1/ws.
+        let at4 = c.saturation_rate(4e9);
+        let at8 = c.saturation_rate(8e9);
+        assert!((at4 / at8 - 2.0).abs() < 1e-9, "{at4} vs {at8}");
+        assert!(c.utilization(0.0, 10_000.0) < c.utilization(8e9, 10_000.0));
+        // Floor prevents division blowups.
+        let huge = c.utilization(1e12, 1_200.0);
+        assert!((huge - 1.0).abs() < 1e-9);
+    }
+}

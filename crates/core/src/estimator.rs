@@ -1,0 +1,246 @@
+//! The Combined Load Estimator (§4).
+//!
+//! "For CPU and RAM, this problem is straightforward (once we have
+//! properly gauged the RAM requirements of each database): for each time
+//! instant we can simply sum the CPU and RAM of individual workloads
+//! being co-located. For disk, the problem is much more challenging."
+//!
+//! Refinements from §6:
+//! * CPU — "simply summing the CPU utilization will double-count [the
+//!   OS/DBMS background] portion of the load": subtract a per-instance
+//!   overhead for every instance beyond the first.
+//! * RAM — one shared DBMS replaces n copies: subtract the per-instance
+//!   memory overhead likewise.
+//! * Disk — sum the `(working set, update rate)` parameters and look the
+//!   combination up in the fitted [`DiskModel`].
+
+use kairos_diskmodel::DiskModel;
+use kairos_types::{Bytes, DiskDemand, TimeSeries, WorkloadProfile};
+use std::sync::Arc;
+
+/// Estimator configuration. Defaults match the simulator's instance
+/// overheads (and §7.4's 190 MB / §7.2's ~6 % CPU observations).
+#[derive(Clone)]
+pub struct CombinedLoadEstimator {
+    /// Standardized cores of background load per DBMS+OS instance that
+    /// disappears on consolidation.
+    pub cpu_overhead_per_instance: f64,
+    /// Memory per DBMS instance that disappears on consolidation.
+    pub ram_overhead_per_instance: Bytes,
+    /// Fitted disk model; `None` falls back to a linear bytes-per-row sum
+    /// (the Fig 6 "baseline").
+    pub disk_model: Option<Arc<DiskModel>>,
+    /// Baseline bytes per updated row when no model is present.
+    pub baseline_bytes_per_row: f64,
+}
+
+impl Default for CombinedLoadEstimator {
+    fn default() -> CombinedLoadEstimator {
+        CombinedLoadEstimator {
+            cpu_overhead_per_instance: 0.03,
+            ram_overhead_per_instance: Bytes::mib(190),
+            disk_model: None,
+            baseline_bytes_per_row: 1200.0,
+        }
+    }
+}
+
+impl std::fmt::Debug for CombinedLoadEstimator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CombinedLoadEstimator")
+            .field("cpu_overhead_per_instance", &self.cpu_overhead_per_instance)
+            .field("ram_overhead_per_instance", &self.ram_overhead_per_instance)
+            .field("has_disk_model", &self.disk_model.is_some())
+            .finish()
+    }
+}
+
+/// Predicted combined utilization of a set of co-located workloads.
+#[derive(Debug, Clone)]
+pub struct CombinedEstimate {
+    /// Combined CPU, standardized cores per window.
+    pub cpu_cores: TimeSeries,
+    /// Combined RAM, bytes per window.
+    pub ram_bytes: TimeSeries,
+    /// Aggregate disk demand per window.
+    pub disk_demand: Vec<DiskDemand>,
+    /// Predicted disk write throughput per window, bytes/s.
+    pub disk_write_bytes: TimeSeries,
+}
+
+impl CombinedLoadEstimator {
+    pub fn with_model(model: Arc<DiskModel>) -> CombinedLoadEstimator {
+        CombinedLoadEstimator {
+            disk_model: Some(model),
+            ..Default::default()
+        }
+    }
+
+    /// Predict the combined load of `profiles` on one machine.
+    ///
+    /// # Panics
+    /// Panics if `profiles` is empty or sampling intervals differ.
+    pub fn combine(&self, profiles: &[WorkloadProfile]) -> CombinedEstimate {
+        assert!(!profiles.is_empty(), "need at least one profile");
+        let interval = profiles[0].interval_secs();
+        for p in profiles {
+            assert!(
+                (p.interval_secs() - interval).abs() < f64::EPSILON,
+                "profiles must share a sampling interval"
+            );
+        }
+        let windows = profiles.iter().map(|p| p.windows()).max().unwrap_or(0);
+        let n = profiles.len() as f64;
+
+        let mut cpu = Vec::with_capacity(windows);
+        let mut ram = Vec::with_capacity(windows);
+        let mut demand = Vec::with_capacity(windows);
+        let mut writes = Vec::with_capacity(windows);
+        for t in 0..windows {
+            let mut cpu_sum = 0.0;
+            let mut ram_sum = 0.0;
+            let mut d = DiskDemand::default();
+            for p in profiles {
+                let w = p.window(t);
+                cpu_sum += w.cpu_cores;
+                ram_sum += w.ram.as_f64();
+                d = d.combine(w.disk);
+            }
+            // Consolidation removes n-1 OS+DBMS copies.
+            cpu_sum = (cpu_sum - self.cpu_overhead_per_instance * (n - 1.0)).max(0.0);
+            ram_sum =
+                (ram_sum - self.ram_overhead_per_instance.as_f64() * (n - 1.0)).max(0.0);
+            let write = match &self.disk_model {
+                Some(m) => m.predict_write_bytes(d),
+                None => d.update_rows_per_sec.as_f64() * self.baseline_bytes_per_row,
+            };
+            cpu.push(cpu_sum);
+            ram.push(ram_sum);
+            demand.push(d);
+            writes.push(write);
+        }
+
+        CombinedEstimate {
+            cpu_cores: TimeSeries::new(interval, cpu),
+            ram_bytes: TimeSeries::new(interval, ram),
+            disk_demand: demand,
+            disk_write_bytes: TimeSeries::new(interval, writes),
+        }
+    }
+
+    /// The naive baseline (Fig 6's "baseline"): straight sums of observed
+    /// per-workload rates with no overhead correction and linear disk.
+    pub fn baseline_sum(
+        profiles: &[WorkloadProfile],
+        observed_write_bytes: &[TimeSeries],
+    ) -> CombinedEstimate {
+        assert!(!profiles.is_empty());
+        assert_eq!(profiles.len(), observed_write_bytes.len());
+        let interval = profiles[0].interval_secs();
+        let windows = profiles.iter().map(|p| p.windows()).max().unwrap_or(0);
+        let mut cpu = Vec::with_capacity(windows);
+        let mut ram = Vec::with_capacity(windows);
+        let mut demand = Vec::with_capacity(windows);
+        for t in 0..windows {
+            let mut cpu_sum = 0.0;
+            let mut ram_sum = 0.0;
+            let mut d = DiskDemand::default();
+            for p in profiles {
+                let w = p.window(t);
+                cpu_sum += w.cpu_cores;
+                ram_sum += w.ram.as_f64();
+                d = d.combine(w.disk);
+            }
+            cpu.push(cpu_sum);
+            ram.push(ram_sum);
+            demand.push(d);
+        }
+        let writes = TimeSeries::sum(interval, observed_write_bytes.iter());
+        CombinedEstimate {
+            cpu_cores: TimeSeries::new(interval, cpu),
+            ram_bytes: TimeSeries::new(interval, ram),
+            disk_demand: demand,
+            disk_write_bytes: writes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kairos_types::Rate;
+
+    fn profile(name: &str, cpu: f64, ram_mb: u64, ws_mb: u64, rate: f64) -> WorkloadProfile {
+        WorkloadProfile::flat(
+            name,
+            300.0,
+            4,
+            cpu,
+            Bytes::mib(ram_mb),
+            DiskDemand::new(Bytes::mib(ws_mb), Rate(rate)),
+        )
+    }
+
+    #[test]
+    fn cpu_combines_minus_overhead() {
+        let est = CombinedLoadEstimator::default();
+        let profiles = vec![
+            profile("a", 1.0, 1000, 500, 100.0),
+            profile("b", 2.0, 2000, 500, 200.0),
+            profile("c", 0.5, 500, 200, 50.0),
+        ];
+        let combined = est.combine(&profiles);
+        // 3.5 cores minus 2 × 0.03 overhead.
+        let expected = 3.5 - 2.0 * est.cpu_overhead_per_instance;
+        assert!((combined.cpu_cores.values()[0] - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ram_combines_minus_instance_copies() {
+        let est = CombinedLoadEstimator::default();
+        let profiles = vec![profile("a", 0.1, 1000, 500, 1.0), profile("b", 0.1, 1000, 500, 1.0)];
+        let combined = est.combine(&profiles);
+        let expected = 2.0 * Bytes::mib(1000).as_f64() - Bytes::mib(190).as_f64();
+        assert!((combined.ram_bytes.values()[0] - expected).abs() < 1.0);
+    }
+
+    #[test]
+    fn disk_demand_aggregates() {
+        let est = CombinedLoadEstimator::default();
+        let profiles = vec![profile("a", 0.1, 100, 300, 150.0), profile("b", 0.1, 100, 700, 350.0)];
+        let combined = est.combine(&profiles);
+        let d = combined.disk_demand[0];
+        assert_eq!(d.working_set, Bytes::mib(1000));
+        assert!((d.update_rows_per_sec.as_f64() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn without_model_disk_prediction_is_linear() {
+        let est = CombinedLoadEstimator::default();
+        let one = est.combine(&[profile("a", 0.1, 100, 300, 100.0)]);
+        let two = est.combine(&[
+            profile("a", 0.1, 100, 300, 100.0),
+            profile("b", 0.1, 100, 300, 100.0),
+        ]);
+        let r = two.disk_write_bytes.values()[0] / one.disk_write_bytes.values()[0];
+        assert!((r - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn baseline_sums_everything_raw() {
+        let profiles = vec![profile("a", 1.0, 1000, 500, 100.0), profile("b", 1.0, 1000, 500, 100.0)];
+        let observed = vec![
+            TimeSeries::constant(300.0, 5e6, 4),
+            TimeSeries::constant(300.0, 7e6, 4),
+        ];
+        let baseline = CombinedLoadEstimator::baseline_sum(&profiles, &observed);
+        assert!((baseline.cpu_cores.values()[0] - 2.0).abs() < 1e-12);
+        assert!((baseline.disk_write_bytes.values()[0] - 12e6).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one profile")]
+    fn empty_input_panics() {
+        CombinedLoadEstimator::default().combine(&[]);
+    }
+}

@@ -1,0 +1,398 @@
+//! Page-granular clock (second-chance) cache.
+//!
+//! Used twice in the simulator: as the DBMS buffer pool (with dirty-page
+//! tracking for the flusher) and, in the PostgreSQL-style configuration, as
+//! the OS file cache tier (clean pages only).
+//!
+//! The clock algorithm approximates LRU the way InnoDB/Postgres do, and its
+//! eviction dynamics are what the paper's *buffer-pool gauging* (§3.1)
+//! exploits: the probe table's pages compete with the user working set, and
+//! the moment the combined footprint exceeds capacity, user pages start
+//! getting evicted and re-read — visible as physical reads.
+
+use crate::pages::PageId;
+use std::collections::{BTreeSet, HashMap};
+
+/// Result of touching a page in the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Touch {
+    /// Page was resident.
+    Hit,
+    /// Page was inserted; if a victim was evicted it is reported along with
+    /// whether it was dirty (a dirty eviction forces a foreground write).
+    Miss { evicted: Option<(PageId, bool)> },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    page: PageId,
+    refbit: bool,
+    dirty: bool,
+}
+
+/// Cumulative cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    pub dirty_evictions: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio over all accesses so far (0 when no accesses).
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+/// Fixed-capacity clock cache with optional dirty tracking.
+#[derive(Debug)]
+pub struct ClockCache {
+    capacity: usize,
+    frames: Vec<Frame>,
+    map: HashMap<PageId, u32>,
+    hand: usize,
+    /// Dirty pages in sorted order — the flusher's elevator queue.
+    dirty: BTreeSet<PageId>,
+    stats: CacheStats,
+}
+
+impl ClockCache {
+    /// Create a cache holding `capacity` pages.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> ClockCache {
+        assert!(capacity > 0, "cache capacity must be positive");
+        ClockCache {
+            capacity,
+            frames: Vec::with_capacity(capacity.min(1 << 20)),
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            hand: 0,
+            dirty: BTreeSet::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn resident(&self) -> usize {
+        self.frames.len()
+    }
+
+    pub fn dirty_count(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Fraction of capacity occupied by dirty pages.
+    pub fn dirty_fraction(&self) -> f64 {
+        self.dirty.len() as f64 / self.capacity as f64
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    pub fn contains(&self, page: PageId) -> bool {
+        self.map.contains_key(&page)
+    }
+
+    pub fn is_dirty(&self, page: PageId) -> bool {
+        self.dirty.contains(&page)
+    }
+
+    /// Access `page`, inserting it if absent; `make_dirty` marks it dirty
+    /// (an update). Returns whether this was a hit and any eviction.
+    pub fn touch(&mut self, page: PageId, make_dirty: bool) -> Touch {
+        if let Some(&idx) = self.map.get(&page) {
+            let f = &mut self.frames[idx as usize];
+            f.refbit = true;
+            if make_dirty && !f.dirty {
+                f.dirty = true;
+                self.dirty.insert(page);
+            }
+            self.stats.hits += 1;
+            return Touch::Hit;
+        }
+        self.stats.misses += 1;
+        let evicted = self.insert_new(page, make_dirty);
+        Touch::Miss { evicted }
+    }
+
+    /// Insert a page known to be absent. Returns the eviction victim, if
+    /// any, with its dirty flag.
+    fn insert_new(&mut self, page: PageId, dirty: bool) -> Option<(PageId, bool)> {
+        debug_assert!(!self.map.contains_key(&page));
+        if self.frames.len() < self.capacity {
+            let idx = self.frames.len() as u32;
+            // Fresh pages enter cold (refbit clear), InnoDB-midpoint style:
+            // a page must be re-referenced to survive a sweep, which keeps
+            // one-shot scans from polluting the pool.
+            self.frames.push(Frame {
+                page,
+                refbit: false,
+                dirty,
+            });
+            self.map.insert(page, idx);
+            if dirty {
+                self.dirty.insert(page);
+            }
+            return None;
+        }
+        // Clock sweep: clear ref bits until a victim with refbit == false.
+        let victim_idx = loop {
+            let i = self.hand;
+            self.hand = (self.hand + 1) % self.frames.len();
+            let f = &mut self.frames[i];
+            if f.refbit {
+                f.refbit = false;
+            } else {
+                break i;
+            }
+        };
+        let victim = self.frames[victim_idx];
+        self.map.remove(&victim.page);
+        if victim.dirty {
+            self.dirty.remove(&victim.page);
+            self.stats.dirty_evictions += 1;
+        }
+        self.stats.evictions += 1;
+        self.frames[victim_idx] = Frame {
+            page,
+            refbit: false,
+            dirty,
+        };
+        self.map.insert(page, victim_idx as u32);
+        if dirty {
+            self.dirty.insert(page);
+        }
+        Some((victim.page, victim.dirty))
+    }
+
+    /// Insert a freshly-allocated page (no read required, so no miss is
+    /// counted). If the page is somehow already resident it is simply
+    /// (re)marked. Returns the eviction victim, if any.
+    pub fn insert(&mut self, page: PageId, dirty: bool) -> Option<(PageId, bool)> {
+        if let Some(&idx) = self.map.get(&page) {
+            let f = &mut self.frames[idx as usize];
+            f.refbit = true;
+            if dirty && !f.dirty {
+                f.dirty = true;
+                self.dirty.insert(page);
+            }
+            return None;
+        }
+        self.insert_new(page, dirty)
+    }
+
+    /// Mark a page clean (after write-back). No-op if absent or clean.
+    pub fn mark_clean(&mut self, page: PageId) {
+        if self.dirty.remove(&page) {
+            if let Some(&idx) = self.map.get(&page) {
+                self.frames[idx as usize].dirty = false;
+            }
+        }
+    }
+
+    /// Take up to `n` dirty pages in sorted (page-id) order — the elevator
+    /// batch for write-back. The pages are marked clean immediately; the
+    /// caller charges the disk for them.
+    pub fn take_dirty_batch(&mut self, n: usize) -> Vec<PageId> {
+        let batch: Vec<PageId> = self.dirty.iter().take(n).copied().collect();
+        for &p in &batch {
+            self.mark_clean(p);
+        }
+        batch
+    }
+
+    /// Count of dirty pages whose id falls in `[start, end)` — used to
+    /// estimate per-table clean fractions for coalescing math.
+    pub fn dirty_in_range(&self, start: PageId, end: PageId) -> usize {
+        self.dirty.range(start..end).count()
+    }
+
+    /// Drop a page from the cache entirely (table drop). Returns whether it
+    /// was resident.
+    pub fn discard(&mut self, page: PageId) -> bool {
+        if let Some(idx) = self.map.remove(&page) {
+            self.dirty.remove(&page);
+            let last = self.frames.len() - 1;
+            self.frames.swap(idx as usize, last);
+            let moved = self.frames[idx as usize].page;
+            if idx as usize != last {
+                self.map.insert(moved, idx);
+            }
+            self.frames.pop();
+            if self.hand >= self.frames.len() && !self.frames.is_empty() {
+                self.hand = 0;
+            }
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u64) -> PageId {
+        PageId(i)
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let mut c = ClockCache::new(4);
+        assert!(matches!(c.touch(p(1), false), Touch::Miss { .. }));
+        assert_eq!(c.touch(p(1), false), Touch::Hit);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+        assert!((c.stats().miss_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn never_exceeds_capacity() {
+        let mut c = ClockCache::new(3);
+        for i in 0..100 {
+            c.touch(p(i), i % 2 == 0);
+            assert!(c.resident() <= 3);
+            assert!(c.dirty_count() <= c.resident());
+        }
+    }
+
+    #[test]
+    fn eviction_reports_victim() {
+        let mut c = ClockCache::new(2);
+        c.touch(p(1), false);
+        c.touch(p(2), false);
+        let t = c.touch(p(3), false);
+        match t {
+            Touch::Miss { evicted: Some((victim, dirty)) } => {
+                assert!(victim == p(1) || victim == p(2));
+                assert!(!dirty);
+            }
+            other => panic!("expected eviction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clock_gives_second_chance_to_hot_page() {
+        let mut c = ClockCache::new(2);
+        c.touch(p(1), false);
+        c.touch(p(2), false);
+        // Re-touch page 1 so its refbit is set; inserting page 3 must evict 2.
+        c.touch(p(1), false);
+        c.touch(p(3), false);
+        assert!(c.contains(p(1)), "hot page should survive");
+        assert!(!c.contains(p(2)));
+    }
+
+    #[test]
+    fn dirty_tracking_and_batch_is_sorted() {
+        let mut c = ClockCache::new(10);
+        for i in [5u64, 1, 9, 3] {
+            c.touch(p(i), true);
+        }
+        assert_eq!(c.dirty_count(), 4);
+        let batch = c.take_dirty_batch(3);
+        assert_eq!(batch, vec![p(1), p(3), p(5)]);
+        assert_eq!(c.dirty_count(), 1);
+        assert!(c.is_dirty(p(9)));
+        // Flushed pages stay resident, just clean.
+        assert!(c.contains(p(1)));
+    }
+
+    #[test]
+    fn dirty_eviction_counted() {
+        let mut c = ClockCache::new(1);
+        c.touch(p(1), true);
+        let t = c.touch(p(2), false);
+        assert!(matches!(t, Touch::Miss { evicted: Some((page, true)) } if page == p(1)));
+        assert_eq!(c.stats().dirty_evictions, 1);
+        assert_eq!(c.dirty_count(), 0);
+    }
+
+    #[test]
+    fn mark_clean_idempotent() {
+        let mut c = ClockCache::new(2);
+        c.touch(p(1), true);
+        c.mark_clean(p(1));
+        c.mark_clean(p(1));
+        assert_eq!(c.dirty_count(), 0);
+        assert!(c.contains(p(1)));
+    }
+
+    #[test]
+    fn dirty_in_range_counts_only_range() {
+        let mut c = ClockCache::new(10);
+        for i in 0..6 {
+            c.touch(p(i), true);
+        }
+        assert_eq!(c.dirty_in_range(p(2), p(5)), 3);
+        assert_eq!(c.dirty_in_range(p(8), p(20)), 0);
+    }
+
+    #[test]
+    fn insert_counts_no_miss_but_can_evict() {
+        let mut c = ClockCache::new(1);
+        c.insert(p(1), true);
+        assert_eq!(c.stats().misses, 0);
+        assert!(c.is_dirty(p(1)));
+        let evicted = c.insert(p(2), false);
+        assert!(matches!(evicted, Some((page, true)) if page == p(1)));
+        assert_eq!(c.stats().misses, 0);
+        // Re-inserting a resident page only updates flags.
+        assert!(c.insert(p(2), true).is_none());
+        assert!(c.is_dirty(p(2)));
+    }
+
+    #[test]
+    fn discard_removes_page() {
+        let mut c = ClockCache::new(4);
+        c.touch(p(1), true);
+        c.touch(p(2), false);
+        assert!(c.discard(p(1)));
+        assert!(!c.contains(p(1)));
+        assert_eq!(c.dirty_count(), 0);
+        assert_eq!(c.resident(), 1);
+        assert!(!c.discard(p(1)));
+        // Map stays consistent after swap_remove relocation.
+        assert!(c.contains(p(2)));
+        assert_eq!(c.touch(p(2), false), Touch::Hit);
+    }
+
+    #[test]
+    fn working_set_within_capacity_has_no_steady_state_misses() {
+        let mut c = ClockCache::new(100);
+        // Warm up a 50-page working set, then access it repeatedly.
+        for round in 0..20 {
+            for i in 0..50 {
+                let t = c.touch(p(i), false);
+                if round > 0 {
+                    assert_eq!(t, Touch::Hit, "round {round}, page {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_working_set_keeps_missing() {
+        let mut c = ClockCache::new(10);
+        for _ in 0..5 {
+            for i in 0..20 {
+                c.touch(p(i), false);
+            }
+        }
+        // Sequential sweep over 2x capacity thrashes a clock cache.
+        assert!(c.stats().misses > 50);
+    }
+}

@@ -1,0 +1,28 @@
+//! # kairos-diskmodel — the Combined Load Estimator's disk half (§4)
+//!
+//! CPU and RAM combine (almost) linearly across consolidated workloads;
+//! disk I/O does not. This crate builds the paper's empirical,
+//! hardware-specific disk model:
+//!
+//! 1. [`profiler::run_profiler`] sweeps `(working-set size, row-update
+//!    rate)` with a controlled TPC-C-style load
+//!    ([`kairos_workloads::ProfileLoad`]) against the simulated
+//!    DBMS/host, recording disk write throughput at each point;
+//! 2. [`poly::Poly2D::fit_lar`] fits a Least-Absolute-Residuals
+//!    second-order polynomial to the map (the Fig 4 contours) and
+//!    [`poly::Quadratic`] fits the saturation frontier (the dashed line);
+//! 3. [`model::DiskModel`] answers the consolidation engine's questions:
+//!    predicted write throughput for a combined
+//!    [`kairos_types::DiskDemand`], the saturation rate for a working
+//!    set, and feasibility at a given headroom.
+
+pub mod linalg;
+pub mod model;
+pub mod poly;
+pub mod profiler;
+
+pub use model::DiskModel;
+pub use poly::{Poly2D, Quadratic};
+pub use profiler::{
+    measure_workload, run_profiler, DiskPoint, DiskProfile, MeasuredDisk, ProfilerConfig,
+};

@@ -1,0 +1,174 @@
+//! Minimal dense linear algebra: solving the small normal-equation
+//! systems (≤ 6×6) behind the polynomial fits. Gaussian elimination with
+//! partial pivoting is ample at this scale.
+
+use kairos_types::{KairosError, Result};
+
+/// Solve `A x = b` for square `A` (row-major), destroying neither input.
+///
+/// Returns an error when the matrix is numerically singular.
+pub fn solve(a: &[Vec<f64>], b: &[f64]) -> Result<Vec<f64>> {
+    let n = a.len();
+    assert!(n > 0, "empty system");
+    assert!(a.iter().all(|row| row.len() == n), "matrix must be square");
+    assert_eq!(b.len(), n, "dimension mismatch");
+
+    // Augmented matrix.
+    let mut m: Vec<Vec<f64>> = a
+        .iter()
+        .zip(b)
+        .map(|(row, &bi)| {
+            let mut r = row.clone();
+            r.push(bi);
+            r
+        })
+        .collect();
+
+    for col in 0..n {
+        // Partial pivot.
+        let pivot_row = (col..n)
+            .max_by(|&i, &j| {
+                m[i][col]
+                    .abs()
+                    .partial_cmp(&m[j][col].abs())
+                    .expect("NaN in matrix")
+            })
+            .expect("non-empty range");
+        if m[pivot_row][col].abs() < 1e-12 {
+            return Err(KairosError::Numerical(format!(
+                "singular matrix at column {col}"
+            )));
+        }
+        m.swap(col, pivot_row);
+        // Eliminate below.
+        for row in col + 1..n {
+            let factor = m[row][col] / m[col][col];
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..=n {
+                m[row][k] -= factor * m[col][k];
+            }
+        }
+    }
+
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = m[row][n];
+        for k in row + 1..n {
+            acc -= m[row][k] * x[k];
+        }
+        x[row] = acc / m[row][row];
+    }
+    Ok(x)
+}
+
+/// Solve the weighted least-squares problem `min Σ w_i (X_i·c − y_i)²`
+/// via the normal equations `(XᵀWX) c = XᵀW y`.
+///
+/// `rows` are the design-matrix rows; `y` the targets; `w` the weights.
+pub fn weighted_least_squares(rows: &[Vec<f64>], y: &[f64], w: &[f64]) -> Result<Vec<f64>> {
+    let n = rows.len();
+    assert!(n > 0, "no data points");
+    assert_eq!(y.len(), n);
+    assert_eq!(w.len(), n);
+    let p = rows[0].len();
+    assert!(rows.iter().all(|r| r.len() == p), "ragged design matrix");
+    if n < p {
+        return Err(KairosError::InvalidInput(format!(
+            "{n} points cannot determine {p} coefficients"
+        )));
+    }
+
+    let mut xtx = vec![vec![0.0; p]; p];
+    let mut xty = vec![0.0; p];
+    for (i, row) in rows.iter().enumerate() {
+        let wi = w[i];
+        for a in 0..p {
+            xty[a] += wi * row[a] * y[i];
+            for b in a..p {
+                xtx[a][b] += wi * row[a] * row[b];
+            }
+        }
+    }
+    // Symmetrize.
+    for a in 0..p {
+        for b in 0..a {
+            xtx[a][b] = xtx[b][a];
+        }
+    }
+    solve(&xtx, &xty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let x = solve(&a, &[3.0, 4.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solves_general_3x3() {
+        let a = vec![
+            vec![2.0, 1.0, -1.0],
+            vec![-3.0, -1.0, 2.0],
+            vec![-2.0, 1.0, 2.0],
+        ];
+        let x = solve(&a, &[8.0, -11.0, -3.0]).unwrap();
+        // Known solution: (2, 3, -1).
+        assert!((x[0] - 2.0).abs() < 1e-9);
+        assert!((x[1] - 3.0).abs() < 1e-9);
+        assert!((x[2] + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let x = solve(&a, &[2.0, 5.0]).unwrap();
+        assert!((x[0] - 5.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_is_an_error() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(solve(&a, &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn least_squares_recovers_exact_line() {
+        // y = 2 + 3x sampled exactly.
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![1.0, i as f64]).collect();
+        let y: Vec<f64> = (0..10).map(|i| 2.0 + 3.0 * i as f64).collect();
+        let w = vec![1.0; 10];
+        let c = weighted_least_squares(&rows, &y, &w).unwrap();
+        assert!((c[0] - 2.0).abs() < 1e-9);
+        assert!((c[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weights_downweight_outliers() {
+        // Line y = x with one gross outlier; zero weight kills it.
+        let mut rows: Vec<Vec<f64>> = (0..6).map(|i| vec![1.0, i as f64]).collect();
+        let mut y: Vec<f64> = (0..6).map(|i| i as f64).collect();
+        rows.push(vec![1.0, 3.0]);
+        y.push(1000.0);
+        let mut w = vec![1.0; 7];
+        w[6] = 0.0;
+        let c = weighted_least_squares(&rows, &y, &w).unwrap();
+        assert!(c[0].abs() < 1e-9);
+        assert!((c[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn underdetermined_is_an_error() {
+        let rows = vec![vec![1.0, 0.0, 0.0]];
+        assert!(weighted_least_squares(&rows, &[1.0], &[1.0]).is_err());
+    }
+}

@@ -1,0 +1,130 @@
+//! The profiled response map must reproduce the Fig 4 shape:
+//! * disk writes grow **sub-linearly** with the row-update rate
+//!   (coalescing),
+//! * disk writes grow with the **working-set size** at a fixed rate
+//!   (updates spread over more pages → less coalescing),
+//! * the **saturation rate falls** as the working set grows (dashed
+//!   frontier),
+//! and the fitted model must predict held-out points decently.
+
+use kairos_diskmodel::{run_profiler, DiskModel, ProfilerConfig};
+use kairos_types::{Bytes, DiskDemand, Rate};
+
+fn smoke_profile() -> kairos_diskmodel::DiskProfile {
+    let cfg = ProfilerConfig {
+        ws_points: vec![
+            Bytes::mib(256),
+            Bytes::mib(512),
+            Bytes::mib(1024),
+            Bytes::mib(1536),
+        ],
+        rate_points: vec![1_000.0, 4_000.0, 10_000.0, 20_000.0, 35_000.0, 60_000.0],
+        settle_secs: 18.0,
+        measure_secs: 10.0,
+        buffer_pool: Bytes::mib(2048),
+        ..ProfilerConfig::smoke()
+    };
+    run_profiler(&cfg)
+}
+
+#[test]
+fn profile_has_fig4_shape_and_model_fits() {
+    let profile = smoke_profile();
+    assert_eq!(profile.points.len(), 24);
+
+    // (a) Writes grow sub-linearly with rate at fixed working set.
+    let at = |ws_mib: u64, rate: f64| {
+        profile
+            .points
+            .iter()
+            .find(|p| {
+                (p.ws_bytes - Bytes::mib(ws_mib).as_f64()).abs() < 1.0
+                    && (p.rows_per_sec - rate).abs() / rate < 0.25
+            })
+            .unwrap_or_else(|| panic!("missing point ws={ws_mib}MiB rate={rate}"))
+    };
+    let slow = at(512, 4_000.0);
+    let fast = at(512, 20_000.0);
+    assert!(
+        fast.write_bytes_per_sec > slow.write_bytes_per_sec,
+        "more updates must write more: {} vs {}",
+        slow.write_bytes_per_sec,
+        fast.write_bytes_per_sec
+    );
+    assert!(
+        fast.write_bytes_per_sec < slow.write_bytes_per_sec * 5.0 * 0.97,
+        "5x rate must give <5x writes (coalescing): {} -> {}",
+        slow.write_bytes_per_sec,
+        fast.write_bytes_per_sec
+    );
+
+    // (b) Writes grow with working set at fixed rate.
+    let small_ws = at(256, 10_000.0);
+    let large_ws = at(1536, 10_000.0);
+    assert!(
+        large_ws.write_bytes_per_sec > small_ws.write_bytes_per_sec * 1.1,
+        "larger working set must cost more I/O: {} vs {}",
+        small_ws.write_bytes_per_sec,
+        large_ws.write_bytes_per_sec
+    );
+
+    // (c) Saturation frontier falls with working set.
+    let sat = profile.saturation_points();
+    assert_eq!(sat.len(), 4);
+    assert!(
+        sat.first().unwrap().1 > sat.last().unwrap().1,
+        "saturation rate should fall with ws: {sat:?}"
+    );
+
+    // (d) The LAR model fits and predicts a held-out mid-grid point.
+    let model = DiskModel::fit(&profile).expect("fit");
+    let held_out = at(1024, 10_000.0);
+    let predicted = model.predict_write_bytes(DiskDemand::new(
+        Bytes(held_out.ws_bytes as u64),
+        Rate(held_out.rows_per_sec),
+    ));
+    let rel_err = (predicted - held_out.write_bytes_per_sec).abs() / held_out.write_bytes_per_sec;
+    assert!(
+        rel_err < 0.35,
+        "model off by {:.0}% at mid-grid ({} vs {})",
+        rel_err * 100.0,
+        predicted,
+        held_out.write_bytes_per_sec
+    );
+}
+
+#[test]
+fn combined_equals_single_equivalent_workload() {
+    // The §4.1 property on the real simulator: N profile loads with
+    // aggregate (X, Y) inside ONE instance behave like a single (X, Y)
+    // load. Compare measured write rates.
+    use kairos_dbsim::{DbmsConfig, DbmsInstance, Host};
+    use kairos_types::MachineSpec;
+    use kairos_workloads::{Driver, ProfileLoad};
+
+    let measure = |loads: Vec<(Bytes, f64)>| -> f64 {
+        let mut host = Host::new(MachineSpec::server1());
+        host.add_instance(DbmsInstance::new(DbmsConfig::mysql(Bytes::gib(2))));
+        let mut driver = Driver::new();
+        for (ws, rate) in loads {
+            driver.bind(&mut host, 0, Box::new(ProfileLoad::new(ws, rate)));
+        }
+        driver.warmup(&mut host, 5.0);
+        let before = host.instance(0).stats();
+        driver.run(&mut host, 10.0);
+        let delta = host.instance(0).stats().delta(&before);
+        delta.write_bytes_per_sec(host.instance(0).page_size().as_f64())
+    };
+
+    let combined = measure(vec![
+        (Bytes::mib(256), 3_000.0),
+        (Bytes::mib(256), 3_000.0),
+        (Bytes::mib(512), 6_000.0),
+    ]);
+    let single = measure(vec![(Bytes::mib(1024), 12_000.0)]);
+    let ratio = combined / single;
+    assert!(
+        (0.7..1.4).contains(&ratio),
+        "combined {combined} vs single-equivalent {single} (ratio {ratio:.2})"
+    );
+}

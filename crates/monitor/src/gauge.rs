@@ -1,0 +1,453 @@
+//! Buffer-pool gauging (§3.1, Fig 3).
+//!
+//! The DBMS fills all the memory it is given, so OS metrics cannot reveal
+//! how much it actually *needs*. Gauging measures the working set from the
+//! outside, with plain SQL:
+//!
+//! 1. create a probe table whose rows each fill exactly one page;
+//! 2. grow it step by step, scanning it between inserts so the buffer
+//!    manager keeps probe pages resident ("stealing" pool space);
+//! 3. watch the physical-read rate: the moment stolen space pushes *useful*
+//!    pages out, the user workload re-reads them from disk and the rate
+//!    rises — the remaining pool size at that point is the working set.
+//!
+//! The growth rate adapts exactly as §3.1 describes: accelerate while
+//! reads stay flat, back off on "even a small increase in the average
+//! number of physical reads per second over a short time window (the
+//! default in our tests is 10 seconds)".
+
+use kairos_dbsim::{DatabaseId, Host, TableId};
+use kairos_types::Bytes;
+use kairos_workloads::Driver;
+
+/// Tuning for the gauging procedure.
+#[derive(Debug, Clone, Copy)]
+pub struct GaugeParams {
+    /// Probe growth per round, in pages, before adaptation.
+    pub initial_step_pages: u64,
+    /// Adaptive bounds on the growth step.
+    pub min_step_pages: u64,
+    pub max_step_pages: u64,
+    /// `SCANS_PER_INSERT` from Fig 3.
+    pub scans_per_insert: u32,
+    /// `READ_WAIT_SECONDS` from Fig 3 (1–10 s per §3.1).
+    pub read_wait_secs: f64,
+    /// Averaging window for the baseline read rate (default 10 s).
+    pub window_secs: f64,
+    /// Read-rate increase (pages/s) over baseline that counts as "a small
+    /// increase".
+    pub increase_threshold: f64,
+    /// Consecutive hot rounds required before stopping.
+    pub confirm_rounds: u32,
+    /// Absolute safety stop as a fraction of total gaugeable memory.
+    pub max_steal_fraction: f64,
+}
+
+impl Default for GaugeParams {
+    fn default() -> GaugeParams {
+        GaugeParams {
+            initial_step_pages: 64,
+            min_step_pages: 8,
+            max_step_pages: 2048,
+            scans_per_insert: 2,
+            read_wait_secs: 2.0,
+            window_secs: 10.0,
+            increase_threshold: 6.0,
+            confirm_rounds: 3,
+            max_steal_fraction: 0.95,
+        }
+    }
+}
+
+/// One growth round's observation — a point on the Fig 2 curve.
+#[derive(Debug, Clone, Copy)]
+pub struct GaugeStep {
+    /// Probe size after this round, bytes.
+    pub stolen_bytes: f64,
+    /// Stolen fraction of gaugeable memory.
+    pub stolen_fraction: f64,
+    /// Observed physical reads/second during this round.
+    pub reads_per_sec: f64,
+}
+
+/// Result of a gauging run.
+#[derive(Debug, Clone)]
+pub struct GaugeOutcome {
+    /// Estimated working set: gaugeable memory minus safely-stolen bytes.
+    pub working_set: Bytes,
+    /// Bytes stolen without disturbing the workload.
+    pub safely_stolen: Bytes,
+    /// Per-round trace (drives Fig 2).
+    pub steps: Vec<GaugeStep>,
+    /// Simulated wall time the gauging took.
+    pub duration_secs: f64,
+}
+
+impl GaugeOutcome {
+    /// Average probe growth rate in bytes/second (§7.5 reports 136 KB/s
+    /// under saturation up to 6.4 MB/s on an idle 16 GB pool).
+    pub fn growth_bytes_per_sec(&self) -> f64 {
+        if self.duration_secs == 0.0 {
+            0.0
+        } else {
+            self.steps.last().map(|s| s.stolen_bytes).unwrap_or(0.0) / self.duration_secs
+        }
+    }
+}
+
+/// What gauging needs from the system under test. The production
+/// implementation is [`SimGaugeEnv`]; unit tests use an analytic mock.
+pub trait GaugeEnv {
+    /// Let the system (user workload + DBMS background work) run.
+    fn advance(&mut self, secs: f64);
+    /// Append `pages` one-page rows to the probe table.
+    fn probe_append_pages(&mut self, pages: u64);
+    /// Scan the whole probe table (keeps it resident).
+    fn probe_scan(&mut self);
+    /// Cumulative physical page reads of the monitored instance.
+    fn physical_reads_pages(&self) -> f64;
+    /// Memory gaugeable by the probe: buffer pool (+ OS cache if used).
+    fn memory_capacity_bytes(&self) -> f64;
+    fn page_bytes(&self) -> f64;
+    /// Simulated clock.
+    fn now_secs(&self) -> f64;
+}
+
+/// The gauging algorithm.
+#[derive(Debug, Clone, Default)]
+pub struct BufferGauge {
+    pub params: GaugeParams,
+}
+
+impl BufferGauge {
+    pub fn new(params: GaugeParams) -> BufferGauge {
+        BufferGauge { params }
+    }
+
+    /// Measure the read rate over one observation round: scan the probe
+    /// `scans_per_insert` times with `read_wait_secs` of user workload in
+    /// between, then average physical reads over the elapsed time.
+    fn observe_round(&self, env: &mut dyn GaugeEnv) -> f64 {
+        let p = &self.params;
+        let reads0 = env.physical_reads_pages();
+        let t0 = env.now_secs();
+        for _ in 0..p.scans_per_insert.max(1) {
+            env.probe_scan();
+            env.advance(p.read_wait_secs);
+        }
+        let dt = (env.now_secs() - t0).max(1e-9);
+        (env.physical_reads_pages() - reads0) / dt
+    }
+
+    /// Run adaptive gauging to completion.
+    pub fn run(&self, env: &mut dyn GaugeEnv) -> GaugeOutcome {
+        let p = self.params;
+        let capacity = env.memory_capacity_bytes();
+        let page = env.page_bytes();
+        let start = env.now_secs();
+
+        // Baseline read rate before stealing anything.
+        let mut baseline = {
+            let reads0 = env.physical_reads_pages();
+            let t0 = env.now_secs();
+            env.advance(p.window_secs);
+            (env.physical_reads_pages() - reads0) / (env.now_secs() - t0).max(1e-9)
+        };
+
+        let mut stolen_pages: u64 = 0;
+        let mut step = p.initial_step_pages.max(1);
+        let mut hot_rounds = 0u32;
+        let mut safe_stolen_pages: u64 = 0;
+        let mut steps = Vec::new();
+
+        loop {
+            if (stolen_pages + step) as f64 * page > capacity * p.max_steal_fraction {
+                break;
+            }
+            env.probe_append_pages(step);
+            stolen_pages += step;
+            let rate = self.observe_round(env);
+            steps.push(GaugeStep {
+                stolen_bytes: stolen_pages as f64 * page,
+                stolen_fraction: stolen_pages as f64 * page / capacity,
+                reads_per_sec: rate,
+            });
+
+            if rate - baseline > p.increase_threshold {
+                // "slowing down when we see even a small increase"
+                hot_rounds += 1;
+                step = (step / 2).max(p.min_step_pages);
+                if hot_rounds >= p.confirm_rounds {
+                    break;
+                }
+            } else {
+                if hot_rounds == 0 {
+                    safe_stolen_pages = stolen_pages;
+                } else {
+                    // A cold round after heat: treat heat as noise.
+                    safe_stolen_pages = stolen_pages;
+                    hot_rounds = 0;
+                }
+                // Track slow baseline drift, then accelerate.
+                baseline = 0.8 * baseline + 0.2 * rate;
+                step = (step * 3 / 2).min(p.max_step_pages);
+            }
+        }
+
+        let safely_stolen = Bytes((safe_stolen_pages as f64 * page) as u64);
+        let working_set = Bytes((capacity - safely_stolen.as_f64()).max(0.0) as u64);
+        GaugeOutcome {
+            working_set,
+            safely_stolen,
+            steps,
+            duration_secs: env.now_secs() - start,
+        }
+    }
+
+    /// Non-adaptive sweep for the Fig 2 curve: grow the probe in fixed
+    /// steps up to `max_fraction` of memory, recording the read rate at
+    /// every point, with no early stop.
+    pub fn trace(
+        &self,
+        env: &mut dyn GaugeEnv,
+        step_pages: u64,
+        max_fraction: f64,
+    ) -> Vec<GaugeStep> {
+        let capacity = env.memory_capacity_bytes();
+        let page = env.page_bytes();
+        // Settle baseline.
+        env.advance(self.params.window_secs);
+        let mut stolen_pages: u64 = 0;
+        let mut steps = Vec::new();
+        while (stolen_pages + step_pages) as f64 * page <= capacity * max_fraction {
+            env.probe_append_pages(step_pages);
+            stolen_pages += step_pages;
+            let rate = self.observe_round(env);
+            steps.push(GaugeStep {
+                stolen_bytes: stolen_pages as f64 * page,
+                stolen_fraction: stolen_pages as f64 * page / capacity,
+                reads_per_sec: rate,
+            });
+        }
+        steps
+    }
+}
+
+/// [`GaugeEnv`] over the simulator: a host + driver with user workloads
+/// bound, gauging instance `instance`'s database `db`.
+pub struct SimGaugeEnv<'a> {
+    host: &'a mut Host,
+    driver: &'a mut Driver,
+    instance: usize,
+    db: DatabaseId,
+    probe: Option<TableId>,
+}
+
+impl<'a> SimGaugeEnv<'a> {
+    pub fn new(
+        host: &'a mut Host,
+        driver: &'a mut Driver,
+        instance: usize,
+        db: DatabaseId,
+    ) -> SimGaugeEnv<'a> {
+        SimGaugeEnv {
+            host,
+            driver,
+            instance,
+            db,
+            probe: None,
+        }
+    }
+
+    fn probe_table(&mut self) -> TableId {
+        let inst = self.host.instance_mut(self.instance);
+        let page = inst.page_size().0;
+        match self.probe {
+            Some(t) => t,
+            None => {
+                let t = inst
+                    .create_table(self.db, 0, page)
+                    .expect("probe database exists");
+                self.probe = Some(t);
+                t
+            }
+        }
+    }
+}
+
+impl GaugeEnv for SimGaugeEnv<'_> {
+    fn advance(&mut self, secs: f64) {
+        self.driver.warmup(self.host, secs);
+    }
+
+    fn probe_append_pages(&mut self, pages: u64) {
+        let t = self.probe_table();
+        self.host
+            .instance_mut(self.instance)
+            .append_rows(t, pages as f64);
+    }
+
+    fn probe_scan(&mut self) {
+        if let Some(t) = self.probe {
+            let rows = self.host.instance(self.instance).table_rows(t);
+            self.host.instance_mut(self.instance).scan_count(t, rows);
+        }
+    }
+
+    fn physical_reads_pages(&self) -> f64 {
+        self.host.instance(self.instance).stats().physical_read_pages
+    }
+
+    fn memory_capacity_bytes(&self) -> f64 {
+        let cfg = self.host.instance(self.instance).config();
+        (cfg.buffer_pool + cfg.os_cache).as_f64()
+    }
+
+    fn page_bytes(&self) -> f64 {
+        self.host.instance(self.instance).page_size().as_f64()
+    }
+
+    fn now_secs(&self) -> f64 {
+        self.driver.now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Analytic environment: reads stay at `noise` until the probe exceeds
+    /// `capacity - working_set`, then rise linearly with the overflow.
+    struct MockEnv {
+        capacity_pages: u64,
+        ws_pages: u64,
+        page: f64,
+        probe_pages: u64,
+        reads: f64,
+        now: f64,
+        noise: f64,
+    }
+
+    impl MockEnv {
+        fn new(capacity_pages: u64, ws_pages: u64) -> MockEnv {
+            MockEnv {
+                capacity_pages,
+                ws_pages,
+                page: 16384.0,
+                probe_pages: 0,
+                reads: 0.0,
+                now: 0.0,
+                noise: 1.0,
+            }
+        }
+
+        fn read_rate(&self) -> f64 {
+            let free = self.capacity_pages.saturating_sub(self.ws_pages);
+            if self.probe_pages <= free {
+                self.noise
+            } else {
+                let overflow = (self.probe_pages - free) as f64;
+                self.noise + 2.0 * overflow
+            }
+        }
+    }
+
+    impl GaugeEnv for MockEnv {
+        fn advance(&mut self, secs: f64) {
+            self.reads += self.read_rate() * secs;
+            self.now += secs;
+        }
+        fn probe_append_pages(&mut self, pages: u64) {
+            self.probe_pages += pages;
+        }
+        fn probe_scan(&mut self) {}
+        fn physical_reads_pages(&self) -> f64 {
+            self.reads
+        }
+        fn memory_capacity_bytes(&self) -> f64 {
+            self.capacity_pages as f64 * self.page
+        }
+        fn page_bytes(&self) -> f64 {
+            self.page
+        }
+        fn now_secs(&self) -> f64 {
+            self.now
+        }
+    }
+
+    #[test]
+    fn gauging_finds_working_set_within_tolerance() {
+        // 60k-page pool (~1 GB), 40k-page working set: 33% stealable.
+        let mut env = MockEnv::new(60_000, 40_000);
+        let outcome = BufferGauge::default().run(&mut env);
+        let est_pages = outcome.working_set.as_f64() / env.page;
+        let err = (est_pages - 40_000.0).abs() / 40_000.0;
+        assert!(err < 0.10, "estimate {est_pages} vs 40000 (err {err:.3})");
+    }
+
+    #[test]
+    fn gauging_is_conservative_never_underestimates_badly() {
+        let mut env = MockEnv::new(30_000, 10_000);
+        let outcome = BufferGauge::default().run(&mut env);
+        let est_pages = outcome.working_set.as_f64() / env.page;
+        // Working set estimate must cover the true working set.
+        assert!(est_pages >= 10_000.0 * 0.95, "estimate {est_pages}");
+    }
+
+    #[test]
+    fn fully_used_pool_steals_nothing() {
+        // Working set == capacity: the very first probe step must heat up.
+        let mut env = MockEnv::new(10_000, 10_000);
+        let outcome = BufferGauge::default().run(&mut env);
+        assert!(
+            outcome.safely_stolen.as_f64() / env.memory_capacity_bytes() < 0.05,
+            "stole {}",
+            outcome.safely_stolen
+        );
+    }
+
+    #[test]
+    fn mostly_idle_pool_steals_a_lot() {
+        // Tiny working set: nearly everything is stealable.
+        let mut env = MockEnv::new(50_000, 5_000);
+        let outcome = BufferGauge::default().run(&mut env);
+        let stolen_frac = outcome.safely_stolen.as_f64() / env.memory_capacity_bytes();
+        assert!(stolen_frac > 0.75, "stolen fraction {stolen_frac}");
+    }
+
+    #[test]
+    fn steps_record_monotone_steal() {
+        let mut env = MockEnv::new(20_000, 10_000);
+        let outcome = BufferGauge::default().run(&mut env);
+        assert!(!outcome.steps.is_empty());
+        for w in outcome.steps.windows(2) {
+            assert!(w[1].stolen_bytes > w[0].stolen_bytes);
+        }
+        assert!(outcome.duration_secs > 0.0);
+        assert!(outcome.growth_bytes_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn trace_covers_requested_range() {
+        let mut env = MockEnv::new(20_000, 12_000);
+        let steps = BufferGauge::default().trace(&mut env, 500, 0.5);
+        let last = steps.last().unwrap();
+        assert!(last.stolen_fraction > 0.45 && last.stolen_fraction <= 0.5);
+        // Reads flat below the knee, elevated past it (knee at 40%).
+        let early = &steps[2];
+        assert!(early.reads_per_sec < 5.0);
+        assert!(last.reads_per_sec > 100.0);
+    }
+
+    #[test]
+    fn adaptive_step_accelerates_when_cold() {
+        // Huge idle pool: the step should hit max quickly, keeping the
+        // round count modest.
+        let mut env = MockEnv::new(1_000_000, 10_000);
+        let gauge = BufferGauge::default();
+        let outcome = gauge.run(&mut env);
+        let rounds = outcome.steps.len();
+        // Without acceleration this would take ~15000 rounds at 64 pages.
+        assert!(rounds < 800, "took {rounds} rounds");
+    }
+}

@@ -1,0 +1,374 @@
+//! The DIRECT (DIviding RECTangles) global optimization algorithm
+//! (Jones et al.), used by the paper via the Tomlab solver library (§5–6)
+//! and implemented here from scratch.
+//!
+//! DIRECT minimizes a black-box function over a box by maintaining a set
+//! of hyperrectangles, each evaluated at its center. Every iteration it
+//! selects the *potentially optimal* rectangles — the lower convex hull of
+//! (diameter, f) — and trisects them along their longest sides. The `ε`
+//! parameter trades global exploration against local refinement: this is
+//! the knob §6 tunes ("a parameter of DIRECT that determines the ratio of
+//! time spent in local versus global search").
+//!
+//! The search is fully deterministic.
+
+/// Configuration for a DIRECT run.
+#[derive(Debug, Clone, Copy)]
+pub struct DirectConfig {
+    /// Evaluation budget.
+    pub max_evals: usize,
+    /// Iteration (division round) budget.
+    pub max_iters: usize,
+    /// Jones' ε: minimum non-trivial improvement, relative to |f_min|.
+    /// Larger values bias toward large rectangles (global search).
+    pub epsilon: f64,
+    /// Stop as soon as a value below this is found (used by the K′
+    /// binary search to bail out once feasibility is proven).
+    pub stop_below: Option<f64>,
+}
+
+impl Default for DirectConfig {
+    fn default() -> DirectConfig {
+        DirectConfig {
+            max_evals: 20_000,
+            max_iters: 1_000,
+            epsilon: 1e-4,
+            stop_below: None,
+        }
+    }
+}
+
+/// Result of a DIRECT run.
+#[derive(Debug, Clone)]
+pub struct DirectResult {
+    /// Best point found, in the unit cube.
+    pub best_x: Vec<f64>,
+    pub best_f: f64,
+    pub evals: usize,
+    pub iterations: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Rect {
+    center: Vec<f64>,
+    f: f64,
+    /// Trisection count per dimension; side length = 3^-level.
+    levels: Vec<u16>,
+    /// Cached half-diagonal (the "size" d).
+    d: f64,
+}
+
+fn half_diagonal(levels: &[u16]) -> f64 {
+    let sum: f64 = levels.iter().map(|&l| 3f64.powi(-2 * l as i32)).sum();
+    0.5 * sum.sqrt()
+}
+
+/// Minimize `f` over the unit cube `[0,1]^dims`.
+pub fn direct_minimize(
+    dims: usize,
+    cfg: &DirectConfig,
+    mut f: impl FnMut(&[f64]) -> f64,
+) -> DirectResult {
+    assert!(dims > 0, "need at least one dimension");
+    let mut evals = 0usize;
+    let mut eval = |x: &[f64], evals: &mut usize| -> f64 {
+        *evals += 1;
+        f(x)
+    };
+
+    let center = vec![0.5; dims];
+    let f0 = eval(&center, &mut evals);
+    let mut rects = vec![Rect {
+        center,
+        f: f0,
+        levels: vec![0; dims],
+        d: half_diagonal(&vec![0; dims]),
+    }];
+    let mut best_f = f0;
+    let mut best_x = rects[0].center.clone();
+    let mut iterations = 0usize;
+
+    let stop_hit = |best: f64| cfg.stop_below.is_some_and(|s| best < s);
+
+    // A division needs at least two evaluations; with fewer left the
+    // search cannot make progress.
+    'outer: while iterations < cfg.max_iters && evals + 2 <= cfg.max_evals && !stop_hit(best_f) {
+        iterations += 1;
+        let selected = potentially_optimal(&rects, best_f, cfg.epsilon);
+        if selected.is_empty() {
+            break;
+        }
+        // Indices must be processed largest-first so splits appending new
+        // rects don't disturb earlier indices; collect first.
+        for &ri in selected.iter().rev() {
+            if evals >= cfg.max_evals || stop_hit(best_f) {
+                break 'outer;
+            }
+            // Longest sides = dimensions at the minimum level.
+            let min_level = *rects[ri].levels.iter().min().expect("non-empty");
+            let long_dims: Vec<usize> = (0..dims)
+                .filter(|&i| rects[ri].levels[i] == min_level)
+                .collect();
+            let delta = 3f64.powi(-(min_level as i32 + 1));
+
+            // Sample c ± δ e_i for every long dimension.
+            let mut samples: Vec<(usize, f64, f64, Vec<f64>, Vec<f64>)> = Vec::new();
+            for &i in &long_dims {
+                if evals + 2 > cfg.max_evals {
+                    break;
+                }
+                let mut lo = rects[ri].center.clone();
+                let mut hi = rects[ri].center.clone();
+                lo[i] = (lo[i] - delta).clamp(0.0, 1.0);
+                hi[i] = (hi[i] + delta).clamp(0.0, 1.0);
+                let f_lo = eval(&lo, &mut evals);
+                let f_hi = eval(&hi, &mut evals);
+                if f_lo < best_f {
+                    best_f = f_lo;
+                    best_x = lo.clone();
+                }
+                if f_hi < best_f {
+                    best_f = f_hi;
+                    best_x = hi.clone();
+                }
+                samples.push((i, f_lo, f_hi, lo, hi));
+            }
+            if samples.is_empty() {
+                continue;
+            }
+            // Divide in order of best sample value (Jones' rule).
+            samples.sort_by(|a, b| {
+                a.1.min(a.2)
+                    .partial_cmp(&b.1.min(b.2))
+                    .expect("NaN objective")
+            });
+            for (i, f_lo, f_hi, lo, hi) in samples {
+                rects[ri].levels[i] += 1;
+                let levels = rects[ri].levels.clone();
+                let d = half_diagonal(&levels);
+                rects.push(Rect {
+                    center: lo,
+                    f: f_lo,
+                    levels: levels.clone(),
+                    d,
+                });
+                rects.push(Rect {
+                    center: hi,
+                    f: f_hi,
+                    levels,
+                    d,
+                });
+            }
+            rects[ri].d = half_diagonal(&rects[ri].levels);
+        }
+    }
+
+    DirectResult {
+        best_x,
+        best_f,
+        evals,
+        iterations,
+    }
+}
+
+/// Indices of potentially-optimal rectangles: the lower-right convex hull
+/// of (d, f), ε-filtered.
+fn potentially_optimal(rects: &[Rect], f_min: f64, epsilon: f64) -> Vec<usize> {
+    // Min-f representative per diameter class, keyed by quantized d so the
+    // grouping is O(rects) rather than O(rects × classes).
+    let mut by_class: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+    for (i, r) in rects.iter().enumerate() {
+        let key = (r.d * 1e12).round() as u64;
+        by_class
+            .entry(key)
+            .and_modify(|bi| {
+                if r.f < rects[*bi].f {
+                    *bi = i;
+                }
+            })
+            .or_insert(i);
+    }
+    let mut best_per_d: Vec<(f64, usize)> =
+        by_class.into_values().map(|i| (rects[i].d, i)).collect();
+    best_per_d.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN diameter"));
+
+    // Lower convex hull over ascending d.
+    let mut hull: Vec<(f64, usize)> = Vec::new();
+    for &(d, i) in &best_per_d {
+        let fi = rects[i].f;
+        while hull.len() >= 2 {
+            let (d1, i1) = hull[hull.len() - 2];
+            let (d2, i2) = hull[hull.len() - 1];
+            let (f1, f2) = (rects[i1].f, rects[i2].f);
+            // Remove i2 if it lies above segment (d1,f1)-(d,fi).
+            let cross = (d2 - d1) * (fi - f1) - (f2 - f1) * (d - d1);
+            if cross <= 0.0 {
+                hull.pop();
+            } else {
+                break;
+            }
+        }
+        // Also drop dominated points (same or larger f at smaller d handled
+        // by hull; equal d handled above).
+        hull.push((d, i));
+    }
+
+    // Keep only the ascending-f tail from the global minimum onward
+    // (smaller rectangles with worse f than a larger one are never
+    // potentially optimal), then ε-filter.
+    let mut out = Vec::new();
+    let n = hull.len();
+    for (pos, &(d, i)) in hull.iter().enumerate() {
+        let fi = rects[i].f;
+        // Must be no larger-d hull point with smaller-or-equal f.
+        if hull[pos + 1..].iter().any(|&(_, j)| rects[j].f <= fi) && rects[hull[n - 1].1].f < fi {
+            continue;
+        }
+        // ε-condition against the right neighbour's slope.
+        if pos + 1 < n {
+            let (d2, j) = hull[pos + 1];
+            let slope = (rects[j].f - fi) / (d2 - d);
+            let reachable = fi - slope * d;
+            if reachable > f_min - epsilon * f_min.abs() {
+                continue;
+            }
+        }
+        out.push(i);
+    }
+    if out.is_empty() && !hull.is_empty() {
+        // Always divide at least the largest rectangle.
+        out.push(hull[n - 1].1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(dims: usize, evals: usize, f: impl FnMut(&[f64]) -> f64) -> DirectResult {
+        direct_minimize(
+            dims,
+            &DirectConfig {
+                max_evals: evals,
+                ..Default::default()
+            },
+            f,
+        )
+    }
+
+    #[test]
+    fn minimizes_quadratic_bowl() {
+        let r = run(2, 2000, |x| {
+            (x[0] - 0.3).powi(2) + (x[1] - 0.7).powi(2)
+        });
+        assert!(r.best_f < 1e-4, "best {}", r.best_f);
+        assert!((r.best_x[0] - 0.3).abs() < 0.02);
+        assert!((r.best_x[1] - 0.7).abs() < 0.02);
+    }
+
+    #[test]
+    fn escapes_local_minima_rastrigin() {
+        // Rastrigin scaled to [0,1]^2, global minimum at x = 0.5.
+        let r = run(2, 6000, |x| {
+            let a = 10.0;
+            let n = 2.0;
+            let mut sum = a * n;
+            for &xi in x {
+                let z = (xi - 0.5) * 8.0;
+                sum += z * z - a * (2.0 * std::f64::consts::PI * z).cos();
+            }
+            sum
+        });
+        assert!(r.best_f < 1.0, "best {}", r.best_f);
+    }
+
+    #[test]
+    fn handles_step_functions() {
+        // Piecewise-constant (like floor-decoded assignments): min plateau
+        // at x in [0.6, 0.8).
+        let r = run(1, 500, |x| {
+            let b = (x[0] * 5.0).floor();
+            if b == 3.0 {
+                0.0
+            } else {
+                (b - 3.0).abs()
+            }
+        });
+        assert_eq!(r.best_f, 0.0);
+        assert!((0.6..0.8).contains(&r.best_x[0]));
+    }
+
+    #[test]
+    fn respects_eval_budget() {
+        let mut count = 0usize;
+        let r = direct_minimize(
+            3,
+            &DirectConfig {
+                max_evals: 100,
+                ..Default::default()
+            },
+            |x| {
+                count += 1;
+                x.iter().sum()
+            },
+        );
+        assert!(count <= 100);
+        assert_eq!(r.evals, count);
+    }
+
+    #[test]
+    fn stop_below_short_circuits() {
+        let mut count = 0usize;
+        let r = direct_minimize(
+            2,
+            &DirectConfig {
+                max_evals: 100_000,
+                stop_below: Some(0.5),
+                ..Default::default()
+            },
+            |x| {
+                count += 1;
+                (x[0] - 0.1).abs() + (x[1] - 0.9).abs()
+            },
+        );
+        assert!(r.best_f < 0.5);
+        assert!(count < 1000, "should stop early, used {count}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let f = |x: &[f64]| (x[0] - 0.21).powi(2) + (x[1] - 0.77).powi(2) + x[2].sin();
+        let a = run(3, 3000, f);
+        let b = run(3, 3000, f);
+        assert_eq!(a.best_x, b.best_x);
+        assert_eq!(a.best_f, b.best_f);
+        assert_eq!(a.evals, b.evals);
+    }
+
+    #[test]
+    fn works_in_higher_dimensions() {
+        // 20-dim sphere: DIRECT should reach a decent (not perfect) value.
+        let r = run(20, 20_000, |x| {
+            x.iter().map(|&v| (v - 0.5) * (v - 0.5)).sum()
+        });
+        assert!(r.best_f < 1e-6, "best {}", r.best_f);
+    }
+
+    #[test]
+    fn larger_epsilon_explores_more_rectangles() {
+        // With huge epsilon, refinement around the incumbent is suppressed;
+        // the optimizer keeps dividing large rectangles. Check it still
+        // converges reasonably on a smooth bowl.
+        let r = direct_minimize(
+            2,
+            &DirectConfig {
+                max_evals: 2000,
+                epsilon: 0.1,
+                ..Default::default()
+            },
+            |x| (x[0] - 0.5).powi(2) + (x[1] - 0.5).powi(2),
+        );
+        assert!(r.best_f < 1e-3);
+    }
+}

@@ -1,0 +1,44 @@
+//! # kairos-solver — the Consolidation Engine's optimizer (§5–6)
+//!
+//! Assigning workloads to machines is a mixed-integer **non-linear**
+//! program: the objective minimizes server count (signum term) and
+//! imbalance (exponential term), and the disk constraint goes through the
+//! non-linear empirical disk model. This crate implements:
+//!
+//! * the problem/assignment model ([`problem`]) with replication,
+//!   pinning, and anti-affinity constraints;
+//! * the objective and constraint evaluator ([`objective`]) — the Fig 5
+//!   landscape, penalty spike included;
+//! * a from-scratch **DIRECT** global optimizer ([`direct`]);
+//! * deterministic **local-search polish** with incremental evaluation
+//!   ([`local`]);
+//! * the §7.3 baselines: single-resource **greedy** first-fit
+//!   ([`greedy`]) and the **fractional/idealized** lower bound
+//!   ([`bounds`]);
+//! * the §6 search pipeline ([`search`]): bound K, binary-search the
+//!   minimal feasible K′, then a well-funded final solve — the
+//!   optimization the paper credits with up to 45× faster solves.
+//!
+//! The solver is deliberately independent of the rest of Kairos: disk
+//! non-linearity enters only through the [`problem::DiskCombiner`] trait,
+//! which `kairos-core` implements with the fitted
+//! `kairos_diskmodel::DiskModel`.
+
+pub mod bounds;
+pub mod direct;
+pub mod greedy;
+pub mod local;
+pub mod objective;
+pub mod problem;
+pub mod search;
+
+pub use bounds::{fractional_lower_bound, identity_assignment, upper_bound};
+pub use direct::{direct_minimize, DirectConfig, DirectResult};
+pub use greedy::{greedy_pack, GreedyReport, GreedyResource};
+pub use local::{polish, PolishReport};
+pub use objective::{evaluate, Evaluation, WindowLoad};
+pub use problem::{
+    Assignment, ConsolidationProblem, DiskCombiner, LinearDiskCombiner, ResourceWeights, Slot,
+    TargetMachine, WorkloadSpec,
+};
+pub use search::{decode, free_dims, solve, solve_at_k, solve_unbounded, SolveReport, SolverConfig};

@@ -1,0 +1,402 @@
+//! Local-search polish with incremental evaluation.
+//!
+//! §6: once K′ is fixed, "this allows us to parametrize the DIRECT
+//! algorithm in favor of local searches to increase the quality of the
+//! final solution". We complement DIRECT's coarse global structure with a
+//! deterministic best-move hill climber over slot→machine moves, using
+//! cached per-machine load series so each candidate move costs O(windows)
+//! rather than a full re-evaluation.
+
+use crate::objective::{evaluate, Evaluation};
+use crate::problem::{Assignment, ConsolidationProblem, Slot};
+
+const PENALTY: f64 = 1e4;
+
+struct MachineState {
+    slots: Vec<usize>,
+    cpu: Vec<f64>,
+    ram: Vec<f64>,
+    ws: Vec<f64>,
+    rate: Vec<f64>,
+    /// Objective contribution (mean-exp) — 0 when empty.
+    contrib: f64,
+    /// Resource-excess + co-location violations on this machine.
+    violation: f64,
+}
+
+struct SearchState<'a> {
+    problem: &'a ConsolidationProblem,
+    slots: Vec<Slot>,
+    machines: Vec<MachineState>,
+    assignment: Vec<usize>,
+}
+
+impl<'a> SearchState<'a> {
+    fn new(problem: &'a ConsolidationProblem, assignment: &Assignment, k: usize) -> SearchState<'a> {
+        let slots = problem.slots();
+        let windows = problem.windows;
+        let mut machines: Vec<MachineState> = (0..k)
+            .map(|_| MachineState {
+                slots: Vec::new(),
+                cpu: vec![0.0; windows],
+                ram: vec![0.0; windows],
+                ws: vec![0.0; windows],
+                rate: vec![0.0; windows],
+                contrib: 0.0,
+                violation: 0.0,
+            })
+            .collect();
+        let mut asg = assignment.machine_of.clone();
+        for (s, m) in asg.iter_mut().enumerate() {
+            // Clamp any out-of-range machine and force pins.
+            if *m >= k {
+                *m = k - 1;
+            }
+            let slot = slots[s];
+            if slot.replica == 0 {
+                if let Some(pin) = problem.workloads[slot.workload].pinned {
+                    if pin < k {
+                        *m = pin;
+                    }
+                }
+            }
+            machines[*m].slots.push(s);
+        }
+        let mut state = SearchState {
+            problem,
+            slots,
+            machines,
+            assignment: asg,
+        };
+        for m in 0..k {
+            state.recompute_sums(m);
+            state.refresh(m);
+        }
+        state
+    }
+
+    fn recompute_sums(&mut self, m: usize) {
+        let windows = self.problem.windows;
+        let ms = &mut self.machines[m];
+        for t in 0..windows {
+            ms.cpu[t] = 0.0;
+            ms.ram[t] = 0.0;
+            ms.ws[t] = 0.0;
+            ms.rate[t] = 0.0;
+        }
+        for &s in &ms.slots.clone() {
+            let w = &self.problem.workloads[self.slots[s].workload];
+            let ms = &mut self.machines[m];
+            for t in 0..windows {
+                ms.cpu[t] += w.cpu_at(t);
+                ms.ram[t] += w.ram_at(t);
+                ms.ws[t] += w.ws_at(t);
+                ms.rate[t] += w.rate_at(t);
+            }
+        }
+    }
+
+    /// Recompute the cached contribution and violation of machine `m`.
+    fn refresh(&mut self, m: usize) {
+        let (contrib, violation) = self.score_machine(m);
+        self.machines[m].contrib = contrib;
+        self.machines[m].violation = violation;
+    }
+
+    fn score_machine(&self, m: usize) -> (f64, f64) {
+        let ms = &self.machines[m];
+        if ms.slots.is_empty() {
+            return (0.0, 0.0);
+        }
+        let p = self.problem;
+        let cap = p.machine;
+        let weights = p.weights;
+        let wsum = weights.total().max(1e-12);
+        let mut exp_sum = 0.0;
+        let mut violation = 0.0;
+        for t in 0..p.windows {
+            let cpu = ms.cpu[t] / cap.cpu_cores;
+            let ram = ms.ram[t] / cap.ram_bytes;
+            let disk = p.disk.utilization(ms.ws[t], ms.rate[t]);
+            for u in [cpu, ram, disk] {
+                if u > p.headroom {
+                    violation += u - p.headroom;
+                }
+            }
+            let norm = (weights.cpu * cpu + weights.ram * ram + weights.disk * disk) / wsum;
+            exp_sum += norm.clamp(0.0, 1.0).exp();
+        }
+        // Co-location violations among this machine's slots.
+        for (i, &a) in ms.slots.iter().enumerate() {
+            for &b in &ms.slots[i + 1..] {
+                let (sa, sb) = (self.slots[a], self.slots[b]);
+                if sa.workload == sb.workload {
+                    violation += 1.0;
+                }
+                if p.anti_affinity.iter().any(|&(x, y)| {
+                    (x, y) == (sa.workload, sb.workload) || (y, x) == (sa.workload, sb.workload)
+                }) {
+                    violation += 1.0;
+                }
+            }
+        }
+        (exp_sum / p.windows as f64, violation)
+    }
+
+    fn total_objective(&self) -> f64 {
+        let contrib: f64 = self.machines.iter().map(|m| m.contrib).sum();
+        let violation: f64 = self.machines.iter().map(|m| m.violation).sum();
+        if violation > 0.0 {
+            contrib + PENALTY * (1.0 + violation)
+        } else {
+            contrib
+        }
+    }
+
+    /// Apply `slot → dst`, updating caches.
+    fn apply_move(&mut self, slot: usize, dst: usize) {
+        let src = self.assignment[slot];
+        if src == dst {
+            return;
+        }
+        let windows = self.problem.windows;
+        let w = &self.problem.workloads[self.slots[slot].workload];
+        let pos = self.machines[src]
+            .slots
+            .iter()
+            .position(|&s| s == slot)
+            .expect("slot tracked on its machine");
+        self.machines[src].slots.swap_remove(pos);
+        for t in 0..windows {
+            self.machines[src].cpu[t] -= w.cpu_at(t);
+            self.machines[src].ram[t] -= w.ram_at(t);
+            self.machines[src].ws[t] -= w.ws_at(t);
+            self.machines[src].rate[t] -= w.rate_at(t);
+        }
+        self.machines[dst].slots.push(slot);
+        for t in 0..windows {
+            self.machines[dst].cpu[t] += w.cpu_at(t);
+            self.machines[dst].ram[t] += w.ram_at(t);
+            self.machines[dst].ws[t] += w.ws_at(t);
+            self.machines[dst].rate[t] += w.rate_at(t);
+        }
+        self.assignment[slot] = dst;
+        self.refresh(src);
+        self.refresh(dst);
+    }
+
+    /// Objective if `slot` moved to `dst` (without committing).
+    fn probe_move(&mut self, slot: usize, dst: usize) -> f64 {
+        let src = self.assignment[slot];
+        if src == dst {
+            return self.total_objective();
+        }
+        self.apply_move(slot, dst);
+        let obj = self.total_objective();
+        self.apply_move(slot, src);
+        obj
+    }
+}
+
+/// Outcome of a polish run.
+#[derive(Debug, Clone)]
+pub struct PolishReport {
+    pub assignment: Assignment,
+    pub evaluation: Evaluation,
+    pub moves: usize,
+    pub rounds: usize,
+}
+
+/// Deterministic best-move local search over `k` machines.
+pub fn polish(
+    problem: &ConsolidationProblem,
+    start: &Assignment,
+    k: usize,
+    max_rounds: usize,
+) -> PolishReport {
+    assert!(k >= 1);
+    let mut state = SearchState::new(problem, start, k);
+    let n_slots = state.slots.len();
+    let mut moves = 0usize;
+    let mut rounds = 0usize;
+
+    for _ in 0..max_rounds {
+        rounds += 1;
+        let mut improved = false;
+        // Single-slot moves.
+        for slot in 0..n_slots {
+            // Pinned replica-0 slots stay put.
+            let s = state.slots[slot];
+            if s.replica == 0 && problem.workloads[s.workload].pinned.is_some() {
+                continue;
+            }
+            let current = state.total_objective();
+            let src = state.assignment[slot];
+            let mut best = (current, src);
+            for dst in 0..k {
+                if dst == src {
+                    continue;
+                }
+                let obj = state.probe_move(slot, dst);
+                if obj < best.0 - 1e-12 {
+                    best = (obj, dst);
+                }
+            }
+            if best.1 != src {
+                state.apply_move(slot, best.1);
+                moves += 1;
+                improved = true;
+            }
+        }
+        // Machine-merge moves: relocating a whole machine's slots at once
+        // captures the "+1 per server" gain that single moves cannot see
+        // (the first slot moved off a balanced pair looks like a loss).
+        for src in 0..k {
+            let src_slots: Vec<usize> = state.machines[src].slots.clone();
+            if src_slots.is_empty() {
+                continue;
+            }
+            if src_slots.iter().any(|&s| {
+                let slot = state.slots[s];
+                slot.replica == 0 && problem.workloads[slot.workload].pinned.is_some()
+            }) {
+                continue;
+            }
+            let current = state.total_objective();
+            let mut best: Option<(f64, usize)> = None;
+            for dst in 0..k {
+                if dst == src || state.machines[dst].slots.is_empty() {
+                    continue;
+                }
+                for &s in &src_slots {
+                    state.apply_move(s, dst);
+                }
+                let obj = state.total_objective();
+                if obj < current - 1e-12 && best.as_ref().is_none_or(|b| obj < b.0) {
+                    best = Some((obj, dst));
+                }
+                for &s in &src_slots {
+                    state.apply_move(s, src);
+                }
+            }
+            if let Some((_, dst)) = best {
+                for &s in &src_slots {
+                    state.apply_move(s, dst);
+                }
+                moves += src_slots.len();
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+
+    let assignment = Assignment::new(state.assignment.clone());
+    let evaluation = evaluate(problem, &assignment);
+    PolishReport {
+        assignment,
+        evaluation,
+        moves,
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{LinearDiskCombiner, TargetMachine, WorkloadSpec};
+    use std::sync::Arc;
+
+    fn problem(n: usize, cpu_each: f64) -> ConsolidationProblem {
+        let w = (0..n)
+            .map(|i| WorkloadSpec::flat(format!("w{i}"), 3, cpu_each, 2e9, 1e8, 20.0))
+            .collect();
+        ConsolidationProblem::new(
+            w,
+            TargetMachine::paper_target(),
+            n,
+            Arc::new(LinearDiskCombiner::default()),
+        )
+    }
+
+    #[test]
+    fn incremental_objective_matches_full_evaluation() {
+        let p = problem(6, 1.5);
+        let a = Assignment::new(vec![0, 1, 2, 0, 1, 2]);
+        let state = SearchState::new(&p, &a, 3);
+        let full = evaluate(&p, &a);
+        assert!(
+            (state.total_objective() - full.objective).abs() < 1e-9,
+            "incremental {} vs full {}",
+            state.total_objective(),
+            full.objective
+        );
+    }
+
+    #[test]
+    fn incremental_matches_after_moves() {
+        let p = problem(5, 2.0);
+        let a = Assignment::new(vec![0, 1, 2, 3, 4]);
+        let mut state = SearchState::new(&p, &a, 5);
+        state.apply_move(0, 3);
+        state.apply_move(4, 1);
+        let now = Assignment::new(state.assignment.clone());
+        let full = evaluate(&p, &now);
+        assert!((state.total_objective() - full.objective).abs() < 1e-9);
+    }
+
+    #[test]
+    fn polish_consolidates_spread_workloads() {
+        // 6 × 1-core workloads easily fit one 12-core machine.
+        let p = problem(6, 1.0);
+        let spread = Assignment::new(vec![0, 1, 2, 3, 4, 5]);
+        let report = polish(&p, &spread, 6, 50);
+        assert!(report.evaluation.feasible);
+        assert_eq!(report.assignment.machines_used(), 1, "{:?}", report.assignment);
+        assert!(report.moves >= 5);
+    }
+
+    #[test]
+    fn polish_repairs_infeasible_start() {
+        // 4 × 5-core workloads cannot share one 12-core machine 4-up, but
+        // fit pairwise (10 < 0.95 × 12).
+        let p = problem(4, 5.0);
+        let packed = Assignment::new(vec![0, 0, 0, 0]);
+        let report = polish(&p, &packed, 4, 50);
+        assert!(report.evaluation.feasible, "polish must repair violations");
+        assert_eq!(report.assignment.machines_used(), 2);
+    }
+
+    #[test]
+    fn polish_respects_pinning() {
+        let mut p = problem(3, 1.0);
+        p.workloads[1].pinned = Some(2);
+        let start = Assignment::new(vec![0, 2, 0]);
+        let report = polish(&p, &start, 3, 50);
+        assert!(report.evaluation.feasible);
+        assert_eq!(report.assignment.machine_of[1], 2);
+    }
+
+    #[test]
+    fn polish_respects_replica_anti_affinity() {
+        let mut p = problem(2, 1.0);
+        p.workloads[0].replicas = 2; // slots: (0,r0), (0,r1), (1,r0)
+        let start = Assignment::new(vec![0, 0, 1]);
+        let report = polish(&p, &start, 3, 50);
+        assert!(report.evaluation.feasible);
+        assert_ne!(
+            report.assignment.machine_of[0],
+            report.assignment.machine_of[1]
+        );
+    }
+
+    #[test]
+    fn polish_is_deterministic() {
+        let p = problem(8, 2.3);
+        let start = Assignment::new((0..8).collect());
+        let a = polish(&p, &start, 8, 50);
+        let b = polish(&p, &start, 8, 50);
+        assert_eq!(a.assignment, b.assignment);
+    }
+}

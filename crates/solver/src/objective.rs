@@ -1,0 +1,282 @@
+//! Objective function and constraint evaluation (§5, Fig 5).
+//!
+//! `minimize Σ_j signum(used_j) · mean_t e^(load_tj)` where `load_tj` is
+//! the weighted, normalized combined utilization of server `j` in window
+//! `t`. An empty server contributes zero; any used server contributes at
+//! least 1 (since `e^0 = 1`), so with per-server loads normalized to
+//! `[0, 1]` a `k−1`-server solution always scores below any `k`-server
+//! one, and for fixed `k` the convexity of `e^x` makes the balanced
+//! assignment the minimum — exactly the landscape Fig 5 sketches,
+//! including the constraint-violation penalty spike.
+
+use crate::problem::{Assignment, ConsolidationProblem};
+
+/// Per-machine, per-window utilization triple (fractions of capacity).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WindowLoad {
+    pub cpu: f64,
+    pub ram: f64,
+    pub disk: f64,
+}
+
+impl WindowLoad {
+    /// Worst single resource.
+    pub fn max_resource(&self) -> f64 {
+        self.cpu.max(self.ram).max(self.disk)
+    }
+}
+
+/// Full evaluation of an assignment.
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    /// Objective value (penalized if infeasible).
+    pub objective: f64,
+    pub feasible: bool,
+    /// Total constraint excess (0 when feasible).
+    pub violation: f64,
+    pub machines_used: usize,
+    /// Per *used* machine: utilization series (windows long).
+    pub loads: Vec<(usize, Vec<WindowLoad>)>,
+}
+
+/// Scale of the infeasibility penalty — large enough that any feasible
+/// solution beats any infeasible one (Fig 5's spike).
+const PENALTY: f64 = 1e4;
+
+/// Evaluate `assignment` under `problem`.
+pub fn evaluate(problem: &ConsolidationProblem, assignment: &Assignment) -> Evaluation {
+    let slots = problem.slots();
+    assert_eq!(
+        slots.len(),
+        assignment.machine_of.len(),
+        "assignment must cover every placement slot"
+    );
+    let windows = problem.windows;
+    let weights = problem.weights;
+    let wsum = weights.total().max(1e-12);
+    let cap = problem.machine;
+    let headroom = problem.headroom;
+
+    let by_machine = assignment.by_machine();
+    let mut violation = 0.0;
+    let mut objective = 0.0;
+    let mut loads = Vec::with_capacity(by_machine.len());
+
+    // Machine-count constraint.
+    for (&m, _) in by_machine.iter() {
+        if m >= problem.max_machines {
+            violation += 1.0 + (m - problem.max_machines) as f64;
+        }
+    }
+
+    // Replica anti-affinity: two replicas of one workload cannot share a
+    // machine; explicit anti-affinity pairs likewise.
+    for (_, slot_ids) in by_machine.iter() {
+        for (a_pos, &a) in slot_ids.iter().enumerate() {
+            for &b in &slot_ids[a_pos + 1..] {
+                let (sa, sb) = (slots[a], slots[b]);
+                if sa.workload == sb.workload {
+                    violation += 1.0;
+                }
+                if problem
+                    .anti_affinity
+                    .iter()
+                    .any(|&(x, y)| (x, y) == (sa.workload, sb.workload) || (y, x) == (sa.workload, sb.workload))
+                {
+                    violation += 1.0;
+                }
+            }
+        }
+    }
+
+    // Pinning: every replica of a pinned workload's slots... the paper pins
+    // a workload to a node; we interpret it as "replica 0 must sit on the
+    // pinned machine".
+    for (s, slot) in slots.iter().enumerate() {
+        if slot.replica == 0 {
+            if let Some(pin) = problem.workloads[slot.workload].pinned {
+                if assignment.machine_of[s] != pin {
+                    violation += 1.0;
+                }
+            }
+        }
+    }
+
+    // Resource constraints + objective, per used machine.
+    for (&m, slot_ids) in by_machine.iter() {
+        let mut series = Vec::with_capacity(windows);
+        let mut exp_sum = 0.0;
+        for t in 0..windows {
+            let mut cpu = 0.0;
+            let mut ram = 0.0;
+            let mut ws = 0.0;
+            let mut rate = 0.0;
+            for &s in slot_ids {
+                let w = &problem.workloads[slots[s].workload];
+                cpu += w.cpu_at(t);
+                ram += w.ram_at(t);
+                ws += w.ws_at(t);
+                rate += w.rate_at(t);
+            }
+            let load = WindowLoad {
+                cpu: cpu / cap.cpu_cores,
+                ram: ram / cap.ram_bytes,
+                disk: problem.disk.utilization(ws, rate),
+            };
+            for u in [load.cpu, load.ram, load.disk] {
+                if u > headroom {
+                    violation += u - headroom;
+                }
+            }
+            let norm = (weights.cpu * load.cpu + weights.ram * load.ram + weights.disk * load.disk)
+                / wsum;
+            exp_sum += norm.clamp(0.0, 1.0).exp();
+            series.push(load);
+        }
+        objective += exp_sum / windows as f64;
+        loads.push((m, series));
+    }
+
+    let feasible = violation == 0.0;
+    if !feasible {
+        objective += PENALTY * (1.0 + violation);
+    }
+    Evaluation {
+        objective,
+        feasible,
+        violation,
+        machines_used: by_machine.len(),
+        loads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{LinearDiskCombiner, TargetMachine, WorkloadSpec};
+    use std::sync::Arc;
+
+    fn problem(n: usize, cpu_each: f64) -> ConsolidationProblem {
+        let w = (0..n)
+            .map(|i| WorkloadSpec::flat(format!("w{i}"), 3, cpu_each, 1e9, 1e8, 10.0))
+            .collect();
+        ConsolidationProblem::new(
+            w,
+            TargetMachine::paper_target(),
+            n,
+            Arc::new(LinearDiskCombiner::default()),
+        )
+    }
+
+    #[test]
+    fn fewer_machines_always_score_lower() {
+        let p = problem(4, 1.0); // 4 workloads, 1 core each, 12-core target
+        let spread = evaluate(&p, &Assignment::new(vec![0, 1, 2, 3]));
+        let packed2 = evaluate(&p, &Assignment::new(vec![0, 0, 1, 1]));
+        let packed1 = evaluate(&p, &Assignment::new(vec![0, 0, 0, 0]));
+        assert!(spread.feasible && packed2.feasible && packed1.feasible);
+        assert!(packed1.objective < packed2.objective);
+        assert!(packed2.objective < spread.objective);
+        assert_eq!(packed1.machines_used, 1);
+    }
+
+    #[test]
+    fn balanced_beats_unbalanced_at_same_machine_count() {
+        // 4 × 2-core workloads on two machines: 2+2 vs 3+1.
+        let p = problem(4, 2.0);
+        let balanced = evaluate(&p, &Assignment::new(vec![0, 0, 1, 1]));
+        let skewed = evaluate(&p, &Assignment::new(vec![0, 0, 0, 1]));
+        assert!(balanced.feasible && skewed.feasible);
+        assert!(balanced.objective < skewed.objective);
+    }
+
+    #[test]
+    fn cpu_overcommit_is_penalized() {
+        // 3 workloads × 5 cores = 15 > 12×0.95, but a pair (10) fits.
+        let p = problem(3, 5.0);
+        let packed = evaluate(&p, &Assignment::new(vec![0, 0, 0]));
+        assert!(!packed.feasible);
+        assert!(packed.violation > 0.0);
+        let spread = evaluate(&p, &Assignment::new(vec![0, 0, 1]));
+        assert!(spread.feasible);
+        assert!(spread.objective < packed.objective);
+    }
+
+    #[test]
+    fn ram_overcommit_is_penalized() {
+        let mut p = problem(2, 0.5);
+        for w in &mut p.workloads {
+            w.ram = vec![60e9; 3]; // 2 × 60 GB > 96 GB
+        }
+        let packed = evaluate(&p, &Assignment::new(vec![0, 0]));
+        assert!(!packed.feasible);
+    }
+
+    #[test]
+    fn nonlinear_disk_constraint_uses_combined_demand() {
+        struct Saturating;
+        impl crate::problem::DiskCombiner for Saturating {
+            fn utilization(&self, ws: f64, rate: f64) -> f64 {
+                // Saturation rate falls with ws: cap = 1000 - ws/1e7.
+                rate / (1000.0 - ws / 1e7).max(1.0)
+            }
+        }
+        let w = vec![
+            WorkloadSpec::flat("a", 1, 0.1, 1e9, 4e9, 300.0),
+            WorkloadSpec::flat("b", 1, 0.1, 1e9, 4e9, 300.0),
+        ];
+        let p = ConsolidationProblem::new(w, TargetMachine::paper_target(), 2, Arc::new(Saturating));
+        // Each alone: util = 300/(1000-400) = 0.5 — fine.
+        let spread = evaluate(&p, &Assignment::new(vec![0, 1]));
+        assert!(spread.feasible);
+        // Combined: 600/(1000-800) = 3.0 — violates despite linear sum
+        // (600/1000) looking fine. This is the Kairos point.
+        let packed = evaluate(&p, &Assignment::new(vec![0, 0]));
+        assert!(!packed.feasible);
+    }
+
+    #[test]
+    fn replicas_must_not_colocate() {
+        let mut p = problem(1, 1.0);
+        p.workloads[0].replicas = 2;
+        p.max_machines = 2;
+        let together = evaluate(&p, &Assignment::new(vec![0, 0]));
+        assert!(!together.feasible);
+        let apart = evaluate(&p, &Assignment::new(vec![0, 1]));
+        assert!(apart.feasible);
+    }
+
+    #[test]
+    fn pinning_enforced() {
+        let mut p = problem(2, 1.0);
+        p.workloads[0].pinned = Some(1);
+        let wrong = evaluate(&p, &Assignment::new(vec![0, 0]));
+        assert!(!wrong.feasible);
+        let right = evaluate(&p, &Assignment::new(vec![1, 0]));
+        assert!(right.feasible);
+    }
+
+    #[test]
+    fn anti_affinity_enforced() {
+        let p = problem(2, 1.0).with_anti_affinity(vec![(0, 1)]);
+        let together = evaluate(&p, &Assignment::new(vec![0, 0]));
+        assert!(!together.feasible);
+        let apart = evaluate(&p, &Assignment::new(vec![0, 1]));
+        assert!(apart.feasible);
+    }
+
+    #[test]
+    fn machine_index_beyond_max_is_violation() {
+        let p = problem(1, 1.0);
+        let bad = evaluate(&p, &Assignment::new(vec![99]));
+        assert!(!bad.feasible);
+    }
+
+    #[test]
+    fn any_feasible_beats_any_infeasible() {
+        let p = problem(3, 6.0);
+        let feasible_spread = evaluate(&p, &Assignment::new(vec![0, 1, 2]));
+        let infeasible_packed = evaluate(&p, &Assignment::new(vec![0, 0, 0]));
+        assert!(feasible_spread.objective < infeasible_packed.objective);
+    }
+}

@@ -1,0 +1,341 @@
+//! The consolidation problem (§5).
+//!
+//! Inputs: "a list of machines with disk, memory, and CPU capacities, and
+//! a collection of workload profiles specifying the resource utilization
+//! of each resource as a time series sampled at regular intervals", plus
+//! replication counts and pinning.
+//!
+//! Targets are homogeneous (the paper consolidates onto identical
+//! 12-core / 96 GB machines); heterogeneous *sources* are handled upstream
+//! by CPU standardization (§6).
+
+use std::sync::Arc;
+
+/// How disk demands combine on one machine — the non-linear piece the
+/// solver treats as a black box (implemented by `kairos-core` with the
+/// fitted [`kairos_diskmodel::DiskModel`], or by [`LinearDiskCombiner`]
+/// for the naive baseline).
+pub trait DiskCombiner: Send + Sync {
+    /// Utilization of a machine's disk running the combined demand
+    /// (aggregate working set, aggregate update rate); 1.0 = saturated.
+    fn utilization(&self, ws_bytes: f64, rows_per_sec: f64) -> f64;
+}
+
+/// Naive additive disk model: every updated row costs a fixed number of
+/// bytes against a fixed bandwidth — what "summing iostat" assumes.
+#[derive(Debug, Clone)]
+pub struct LinearDiskCombiner {
+    pub bytes_per_row: f64,
+    pub max_write_bytes_per_sec: f64,
+}
+
+impl Default for LinearDiskCombiner {
+    fn default() -> LinearDiskCombiner {
+        LinearDiskCombiner {
+            bytes_per_row: 1200.0,
+            max_write_bytes_per_sec: 25e6,
+        }
+    }
+}
+
+impl DiskCombiner for LinearDiskCombiner {
+    fn utilization(&self, _ws_bytes: f64, rows_per_sec: f64) -> f64 {
+        rows_per_sec * self.bytes_per_row / self.max_write_bytes_per_sec
+    }
+}
+
+/// One workload's resource needs over the planning horizon. All series
+/// share the problem's window count (shorter series read as zero).
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    pub name: String,
+    /// CPU per window, standardized cores.
+    pub cpu: Vec<f64>,
+    /// RAM per window, bytes (gauged working set + overhead).
+    pub ram: Vec<f64>,
+    /// Disk-model working set per window, bytes.
+    pub ws: Vec<f64>,
+    /// Disk-model row-update rate per window, rows/s.
+    pub rate: Vec<f64>,
+    /// Number of replicas to place on distinct machines (`R_i`).
+    pub replicas: u32,
+    /// Machine index this workload (all replicas' primary) must occupy.
+    pub pinned: Option<usize>,
+}
+
+impl WorkloadSpec {
+    /// A constant-load workload over `windows` windows.
+    pub fn flat(
+        name: impl Into<String>,
+        windows: usize,
+        cpu: f64,
+        ram: f64,
+        ws: f64,
+        rate: f64,
+    ) -> WorkloadSpec {
+        WorkloadSpec {
+            name: name.into(),
+            cpu: vec![cpu; windows],
+            ram: vec![ram; windows],
+            ws: vec![ws; windows],
+            rate: vec![rate; windows],
+            replicas: 1,
+            pinned: None,
+        }
+    }
+
+    fn at(series: &[f64], t: usize) -> f64 {
+        series.get(t).copied().unwrap_or(0.0)
+    }
+
+    pub fn cpu_at(&self, t: usize) -> f64 {
+        Self::at(&self.cpu, t)
+    }
+    pub fn ram_at(&self, t: usize) -> f64 {
+        Self::at(&self.ram, t)
+    }
+    pub fn ws_at(&self, t: usize) -> f64 {
+        Self::at(&self.ws, t)
+    }
+    pub fn rate_at(&self, t: usize) -> f64 {
+        Self::at(&self.rate, t)
+    }
+}
+
+/// Homogeneous target-machine capacities.
+#[derive(Debug, Clone, Copy)]
+pub struct TargetMachine {
+    pub cpu_cores: f64,
+    pub ram_bytes: f64,
+}
+
+impl TargetMachine {
+    /// The paper's consolidation target: 12 cores, 96 GB.
+    pub fn paper_target() -> TargetMachine {
+        TargetMachine {
+            cpu_cores: 12.0,
+            ram_bytes: 96.0 * 1024.0 * 1024.0 * 1024.0,
+        }
+    }
+}
+
+/// Relative balancing weights in the objective's linear combination of
+/// resources ("weighting constants on each term", §6).
+#[derive(Debug, Clone, Copy)]
+pub struct ResourceWeights {
+    pub cpu: f64,
+    pub ram: f64,
+    pub disk: f64,
+}
+
+impl Default for ResourceWeights {
+    fn default() -> ResourceWeights {
+        ResourceWeights {
+            cpu: 0.5,
+            ram: 0.25,
+            disk: 0.25,
+        }
+    }
+}
+
+impl ResourceWeights {
+    pub fn total(&self) -> f64 {
+        self.cpu + self.ram + self.disk
+    }
+}
+
+/// The full problem instance.
+#[derive(Clone)]
+pub struct ConsolidationProblem {
+    pub workloads: Vec<WorkloadSpec>,
+    pub machine: TargetMachine,
+    /// Upper bound on machines (typically the source-server count).
+    pub max_machines: usize,
+    /// Utilization ceiling per resource ("can be < 100% to allow for some
+    /// headroom", §5). E.g. 0.9 leaves 10% margin.
+    pub headroom: f64,
+    /// Planning-horizon window count.
+    pub windows: usize,
+    pub weights: ResourceWeights,
+    pub disk: Arc<dyn DiskCombiner>,
+    /// Pairs of workload indices that must not share a machine (beyond
+    /// the implicit replica anti-affinity).
+    pub anti_affinity: Vec<(usize, usize)>,
+}
+
+impl std::fmt::Debug for ConsolidationProblem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConsolidationProblem")
+            .field("workloads", &self.workloads.len())
+            .field("max_machines", &self.max_machines)
+            .field("windows", &self.windows)
+            .field("headroom", &self.headroom)
+            .finish()
+    }
+}
+
+/// A placement slot: one replica of one workload. The solver's decision
+/// variables are slots, not workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Slot {
+    pub workload: usize,
+    pub replica: u32,
+}
+
+impl ConsolidationProblem {
+    pub fn new(
+        workloads: Vec<WorkloadSpec>,
+        machine: TargetMachine,
+        max_machines: usize,
+        disk: Arc<dyn DiskCombiner>,
+    ) -> ConsolidationProblem {
+        assert!(!workloads.is_empty(), "need at least one workload");
+        assert!(max_machines >= 1, "need at least one machine");
+        let windows = workloads
+            .iter()
+            .map(|w| w.cpu.len().max(w.ram.len()).max(w.ws.len()).max(w.rate.len()))
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        ConsolidationProblem {
+            workloads,
+            machine,
+            max_machines,
+            headroom: 0.95,
+            windows,
+            weights: ResourceWeights::default(),
+            disk,
+            anti_affinity: Vec::new(),
+        }
+    }
+
+    pub fn with_headroom(mut self, headroom: f64) -> ConsolidationProblem {
+        assert!((0.0..=1.0).contains(&headroom));
+        self.headroom = headroom;
+        self
+    }
+
+    pub fn with_weights(mut self, weights: ResourceWeights) -> ConsolidationProblem {
+        self.weights = weights;
+        self
+    }
+
+    pub fn with_anti_affinity(mut self, pairs: Vec<(usize, usize)>) -> ConsolidationProblem {
+        self.anti_affinity = pairs;
+        self
+    }
+
+    /// Expand workloads into placement slots (one per replica).
+    pub fn slots(&self) -> Vec<Slot> {
+        let mut out = Vec::new();
+        for (i, w) in self.workloads.iter().enumerate() {
+            for r in 0..w.replicas.max(1) {
+                out.push(Slot {
+                    workload: i,
+                    replica: r,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// An assignment of slots to machines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    /// `machine_of[slot_index]` = machine index.
+    pub machine_of: Vec<usize>,
+}
+
+impl Assignment {
+    pub fn new(machine_of: Vec<usize>) -> Assignment {
+        Assignment { machine_of }
+    }
+
+    /// Number of distinct machines used.
+    pub fn machines_used(&self) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        for &m in &self.machine_of {
+            seen.insert(m);
+        }
+        seen.len()
+    }
+
+    /// Indices of slots on each machine, keyed by machine id actually used.
+    pub fn by_machine(&self) -> std::collections::BTreeMap<usize, Vec<usize>> {
+        let mut map: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+        for (s, &m) in self.machine_of.iter().enumerate() {
+            map.entry(m).or_default().push(s);
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_problem() -> ConsolidationProblem {
+        let w = vec![
+            WorkloadSpec::flat("a", 4, 1.0, 1e9, 5e8, 100.0),
+            WorkloadSpec::flat("b", 4, 2.0, 2e9, 5e8, 200.0),
+        ];
+        ConsolidationProblem::new(
+            w,
+            TargetMachine::paper_target(),
+            4,
+            Arc::new(LinearDiskCombiner::default()),
+        )
+    }
+
+    #[test]
+    fn windows_derived_from_longest_series() {
+        let p = tiny_problem();
+        assert_eq!(p.windows, 4);
+    }
+
+    #[test]
+    fn slots_expand_replicas() {
+        let mut p = tiny_problem();
+        p.workloads[1].replicas = 3;
+        let slots = p.slots();
+        assert_eq!(slots.len(), 4);
+        assert_eq!(slots[1], Slot { workload: 1, replica: 0 });
+        assert_eq!(slots[3], Slot { workload: 1, replica: 2 });
+    }
+
+    #[test]
+    fn series_out_of_range_reads_zero() {
+        let w = WorkloadSpec::flat("a", 2, 1.0, 1e9, 5e8, 10.0);
+        assert_eq!(w.cpu_at(1), 1.0);
+        assert_eq!(w.cpu_at(99), 0.0);
+    }
+
+    #[test]
+    fn assignment_counts_machines() {
+        let a = Assignment::new(vec![0, 0, 2, 2, 2]);
+        assert_eq!(a.machines_used(), 2);
+        let by = a.by_machine();
+        assert_eq!(by[&0], vec![0, 1]);
+        assert_eq!(by[&2], vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn linear_disk_is_additive_in_rate() {
+        let d = LinearDiskCombiner::default();
+        let u1 = d.utilization(1e9, 1000.0);
+        let u2 = d.utilization(2e9, 2000.0);
+        assert!((u2 - 2.0 * u1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one workload")]
+    fn empty_problem_rejected() {
+        ConsolidationProblem::new(
+            vec![],
+            TargetMachine::paper_target(),
+            1,
+            Arc::new(LinearDiskCombiner::default()),
+        );
+    }
+}

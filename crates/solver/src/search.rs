@@ -1,0 +1,365 @@
+//! The full consolidation search (§6): bound K, binary-search the minimum
+//! feasible K′, then solve at K′ with a generous budget and polish.
+//!
+//! "Since upper and lower bounds are typically not too far apart, we can
+//! binary search to determine the lowest value K′ of K that leads to a
+//! viable solution. [...] We then re-run the solver, giving it a maximum
+//! of K′ servers [...]. Limiting the number of possible servers reduces
+//! the number of variables, and thus explores a much smaller solution
+//! space."
+
+use crate::bounds::{fractional_lower_bound, identity_assignment, upper_bound};
+use crate::direct::{direct_minimize, DirectConfig};
+use crate::local::polish;
+use crate::objective::{evaluate, Evaluation};
+use crate::problem::{Assignment, ConsolidationProblem};
+use kairos_types::{KairosError, Result};
+
+/// Any objective below this is feasible (the infeasibility penalty floor).
+const FEASIBLE_BELOW: f64 = 1e4;
+
+/// Solver tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct SolverConfig {
+    /// DIRECT evaluations per K-feasibility probe.
+    pub probe_evals: usize,
+    /// DIRECT evaluations for the final K′ solve.
+    pub final_evals: usize,
+    /// DIRECT ε (local/global balance).
+    pub epsilon: f64,
+    /// Local-search rounds after DIRECT (0 disables polish).
+    pub polish_rounds: usize,
+}
+
+impl Default for SolverConfig {
+    fn default() -> SolverConfig {
+        SolverConfig {
+            probe_evals: 1_500,
+            final_evals: 8_000,
+            epsilon: 1e-4,
+            polish_rounds: 60,
+        }
+    }
+}
+
+/// Full solve output.
+#[derive(Debug, Clone)]
+pub struct SolveReport {
+    pub assignment: Assignment,
+    pub evaluation: Evaluation,
+    /// (fractional lower bound, upper bound) before the binary search.
+    pub k_bounds: (usize, usize),
+    /// The minimum feasible K found.
+    pub k_final: usize,
+    /// Objective evaluations consumed in total.
+    pub evals_used: usize,
+    /// K values probed, with feasibility outcomes.
+    pub probes: Vec<(usize, bool)>,
+}
+
+impl SolveReport {
+    /// Consolidation ratio against a reference server count.
+    pub fn consolidation_ratio(&self, reference_servers: usize) -> f64 {
+        reference_servers as f64 / self.assignment.machines_used().max(1) as f64
+    }
+}
+
+/// Decode a DIRECT point into an assignment over `k` machines. Pinned
+/// replica-0 slots are not variables: they sit on their pin.
+pub fn decode(problem: &ConsolidationProblem, k: usize, x: &[f64]) -> Assignment {
+    let slots = problem.slots();
+    let mut machine_of = Vec::with_capacity(slots.len());
+    let mut xi = 0usize;
+    for slot in &slots {
+        let pinned = if slot.replica == 0 {
+            problem.workloads[slot.workload].pinned
+        } else {
+            None
+        };
+        match pinned {
+            Some(p) => machine_of.push(p.min(k - 1)),
+            None => {
+                let v = x[xi].clamp(0.0, 1.0);
+                xi += 1;
+                machine_of.push(((v * k as f64).floor() as usize).min(k - 1));
+            }
+        }
+    }
+    debug_assert_eq!(xi, free_dims(problem));
+    Assignment::new(machine_of)
+}
+
+/// Number of free decision variables (unpinned slots).
+pub fn free_dims(problem: &ConsolidationProblem) -> usize {
+    problem
+        .slots()
+        .iter()
+        .filter(|s| !(s.replica == 0 && problem.workloads[s.workload].pinned.is_some()))
+        .count()
+}
+
+/// Solve at a fixed machine count `k`: DIRECT over the decoded encoding,
+/// then local polish. Returns the best assignment, its evaluation, and
+/// evaluations used.
+pub fn solve_at_k(
+    problem: &ConsolidationProblem,
+    k: usize,
+    evals: usize,
+    epsilon: f64,
+    polish_rounds: usize,
+    stop_on_feasible: bool,
+) -> (Assignment, Evaluation, usize) {
+    assert!(k >= 1);
+    let dims = free_dims(problem).max(1);
+    let cfg = DirectConfig {
+        max_evals: evals,
+        max_iters: usize::MAX,
+        epsilon,
+        stop_below: if stop_on_feasible {
+            Some(FEASIBLE_BELOW)
+        } else {
+            None
+        },
+    };
+    let result = direct_minimize(dims, &cfg, |x| {
+        let a = decode(problem, k, x);
+        evaluate(problem, &a).objective
+    });
+    let direct_best = decode(problem, k, &result.best_x);
+    if polish_rounds > 0 {
+        let polished = polish(problem, &direct_best, k, polish_rounds);
+        (polished.assignment, polished.evaluation, result.evals)
+    } else {
+        let eval = evaluate(problem, &direct_best);
+        (direct_best, eval, result.evals)
+    }
+}
+
+/// The §6-optimized solve: bounds → binary search for K′ → final solve.
+pub fn solve(problem: &ConsolidationProblem, cfg: &SolverConfig) -> Result<SolveReport> {
+    let lower = fractional_lower_bound(problem);
+    let (ub_assignment, mut upper) = upper_bound(problem);
+    let mut best: Option<(Assignment, Evaluation)> = {
+        let eval = evaluate(problem, &ub_assignment);
+        if eval.feasible {
+            Some((ub_assignment, eval))
+        } else {
+            // Even the identity may be infeasible (a single workload too
+            // big for the target machine).
+            let id = identity_assignment(problem);
+            let id_eval = evaluate(problem, &id);
+            if id_eval.feasible {
+                upper = id.machines_used();
+                Some((id, id_eval))
+            } else {
+                None
+            }
+        }
+    };
+    let Some(mut incumbent) = best.take() else {
+        return Err(KairosError::Infeasible(
+            "no feasible assignment exists even without consolidation; \
+             some workload exceeds the target machine"
+                .into(),
+        ));
+    };
+    let mut evals_used = 0usize;
+    let mut probes = Vec::new();
+
+    // Binary search the smallest feasible K in [lower, upper].
+    let (mut lo, mut hi) = (lower, upper.max(lower));
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        let (a, eval, used) = solve_at_k(
+            problem,
+            mid,
+            cfg.probe_evals,
+            cfg.epsilon,
+            cfg.polish_rounds.min(40),
+            true,
+        );
+        evals_used += used;
+        let feasible = eval.feasible;
+        probes.push((mid, feasible));
+        if feasible {
+            if a.machines_used() <= incumbent.0.machines_used()
+                || eval.objective < incumbent.1.objective
+            {
+                incumbent = (a, eval);
+            }
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    let k_final = lo;
+
+    // Final, well-funded solve at K′ with local-search emphasis.
+    let (a, eval, used) = solve_at_k(
+        problem,
+        k_final,
+        cfg.final_evals,
+        cfg.epsilon,
+        cfg.polish_rounds,
+        false,
+    );
+    evals_used += used;
+    if eval.feasible
+        && (eval.objective < incumbent.1.objective
+            || a.machines_used() < incumbent.0.machines_used())
+    {
+        incumbent = (a, eval);
+    }
+
+    let (assignment, evaluation) = incumbent;
+    Ok(SolveReport {
+        assignment,
+        evaluation,
+        k_bounds: (lower, upper),
+        k_final,
+        evals_used,
+        probes,
+    })
+}
+
+/// The unoptimized comparator for §7.5's solver-performance experiment:
+/// a single raw DIRECT run over the full `max_machines` space — no
+/// bounding, no binary search, no local-search polish (the paper's naive
+/// Tomlab/DIRECT application).
+pub fn solve_unbounded(problem: &ConsolidationProblem, cfg: &SolverConfig) -> Result<SolveReport> {
+    let k = problem.max_machines;
+    let (assignment, evaluation, evals_used) =
+        solve_at_k(problem, k, cfg.final_evals, cfg.epsilon, 0, false);
+    if !evaluation.feasible {
+        return Err(KairosError::Infeasible(
+            "unbounded DIRECT run found no feasible assignment".into(),
+        ));
+    }
+    Ok(SolveReport {
+        assignment,
+        evaluation,
+        k_bounds: (1, k),
+        k_final: k,
+        evals_used,
+        probes: Vec::new(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{LinearDiskCombiner, TargetMachine, WorkloadSpec};
+    use std::sync::Arc;
+
+    fn problem(cpus: &[f64]) -> ConsolidationProblem {
+        let w = cpus
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| WorkloadSpec::flat(format!("w{i}"), 3, c, 2e9, 2e8, 50.0))
+            .collect();
+        ConsolidationProblem::new(
+            w,
+            TargetMachine::paper_target(),
+            cpus.len(),
+            Arc::new(LinearDiskCombiner::default()),
+        )
+    }
+
+    #[test]
+    fn decode_maps_unit_interval_to_machines() {
+        let p = problem(&[1.0, 1.0, 1.0]);
+        let a = decode(&p, 3, &[0.0, 0.5, 0.99]);
+        assert_eq!(a.machine_of, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn decode_skips_pinned_slots() {
+        let mut p = problem(&[1.0, 1.0, 1.0]);
+        p.workloads[1].pinned = Some(2);
+        assert_eq!(free_dims(&p), 2);
+        let a = decode(&p, 3, &[0.1, 0.9]);
+        assert_eq!(a.machine_of, vec![0, 2, 2]);
+    }
+
+    #[test]
+    fn solve_consolidates_light_workloads_to_one_machine() {
+        // 8 × 1-core workloads on 12-core targets: K′ = 1.
+        let p = problem(&[1.0; 8]);
+        let report = solve(&p, &SolverConfig::default()).unwrap();
+        assert!(report.evaluation.feasible);
+        assert_eq!(report.assignment.machines_used(), 1);
+        assert_eq!(report.k_final, 1);
+        assert!(report.k_bounds.0 <= report.k_final);
+    }
+
+    #[test]
+    fn solve_matches_fractional_bound_when_tight() {
+        // 6 × 4-core = 24 cores → fractional bound = ceil(24/11.4) = 3.
+        let p = problem(&[4.0; 6]);
+        let report = solve(&p, &SolverConfig::default()).unwrap();
+        assert!(report.evaluation.feasible);
+        assert_eq!(report.k_bounds.0, 3);
+        assert_eq!(report.assignment.machines_used(), 3);
+    }
+
+    #[test]
+    fn solve_balances_across_machines() {
+        // 4 × 5-core workloads: need 2 machines, balanced 2+2.
+        let p = problem(&[5.0; 4]);
+        let report = solve(&p, &SolverConfig::default()).unwrap();
+        assert_eq!(report.assignment.machines_used(), 2);
+        let by = report.assignment.by_machine();
+        for (_, slots) in by {
+            assert_eq!(slots.len(), 2, "expected a 2+2 split");
+        }
+    }
+
+    #[test]
+    fn solve_handles_replication() {
+        let mut p = problem(&[1.0, 1.0]);
+        p.workloads[0].replicas = 2;
+        p.max_machines = 3;
+        let report = solve(&p, &SolverConfig::default()).unwrap();
+        assert!(report.evaluation.feasible);
+        // Replicas on distinct machines forces ≥ 2 machines.
+        assert!(report.assignment.machines_used() >= 2);
+    }
+
+    #[test]
+    fn solve_errors_when_single_workload_cannot_fit() {
+        let p = problem(&[50.0]); // 50 cores > 12-core target
+        let err = solve(&p, &SolverConfig::default()).unwrap_err();
+        assert!(matches!(err, KairosError::Infeasible(_)));
+    }
+
+    #[test]
+    fn bounded_uses_fewer_evals_than_unbounded_for_same_quality() {
+        let p = problem(&[2.0, 3.0, 1.0, 4.0, 2.0, 3.0, 1.5, 2.5]);
+        let cfg = SolverConfig::default();
+        let bounded = solve(&p, &cfg).unwrap();
+        let unbounded = solve_unbounded(&p, &cfg).unwrap();
+        assert!(bounded.evaluation.feasible && unbounded.evaluation.feasible);
+        assert!(
+            bounded.assignment.machines_used() <= unbounded.assignment.machines_used(),
+            "bounded {} vs unbounded {}",
+            bounded.assignment.machines_used(),
+            unbounded.assignment.machines_used()
+        );
+    }
+
+    #[test]
+    fn consolidation_ratio_computed_vs_reference() {
+        let p = problem(&[1.0; 8]);
+        let report = solve(&p, &SolverConfig::default()).unwrap();
+        assert!((report.consolidation_ratio(8) - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solve_is_deterministic() {
+        let p = problem(&[2.0, 3.0, 1.0, 4.0]);
+        let a = solve(&p, &SolverConfig::default()).unwrap();
+        let b = solve(&p, &SolverConfig::default()).unwrap();
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.evals_used, b.evals_used);
+    }
+}

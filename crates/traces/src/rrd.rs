@@ -1,0 +1,292 @@
+//! An rrdtool-style round-robin time-series store.
+//!
+//! §7.1: "The statistics were stored in the rrdtool format, used by open
+//! source monitoring tools such as Cacti, Ganglia, and Munin [...] CPU,
+//! RAM, and disk I/O numbers as reported by Linux, averaged over different
+//! time intervals — ranging from every 15 seconds for the last hour to
+//! every 24 hours for the last year."
+//!
+//! A [`Rrd`] holds several fixed-capacity archives at coarsening
+//! resolutions; pushing a base-resolution sample updates them all through
+//! their consolidation functions.
+
+use kairos_types::TimeSeries;
+
+/// Consolidation function applied when folding base samples into a
+/// coarser archive bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Consolidation {
+    Average,
+    Max,
+    Min,
+}
+
+/// Declares one archive: every `step` base samples become one stored
+/// point; the archive keeps the most recent `capacity` points.
+#[derive(Debug, Clone, Copy)]
+pub struct ArchiveSpec {
+    pub step: usize,
+    pub capacity: usize,
+    pub cf: Consolidation,
+}
+
+#[derive(Debug, Clone)]
+struct Archive {
+    spec: ArchiveSpec,
+    /// Ring of consolidated points (oldest first after unrolling).
+    ring: std::collections::VecDeque<f64>,
+    /// Accumulator over the current (incomplete) bucket.
+    acc: f64,
+    acc_n: usize,
+}
+
+impl Archive {
+    fn new(spec: ArchiveSpec) -> Archive {
+        assert!(spec.step >= 1 && spec.capacity >= 1);
+        Archive {
+            spec,
+            ring: std::collections::VecDeque::with_capacity(spec.capacity),
+            acc: initial_acc(spec.cf),
+            acc_n: 0,
+        }
+    }
+
+    fn push(&mut self, v: f64) {
+        match self.spec.cf {
+            Consolidation::Average => self.acc += v,
+            Consolidation::Max => self.acc = self.acc.max(v),
+            Consolidation::Min => self.acc = self.acc.min(v),
+        }
+        self.acc_n += 1;
+        if self.acc_n == self.spec.step {
+            let point = match self.spec.cf {
+                Consolidation::Average => self.acc / self.spec.step as f64,
+                _ => self.acc,
+            };
+            if self.ring.len() == self.spec.capacity {
+                self.ring.pop_front();
+            }
+            self.ring.push_back(point);
+            self.acc = initial_acc(self.spec.cf);
+            self.acc_n = 0;
+        }
+    }
+}
+
+fn initial_acc(cf: Consolidation) -> f64 {
+    match cf {
+        Consolidation::Average => 0.0,
+        Consolidation::Max => f64::NEG_INFINITY,
+        Consolidation::Min => f64::INFINITY,
+    }
+}
+
+/// The multi-archive store.
+#[derive(Debug, Clone)]
+pub struct Rrd {
+    base_interval_secs: f64,
+    archives: Vec<Archive>,
+    samples_pushed: u64,
+}
+
+impl Rrd {
+    /// Create with a base sampling interval and archive layout.
+    ///
+    /// # Panics
+    /// Panics if no archives are declared.
+    pub fn new(base_interval_secs: f64, specs: Vec<ArchiveSpec>) -> Rrd {
+        assert!(base_interval_secs > 0.0);
+        assert!(!specs.is_empty(), "need at least one archive");
+        Rrd {
+            base_interval_secs,
+            archives: specs.into_iter().map(Archive::new).collect(),
+            samples_pushed: 0,
+        }
+    }
+
+    /// A paper-like layout on a 5-minute base: 5-min averages for a day,
+    /// hourly for two weeks, daily maxima for a year.
+    pub fn monitoring_default() -> Rrd {
+        Rrd::new(
+            300.0,
+            vec![
+                ArchiveSpec {
+                    step: 1,
+                    capacity: 288,
+                    cf: Consolidation::Average,
+                },
+                ArchiveSpec {
+                    step: 12,
+                    capacity: 336,
+                    cf: Consolidation::Average,
+                },
+                ArchiveSpec {
+                    step: 288,
+                    capacity: 365,
+                    cf: Consolidation::Max,
+                },
+            ],
+        )
+    }
+
+    pub fn base_interval_secs(&self) -> f64 {
+        self.base_interval_secs
+    }
+
+    pub fn archives(&self) -> usize {
+        self.archives.len()
+    }
+
+    pub fn samples_pushed(&self) -> u64 {
+        self.samples_pushed
+    }
+
+    /// Push one base-resolution sample into every archive.
+    pub fn push(&mut self, v: f64) {
+        for a in &mut self.archives {
+            a.push(v);
+        }
+        self.samples_pushed += 1;
+    }
+
+    /// Materialize archive `idx` as a [`TimeSeries`] (oldest first;
+    /// incomplete buckets excluded).
+    pub fn series(&self, idx: usize) -> TimeSeries {
+        let a = &self.archives[idx];
+        TimeSeries::new(
+            self.base_interval_secs * a.spec.step as f64,
+            a.ring.iter().copied().collect(),
+        )
+    }
+
+    /// The finest archive that still covers `duration_secs` of history —
+    /// "the best compromise between length of observation and sampling
+    /// rates" (§7.1).
+    pub fn best_series_covering(&self, duration_secs: f64) -> TimeSeries {
+        let mut best: Option<usize> = None;
+        for (i, a) in self.archives.iter().enumerate() {
+            let span =
+                self.base_interval_secs * a.spec.step as f64 * a.ring.len().max(1) as f64;
+            let covers = span >= duration_secs;
+            let finer = |j: usize| self.archives[j].spec.step;
+            if covers && best.is_none_or(|b| a.spec.step < finer(b)) {
+                best = Some(i);
+            }
+        }
+        // Fall back to the coarsest archive when nothing covers fully.
+        let idx = best.unwrap_or_else(|| {
+            (0..self.archives.len())
+                .max_by_key(|&i| self.archives[i].spec.step)
+                .expect("non-empty archives")
+        });
+        self.series(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn avg_archive(step: usize, capacity: usize) -> ArchiveSpec {
+        ArchiveSpec {
+            step,
+            capacity,
+            cf: Consolidation::Average,
+        }
+    }
+
+    #[test]
+    fn base_archive_stores_raw_samples() {
+        let mut rrd = Rrd::new(1.0, vec![avg_archive(1, 5)]);
+        for i in 0..3 {
+            rrd.push(i as f64);
+        }
+        assert_eq!(rrd.series(0).values(), &[0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn ring_drops_oldest_when_full() {
+        let mut rrd = Rrd::new(1.0, vec![avg_archive(1, 3)]);
+        for i in 0..5 {
+            rrd.push(i as f64);
+        }
+        assert_eq!(rrd.series(0).values(), &[2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn average_consolidation() {
+        let mut rrd = Rrd::new(1.0, vec![avg_archive(4, 10)]);
+        for v in [1.0, 2.0, 3.0, 4.0, 10.0, 10.0] {
+            rrd.push(v);
+        }
+        // One complete bucket (mean 2.5); the 10s are still accumulating.
+        assert_eq!(rrd.series(0).values(), &[2.5]);
+        assert_eq!(rrd.series(0).interval_secs(), 4.0);
+    }
+
+    #[test]
+    fn max_consolidation() {
+        let mut rrd = Rrd::new(
+            1.0,
+            vec![ArchiveSpec {
+                step: 3,
+                capacity: 4,
+                cf: Consolidation::Max,
+            }],
+        );
+        for v in [1.0, 5.0, 2.0, 0.0, 0.5, 0.25] {
+            rrd.push(v);
+        }
+        assert_eq!(rrd.series(0).values(), &[5.0, 0.5]);
+    }
+
+    #[test]
+    fn min_consolidation() {
+        let mut rrd = Rrd::new(
+            1.0,
+            vec![ArchiveSpec {
+                step: 2,
+                capacity: 4,
+                cf: Consolidation::Min,
+            }],
+        );
+        for v in [3.0, 1.0, 8.0, 9.0] {
+            rrd.push(v);
+        }
+        assert_eq!(rrd.series(0).values(), &[1.0, 8.0]);
+    }
+
+    #[test]
+    fn multiple_archives_consistent() {
+        let mut rrd = Rrd::new(1.0, vec![avg_archive(1, 100), avg_archive(10, 10)]);
+        for i in 0..100 {
+            rrd.push(i as f64);
+        }
+        let fine = rrd.series(0);
+        let coarse = rrd.series(1);
+        assert_eq!(fine.len(), 100);
+        assert_eq!(coarse.len(), 10);
+        // Consolidation preserves the overall mean.
+        assert!((fine.mean() - coarse.mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn best_series_prefers_finest_covering() {
+        let mut rrd = Rrd::new(1.0, vec![avg_archive(1, 10), avg_archive(5, 100)]);
+        for i in 0..200 {
+            rrd.push(i as f64);
+        }
+        // 10 s of fine history vs 500 s of coarse history.
+        assert_eq!(rrd.best_series_covering(8.0).interval_secs(), 1.0);
+        assert_eq!(rrd.best_series_covering(50.0).interval_secs(), 5.0);
+        // Nothing covers a year: fall back to coarsest.
+        assert_eq!(rrd.best_series_covering(1e7).interval_secs(), 5.0);
+    }
+
+    #[test]
+    fn monitoring_default_layout() {
+        let rrd = Rrd::monitoring_default();
+        assert_eq!(rrd.archives(), 3);
+        assert_eq!(rrd.base_interval_secs(), 300.0);
+    }
+}

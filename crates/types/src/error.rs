@@ -1,0 +1,51 @@
+//! Error type shared across the workspace.
+
+/// Unified error for Kairos operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KairosError {
+    /// The consolidation problem admits no feasible assignment (e.g. one
+    /// workload alone exceeds every machine's capacity).
+    Infeasible(String),
+    /// A model was asked to extrapolate outside its calibrated domain.
+    OutOfDomain(String),
+    /// Malformed input (empty profile set, inconsistent sampling, ...).
+    InvalidInput(String),
+    /// A numeric routine failed to converge (singular fit, ...).
+    Numerical(String),
+    /// Simulated SQL-level failure (unknown table, ...).
+    Sql(String),
+}
+
+impl std::fmt::Display for KairosError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KairosError::Infeasible(m) => write!(f, "infeasible: {m}"),
+            KairosError::OutOfDomain(m) => write!(f, "out of model domain: {m}"),
+            KairosError::InvalidInput(m) => write!(f, "invalid input: {m}"),
+            KairosError::Numerical(m) => write!(f, "numerical failure: {m}"),
+            KairosError::Sql(m) => write!(f, "sql error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for KairosError {}
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, KairosError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = KairosError::Infeasible("needs 3 machines, have 2".into());
+        assert!(e.to_string().contains("needs 3 machines"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&KairosError::Numerical("singular".into()));
+    }
+}

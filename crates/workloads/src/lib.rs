@@ -1,0 +1,109 @@
+//! # kairos-workloads — benchmark workload generators
+//!
+//! The three workload families of §7.1, generating [`kairos_dbsim::OpBatch`]
+//! streams against the simulated DBMS:
+//!
+//! * [`tpcc::TpccWorkload`] — a TPC-C-like OLTP mix scaled by warehouse
+//!   count (the paper's primary controlled workload and the basis of its
+//!   disk profiling tool);
+//! * [`wikipedia::WikipediaWorkload`] — a Wikipedia-like read-mostly mix
+//!   (92 % reads / 8 % writes, heavy-tailed article sizes);
+//! * [`synthetic::SyntheticWorkload`] — the fully-controllable
+//!   micro-benchmark (explicit working set, select/update rates, CPU cost,
+//!   and a time-varying [`patterns::RatePattern`]).
+//!
+//! A [`driver::Driver`] binds workloads to DBMS instances on a
+//! [`kairos_dbsim::Host`] and runs the simulation, collecting per-workload
+//! throughput and latency — the measurements behind Tables 1–2 and
+//! Figures 10–11.
+
+pub mod driver;
+pub mod patterns;
+pub mod profile_load;
+pub mod synthetic;
+pub mod tpcc;
+pub mod wikipedia;
+
+pub use driver::{Binding, Driver, WorkloadRunStats};
+pub use patterns::RatePattern;
+pub use profile_load::ProfileLoad;
+pub use synthetic::{synthetic_suite, SyntheticSpec, SyntheticWorkload};
+pub use tpcc::{TpccTxnProfile, TpccWorkload};
+pub use wikipedia::WikipediaWorkload;
+
+use kairos_dbsim::{DatabaseId, DbmsInstance, OpBatch, TableId};
+use kairos_types::Bytes;
+
+/// Everything a workload needs to address its objects inside an instance.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadHandle {
+    pub db: DatabaseId,
+    /// Main data table (reads + updates target its working-set prefix).
+    pub table: TableId,
+    /// Append-only table for inserts (TPC-C history, Wikipedia revisions).
+    pub append_table: Option<TableId>,
+    /// Working-set size in pages of the main table.
+    pub ws_pages: u64,
+}
+
+/// A workload generator: installs its schema into a [`DbmsInstance`] and
+/// produces one [`OpBatch`] per tick.
+pub trait Workload {
+    /// Short, stable name for reports.
+    fn name(&self) -> &str;
+
+    /// Create database/tables, load data, and warm the buffer pool.
+    fn install(&mut self, inst: &mut DbmsInstance) -> WorkloadHandle;
+
+    /// Offered work for the tick `[now, now+dt)`.
+    fn batch(&mut self, handle: &WorkloadHandle, now: f64, dt: f64) -> OpBatch;
+
+    /// Nominal working-set size (what gauging should discover).
+    fn working_set(&self) -> Bytes;
+
+    /// Time-averaged offered rate in transactions/second.
+    fn mean_rate(&self) -> f64;
+}
+
+/// Fractional transaction carry: converts a continuous rate into per-tick
+/// transaction counts without losing sub-tick fractions.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TxnCarry {
+    carry: f64,
+}
+
+impl TxnCarry {
+    /// Whole transactions to issue this tick for `rate` tps over `dt`.
+    pub fn take(&mut self, rate: f64, dt: f64) -> f64 {
+        let exact = rate * dt + self.carry;
+        let whole = exact.floor();
+        self.carry = exact - whole;
+        whole
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn txn_carry_conserves_rate() {
+        let mut c = TxnCarry::default();
+        let mut total = 0.0;
+        for _ in 0..1000 {
+            total += c.take(3.7, 0.1);
+        }
+        // 3.7 tps * 100 s = 370 txns.
+        assert!((total - 370.0).abs() <= 1.0, "got {total}");
+    }
+
+    #[test]
+    fn txn_carry_handles_sub_tick_rates() {
+        let mut c = TxnCarry::default();
+        let mut total = 0.0;
+        for _ in 0..100 {
+            total += c.take(0.05, 0.1); // one txn per 200 s
+        }
+        assert!(total <= 1.0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Build the empirical disk model (§4.1 / Fig 4) for a machine
+//! configuration and query it.
+//!
+//! ```text
+//! cargo run --release --example profile_disk
+//! ```
+
+use kairos::diskmodel::{run_profiler, DiskModel, ProfilerConfig};
+use kairos::types::{Bytes, DiskDemand, Rate};
+
+fn main() {
+    // A compact sweep (the full tool uses a denser grid, offline, per
+    // hardware configuration — the paper's took ~2 hours on metal).
+    let cfg = ProfilerConfig {
+        ws_points: vec![
+            Bytes::mib(512),
+            Bytes::mib(1024),
+            Bytes::mib(2048),
+            Bytes::mib(3072),
+        ],
+        rate_points: vec![2_000.0, 8_000.0, 16_000.0, 28_000.0, 45_000.0],
+        settle_secs: 25.0,
+        measure_secs: 10.0,
+        log_capacity_bytes: Some(128.0 * 1024.0 * 1024.0),
+        ..ProfilerConfig::paper_like()
+    };
+    println!(
+        "profiling {} points on {} ...",
+        cfg.ws_points.len() * cfg.rate_points.len(),
+        cfg.machine.name
+    );
+    let profile = run_profiler(&cfg);
+    println!("{}", profile.to_csv());
+
+    let model = DiskModel::fit(&profile).expect("enough unsaturated points");
+    for ws_mib in [512u64, 1024, 2048, 3072] {
+        let ws = Bytes::mib(ws_mib);
+        println!(
+            "ws {:>5} MiB: saturation {:>7.0} rows/s; at half-rate the disk writes {:.1} MB/s",
+            ws_mib,
+            model.saturation_rate(ws),
+            model.predict_write_bytes(DiskDemand::new(ws, Rate(model.saturation_rate(ws) / 2.0)))
+                / 1e6,
+        );
+    }
+
+    // The combination property: two tenants = one equivalent tenant.
+    let a = DiskDemand::new(Bytes::mib(512), Rate(3_000.0));
+    let b = DiskDemand::new(Bytes::mib(1024), Rate(6_000.0));
+    println!(
+        "tenant A + tenant B -> combined predicted write rate {:.1} MB/s",
+        model.predict_write_bytes(a.combine(b)) / 1e6
+    );
+}

@@ -1,0 +1,48 @@
+//! # Kairos — workload-aware database monitoring and consolidation
+//!
+//! A from-scratch Rust reproduction of *Curino, Jones, Madden,
+//! Balakrishnan: "Workload-Aware Database Monitoring and Consolidation",
+//! SIGMOD 2011* — the Kairos system — including every substrate the paper
+//! depends on (a DBMS/host simulator, workload generators, an rrd-style
+//! monitoring store, a DIRECT global optimizer) and a harness regenerating
+//! every table and figure of its evaluation.
+//!
+//! This facade crate re-exports the workspace so examples and integration
+//! tests can span crates:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`types`] | `kairos-types` | units, time series, machine specs, profiles |
+//! | [`dbsim`] | `kairos-dbsim` | buffer pool, WAL, flusher, disk/CPU devices, hosts |
+//! | [`workloads`] | `kairos-workloads` | TPC-C-like, Wikipedia-like, synthetic generators |
+//! | [`monitor`] | `kairos-monitor` | resource monitor + buffer-pool gauging |
+//! | [`diskmodel`] | `kairos-diskmodel` | empirical disk profiler + LAR polynomial fit |
+//! | [`solver`] | `kairos-solver` | DIRECT, greedy baseline, fractional bound |
+//! | [`traces`] | `kairos-traces` | rrd store + synthetic production fleets |
+//! | [`vmsim`] | `kairos-vmsim` | DB-in-VM / DB-per-process baselines |
+//! | [`core`] | `kairos-core` | combined-load estimator + consolidation engine |
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs`; the short version:
+//!
+//! ```
+//! use kairos::core::prelude::*;
+//!
+//! // Profile a small fleet (here: synthetic flat profiles)…
+//! let profiles = demo_profiles();
+//! // …and ask Kairos for a consolidation plan onto 12-core/96 GB targets.
+//! let engine = ConsolidationEngine::builder().build();
+//! let plan = engine.consolidate(&profiles).expect("feasible");
+//! assert!(plan.machines_used() <= profiles.len());
+//! ```
+
+pub use kairos_core as core;
+pub use kairos_dbsim as dbsim;
+pub use kairos_diskmodel as diskmodel;
+pub use kairos_monitor as monitor;
+pub use kairos_solver as solver;
+pub use kairos_traces as traces;
+pub use kairos_types as types;
+pub use kairos_vmsim as vmsim;
+pub use kairos_workloads as workloads;

@@ -1,0 +1,159 @@
+//! Cross-crate integration tests: the full Kairos loop — monitor on the
+//! simulated deployment, gauge, model, plan, verify — spanning every
+//! workspace crate through the facade.
+
+use kairos::core::prelude::*;
+use kairos::core::PlanStrategy;
+use kairos::solver::{evaluate, fractional_lower_bound};
+use kairos::traces::{generate_fleet, Dataset, FleetConfig};
+use kairos::types::WorkloadProfile;
+use kairos::workloads::{RatePattern, SyntheticSpec, SyntheticWorkload, Workload};
+
+fn tiny_workload(name: &str, tps: f64) -> Box<dyn Workload> {
+    Box::new(SyntheticWorkload::new(SyntheticSpec::balanced(
+        name,
+        Bytes::mib(48),
+        RatePattern::Flat { tps },
+    )))
+}
+
+#[test]
+fn observe_plan_verify_round_trip() {
+    // Observe two light workloads on dedicated servers, plan, then verify
+    // co-location preserves throughput (the Table 1 "recommended" path).
+    let pipeline = Kairos::new(PipelineConfig {
+        source_buffer_pool: Bytes::mib(512),
+        target_buffer_pool: Bytes::gib(2),
+        observe_secs: 20.0,
+        warmup_secs: 10.0,
+        monitor_interval_secs: 5.0,
+        gauge: true,
+        ..Default::default()
+    });
+    let engine = ConsolidationEngine::builder().build();
+    let (observations, plan) = pipeline
+        .plan(
+            &engine,
+            vec![tiny_workload("a", 40.0), tiny_workload("b", 25.0)],
+        )
+        .expect("feasible plan");
+
+    assert_eq!(plan.machines_used(), 1, "two tiny tenants share one box");
+    // Gauging found working sets far below the 512 MiB pool.
+    for obs in &observations {
+        let gauged = obs.gauged_working_set.expect("gauging ran");
+        assert!(gauged < Bytes::mib(200), "gauged {gauged}");
+    }
+
+    let verified = pipeline.verify_colocated(
+        vec![tiny_workload("a", 40.0), tiny_workload("b", 25.0)],
+        20.0,
+    );
+    let total_before: f64 = observations.iter().map(|o| o.standalone_tps).sum();
+    let total_after: f64 = verified.iter().map(|v| v.tps).sum();
+    assert!(
+        (total_after - total_before).abs() / total_before < 0.05,
+        "consolidation must preserve throughput: {total_before} -> {total_after}"
+    );
+}
+
+#[test]
+fn fleet_consolidation_beats_greedy_and_respects_bound() {
+    let cfg = FleetConfig {
+        weeks: 1,
+        ..Default::default()
+    };
+    let fleet = generate_fleet(Dataset::Wikia, &cfg);
+    let profiles: Vec<WorkloadProfile> = fleet.iter().map(|s| s.to_profile(0.7)).collect();
+    let engine = ConsolidationEngine::builder().build();
+
+    let kairos = engine
+        .consolidate_with(&profiles, PlanStrategy::Kairos)
+        .expect("kairos plan");
+    assert!(kairos.report.evaluation.feasible);
+
+    let bound = engine.fractional_bound(&profiles).unwrap();
+    assert!(
+        kairos.machines_used() >= bound,
+        "integer solution cannot beat the fractional bound"
+    );
+    assert!(
+        kairos.machines_used() <= bound + 2,
+        "kairos ({}) should track the idealized bound ({bound})",
+        kairos.machines_used()
+    );
+
+    if let Ok(greedy) = engine.consolidate_with(&profiles, PlanStrategy::Greedy) {
+        assert!(kairos.machines_used() <= greedy.machines_used());
+    }
+
+    // Consolidation ratio in a sane band for this fleet.
+    let ratio = kairos.consolidation_ratio();
+    assert!((4.0..=34.0).contains(&ratio), "ratio {ratio}");
+}
+
+#[test]
+fn plans_are_actually_feasible_when_replayed_against_solver() {
+    // The engine's plan re-evaluated from scratch must still be feasible
+    // (no hidden state between planning and evaluation).
+    let profiles = demo_profiles();
+    let engine = ConsolidationEngine::builder().build();
+    let plan = engine.consolidate(&profiles).unwrap();
+    let problem = engine.problem(&profiles).unwrap();
+    let eval = evaluate(&problem, &plan.report.assignment);
+    assert!(eval.feasible);
+    assert_eq!(eval.machines_used, plan.machines_used());
+    assert!(fractional_lower_bound(&problem) <= plan.machines_used());
+}
+
+#[test]
+fn overloaded_colocation_degrades_as_predicted() {
+    // The Table 1 "not recommended" path: too much update traffic for one
+    // disk. The engine must flag it, and the replay must show degradation.
+    let heavy = |name: &str| -> Box<dyn Workload> {
+        Box::new(SyntheticWorkload::new(SyntheticSpec {
+            rows_updated_per_txn: 30.0,
+            ..SyntheticSpec::balanced(
+                name,
+                Bytes::gib(2),
+                RatePattern::Flat { tps: 400.0 },
+            )
+        }))
+    };
+    let pipeline = Kairos::new(PipelineConfig {
+        source_buffer_pool: Bytes::gib(4),
+        target_buffer_pool: Bytes::gib(12),
+        observe_secs: 20.0,
+        warmup_secs: 15.0,
+        monitor_interval_secs: 5.0,
+        gauge: false,
+        ..Default::default()
+    });
+    let solo = pipeline.observe(heavy("h0"));
+    // Verification must outlast the redo-log fill transient before the
+    // combined load's checkpoint stall shows.
+    let verify = Kairos::new(PipelineConfig {
+        warmup_secs: 110.0,
+        ..pipeline.config.clone()
+    });
+    let verified = verify.verify_colocated(vec![heavy("h0"), heavy("h1"), heavy("h2")], 60.0);
+    let per_db_after = verified.iter().map(|v| v.tps).sum::<f64>() / 3.0;
+    assert!(
+        per_db_after < solo.standalone_tps * 0.8,
+        "3-way disk contention must cost throughput: solo {} vs colocated {}",
+        solo.standalone_tps,
+        per_db_after
+    );
+}
+
+#[test]
+fn facade_reexports_cover_the_stack() {
+    // Compile-time sanity that the facade exposes each layer.
+    let _ = kairos::types::Bytes::mib(1);
+    let _ = kairos::dbsim::DEFAULT_TICK_SECS;
+    let _ = kairos::workloads::RatePattern::Flat { tps: 1.0 };
+    let _ = kairos::monitor::GaugeParams::default();
+    let _ = kairos::solver::SolverConfig::default();
+    let _ = kairos::traces::FleetConfig::default();
+    let _ = kairos::vmsim::Strategy::ALL;
+}

@@ -1,0 +1,241 @@
+//! Property-based tests (proptest) on the system's core invariants.
+
+use kairos::solver::{
+    evaluate, fractional_lower_bound, greedy_pack, polish, solve, Assignment,
+    ConsolidationProblem, LinearDiskCombiner, SolverConfig, TargetMachine, WorkloadSpec,
+};
+use kairos::types::{Bytes, SplitMix64, TimeSeries};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn arb_problem() -> impl Strategy<Value = ConsolidationProblem> {
+    (2usize..12, 1usize..6, 0u64..1000).prop_map(|(n, windows, seed)| {
+        let mut rng = SplitMix64::new(seed);
+        let workloads: Vec<WorkloadSpec> = (0..n)
+            .map(|i| {
+                let cpu = rng.next_in(0.1, 5.0);
+                let ram = rng.next_in(1e9, 30e9);
+                let ws = ram * 0.3;
+                let rate = rng.next_in(10.0, 2_000.0);
+                WorkloadSpec::flat(format!("w{i}"), windows, cpu, ram, ws, rate)
+            })
+            .collect();
+        ConsolidationProblem::new(
+            workloads,
+            TargetMachine::paper_target(),
+            n,
+            Arc::new(LinearDiskCombiner::default()),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any plan the solver returns satisfies every constraint, and never
+    /// beats the fractional lower bound.
+    #[test]
+    fn solver_output_is_feasible_and_bounded(problem in arb_problem()) {
+        let cfg = SolverConfig {
+            probe_evals: 300,
+            final_evals: 800,
+            polish_rounds: 20,
+            ..Default::default()
+        };
+        if let Ok(report) = solve(&problem, &cfg) {
+            prop_assert!(report.evaluation.feasible);
+            let again = evaluate(&problem, &report.assignment);
+            prop_assert!(again.feasible);
+            prop_assert!(report.assignment.machines_used() >= fractional_lower_bound(&problem));
+            prop_assert_eq!(report.assignment.machine_of.len(), problem.slots().len());
+        }
+    }
+
+    /// Greedy solutions, when produced, are feasible.
+    #[test]
+    fn greedy_output_is_feasible(problem in arb_problem()) {
+        if let Some(g) = greedy_pack(&problem) {
+            prop_assert!(evaluate(&problem, &g.assignment).feasible);
+        }
+    }
+
+    /// Local search never worsens the objective.
+    #[test]
+    fn polish_never_worsens(problem in arb_problem(), seed in 0u64..500) {
+        let slots = problem.slots().len();
+        let k = problem.max_machines;
+        let mut rng = SplitMix64::new(seed);
+        let start = Assignment::new(
+            (0..slots).map(|_| rng.next_range(k as u64) as usize).collect(),
+        );
+        let before = evaluate(&problem, &start).objective;
+        let report = polish(&problem, &start, k, 25);
+        prop_assert!(report.evaluation.objective <= before + 1e-9);
+    }
+
+    /// The exponential objective prefers fewer machines whenever both
+    /// assignments are feasible.
+    #[test]
+    fn fewer_machines_win_when_feasible(n in 2usize..8) {
+        let workloads: Vec<WorkloadSpec> = (0..n)
+            .map(|i| WorkloadSpec::flat(format!("w{i}"), 2, 1.0, 2e9, 5e8, 50.0))
+            .collect();
+        let problem = ConsolidationProblem::new(
+            workloads,
+            TargetMachine::paper_target(),
+            n,
+            Arc::new(LinearDiskCombiner::default()),
+        );
+        let packed = evaluate(&problem, &Assignment::new(vec![0; n]));
+        let spread = evaluate(&problem, &Assignment::new((0..n).collect()));
+        if packed.feasible && spread.feasible {
+            prop_assert!(packed.objective < spread.objective);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Time-series downsampling with AVG conserves the mean on exact
+    /// bucket boundaries.
+    #[test]
+    fn downsample_avg_conserves_mean(
+        vals in proptest::collection::vec(-1e6f64..1e6, 4..64),
+        factor in 1usize..8,
+    ) {
+        let n = (vals.len() / factor) * factor;
+        prop_assume!(n > 0);
+        let ts = TimeSeries::new(1.0, vals[..n].to_vec());
+        let down = ts.downsample_avg(factor);
+        prop_assert!((down.mean() - ts.mean()).abs() < 1e-6);
+    }
+
+    /// MAX consolidation dominates AVG pointwise.
+    #[test]
+    fn downsample_max_dominates_avg(
+        vals in proptest::collection::vec(0f64..1e6, 4..64),
+        factor in 1usize..8,
+    ) {
+        let ts = TimeSeries::new(1.0, vals);
+        let avg = ts.downsample_avg(factor);
+        let max = ts.downsample_max(factor);
+        for (a, m) in avg.values().iter().zip(max.values()) {
+            prop_assert!(m >= a);
+        }
+    }
+
+    /// Percentiles are monotone in p and bracketed by min/max.
+    #[test]
+    fn percentiles_are_monotone(
+        vals in proptest::collection::vec(-1e9f64..1e9, 1..128),
+        p1 in 0f64..100.0,
+        p2 in 0f64..100.0,
+    ) {
+        let ts = TimeSeries::new(1.0, vals);
+        let (lo, hi) = (p1.min(p2), p1.max(p2));
+        prop_assert!(ts.percentile(lo) <= ts.percentile(hi) + 1e-9);
+        prop_assert!(ts.percentile(0.0) >= ts.min() - 1e-9);
+        prop_assert!(ts.percentile(100.0) <= ts.max() + 1e-9);
+    }
+}
+
+mod buffer_pool {
+    use super::*;
+    use kairos::dbsim::{ClockCache, PageId};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The cache never exceeds capacity, never loses dirty pages
+        /// silently (dirty_count matches ground truth), and hits+misses
+        /// equals the access count.
+        #[test]
+        fn clock_cache_invariants(
+            capacity in 1usize..64,
+            ops in proptest::collection::vec((0u64..128, any::<bool>()), 1..256),
+        ) {
+            let mut cache = ClockCache::new(capacity);
+            let mut accesses = 0u64;
+            for (page, dirty) in ops {
+                cache.touch(PageId(page), dirty);
+                accesses += 1;
+                prop_assert!(cache.resident() <= capacity);
+                prop_assert!(cache.dirty_count() <= cache.resident());
+            }
+            let stats = cache.stats();
+            prop_assert_eq!(stats.hits + stats.misses, accesses);
+        }
+
+        /// Flushing each dirty batch eventually cleans everything, and
+        /// batches come out sorted.
+        #[test]
+        fn dirty_batches_are_sorted_and_drain(
+            pages in proptest::collection::vec(0u64..512, 1..128),
+        ) {
+            let mut cache = ClockCache::new(1024);
+            for &p in &pages {
+                cache.touch(PageId(p), true);
+            }
+            let mut total = 0;
+            loop {
+                let batch = cache.take_dirty_batch(7);
+                if batch.is_empty() {
+                    break;
+                }
+                for w in batch.windows(2) {
+                    prop_assert!(w[0] < w[1]);
+                }
+                total += batch.len();
+            }
+            let distinct: std::collections::HashSet<u64> = pages.iter().copied().collect();
+            prop_assert_eq!(total, distinct.len());
+            prop_assert_eq!(cache.dirty_count(), 0);
+        }
+    }
+}
+
+mod disk_model {
+    use super::*;
+    use kairos::diskmodel::{DiskModel, DiskPoint, DiskProfile};
+    use kairos::types::{DiskDemand, Rate};
+
+    fn profile_from_seed(seed: u64) -> DiskProfile {
+        let mut rng = SplitMix64::new(seed);
+        let a = rng.next_in(150.0, 300.0); // log bytes per row
+        let b = rng.next_in(0.0005, 0.003); // ws coupling
+        let mut points = Vec::new();
+        for i in 1..=5 {
+            let ws = i as f64 * 0.6e9;
+            for j in 1..=8 {
+                let rate = j as f64 * 4_000.0;
+                points.push(DiskPoint {
+                    ws_bytes: ws,
+                    rows_per_sec: rate,
+                    write_bytes_per_sec: a * rate + b * ws + rng.next_in(0.0, 1e5),
+                    achieved_fraction: 1.0,
+                });
+            }
+        }
+        DiskProfile { machine: "prop".into(), points }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// For monotone profiles the fitted model predicts monotonically
+        /// in rate and stays within the clamp envelope.
+        #[test]
+        fn model_predicts_monotone_in_rate(seed in 0u64..10_000) {
+            let model = DiskModel::fit(&profile_from_seed(seed)).unwrap();
+            let ws = Bytes(1_500_000_000);
+            let mut prev = 0.0;
+            for j in 1..=6 {
+                let v = model.predict_write_bytes(DiskDemand::new(ws, Rate(j as f64 * 5_000.0)));
+                prop_assert!(v >= prev - 1e5, "rate step {j}: {v} < {prev}");
+                prop_assert!(v.is_finite() && v >= 0.0);
+                prev = v;
+            }
+        }
+    }
+}
