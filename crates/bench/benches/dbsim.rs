@@ -25,7 +25,7 @@ fn bench_clock_cache(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
-            black_box(cache.touch(PageId(i), i % 3 == 0))
+            black_box(cache.touch(PageId(i), i.is_multiple_of(3)))
         })
     });
     c.bench_function("buffer/dirty_batch_1k", |b| {

@@ -49,12 +49,8 @@ fn main() {
             24,
             Arc::new(LinearDiskCombiner::default()),
         );
-        let nonlinear_problem = ConsolidationProblem::new(
-            workloads,
-            TargetMachine::paper_target(),
-            24,
-            truth.clone(),
-        );
+        let nonlinear_problem =
+            ConsolidationProblem::new(workloads, TargetMachine::paper_target(), 24, truth.clone());
 
         let linear = solve(&linear_problem, &cfg).expect("linear plan");
         let nonlinear = solve(&nonlinear_problem, &cfg).expect("nonlinear plan");

@@ -1,0 +1,105 @@
+//! Online-controller loop benchmark: steady-state tick latency and
+//! re-solve latency across the drift scenarios, plus the warm-vs-cold
+//! migration ablation. Emits a JSON baseline on stdout (recorded as
+//! `BENCH_controller.json`) so future PRs have a perf trajectory.
+//!
+//! ```text
+//! cargo run --release -p kairos-bench --bin controller_loop > BENCH_controller.json
+//! KAIROS_QUICK=1 cargo run --release -p kairos-bench --bin controller_loop
+//! ```
+
+use kairos_bench::quick;
+use kairos_controller::{
+    run_scenario, scenario_churn, scenario_diurnal_shift, scenario_flash_crowd,
+    scenario_stationary, ControllerConfig, Scenario, ScenarioReport,
+};
+
+fn config() -> ControllerConfig {
+    ControllerConfig {
+        horizon: 24,
+        check_every: 6,
+        cooldown_ticks: 24,
+        ..ControllerConfig::default()
+    }
+}
+
+fn scenario_json(r: &ScenarioReport) -> String {
+    format!(
+        concat!(
+            "{{\"label\":\"{}\",\"ticks\":{},\"workload_samples\":\"monitoring 300s windows\",",
+            "\"resolves\":{},\"total_moves\":{},\"max_churn\":{:.4},",
+            "\"forced_steps\":{},\"bytes_copied\":{:.0},",
+            "\"initial_machines\":{},\"final_machines\":{},\"final_feasible\":{},",
+            "\"steady_tick_usecs\":{:.2},\"mean_resolve_ms\":{:.3},\"resolve_count\":{}}}"
+        ),
+        r.label,
+        r.ticks,
+        r.resolves,
+        r.total_moves,
+        r.max_churn(),
+        r.forced_steps,
+        r.bytes_copied,
+        r.initial_machines,
+        r.final_machines,
+        r.final_feasible,
+        r.steady_tick_secs * 1e6,
+        r.mean_resolve_secs() * 1e3,
+        r.resolve_secs.len(),
+    )
+}
+
+fn main() {
+    let (n, ticks) = if quick() { (8, 120) } else { (12, 240) };
+    let cfg = config();
+
+    let scenarios: [fn(usize, u64) -> Scenario; 4] = [
+        scenario_stationary,
+        scenario_diurnal_shift,
+        scenario_flash_crowd,
+        scenario_churn,
+    ];
+    let reports: Vec<ScenarioReport> = scenarios
+        .iter()
+        .map(|f| run_scenario(&cfg, f(n, ticks)))
+        .collect();
+
+    // Ablation: flash crowd with the baseline-blind cold solver.
+    let cold_cfg = ControllerConfig {
+        cold_resolves: true,
+        ..cfg
+    };
+    let cold = run_scenario(&cold_cfg, scenario_flash_crowd(n, ticks));
+    let warm = reports
+        .iter()
+        .find(|r| r.label == "flash-crowd")
+        .expect("flash crowd ran");
+
+    let mut out = String::new();
+    out.push_str("{\n  \"bench\": \"controller_loop\",\n");
+    out.push_str(&format!(
+        "  \"config\": {{\"workloads\":{n},\"ticks\":{ticks},\"horizon\":{},\"check_every\":{},\"cooldown_ticks\":{},\"cost_per_move\":{},\"quick\":{}}},\n",
+        cfg.horizon,
+        cfg.check_every,
+        cfg.cooldown_ticks,
+        cfg.cost_per_move,
+        quick()
+    ));
+    out.push_str("  \"scenarios\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(&scenario_json(r));
+        out.push_str(if i + 1 < reports.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"migration_ablation\": {{\"warm_moves\":{},\"cold_moves\":{},\"warm_max_churn\":{:.4},\"cold_max_churn\":{:.4},\"warm_mean_resolve_ms\":{:.3},\"cold_mean_resolve_ms\":{:.3}}}\n",
+        warm.total_moves,
+        cold.total_moves,
+        warm.max_churn(),
+        cold.max_churn(),
+        warm.mean_resolve_secs() * 1e3,
+        cold.mean_resolve_secs() * 1e3,
+    ));
+    out.push_str("}\n");
+    print!("{out}");
+}

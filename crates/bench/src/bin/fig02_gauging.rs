@@ -35,12 +35,7 @@ fn trace_config(label: &str, dbms: DbmsConfig, warehouses: u32, tps: f64) -> Vec
 fn main() {
     section("Figure 2: buffer-pool gauging, TPC-C 5 warehouses");
 
-    let mysql = trace_config(
-        "mysql",
-        DbmsConfig::mysql(Bytes::mib(953)),
-        5,
-        100.0,
-    );
+    let mysql = trace_config("mysql", DbmsConfig::mysql(Bytes::mib(953)), 5, 100.0);
     let postgres = trace_config(
         "postgres",
         DbmsConfig::postgres(Bytes::mib(953), Bytes::mib(1024)),

@@ -91,7 +91,6 @@ fn main() {
                 .skip(2)
                 .map(|r| r[2].parse::<f64>().unwrap_or(f64::MAX))
                 .fold(f64::MAX, f64::min)
-            || true
     );
     println!("constraint-violation spike below K': objective jumps by ~1e4 (penalty)");
 }

@@ -3,7 +3,7 @@
 //! totals, comparing
 //! * `real`      — measured on the actually co-located system,
 //! * `estimate`  — Kairos' combined-load models (gauged RAM, CPU minus
-//!                 per-instance overhead, disk via the fitted model),
+//!   per-instance overhead, disk via the fitted model),
 //! * `baseline`  — straight sums of the standalone OS statistics.
 //!
 //! Expected shape: the estimate hugs the real curve at the loaded end;

@@ -42,7 +42,14 @@ fn main() {
     }
     print_table(
         &[
-            "server", "tenants", "cpu min", "q1", "median", "q3", "cpu max", "ram max %",
+            "server",
+            "tenants",
+            "cpu min",
+            "q1",
+            "median",
+            "q3",
+            "cpu max",
+            "ram max %",
         ],
         &rows,
     );

@@ -13,7 +13,9 @@ fn run_case(label: &str, load: LoadShape) {
         measure_secs: if quick() { 40.0 } else { 120.0 },
         ..ComparisonConfig::fig10(load)
     };
-    section(&format!("Figure 10 ({label}): 20 TPC-C databases, one machine"));
+    section(&format!(
+        "Figure 10 ({label}): 20 TPC-C databases, one machine"
+    ));
     let cons = run_strategy(Strategy::ConsolidatedDbms, &cfg).expect("runnable");
     let vm = run_strategy(Strategy::HardwareVirtualization, &cfg).expect("runnable");
 
@@ -22,8 +24,14 @@ fn run_case(label: &str, load: LoadShape) {
     for t in 0..windows {
         rows.push(vec![
             format!("{:.0}", t as f64 * cfg.series_window_secs),
-            format!("{:.0}", cons.total_tps.values().get(t).copied().unwrap_or(0.0)),
-            format!("{:.0}", vm.total_tps.values().get(t).copied().unwrap_or(0.0)),
+            format!(
+                "{:.0}",
+                cons.total_tps.values().get(t).copied().unwrap_or(0.0)
+            ),
+            format!(
+                "{:.0}",
+                vm.total_tps.values().get(t).copied().unwrap_or(0.0)
+            ),
         ]);
     }
     print_table(&["t (s)", "consolidated tps", "db-in-vm tps"], &rows);

@@ -72,7 +72,12 @@ fn main() {
         }
     }
     print_table(
-        &["target tps/db", "os-virt level", "consolidated level", "advantage"],
+        &[
+            "target tps/db",
+            "os-virt level",
+            "consolidated level",
+            "advantage",
+        ],
         &rows,
     );
     println!("\npaper: 1.9x-3.3x higher consolidation levels for a given target throughput");

@@ -8,7 +8,7 @@ use kairos_bench::{mbps, print_table, quick, section};
 use kairos_dbsim::DbmsConfig;
 use kairos_diskmodel::measure_workload;
 use kairos_types::{Bytes, MachineSpec};
-use kairos_workloads::{ProfileLoad, TpccWorkload, TpccTxnProfile, WikipediaWorkload};
+use kairos_workloads::{ProfileLoad, TpccTxnProfile, TpccWorkload, WikipediaWorkload};
 
 fn main() {
     let machine = MachineSpec::server1();
@@ -65,8 +65,7 @@ fn main() {
         );
         // Wikipedia 100K pages with working set pinned to TPC-C's; its
         // write mix averages ~0.32 rows/txn.
-        let wiki = WikipediaWorkload::new(100, rate / 0.32)
-            .with_working_set(Bytes::mib(18 * 125));
+        let wiki = WikipediaWorkload::new(100, rate / 0.32).with_working_set(Bytes::mib(18 * 125));
         let m_wiki = measure_workload(
             &machine,
             DbmsConfig::mysql(Bytes::gib(4)),

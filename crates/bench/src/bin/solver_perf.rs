@@ -71,7 +71,11 @@ fn main() {
     let mut rows = Vec::new();
 
     // The paper's 45x example dataset: Wikia.
-    bench_case("Wikia", &dataset_profiles(Dataset::Wikia, 0x5EED), &mut rows);
+    bench_case(
+        "Wikia",
+        &dataset_profiles(Dataset::Wikia, 0x5EED),
+        &mut rows,
+    );
     if !quick() {
         bench_case(
             "Wikipedia",

@@ -120,11 +120,8 @@ fn main() {
                 (ws + Bytes::mib(190)).as_f64(),
                 p.windows(),
             );
-            p.disk_working_set_bytes = kairos_types::TimeSeries::constant(
-                p.interval_secs(),
-                ws.as_f64(),
-                p.windows(),
-            );
+            p.disk_working_set_bytes =
+                kairos_types::TimeSeries::constant(p.interval_secs(), ws.as_f64(), p.windows());
             profiles.push(p);
         }
         let recommended = engine.fits_together(&profiles).unwrap_or(false);

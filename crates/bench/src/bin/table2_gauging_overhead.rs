@@ -28,7 +28,11 @@ fn build(pool: Bytes, pages_k: u64, tps: f64) -> (Host, Driver) {
 fn measure_interval(host: &Host, f: impl FnOnce()) -> (f64, f64, f64) {
     let before = host.instance(0).stats();
     f();
-    (before.committed_txns, before.latency_weighted_secs, before.sim_secs)
+    (
+        before.committed_txns,
+        before.latency_weighted_secs,
+        before.sim_secs,
+    )
 }
 
 fn run_without(pool: Bytes, pages_k: u64, tps: f64, secs: f64) -> Measured {

@@ -108,7 +108,9 @@ pub fn fit_wide_disk_model() -> DiskModel {
         }
     } else {
         ProfilerConfig {
-            ws_points: (1..=6).map(|i| Bytes::gib(i * 2) + Bytes::mib(256)).collect(),
+            ws_points: (1..=6)
+                .map(|i| Bytes::gib(i * 2) + Bytes::mib(256))
+                .collect(),
             rate_points: (1..=8).map(|i| i as f64 * 1_800.0).collect(),
             buffer_pool: Bytes::gib(16),
             settle_secs: 60.0,

@@ -1,0 +1,298 @@
+//! Streaming telemetry ingestion.
+//!
+//! Each workload's [`MonitorSample`] stream lands in four parallel
+//! rolling [`Rrd`] stores (CPU cores, RAM bytes, disk working set, disk
+//! row-update rate) with the same multi-resolution layout the paper's
+//! production fleets used (§7.1). The finest archive is the *rolling
+//! window* the drift detector reads; the coarser archives retain history
+//! for forecasting the next planning horizon.
+
+use kairos_monitor::MonitorSample;
+use kairos_traces::{ArchiveSpec, Consolidation, Rrd};
+use kairos_types::{Bytes, TimeSeries, WorkloadProfile};
+use std::collections::BTreeMap;
+
+/// Where live samples come from. Implemented by the simulated pipeline's
+/// observation stage ([`SessionSource`]) and by the synthetic drift
+/// scenarios ([`crate::scenarios::SyntheticSource`]); a production
+/// implementation would poll `SHOW STATUS` / `iostat` like §6 describes.
+pub trait TelemetrySource {
+    /// Stable workload identifier.
+    fn name(&self) -> &str;
+    /// Advance one monitoring interval and report it.
+    fn poll(&mut self) -> MonitorSample;
+}
+
+/// [`kairos_core::ObservationSession`] as a telemetry source: real
+/// (simulated) DBMS instances feeding the controller.
+pub struct SessionSource {
+    session: kairos_core::ObservationSession,
+}
+
+impl SessionSource {
+    pub fn new(session: kairos_core::ObservationSession) -> SessionSource {
+        SessionSource { session }
+    }
+}
+
+impl TelemetrySource for SessionSource {
+    fn name(&self) -> &str {
+        self.session.name()
+    }
+
+    fn poll(&mut self) -> MonitorSample {
+        self.session.step()
+    }
+}
+
+/// Rolling-store layout.
+#[derive(Debug, Clone, Copy)]
+pub struct TelemetryConfig {
+    /// Monitoring interval (seconds of simulated time per sample).
+    pub interval_secs: f64,
+    /// Capacity of the fine (rolling-window) archive, in samples. Must be
+    /// at least the planning horizon so a full live horizon is comparable
+    /// against the planned profile.
+    pub window_capacity: usize,
+    /// Optional gauged working set overriding the OS RAM view (§3.1's
+    /// correction; `None` = fall back to the OS view, as the historical
+    /// datasets force).
+    pub gauged_working_set: Option<Bytes>,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> TelemetryConfig {
+        TelemetryConfig {
+            interval_secs: 300.0,
+            window_capacity: 288,
+            gauged_working_set: None,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    fn layout(&self) -> Vec<ArchiveSpec> {
+        vec![
+            // Fine: the rolling window itself.
+            ArchiveSpec {
+                step: 1,
+                capacity: self.window_capacity,
+                cf: Consolidation::Average,
+            },
+            // Coarse: ~12× consolidation, enough history for horizon
+            // forecasting (mean of past horizons).
+            ArchiveSpec {
+                step: 12,
+                capacity: self.window_capacity,
+                cf: Consolidation::Average,
+            },
+            // Peaks for capacity reviews.
+            ArchiveSpec {
+                step: 12,
+                capacity: self.window_capacity,
+                cf: Consolidation::Max,
+            },
+        ]
+    }
+}
+
+/// One workload's rolling telemetry: the four profile series as RRDs.
+#[derive(Debug, Clone)]
+pub struct WorkloadTelemetry {
+    cfg: TelemetryConfig,
+    cpu: Rrd,
+    /// RAM bytes — also serves as the disk-model working-set series:
+    /// without online gauging the two are the same number (the §6 "RAM
+    /// scaling" fallback), so storing them twice would only double
+    /// ingest cost. A future gauged-ingest path splits them again.
+    ram: Rrd,
+    rate: Rrd,
+    samples_seen: u64,
+}
+
+impl WorkloadTelemetry {
+    pub fn new(cfg: TelemetryConfig) -> WorkloadTelemetry {
+        let mk = || Rrd::new(cfg.interval_secs, cfg.layout());
+        WorkloadTelemetry {
+            cfg,
+            cpu: mk(),
+            ram: mk(),
+            rate: mk(),
+            samples_seen: 0,
+        }
+    }
+
+    /// Fold one monitoring sample into every series.
+    pub fn ingest(&mut self, sample: &MonitorSample) {
+        let ram = match self.cfg.gauged_working_set {
+            Some(g) => g.as_f64(),
+            None => sample.ram_os_view.as_f64(),
+        };
+        self.cpu.push(sample.cpu_cores);
+        self.ram.push(ram);
+        self.rate.push(sample.rows_updated_per_sec);
+        self.samples_seen += 1;
+    }
+
+    /// Total samples ever ingested (drives phase alignment).
+    pub fn samples_seen(&self) -> u64 {
+        self.samples_seen
+    }
+
+    /// Samples currently available in the rolling window.
+    pub fn window_len(&self) -> usize {
+        self.cpu.rolling_len()
+    }
+
+    /// The live profile over the last `windows` samples (fewer if less
+    /// history exists). `None` until at least one sample arrived.
+    pub fn live_profile(&self, name: &str, windows: usize) -> Option<WorkloadProfile> {
+        if self.window_len() == 0 {
+            return None;
+        }
+        Some(WorkloadProfile::new(
+            name,
+            self.cpu.rolling_window(windows),
+            self.ram.rolling_window(windows),
+            self.ram.rolling_window(windows),
+            self.rate.rolling_window(windows),
+        ))
+    }
+
+    /// Long-horizon history per series (fine archive, full capacity) —
+    /// the forecasting input, as `[cpu, ram, working-set, rate]` (the
+    /// working-set series mirrors RAM; see the field note).
+    pub fn history(&self) -> [TimeSeries; 4] {
+        let full = self.cfg.window_capacity;
+        [
+            self.cpu.rolling_window(full),
+            self.ram.rolling_window(full),
+            self.ram.rolling_window(full),
+            self.rate.rolling_window(full),
+        ]
+    }
+}
+
+/// The fleet-wide ingester: name → rolling telemetry.
+#[derive(Debug, Default)]
+pub struct TelemetryIngester {
+    workloads: BTreeMap<String, WorkloadTelemetry>,
+}
+
+impl TelemetryIngester {
+    pub fn new() -> TelemetryIngester {
+        TelemetryIngester::default()
+    }
+
+    /// Register a workload (idempotent).
+    pub fn register(&mut self, name: &str, cfg: TelemetryConfig) {
+        self.workloads
+            .entry(name.to_string())
+            .or_insert_with(|| WorkloadTelemetry::new(cfg));
+    }
+
+    /// Drop a workload's telemetry (tenant left the fleet).
+    pub fn deregister(&mut self, name: &str) {
+        self.workloads.remove(name);
+    }
+
+    /// Ingest one sample for `name`; the workload must be registered.
+    pub fn ingest(&mut self, name: &str, sample: &MonitorSample) {
+        self.workloads
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("ingest for unregistered workload {name}"))
+            .ingest(sample);
+    }
+
+    pub fn get(&self, name: &str) -> Option<&WorkloadTelemetry> {
+        self.workloads.get(name)
+    }
+
+    /// Registered workload names, sorted (the canonical fleet order used
+    /// to build solver problems deterministically).
+    pub fn names(&self) -> Vec<String> {
+        self.workloads.keys().cloned().collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.workloads.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.workloads.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(cpu: f64, ram_mib: u64, rate: f64) -> MonitorSample {
+        MonitorSample {
+            secs: 300.0,
+            cpu_cores: cpu,
+            ram_os_view: Bytes::mib(ram_mib),
+            tps: rate / 2.0,
+            rows_updated_per_sec: rate,
+            reads_per_sec: 0.0,
+            write_bytes_per_sec: rate * 200.0,
+            bp_miss_ratio: 0.0,
+            mean_latency_secs: 0.002,
+        }
+    }
+
+    #[test]
+    fn ingest_builds_live_profile() {
+        let mut t = WorkloadTelemetry::new(TelemetryConfig::default());
+        for i in 0..10 {
+            t.ingest(&sample(0.5 + i as f64 * 0.1, 2048, 100.0));
+        }
+        assert_eq!(t.samples_seen(), 10);
+        let p = t.live_profile("w", 4).expect("profile");
+        assert_eq!(p.windows(), 4);
+        // Last 4 cpu samples: 1.1, 1.2, 1.3, 1.4.
+        assert!((p.cpu_cores.values()[0] - 1.1).abs() < 1e-9);
+        assert!((p.window(3).cpu_cores - 1.4).abs() < 1e-9);
+        assert_eq!(p.window(0).ram, Bytes::mib(2048));
+        assert!((p.window(0).disk.update_rows_per_sec.as_f64() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gauged_working_set_overrides_os_view() {
+        let cfg = TelemetryConfig {
+            gauged_working_set: Some(Bytes::mib(256)),
+            ..Default::default()
+        };
+        let mut t = WorkloadTelemetry::new(cfg);
+        t.ingest(&sample(0.2, 8192, 10.0));
+        let p = t.live_profile("w", 1).unwrap();
+        assert_eq!(p.window(0).ram, Bytes::mib(256));
+        assert_eq!(p.window(0).disk.working_set, Bytes::mib(256));
+    }
+
+    #[test]
+    fn empty_telemetry_has_no_profile() {
+        let t = WorkloadTelemetry::new(TelemetryConfig::default());
+        assert!(t.live_profile("w", 4).is_none());
+    }
+
+    #[test]
+    fn ingester_tracks_fleet_membership() {
+        let mut ing = TelemetryIngester::new();
+        ing.register("b", TelemetryConfig::default());
+        ing.register("a", TelemetryConfig::default());
+        ing.register("a", TelemetryConfig::default()); // idempotent
+        assert_eq!(ing.names(), vec!["a".to_string(), "b".to_string()]);
+        ing.ingest("a", &sample(1.0, 1024, 50.0));
+        assert_eq!(ing.get("a").unwrap().samples_seen(), 1);
+        ing.deregister("b");
+        assert_eq!(ing.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered workload")]
+    fn ingest_unregistered_panics() {
+        let mut ing = TelemetryIngester::new();
+        ing.ingest("ghost", &sample(1.0, 1024, 50.0));
+    }
+}

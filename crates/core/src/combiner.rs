@@ -103,7 +103,13 @@ mod tests {
                 });
             }
         }
-        Arc::new(DiskModel::fit(&DiskProfile { machine: "t".into(), points }).unwrap())
+        Arc::new(
+            DiskModel::fit(&DiskProfile {
+                machine: "t".into(),
+                points,
+            })
+            .unwrap(),
+        )
     }
 
     #[test]

@@ -197,8 +197,7 @@ impl ConsolidationEngine {
             PlanStrategy::Greedy => {
                 let g = greedy_pack(&problem).ok_or_else(|| {
                     KairosError::Infeasible(
-                        "greedy single-resource packing violates cross-resource constraints"
-                            .into(),
+                        "greedy single-resource packing violates cross-resource constraints".into(),
                     )
                 })?;
                 let evaluation = evaluate(&problem, &g.assignment);

@@ -108,8 +108,7 @@ impl CombinedLoadEstimator {
             }
             // Consolidation removes n-1 OS+DBMS copies.
             cpu_sum = (cpu_sum - self.cpu_overhead_per_instance * (n - 1.0)).max(0.0);
-            ram_sum =
-                (ram_sum - self.ram_overhead_per_instance.as_f64() * (n - 1.0)).max(0.0);
+            ram_sum = (ram_sum - self.ram_overhead_per_instance.as_f64() * (n - 1.0)).max(0.0);
             let write = match &self.disk_model {
                 Some(m) => m.predict_write_bytes(d),
                 None => d.update_rows_per_sec.as_f64() * self.baseline_bytes_per_row,
@@ -198,7 +197,10 @@ mod tests {
     #[test]
     fn ram_combines_minus_instance_copies() {
         let est = CombinedLoadEstimator::default();
-        let profiles = vec![profile("a", 0.1, 1000, 500, 1.0), profile("b", 0.1, 1000, 500, 1.0)];
+        let profiles = vec![
+            profile("a", 0.1, 1000, 500, 1.0),
+            profile("b", 0.1, 1000, 500, 1.0),
+        ];
         let combined = est.combine(&profiles);
         let expected = 2.0 * Bytes::mib(1000).as_f64() - Bytes::mib(190).as_f64();
         assert!((combined.ram_bytes.values()[0] - expected).abs() < 1.0);
@@ -207,7 +209,10 @@ mod tests {
     #[test]
     fn disk_demand_aggregates() {
         let est = CombinedLoadEstimator::default();
-        let profiles = vec![profile("a", 0.1, 100, 300, 150.0), profile("b", 0.1, 100, 700, 350.0)];
+        let profiles = vec![
+            profile("a", 0.1, 100, 300, 150.0),
+            profile("b", 0.1, 100, 700, 350.0),
+        ];
         let combined = est.combine(&profiles);
         let d = combined.disk_demand[0];
         assert_eq!(d.working_set, Bytes::mib(1000));
@@ -228,7 +233,10 @@ mod tests {
 
     #[test]
     fn baseline_sums_everything_raw() {
-        let profiles = vec![profile("a", 1.0, 1000, 500, 100.0), profile("b", 1.0, 1000, 500, 100.0)];
+        let profiles = vec![
+            profile("a", 1.0, 1000, 500, 100.0),
+            profile("b", 1.0, 1000, 500, 100.0),
+        ];
         let observed = vec![
             TimeSeries::constant(300.0, 5e6, 4),
             TimeSeries::constant(300.0, 7e6, 4),

@@ -276,7 +276,9 @@ mod tests {
         c.touch(p(2), false);
         let t = c.touch(p(3), false);
         match t {
-            Touch::Miss { evicted: Some((victim, dirty)) } => {
+            Touch::Miss {
+                evicted: Some((victim, dirty)),
+            } => {
                 assert!(victim == p(1) || victim == p(2));
                 assert!(!dirty);
             }

@@ -283,7 +283,13 @@ mod tests {
     #[test]
     fn read_latency_grows_with_utilization() {
         let mut d = dev();
-        let quiet = d.serve(1.0, DiskTickDemand { read_pages: 1.0, ..Default::default() });
+        let quiet = d.serve(
+            1.0,
+            DiskTickDemand {
+                read_pages: 1.0,
+                ..Default::default()
+            },
+        );
         let busy = d.serve(
             1.0,
             DiskTickDemand {
@@ -306,7 +312,6 @@ mod tests {
                 writeback_batch: 4.0,
                 log_bytes: 1000.0,
                 log_forces: 1.0,
-                ..Default::default()
             },
         );
         assert!((d.total_bytes_read() - 10.0 * page).abs() < 1e-6);

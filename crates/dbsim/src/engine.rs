@@ -545,7 +545,7 @@ impl DbmsInstance {
         if prefix == 0 || spec.accesses <= 0.0 {
             return;
         }
-        let m = (spec.accesses.ceil() as usize).min(READ_SAMPLE_CAP).max(1);
+        let m = (spec.accesses.ceil() as usize).clamp(1, READ_SAMPLE_CAP);
         let w = spec.accesses / m as f64;
         for _ in 0..m {
             let idx = self.rng.random_range(0..prefix);
@@ -684,7 +684,11 @@ impl DbmsInstance {
         } else {
             0.0
         };
-        let cpu_per_txn = if total_txns > 0.0 { cpu / total_txns } else { 0.0 };
+        let cpu_per_txn = if total_txns > 0.0 {
+            cpu / total_txns
+        } else {
+            0.0
+        };
         self.pending_tick = Some(PendingTick {
             cpu_demand: cpu,
             offered,
@@ -738,7 +742,8 @@ impl DbmsInstance {
             self.stats.checkpoints += 1.0;
             self.checkpointing = false;
         }
-        self.flusher.observe_disk_utilization(grant.disk_utilization);
+        self.flusher
+            .observe_disk_utilization(grant.disk_utilization);
 
         // Admission: CPU, foreground disk, flush-keepup, and log-reclaim
         // (checkpoint stall) all throttle.
@@ -770,11 +775,9 @@ impl DbmsInstance {
         // Latency: intrinsic floor + CPU service (queue-inflated) + disk
         // reads + group-commit wait + admission backlog.
         let total_offered: f64 = pending.offered.iter().map(|(_, t, _)| *t).sum();
-        let commit_wait = self.wal.commit_wait_secs(if dt > 0.0 {
-            total_offered / dt
-        } else {
-            0.0
-        });
+        let commit_wait =
+            self.wal
+                .commit_wait_secs(if dt > 0.0 { total_offered / dt } else { 0.0 });
         let backlog_penalty = if achieved < 1.0 {
             dt * (1.0 - achieved) / achieved.max(0.05)
         } else {

@@ -86,7 +86,13 @@ impl Flusher {
     ///
     /// `dirty_pages` and `pool_pages` describe the buffer pool;
     /// `log_fill` is the log's fill fraction since the last checkpoint.
-    pub fn decide(&self, dt: f64, dirty_pages: f64, pool_pages: f64, log_fill: f64) -> FlushDecision {
+    pub fn decide(
+        &self,
+        dt: f64,
+        dirty_pages: f64,
+        pool_pages: f64,
+        log_fill: f64,
+    ) -> FlushDecision {
         let cfg = &self.config;
         let dirty_fraction = if pool_pages > 0.0 {
             dirty_pages / pool_pages

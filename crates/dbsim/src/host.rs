@@ -227,7 +227,7 @@ mod tests {
 
     fn tpcc_like_batch(
         inst: &mut DbmsInstance,
-        db: DatabaseId,
+        _db: DatabaseId,
         table: crate::pages::TableId,
         txns: f64,
     ) -> OpBatch {

@@ -2,6 +2,11 @@
 //! systems (≤ 6×6) behind the polynomial fits. Gaussian elimination with
 //! partial pivoting is ample at this scale.
 
+// Index loops here alias rows of the same matrix (elimination reads row
+// `col` while writing row `row`; symmetrization mirrors across the
+// diagonal), which iterator folds cannot express without split borrows.
+#![allow(clippy::needless_range_loop)]
+
 use kairos_types::{KairosError, Result};
 
 /// Solve `A x = b` for square `A` (row-major), destroying neither input.

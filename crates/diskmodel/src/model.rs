@@ -163,11 +163,18 @@ mod tests {
             let sat_rate = 50_000.0 - ws * 6e-6; // falls with ws
             for j in 1..=10 {
                 let rate = j as f64 * 5_000.0;
-                let achieved = if rate <= sat_rate { 1.0 } else { sat_rate / rate };
+                let achieved = if rate <= sat_rate {
+                    1.0
+                } else {
+                    sat_rate / rate
+                };
                 let eff_rate = rate.min(sat_rate);
                 // log + coalesced page writes (concave in rate, grows with ws).
-                let writes =
-                    240.0 * eff_rate + 16384.0 * (ws / 16384.0) * (1.0 - (-eff_rate * 16384.0 / ws * 0.002).exp()) * 0.08;
+                let writes = 240.0 * eff_rate
+                    + 16384.0
+                        * (ws / 16384.0)
+                        * (1.0 - (-eff_rate * 16384.0 / ws * 0.002).exp())
+                        * 0.08;
                 points.push(DiskPoint {
                     ws_bytes: ws,
                     rows_per_sec: eff_rate,

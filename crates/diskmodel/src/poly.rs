@@ -45,7 +45,9 @@ impl Poly2D {
         for _ in 0..30 {
             let mut max_delta: f64 = 0.0;
             for (i, &(x, y, z)) in samples.iter().enumerate() {
-                let r = (z - model.eval(x, y)).abs().max(EPS * model.z_scale_hint(samples));
+                let r = (z - model.eval(x, y))
+                    .abs()
+                    .max(EPS * model.z_scale_hint(samples));
                 let new_w = 1.0 / r;
                 max_delta = max_delta.max((new_w - w[i]).abs() / new_w.max(1e-12));
                 w[i] = new_w;

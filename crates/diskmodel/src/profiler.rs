@@ -95,7 +95,10 @@ impl DiskProfile {
     pub fn saturation_points(&self) -> Vec<(f64, f64)> {
         let mut per_ws: Vec<(f64, f64)> = Vec::new();
         for p in &self.points {
-            match per_ws.iter_mut().find(|(ws, _)| (*ws - p.ws_bytes).abs() < 1.0) {
+            match per_ws
+                .iter_mut()
+                .find(|(ws, _)| (*ws - p.ws_bytes).abs() < 1.0)
+            {
                 Some((_, max_rate)) => *max_rate = max_rate.max(p.rows_per_sec),
                 None => per_ws.push((p.ws_bytes, p.rows_per_sec)),
             }
@@ -307,9 +310,24 @@ mod tests {
         let profile = DiskProfile {
             machine: "m".into(),
             points: vec![
-                DiskPoint { ws_bytes: 1e9, rows_per_sec: 5_000.0, write_bytes_per_sec: 0.0, achieved_fraction: 1.0 },
-                DiskPoint { ws_bytes: 1e9, rows_per_sec: 9_000.0, write_bytes_per_sec: 0.0, achieved_fraction: 0.9 },
-                DiskPoint { ws_bytes: 2e9, rows_per_sec: 7_000.0, write_bytes_per_sec: 0.0, achieved_fraction: 1.0 },
+                DiskPoint {
+                    ws_bytes: 1e9,
+                    rows_per_sec: 5_000.0,
+                    write_bytes_per_sec: 0.0,
+                    achieved_fraction: 1.0,
+                },
+                DiskPoint {
+                    ws_bytes: 1e9,
+                    rows_per_sec: 9_000.0,
+                    write_bytes_per_sec: 0.0,
+                    achieved_fraction: 0.9,
+                },
+                DiskPoint {
+                    ws_bytes: 2e9,
+                    rows_per_sec: 7_000.0,
+                    write_bytes_per_sec: 0.0,
+                    achieved_fraction: 1.0,
+                },
             ],
         };
         let sat = profile.saturation_points();

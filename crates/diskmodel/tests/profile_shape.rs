@@ -5,6 +5,7 @@
 //!   (updates spread over more pages → less coalescing),
 //! * the **saturation rate falls** as the working set grows (dashed
 //!   frontier),
+//!
 //! and the fitted model must predict held-out points decently.
 
 use kairos_diskmodel::{run_profiler, DiskModel, ProfilerConfig};

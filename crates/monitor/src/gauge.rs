@@ -295,7 +295,10 @@ impl GaugeEnv for SimGaugeEnv<'_> {
     }
 
     fn physical_reads_pages(&self) -> f64 {
-        self.host.instance(self.instance).stats().physical_read_pages
+        self.host
+            .instance(self.instance)
+            .stats()
+            .physical_read_pages
     }
 
     fn memory_capacity_bytes(&self) -> f64 {

@@ -212,7 +212,10 @@ mod tests {
 
     #[test]
     fn classify_matches_paper_cases() {
-        assert_eq!(MemoryClass::classify(0.001, 0.0), MemoryClass::FitsBufferPool);
+        assert_eq!(
+            MemoryClass::classify(0.001, 0.0),
+            MemoryClass::FitsBufferPool
+        );
         assert_eq!(MemoryClass::classify(0.30, 2.0), MemoryClass::FitsOsCache);
         assert_eq!(MemoryClass::classify(0.30, 500.0), MemoryClass::DiskBound);
         assert!(MemoryClass::FitsBufferPool.gaugeable());

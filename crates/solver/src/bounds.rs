@@ -133,8 +133,7 @@ mod tests {
         let w = (0..4)
             .map(|i| WorkloadSpec::flat(format!("w{i}"), 1, 0.1, 1e9, 1e8, 60.0))
             .collect();
-        let mut p =
-            ConsolidationProblem::new(w, TargetMachine::paper_target(), 4, Arc::new(Tight));
+        let mut p = ConsolidationProblem::new(w, TargetMachine::paper_target(), 4, Arc::new(Tight));
         p.headroom = 0.95;
         // Total rate 240; per machine cap 95: ceil(240/95) = 3.
         assert_eq!(fractional_lower_bound(&p), 3);
@@ -165,6 +164,9 @@ mod tests {
     fn upper_bound_prefers_greedy_when_it_works() {
         let p = problem(6, 1.0, 1e9);
         let (_, used) = upper_bound(&p);
-        assert!(used <= 2, "greedy should pack 6×1-core tightly, used {used}");
+        assert!(
+            used <= 2,
+            "greedy should pack 6×1-core tightly, used {used}"
+        );
     }
 }

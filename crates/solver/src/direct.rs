@@ -111,8 +111,10 @@ pub fn direct_minimize(
                 .collect();
             let delta = 3f64.powi(-(min_level as i32 + 1));
 
-            // Sample c ± δ e_i for every long dimension.
-            let mut samples: Vec<(usize, f64, f64, Vec<f64>, Vec<f64>)> = Vec::new();
+            // Sample c ± δ e_i for every long dimension:
+            // (dimension, f(c−δ), f(c+δ), c−δ, c+δ).
+            type AxisSample = (usize, f64, f64, Vec<f64>, Vec<f64>);
+            let mut samples: Vec<AxisSample> = Vec::new();
             for &i in &long_dims {
                 if evals + 2 > cfg.max_evals {
                     break;
@@ -259,9 +261,7 @@ mod tests {
 
     #[test]
     fn minimizes_quadratic_bowl() {
-        let r = run(2, 2000, |x| {
-            (x[0] - 0.3).powi(2) + (x[1] - 0.7).powi(2)
-        });
+        let r = run(2, 2000, |x| (x[0] - 0.3).powi(2) + (x[1] - 0.7).powi(2));
         assert!(r.best_f < 1e-4, "best {}", r.best_f);
         assert!((r.best_x[0] - 0.3).abs() < 0.02);
         assert!((r.best_x[1] - 0.7).abs() < 0.02);

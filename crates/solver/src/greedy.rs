@@ -19,8 +19,11 @@ pub enum GreedyResource {
 }
 
 impl GreedyResource {
-    pub const ALL: [GreedyResource; 3] =
-        [GreedyResource::Cpu, GreedyResource::Ram, GreedyResource::Disk];
+    pub const ALL: [GreedyResource; 3] = [
+        GreedyResource::Cpu,
+        GreedyResource::Ram,
+        GreedyResource::Disk,
+    ];
 }
 
 /// Result of the greedy strategy.

@@ -38,7 +38,9 @@ pub use greedy::{greedy_pack, GreedyReport, GreedyResource};
 pub use local::{polish, PolishReport};
 pub use objective::{evaluate, Evaluation, WindowLoad};
 pub use problem::{
-    Assignment, ConsolidationProblem, DiskCombiner, LinearDiskCombiner, ResourceWeights, Slot,
-    TargetMachine, WorkloadSpec,
+    Assignment, ConsolidationProblem, DiskCombiner, LinearDiskCombiner, MigrationCost,
+    ResourceWeights, Slot, TargetMachine, WorkloadSpec,
 };
-pub use search::{decode, free_dims, solve, solve_at_k, solve_unbounded, SolveReport, SolverConfig};
+pub use search::{
+    decode, free_dims, solve, solve_at_k, solve_unbounded, solve_warm, SolveReport, SolverConfig,
+};

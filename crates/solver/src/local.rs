@@ -29,10 +29,17 @@ struct SearchState<'a> {
     slots: Vec<Slot>,
     machines: Vec<MachineState>,
     assignment: Vec<usize>,
+    /// Slots currently off the migration baseline (0 without a baseline);
+    /// kept incrementally so the cached objective matches `evaluate`.
+    mig_moves: usize,
 }
 
 impl<'a> SearchState<'a> {
-    fn new(problem: &'a ConsolidationProblem, assignment: &Assignment, k: usize) -> SearchState<'a> {
+    fn new(
+        problem: &'a ConsolidationProblem,
+        assignment: &Assignment,
+        k: usize,
+    ) -> SearchState<'a> {
         let slots = problem.slots();
         let windows = problem.windows;
         let mut machines: Vec<MachineState> = (0..k)
@@ -62,11 +69,17 @@ impl<'a> SearchState<'a> {
             }
             machines[*m].slots.push(s);
         }
+        let mig_moves = problem
+            .migration
+            .as_ref()
+            .map(|m| m.moves(&asg))
+            .unwrap_or(0);
         let mut state = SearchState {
             problem,
             slots,
             machines,
             assignment: asg,
+            mig_moves,
         };
         for m in 0..k {
             state.recompute_sums(m);
@@ -144,8 +157,11 @@ impl<'a> SearchState<'a> {
     }
 
     fn total_objective(&self) -> f64 {
-        let contrib: f64 = self.machines.iter().map(|m| m.contrib).sum();
+        let mut contrib: f64 = self.machines.iter().map(|m| m.contrib).sum();
         let violation: f64 = self.machines.iter().map(|m| m.violation).sum();
+        if let Some(m) = &self.problem.migration {
+            contrib += m.cost_per_move * self.mig_moves as f64;
+        }
         if violation > 0.0 {
             contrib + PENALTY * (1.0 + violation)
         } else {
@@ -179,6 +195,15 @@ impl<'a> SearchState<'a> {
             self.machines[dst].ram[t] += w.ram_at(t);
             self.machines[dst].ws[t] += w.ws_at(t);
             self.machines[dst].rate[t] += w.rate_at(t);
+        }
+        if let Some(m) = &self.problem.migration {
+            if let Some(&Some(base)) = m.baseline.get(slot) {
+                if src == base && dst != base {
+                    self.mig_moves += 1;
+                } else if src != base && dst == base {
+                    self.mig_moves -= 1;
+                }
+            }
         }
         self.assignment[slot] = dst;
         self.refresh(src);
@@ -353,7 +378,12 @@ mod tests {
         let spread = Assignment::new(vec![0, 1, 2, 3, 4, 5]);
         let report = polish(&p, &spread, 6, 50);
         assert!(report.evaluation.feasible);
-        assert_eq!(report.assignment.machines_used(), 1, "{:?}", report.assignment);
+        assert_eq!(
+            report.assignment.machines_used(),
+            1,
+            "{:?}",
+            report.assignment
+        );
         assert!(report.moves >= 5);
     }
 

@@ -29,12 +29,15 @@ impl WindowLoad {
 /// Full evaluation of an assignment.
 #[derive(Debug, Clone)]
 pub struct Evaluation {
-    /// Objective value (penalized if infeasible).
+    /// Objective value (penalized if infeasible; includes the migration
+    /// term when the problem carries one).
     pub objective: f64,
     pub feasible: bool,
     /// Total constraint excess (0 when feasible).
     pub violation: f64,
     pub machines_used: usize,
+    /// Slots moved off the migration baseline (0 without a baseline).
+    pub moves_from_baseline: usize,
     /// Per *used* machine: utilization series (windows long).
     pub loads: Vec<(usize, Vec<WindowLoad>)>,
 }
@@ -78,11 +81,9 @@ pub fn evaluate(problem: &ConsolidationProblem, assignment: &Assignment) -> Eval
                 if sa.workload == sb.workload {
                     violation += 1.0;
                 }
-                if problem
-                    .anti_affinity
-                    .iter()
-                    .any(|&(x, y)| (x, y) == (sa.workload, sb.workload) || (y, x) == (sa.workload, sb.workload))
-                {
+                if problem.anti_affinity.iter().any(|&(x, y)| {
+                    (x, y) == (sa.workload, sb.workload) || (y, x) == (sa.workload, sb.workload)
+                }) {
                     violation += 1.0;
                 }
             }
@@ -128,13 +129,25 @@ pub fn evaluate(problem: &ConsolidationProblem, assignment: &Assignment) -> Eval
                     violation += u - headroom;
                 }
             }
-            let norm = (weights.cpu * load.cpu + weights.ram * load.ram + weights.disk * load.disk)
-                / wsum;
+            let norm =
+                (weights.cpu * load.cpu + weights.ram * load.ram + weights.disk * load.disk) / wsum;
             exp_sum += norm.clamp(0.0, 1.0).exp();
             series.push(load);
         }
         objective += exp_sum / windows as f64;
         loads.push((m, series));
+    }
+
+    // Migration-cost term (§ online re-solve): each slot moved off its
+    // baseline machine costs a fixed objective increment, so plans with
+    // small placement deltas win among near-equals.
+    let moves_from_baseline = problem
+        .migration
+        .as_ref()
+        .map(|m| m.moves(&assignment.machine_of))
+        .unwrap_or(0);
+    if let Some(m) = &problem.migration {
+        objective += m.cost_per_move * moves_from_baseline as f64;
     }
 
     let feasible = violation == 0.0;
@@ -146,6 +159,7 @@ pub fn evaluate(problem: &ConsolidationProblem, assignment: &Assignment) -> Eval
         feasible,
         violation,
         machines_used: by_machine.len(),
+        moves_from_baseline,
         loads,
     }
 }
@@ -225,7 +239,8 @@ mod tests {
             WorkloadSpec::flat("a", 1, 0.1, 1e9, 4e9, 300.0),
             WorkloadSpec::flat("b", 1, 0.1, 1e9, 4e9, 300.0),
         ];
-        let p = ConsolidationProblem::new(w, TargetMachine::paper_target(), 2, Arc::new(Saturating));
+        let p =
+            ConsolidationProblem::new(w, TargetMachine::paper_target(), 2, Arc::new(Saturating));
         // Each alone: util = 300/(1000-400) = 0.5 — fine.
         let spread = evaluate(&p, &Assignment::new(vec![0, 1]));
         assert!(spread.feasible);
@@ -278,5 +293,40 @@ mod tests {
         let feasible_spread = evaluate(&p, &Assignment::new(vec![0, 1, 2]));
         let infeasible_packed = evaluate(&p, &Assignment::new(vec![0, 0, 0]));
         assert!(feasible_spread.objective < infeasible_packed.objective);
+    }
+
+    #[test]
+    fn migration_term_counts_and_prices_moves() {
+        let p = problem(4, 1.0).with_migration(vec![Some(0), Some(0), Some(1), Some(1)], 0.25);
+        let stay = evaluate(&p, &Assignment::new(vec![0, 0, 1, 1]));
+        assert_eq!(stay.moves_from_baseline, 0);
+        let two_moves = evaluate(&p, &Assignment::new(vec![1, 0, 0, 1]));
+        assert_eq!(two_moves.moves_from_baseline, 2);
+        // Same machine count and mirrored shape: the only objective
+        // difference is the migration term.
+        assert!(
+            (two_moves.objective - stay.objective - 0.5).abs() < 1e-9,
+            "expected exactly 2 × 0.25 migration cost, got {}",
+            two_moves.objective - stay.objective
+        );
+    }
+
+    #[test]
+    fn new_slots_are_free_to_place() {
+        // Baseline covers only the first two slots; the rest are new.
+        let p = problem(4, 1.0).with_migration(vec![Some(0), Some(0)], 0.25);
+        let eval = evaluate(&p, &Assignment::new(vec![0, 0, 1, 2]));
+        assert_eq!(eval.moves_from_baseline, 0);
+    }
+
+    #[test]
+    fn migration_cost_never_outweighs_a_machine() {
+        // Consolidating 4 → 1 machines must stay worthwhile even when all
+        // four slots migrate at the default-scale cost.
+        let p = problem(4, 1.0).with_migration(vec![Some(0), Some(1), Some(2), Some(3)], 0.1);
+        let stay_spread = evaluate(&p, &Assignment::new(vec![0, 1, 2, 3]));
+        let pack_all = evaluate(&p, &Assignment::new(vec![0, 0, 0, 0]));
+        assert_eq!(pack_all.moves_from_baseline, 3);
+        assert!(pack_all.objective < stay_spread.objective);
     }
 }

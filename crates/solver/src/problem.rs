@@ -144,6 +144,37 @@ impl ResourceWeights {
     }
 }
 
+/// Migration awareness for online re-solves: a baseline placement plus a
+/// per-move objective penalty. With this set, the optimizer trades load
+/// balance against placement churn — plans that move fewer workloads off
+/// their current machines score better, so small drifts produce small
+/// placement deltas instead of wholesale reshuffles.
+#[derive(Debug, Clone)]
+pub struct MigrationCost {
+    /// `baseline[slot_index]` = machine the slot currently occupies;
+    /// `None` marks a slot with no current placement (a newly arrived
+    /// workload), which is free to place anywhere.
+    pub baseline: Vec<Option<usize>>,
+    /// Objective penalty per slot moved off its baseline machine. Must be
+    /// small relative to the infeasibility penalty so migration cost never
+    /// makes a feasible plan look infeasible: one extra machine costs
+    /// ≥ 1.0 in the base objective, so values in `[0.05, 1.0]` mean
+    /// "prefer up to `1/cost` fewer moves over saving a machine".
+    pub cost_per_move: f64,
+}
+
+impl MigrationCost {
+    /// Moves an assignment makes relative to the baseline. Slots beyond
+    /// the baseline (new workloads) never count as moves.
+    pub fn moves(&self, machine_of: &[usize]) -> usize {
+        machine_of
+            .iter()
+            .zip(self.baseline.iter())
+            .filter(|&(&m, &b)| b.is_some_and(|b| b != m))
+            .count()
+    }
+}
+
 /// The full problem instance.
 #[derive(Clone)]
 pub struct ConsolidationProblem {
@@ -161,6 +192,9 @@ pub struct ConsolidationProblem {
     /// Pairs of workload indices that must not share a machine (beyond
     /// the implicit replica anti-affinity).
     pub anti_affinity: Vec<(usize, usize)>,
+    /// Optional migration-cost term for online re-solves (None = the
+    /// original one-shot objective).
+    pub migration: Option<MigrationCost>,
 }
 
 impl std::fmt::Debug for ConsolidationProblem {
@@ -193,7 +227,13 @@ impl ConsolidationProblem {
         assert!(max_machines >= 1, "need at least one machine");
         let windows = workloads
             .iter()
-            .map(|w| w.cpu.len().max(w.ram.len()).max(w.ws.len()).max(w.rate.len()))
+            .map(|w| {
+                w.cpu
+                    .len()
+                    .max(w.ram.len())
+                    .max(w.ws.len())
+                    .max(w.rate.len())
+            })
             .max()
             .unwrap_or(1)
             .max(1);
@@ -206,6 +246,7 @@ impl ConsolidationProblem {
             weights: ResourceWeights::default(),
             disk,
             anti_affinity: Vec::new(),
+            migration: None,
         }
     }
 
@@ -222,6 +263,28 @@ impl ConsolidationProblem {
 
     pub fn with_anti_affinity(mut self, pairs: Vec<(usize, usize)>) -> ConsolidationProblem {
         self.anti_affinity = pairs;
+        self
+    }
+
+    /// Penalize moves away from `baseline` (one entry per slot, `None`
+    /// for new slots) by `cost_per_move` each. See [`MigrationCost`].
+    pub fn with_migration(
+        mut self,
+        baseline: Vec<Option<usize>>,
+        cost_per_move: f64,
+    ) -> ConsolidationProblem {
+        assert!(cost_per_move >= 0.0, "migration cost must be non-negative");
+        // Keep the worst-case migration total far below the infeasibility
+        // penalty (1e4): migration preference must never flip a feasible
+        // plan above an infeasible one.
+        assert!(
+            cost_per_move * self.slots().len() as f64 <= 1e3,
+            "migration cost would rival the infeasibility penalty"
+        );
+        self.migration = Some(MigrationCost {
+            baseline,
+            cost_per_move,
+        });
         self
     }
 
@@ -300,8 +363,20 @@ mod tests {
         p.workloads[1].replicas = 3;
         let slots = p.slots();
         assert_eq!(slots.len(), 4);
-        assert_eq!(slots[1], Slot { workload: 1, replica: 0 });
-        assert_eq!(slots[3], Slot { workload: 1, replica: 2 });
+        assert_eq!(
+            slots[1],
+            Slot {
+                workload: 1,
+                replica: 0
+            }
+        );
+        assert_eq!(
+            slots[3],
+            Slot {
+                workload: 1,
+                replica: 2
+            }
+        );
     }
 
     #[test]

@@ -137,8 +137,36 @@ pub fn solve_at_k(
 
 /// The §6-optimized solve: bounds → binary search for K′ → final solve.
 pub fn solve(problem: &ConsolidationProblem, cfg: &SolverConfig) -> Result<SolveReport> {
+    solve_inner(problem, cfg, None)
+}
+
+/// Warm-started solve for online re-planning: `warm` (typically the
+/// placement currently deployed) is polished into the initial incumbent
+/// and tightens the binary search's upper bound, so a drifted-but-close
+/// problem re-solves in a fraction of the cold budget. Combine with
+/// [`ConsolidationProblem::with_migration`] to also *prefer* low-churn
+/// plans in the objective; without it the warm start only accelerates.
+pub fn solve_warm(
+    problem: &ConsolidationProblem,
+    cfg: &SolverConfig,
+    warm: &Assignment,
+) -> Result<SolveReport> {
+    assert_eq!(
+        warm.machine_of.len(),
+        problem.slots().len(),
+        "warm assignment must cover every placement slot"
+    );
+    solve_inner(problem, cfg, Some(warm))
+}
+
+fn solve_inner(
+    problem: &ConsolidationProblem,
+    cfg: &SolverConfig,
+    warm: Option<&Assignment>,
+) -> Result<SolveReport> {
     let lower = fractional_lower_bound(problem);
     let (ub_assignment, mut upper) = upper_bound(problem);
+    let mut evals_used = 0usize;
     let mut best: Option<(Assignment, Evaluation)> = {
         let eval = evaluate(problem, &ub_assignment);
         if eval.feasible {
@@ -156,6 +184,21 @@ pub fn solve(problem: &ConsolidationProblem, cfg: &SolverConfig) -> Result<Solve
             }
         }
     };
+    // Polish the warm start into a candidate incumbent. When the old plan
+    // is still (near-)optimal for the drifted loads, this alone produces
+    // the final answer and the search below merely confirms it.
+    if let Some(w) = warm {
+        let polished = polish(problem, w, problem.max_machines, cfg.polish_rounds.max(20));
+        if polished.evaluation.feasible {
+            upper = upper.min(polished.assignment.machines_used());
+            let better = best
+                .as_ref()
+                .is_none_or(|(_, e)| polished.evaluation.objective < e.objective);
+            if better {
+                best = Some((polished.assignment, polished.evaluation));
+            }
+        }
+    }
     let Some(mut incumbent) = best.take() else {
         return Err(KairosError::Infeasible(
             "no feasible assignment exists even without consolidation; \
@@ -163,7 +206,6 @@ pub fn solve(problem: &ConsolidationProblem, cfg: &SolverConfig) -> Result<Solve
                 .into(),
         ));
     };
-    let mut evals_used = 0usize;
     let mut probes = Vec::new();
 
     // Binary search the smallest feasible K in [lower, upper].
@@ -182,9 +224,11 @@ pub fn solve(problem: &ConsolidationProblem, cfg: &SolverConfig) -> Result<Solve
         let feasible = eval.feasible;
         probes.push((mid, feasible));
         if feasible {
-            if a.machines_used() <= incumbent.0.machines_used()
-                || eval.objective < incumbent.1.objective
-            {
+            // The objective is the sole authority: without a migration
+            // term it already orders fewer machines first; with one, an
+            // equal-machine-count plan that relocates half the fleet must
+            // NOT displace a cheaper low-churn incumbent.
+            if eval.objective < incumbent.1.objective {
                 incumbent = (a, eval);
             }
             hi = mid;
@@ -204,10 +248,7 @@ pub fn solve(problem: &ConsolidationProblem, cfg: &SolverConfig) -> Result<Solve
         false,
     );
     evals_used += used;
-    if eval.feasible
-        && (eval.objective < incumbent.1.objective
-            || a.machines_used() < incumbent.0.machines_used())
-    {
+    if eval.feasible && eval.objective < incumbent.1.objective {
         incumbent = (a, eval);
     }
 
@@ -361,5 +402,62 @@ mod tests {
         let b = solve(&p, &SolverConfig::default()).unwrap();
         assert_eq!(a.assignment, b.assignment);
         assert_eq!(a.evals_used, b.evals_used);
+    }
+
+    #[test]
+    fn warm_start_with_migration_prefers_low_churn() {
+        // Six 3-core workloads, currently balanced 2+2+2 across three
+        // machines — a perfectly good plan (18 cores / 11.4 per machine
+        // needs ≥ 2; 3 is near-optimal but stable). After a mild drift,
+        // the warm solve with migration cost must keep churn low, while
+        // still producing a feasible plan.
+        let p = problem(&[3.0, 3.0, 3.0, 3.0, 3.2, 3.2]);
+        let current = Assignment::new(vec![0, 0, 1, 1, 2, 2]);
+        assert!(evaluate(&p, &current).feasible);
+
+        let baseline = current.machine_of.iter().map(|&m| Some(m)).collect();
+        let warm_p = p.clone().with_migration(baseline, 0.5);
+        let report = solve_warm(&warm_p, &SolverConfig::default(), &current).unwrap();
+        assert!(report.evaluation.feasible);
+        // With every machine fairly loaded and moves costing 0.5 each, a
+        // wholesale reshuffle cannot win: most slots stay put.
+        assert!(
+            report.evaluation.moves_from_baseline <= 2,
+            "warm re-solve moved {} of 6 slots",
+            report.evaluation.moves_from_baseline
+        );
+    }
+
+    #[test]
+    fn warm_start_still_repairs_infeasible_current_plans() {
+        // The current plan overloads machine 0 (3 × 5 cores > 11.4); the
+        // warm solve must move something despite the migration cost.
+        let p = problem(&[5.0, 5.0, 5.0, 1.0]);
+        let current = Assignment::new(vec![0, 0, 0, 1]);
+        assert!(!evaluate(&p, &current).feasible);
+
+        let baseline = current.machine_of.iter().map(|&m| Some(m)).collect();
+        let warm_p = p.clone().with_migration(baseline, 0.5);
+        let report = solve_warm(&warm_p, &SolverConfig::default(), &current).unwrap();
+        assert!(
+            report.evaluation.feasible,
+            "warm solve must repair overload"
+        );
+        assert!(report.evaluation.moves_from_baseline >= 1);
+    }
+
+    #[test]
+    fn warm_start_matches_cold_quality_without_migration_cost() {
+        let p = problem(&[2.0, 3.0, 1.0, 4.0, 2.0, 3.0]);
+        let cold = solve(&p, &SolverConfig::default()).unwrap();
+        let start = Assignment::new((0..p.slots().len()).collect());
+        let warm = solve_warm(&p, &SolverConfig::default(), &start).unwrap();
+        assert!(warm.evaluation.feasible);
+        assert!(
+            warm.assignment.machines_used() <= cold.assignment.machines_used(),
+            "warm ({}) must not be worse than cold ({})",
+            warm.assignment.machines_used(),
+            cold.assignment.machines_used()
+        );
     }
 }

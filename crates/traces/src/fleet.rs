@@ -229,11 +229,7 @@ impl ServerTrace {
 /// Hardware mixes per dataset (cores, clock GHz, RAM GiB) with weights.
 fn hardware_mix(dataset: Dataset) -> &'static [(u32, f64, u64, f64)] {
     match dataset {
-        Dataset::Internal => &[
-            (4, 2.33, 8, 0.4),
-            (8, 2.66, 16, 0.4),
-            (8, 3.0, 32, 0.2),
-        ],
+        Dataset::Internal => &[(4, 2.33, 8, 0.4), (8, 2.66, 16, 0.4), (8, 3.0, 32, 0.2)],
         Dataset::Wikia => &[(8, 2.66, 16, 0.5), (8, 3.0, 32, 0.5)],
         Dataset::Wikipedia => &[(8, 2.66, 32, 0.4), (16, 2.66, 64, 0.6)],
         Dataset::SecondLife => &[(8, 3.0, 32, 0.5), (16, 2.66, 64, 0.5)],
@@ -257,7 +253,9 @@ fn pick_hardware(rng: &mut SplitMix64, dataset: Dataset) -> (u32, f64, u64) {
 /// Generate one dataset's fleet.
 pub fn generate_fleet(dataset: Dataset, cfg: &FleetConfig) -> Vec<ServerTrace> {
     let ch = character(dataset);
-    let mut rng = SplitMix64::new(cfg.seed ^ (dataset.label().len() as u64) << 32 ^ dataset.server_count() as u64);
+    let mut rng = SplitMix64::new(
+        cfg.seed ^ (dataset.label().len() as u64) << 32 ^ dataset.server_count() as u64,
+    );
     let samples = (cfg.weeks as f64 * 7.0 * 86_400.0 / cfg.interval_secs) as usize;
     let mut fleet = Vec::with_capacity(dataset.server_count());
 
@@ -461,10 +459,8 @@ mod tests {
     #[test]
     fn heterogeneous_hardware_is_standardized() {
         let fleet = generate_all(&one_day());
-        let distinct: std::collections::HashSet<(u32, u64)> = fleet
-            .iter()
-            .map(|s| (s.cores, s.ram_total.0))
-            .collect();
+        let distinct: std::collections::HashSet<(u32, u64)> =
+            fleet.iter().map(|s| (s.cores, s.ram_total.0)).collect();
         assert!(distinct.len() >= 3, "expected a hardware mix");
         for s in &fleet {
             assert!(s.standardized_cores() > 0.0);

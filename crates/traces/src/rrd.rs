@@ -149,6 +149,41 @@ impl Rrd {
         self.samples_pushed += 1;
     }
 
+    /// Append a batch of base-resolution samples (streaming-ingest path:
+    /// one call per monitoring flush instead of one per sample).
+    pub fn extend(&mut self, values: impl IntoIterator<Item = f64>) {
+        for v in values {
+            self.push(v);
+        }
+    }
+
+    /// Index of the finest (smallest-step) archive.
+    fn finest_idx(&self) -> usize {
+        (0..self.archives.len())
+            .min_by_key(|&i| self.archives[i].spec.step)
+            .expect("non-empty archives")
+    }
+
+    /// The most recent `n` base-resolution points (fewer if the finest
+    /// archive holds less history) — the *rolling window* an online drift
+    /// detector compares against the planned profile. Oldest first.
+    pub fn rolling_window(&self, n: usize) -> TimeSeries {
+        let idx = self.finest_idx();
+        let a = &self.archives[idx];
+        let take = n.min(a.ring.len());
+        let skip = a.ring.len() - take;
+        TimeSeries::new(
+            self.base_interval_secs * a.spec.step as f64,
+            a.ring.iter().skip(skip).copied().collect(),
+        )
+    }
+
+    /// Number of points currently held by the finest archive — how much
+    /// rolling-window history is available right now.
+    pub fn rolling_len(&self) -> usize {
+        self.archives[self.finest_idx()].ring.len()
+    }
+
     /// Materialize archive `idx` as a [`TimeSeries`] (oldest first;
     /// incomplete buckets excluded).
     pub fn series(&self, idx: usize) -> TimeSeries {
@@ -165,8 +200,7 @@ impl Rrd {
     pub fn best_series_covering(&self, duration_secs: f64) -> TimeSeries {
         let mut best: Option<usize> = None;
         for (i, a) in self.archives.iter().enumerate() {
-            let span =
-                self.base_interval_secs * a.spec.step as f64 * a.ring.len().max(1) as f64;
+            let span = self.base_interval_secs * a.spec.step as f64 * a.ring.len().max(1) as f64;
             let covers = span >= duration_secs;
             let finer = |j: usize| self.archives[j].spec.step;
             if covers && best.is_none_or(|b| a.spec.step < finer(b)) {
@@ -288,5 +322,39 @@ mod tests {
         let rrd = Rrd::monitoring_default();
         assert_eq!(rrd.archives(), 3);
         assert_eq!(rrd.base_interval_secs(), 300.0);
+    }
+
+    #[test]
+    fn extend_matches_repeated_push() {
+        let mut a = Rrd::new(1.0, vec![avg_archive(1, 10), avg_archive(3, 5)]);
+        let mut b = a.clone();
+        for i in 0..9 {
+            a.push(i as f64);
+        }
+        b.extend((0..9).map(|i| i as f64));
+        assert_eq!(a.series(0).values(), b.series(0).values());
+        assert_eq!(a.series(1).values(), b.series(1).values());
+        assert_eq!(b.samples_pushed(), 9);
+    }
+
+    #[test]
+    fn rolling_window_returns_most_recent_points() {
+        let mut rrd = Rrd::new(1.0, vec![avg_archive(1, 5), avg_archive(10, 10)]);
+        rrd.extend((0..8).map(|i| i as f64));
+        // Finest archive caps at 5 points: values 3..8.
+        assert_eq!(rrd.rolling_len(), 5);
+        assert_eq!(rrd.rolling_window(3).values(), &[5.0, 6.0, 7.0]);
+        // Asking for more than held returns what exists.
+        assert_eq!(rrd.rolling_window(99).values(), &[3.0, 4.0, 5.0, 6.0, 7.0]);
+        assert_eq!(rrd.rolling_window(3).interval_secs(), 1.0);
+    }
+
+    #[test]
+    fn rolling_window_uses_finest_archive_regardless_of_order() {
+        // Coarse archive listed first: rolling_window must still pick the
+        // fine one.
+        let mut rrd = Rrd::new(1.0, vec![avg_archive(10, 10), avg_archive(1, 5)]);
+        rrd.extend((0..20).map(|i| i as f64));
+        assert_eq!(rrd.rolling_window(2).values(), &[18.0, 19.0]);
     }
 }

@@ -90,7 +90,11 @@ impl WorkloadProfile {
         disk_update_rows_per_sec: TimeSeries,
     ) -> WorkloadProfile {
         let interval = cpu_cores.interval_secs();
-        for s in [&ram_bytes, &disk_working_set_bytes, &disk_update_rows_per_sec] {
+        for s in [
+            &ram_bytes,
+            &disk_working_set_bytes,
+            &disk_update_rows_per_sec,
+        ] {
             assert!(
                 (s.interval_secs() - interval).abs() < f64::EPSILON,
                 "profile series must share one sampling interval"

@@ -123,7 +123,10 @@ impl TimeSeries {
     }
 
     /// Element-wise sum of many series (zero-padded to the longest).
-    pub fn sum<'a>(interval_secs: f64, series: impl IntoIterator<Item = &'a TimeSeries>) -> TimeSeries {
+    pub fn sum<'a>(
+        interval_secs: f64,
+        series: impl IntoIterator<Item = &'a TimeSeries>,
+    ) -> TimeSeries {
         let mut acc = TimeSeries::empty(interval_secs);
         for s in series {
             acc.add_assign(s);
@@ -141,7 +144,10 @@ impl TimeSeries {
 
     /// Apply `f` to every sample.
     pub fn map(&self, f: impl Fn(f64) -> f64) -> TimeSeries {
-        TimeSeries::new(self.interval_secs, self.values.iter().map(|&v| f(v)).collect())
+        TimeSeries::new(
+            self.interval_secs,
+            self.values.iter().map(|&v| f(v)).collect(),
+        )
     }
 
     /// Down-sample by an integer factor, averaging each bucket (rrd `AVG`

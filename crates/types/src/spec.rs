@@ -101,8 +101,8 @@ impl DiskSpec {
     /// Elevator scheduling amortizes seeks across a sorted batch; the gain
     /// saturates logarithmically with batch depth.
     pub fn sorted_iops(&self, batch: f64) -> f64 {
-        let depth_factor = 1.0 + (self.elevator_gain - 1.0) * (1.0 + batch.max(0.0)).ln()
-            / (1.0 + 512.0f64).ln();
+        let depth_factor =
+            1.0 + (self.elevator_gain - 1.0) * (1.0 + batch.max(0.0)).ln() / (1.0 + 512.0f64).ln();
         self.random_iops * depth_factor.min(self.elevator_gain)
     }
 

@@ -184,7 +184,7 @@ pub fn run_strategy(strategy: Strategy, cfg: &ComparisonConfig) -> Result<Strate
     let mut host = Host::new(cfg.machine.clone()).with_overheads(overheads(strategy));
     for i in 0..n_instances {
         let mut dbms = DbmsConfig::mysql(pool);
-        dbms.seed = 0xF16_10 ^ i as u64;
+        dbms.seed = 0xF1610 ^ i as u64;
         host.add_instance(DbmsInstance::new(dbms));
     }
 

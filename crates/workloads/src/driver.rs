@@ -207,7 +207,11 @@ mod tests {
         driver.bind(&mut host, 0, small_workload("a", 50.0));
         let stats = driver.run(&mut host, 20.0);
         assert_eq!(stats.len(), 1);
-        assert!((stats[0].tps() - 50.0).abs() < 2.0, "tps = {}", stats[0].tps());
+        assert!(
+            (stats[0].tps() - 50.0).abs() < 2.0,
+            "tps = {}",
+            stats[0].tps()
+        );
         assert!(stats[0].mean_latency_secs() > 0.0);
     }
 

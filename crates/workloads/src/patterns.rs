@@ -106,7 +106,9 @@ impl RatePattern {
     pub fn peak_rate(&self) -> f64 {
         match *self {
             RatePattern::Flat { tps } => tps,
-            RatePattern::Sinusoid { mean, amplitude, .. } => mean + amplitude.abs(),
+            RatePattern::Sinusoid {
+                mean, amplitude, ..
+            } => mean + amplitude.abs(),
             RatePattern::Sawtooth { max, .. } => max,
             RatePattern::Square { high, .. } => high,
             RatePattern::Bursty { peak, .. } => peak,

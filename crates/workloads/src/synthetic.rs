@@ -35,7 +35,11 @@ pub struct SyntheticSpec {
 
 impl SyntheticSpec {
     /// A balanced default: moderate reads, writes and CPU.
-    pub fn balanced(name: impl Into<String>, working_set: Bytes, rate: RatePattern) -> SyntheticSpec {
+    pub fn balanced(
+        name: impl Into<String>,
+        working_set: Bytes,
+        rate: RatePattern,
+    ) -> SyntheticSpec {
         SyntheticSpec {
             name: name.into(),
             working_set,
@@ -264,7 +268,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "must contain its working set")]
     fn db_smaller_than_ws_rejected() {
-        let mut spec = SyntheticSpec::balanced("bad", Bytes::gib(1), RatePattern::Flat { tps: 1.0 });
+        let mut spec =
+            SyntheticSpec::balanced("bad", Bytes::gib(1), RatePattern::Flat { tps: 1.0 });
         spec.db_size = Bytes::mib(100);
         SyntheticWorkload::new(spec);
     }

@@ -24,8 +24,7 @@ fn main() {
         let fleet = generate_fleet(dataset, &cfg);
         // Historical statistics cannot be gauged: apply the paper's 30%
         // RAM scaling factor (§6).
-        let profiles: Vec<WorkloadProfile> =
-            fleet.iter().map(|s| s.to_profile(0.7)).collect();
+        let profiles: Vec<WorkloadProfile> = fleet.iter().map(|s| s.to_profile(0.7)).collect();
 
         let kairos = engine
             .consolidate_with(&profiles, PlanStrategy::Kairos)

@@ -19,10 +19,10 @@ fn main() {
         .map(|i| {
             WorkloadProfile::flat(
                 format!("db-server-{i:02}"),
-                300.0, // 5-minute monitoring windows
-                288,   // one day
-                0.25 + 0.1 * (i % 4) as f64,            // standardized cores
-                Bytes::gib(2 + (i % 3) as u64),         // gauged RAM need
+                300.0,                          // 5-minute monitoring windows
+                288,                            // one day
+                0.25 + 0.1 * (i % 4) as f64,    // standardized cores
+                Bytes::gib(2 + (i % 3) as u64), // gauged RAM need
                 DiskDemand::new(Bytes::gib(1), Rate(150.0 + 40.0 * i as f64)),
             )
         })

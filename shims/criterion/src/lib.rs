@@ -1,0 +1,183 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements just enough of the criterion surface — `Criterion`,
+//! `bench_function`, `benchmark_group`, `Bencher::iter`/`iter_batched`,
+//! `criterion_group!`/`criterion_main!` — that the workspace's benches
+//! compile and produce useful wall-clock numbers without network access.
+//! No statistics, no HTML reports: each benchmark is warmed up briefly,
+//! then timed over enough iterations to fill a small measurement budget,
+//! and the mean per-iteration time is printed.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are grouped (accepted for API compatibility; the
+/// shim times every batch individually regardless).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Per-run timing controls.
+#[derive(Debug, Clone, Copy)]
+struct Budget {
+    warmup: Duration,
+    measure: Duration,
+    min_samples: u64,
+}
+
+impl Default for Budget {
+    fn default() -> Budget {
+        Budget {
+            warmup: Duration::from_millis(150),
+            measure: Duration::from_millis(600),
+            min_samples: 5,
+        }
+    }
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    budget: Budget,
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            budget: self.budget,
+            report: None,
+        };
+        f(&mut b);
+        if let Some(r) = b.report {
+            println!("{name:<44} time: {}", fmt_duration(r));
+        }
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group of benchmarks (sample-size hints are accepted and used to
+/// scale the measurement budget down for slow benches).
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Fewer samples requested = slow benchmark: shrink the budget so a
+        // handful of iterations suffice.
+        let n = n.max(1) as u32;
+        self.parent.budget.measure = Duration::from_millis(600).min(Duration::from_millis(60) * n);
+        self.parent.budget.min_samples = (n as u64).min(10);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        self.parent.bench_function(&full, f);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark closure; runs and times the routine.
+pub struct Bencher {
+    budget: Budget,
+    report: Option<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly; record the mean per-iteration time.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        let warm_until = Instant::now() + self.budget.warmup;
+        while Instant::now() < warm_until {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while iters < self.budget.min_samples || start.elapsed() < self.budget.measure {
+            black_box(routine());
+            iters += 1;
+        }
+        self.report = Some(start.elapsed() / iters.max(1) as u32);
+    }
+
+    /// Time `routine` over fresh inputs from `setup`; setup time excluded.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        // Warm up with a couple of runs.
+        for _ in 0..2 {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        let budget_start = Instant::now();
+        while iters < self.budget.min_samples || budget_start.elapsed() < self.budget.measure {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            total += t.elapsed();
+            iters += 1;
+        }
+        self.report = Some(total / iters.max(1) as u32);
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Collect benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

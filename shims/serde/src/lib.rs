@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, so this workspace-local
+//! shim satisfies the `serde::Serialize` / `serde::Deserialize` derive
+//! annotations scattered through the data types. The traits are markers and
+//! the derives expand to empty impls: nothing in the workspace serializes
+//! through serde today (report JSON is hand-rendered). Swapping in the real
+//! serde later is a one-line Cargo change; the annotations are already
+//! correct.
+
+pub use serde_derive_shim::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (lifetime elided: no code in
+/// this workspace names the `'de` parameter).
+pub trait Deserialize {}

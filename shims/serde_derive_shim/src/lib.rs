@@ -1,0 +1,50 @@
+//! No-op `Serialize`/`Deserialize` derives for the workspace-local serde
+//! shim. Each derive emits an empty marker-trait impl for the annotated
+//! type. Only non-generic types are supported — which covers every derive
+//! site in this workspace; a generic type fails loudly at compile time
+//! rather than silently mis-expanding.
+
+use proc_macro::{TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Serialize")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Deserialize")
+}
+
+fn marker_impl(input: TokenStream, trait_name: &str) -> TokenStream {
+    let name =
+        type_name(input).unwrap_or_else(|| panic!("serde shim derive: could not find type name"));
+    format!("impl ::serde::{trait_name} for {name} {{}}")
+        .parse()
+        .expect("serde shim derive: generated impl must parse")
+}
+
+/// Scan the derive input for `struct`/`enum`/`union` and return the
+/// following identifier. Panics on generic types (the shim would need real
+/// parsing to reproduce their bounds).
+fn type_name(input: TokenStream) -> Option<String> {
+    let mut saw_kw = false;
+    for tt in input {
+        match tt {
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if saw_kw {
+                    return Some(s);
+                }
+                if s == "struct" || s == "enum" || s == "union" {
+                    saw_kw = true;
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                panic!("serde shim derive does not support generic types");
+            }
+            _ => {}
+        }
+    }
+    None
+}

@@ -113,11 +113,7 @@ fn overloaded_colocation_degrades_as_predicted() {
     let heavy = |name: &str| -> Box<dyn Workload> {
         Box::new(SyntheticWorkload::new(SyntheticSpec {
             rows_updated_per_txn: 30.0,
-            ..SyntheticSpec::balanced(
-                name,
-                Bytes::gib(2),
-                RatePattern::Flat { tps: 400.0 },
-            )
+            ..SyntheticSpec::balanced(name, Bytes::gib(2), RatePattern::Flat { tps: 400.0 })
         }))
     };
     let pipeline = Kairos::new(PipelineConfig {

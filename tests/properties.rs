@@ -1,41 +1,48 @@
-//! Property-based tests (proptest) on the system's core invariants.
+//! Property-based tests on the system's core invariants.
+//!
+//! Originally written against `proptest`; the build environment is offline,
+//! so the same properties now run on an in-repo harness: each case is
+//! generated from a seeded [`SplitMix64`] stream, which keeps the tests
+//! fully deterministic while still sweeping the input space. Failures
+//! report the offending case index/seed for replay.
 
+use kairos::dbsim::{ClockCache, PageId};
+use kairos::diskmodel::{DiskModel, DiskPoint, DiskProfile};
 use kairos::solver::{
-    evaluate, fractional_lower_bound, greedy_pack, polish, solve, Assignment,
-    ConsolidationProblem, LinearDiskCombiner, SolverConfig, TargetMachine, WorkloadSpec,
+    evaluate, fractional_lower_bound, greedy_pack, polish, solve, Assignment, ConsolidationProblem,
+    LinearDiskCombiner, SolverConfig, TargetMachine, WorkloadSpec,
 };
-use kairos::types::{Bytes, SplitMix64, TimeSeries};
-use proptest::prelude::*;
+use kairos::types::{Bytes, DiskDemand, Rate, SplitMix64, TimeSeries};
 use std::sync::Arc;
 
-fn arb_problem() -> impl Strategy<Value = ConsolidationProblem> {
-    (2usize..12, 1usize..6, 0u64..1000).prop_map(|(n, windows, seed)| {
-        let mut rng = SplitMix64::new(seed);
-        let workloads: Vec<WorkloadSpec> = (0..n)
-            .map(|i| {
-                let cpu = rng.next_in(0.1, 5.0);
-                let ram = rng.next_in(1e9, 30e9);
-                let ws = ram * 0.3;
-                let rate = rng.next_in(10.0, 2_000.0);
-                WorkloadSpec::flat(format!("w{i}"), windows, cpu, ram, ws, rate)
-            })
-            .collect();
-        ConsolidationProblem::new(
-            workloads,
-            TargetMachine::paper_target(),
-            n,
-            Arc::new(LinearDiskCombiner::default()),
-        )
-    })
+/// A random consolidation problem: 2–11 workloads, 1–5 windows.
+fn random_problem(rng: &mut SplitMix64) -> ConsolidationProblem {
+    let n = 2 + rng.next_range(10) as usize;
+    let windows = 1 + rng.next_range(5) as usize;
+    let workloads: Vec<WorkloadSpec> = (0..n)
+        .map(|i| {
+            let cpu = rng.next_in(0.1, 5.0);
+            let ram = rng.next_in(1e9, 30e9);
+            let ws = ram * 0.3;
+            let rate = rng.next_in(10.0, 2_000.0);
+            WorkloadSpec::flat(format!("w{i}"), windows, cpu, ram, ws, rate)
+        })
+        .collect();
+    ConsolidationProblem::new(
+        workloads,
+        TargetMachine::paper_target(),
+        n,
+        Arc::new(LinearDiskCombiner::default()),
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Any plan the solver returns satisfies every constraint, and never
-    /// beats the fractional lower bound.
-    #[test]
-    fn solver_output_is_feasible_and_bounded(problem in arb_problem()) {
+/// Any plan the solver returns satisfies every constraint, and never beats
+/// the fractional lower bound.
+#[test]
+fn solver_output_is_feasible_and_bounded() {
+    let mut rng = SplitMix64::new(0xFEA51B1E);
+    for case in 0..24 {
+        let problem = random_problem(&mut rng);
         let cfg = SolverConfig {
             probe_evals: 300,
             final_evals: 800,
@@ -43,40 +50,65 @@ proptest! {
             ..Default::default()
         };
         if let Ok(report) = solve(&problem, &cfg) {
-            prop_assert!(report.evaluation.feasible);
+            assert!(report.evaluation.feasible, "case {case}");
             let again = evaluate(&problem, &report.assignment);
-            prop_assert!(again.feasible);
-            prop_assert!(report.assignment.machines_used() >= fractional_lower_bound(&problem));
-            prop_assert_eq!(report.assignment.machine_of.len(), problem.slots().len());
+            assert!(again.feasible, "case {case}: replay must stay feasible");
+            assert!(
+                report.assignment.machines_used() >= fractional_lower_bound(&problem),
+                "case {case}: integer solution beat the fractional bound"
+            );
+            assert_eq!(
+                report.assignment.machine_of.len(),
+                problem.slots().len(),
+                "case {case}"
+            );
         }
     }
+}
 
-    /// Greedy solutions, when produced, are feasible.
-    #[test]
-    fn greedy_output_is_feasible(problem in arb_problem()) {
+/// Greedy solutions, when produced, are feasible.
+#[test]
+fn greedy_output_is_feasible() {
+    let mut rng = SplitMix64::new(0x6EEED1);
+    for case in 0..24 {
+        let problem = random_problem(&mut rng);
         if let Some(g) = greedy_pack(&problem) {
-            prop_assert!(evaluate(&problem, &g.assignment).feasible);
+            assert!(
+                evaluate(&problem, &g.assignment).feasible,
+                "case {case}: greedy returned an infeasible packing"
+            );
         }
     }
+}
 
-    /// Local search never worsens the objective.
-    #[test]
-    fn polish_never_worsens(problem in arb_problem(), seed in 0u64..500) {
+/// Local search never worsens the objective.
+#[test]
+fn polish_never_worsens() {
+    let mut rng = SplitMix64::new(0x0115);
+    for case in 0..24 {
+        let problem = random_problem(&mut rng);
         let slots = problem.slots().len();
         let k = problem.max_machines;
-        let mut rng = SplitMix64::new(seed);
         let start = Assignment::new(
-            (0..slots).map(|_| rng.next_range(k as u64) as usize).collect(),
+            (0..slots)
+                .map(|_| rng.next_range(k as u64) as usize)
+                .collect(),
         );
         let before = evaluate(&problem, &start).objective;
         let report = polish(&problem, &start, k, 25);
-        prop_assert!(report.evaluation.objective <= before + 1e-9);
+        assert!(
+            report.evaluation.objective <= before + 1e-9,
+            "case {case}: polish worsened {before} -> {}",
+            report.evaluation.objective
+        );
     }
+}
 
-    /// The exponential objective prefers fewer machines whenever both
-    /// assignments are feasible.
-    #[test]
-    fn fewer_machines_win_when_feasible(n in 2usize..8) {
+/// The exponential objective prefers fewer machines whenever both
+/// assignments are feasible.
+#[test]
+fn fewer_machines_win_when_feasible() {
+    for n in 2usize..8 {
         let workloads: Vec<WorkloadSpec> = (0..n)
             .map(|i| WorkloadSpec::flat(format!("w{i}"), 2, 1.0, 2e9, 5e8, 50.0))
             .collect();
@@ -89,90 +121,104 @@ proptest! {
         let packed = evaluate(&problem, &Assignment::new(vec![0; n]));
         let spread = evaluate(&problem, &Assignment::new((0..n).collect()));
         if packed.feasible && spread.feasible {
-            prop_assert!(packed.objective < spread.objective);
+            assert!(packed.objective < spread.objective, "n = {n}");
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Time-series downsampling with AVG conserves the mean on exact
-    /// bucket boundaries.
-    #[test]
-    fn downsample_avg_conserves_mean(
-        vals in proptest::collection::vec(-1e6f64..1e6, 4..64),
-        factor in 1usize..8,
-    ) {
-        let n = (vals.len() / factor) * factor;
-        prop_assume!(n > 0);
-        let ts = TimeSeries::new(1.0, vals[..n].to_vec());
+/// Time-series downsampling with AVG conserves the mean on exact bucket
+/// boundaries.
+#[test]
+fn downsample_avg_conserves_mean() {
+    let mut rng = SplitMix64::new(0xD0_5A);
+    for case in 0..48 {
+        let len = 4 + rng.next_range(60) as usize;
+        let factor = 1 + rng.next_range(7) as usize;
+        let n = (len / factor) * factor;
+        if n == 0 {
+            continue;
+        }
+        let vals: Vec<f64> = (0..n).map(|_| rng.next_in(-1e6, 1e6)).collect();
+        let ts = TimeSeries::new(1.0, vals);
         let down = ts.downsample_avg(factor);
-        prop_assert!((down.mean() - ts.mean()).abs() < 1e-6);
+        assert!(
+            (down.mean() - ts.mean()).abs() < 1e-6,
+            "case {case}: mean drifted {} -> {}",
+            ts.mean(),
+            down.mean()
+        );
     }
+}
 
-    /// MAX consolidation dominates AVG pointwise.
-    #[test]
-    fn downsample_max_dominates_avg(
-        vals in proptest::collection::vec(0f64..1e6, 4..64),
-        factor in 1usize..8,
-    ) {
+/// MAX consolidation dominates AVG pointwise.
+#[test]
+fn downsample_max_dominates_avg() {
+    let mut rng = SplitMix64::new(0x3A_11);
+    for case in 0..48 {
+        let len = 4 + rng.next_range(60) as usize;
+        let factor = 1 + rng.next_range(7) as usize;
+        let vals: Vec<f64> = (0..len).map(|_| rng.next_in(0.0, 1e6)).collect();
         let ts = TimeSeries::new(1.0, vals);
         let avg = ts.downsample_avg(factor);
         let max = ts.downsample_max(factor);
         for (a, m) in avg.values().iter().zip(max.values()) {
-            prop_assert!(m >= a);
+            assert!(m >= a, "case {case}: max {m} below avg {a}");
         }
     }
+}
 
-    /// Percentiles are monotone in p and bracketed by min/max.
-    #[test]
-    fn percentiles_are_monotone(
-        vals in proptest::collection::vec(-1e9f64..1e9, 1..128),
-        p1 in 0f64..100.0,
-        p2 in 0f64..100.0,
-    ) {
+/// Percentiles are monotone in p and bracketed by min/max.
+#[test]
+fn percentiles_are_monotone() {
+    let mut rng = SplitMix64::new(0x9E9C);
+    for case in 0..48 {
+        let len = 1 + rng.next_range(127) as usize;
+        let vals: Vec<f64> = (0..len).map(|_| rng.next_in(-1e9, 1e9)).collect();
         let ts = TimeSeries::new(1.0, vals);
+        let p1 = rng.next_in(0.0, 100.0);
+        let p2 = rng.next_in(0.0, 100.0);
         let (lo, hi) = (p1.min(p2), p1.max(p2));
-        prop_assert!(ts.percentile(lo) <= ts.percentile(hi) + 1e-9);
-        prop_assert!(ts.percentile(0.0) >= ts.min() - 1e-9);
-        prop_assert!(ts.percentile(100.0) <= ts.max() + 1e-9);
+        assert!(ts.percentile(lo) <= ts.percentile(hi) + 1e-9, "case {case}");
+        assert!(ts.percentile(0.0) >= ts.min() - 1e-9, "case {case}");
+        assert!(ts.percentile(100.0) <= ts.max() + 1e-9, "case {case}");
     }
 }
 
 mod buffer_pool {
     use super::*;
-    use kairos::dbsim::{ClockCache, PageId};
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
-
-        /// The cache never exceeds capacity, never loses dirty pages
-        /// silently (dirty_count matches ground truth), and hits+misses
-        /// equals the access count.
-        #[test]
-        fn clock_cache_invariants(
-            capacity in 1usize..64,
-            ops in proptest::collection::vec((0u64..128, any::<bool>()), 1..256),
-        ) {
+    /// The cache never exceeds capacity, never loses dirty pages silently
+    /// (dirty_count matches ground truth), and hits+misses equals the
+    /// access count.
+    #[test]
+    fn clock_cache_invariants() {
+        let mut rng = SplitMix64::new(0xCAC4E);
+        for case in 0..32 {
+            let capacity = 1 + rng.next_range(63) as usize;
+            let ops = 1 + rng.next_range(255) as usize;
             let mut cache = ClockCache::new(capacity);
             let mut accesses = 0u64;
-            for (page, dirty) in ops {
+            for _ in 0..ops {
+                let page = rng.next_range(128);
+                let dirty = rng.next_range(2) == 1;
                 cache.touch(PageId(page), dirty);
                 accesses += 1;
-                prop_assert!(cache.resident() <= capacity);
-                prop_assert!(cache.dirty_count() <= cache.resident());
+                assert!(cache.resident() <= capacity, "case {case}");
+                assert!(cache.dirty_count() <= cache.resident(), "case {case}");
             }
             let stats = cache.stats();
-            prop_assert_eq!(stats.hits + stats.misses, accesses);
+            assert_eq!(stats.hits + stats.misses, accesses, "case {case}");
         }
+    }
 
-        /// Flushing each dirty batch eventually cleans everything, and
-        /// batches come out sorted.
-        #[test]
-        fn dirty_batches_are_sorted_and_drain(
-            pages in proptest::collection::vec(0u64..512, 1..128),
-        ) {
+    /// Flushing each dirty batch eventually cleans everything, and batches
+    /// come out sorted.
+    #[test]
+    fn dirty_batches_are_sorted_and_drain() {
+        let mut rng = SplitMix64::new(0xF1054);
+        for case in 0..32 {
+            let n = 1 + rng.next_range(127) as usize;
+            let pages: Vec<u64> = (0..n).map(|_| rng.next_range(512)).collect();
             let mut cache = ClockCache::new(1024);
             for &p in &pages {
                 cache.touch(PageId(p), true);
@@ -184,21 +230,19 @@ mod buffer_pool {
                     break;
                 }
                 for w in batch.windows(2) {
-                    prop_assert!(w[0] < w[1]);
+                    assert!(w[0] < w[1], "case {case}: batch not sorted");
                 }
                 total += batch.len();
             }
             let distinct: std::collections::HashSet<u64> = pages.iter().copied().collect();
-            prop_assert_eq!(total, distinct.len());
-            prop_assert_eq!(cache.dirty_count(), 0);
+            assert_eq!(total, distinct.len(), "case {case}");
+            assert_eq!(cache.dirty_count(), 0, "case {case}");
         }
     }
 }
 
 mod disk_model {
     use super::*;
-    use kairos::diskmodel::{DiskModel, DiskPoint, DiskProfile};
-    use kairos::types::{DiskDemand, Rate};
 
     fn profile_from_seed(seed: u64) -> DiskProfile {
         let mut rng = SplitMix64::new(seed);
@@ -217,23 +261,29 @@ mod disk_model {
                 });
             }
         }
-        DiskProfile { machine: "prop".into(), points }
+        DiskProfile {
+            machine: "prop".into(),
+            points,
+        }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(16))]
-
-        /// For monotone profiles the fitted model predicts monotonically
-        /// in rate and stays within the clamp envelope.
-        #[test]
-        fn model_predicts_monotone_in_rate(seed in 0u64..10_000) {
+    /// For monotone profiles the fitted model predicts monotonically in
+    /// rate and stays within the clamp envelope.
+    #[test]
+    fn model_predicts_monotone_in_rate() {
+        let mut rng = SplitMix64::new(0xD15C);
+        for case in 0..16 {
+            let seed = rng.next_range(10_000);
             let model = DiskModel::fit(&profile_from_seed(seed)).unwrap();
             let ws = Bytes(1_500_000_000);
             let mut prev = 0.0;
             for j in 1..=6 {
                 let v = model.predict_write_bytes(DiskDemand::new(ws, Rate(j as f64 * 5_000.0)));
-                prop_assert!(v >= prev - 1e5, "rate step {j}: {v} < {prev}");
-                prop_assert!(v.is_finite() && v >= 0.0);
+                assert!(
+                    v >= prev - 1e5,
+                    "case {case} seed {seed} rate step {j}: {v} < {prev}"
+                );
+                assert!(v.is_finite() && v >= 0.0, "case {case}");
                 prev = v;
             }
         }
