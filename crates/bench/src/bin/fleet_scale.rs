@@ -1,0 +1,179 @@
+//! Sharded-control-plane scaling benchmark: tick latency and per-shard
+//! re-solve time vs. shard count, under weak scaling (fixed tenants per
+//! shard, so the fleet grows with the shard count). The hierarchical
+//! claim under test: per-shard re-solve cost stays flat as the fleet
+//! grows, because each re-solver only ever sees its own shard. Emits a
+//! JSON baseline on stdout (recorded as `BENCH_fleet.json`).
+//!
+//! ```text
+//! cargo run --release -p kairos-bench --bin fleet_scale > BENCH_fleet.json
+//! KAIROS_QUICK=1 cargo run --release -p kairos-bench --bin fleet_scale
+//! ```
+
+use kairos_bench::quick;
+use kairos_controller::{ControllerConfig, SyntheticSource, TickOutcome};
+use kairos_fleet::{BalancerConfig, FleetConfig, FleetController};
+use kairos_types::Bytes;
+use kairos_workloads::RatePattern;
+use std::time::Instant;
+
+const BUDGET: usize = 8;
+
+struct ScaleResult {
+    shards: usize,
+    tenants: usize,
+    ticks: u64,
+    steady_tick_usecs: f64,
+    /// Mean wall-clock per solve (bootstrap + re-solves), averaged over
+    /// shards — the quantity that must stay flat under weak scaling.
+    mean_resolve_ms: f64,
+    resolves: u64,
+    handoffs_completed: u64,
+    handoffs_rejected: u64,
+    total_machines: usize,
+    zero_violations: bool,
+    within_budget: bool,
+}
+
+fn run_scale(shards: usize, tenants_per_shard: usize, ticks: u64) -> ScaleResult {
+    let cfg = FleetConfig {
+        shards,
+        shard: ControllerConfig {
+            horizon: 12,
+            check_every: 4,
+            cooldown_ticks: 12,
+            ..ControllerConfig::default()
+        },
+        balancer: BalancerConfig {
+            machines_per_shard: BUDGET,
+            balance_every: 6,
+            max_moves_per_round: 4,
+        },
+    };
+    let mut fleet = FleetController::new(cfg);
+    let spike_start = ticks / 3;
+    let spike_end = (2 * ticks) / 3;
+    for shard in 0..shards {
+        for i in 0..tenants_per_shard {
+            let base = 190.0 + 10.0 * (i % 4) as f64;
+            let name = format!("s{shard}-t{i:02}");
+            // Shard 0 takes a regional spike; the rest stay flat — the
+            // balancer's cross-shard work scales with the fleet.
+            let src = if shard == 0 && i < tenants_per_shard * 2 / 5 {
+                SyntheticSource::new(name, 300.0, Bytes::gib(4), RatePattern::Flat { tps: base })
+                    .then_at(spike_start, RatePattern::Flat { tps: 640.0 })
+                    .then_at(spike_end, RatePattern::Flat { tps: base })
+            } else {
+                SyntheticSource::new(name, 300.0, Bytes::gib(4), RatePattern::Flat { tps: base })
+            };
+            fleet.add_workload_to(shard, Box::new(src));
+        }
+    }
+
+    let mut steady_secs = 0.0;
+    let mut steady_ticks = 0u64;
+    for _ in 0..ticks {
+        let t0 = Instant::now();
+        let report = fleet.tick();
+        let wall = t0.elapsed().as_secs_f64();
+        let eventful = report.handoffs.iter().any(|h| h.completed())
+            || report.outcomes.iter().any(|o| {
+                matches!(
+                    o,
+                    TickOutcome::Replanned(_) | TickOutcome::InitialPlan { .. }
+                )
+            });
+        if !eventful {
+            steady_secs += wall;
+            steady_ticks += 1;
+        }
+    }
+
+    let mut solve_secs = 0.0;
+    let mut solves = 0u64;
+    let mut resolves = 0u64;
+    for s in fleet.shards() {
+        let st = s.stats();
+        solve_secs += st.solve_secs_total;
+        solves += st.resolves + 1; // + the bootstrap solve
+        resolves += st.resolves;
+    }
+    let audit = fleet.audit();
+    let stats = fleet.stats();
+    ScaleResult {
+        shards,
+        tenants: shards * tenants_per_shard,
+        ticks,
+        steady_tick_usecs: if steady_ticks > 0 {
+            steady_secs / steady_ticks as f64 * 1e6
+        } else {
+            0.0
+        },
+        mean_resolve_ms: if solves > 0 {
+            solve_secs / solves as f64 * 1e3
+        } else {
+            0.0
+        },
+        resolves,
+        handoffs_completed: stats.handoffs_completed,
+        handoffs_rejected: stats.handoffs_rejected,
+        total_machines: audit.total_machines(),
+        zero_violations: audit.zero_violations(),
+        within_budget: audit.within_budget(BUDGET),
+    }
+}
+
+fn main() {
+    let (scales, tenants_per_shard, ticks): (&[usize], usize, u64) = if quick() {
+        (&[1, 2, 4], 12, 90)
+    } else {
+        (&[1, 2, 4, 8], 25, 150)
+    };
+
+    let results: Vec<ScaleResult> = scales
+        .iter()
+        .map(|&s| run_scale(s, tenants_per_shard, ticks))
+        .collect();
+
+    let mut out = String::new();
+    out.push_str("{\n  \"bench\": \"fleet_scale\",\n");
+    out.push_str(&format!(
+        "  \"config\": {{\"tenants_per_shard\":{tenants_per_shard},\"ticks\":{ticks},\"machines_per_shard\":{BUDGET},\"quick\":{}}},\n",
+        quick()
+    ));
+    out.push_str("  \"scales\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\"shards\":{},\"tenants\":{},\"ticks\":{},",
+                "\"steady_tick_usecs\":{:.2},\"mean_resolve_ms\":{:.3},\"resolves\":{},",
+                "\"handoffs_completed\":{},\"handoffs_rejected\":{},",
+                "\"total_machines\":{},\"zero_violations\":{},\"within_budget\":{}}}"
+            ),
+            r.shards,
+            r.tenants,
+            r.ticks,
+            r.steady_tick_usecs,
+            r.mean_resolve_ms,
+            r.resolves,
+            r.handoffs_completed,
+            r.handoffs_rejected,
+            r.total_machines,
+            r.zero_violations,
+            r.within_budget,
+        ));
+        out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    // The weak-scaling headline: per-shard re-solve time at the largest
+    // scale relative to one shard (must stay within ~2x for the
+    // hierarchical decomposition to be doing its job).
+    let base = results.first().map(|r| r.mean_resolve_ms).unwrap_or(0.0);
+    let last = results.last().map(|r| r.mean_resolve_ms).unwrap_or(0.0);
+    let ratio = if base > 0.0 { last / base } else { 0.0 };
+    out.push_str(&format!(
+        "  \"weak_scaling\": {{\"resolve_ms_at_1_shard\":{base:.3},\"resolve_ms_at_max_shards\":{last:.3},\"ratio\":{ratio:.3}}}\n"
+    ));
+    out.push_str("}\n");
+    print!("{out}");
+}

@@ -6,17 +6,18 @@
 //! until either the drift detector trips or fleet membership changes —
 //! at which point it re-solves *warm* with a migration-cost objective and
 //! executes the resulting capacity-safe move list.
+//!
+//! The loop itself lives in [`crate::shard::ShardController`] — the unit
+//! the sharded control plane (`kairos-fleet`) replicates per shard.
+//! [`Controller`] is the single-fleet view: one shard, same behaviour.
 
 use crate::drift::{DriftDetector, DriftReport};
 use crate::executor::{ExecutionReport, FleetExecutor};
-use crate::ingest::{TelemetryConfig, TelemetryIngester, TelemetrySource};
-use crate::migration::plan_migration;
-use crate::resolver::{forecast_profile, FleetPlacement, ReSolver};
+use crate::ingest::{TelemetryConfig, TelemetrySource};
+use crate::resolver::FleetPlacement;
+use crate::shard::ShardController;
 use kairos_core::ConsolidationEngine;
-use kairos_solver::{evaluate, Assignment, Evaluation, SolverConfig};
-use kairos_types::WorkloadProfile;
-use std::collections::BTreeMap;
-use std::time::Instant;
+use kairos_solver::{Evaluation, SolverConfig};
 
 /// Loop tuning.
 #[derive(Debug, Clone, Copy)]
@@ -119,45 +120,15 @@ pub struct ControllerStats {
     pub solve_secs_total: f64,
 }
 
-/// The online consolidation daemon.
+/// The online consolidation daemon — a single-shard fleet.
 pub struct Controller {
-    cfg: ControllerConfig,
-    ingester: TelemetryIngester,
-    sources: BTreeMap<String, Box<dyn TelemetrySource>>,
-    resolver: ReSolver,
-    executor: FleetExecutor,
-    placement: FleetPlacement,
-    /// Per workload: the profile its current placement was solved for.
-    planned: BTreeMap<String, WorkloadProfile>,
-    planned_once: bool,
-    membership_changed: bool,
-    /// Tick of the most recent (re-)plan, for cooldown accounting.
-    last_plan_tick: u64,
-    /// Do not attempt another re-plan before this tick (set after a
-    /// failed solve so retries are paced, not per-tick).
-    replan_backoff_until: u64,
-    stats: ControllerStats,
+    shard: ShardController,
 }
 
 impl Controller {
     pub fn new(cfg: ControllerConfig, engine: ConsolidationEngine) -> Controller {
-        let mut resolver = ReSolver::new(engine);
-        resolver.solver = cfg.solver;
-        resolver.cost_per_move = cfg.cost_per_move;
-        resolver.cold = cfg.cold_resolves;
         Controller {
-            cfg,
-            ingester: TelemetryIngester::new(),
-            sources: BTreeMap::new(),
-            resolver,
-            executor: FleetExecutor::new(),
-            placement: FleetPlacement::new(),
-            planned: BTreeMap::new(),
-            planned_once: false,
-            membership_changed: false,
-            last_plan_tick: 0,
-            replan_backoff_until: 0,
-            stats: ControllerStats::default(),
+            shard: ShardController::new(cfg, engine),
         }
     }
 
@@ -165,249 +136,64 @@ impl Controller {
     /// after the initial plan triggers a membership re-plan once the
     /// newcomer has enough observed windows.
     pub fn add_workload(&mut self, source: Box<dyn TelemetrySource>) {
-        let name = source.name().to_string();
-        self.ingester.register(&name, self.cfg.telemetry);
-        self.sources.insert(name, source);
-        if self.planned_once {
-            self.membership_changed = true;
-        }
+        self.shard.add_workload(source);
+    }
+
+    /// Attach a replicated workload (`replicas` copies, distinct hosts).
+    pub fn add_workload_with_replicas(&mut self, source: Box<dyn TelemetrySource>, replicas: u32) {
+        self.shard.add_workload_with_replicas(source, replicas);
+    }
+
+    /// Declare that `a` and `b` must never share a machine.
+    pub fn add_anti_affinity(&mut self, a: &str, b: &str) {
+        self.shard.add_anti_affinity(a, b);
     }
 
     /// Detach a workload: telemetry dropped, tenant retired, and an
     /// opportunistic repack scheduled (departures free capacity).
     pub fn remove_workload(&mut self, name: &str) {
-        self.sources.remove(name);
-        self.ingester.deregister(name);
-        self.planned.remove(name);
-        self.placement.remove_workload(name);
-        self.executor.retire(name);
-        if self.planned_once {
-            self.membership_changed = true;
-        }
+        self.shard.remove_workload(name);
     }
 
     pub fn stats(&self) -> ControllerStats {
-        self.stats
+        self.shard.stats()
     }
 
     pub fn placement(&self) -> &FleetPlacement {
-        &self.placement
+        self.shard.placement()
     }
 
     pub fn executor(&self) -> &FleetExecutor {
-        &self.executor
+        self.shard.executor()
     }
 
     pub fn workloads(&self) -> Vec<String> {
-        self.ingester.names()
+        self.shard.workloads()
     }
 
     /// One monitoring interval: poll every source, then act.
     pub fn tick(&mut self) -> TickOutcome {
-        self.stats.ticks += 1;
-        for (name, source) in self.sources.iter_mut() {
-            let sample = source.poll();
-            self.ingester.ingest(name, &sample);
-            self.stats.samples_ingested += 1;
-        }
-
-        if !self.planned_once {
-            return self.maybe_bootstrap();
-        }
-        if self.stats.ticks < self.replan_backoff_until {
-            return TickOutcome::Idle;
-        }
-        if self.membership_changed && self.fleet_observable() {
-            return self.replan(ReplanReason::Membership);
-        }
-        let cooled_down =
-            self.stats.ticks.saturating_sub(self.last_plan_tick) >= self.cfg.cooldown_ticks;
-        if cooled_down && self.stats.ticks.is_multiple_of(self.cfg.check_every) {
-            return self.check_drift();
-        }
-        TickOutcome::Idle
-    }
-
-    /// Every registered workload has at least the detector's minimum
-    /// window of live samples.
-    fn fleet_observable(&self) -> bool {
-        self.ingester.names().iter().all(|n| {
-            self.ingester
-                .get(n)
-                .is_some_and(|t| t.window_len() >= self.cfg.detector.min_windows)
-        })
-    }
-
-    /// Bootstrap: wait until every workload has a full horizon of
-    /// observations, then plan cold and provision the fleet.
-    fn maybe_bootstrap(&mut self) -> TickOutcome {
-        let ready = !self.ingester.is_empty()
-            && self.ingester.names().iter().all(|n| {
-                self.ingester
-                    .get(n)
-                    .is_some_and(|t| t.window_len() >= self.cfg.horizon)
-            });
-        if !ready {
-            return TickOutcome::Bootstrapping;
-        }
-        let profiles = self.forecast_fleet();
-        let t0 = Instant::now();
-        let plan = match self.resolver.engine.consolidate(&profiles) {
-            Ok(p) => p,
-            Err(_) => return TickOutcome::Bootstrapping,
-        };
-        let solve_secs = t0.elapsed().as_secs_f64();
-        self.stats.solve_secs_total += solve_secs;
-
-        let problem = self
-            .resolver
-            .engine
-            .problem(&profiles)
-            .expect("profiles already consolidated");
-        let from = vec![None; problem.slots().len()];
-        let migration = plan_migration(&problem, &from, &plan.report.assignment);
-        let exec = self.executor.execute(&migration, &problem);
-        self.stats.forced_steps += exec.forced_steps as u64;
-
-        self.placement = FleetPlacement::from_plan(&plan);
-        self.planned = profiles.into_iter().map(|p| (p.name.clone(), p)).collect();
-        self.planned_once = true;
-        self.last_plan_tick = self.stats.ticks;
-        TickOutcome::InitialPlan {
-            machines: plan.machines_used(),
-            solve_secs,
-        }
-    }
-
-    /// Forecast every workload's next horizon from its rolling telemetry.
-    fn forecast_fleet(&self) -> Vec<WorkloadProfile> {
-        self.ingester
-            .names()
-            .iter()
-            .map(|n| {
-                forecast_profile(
-                    n,
-                    self.ingester.get(n).expect("registered"),
-                    self.cfg.horizon,
-                )
-            })
-            .collect()
-    }
-
-    /// Compare each live window against its planned profile.
-    fn check_drift(&mut self) -> TickOutcome {
-        self.stats.drift_checks += 1;
-        let mut drifted: Vec<String> = Vec::new();
-        for name in self.ingester.names() {
-            let Some(planned) = self.planned.get(&name) else {
-                // A workload with telemetry but no plan yet (arrival still
-                // warming up) is membership, not drift.
-                continue;
-            };
-            let telemetry = self.ingester.get(&name).expect("registered");
-            let Some(live) = telemetry.live_profile(&name, self.cfg.horizon) else {
-                continue;
-            };
-            let report =
-                self.cfg
-                    .detector
-                    .check(planned, &live, telemetry.samples_seen().saturating_sub(1));
-            if report.drifted {
-                drifted.push(report.workload);
-            }
-        }
-        if drifted.is_empty() {
-            TickOutcome::Stable
-        } else {
-            self.replan(ReplanReason::Drift(drifted))
-        }
-    }
-
-    /// Warm re-solve + capacity-safe migration.
-    fn replan(&mut self, reason: ReplanReason) -> TickOutcome {
-        let profiles = self.forecast_fleet();
-        let t0 = Instant::now();
-        let outcome = match self.resolver.resolve(&profiles, &self.placement) {
-            Ok(o) => o,
-            Err(_) => {
-                // Nothing placeable right now (e.g. a workload's forecast
-                // momentarily outgrew the machine class). Keep the old
-                // plan and leave `membership_changed` untouched so a
-                // pending arrival is retried rather than orphaned; back
-                // off one check period so a persistently infeasible fleet
-                // doesn't pay a full solve every tick.
-                self.replan_backoff_until = self.stats.ticks + self.cfg.check_every;
-                return TickOutcome::Stable;
-            }
-        };
-        let solve_secs = t0.elapsed().as_secs_f64();
-
-        let migration = plan_migration(
-            &outcome.problem,
-            &outcome.baseline,
-            &outcome.report.assignment,
-        );
-        let execution = self.executor.execute(&migration, &outcome.problem);
-
-        let churn = outcome.churn();
-        self.stats.resolves += 1;
-        self.stats.total_moves += outcome.moves as u64;
-        self.stats.forced_steps += execution.forced_steps as u64;
-        self.stats.bytes_copied += execution.bytes_copied;
-        self.stats.max_churn = self.stats.max_churn.max(churn);
-        self.stats.solve_secs_total += solve_secs;
-
-        self.placement = outcome.placement;
-        self.planned = profiles.into_iter().map(|p| (p.name.clone(), p)).collect();
-        self.membership_changed = false;
-        self.last_plan_tick = self.stats.ticks;
-
-        TickOutcome::Replanned(ReplanSummary {
-            reason,
-            feasible: outcome.report.evaluation.feasible,
-            moves: outcome.moves,
-            churn,
-            machines: self.placement.machines_used(),
-            execution,
-            solve_secs,
-        })
+        self.shard.tick()
     }
 
     /// Re-evaluate the current placement against the current forecast —
     /// the "is the plan still sound" check exposed for tests and reports.
     /// `None` before the initial plan.
     pub fn verify_current(&self) -> Option<Evaluation> {
-        if !self.planned_once {
-            return None;
-        }
-        let profiles = self.forecast_fleet();
-        let problem = self.resolver.engine.problem(&profiles).ok()?;
-        let slots = problem.slots();
-        let mut machine_of = Vec::with_capacity(slots.len());
-        for slot in &slots {
-            let name = &problem.workloads[slot.workload].name;
-            machine_of.push(self.placement.machine_of(name, slot.replica)?);
-        }
-        Some(evaluate(&problem, &Assignment::new(machine_of)))
+        self.shard.verify_current()
     }
 
     /// Latest drift reports without acting on them (observability hook).
     pub fn drift_snapshot(&self) -> Vec<DriftReport> {
-        let mut out = Vec::new();
-        for name in self.ingester.names() {
-            let (Some(planned), Some(telemetry)) =
-                (self.planned.get(&name), self.ingester.get(&name))
-            else {
-                continue;
-            };
-            if let Some(live) = telemetry.live_profile(&name, self.cfg.horizon) {
-                out.push(self.cfg.detector.check(
-                    planned,
-                    &live,
-                    telemetry.samples_seen().saturating_sub(1),
-                ));
-            }
-        }
-        out
+        self.shard.drift_snapshot()
+    }
+
+    /// The underlying shard loop (summaries, handoff surface).
+    pub fn shard(&self) -> &ShardController {
+        &self.shard
+    }
+
+    pub fn shard_mut(&mut self) -> &mut ShardController {
+        &mut self.shard
     }
 }

@@ -9,10 +9,11 @@
 //! sequential bandwidth (reader and writer share the spindle, so half
 //! bandwidth each way), the dominant cost of a physical-copy migration.
 //!
-//! The simulator has no `DROP DATABASE`, so retired source tenants linger
-//! inside their old instance until a future GC lands (tracked on the
-//! ROADMAP); capacity accounting for planning purposes lives in the
-//! migration ledger, not in dbsim allocations.
+//! After the destination copy materializes, the source copy is garbage
+//! collected: [`kairos_dbsim::Host::remove_database`] drops the tenant's
+//! database, discarding its pages from the source buffer pool and
+//! reclaiming its disk footprint — so long-running fleets' hosts stay
+//! faithful to the placement map instead of accumulating ghost tenants.
 
 use crate::migration::{MigrationPlan, MigrationStep};
 use kairos_dbsim::{DbmsConfig, DbmsInstance, Host};
@@ -29,7 +30,6 @@ const PREWARM_PAGES_CAP: u64 = 4096;
 #[derive(Debug, Clone, Copy)]
 struct Tenant {
     machine: usize,
-    #[allow(dead_code)]
     db: kairos_dbsim::DatabaseId,
     bytes: Bytes,
 }
@@ -47,6 +47,8 @@ pub struct ExecutionReport {
     pub est_migration_secs: f64,
     /// Steps that had to run through a transient overload.
     pub forced_steps: usize,
+    /// Source-copy bytes reclaimed by tenant GC after moves completed.
+    pub bytes_reclaimed: f64,
 }
 
 /// The simulated fleet executor.
@@ -104,9 +106,31 @@ impl FleetExecutor {
             .count()
     }
 
-    /// Retire a tenant that left the fleet.
+    /// Retire a tenant that left the fleet: routing entries dropped and
+    /// every replica's database garbage-collected from its host.
     pub fn retire(&mut self, workload: &str) {
+        let gone: Vec<Tenant> = self
+            .routing
+            .iter()
+            .filter(|((w, _), _)| w == workload)
+            .map(|(_, t)| *t)
+            .collect();
         self.routing.retain(|(w, _), _| w != workload);
+        for t in gone {
+            self.gc_tenant(&t);
+        }
+    }
+
+    /// Drop a retired copy's database from its host (tenant GC). Bytes
+    /// reclaimed, or 0.0 when the host never materialized it.
+    fn gc_tenant(&mut self, tenant: &Tenant) -> f64 {
+        match self.hosts.get_mut(tenant.machine) {
+            Some(host) => host
+                .remove_database(0, tenant.db)
+                .map(|b| b.as_f64())
+                .unwrap_or(0.0),
+            None => 0.0,
+        }
     }
 
     /// Materialize one tenant on `machine` (database + working-set-sized
@@ -135,26 +159,36 @@ impl FleetExecutor {
         bytes
     }
 
-    /// Execute one step.
-    fn execute_step(&mut self, step: &MigrationStep, problem: &ConsolidationProblem) -> (f64, f64) {
+    /// Execute one step. Returns (bytes copied, est seconds, bytes GC'd
+    /// from the source host once the destination copy was live).
+    fn execute_step(
+        &mut self,
+        step: &MigrationStep,
+        problem: &ConsolidationProblem,
+    ) -> (f64, f64, f64) {
         let slot = problem.slots()[step.mv.slot];
         let spec = &problem.workloads[slot.workload];
         // Size the physical copy by the tenant's peak working set.
         let ws_peak = spec.ws.iter().copied().fold(0.0f64, f64::max).max(1.0);
-        let moved_bytes = self
+        let old = self
             .routing
             .get(&(step.mv.workload.clone(), step.mv.replica))
-            .map(|t| t.bytes.as_f64())
-            .unwrap_or(0.0);
+            .copied();
+        let moved_bytes = old.map(|t| t.bytes.as_f64()).unwrap_or(0.0);
         let bytes = self
             .materialize(&step.mv.workload, step.mv.replica, step.mv.to, ws_peak)
             .as_f64();
+        // The move is complete: drop the source copy (DROP DATABASE) so
+        // the old host's pool and disk footprint shrink accordingly. The
+        // destination copy is always a fresh database, so the old one is
+        // garbage even on a same-machine re-materialization.
+        let reclaimed = old.map(|t| self.gc_tenant(&t)).unwrap_or(0.0);
         if step.mv.is_provision() {
-            (0.0, 0.0)
+            (0.0, 0.0, reclaimed)
         } else {
             let copied = moved_bytes.max(bytes);
             let half_bw = self.machine_class.disk.seq_bytes_per_sec / 2.0;
-            (copied, copied / half_bw.max(1.0))
+            (copied, copied / half_bw.max(1.0), reclaimed)
         }
     }
 
@@ -166,7 +200,7 @@ impl FleetExecutor {
     ) -> ExecutionReport {
         let mut report = ExecutionReport::default();
         for step in &plan.steps {
-            let (copied, secs) = self.execute_step(step, problem);
+            let (copied, secs, reclaimed) = self.execute_step(step, problem);
             report.steps += 1;
             if step.mv.is_provision() {
                 report.provisions += 1;
@@ -178,6 +212,7 @@ impl FleetExecutor {
             }
             report.bytes_copied += copied;
             report.est_migration_secs += secs;
+            report.bytes_reclaimed += reclaimed;
         }
         report
     }
@@ -255,5 +290,43 @@ mod tests {
         assert_eq!(exec.tenants_on(0), 1);
         exec.retire("w0");
         assert_eq!(exec.tenants_on(0), 0);
+    }
+
+    #[test]
+    fn migration_gcs_source_copy() {
+        let p = problem(2);
+        let mut exec = FleetExecutor::new();
+        exec.execute(
+            &plan_migration(&p, &[None, None], &Assignment::new(vec![0, 0])),
+            &p,
+        );
+        assert_eq!(exec.hosts()[0].instance(0).live_databases().count(), 2);
+        let resident_before = exec.hosts()[0].instance(0).pool_resident_pages();
+        assert!(resident_before > 0, "prewarm must populate the pool");
+
+        let plan = plan_migration(&p, &[Some(0), Some(0)], &Assignment::new(vec![0, 1]));
+        let report = exec.execute(&plan, &p);
+        assert!(
+            report.bytes_reclaimed >= 256e6,
+            "source copy must be reclaimed, got {}",
+            report.bytes_reclaimed
+        );
+        // The ghost tenant is gone from the source host: one live
+        // database and a smaller resident working set.
+        assert_eq!(exec.hosts()[0].instance(0).live_databases().count(), 1);
+        assert!(exec.hosts()[0].instance(0).pool_resident_pages() < resident_before);
+        assert_eq!(exec.hosts()[1].instance(0).live_databases().count(), 1);
+        assert_eq!(exec.machine_of("w1", 0), Some(1));
+    }
+
+    #[test]
+    fn retire_gcs_all_replicas() {
+        let p = problem(1);
+        let mut exec = FleetExecutor::new();
+        exec.execute(&plan_migration(&p, &[None], &Assignment::new(vec![0])), &p);
+        assert_eq!(exec.hosts()[0].instance(0).live_databases().count(), 1);
+        exec.retire("w0");
+        assert_eq!(exec.hosts()[0].instance(0).live_databases().count(), 0);
+        assert_eq!(exec.hosts()[0].instance(0).pool_resident_pages(), 0);
     }
 }

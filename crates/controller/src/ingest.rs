@@ -196,6 +196,19 @@ impl TelemetryIngester {
         self.workloads.remove(name);
     }
 
+    /// Remove and return a workload's telemetry — the cross-shard handoff
+    /// path, where the tenant's rolling history travels with it so the
+    /// destination shard can replan without a fresh bootstrap.
+    pub fn take(&mut self, name: &str) -> Option<WorkloadTelemetry> {
+        self.workloads.remove(name)
+    }
+
+    /// Install pre-accumulated telemetry under `name` (the admit side of
+    /// a handoff). Replaces any existing registration.
+    pub fn insert(&mut self, name: &str, telemetry: WorkloadTelemetry) {
+        self.workloads.insert(name.to_string(), telemetry);
+    }
+
     /// Ingest one sample for `name`; the workload must be registered.
     pub fn ingest(&mut self, name: &str, sample: &MonitorSample) {
         self.workloads

@@ -38,7 +38,11 @@
 //! * [`scenarios`] — deterministic drift scenarios (diurnal shift, flash
 //!   crowd, workload churn, stationary control) shared by the example,
 //!   the integration tests and the `controller_loop` bench;
-//! * [`controller`] — the loop itself.
+//! * [`shard`] — the loop itself as a reusable [`ShardController`]: one
+//!   self-contained slice of a sharded fleet, with the summary /
+//!   reservation / evict / admit surface the `kairos-fleet` balancer
+//!   drives cross-shard handoffs through;
+//! * [`controller`] — the single-fleet wrapper around one shard.
 //!
 //! ## Quickstart
 //!
@@ -60,6 +64,7 @@ pub mod ingest;
 pub mod migration;
 pub mod resolver;
 pub mod scenarios;
+pub mod shard;
 
 pub use controller::{
     Controller, ControllerConfig, ControllerStats, ReplanReason, ReplanSummary, TickOutcome,
@@ -75,6 +80,7 @@ pub use scenarios::{
     run_scenario, scenario_churn, scenario_diurnal_shift, scenario_flash_crowd,
     scenario_stationary, FleetEvent, Scenario, ScenarioReport, SyntheticSource,
 };
+pub use shard::{ShardController, ShardSummary, TenantHandoff, TenantLoad};
 
 /// Convenience re-exports for downstream users and doc examples.
 pub mod prelude {

@@ -18,7 +18,7 @@
 
 use crate::ingest::WorkloadTelemetry;
 use kairos_core::{ConsolidationEngine, ConsolidationPlan};
-use kairos_solver::{solve_warm, Assignment, SolveReport, SolverConfig};
+use kairos_solver::{solve_warm, Assignment, ConsolidationProblem, SolveReport, SolverConfig};
 use kairos_types::{Result, TimeSeries, WorkloadProfile};
 use std::collections::BTreeMap;
 
@@ -116,10 +116,20 @@ pub struct ReSolver {
     /// term). Exists to *measure* what warm-starting buys; production
     /// loops leave it off.
     pub cold: bool,
+    /// Workload pairs (by name) that must not share a machine, layered on
+    /// top of the implicit replica anti-affinity. Pairs whose endpoints
+    /// are not both present in a given solve are ignored (a cross-shard
+    /// pair is trivially satisfied by sharding).
+    pub anti_affinity: Vec<(String, String)>,
+    /// Budgets for cold bootstrap solves (the first plan of a shard),
+    /// which have no warm start to lean on. Defaults to the engine's own
+    /// solver budgets, matching what `engine.consolidate` would run.
+    pub bootstrap_solver: SolverConfig,
 }
 
 impl ReSolver {
     pub fn new(engine: ConsolidationEngine) -> ReSolver {
+        let bootstrap_solver = engine.solver_config();
         ReSolver {
             engine,
             // Online re-solves run with tighter budgets than the one-shot
@@ -132,7 +142,42 @@ impl ReSolver {
             },
             cost_per_move: 0.25,
             cold: false,
+            anti_affinity: Vec::new(),
+            bootstrap_solver,
         }
+    }
+
+    /// Build the solver problem for `profiles`, applying the resolver's
+    /// named anti-affinity pairs (replica counts ride in on the profiles
+    /// themselves).
+    pub fn problem(&self, profiles: &[WorkloadProfile]) -> Result<ConsolidationProblem> {
+        let mut problem = self.engine.problem(profiles)?;
+        if !self.anti_affinity.is_empty() {
+            let idx_of: BTreeMap<&str, usize> = profiles
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (p.name.as_str(), i))
+                .collect();
+            let mut pairs = problem.anti_affinity.clone();
+            for (a, b) in &self.anti_affinity {
+                if let (Some(&ia), Some(&ib)) = (idx_of.get(a.as_str()), idx_of.get(b.as_str())) {
+                    pairs.push((ia, ib));
+                }
+            }
+            problem = problem.with_anti_affinity(pairs);
+        }
+        Ok(problem)
+    }
+
+    /// Cold bootstrap solve: no incumbent, full budgets, all constraints
+    /// (replicas, anti-affinity) applied.
+    pub fn plan_cold(
+        &self,
+        profiles: &[WorkloadProfile],
+    ) -> Result<(ConsolidationProblem, SolveReport)> {
+        let problem = self.problem(profiles)?;
+        let report = kairos_solver::solve(&problem, &self.bootstrap_solver)?;
+        Ok((problem, report))
     }
 
     /// Re-solve placement for `profiles` (the forecast horizon), warm from
@@ -144,7 +189,7 @@ impl ReSolver {
         profiles: &[WorkloadProfile],
         current: &FleetPlacement,
     ) -> Result<ReSolveOutcome> {
-        let problem = self.engine.problem(profiles)?;
+        let problem = self.problem(profiles)?;
         let slots = problem.slots();
         let k = problem.max_machines;
 

@@ -1,0 +1,688 @@
+//! The per-shard control loop — one self-contained slice of the fleet.
+//!
+//! [`ShardController`] is the unit a sharded control plane replicates: it
+//! owns its tenants' telemetry, drift detection, warm re-solver,
+//! migration planner and executor, exactly like the single-fleet
+//! [`crate::Controller`] (which is now a thin wrapper around it). On top
+//! of the loop it exposes what a top-level balancer needs:
+//!
+//! * [`ShardController::summary`] — aggregate load, machines used,
+//!   feasibility, and per-tenant peaks (the balancer's decision input);
+//! * [`ShardController::can_admit`] / [`ShardController::pack_estimate`]
+//!   — capacity reservation checks for the two-phase handoff;
+//! * [`ShardController::evict`] / [`ShardController::admit`] — the
+//!   transfer itself, moving the tenant's telemetry source *and* rolling
+//!   history so the destination replans without a fresh bootstrap;
+//! * replica counts and named anti-affinity pairs, threaded through the
+//!   bootstrap solve, every re-solve, and placement verification.
+
+use crate::controller::{
+    ControllerConfig, ControllerStats, ReplanReason, ReplanSummary, TickOutcome,
+};
+use crate::drift::DriftReport;
+use crate::executor::FleetExecutor;
+use crate::ingest::{TelemetryIngester, TelemetrySource, WorkloadTelemetry};
+use crate::migration::plan_migration;
+use crate::resolver::{forecast_profile, FleetPlacement, ReSolver};
+use kairos_core::ConsolidationEngine;
+use kairos_solver::{evaluate, greedy_pack, Assignment, Evaluation};
+use kairos_traces::ShardAggregate;
+use kairos_types::WorkloadProfile;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// One tenant's forecast peaks — what the balancer weighs when choosing
+/// handoff candidates.
+#[derive(Debug, Clone)]
+pub struct TenantLoad {
+    pub name: String,
+    pub replicas: u32,
+    pub cpu_peak: f64,
+    pub ram_peak: f64,
+    pub ws_peak: f64,
+    pub rate_peak: f64,
+}
+
+/// A shard's state as the balancer sees it.
+#[derive(Debug, Clone)]
+pub struct ShardSummary {
+    pub tenants: usize,
+    /// `false` while the shard is still bootstrapping its first plan.
+    pub planned: bool,
+    pub machines_used: usize,
+    /// Current placement re-evaluated against the current forecast.
+    pub feasible: bool,
+    pub violation: f64,
+    /// The most recent re-plan attempt could not place the fleet.
+    pub resolve_failed: bool,
+    /// Workloads currently outside their planned envelope.
+    pub drifting: usize,
+    /// Aggregate rolling load across the shard's tenants.
+    pub aggregate: ShardAggregate,
+    /// Per-tenant forecast peaks, for handoff candidate selection.
+    pub tenant_loads: Vec<TenantLoad>,
+}
+
+/// A tenant in flight between shards: its telemetry source plus the
+/// rolling history that lets the destination shard plan it immediately.
+pub struct TenantHandoff {
+    pub name: String,
+    pub replicas: u32,
+    pub source: Box<dyn TelemetrySource>,
+    pub telemetry: WorkloadTelemetry,
+}
+
+/// The per-shard consolidation loop. See module docs.
+pub struct ShardController {
+    cfg: ControllerConfig,
+    ingester: TelemetryIngester,
+    sources: BTreeMap<String, Box<dyn TelemetrySource>>,
+    resolver: ReSolver,
+    executor: FleetExecutor,
+    placement: FleetPlacement,
+    /// Per workload: the profile its current placement was solved for.
+    planned: BTreeMap<String, WorkloadProfile>,
+    /// Replica counts for tenants that run more than one copy.
+    replicas: BTreeMap<String, u32>,
+    planned_once: bool,
+    membership_changed: bool,
+    /// Tick of the most recent (re-)plan, for cooldown accounting.
+    last_plan_tick: u64,
+    /// Do not attempt another re-plan before this tick (set after a
+    /// failed solve so retries are paced, not per-tick).
+    replan_backoff_until: u64,
+    last_resolve_failed: bool,
+    stats: ControllerStats,
+}
+
+impl ShardController {
+    pub fn new(cfg: ControllerConfig, engine: ConsolidationEngine) -> ShardController {
+        let mut resolver = ReSolver::new(engine);
+        resolver.solver = cfg.solver;
+        resolver.cost_per_move = cfg.cost_per_move;
+        resolver.cold = cfg.cold_resolves;
+        ShardController {
+            cfg,
+            ingester: TelemetryIngester::new(),
+            sources: BTreeMap::new(),
+            resolver,
+            executor: FleetExecutor::new(),
+            placement: FleetPlacement::new(),
+            planned: BTreeMap::new(),
+            replicas: BTreeMap::new(),
+            planned_once: false,
+            membership_changed: false,
+            last_plan_tick: 0,
+            replan_backoff_until: 0,
+            last_resolve_failed: false,
+            stats: ControllerStats::default(),
+        }
+    }
+
+    /// Attach a workload's telemetry stream. Arrival of a new workload
+    /// after the initial plan triggers a membership re-plan once the
+    /// newcomer has enough observed windows.
+    pub fn add_workload(&mut self, source: Box<dyn TelemetrySource>) {
+        let name = source.name().to_string();
+        self.ingester.register(&name, self.cfg.telemetry);
+        self.sources.insert(name, source);
+        if self.planned_once {
+            self.membership_changed = true;
+        }
+    }
+
+    /// Attach a replicated workload: `replicas` copies on distinct
+    /// machines (the solver's implicit replica anti-affinity).
+    pub fn add_workload_with_replicas(&mut self, source: Box<dyn TelemetrySource>, replicas: u32) {
+        assert!(replicas >= 1);
+        if replicas > 1 {
+            self.replicas.insert(source.name().to_string(), replicas);
+        }
+        self.add_workload(source);
+    }
+
+    /// Declare that `a` and `b` must never share a machine. Applies to
+    /// every subsequent solve; ignored in solves where either is absent.
+    pub fn add_anti_affinity(&mut self, a: &str, b: &str) {
+        self.resolver
+            .anti_affinity
+            .push((a.to_string(), b.to_string()));
+    }
+
+    /// Detach a workload: telemetry dropped, tenant retired (its dbsim
+    /// databases garbage-collected), and an opportunistic repack
+    /// scheduled (departures free capacity).
+    pub fn remove_workload(&mut self, name: &str) {
+        self.sources.remove(name);
+        self.ingester.deregister(name);
+        self.planned.remove(name);
+        self.replicas.remove(name);
+        self.placement.remove_workload(name);
+        self.executor.retire(name);
+        if self.planned_once {
+            self.membership_changed = true;
+        }
+    }
+
+    pub fn stats(&self) -> ControllerStats {
+        self.stats
+    }
+
+    pub fn placement(&self) -> &FleetPlacement {
+        &self.placement
+    }
+
+    pub fn executor(&self) -> &FleetExecutor {
+        &self.executor
+    }
+
+    pub fn workloads(&self) -> Vec<String> {
+        self.ingester.names()
+    }
+
+    pub fn has_workload(&self, name: &str) -> bool {
+        self.sources.contains_key(name)
+    }
+
+    pub fn planned_once(&self) -> bool {
+        self.planned_once
+    }
+
+    /// One monitoring interval: poll every source, then act.
+    pub fn tick(&mut self) -> TickOutcome {
+        self.stats.ticks += 1;
+        for (name, source) in self.sources.iter_mut() {
+            let sample = source.poll();
+            self.ingester.ingest(name, &sample);
+            self.stats.samples_ingested += 1;
+        }
+
+        if !self.planned_once {
+            return self.maybe_bootstrap();
+        }
+        if self.stats.ticks < self.replan_backoff_until {
+            return TickOutcome::Idle;
+        }
+        if self.membership_changed && self.fleet_observable() {
+            return self.replan(ReplanReason::Membership);
+        }
+        let cooled_down =
+            self.stats.ticks.saturating_sub(self.last_plan_tick) >= self.cfg.cooldown_ticks;
+        if cooled_down && self.stats.ticks.is_multiple_of(self.cfg.check_every) {
+            return self.check_drift();
+        }
+        TickOutcome::Idle
+    }
+
+    /// Every registered workload has at least the detector's minimum
+    /// window of live samples.
+    fn fleet_observable(&self) -> bool {
+        self.ingester.names().iter().all(|n| {
+            self.ingester
+                .get(n)
+                .is_some_and(|t| t.window_len() >= self.cfg.detector.min_windows)
+        })
+    }
+
+    /// Bootstrap: wait until every workload has a full horizon of
+    /// observations, then plan cold and provision the fleet.
+    fn maybe_bootstrap(&mut self) -> TickOutcome {
+        let ready = !self.ingester.is_empty()
+            && self.ingester.names().iter().all(|n| {
+                self.ingester
+                    .get(n)
+                    .is_some_and(|t| t.window_len() >= self.cfg.horizon)
+            });
+        if !ready {
+            return TickOutcome::Bootstrapping;
+        }
+        let profiles = self.forecast_fleet();
+        let t0 = Instant::now();
+        let (problem, report) = match self.resolver.plan_cold(&profiles) {
+            Ok(x) => x,
+            Err(_) => return TickOutcome::Bootstrapping,
+        };
+        let solve_secs = t0.elapsed().as_secs_f64();
+        self.stats.solve_secs_total += solve_secs;
+
+        let slots = problem.slots();
+        let from = vec![None; slots.len()];
+        let migration = plan_migration(&problem, &from, &report.assignment);
+        let exec = self.executor.execute(&migration, &problem);
+        self.stats.forced_steps += exec.forced_steps as u64;
+
+        let mut placement = FleetPlacement::new();
+        for (slot, &machine) in slots.iter().zip(report.assignment.machine_of.iter()) {
+            placement.set(
+                &problem.workloads[slot.workload].name,
+                slot.replica,
+                machine,
+            );
+        }
+        let machines = report.assignment.machines_used();
+        self.placement = placement;
+        self.planned = profiles.into_iter().map(|p| (p.name.clone(), p)).collect();
+        self.planned_once = true;
+        self.last_plan_tick = self.stats.ticks;
+        TickOutcome::InitialPlan {
+            machines,
+            solve_secs,
+        }
+    }
+
+    /// Forecast every workload's next horizon from its rolling telemetry
+    /// (replica counts applied).
+    pub fn forecast_fleet(&self) -> Vec<WorkloadProfile> {
+        self.ingester
+            .names()
+            .iter()
+            .map(|n| self.forecast_workload(n).expect("registered"))
+            .collect()
+    }
+
+    /// Forecast one workload's next horizon. `None` if unknown.
+    pub fn forecast_workload(&self, name: &str) -> Option<WorkloadProfile> {
+        let telemetry = self.ingester.get(name)?;
+        let mut profile = forecast_profile(name, telemetry, self.cfg.horizon);
+        profile.replicas = self.replicas.get(name).copied().unwrap_or(1);
+        Some(profile)
+    }
+
+    /// Compare each live window against its planned profile.
+    fn check_drift(&mut self) -> TickOutcome {
+        self.stats.drift_checks += 1;
+        let mut drifted: Vec<String> = Vec::new();
+        for name in self.ingester.names() {
+            let Some(planned) = self.planned.get(&name) else {
+                // A workload with telemetry but no plan yet (arrival still
+                // warming up) is membership, not drift.
+                continue;
+            };
+            let telemetry = self.ingester.get(&name).expect("registered");
+            let Some(live) = telemetry.live_profile(&name, self.cfg.horizon) else {
+                continue;
+            };
+            let report =
+                self.cfg
+                    .detector
+                    .check(planned, &live, telemetry.samples_seen().saturating_sub(1));
+            if report.drifted {
+                drifted.push(report.workload);
+            }
+        }
+        if drifted.is_empty() {
+            TickOutcome::Stable
+        } else {
+            self.replan(ReplanReason::Drift(drifted))
+        }
+    }
+
+    /// Warm re-solve + capacity-safe migration.
+    fn replan(&mut self, reason: ReplanReason) -> TickOutcome {
+        let profiles = self.forecast_fleet();
+        let t0 = Instant::now();
+        let outcome = match self.resolver.resolve(&profiles, &self.placement) {
+            Ok(o) => o,
+            Err(_) => {
+                // Nothing placeable right now (e.g. a workload's forecast
+                // momentarily outgrew the machine class). Keep the old
+                // plan and leave `membership_changed` untouched so a
+                // pending arrival is retried rather than orphaned; back
+                // off one check period so a persistently infeasible fleet
+                // doesn't pay a full solve every tick.
+                self.replan_backoff_until = self.stats.ticks + self.cfg.check_every;
+                self.last_resolve_failed = true;
+                return TickOutcome::Stable;
+            }
+        };
+        let solve_secs = t0.elapsed().as_secs_f64();
+        self.last_resolve_failed = false;
+
+        let migration = plan_migration(
+            &outcome.problem,
+            &outcome.baseline,
+            &outcome.report.assignment,
+        );
+        let execution = self.executor.execute(&migration, &outcome.problem);
+
+        let churn = outcome.churn();
+        self.stats.resolves += 1;
+        self.stats.total_moves += outcome.moves as u64;
+        self.stats.forced_steps += execution.forced_steps as u64;
+        self.stats.bytes_copied += execution.bytes_copied;
+        self.stats.max_churn = self.stats.max_churn.max(churn);
+        self.stats.solve_secs_total += solve_secs;
+
+        self.placement = outcome.placement;
+        self.planned = profiles.into_iter().map(|p| (p.name.clone(), p)).collect();
+        self.membership_changed = false;
+        self.last_plan_tick = self.stats.ticks;
+
+        TickOutcome::Replanned(ReplanSummary {
+            reason,
+            feasible: outcome.report.evaluation.feasible,
+            moves: outcome.moves,
+            churn,
+            machines: self.placement.machines_used(),
+            execution,
+            solve_secs,
+        })
+    }
+
+    /// Re-evaluate the current placement against the current forecast —
+    /// the "is the plan still sound" check exposed for tests and reports.
+    /// `None` before the initial plan.
+    pub fn verify_current(&self) -> Option<Evaluation> {
+        if !self.planned_once {
+            return None;
+        }
+        self.verify_with(&self.forecast_fleet())
+    }
+
+    /// [`ShardController::verify_current`] against an already-computed
+    /// forecast (so callers holding one don't re-forecast the fleet).
+    fn verify_with(&self, profiles: &[WorkloadProfile]) -> Option<Evaluation> {
+        if !self.planned_once || profiles.is_empty() {
+            return None;
+        }
+        let problem = self.resolver.problem(profiles).ok()?;
+        let slots = problem.slots();
+        let mut machine_of = Vec::with_capacity(slots.len());
+        for slot in &slots {
+            let name = &problem.workloads[slot.workload].name;
+            machine_of.push(self.placement.machine_of(name, slot.replica)?);
+        }
+        Some(evaluate(&problem, &Assignment::new(machine_of)))
+    }
+
+    /// Build this shard's constraint-carrying solver problem (replica
+    /// counts from the profiles, the shard's named anti-affinity pairs
+    /// applied) for an arbitrary profile set — the fleet audit uses this
+    /// to construct the *global* problem with a real shard engine rather
+    /// than re-deriving the constraint plumbing.
+    pub fn problem_for(
+        &self,
+        profiles: &[WorkloadProfile],
+    ) -> kairos_types::Result<kairos_solver::ConsolidationProblem> {
+        self.resolver.problem(profiles)
+    }
+
+    /// Latest drift reports without acting on them (observability hook).
+    pub fn drift_snapshot(&self) -> Vec<DriftReport> {
+        let mut out = Vec::new();
+        for name in self.ingester.names() {
+            let (Some(planned), Some(telemetry)) =
+                (self.planned.get(&name), self.ingester.get(&name))
+            else {
+                continue;
+            };
+            if let Some(live) = telemetry.live_profile(&name, self.cfg.horizon) {
+                out.push(self.cfg.detector.check(
+                    planned,
+                    &live,
+                    telemetry.samples_seen().saturating_sub(1),
+                ));
+            }
+        }
+        out
+    }
+
+    // ----- balancer surface -----
+
+    /// The shard's state rolled up for the balancer: aggregate rolling
+    /// load (via [`kairos_traces::aggregate`]), machines in use,
+    /// placement health, and per-tenant forecast peaks.
+    pub fn summary(&self) -> ShardSummary {
+        let names = self.ingester.names();
+        let windows: Vec<[kairos_types::TimeSeries; 4]> = names
+            .iter()
+            .filter_map(|n| self.ingester.get(n).map(|t| t.history()))
+            .collect();
+        let aggregate =
+            ShardAggregate::from_windows(windows.iter(), self.cfg.telemetry.interval_secs);
+        // One forecast pass feeds both the placement check and the
+        // per-tenant peaks (forecasting every tenant is the expensive
+        // part of a summary).
+        let profiles = self.forecast_fleet();
+        let (feasible, violation) = match self.verify_with(&profiles) {
+            Some(e) => (e.feasible, e.violation),
+            None => (!self.planned_once, 0.0),
+        };
+        let peak = |s: &kairos_types::TimeSeries| {
+            if s.is_empty() {
+                0.0
+            } else {
+                s.max()
+            }
+        };
+        let tenant_loads = profiles
+            .iter()
+            .map(|p| TenantLoad {
+                name: p.name.clone(),
+                replicas: p.replicas,
+                cpu_peak: peak(&p.cpu_cores),
+                ram_peak: peak(&p.ram_bytes),
+                ws_peak: peak(&p.disk_working_set_bytes),
+                rate_peak: peak(&p.disk_update_rows_per_sec),
+            })
+            .collect();
+        ShardSummary {
+            tenants: names.len(),
+            planned: self.planned_once,
+            machines_used: self.placement.machines_used(),
+            feasible,
+            violation,
+            resolve_failed: self.last_resolve_failed,
+            drifting: self.drift_snapshot().iter().filter(|d| d.drifted).count(),
+            aggregate,
+            tenant_loads,
+        }
+    }
+
+    /// Phase 1 of the handoff (reservation): would this shard still pack
+    /// within `machine_budget` target machines after admitting
+    /// `incoming`? Conservative — uses the greedy packer, so a `true`
+    /// here means a feasible placement certainly exists.
+    pub fn can_admit(&self, incoming: &WorkloadProfile, machine_budget: usize) -> bool {
+        let mut profiles = self.forecast_fleet();
+        profiles.push(incoming.clone());
+        let Ok(problem) = self.resolver.problem(&profiles) else {
+            return false;
+        };
+        match greedy_pack(&problem) {
+            Some(g) => {
+                g.machines_used <= machine_budget && evaluate(&problem, &g.assignment).feasible
+            }
+            None => false,
+        }
+    }
+
+    /// Machines this shard would need (greedy estimate) if the named
+    /// tenants were evicted. `None` when even greedy cannot pack what
+    /// remains; `Some(0)` when nothing remains.
+    pub fn pack_estimate(&self, exclude: &[&str]) -> Option<usize> {
+        let profiles: Vec<WorkloadProfile> = self
+            .forecast_fleet()
+            .into_iter()
+            .filter(|p| !exclude.contains(&p.name.as_str()))
+            .collect();
+        if profiles.is_empty() {
+            return Some(0);
+        }
+        let problem = self.resolver.problem(&profiles).ok()?;
+        greedy_pack(&problem).map(|g| g.machines_used)
+    }
+
+    /// Phase 2a of the handoff: remove a tenant from this shard,
+    /// returning it — with its telemetry history — for admission
+    /// elsewhere. Frees capacity only (removal is always capacity-safe);
+    /// schedules an opportunistic repack. `None` if unknown.
+    pub fn evict(&mut self, name: &str) -> Option<TenantHandoff> {
+        let source = self.sources.remove(name)?;
+        let telemetry = self
+            .ingester
+            .take(name)
+            .expect("registered source implies telemetry");
+        let replicas = self.replicas.remove(name).unwrap_or(1);
+        self.planned.remove(name);
+        self.placement.remove_workload(name);
+        self.executor.retire(name);
+        if self.planned_once {
+            self.membership_changed = true;
+        }
+        Some(TenantHandoff {
+            name: name.to_string(),
+            replicas,
+            source,
+            telemetry,
+        })
+    }
+
+    /// Phase 2b of the handoff: adopt an evicted tenant. Its history
+    /// arrives with it, so the next tick replans membership immediately
+    /// instead of re-bootstrapping, and the placement goes through this
+    /// shard's capacity-safe migration planner.
+    pub fn admit(&mut self, handoff: TenantHandoff) {
+        let TenantHandoff {
+            name,
+            replicas,
+            source,
+            telemetry,
+        } = handoff;
+        self.ingester.insert(&name, telemetry);
+        if replicas > 1 {
+            self.replicas.insert(name.clone(), replicas);
+        }
+        self.sources.insert(name, source);
+        if self.planned_once {
+            self.membership_changed = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::SyntheticSource;
+    use kairos_types::Bytes;
+    use kairos_workloads::RatePattern;
+
+    fn quick_cfg() -> ControllerConfig {
+        ControllerConfig {
+            horizon: 8,
+            check_every: 4,
+            cooldown_ticks: 8,
+            ..ControllerConfig::default()
+        }
+    }
+
+    fn shard_with(n: usize, tps: f64) -> ShardController {
+        let mut s = ShardController::new(quick_cfg(), ConsolidationEngine::builder().build());
+        for i in 0..n {
+            s.add_workload(Box::new(
+                SyntheticSource::new(
+                    format!("t{i:02}"),
+                    300.0,
+                    Bytes::gib(4),
+                    RatePattern::Flat { tps },
+                )
+                .with_noise(0.0),
+            ));
+        }
+        s
+    }
+
+    fn run_until_planned(s: &mut ShardController, max_ticks: u64) {
+        for _ in 0..max_ticks {
+            if let TickOutcome::InitialPlan { .. } = s.tick() {
+                return;
+            }
+        }
+        panic!("shard never bootstrapped");
+    }
+
+    #[test]
+    fn summary_reports_aggregate_and_tenants() {
+        let mut s = shard_with(4, 200.0);
+        run_until_planned(&mut s, 20);
+        let sum = s.summary();
+        assert_eq!(sum.tenants, 4);
+        assert!(sum.planned);
+        assert!(sum.feasible);
+        assert!(sum.machines_used >= 1);
+        assert_eq!(sum.tenant_loads.len(), 4);
+        // 4 × 200 tps × 0.01 cores/tps = 8 aggregate cores.
+        let [cpu, ram, _, rate] = sum.aggregate.peaks();
+        assert!((cpu - 8.0).abs() < 0.5, "aggregate cpu {cpu}");
+        assert!(ram > 0.0);
+        assert!(rate > 0.0);
+    }
+
+    #[test]
+    fn evict_then_admit_transfers_history_and_replans() {
+        let mut donor = shard_with(4, 200.0);
+        let mut receiver = shard_with(3, 200.0);
+        run_until_planned(&mut donor, 20);
+        run_until_planned(&mut receiver, 20);
+
+        let forecast = donor.forecast_workload("t00").expect("known tenant");
+        assert!(receiver.can_admit(&forecast, 8));
+
+        let handoff = donor.evict("t00").expect("evictable");
+        assert!(handoff.telemetry.window_len() >= 8, "history travels");
+        assert!(!donor.has_workload("t00"));
+        assert!(donor.placement().machine_of("t00", 0).is_none());
+        assert!(donor.executor().machine_of("t00", 0).is_none());
+
+        receiver.admit(handoff);
+        assert!(receiver.has_workload("t00"));
+        // The receiver replans on the next tick — membership, not a
+        // bootstrap — because the telemetry arrived with the tenant.
+        let outcome = receiver.tick();
+        match outcome {
+            TickOutcome::Replanned(r) => {
+                assert_eq!(r.reason, ReplanReason::Membership);
+                assert!(r.feasible);
+            }
+            other => panic!("expected immediate membership replan, got {other:?}"),
+        }
+        assert!(receiver.placement().machine_of("t00", 0).is_some());
+        assert!(receiver.verify_current().expect("planned").feasible);
+    }
+
+    #[test]
+    fn evict_unknown_tenant_is_none() {
+        let mut s = shard_with(2, 100.0);
+        assert!(s.evict("ghost").is_none());
+    }
+
+    #[test]
+    fn can_admit_rejects_over_budget() {
+        let mut s = shard_with(5, 200.0); // ~2 cores each → one machine
+        run_until_planned(&mut s, 20);
+        let big = WorkloadProfile::flat(
+            "giant",
+            300.0,
+            8,
+            10.0,
+            Bytes::gib(8),
+            kairos_types::DiskDemand::new(Bytes::gib(1), kairos_types::Rate(100.0)),
+        );
+        // A 10-core tenant cannot share the single allowed machine.
+        assert!(!s.can_admit(&big, 1));
+        assert!(s.can_admit(&big, 2));
+    }
+
+    #[test]
+    fn pack_estimate_shrinks_with_exclusions() {
+        let mut s = shard_with(6, 400.0); // 4 cores each → ~3 machines
+        run_until_planned(&mut s, 20);
+        let all = s.pack_estimate(&[]).expect("packable");
+        let fewer = s.pack_estimate(&["t00", "t01"]).expect("packable");
+        assert!(fewer <= all);
+        assert_eq!(
+            s.pack_estimate(&["t00", "t01", "t02", "t03", "t04", "t05"]),
+            Some(0)
+        );
+    }
+}

@@ -158,6 +158,13 @@ impl ConsolidationEngine {
         EngineBuilder::default()
     }
 
+    /// The solver budgets this engine was built with (what
+    /// [`ConsolidationEngine::consolidate`] runs under) — exposed so
+    /// callers replacing the one-shot solve path can honour them.
+    pub fn solver_config(&self) -> SolverConfig {
+        self.solver
+    }
+
     /// Convert profiles into a solver problem.
     pub fn problem(&self, profiles: &[WorkloadProfile]) -> Result<ConsolidationProblem> {
         if profiles.is_empty() {

@@ -70,10 +70,15 @@ impl ClockCache {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> ClockCache {
         assert!(capacity > 0, "cache capacity must be positive");
+        // Pre-allocate only a modest prefix: consolidated pools are
+        // sized in the hundreds of thousands of frames, but most hosts
+        // in a simulated fleet never come close to filling them, and
+        // eagerly mapping tens of MB per instance dominates fleet-scale
+        // runs. The containers grow on demand past this.
         ClockCache {
             capacity,
-            frames: Vec::with_capacity(capacity.min(1 << 20)),
-            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            frames: Vec::with_capacity(capacity.min(1 << 14)),
+            map: HashMap::with_capacity(capacity.min(1 << 14)),
             hand: 0,
             dirty: BTreeSet::new(),
             stats: CacheStats::default(),

@@ -99,6 +99,9 @@ pub struct Database {
     pub id: DatabaseId,
     pub name: String,
     pub tables: Vec<TableId>,
+    /// `true` once the database has been dropped. Ids are positional, so
+    /// dropped databases leave a tombstone instead of shifting later ids.
+    pub dropped: bool,
 }
 
 #[derive(Debug, Clone)]
@@ -342,8 +345,56 @@ impl DbmsInstance {
             id,
             name: name.into(),
             tables: Vec::new(),
+            dropped: false,
         });
         id
+    }
+
+    /// `DROP DATABASE`: release every table of `db` — pages are discarded
+    /// from the buffer pool (and OS cache) without write-back (dropped
+    /// data needs no durability), dirty attribution is cleared, and the
+    /// database is tombstoned. Returns the on-disk bytes reclaimed.
+    ///
+    /// This is the tenant GC the migration executor relies on: without
+    /// it, migrated-away tenants linger in their old instance and the
+    /// host's memory/page accounting drifts from the placement truth.
+    pub fn drop_database(&mut self, db: DatabaseId) -> Result<Bytes> {
+        let dbi = db.0 as usize;
+        if dbi >= self.databases.len() {
+            return Err(KairosError::Sql(format!("unknown database {db:?}")));
+        }
+        if self.databases[dbi].dropped {
+            return Err(KairosError::Sql(format!("database {db:?} already dropped")));
+        }
+        let tables = std::mem::take(&mut self.databases[dbi].tables);
+        let mut reclaimed_pages = 0u64;
+        for t in &tables {
+            let ti = t.0 as usize;
+            let segments = std::mem::take(&mut self.tables[ti].segments);
+            for seg in &segments {
+                for i in 0..seg.len {
+                    let page = seg.page(i);
+                    self.pool.discard(page);
+                    if let Some(os) = self.os_cache.as_mut() {
+                        os.discard(page);
+                    }
+                }
+                reclaimed_pages += seg.len;
+            }
+            self.segment_index.retain(|&(_, tid)| tid != t.0);
+            let td = &mut self.tables[ti];
+            td.pages = 0;
+            td.rows = 0.0;
+            td.dirty_pages = 0;
+            td.dirty_carry = 0.0;
+        }
+        self.databases[dbi].dropped = true;
+        Ok(Bytes(reclaimed_pages * self.config.page_size.0))
+    }
+
+    /// Databases that have not been dropped.
+    pub fn live_databases(&self) -> impl Iterator<Item = &Database> {
+        self.databases.iter().filter(|d| !d.dropped)
     }
 
     /// Create a table pre-loaded with `rows` rows of `row_bytes` bytes.
@@ -351,6 +402,9 @@ impl DbmsInstance {
     pub fn create_table(&mut self, db: DatabaseId, rows: u64, row_bytes: u64) -> Result<TableId> {
         if db.0 as usize >= self.databases.len() {
             return Err(KairosError::Sql(format!("unknown database {db:?}")));
+        }
+        if self.databases[db.0 as usize].dropped {
+            return Err(KairosError::Sql(format!("database {db:?} was dropped")));
         }
         assert!(row_bytes > 0, "rows must have a positive size");
         let id = TableId(self.tables.len() as u32);
@@ -1045,6 +1099,60 @@ mod tests {
         let mut inst = small_instance();
         inst.prepare_tick(0.1, &[]);
         inst.prepare_tick(0.1, &[]);
+    }
+
+    #[test]
+    fn drop_database_reclaims_pages_and_pool_frames() {
+        let mut inst = small_instance();
+        let keep_db = inst.create_database("keep");
+        let keep_t = inst.create_table(keep_db, 5_000, 164).unwrap();
+        inst.prewarm_table(keep_t);
+        let drop_db = inst.create_database("drop");
+        let drop_t = inst.create_table(drop_db, 5_000, 164).unwrap();
+        inst.prewarm_table(drop_t);
+        // Dirty some of the doomed tenant's pages.
+        inst.prepare_tick(
+            0.1,
+            &[(
+                drop_db,
+                OpBatch {
+                    txns: 1.0,
+                    updates: vec![UpdateSpec {
+                        table: drop_t,
+                        prefix_pages: 0,
+                        rows: 1_000.0,
+                    }],
+                    ..Default::default()
+                },
+            )],
+        );
+        inst.complete_tick(
+            0.1,
+            DeviceGrant {
+                writeback_pages: 0.0,
+                ..full_grant()
+            },
+        );
+        let resident_before = inst.pool_resident_pages();
+        let dirty_before = inst.pool_dirty_pages();
+        assert!(dirty_before > 0);
+        let dropped_pages = inst.table_pages(drop_t);
+
+        let reclaimed = inst.drop_database(drop_db).unwrap();
+        assert_eq!(reclaimed, Bytes(dropped_pages * inst.page_size().0));
+        assert_eq!(inst.table_pages(drop_t), 0);
+        // Dirty pages of dropped data vanish without write-back; resident
+        // frames are freed for the surviving tenant.
+        assert_eq!(inst.pool_dirty_pages(), 0);
+        assert!(inst.pool_resident_pages() < resident_before);
+        assert_eq!(inst.live_databases().count(), 1);
+        assert_eq!(inst.databases().len(), 2, "tombstone keeps ids stable");
+        // The survivor is untouched and ids remain valid.
+        assert_eq!(inst.table_rows(keep_t), 5_000);
+        assert!(inst.scan_count(keep_t, 100) > 0);
+        // Double drop and DDL on a dropped database are errors.
+        assert!(inst.drop_database(drop_db).is_err());
+        assert!(inst.create_table(drop_db, 10, 100).is_err());
     }
 
     #[test]

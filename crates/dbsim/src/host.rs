@@ -125,6 +125,18 @@ impl Host {
         &mut self.instances[idx]
     }
 
+    /// `DROP DATABASE` on one of this host's instances: the tenant's
+    /// pages leave the instance's buffer pool (and OS cache) and its disk
+    /// footprint is reclaimed. Returns the bytes reclaimed. See
+    /// [`DbmsInstance::drop_database`].
+    pub fn remove_database(
+        &mut self,
+        instance: usize,
+        db: crate::pages::DatabaseId,
+    ) -> kairos_types::Result<kairos_types::Bytes> {
+        self.instances[instance].drop_database(db)
+    }
+
     pub fn instances(&self) -> &[DbmsInstance] {
         &self.instances
     }

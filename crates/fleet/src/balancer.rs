@@ -1,0 +1,147 @@
+//! The cross-shard balancer policy.
+//!
+//! Each shard plans itself greedily and honestly — if a flash crowd blows
+//! past its machine budget, its own re-solver will happily use more
+//! machines, because an overloaded-but-feasible placement beats a
+//! violated one. Restoring budget compliance is the *balancer's* job:
+//! watch per-shard summaries, pick donors (over budget, infeasible, or
+//! failing to place), and move their heaviest tenants to the shards with
+//! the most headroom through the two-phase handoff ([`crate::handoff`]).
+//!
+//! The policy is deliberately work-conserving and conservative:
+//! reservations use the greedy packer, so a move is only made when the
+//! destination certainly fits it, and donors stop shedding as soon as
+//! their greedy estimate fits the budget again.
+
+use kairos_controller::ShardSummary;
+
+/// Balancer tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct BalancerConfig {
+    /// Machine budget per shard — the capacity constraint the balancer
+    /// enforces fleet-wide (each shard's own solver is unconstrained).
+    pub machines_per_shard: usize,
+    /// Run a balance round every N fleet ticks (once all shards have
+    /// bootstrapped).
+    pub balance_every: u64,
+    /// Handoff cap per round — bounds migration traffic bursts.
+    pub max_moves_per_round: usize,
+}
+
+impl Default for BalancerConfig {
+    fn default() -> BalancerConfig {
+        BalancerConfig {
+            machines_per_shard: 16,
+            balance_every: 6,
+            max_moves_per_round: 8,
+        }
+    }
+}
+
+/// Is this shard a donor — i.e., must it shed load?
+pub fn is_overloaded(summary: &ShardSummary, budget: usize) -> bool {
+    summary.planned
+        && (summary.machines_used > budget || !summary.feasible || summary.resolve_failed)
+}
+
+/// Donor shards, most-loaded first.
+pub fn donor_order(summaries: &[ShardSummary], budget: usize) -> Vec<usize> {
+    let mut donors: Vec<usize> = (0..summaries.len())
+        .filter(|&i| is_overloaded(&summaries[i], budget))
+        .collect();
+    donors.sort_by_key(|&i| std::cmp::Reverse(summaries[i].machines_used));
+    donors
+}
+
+/// Receiver preference for one tenant: shards with the fewest machines
+/// in use first, excluding the donor and anything unplanned or itself
+/// overloaded.
+pub fn receiver_order(summaries: &[ShardSummary], donor: usize, budget: usize) -> Vec<usize> {
+    let mut receivers: Vec<usize> = (0..summaries.len())
+        .filter(|&i| i != donor && summaries[i].planned && !is_overloaded(&summaries[i], budget))
+        .collect();
+    receivers.sort_by_key(|&i| summaries[i].machines_used);
+    receivers
+}
+
+/// Handoff candidates on a donor: heaviest forecast CPU peak first —
+/// moving the tenant that caused the overload relieves the most pressure
+/// per migration.
+pub fn candidate_order(summary: &ShardSummary) -> Vec<String> {
+    let mut loads = summary.tenant_loads.clone();
+    loads.sort_by(|a, b| {
+        b.cpu_peak
+            .partial_cmp(&a.cpu_peak)
+            .expect("finite forecast peaks")
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    loads.into_iter().map(|t| t.name).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kairos_controller::TenantLoad;
+    use kairos_traces::ShardAggregate;
+
+    fn summary(planned: bool, machines: usize, feasible: bool) -> ShardSummary {
+        ShardSummary {
+            tenants: 3,
+            planned,
+            machines_used: machines,
+            feasible,
+            violation: if feasible { 0.0 } else { 1.0 },
+            resolve_failed: false,
+            drifting: 0,
+            aggregate: ShardAggregate::from_windows(std::iter::empty(), 300.0),
+            tenant_loads: vec![
+                TenantLoad {
+                    name: "small".into(),
+                    replicas: 1,
+                    cpu_peak: 1.0,
+                    ram_peak: 1e9,
+                    ws_peak: 5e8,
+                    rate_peak: 10.0,
+                },
+                TenantLoad {
+                    name: "big".into(),
+                    replicas: 1,
+                    cpu_peak: 6.0,
+                    ram_peak: 4e9,
+                    ws_peak: 2e9,
+                    rate_peak: 400.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn donors_are_over_budget_or_broken() {
+        let s = vec![
+            summary(true, 10, true), // fine
+            summary(true, 20, true), // over budget
+            summary(true, 8, false), // infeasible
+            summary(false, 0, true), // bootstrapping: never a donor
+        ];
+        assert_eq!(donor_order(&s, 16), vec![1, 2]);
+    }
+
+    #[test]
+    fn receivers_prefer_emptier_shards() {
+        let s = vec![
+            summary(true, 20, true), // donor
+            summary(true, 12, true),
+            summary(true, 4, true),
+            summary(true, 17, true), // itself over budget: excluded
+        ];
+        assert_eq!(receiver_order(&s, 0, 16), vec![2, 1]);
+    }
+
+    #[test]
+    fn candidates_heaviest_first() {
+        assert_eq!(
+            candidate_order(&summary(true, 20, true)),
+            vec!["big".to_string(), "small".to_string()]
+        );
+    }
+}

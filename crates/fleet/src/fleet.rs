@@ -1,0 +1,481 @@
+//! The sharded fleet control plane.
+//!
+//! [`FleetController`] owns N independent [`ShardController`]s — each
+//! with its own telemetry ingester, drift detector, warm re-solver,
+//! migration planner and executor over a disjoint slice of hosts — plus
+//! the [`crate::balancer`] policy that moves tenants between shards via
+//! the two-phase handoff of [`crate::handoff`]. One `tick()` advances
+//! every shard one monitoring interval and, on the balance cadence, runs
+//! one balance round.
+//!
+//! The hierarchy is what makes the control plane scale: per-shard
+//! re-solves see only their shard's tenants (solve cost grows with shard
+//! size, not fleet size), while the balancer sees only coarse per-shard
+//! summaries ([`kairos_traces::aggregate`] roll-ups), never per-tenant
+//! telemetry.
+
+use crate::balancer::{candidate_order, donor_order, receiver_order, BalancerConfig};
+use crate::handoff::{HandoffOutcome, HandoffRecord};
+use crate::shardmap::ShardMap;
+use kairos_controller::{
+    ControllerConfig, ShardController, ShardSummary, TelemetrySource, TickOutcome,
+};
+use kairos_core::ConsolidationEngine;
+use kairos_solver::{evaluate, Assignment, Evaluation};
+use kairos_types::WorkloadProfile;
+
+/// Fleet-level tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetConfig {
+    /// Number of shards. Each runs an independent control loop over its
+    /// own (shard-local) machine namespace.
+    pub shards: usize,
+    /// Per-shard loop tuning.
+    pub shard: ControllerConfig,
+    pub balancer: BalancerConfig,
+}
+
+impl Default for FleetConfig {
+    fn default() -> FleetConfig {
+        FleetConfig {
+            shards: 4,
+            shard: ControllerConfig::default(),
+            balancer: BalancerConfig::default(),
+        }
+    }
+}
+
+/// Fleet-level counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FleetStats {
+    pub ticks: u64,
+    pub balance_rounds: u64,
+    pub handoffs_completed: u64,
+    pub handoffs_rejected: u64,
+}
+
+/// What one fleet tick did.
+#[derive(Debug)]
+pub struct FleetTickReport {
+    /// Per-shard outcome, indexed by shard.
+    pub outcomes: Vec<TickOutcome>,
+    /// Handoffs proposed by this tick's balance round (empty off-cadence).
+    pub handoffs: Vec<HandoffRecord>,
+}
+
+/// Global placement audit: every shard's placement re-evaluated against
+/// the shard-local restriction of one global problem
+/// ([`kairos_solver::ConsolidationProblem::restrict`]).
+#[derive(Debug)]
+pub struct FleetAudit {
+    /// Per shard: `None` while bootstrapping (or mid-handoff tenants not
+    /// yet placed), otherwise the evaluation of its current placement.
+    pub per_shard: Vec<Option<Evaluation>>,
+    /// Machines in use per shard.
+    pub machines_used: Vec<usize>,
+}
+
+impl FleetAudit {
+    /// Every planned shard's placement is feasible — zero capacity
+    /// violations fleet-wide.
+    pub fn zero_violations(&self) -> bool {
+        self.per_shard
+            .iter()
+            .flatten()
+            .all(|e| e.feasible && e.violation == 0.0)
+    }
+
+    /// Every shard evaluated (none bootstrapping / mid-handoff).
+    pub fn complete(&self) -> bool {
+        self.per_shard.iter().all(|e| e.is_some())
+    }
+
+    /// All shards within the machine budget.
+    pub fn within_budget(&self, budget: usize) -> bool {
+        self.machines_used.iter().all(|&m| m <= budget)
+    }
+
+    pub fn total_machines(&self) -> usize {
+        self.machines_used.iter().sum()
+    }
+}
+
+/// The top-level control plane. See module docs.
+pub struct FleetController {
+    cfg: FleetConfig,
+    shards: Vec<ShardController>,
+    map: ShardMap,
+    /// Fleet-wide anti-affinity pairs (by name); registered on every
+    /// shard so they keep holding wherever a handoff lands a tenant.
+    anti_affinity: Vec<(String, String)>,
+    handoff_log: Vec<HandoffRecord>,
+    stats: FleetStats,
+}
+
+impl FleetController {
+    /// A fleet whose shards all run the default consolidation engine.
+    pub fn new(cfg: FleetConfig) -> FleetController {
+        let engines = (0..cfg.shards)
+            .map(|_| ConsolidationEngine::builder().build())
+            .collect();
+        FleetController::with_engines(cfg, engines)
+    }
+
+    /// A fleet with one pre-built engine per shard (custom machine
+    /// classes, disk models, solver budgets).
+    ///
+    /// # Panics
+    /// Panics unless `engines.len() == cfg.shards`.
+    pub fn with_engines(cfg: FleetConfig, engines: Vec<ConsolidationEngine>) -> FleetController {
+        assert!(cfg.shards >= 1, "need at least one shard");
+        assert_eq!(engines.len(), cfg.shards, "one engine per shard");
+        let shards = engines
+            .into_iter()
+            .map(|e| ShardController::new(cfg.shard, e))
+            .collect();
+        FleetController {
+            map: ShardMap::new(cfg.shards),
+            cfg,
+            shards,
+            anti_affinity: Vec::new(),
+            handoff_log: Vec::new(),
+            stats: FleetStats::default(),
+        }
+    }
+
+    pub fn config(&self) -> &FleetConfig {
+        &self.cfg
+    }
+
+    pub fn stats(&self) -> FleetStats {
+        self.stats
+    }
+
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    pub fn shards(&self) -> &[ShardController] {
+        &self.shards
+    }
+
+    /// All handoffs ever proposed (completed and rejected).
+    pub fn handoffs(&self) -> &[HandoffRecord] {
+        &self.handoff_log
+    }
+
+    /// Admit a new tenant, assigned to the least-populated shard.
+    /// Returns the shard chosen.
+    pub fn add_workload(&mut self, source: Box<dyn TelemetrySource>) -> usize {
+        let shard = self.map.least_populated();
+        self.add_workload_to(shard, source);
+        shard
+    }
+
+    /// Admit a new tenant to a specific shard (initial partitioning).
+    pub fn add_workload_to(&mut self, shard: usize, source: Box<dyn TelemetrySource>) {
+        self.map.assign(source.name(), shard);
+        self.shards[shard].add_workload(source);
+    }
+
+    /// Admit a replicated tenant to a specific shard.
+    pub fn add_workload_with_replicas(
+        &mut self,
+        shard: usize,
+        source: Box<dyn TelemetrySource>,
+        replicas: u32,
+    ) {
+        self.map.assign(source.name(), shard);
+        self.shards[shard].add_workload_with_replicas(source, replicas);
+    }
+
+    /// Retire a tenant wherever it currently lives.
+    pub fn remove_workload(&mut self, name: &str) {
+        if let Some(shard) = self.map.remove(name) {
+            self.shards[shard].remove_workload(name);
+        }
+    }
+
+    /// Declare a fleet-wide anti-affinity pair. Holds inside whatever
+    /// shard the tenants occupy, including after handoffs (every shard
+    /// carries the full pair list; pairs split across shards are
+    /// trivially satisfied).
+    pub fn add_anti_affinity(&mut self, a: &str, b: &str) {
+        self.anti_affinity.push((a.to_string(), b.to_string()));
+        for s in &mut self.shards {
+            s.add_anti_affinity(a, b);
+        }
+    }
+
+    /// Fleet-wide anti-affinity pairs registered so far.
+    pub fn anti_affinity(&self) -> &[(String, String)] {
+        &self.anti_affinity
+    }
+
+    /// Per-shard summaries (the balancer's input, exposed for
+    /// observability).
+    pub fn summaries(&self) -> Vec<ShardSummary> {
+        self.shards.iter().map(|s| s.summary()).collect()
+    }
+
+    /// One monitoring interval: every shard ticks; on the balance
+    /// cadence, one balance round runs.
+    pub fn tick(&mut self) -> FleetTickReport {
+        self.stats.ticks += 1;
+        let outcomes: Vec<TickOutcome> = self.shards.iter_mut().map(|s| s.tick()).collect();
+
+        let on_cadence = self
+            .stats
+            .ticks
+            .is_multiple_of(self.cfg.balancer.balance_every.max(1));
+        let all_planned = self.shards.iter().all(|s| s.planned_once());
+        let handoffs = if on_cadence && all_planned {
+            self.balance_round()
+        } else {
+            Vec::new()
+        };
+        FleetTickReport { outcomes, handoffs }
+    }
+
+    /// One balance round: donors shed their heaviest tenants to the
+    /// emptiest shards that can reserve capacity for them.
+    fn balance_round(&mut self) -> Vec<HandoffRecord> {
+        self.stats.balance_rounds += 1;
+        let budget = self.cfg.balancer.machines_per_shard;
+        let summaries = self.summaries();
+        let mut records = Vec::new();
+        let mut moves_left = self.cfg.balancer.max_moves_per_round;
+
+        for donor in donor_order(&summaries, budget) {
+            // A saturated fleet can leave a donor with no willing
+            // receiver; after a couple of failed reservations this round,
+            // stop probing the rest of its tenants (smaller candidates
+            // rarely fit where bigger ones already failed, and the next
+            // round re-evaluates from fresh summaries anyway).
+            let mut rejections = 0;
+            for tenant in candidate_order(&summaries[donor]) {
+                if moves_left == 0 || rejections >= 2 {
+                    break;
+                }
+                // Shedding stops as soon as what remains packs within
+                // budget again (greedy estimate, like the reservation;
+                // already-evicted tenants are gone from the donor's
+                // forecast, so the estimate reflects them).
+                let est = self.shards[donor].pack_estimate(&[]).unwrap_or(usize::MAX);
+                if est <= budget {
+                    break;
+                }
+                let Some(profile) = self.shards[donor].forecast_workload(&tenant) else {
+                    continue;
+                };
+                // Phase 1 — reservation: first receiver (emptiest-first)
+                // that certifies capacity for the tenant.
+                let receiver = receiver_order(&summaries, donor, budget)
+                    .into_iter()
+                    .find(|&r| self.shards[r].can_admit(&profile, budget));
+                match receiver {
+                    Some(to) => {
+                        // Phase 2 — transfer: evict (frees capacity on
+                        // the donor) then admit (telemetry travels; the
+                        // receiver replans membership next tick).
+                        let handoff = self.shards[donor]
+                            .evict(&tenant)
+                            .expect("candidate listed by donor summary");
+                        self.shards[to].admit(handoff);
+                        self.map.assign(&tenant, to);
+                        moves_left -= 1;
+                        self.stats.handoffs_completed += 1;
+                        records.push(HandoffRecord {
+                            tenant,
+                            from: donor,
+                            to: Some(to),
+                            tick: self.stats.ticks,
+                            outcome: HandoffOutcome::Completed,
+                        });
+                    }
+                    None => {
+                        rejections += 1;
+                        self.stats.handoffs_rejected += 1;
+                        records.push(HandoffRecord {
+                            tenant,
+                            from: donor,
+                            to: None,
+                            tick: self.stats.ticks,
+                            outcome: HandoffOutcome::NoReceiver,
+                        });
+                    }
+                }
+            }
+        }
+        self.handoff_log.extend(records.iter().cloned());
+        records
+    }
+
+    /// Global audit: build one problem over every tenant's forecast,
+    /// restrict it shard-by-shard
+    /// ([`kairos_solver::ConsolidationProblem::restrict`]), and evaluate
+    /// each shard's current placement against its restriction. The
+    /// fleet-wide "are we violation-free" check the acceptance scenarios
+    /// assert on.
+    pub fn audit(&self) -> FleetAudit {
+        let mut profiles: Vec<WorkloadProfile> = Vec::new();
+        let mut shard_indices: Vec<Vec<usize>> = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            let fleet = shard.forecast_fleet();
+            let start = profiles.len();
+            shard_indices.push((start..start + fleet.len()).collect());
+            profiles.extend(fleet);
+        }
+        let machines_used: Vec<usize> = self
+            .shards
+            .iter()
+            .map(|s| s.placement().machines_used())
+            .collect();
+        if profiles.is_empty() {
+            return FleetAudit {
+                per_shard: vec![None; self.shards.len()],
+                machines_used,
+            };
+        }
+        // Build the global problem with shard 0's real engine (machine
+        // class, headroom, disk model) rather than a fresh default — the
+        // audit must judge placements by the capacities the shards
+        // actually solve under. Shards are assumed homogeneous (the
+        // global problem is only meaningful for one target class), and
+        // every shard carries the full fleet anti-affinity list, so the
+        // shard's own constraint plumbing applies the pairs by name.
+        let Ok(global) = self.shards[0].problem_for(&profiles) else {
+            return FleetAudit {
+                per_shard: vec![None; self.shards.len()],
+                machines_used,
+            };
+        };
+
+        let mut per_shard = Vec::with_capacity(self.shards.len());
+        for (shard, keep) in self.shards.iter().zip(&shard_indices) {
+            if keep.is_empty() || !shard.planned_once() {
+                per_shard.push(None);
+                continue;
+            }
+            let sub = global.restrict(keep);
+            let slots = sub.slots();
+            let mut machine_of = Vec::with_capacity(slots.len());
+            let mut complete = true;
+            for slot in &slots {
+                let name = &sub.workloads[slot.workload].name;
+                match shard.placement().machine_of(name, slot.replica) {
+                    Some(m) => machine_of.push(m),
+                    None => {
+                        complete = false;
+                        break;
+                    }
+                }
+            }
+            per_shard.push(if complete {
+                Some(evaluate(&sub, &Assignment::new(machine_of)))
+            } else {
+                None
+            });
+        }
+        FleetAudit {
+            per_shard,
+            machines_used,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kairos_controller::SyntheticSource;
+    use kairos_types::Bytes;
+    use kairos_workloads::RatePattern;
+
+    fn quick_cfg(shards: usize, budget: usize) -> FleetConfig {
+        FleetConfig {
+            shards,
+            shard: ControllerConfig {
+                horizon: 8,
+                check_every: 4,
+                cooldown_ticks: 8,
+                ..ControllerConfig::default()
+            },
+            balancer: BalancerConfig {
+                machines_per_shard: budget,
+                balance_every: 4,
+                max_moves_per_round: 4,
+            },
+        }
+    }
+
+    fn flat(name: String, tps: f64) -> SyntheticSource {
+        SyntheticSource::new(name, 300.0, Bytes::gib(4), RatePattern::Flat { tps }).with_noise(0.0)
+    }
+
+    fn run(fleet: &mut FleetController, ticks: u64) {
+        for _ in 0..ticks {
+            fleet.tick();
+        }
+    }
+
+    #[test]
+    fn shards_bootstrap_independently_and_audit_clean() {
+        let mut fleet = FleetController::new(quick_cfg(2, 8));
+        for i in 0..6 {
+            fleet.add_workload(Box::new(flat(format!("t{i:02}"), 200.0)));
+        }
+        assert_eq!(fleet.map().counts(), vec![3, 3]);
+        run(&mut fleet, 20);
+        let audit = fleet.audit();
+        assert!(audit.complete(), "both shards must have planned");
+        assert!(audit.zero_violations());
+        assert!(audit.within_budget(8));
+        assert!(fleet.handoffs().is_empty(), "balanced fleet: no handoffs");
+    }
+
+    #[test]
+    fn overloaded_shard_sheds_to_peer() {
+        // Shard 0 gets 10 heavy tenants (4 cores each → ~4 machines),
+        // shard 1 gets 2 light ones. Budget 3: shard 0 must shed.
+        let mut fleet = FleetController::new(quick_cfg(2, 3));
+        for i in 0..10 {
+            fleet.add_workload_to(0, Box::new(flat(format!("heavy-{i:02}"), 400.0)));
+        }
+        for i in 0..2 {
+            fleet.add_workload_to(1, Box::new(flat(format!("light-{i}"), 100.0)));
+        }
+        run(&mut fleet, 40);
+        let stats = fleet.stats();
+        assert!(
+            stats.handoffs_completed >= 1,
+            "balancer must move tenants: {stats:?}"
+        );
+        let audit = fleet.audit();
+        assert!(audit.complete());
+        assert!(audit.zero_violations());
+        assert!(
+            audit.within_budget(3),
+            "both shards within budget, got {:?}",
+            audit.machines_used
+        );
+        // The shard map agrees with who actually runs each tenant.
+        for (i, shard) in fleet.shards().iter().enumerate() {
+            for name in shard.workloads() {
+                assert_eq!(fleet.map().shard_of(&name), Some(i));
+            }
+        }
+    }
+
+    #[test]
+    fn remove_workload_routes_to_owning_shard() {
+        let mut fleet = FleetController::new(quick_cfg(2, 8));
+        for i in 0..4 {
+            fleet.add_workload(Box::new(flat(format!("t{i}"), 150.0)));
+        }
+        run(&mut fleet, 12);
+        let shard = fleet.map().shard_of("t1").unwrap();
+        fleet.remove_workload("t1");
+        assert_eq!(fleet.map().shard_of("t1"), None);
+        assert!(!fleet.shards()[shard].has_workload("t1"));
+    }
+}

@@ -1,0 +1,52 @@
+//! Cross-shard handoff records — the audit trail of the two-phase
+//! protocol.
+//!
+//! ## Protocol invariants
+//!
+//! 1. **Reserve before evict.** The balancer asks the destination shard
+//!    whether the tenant fits its machine budget
+//!    ([`ShardController::can_admit`] — a conservative greedy packing, so
+//!    a granted reservation certifies a feasible placement exists) before
+//!    the source gives anything up. A tenant nobody can take stays put.
+//! 2. **Eviction only frees capacity.** Removing a tenant from the
+//!    source shard can only lower host utilization, so phase 2a is
+//!    capacity-safe by construction; the source schedules an
+//!    opportunistic repack.
+//! 3. **Single ownership.** Between evict and admit the tenant is owned
+//!    by the in-flight [`kairos_controller::TenantHandoff`] value — never
+//!    by two shards at once. The shard map is updated in the same round.
+//! 4. **Telemetry travels.** The tenant's rolling RRD history moves with
+//!    it, so the destination replans membership on its next tick instead
+//!    of re-bootstrapping, and its placement goes through the
+//!    destination's capacity-safe migration planner.
+//!
+//! [`ShardController::can_admit`]: kairos_controller::ShardController::can_admit
+
+/// How one proposed handoff ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HandoffOutcome {
+    /// Reservation granted; tenant evicted from the source and admitted
+    /// by the destination.
+    Completed,
+    /// No shard could reserve capacity for the tenant; it stayed on the
+    /// (overloaded) source shard.
+    NoReceiver,
+}
+
+/// One proposed cross-shard move.
+#[derive(Debug, Clone)]
+pub struct HandoffRecord {
+    pub tenant: String,
+    pub from: usize,
+    /// Destination shard (`None` when no reservation was granted).
+    pub to: Option<usize>,
+    /// Fleet tick the balance round ran at.
+    pub tick: u64,
+    pub outcome: HandoffOutcome,
+}
+
+impl HandoffRecord {
+    pub fn completed(&self) -> bool {
+        self.outcome == HandoffOutcome::Completed
+    }
+}

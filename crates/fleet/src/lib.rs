@@ -1,0 +1,54 @@
+//! # kairos-fleet — the sharded control plane
+//!
+//! The single-loop daemon (`kairos-controller`) plans one fleet in one
+//! process; cloud-scale workload management decomposes hierarchically
+//! (WiSeDB; Jain et al.'s database-agnostic workload management). This
+//! crate is that hierarchy:
+//!
+//! ```text
+//!                      ┌────────────────────────────────┐
+//!                      │        FleetController         │
+//!                      │  shard map · balancer · audit  │
+//!                      └───┬──────────┬──────────┬──────┘
+//!          summaries ▲     │          │          │     ▼ two-phase handoffs
+//!                      ┌───┴────┐ ┌───┴────┐ ┌───┴────┐
+//!                      │ shard 0│ │ shard 1│ │ shard N│   ShardController:
+//!                      │ ingest │ │ ingest │ │ ingest │   telemetry → drift →
+//!                      │ solve  │ │ solve  │ │ solve  │   warm re-solve →
+//!                      │ migrate│ │ migrate│ │ migrate│   capacity-safe moves
+//!                      └────────┘ └────────┘ └────────┘
+//!                        hosts      hosts      hosts     (disjoint slices)
+//! ```
+//!
+//! * [`shardmap`] — tenant → shard routing truth (single ownership);
+//! * [`balancer`] — donor/receiver/candidate policy over per-shard
+//!   summaries (machine budgets, headroom ordering);
+//! * [`handoff`] — the two-phase (reserve → evict → admit) capacity-safe
+//!   transfer protocol and its audit records;
+//! * [`fleet`] — the [`FleetController`] driving N
+//!   [`kairos_controller::ShardController`]s, plus the global
+//!   [`fleet::FleetAudit`] built by restricting one fleet-wide problem
+//!   shard-by-shard ([`kairos_solver::ConsolidationProblem::restrict`]).
+//!
+//! Why shards scale: a per-shard re-solve sees only that shard's tenants,
+//! so solve cost tracks shard size while the fleet grows; the balancer
+//! sees only coarse aggregate summaries
+//! ([`kairos_traces::aggregate`]), never per-tenant telemetry.
+
+pub mod balancer;
+pub mod fleet;
+pub mod handoff;
+pub mod shardmap;
+
+pub use balancer::{candidate_order, donor_order, is_overloaded, receiver_order, BalancerConfig};
+pub use fleet::{FleetAudit, FleetConfig, FleetController, FleetStats, FleetTickReport};
+pub use handoff::{HandoffOutcome, HandoffRecord};
+pub use shardmap::ShardMap;
+
+/// Convenience re-exports for examples and downstream users.
+pub mod prelude {
+    pub use crate::balancer::BalancerConfig;
+    pub use crate::fleet::{FleetConfig, FleetController};
+    pub use crate::handoff::HandoffOutcome;
+    pub use kairos_controller::{ControllerConfig, ShardSummary, SyntheticSource};
+}

@@ -288,6 +288,76 @@ impl ConsolidationProblem {
         self
     }
 
+    /// Extract the shard-local sub-problem over `keep` (workload indices
+    /// into `self.workloads`, in the order the sub-problem should list
+    /// them). This is how a sharded control plane turns one global
+    /// problem into independent per-shard solves:
+    ///
+    /// * workloads outside `keep` disappear;
+    /// * anti-affinity pairs survive only when both endpoints stay in the
+    ///   shard (cross-shard pairs are trivially satisfied by sharding);
+    /// * the migration baseline is re-sliced per slot, so warm-started
+    ///   shard re-solves keep pricing moves correctly;
+    /// * `max_machines` is inherited — callers typically override it with
+    ///   the shard's machine budget.
+    ///
+    /// # Panics
+    /// Panics if `keep` is empty, contains an out-of-range index, or
+    /// repeats an index.
+    pub fn restrict(&self, keep: &[usize]) -> ConsolidationProblem {
+        assert!(!keep.is_empty(), "a shard needs at least one workload");
+        let mut seen = vec![false; self.workloads.len()];
+        for &w in keep {
+            assert!(w < self.workloads.len(), "workload index {w} out of range");
+            assert!(!seen[w], "workload index {w} repeated");
+            seen[w] = true;
+        }
+        // old workload index -> new index (usize::MAX = dropped).
+        let mut new_of = vec![usize::MAX; self.workloads.len()];
+        for (new, &old) in keep.iter().enumerate() {
+            new_of[old] = new;
+        }
+        let workloads: Vec<WorkloadSpec> =
+            keep.iter().map(|&w| self.workloads[w].clone()).collect();
+        let anti_affinity: Vec<(usize, usize)> = self
+            .anti_affinity
+            .iter()
+            .filter(|&&(a, b)| new_of[a] != usize::MAX && new_of[b] != usize::MAX)
+            .map(|&(a, b)| (new_of[a], new_of[b]))
+            .collect();
+        let migration = self.migration.as_ref().map(|m| {
+            // Slot ranges of the original problem, per workload.
+            let mut start = Vec::with_capacity(self.workloads.len());
+            let mut next = 0usize;
+            for w in &self.workloads {
+                start.push(next);
+                next += w.replicas.max(1) as usize;
+            }
+            let mut baseline = Vec::new();
+            for &w in keep {
+                let n = self.workloads[w].replicas.max(1) as usize;
+                for r in 0..n {
+                    baseline.push(m.baseline.get(start[w] + r).copied().flatten());
+                }
+            }
+            MigrationCost {
+                baseline,
+                cost_per_move: m.cost_per_move,
+            }
+        });
+        ConsolidationProblem {
+            workloads,
+            machine: self.machine,
+            max_machines: self.max_machines,
+            headroom: self.headroom,
+            windows: self.windows,
+            weights: self.weights,
+            disk: self.disk.clone(),
+            anti_affinity,
+            migration,
+        }
+    }
+
     /// Expand workloads into placement slots (one per replica).
     pub fn slots(&self) -> Vec<Slot> {
         let mut out = Vec::new();
@@ -401,6 +471,44 @@ mod tests {
         let u1 = d.utilization(1e9, 1000.0);
         let u2 = d.utilization(2e9, 2000.0);
         assert!((u2 - 2.0 * u1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn restrict_extracts_shard_local_problem() {
+        let w = vec![
+            WorkloadSpec::flat("a", 4, 1.0, 1e9, 5e8, 100.0),
+            WorkloadSpec::flat("b", 4, 2.0, 2e9, 5e8, 200.0),
+            WorkloadSpec::flat("c", 4, 3.0, 3e9, 5e8, 300.0),
+            WorkloadSpec::flat("d", 4, 4.0, 4e9, 5e8, 400.0),
+        ];
+        let mut p = ConsolidationProblem::new(
+            w,
+            TargetMachine::paper_target(),
+            4,
+            Arc::new(LinearDiskCombiner::default()),
+        )
+        .with_anti_affinity(vec![(0, 2), (1, 3)]);
+        p.workloads[2].replicas = 2; // slots: a=0, b=1, c=2,3, d=4
+        let p = p.with_migration(vec![Some(0), Some(1), Some(2), None, Some(3)], 0.25);
+
+        let sub = p.restrict(&[2, 0]);
+        assert_eq!(sub.workloads.len(), 2);
+        assert_eq!(sub.workloads[0].name, "c");
+        assert_eq!(sub.workloads[1].name, "a");
+        assert_eq!(sub.windows, 4);
+        // Only the (a, c) pair survives, remapped to the new indices.
+        assert_eq!(sub.anti_affinity, vec![(1, 0)]);
+        // Slots: c#0, c#1, a#0 — baselines re-sliced accordingly.
+        let m = sub.migration.as_ref().expect("migration survives");
+        assert_eq!(m.baseline, vec![Some(2), None, Some(0)]);
+        assert_eq!(sub.slots().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated")]
+    fn restrict_rejects_duplicates() {
+        let p = tiny_problem();
+        p.restrict(&[1, 1]);
     }
 
     #[test]

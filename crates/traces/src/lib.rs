@@ -12,12 +12,16 @@
 //!   statistical shape (sub-4 % mean utilization, diurnal/weekly cycles,
 //!   night-job pools, heterogeneous hardware);
 //! * [`predict`] — the Fig 13 predictability analysis (mean of past weeks
-//!   predicts the next week).
+//!   predicts the next week);
+//! * [`aggregate`] — shard-level roll-ups of per-tenant rolling windows,
+//!   the coarse signal the sharded control plane's balancer consumes.
 
+pub mod aggregate;
 pub mod fleet;
 pub mod predict;
 pub mod rrd;
 
+pub use aggregate::{sum_tail_aligned, ShardAggregate};
 pub use fleet::{
     fleet_mean_utilization, generate_all, generate_fleet, Dataset, FleetConfig, ServerTrace,
 };

@@ -22,6 +22,7 @@
 //! | [`vmsim`] | `kairos-vmsim` | DB-in-VM / DB-per-process baselines |
 //! | [`core`] | `kairos-core` | combined-load estimator + consolidation engine |
 //! | [`controller`] | `kairos-controller` | online rolling-horizon consolidation daemon |
+//! | [`fleet`] | `kairos-fleet` | sharded control plane: per-shard loops + cross-shard balancer |
 //!
 //! ## Quickstart: one-shot consolidation
 //!
@@ -86,6 +87,7 @@ pub use kairos_controller as controller;
 pub use kairos_core as core;
 pub use kairos_dbsim as dbsim;
 pub use kairos_diskmodel as diskmodel;
+pub use kairos_fleet as fleet;
 pub use kairos_monitor as monitor;
 pub use kairos_solver as solver;
 pub use kairos_traces as traces;

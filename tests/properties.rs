@@ -5,6 +5,10 @@
 //! generated from a seeded [`SplitMix64`] stream, which keeps the tests
 //! fully deterministic while still sweeping the input space. Failures
 //! report the offending case index/seed for replay.
+//!
+//! Seeds come from [`SplitMix64::from_env`]: CI sweeps `KAIROS_TEST_SEED`
+//! over a fixed matrix so every property is exercised on several slices
+//! of the input space, while any one run stays replayable.
 
 use kairos::dbsim::{ClockCache, PageId};
 use kairos::diskmodel::{DiskModel, DiskPoint, DiskProfile};
@@ -40,7 +44,7 @@ fn random_problem(rng: &mut SplitMix64) -> ConsolidationProblem {
 /// the fractional lower bound.
 #[test]
 fn solver_output_is_feasible_and_bounded() {
-    let mut rng = SplitMix64::new(0xFEA51B1E);
+    let mut rng = SplitMix64::from_env(0xFEA51B1E);
     for case in 0..24 {
         let problem = random_problem(&mut rng);
         let cfg = SolverConfig {
@@ -69,7 +73,7 @@ fn solver_output_is_feasible_and_bounded() {
 /// Greedy solutions, when produced, are feasible.
 #[test]
 fn greedy_output_is_feasible() {
-    let mut rng = SplitMix64::new(0x6EEED1);
+    let mut rng = SplitMix64::from_env(0x6EEED1);
     for case in 0..24 {
         let problem = random_problem(&mut rng);
         if let Some(g) = greedy_pack(&problem) {
@@ -84,7 +88,7 @@ fn greedy_output_is_feasible() {
 /// Local search never worsens the objective.
 #[test]
 fn polish_never_worsens() {
-    let mut rng = SplitMix64::new(0x0115);
+    let mut rng = SplitMix64::from_env(0x0115);
     for case in 0..24 {
         let problem = random_problem(&mut rng);
         let slots = problem.slots().len();
@@ -130,7 +134,7 @@ fn fewer_machines_win_when_feasible() {
 /// boundaries.
 #[test]
 fn downsample_avg_conserves_mean() {
-    let mut rng = SplitMix64::new(0xD0_5A);
+    let mut rng = SplitMix64::from_env(0xD0_5A);
     for case in 0..48 {
         let len = 4 + rng.next_range(60) as usize;
         let factor = 1 + rng.next_range(7) as usize;
@@ -153,7 +157,7 @@ fn downsample_avg_conserves_mean() {
 /// MAX consolidation dominates AVG pointwise.
 #[test]
 fn downsample_max_dominates_avg() {
-    let mut rng = SplitMix64::new(0x3A_11);
+    let mut rng = SplitMix64::from_env(0x3A_11);
     for case in 0..48 {
         let len = 4 + rng.next_range(60) as usize;
         let factor = 1 + rng.next_range(7) as usize;
@@ -170,7 +174,7 @@ fn downsample_max_dominates_avg() {
 /// Percentiles are monotone in p and bracketed by min/max.
 #[test]
 fn percentiles_are_monotone() {
-    let mut rng = SplitMix64::new(0x9E9C);
+    let mut rng = SplitMix64::from_env(0x9E9C);
     for case in 0..48 {
         let len = 1 + rng.next_range(127) as usize;
         let vals: Vec<f64> = (0..len).map(|_| rng.next_in(-1e9, 1e9)).collect();
@@ -192,7 +196,7 @@ mod buffer_pool {
     /// access count.
     #[test]
     fn clock_cache_invariants() {
-        let mut rng = SplitMix64::new(0xCAC4E);
+        let mut rng = SplitMix64::from_env(0xCAC4E);
         for case in 0..32 {
             let capacity = 1 + rng.next_range(63) as usize;
             let ops = 1 + rng.next_range(255) as usize;
@@ -215,7 +219,7 @@ mod buffer_pool {
     /// come out sorted.
     #[test]
     fn dirty_batches_are_sorted_and_drain() {
-        let mut rng = SplitMix64::new(0xF1054);
+        let mut rng = SplitMix64::from_env(0xF1054);
         for case in 0..32 {
             let n = 1 + rng.next_range(127) as usize;
             let pages: Vec<u64> = (0..n).map(|_| rng.next_range(512)).collect();
@@ -271,7 +275,7 @@ mod disk_model {
     /// rate and stays within the clamp envelope.
     #[test]
     fn model_predicts_monotone_in_rate() {
-        let mut rng = SplitMix64::new(0xD15C);
+        let mut rng = SplitMix64::from_env(0xD15C);
         for case in 0..16 {
             let seed = rng.next_range(10_000);
             let model = DiskModel::fit(&profile_from_seed(seed)).unwrap();
@@ -287,5 +291,368 @@ mod disk_model {
                 prev = v;
             }
         }
+    }
+}
+
+mod migration_order {
+    use super::*;
+    use kairos::controller::{plan_migration, MigrationStep};
+
+    /// A random placement diff on a tightly-packed fleet: flat workloads
+    /// whose incumbent (`from`) and target (`to`) placements squeeze into
+    /// about half as many machines as workloads, so move order genuinely
+    /// matters. `None` entries in `from` are pending provisions. Only
+    /// cases with a *feasible* target are returned (the solver guarantees
+    /// that much before the planner ever runs).
+    fn random_diff(
+        rng: &mut SplitMix64,
+    ) -> Option<(ConsolidationProblem, Vec<Option<usize>>, Assignment)> {
+        let n = 4 + rng.next_range(6) as usize;
+        let windows = 1 + rng.next_range(3) as usize;
+        let workloads: Vec<WorkloadSpec> = (0..n)
+            .map(|i| {
+                let cpu = rng.next_in(1.0, 5.5);
+                WorkloadSpec::flat(format!("w{i}"), windows, cpu, 2e9, 2e8, 50.0)
+            })
+            .collect();
+        let problem = ConsolidationProblem::new(
+            workloads,
+            TargetMachine::paper_target(),
+            n,
+            Arc::new(LinearDiskCombiner::default()),
+        );
+        let m_range = (n / 2).max(2) as u64;
+        let from: Vec<Option<usize>> = (0..n)
+            .map(|_| {
+                if rng.next_f64() < 0.15 {
+                    None
+                } else {
+                    Some(rng.next_range(m_range) as usize)
+                }
+            })
+            .collect();
+        for _ in 0..40 {
+            let to = Assignment::new((0..n).map(|_| rng.next_range(m_range) as usize).collect());
+            if evaluate(&problem, &to).feasible {
+                return Some((problem, from, to));
+            }
+        }
+        None
+    }
+
+    /// Replay `steps` in the given order through a ledger written
+    /// independently of the planner's, reporting each step's destination
+    /// peak utilization *after* the step applies (movers occupy their
+    /// source until their own step runs).
+    fn replay_dest_peaks(problem: &ConsolidationProblem, steps: &[&MigrationStep]) -> Vec<f64> {
+        let slots = problem.slots();
+        let machines = problem
+            .max_machines
+            .max(steps.iter().map(|s| s.mv.to + 1).max().unwrap_or(0))
+            .max(
+                steps
+                    .iter()
+                    .filter_map(|s| s.mv.from.map(|f| f + 1))
+                    .max()
+                    .unwrap_or(0),
+            );
+        let w = problem.windows;
+        // loads[machine][resource][window], resource = cpu/ram/ws/rate.
+        let mut loads = vec![vec![vec![0.0f64; w]; 4]; machines];
+        #[allow(clippy::needless_range_loop)]
+        fn apply(
+            problem: &ConsolidationProblem,
+            loads: &mut [Vec<Vec<f64>>],
+            wl: usize,
+            m: usize,
+            sign: f64,
+        ) {
+            let spec = &problem.workloads[wl];
+            for t in 0..problem.windows {
+                loads[m][0][t] += sign * spec.cpu_at(t);
+                loads[m][1][t] += sign * spec.ram_at(t);
+                loads[m][2][t] += sign * spec.ws_at(t);
+                loads[m][3][t] += sign * spec.rate_at(t);
+            }
+        }
+        #[allow(clippy::needless_range_loop)]
+        fn peak_of(problem: &ConsolidationProblem, machine: &[Vec<f64>]) -> f64 {
+            let mut peak = 0.0f64;
+            for t in 0..problem.windows {
+                let c = machine[0][t] / problem.machine.cpu_cores;
+                let r = machine[1][t] / problem.machine.ram_bytes;
+                let d = problem.disk.utilization(machine[2][t], machine[3][t]);
+                peak = peak.max(c).max(r).max(d);
+            }
+            peak
+        }
+        // Seed: movers occupy their source until their own step runs;
+        // stayers (slots absent from the step list — plan_migration only
+        // omits slots with from == to) sit on their baseline machine,
+        // which `with_baseline` stashed in the problem's migration slot.
+        let moving: std::collections::HashSet<usize> = steps.iter().map(|s| s.mv.slot).collect();
+        for step in steps {
+            if let Some(src) = step.mv.from {
+                apply(problem, &mut loads, slots[step.mv.slot].workload, src, 1.0);
+            }
+        }
+        for (s, slot) in slots.iter().enumerate() {
+            if !moving.contains(&s) {
+                if let Some(m) = problem
+                    .migration
+                    .as_ref()
+                    .and_then(|mc| mc.baseline.get(s).copied().flatten())
+                {
+                    apply(problem, &mut loads, slot.workload, m, 1.0);
+                }
+            }
+        }
+        let mut peaks = Vec::with_capacity(steps.len());
+        for step in steps {
+            let wl = slots[step.mv.slot].workload;
+            if let Some(src) = step.mv.from {
+                apply(problem, &mut loads, wl, src, -1.0);
+            }
+            apply(problem, &mut loads, wl, step.mv.to, 1.0);
+            peaks.push(peak_of(problem, &loads[step.mv.to]));
+        }
+        peaks
+    }
+
+    /// Attach the stay-put placements to the problem so the replay can
+    /// seed absolute machine loads (reuses the migration-baseline slot).
+    fn with_baseline(
+        problem: ConsolidationProblem,
+        from: &[Option<usize>],
+        to: &Assignment,
+    ) -> ConsolidationProblem {
+        // Stayers are slots with from == to; movers/provisions are
+        // handled through the step list itself, so blank them here.
+        let stay: Vec<Option<usize>> = from
+            .iter()
+            .zip(to.machine_of.iter())
+            .map(|(&f, &t)| match f {
+                Some(f) if f == t => Some(f),
+                _ => None,
+            })
+            .collect();
+        problem.with_migration(stay, 0.0)
+    }
+
+    /// The planner's move order never violates host capacity at any
+    /// intermediate fleet state — every step it does not explicitly flag
+    /// as `forced` lands within the headroom ceiling, and a plan marked
+    /// `capacity_safe` contains no forced steps at all.
+    #[test]
+    fn planned_order_never_violates_capacity_mid_flight() {
+        let mut rng = SplitMix64::from_env(0x0D0E12);
+        let mut checked = 0;
+        for case in 0..60 {
+            let Some((problem, from, to)) = random_diff(&mut rng) else {
+                continue;
+            };
+            let plan = plan_migration(&problem, &from, &to);
+            let problem = with_baseline(problem, &from, &to);
+            let steps: Vec<&MigrationStep> = plan.steps.iter().collect();
+            let peaks = replay_dest_peaks(&problem, &steps);
+            for (step, peak) in steps.iter().zip(&peaks) {
+                if !step.forced {
+                    assert!(
+                        *peak <= problem.headroom + 1e-9,
+                        "case {case}: unforced step of {} to machine {} peaked at {peak}",
+                        step.mv.workload,
+                        step.mv.to,
+                    );
+                }
+                // The planner's own ledger agrees with the independent one.
+                assert!(
+                    (step.dest_peak_utilization - peak).abs() < 1e-6,
+                    "case {case}: planner ledger {} vs replay {peak}",
+                    step.dest_peak_utilization,
+                );
+            }
+            if plan.capacity_safe {
+                assert!(steps.iter().all(|s| !s.forced), "case {case}");
+            }
+            // Every changed slot appears exactly once and ends at target.
+            let mut seen = std::collections::HashSet::new();
+            for step in &steps {
+                assert!(seen.insert(step.mv.slot), "case {case}: slot repeated");
+                assert_eq!(step.mv.to, to.machine_of[step.mv.slot], "case {case}");
+            }
+            checked += 1;
+        }
+        assert!(checked >= 20, "generator starved: only {checked} cases");
+    }
+
+    /// Fault injection: executing the same plans in *reverse* order must
+    /// violate capacity mid-flight in at least some generated cases —
+    /// i.e., the property above genuinely constrains the planner's
+    /// ordering, and reverting it would be caught.
+    #[test]
+    fn reversed_order_violates_capacity_somewhere() {
+        let mut rng = SplitMix64::from_env(0x0D0E12);
+        let mut violations = 0;
+        for _ in 0..60 {
+            let Some((problem, from, to)) = random_diff(&mut rng) else {
+                continue;
+            };
+            let plan = plan_migration(&problem, &from, &to);
+            if !plan.capacity_safe || plan.steps.len() < 2 {
+                continue;
+            }
+            let problem = with_baseline(problem, &from, &to);
+            let reversed: Vec<&MigrationStep> = plan.steps.iter().rev().collect();
+            let peaks = replay_dest_peaks(&problem, &reversed);
+            if peaks.iter().any(|&p| p > problem.headroom + 1e-9) {
+                violations += 1;
+            }
+        }
+        assert!(
+            violations >= 1,
+            "reversing the planner's order never violated capacity — the \
+             ordering property would not catch a reverted planner"
+        );
+    }
+
+    /// Deterministic witness for the same fault injection: the
+    /// vacate-before-fill construction, executed backwards, transiently
+    /// overloads the vacated machine's destination.
+    #[test]
+    fn reversed_vacate_before_fill_is_caught() {
+        let workloads = vec![
+            WorkloadSpec::flat("w0", 2, 6.0, 2e9, 2e8, 50.0),
+            WorkloadSpec::flat("w1", 2, 5.0, 2e9, 2e8, 50.0),
+            WorkloadSpec::flat("w2", 2, 6.0, 2e9, 2e8, 50.0),
+        ];
+        let problem = ConsolidationProblem::new(
+            workloads,
+            TargetMachine::paper_target(),
+            3,
+            Arc::new(LinearDiskCombiner::default()),
+        );
+        let from = vec![Some(0), Some(0), Some(1)];
+        let to = Assignment::new(vec![2, 0, 0]);
+        let plan = plan_migration(&problem, &from, &to);
+        assert!(plan.capacity_safe);
+        let problem = with_baseline(problem, &from, &to);
+
+        let forward: Vec<&MigrationStep> = plan.steps.iter().collect();
+        let fwd_peaks = replay_dest_peaks(&problem, &forward);
+        assert!(fwd_peaks.iter().all(|&p| p <= problem.headroom + 1e-9));
+
+        let reversed: Vec<&MigrationStep> = plan.steps.iter().rev().collect();
+        let rev_peaks = replay_dest_peaks(&problem, &reversed);
+        assert!(
+            rev_peaks.iter().any(|&p| p > problem.headroom),
+            "moving w2 onto the un-vacated machine must overload it: {rev_peaks:?}"
+        );
+    }
+}
+
+mod drift_one_sidedness {
+    use super::*;
+    use kairos::controller::DriftDetector;
+    use kairos::types::WorkloadProfile;
+
+    fn mk_profile(name: &str, cpu: Vec<f64>) -> WorkloadProfile {
+        let n = cpu.len();
+        WorkloadProfile::new(
+            name,
+            TimeSeries::new(300.0, cpu),
+            TimeSeries::new(300.0, vec![4e9; n]),
+            TimeSeries::new(300.0, vec![1e9; n]),
+            TimeSeries::new(300.0, vec![100.0; n]),
+        )
+    }
+
+    fn scaled(planned: &[f64], factor: f64) -> Vec<f64> {
+        planned.iter().map(|v| (v * factor).max(0.0)).collect()
+    }
+
+    /// For mirrored deviations of equal magnitude (live = planned·(1±d)),
+    /// the one-sided errors mirror exactly — the overload error of the
+    /// `+d` window equals the slack error of the `−d` window — and the
+    /// detector never trips on the slack side faster than on the overload
+    /// side. Overload must also trip *strictly* earlier for some
+    /// magnitudes (its threshold is tighter by design: scale-up is
+    /// urgent, scale-down is housekeeping).
+    #[test]
+    fn overload_trips_no_slower_than_slack_on_mirrored_deviations() {
+        let mut rng = SplitMix64::from_env(0x0DD51DE);
+        let detector = DriftDetector::default();
+        let mut overload_only = 0;
+        for case in 0..64 {
+            let windows = 4 + rng.next_range(9) as usize;
+            let planned_cpu: Vec<f64> = (0..windows).map(|_| rng.next_in(0.5, 4.0)).collect();
+            let d = rng.next_in(0.02, 0.95);
+            let planned = mk_profile("w", planned_cpu.clone());
+            let over = mk_profile("w", scaled(&planned_cpu, 1.0 + d));
+            let under = mk_profile("w", scaled(&planned_cpu, 1.0 - d));
+            let now = windows as u64 - 1; // phase-aligned full window
+
+            let r_over = detector.check(&planned, &over, now);
+            let r_under = detector.check(&planned, &under, now);
+
+            // Mirror symmetry of the error measure itself.
+            assert!(
+                (r_over.max_overload - r_under.max_slack).abs() < 1e-9,
+                "case {case} (d={d:.3}): overload {} vs mirrored slack {}",
+                r_over.max_overload,
+                r_under.max_slack,
+            );
+            assert!(r_over.max_slack < 1e-12, "case {case}: pure excess");
+            assert!(r_under.max_overload < 1e-12, "case {case}: pure shortfall");
+
+            // One-sidedness: slack tripping implies overload tripping at
+            // the same magnitude — never the other way around.
+            if r_under.drifted {
+                assert!(
+                    r_over.drifted,
+                    "case {case} (d={d:.3}): slack tripped before overload"
+                );
+            }
+            if r_over.drifted && !r_under.drifted {
+                overload_only += 1;
+            }
+        }
+        assert!(
+            overload_only >= 1,
+            "overload must trip strictly earlier for mid-range deviations"
+        );
+    }
+
+    /// Fault injection: a detector whose thresholds are swapped (slack
+    /// tighter than overload — the reverted configuration) violates the
+    /// one-sidedness property for mid-magnitude deviations, and the
+    /// property harness detects it.
+    #[test]
+    fn swapped_thresholds_are_caught() {
+        let mut rng = SplitMix64::from_env(0x0DD51DE);
+        let swapped = DriftDetector {
+            overload_threshold: 0.5,
+            slack_threshold: 0.25,
+            min_windows: 4,
+        };
+        let mut violations = 0;
+        for _ in 0..64 {
+            let windows = 4 + rng.next_range(9) as usize;
+            let planned_cpu: Vec<f64> = (0..windows).map(|_| rng.next_in(0.5, 4.0)).collect();
+            let d = rng.next_in(0.02, 0.95);
+            let planned = mk_profile("w", planned_cpu.clone());
+            let over = mk_profile("w", scaled(&planned_cpu, 1.0 + d));
+            let under = mk_profile("w", scaled(&planned_cpu, 1.0 - d));
+            let now = windows as u64 - 1;
+            let r_over = swapped.check(&planned, &over, now);
+            let r_under = swapped.check(&planned, &under, now);
+            if r_under.drifted && !r_over.drifted {
+                violations += 1;
+            }
+        }
+        assert!(
+            violations >= 1,
+            "the one-sidedness property must fail under swapped thresholds \
+             — otherwise it does not constrain the detector"
+        );
     }
 }
