@@ -1,32 +1,69 @@
 //! Sharded-control-plane scaling benchmark: tick latency and per-shard
 //! re-solve time vs. shard count, under weak scaling (fixed tenants per
-//! shard, so the fleet grows with the shard count). The hierarchical
-//! claim under test: per-shard re-solve cost stays flat as the fleet
-//! grows, because each re-solver only ever sees its own shard. Emits a
-//! JSON baseline on stdout (recorded as `BENCH_fleet.json`).
+//! shard, so the fleet grows with the shard count), plus a strong-scaling
+//! section comparing `tick_threads = 1` against the machine's full
+//! parallelism at the largest fleet. The hierarchical claim under test:
+//! per-shard re-solve cost stays flat as the fleet grows (each re-solver
+//! only ever sees its own shard), and with enough cores the steady tick
+//! stays near-flat too, because shard ticks fan out across threads.
+//! Emits a JSON baseline on stdout (recorded as `BENCH_fleet.json`).
 //!
 //! ```text
 //! cargo run --release -p kairos-bench --bin fleet_scale > BENCH_fleet.json
 //! KAIROS_QUICK=1 cargo run --release -p kairos-bench --bin fleet_scale
+//! KAIROS_FLEET_THREADS=4 cargo run --release -p kairos-bench --bin fleet_scale
 //! ```
 
 use kairos_bench::quick;
 use kairos_controller::{ControllerConfig, SyntheticSource, TickOutcome};
-use kairos_fleet::{BalancerConfig, FleetConfig, FleetController};
+use kairos_fleet::{default_tick_threads, BalancerConfig, FleetConfig, FleetController};
 use kairos_types::Bytes;
 use kairos_workloads::RatePattern;
 use std::time::Instant;
 
 const BUDGET: usize = 8;
 
+/// Sort a sample set once; percentiles then read via the workspace's
+/// shared linear-interpolated definition
+/// (`kairos_types::percentile_of_sorted`, the same convention
+/// `TimeSeries::percentile` reports).
+fn sorted(samples: &[f64]) -> Vec<f64> {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+    sorted
+}
+
+/// p-th percentile over an already-sorted sample set; 0 for no samples.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    kairos_types::percentile_of_sorted(sorted, p)
+}
+
 struct ScaleResult {
     shards: usize,
     tenants: usize,
     ticks: u64,
+    tick_threads: usize,
     steady_tick_usecs: f64,
+    steady_tick_p50_usecs: f64,
+    steady_tick_p99_usecs: f64,
+    /// All ticks, including solves and balance rounds — the latency the
+    /// control plane actually exhibits.
+    tick_p50_usecs: f64,
+    tick_p99_usecs: f64,
     /// Mean wall-clock per solve (bootstrap + re-solves), averaged over
-    /// shards — the quantity that must stay flat under weak scaling.
+    /// shards — the quantity that must stay flat under weak scaling, and
+    /// the figure comparable with pre-overhaul baselines.
     mean_resolve_ms: f64,
+    /// Warm re-solves only (drift/membership replans — the online hot
+    /// path the solver overhaul targets).
+    mean_warm_resolve_ms: f64,
+    resolve_p50_ms: f64,
+    resolve_p99_ms: f64,
+    /// One-time cold bootstrap solves (one per shard).
+    mean_bootstrap_ms: f64,
     resolves: u64,
     handoffs_completed: u64,
     handoffs_rejected: u64,
@@ -35,7 +72,12 @@ struct ScaleResult {
     within_budget: bool,
 }
 
-fn run_scale(shards: usize, tenants_per_shard: usize, ticks: u64) -> ScaleResult {
+fn run_scale(
+    shards: usize,
+    tenants_per_shard: usize,
+    ticks: u64,
+    tick_threads: usize,
+) -> ScaleResult {
     let cfg = FleetConfig {
         shards,
         shard: ControllerConfig {
@@ -48,7 +90,9 @@ fn run_scale(shards: usize, tenants_per_shard: usize, ticks: u64) -> ScaleResult
             machines_per_shard: BUDGET,
             balance_every: 6,
             max_moves_per_round: 4,
+            ..BalancerConfig::default()
         },
+        tick_threads,
     };
     let mut fleet = FleetController::new(cfg);
     let spike_start = ticks / 3;
@@ -70,50 +114,68 @@ fn run_scale(shards: usize, tenants_per_shard: usize, ticks: u64) -> ScaleResult
         }
     }
 
-    let mut steady_secs = 0.0;
-    let mut steady_ticks = 0u64;
+    let mut steady_usecs: Vec<f64> = Vec::with_capacity(ticks as usize);
+    let mut all_usecs: Vec<f64> = Vec::with_capacity(ticks as usize);
+    let mut resolve_ms: Vec<f64> = Vec::new();
+    let mut bootstrap_ms: Vec<f64> = Vec::new();
     for _ in 0..ticks {
         let t0 = Instant::now();
         let report = fleet.tick();
         let wall = t0.elapsed().as_secs_f64();
-        let eventful = report.handoffs.iter().any(|h| h.completed())
-            || report.outcomes.iter().any(|o| {
-                matches!(
-                    o,
-                    TickOutcome::Replanned(_) | TickOutcome::InitialPlan { .. }
-                )
-            });
+        all_usecs.push(wall * 1e6);
+        let mut eventful = report.handoffs.iter().any(|h| h.completed());
+        for o in &report.outcomes {
+            match o {
+                TickOutcome::InitialPlan { solve_secs, .. } => {
+                    eventful = true;
+                    bootstrap_ms.push(solve_secs * 1e3);
+                }
+                TickOutcome::Replanned(r) => {
+                    eventful = true;
+                    resolve_ms.push(r.solve_secs * 1e3);
+                }
+                _ => {}
+            }
+        }
         if !eventful {
-            steady_secs += wall;
-            steady_ticks += 1;
+            steady_usecs.push(wall * 1e6);
         }
     }
 
-    let mut solve_secs = 0.0;
-    let mut solves = 0u64;
     let mut resolves = 0u64;
     for s in fleet.shards() {
-        let st = s.stats();
-        solve_secs += st.solve_secs_total;
-        solves += st.resolves + 1; // + the bootstrap solve
-        resolves += st.resolves;
+        resolves += s.stats().resolves;
     }
     let audit = fleet.audit();
     let stats = fleet.stats();
+    let mean = |v: &[f64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
+    let steady_sorted = sorted(&steady_usecs);
+    let all_sorted = sorted(&all_usecs);
+    let resolve_sorted = sorted(&resolve_ms);
     ScaleResult {
         shards,
         tenants: shards * tenants_per_shard,
         ticks,
-        steady_tick_usecs: if steady_ticks > 0 {
-            steady_secs / steady_ticks as f64 * 1e6
-        } else {
-            0.0
+        tick_threads,
+        steady_tick_usecs: mean(&steady_usecs),
+        steady_tick_p50_usecs: percentile(&steady_sorted, 50.0),
+        steady_tick_p99_usecs: percentile(&steady_sorted, 99.0),
+        tick_p50_usecs: percentile(&all_sorted, 50.0),
+        tick_p99_usecs: percentile(&all_sorted, 99.0),
+        mean_resolve_ms: {
+            let all: Vec<f64> = bootstrap_ms.iter().chain(&resolve_ms).copied().collect();
+            mean(&all)
         },
-        mean_resolve_ms: if solves > 0 {
-            solve_secs / solves as f64 * 1e3
-        } else {
-            0.0
-        },
+        mean_warm_resolve_ms: mean(&resolve_ms),
+        resolve_p50_ms: percentile(&resolve_sorted, 50.0),
+        resolve_p99_ms: percentile(&resolve_sorted, 99.0),
+        mean_bootstrap_ms: mean(&bootstrap_ms),
         resolves,
         handoffs_completed: stats.handoffs_completed,
         handoffs_rejected: stats.handoffs_rejected,
@@ -123,57 +185,133 @@ fn run_scale(shards: usize, tenants_per_shard: usize, ticks: u64) -> ScaleResult
     }
 }
 
+fn result_json(r: &ScaleResult) -> String {
+    format!(
+        concat!(
+            "{{\"shards\":{},\"tenants\":{},\"ticks\":{},\"tick_threads\":{},",
+            "\"steady_tick_usecs\":{:.2},\"steady_tick_p50_usecs\":{:.2},\"steady_tick_p99_usecs\":{:.2},",
+            "\"tick_p50_usecs\":{:.2},\"tick_p99_usecs\":{:.2},",
+            "\"mean_resolve_ms\":{:.3},\"mean_warm_resolve_ms\":{:.3},\"resolve_p50_ms\":{:.3},\"resolve_p99_ms\":{:.3},\"mean_bootstrap_ms\":{:.3},\"resolves\":{},",
+            "\"handoffs_completed\":{},\"handoffs_rejected\":{},",
+            "\"total_machines\":{},\"zero_violations\":{},\"within_budget\":{}}}"
+        ),
+        r.shards,
+        r.tenants,
+        r.ticks,
+        r.tick_threads,
+        r.steady_tick_usecs,
+        r.steady_tick_p50_usecs,
+        r.steady_tick_p99_usecs,
+        r.tick_p50_usecs,
+        r.tick_p99_usecs,
+        r.mean_resolve_ms,
+        r.mean_warm_resolve_ms,
+        r.resolve_p50_ms,
+        r.resolve_p99_ms,
+        r.mean_bootstrap_ms,
+        r.resolves,
+        r.handoffs_completed,
+        r.handoffs_rejected,
+        r.total_machines,
+        r.zero_violations,
+        r.within_budget,
+    )
+}
+
 fn main() {
     let (scales, tenants_per_shard, ticks): (&[usize], usize, u64) = if quick() {
         (&[1, 2, 4], 12, 90)
     } else {
         (&[1, 2, 4, 8], 25, 150)
     };
+    let threads = default_tick_threads();
+    let parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     let results: Vec<ScaleResult> = scales
         .iter()
-        .map(|&s| run_scale(s, tenants_per_shard, ticks))
+        .map(|&s| run_scale(s, tenants_per_shard, ticks, threads))
         .collect();
 
     let mut out = String::new();
     out.push_str("{\n  \"bench\": \"fleet_scale\",\n");
     out.push_str(&format!(
-        "  \"config\": {{\"tenants_per_shard\":{tenants_per_shard},\"ticks\":{ticks},\"machines_per_shard\":{BUDGET},\"quick\":{}}},\n",
+        "  \"config\": {{\"tenants_per_shard\":{tenants_per_shard},\"ticks\":{ticks},\"machines_per_shard\":{BUDGET},\"tick_threads\":{threads},\"available_parallelism\":{parallelism},\"quick\":{}}},\n",
         quick()
     ));
     out.push_str("  \"scales\": [\n");
     for (i, r) in results.iter().enumerate() {
-        out.push_str(&format!(
-            concat!(
-                "    {{\"shards\":{},\"tenants\":{},\"ticks\":{},",
-                "\"steady_tick_usecs\":{:.2},\"mean_resolve_ms\":{:.3},\"resolves\":{},",
-                "\"handoffs_completed\":{},\"handoffs_rejected\":{},",
-                "\"total_machines\":{},\"zero_violations\":{},\"within_budget\":{}}}"
-            ),
-            r.shards,
-            r.tenants,
-            r.ticks,
-            r.steady_tick_usecs,
-            r.mean_resolve_ms,
-            r.resolves,
-            r.handoffs_completed,
-            r.handoffs_rejected,
-            r.total_machines,
-            r.zero_violations,
-            r.within_budget,
-        ));
+        out.push_str("    ");
+        out.push_str(&result_json(r));
         out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
     }
     out.push_str("  ],\n");
     // The weak-scaling headline: per-shard re-solve time at the largest
     // scale relative to one shard (must stay within ~2x for the
     // hierarchical decomposition to be doing its job).
+    let max_shards = *scales.last().expect("non-empty scales");
     let base = results.first().map(|r| r.mean_resolve_ms).unwrap_or(0.0);
     let last = results.last().map(|r| r.mean_resolve_ms).unwrap_or(0.0);
     let ratio = if base > 0.0 { last / base } else { 0.0 };
+    let warm_base = results
+        .first()
+        .map(|r| r.mean_warm_resolve_ms)
+        .unwrap_or(0.0);
+    let warm_last = results
+        .last()
+        .map(|r| r.mean_warm_resolve_ms)
+        .unwrap_or(0.0);
+    let warm_ratio = if warm_base > 0.0 {
+        warm_last / warm_base
+    } else {
+        0.0
+    };
+    // Steady tick normalized per shard: the serial poll/ingest work is
+    // inherently O(tenants), so the hierarchical claim is that the
+    // *per-shard* cost stays flat as shards multiply.
+    let steady_base = results.first().map(|r| r.steady_tick_usecs).unwrap_or(0.0);
+    let steady_last = results.last().map(|r| r.steady_tick_usecs).unwrap_or(0.0);
+    let per_shard_ratio = if steady_base > 0.0 && max_shards > 0 {
+        (steady_last / max_shards as f64) / steady_base
+    } else {
+        0.0
+    };
     out.push_str(&format!(
-        "  \"weak_scaling\": {{\"resolve_ms_at_1_shard\":{base:.3},\"resolve_ms_at_max_shards\":{last:.3},\"ratio\":{ratio:.3}}}\n"
+        "  \"weak_scaling\": {{\"resolve_ms_at_1_shard\":{base:.3},\"resolve_ms_at_max_shards\":{last:.3},\"ratio\":{ratio:.3},\"warm_resolve_ms_at_1_shard\":{warm_base:.3},\"warm_resolve_ms_at_max_shards\":{warm_last:.3},\"warm_ratio\":{warm_ratio:.3},\"steady_tick_per_shard_ratio\":{per_shard_ratio:.3}}},\n"
     ));
+
+    // Strong scaling: the largest fleet, serial ticks vs. the full
+    // thread fan-out. On a many-core box the threaded steady tick should
+    // approach the 1-shard figure; on a 1-core box the two runs are the
+    // same work and the ratio records that honestly (see
+    // available_parallelism in config).
+    let serial = run_scale(max_shards, tenants_per_shard, ticks, 1);
+    // At least 2 threads so the scoped fan-out path is genuinely
+    // measured even where the machine offers one core.
+    let threaded = run_scale(
+        max_shards,
+        tenants_per_shard,
+        ticks,
+        threads.max(parallelism).max(2),
+    );
+    let speedup = if threaded.steady_tick_usecs > 0.0 {
+        serial.steady_tick_usecs / threaded.steady_tick_usecs
+    } else {
+        0.0
+    };
+    let one_shard_steady = results.first().map(|r| r.steady_tick_usecs).unwrap_or(0.0);
+    let vs_one_shard = if one_shard_steady > 0.0 {
+        threaded.steady_tick_usecs / one_shard_steady
+    } else {
+        0.0
+    };
+    out.push_str("  \"strong_scaling\": {\n");
+    out.push_str(&format!("    \"shards\": {max_shards},\n"));
+    out.push_str(&format!("    \"serial\": {},\n", result_json(&serial)));
+    out.push_str(&format!("    \"threaded\": {},\n", result_json(&threaded)));
+    out.push_str(&format!(
+        "    \"steady_tick_speedup\": {speedup:.3},\n    \"threaded_steady_vs_1_shard\": {vs_one_shard:.3}\n"
+    ));
+    out.push_str("  }\n");
     out.push_str("}\n");
     print!("{out}");
 }

@@ -16,7 +16,12 @@ use std::collections::BTreeMap;
 /// observation stage ([`SessionSource`]) and by the synthetic drift
 /// scenarios ([`crate::scenarios::SyntheticSource`]); a production
 /// implementation would poll `SHOW STATUS` / `iostat` like §6 describes.
-pub trait TelemetrySource {
+///
+/// `Send` is a supertrait because a sharded control plane fans shard
+/// ticks — each polling its own sources — out across worker threads
+/// (`kairos-fleet`'s `FleetConfig::tick_threads`); sources move to
+/// whichever thread ticks their shard this interval.
+pub trait TelemetrySource: Send {
     /// Stable workload identifier.
     fn name(&self) -> &str;
     /// Advance one monitoring interval and report it.
@@ -225,6 +230,12 @@ impl TelemetryIngester {
     /// to build solver problems deterministically).
     pub fn names(&self) -> Vec<String> {
         self.workloads.keys().cloned().collect()
+    }
+
+    /// Iterate telemetry in canonical (sorted-name) order without
+    /// allocating — the per-tick readiness checks' accessor.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &WorkloadTelemetry)> {
+        self.workloads.iter().map(|(k, v)| (k.as_str(), v))
     }
 
     pub fn len(&self) -> usize {

@@ -18,7 +18,10 @@
 
 use crate::ingest::WorkloadTelemetry;
 use kairos_core::{ConsolidationEngine, ConsolidationPlan};
-use kairos_solver::{solve_warm, Assignment, ConsolidationProblem, SolveReport, SolverConfig};
+use kairos_solver::{
+    solve_warm_with, solve_with, Assignment, ConsolidationProblem, SolveReport, SolveScratch,
+    SolverConfig,
+};
 use kairos_types::{Result, TimeSeries, WorkloadProfile};
 use std::collections::BTreeMap;
 
@@ -125,6 +128,10 @@ pub struct ReSolver {
     /// which have no warm start to lean on. Defaults to the engine's own
     /// solver budgets, matching what `engine.consolidate` would run.
     pub bootstrap_solver: SolverConfig,
+    /// Reusable solver allocation arena: successive re-solves against
+    /// similarly-sized problems reuse the same decode/score buffers, so
+    /// warm re-solves allocate ~nothing in steady state.
+    scratch: SolveScratch,
 }
 
 impl ReSolver {
@@ -133,17 +140,22 @@ impl ReSolver {
         ReSolver {
             engine,
             // Online re-solves run with tighter budgets than the one-shot
-            // pipeline: the warm start carries most of the quality.
+            // pipeline: the warm start carries most of the quality, and a
+            // warm plan already at the machine-count lower bound is
+            // accepted outright (near-stationary re-solves then cost one
+            // polish pass instead of a full DIRECT budget).
             solver: SolverConfig {
                 probe_evals: 400,
                 final_evals: 2_000,
                 polish_rounds: 60,
+                accept_warm_at_bound: true,
                 ..Default::default()
             },
             cost_per_move: 0.25,
             cold: false,
             anti_affinity: Vec::new(),
             bootstrap_solver,
+            scratch: SolveScratch::default(),
         }
     }
 
@@ -172,11 +184,11 @@ impl ReSolver {
     /// Cold bootstrap solve: no incumbent, full budgets, all constraints
     /// (replicas, anti-affinity) applied.
     pub fn plan_cold(
-        &self,
+        &mut self,
         profiles: &[WorkloadProfile],
     ) -> Result<(ConsolidationProblem, SolveReport)> {
         let problem = self.problem(profiles)?;
-        let report = kairos_solver::solve(&problem, &self.bootstrap_solver)?;
+        let report = solve_with(&problem, &self.bootstrap_solver, &mut self.scratch)?;
         Ok((problem, report))
     }
 
@@ -185,7 +197,7 @@ impl ReSolver {
     /// `current` are new arrivals (free to place); workloads in `current`
     /// but not in `profiles` have left and simply drop out.
     pub fn resolve(
-        &self,
+        &mut self,
         profiles: &[WorkloadProfile],
         current: &FleetPlacement,
     ) -> Result<ReSolveOutcome> {
@@ -230,7 +242,7 @@ impl ReSolver {
         let (problem, report) = if self.cold {
             // Baseline-blind: solve from scratch, then count how many
             // incumbents the oblivious plan would uproot.
-            let mut report = kairos_solver::solve(&problem, &self.solver)?;
+            let mut report = solve_with(&problem, &self.solver, &mut self.scratch)?;
             report.evaluation.moves_from_baseline = report
                 .assignment
                 .machine_of
@@ -241,7 +253,12 @@ impl ReSolver {
             (problem, report)
         } else {
             let problem = problem.with_migration(baseline.clone(), self.cost_per_move);
-            let report = solve_warm(&problem, &self.solver, &Assignment::new(warm))?;
+            let report = solve_warm_with(
+                &problem,
+                &self.solver,
+                &Assignment::new(warm),
+                &mut self.scratch,
+            )?;
             (problem, report)
         };
 
@@ -371,7 +388,7 @@ mod tests {
         let profiles: Vec<WorkloadProfile> =
             (0..6).map(|i| profile(&format!("w{i}"), 1.0)).collect();
         let engine = ConsolidationEngine::builder().build();
-        let rs = ReSolver::new(engine);
+        let mut rs = ReSolver::new(engine);
         let cold = rs.engine.consolidate(&profiles).unwrap();
         let current = FleetPlacement::from_plan(&cold);
 
@@ -386,7 +403,7 @@ mod tests {
         let mut profiles: Vec<WorkloadProfile> =
             (0..5).map(|i| profile(&format!("w{i}"), 1.0)).collect();
         let engine = ConsolidationEngine::builder().build();
-        let rs = ReSolver::new(engine);
+        let mut rs = ReSolver::new(engine);
         let cold = rs.engine.consolidate(&profiles).unwrap();
         let current = FleetPlacement::from_plan(&cold);
 
@@ -406,7 +423,7 @@ mod tests {
         let profiles: Vec<WorkloadProfile> =
             (0..4).map(|i| profile(&format!("w{i}"), 2.5)).collect();
         let engine = ConsolidationEngine::builder().build();
-        let rs = ReSolver::new(engine);
+        let mut rs = ReSolver::new(engine);
         let cold = rs.engine.consolidate(&profiles).unwrap();
         assert_eq!(cold.machines_used(), 1);
         let current = FleetPlacement::from_plan(&cold);

@@ -92,6 +92,10 @@ pub struct ShardController {
     /// failed solve so retries are paced, not per-tick).
     replan_backoff_until: u64,
     last_resolve_failed: bool,
+    /// Cached balancer summary plus the tick it was computed at;
+    /// invalidated by anything that changes what the balancer would see
+    /// (see [`ControllerConfig::summary_refresh_ticks`]).
+    summary_cache: Option<(u64, ShardSummary)>,
     stats: ControllerStats,
 }
 
@@ -115,8 +119,15 @@ impl ShardController {
             last_plan_tick: 0,
             replan_backoff_until: 0,
             last_resolve_failed: false,
+            summary_cache: None,
             stats: ControllerStats::default(),
         }
+    }
+
+    /// Drop the cached balancer summary — called on every state change a
+    /// summary reflects (membership, handoffs, plans, solve failures).
+    fn invalidate_summary(&mut self) {
+        self.summary_cache = None;
     }
 
     /// Attach a workload's telemetry stream. Arrival of a new workload
@@ -129,6 +140,7 @@ impl ShardController {
         if self.planned_once {
             self.membership_changed = true;
         }
+        self.invalidate_summary();
     }
 
     /// Attach a replicated workload: `replicas` copies on distinct
@@ -162,6 +174,7 @@ impl ShardController {
         if self.planned_once {
             self.membership_changed = true;
         }
+        self.invalidate_summary();
     }
 
     pub fn stats(&self) -> ControllerStats {
@@ -186,6 +199,36 @@ impl ShardController {
 
     pub fn planned_once(&self) -> bool {
         self.planned_once
+    }
+
+    /// Could the *next* tick do more than poll telemetry? Mirrors the
+    /// gating in [`ShardController::tick`]: bootstrap still pending, a
+    /// membership replan due, or a drift check on cadence. The fleet's
+    /// tick fan-out uses this to keep quiet ticks on one thread (thread
+    /// spawns cost more than polling) while solve-capable ticks — the
+    /// ones worth parallelizing — go wide. Purely a scheduling hint: the
+    /// tick's behaviour is identical either way.
+    pub fn tick_may_solve(&self) -> bool {
+        let next = self.stats.ticks + 1;
+        // Lookahead 1 everywhere: one more sample lands before the next
+        // tick's readiness checks actually run.
+        if !self.planned_once {
+            // Mirrors maybe_bootstrap's gate: no solve can happen until
+            // every workload has a full horizon of observations.
+            return !self.ingester.is_empty() && self.windows_ready(self.cfg.horizon, 1);
+        }
+        if next < self.replan_backoff_until {
+            return false;
+        }
+        // Mirrors fleet_observable: a warming-up arrival defers the
+        // membership replan — but tick() then falls through to the drift
+        // path, so an unobservable membership change must NOT veto the
+        // cadence check below.
+        if self.membership_changed && self.windows_ready(self.cfg.detector.min_windows, 1) {
+            return true;
+        }
+        let cooled = next.saturating_sub(self.last_plan_tick) >= self.cfg.cooldown_ticks;
+        cooled && next.is_multiple_of(self.cfg.check_every)
     }
 
     /// One monitoring interval: poll every source, then act.
@@ -214,25 +257,27 @@ impl ShardController {
         TickOutcome::Idle
     }
 
+    /// Every registered workload has at least `needed` live samples,
+    /// `lookahead` of which will only have landed by the time the
+    /// predicted check runs (0 = check now, 1 = predict the next tick).
+    /// The single source of truth for the bootstrap, membership and
+    /// fan-out-hint gates — they must not drift apart.
+    fn windows_ready(&self, needed: usize, lookahead: usize) -> bool {
+        self.ingester
+            .iter()
+            .all(|(_, t)| t.window_len() + lookahead >= needed)
+    }
+
     /// Every registered workload has at least the detector's minimum
     /// window of live samples.
     fn fleet_observable(&self) -> bool {
-        self.ingester.names().iter().all(|n| {
-            self.ingester
-                .get(n)
-                .is_some_and(|t| t.window_len() >= self.cfg.detector.min_windows)
-        })
+        self.windows_ready(self.cfg.detector.min_windows, 0)
     }
 
     /// Bootstrap: wait until every workload has a full horizon of
     /// observations, then plan cold and provision the fleet.
     fn maybe_bootstrap(&mut self) -> TickOutcome {
-        let ready = !self.ingester.is_empty()
-            && self.ingester.names().iter().all(|n| {
-                self.ingester
-                    .get(n)
-                    .is_some_and(|t| t.window_len() >= self.cfg.horizon)
-            });
+        let ready = !self.ingester.is_empty() && self.windows_ready(self.cfg.horizon, 0);
         if !ready {
             return TickOutcome::Bootstrapping;
         }
@@ -264,6 +309,7 @@ impl ShardController {
         self.planned = profiles.into_iter().map(|p| (p.name.clone(), p)).collect();
         self.planned_once = true;
         self.last_plan_tick = self.stats.ticks;
+        self.invalidate_summary();
         TickOutcome::InitialPlan {
             machines,
             solve_secs,
@@ -332,6 +378,7 @@ impl ShardController {
                 // doesn't pay a full solve every tick.
                 self.replan_backoff_until = self.stats.ticks + self.cfg.check_every;
                 self.last_resolve_failed = true;
+                self.invalidate_summary();
                 return TickOutcome::Stable;
             }
         };
@@ -357,6 +404,7 @@ impl ShardController {
         self.planned = profiles.into_iter().map(|p| (p.name.clone(), p)).collect();
         self.membership_changed = false;
         self.last_plan_tick = self.stats.ticks;
+        self.invalidate_summary();
 
         TickOutcome::Replanned(ReplanSummary {
             reason,
@@ -479,6 +527,33 @@ impl ShardController {
         }
     }
 
+    /// [`ShardController::summary`] through a staleness-bounded cache:
+    /// recomputed whenever the shard's state actually changed (plan,
+    /// membership, handoff, failed solve — see the invalidation hooks) or
+    /// when the cached copy is older than
+    /// [`ControllerConfig::summary_refresh_ticks`]. This is the balance
+    /// round's hot path: a quiet shard's summary is a clone, not a
+    /// fleet-wide forecast pass. Caveat: forecast-derived fields
+    /// (`feasible`, tenant peaks, `drifting`) have no invalidation hook
+    /// of their own — telemetry that drifts without tripping the
+    /// detector (so no replan happens) is only reflected once the
+    /// staleness bound expires.
+    pub fn summary_cached(&mut self) -> ShardSummary {
+        let refresh = self.cfg.summary_refresh_ticks;
+        if refresh > 0 {
+            if let Some((at, cached)) = &self.summary_cache {
+                if self.stats.ticks.saturating_sub(*at) < refresh {
+                    return cached.clone();
+                }
+            }
+        }
+        let fresh = self.summary();
+        if refresh > 0 {
+            self.summary_cache = Some((self.stats.ticks, fresh.clone()));
+        }
+        fresh
+    }
+
     /// Phase 1 of the handoff (reservation): would this shard still pack
     /// within `machine_budget` target machines after admitting
     /// `incoming`? Conservative — uses the greedy packer, so a `true`
@@ -530,6 +605,7 @@ impl ShardController {
         if self.planned_once {
             self.membership_changed = true;
         }
+        self.invalidate_summary();
         Some(TenantHandoff {
             name: name.to_string(),
             replicas,
@@ -557,6 +633,7 @@ impl ShardController {
         if self.planned_once {
             self.membership_changed = true;
         }
+        self.invalidate_summary();
     }
 }
 

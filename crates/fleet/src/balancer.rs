@@ -20,12 +20,26 @@ use kairos_controller::ShardSummary;
 pub struct BalancerConfig {
     /// Machine budget per shard — the capacity constraint the balancer
     /// enforces fleet-wide (each shard's own solver is unconstrained).
+    /// This is the **high watermark**: a shard becomes a donor only when
+    /// it exceeds it.
     pub machines_per_shard: usize,
     /// Run a balance round every N fleet ticks (once all shards have
     /// bootstrapped).
     pub balance_every: u64,
     /// Handoff cap per round — bounds migration traffic bursts.
     pub max_moves_per_round: usize,
+    /// **Low watermark**: once a donor starts shedding, it sheds until its
+    /// greedy pack estimate fits this many machines, and receivers must
+    /// certify admissions against it too — so a move leaves both sides
+    /// with headroom below the donor trigger instead of parking them
+    /// exactly at the budget (where the next drift nudges them straight
+    /// back over). `0` means "same as `machines_per_shard`" (no split).
+    pub low_watermark: usize,
+    /// Balance rounds a tenant sits out after being probed for a handoff
+    /// (completed *or* rejected). Hysteresis against ping-pong: a fleet
+    /// hovering at its budget otherwise re-proposes the same tenants
+    /// round after round. `0` disables the cooldown.
+    pub cooldown_rounds: u64,
 }
 
 impl Default for BalancerConfig {
@@ -34,6 +48,20 @@ impl Default for BalancerConfig {
             machines_per_shard: 16,
             balance_every: 6,
             max_moves_per_round: 8,
+            low_watermark: 0,
+            cooldown_rounds: 2,
+        }
+    }
+}
+
+impl BalancerConfig {
+    /// The effective shed/admit target (low watermark, capped at the
+    /// budget).
+    pub fn shed_target(&self) -> usize {
+        if self.low_watermark == 0 {
+            self.machines_per_shard
+        } else {
+            self.low_watermark.min(self.machines_per_shard)
         }
     }
 }

@@ -21,7 +21,7 @@ use kairos_controller::{
     ControllerConfig, ShardController, ShardSummary, TelemetrySource, TickOutcome,
 };
 use kairos_core::ConsolidationEngine;
-use kairos_solver::{evaluate, Assignment, Evaluation};
+use kairos_solver::{evaluate, Assignment, ConsolidationProblem, Evaluation};
 use kairos_types::WorkloadProfile;
 
 /// Fleet-level tuning.
@@ -33,6 +33,27 @@ pub struct FleetConfig {
     /// Per-shard loop tuning.
     pub shard: ControllerConfig,
     pub balancer: BalancerConfig,
+    /// Worker threads for the per-shard tick fan-out (and the per-shard
+    /// audit evaluations). Shard ticks — including any re-solves they
+    /// trigger — are independent, so a drift burst hitting N shards costs
+    /// one solve's latency instead of N on a machine with enough cores.
+    /// `1` = fully serial (the reference behaviour; results are
+    /// tick-for-tick identical at any thread count). Defaults to
+    /// `KAIROS_FLEET_THREADS` if set, else the machine's available
+    /// parallelism.
+    pub tick_threads: usize,
+}
+
+/// Default tick-thread count: the `KAIROS_FLEET_THREADS` environment
+/// override (the CI determinism matrix pins it to 1 and 4), else
+/// whatever parallelism the machine offers.
+pub fn default_tick_threads() -> usize {
+    if let Ok(v) = std::env::var("KAIROS_FLEET_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 impl Default for FleetConfig {
@@ -41,8 +62,41 @@ impl Default for FleetConfig {
             shards: 4,
             shard: ControllerConfig::default(),
             balancer: BalancerConfig::default(),
+            tick_threads: default_tick_threads(),
         }
     }
+}
+
+/// Run `f` over `(job, out)` pairs, fanned across up to `threads` scoped
+/// worker threads in contiguous chunks. Each result lands in its own
+/// slot, so the merged `outs` is in job order regardless of which thread
+/// finished first — the invariant the determinism property tests pin
+/// down. `threads <= 1` runs inline with zero spawn overhead.
+fn fan_out<J: Send, O: Send>(
+    threads: usize,
+    jobs: &mut [J],
+    outs: &mut [O],
+    f: impl Fn(&mut J, &mut O) + Sync,
+) {
+    debug_assert_eq!(jobs.len(), outs.len());
+    let threads = threads.clamp(1, jobs.len().max(1));
+    if threads <= 1 {
+        for (job, out) in jobs.iter_mut().zip(outs.iter_mut()) {
+            f(job, out);
+        }
+        return;
+    }
+    let chunk = jobs.len().div_ceil(threads);
+    let f = &f;
+    std::thread::scope(|scope| {
+        for (job_chunk, out_chunk) in jobs.chunks_mut(chunk).zip(outs.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (job, out) in job_chunk.iter_mut().zip(out_chunk.iter_mut()) {
+                    f(job, out);
+                }
+            });
+        }
+    });
 }
 
 /// Fleet-level counters.
@@ -109,6 +163,9 @@ pub struct FleetController {
     /// shard so they keep holding wherever a handoff lands a tenant.
     anti_affinity: Vec<(String, String)>,
     handoff_log: Vec<HandoffRecord>,
+    /// Balance round at which each tenant was last probed for a handoff
+    /// (completed or rejected) — the hysteresis cooldown's memory.
+    probe_cooldown: std::collections::BTreeMap<String, u64>,
     stats: FleetStats,
 }
 
@@ -139,6 +196,7 @@ impl FleetController {
             shards,
             anti_affinity: Vec::new(),
             handoff_log: Vec::new(),
+            probe_cooldown: std::collections::BTreeMap::new(),
             stats: FleetStats::default(),
         }
     }
@@ -194,6 +252,7 @@ impl FleetController {
         if let Some(shard) = self.map.remove(name) {
             self.shards[shard].remove_workload(name);
         }
+        self.probe_cooldown.remove(name);
     }
 
     /// Declare a fleet-wide anti-affinity pair. Holds inside whatever
@@ -218,11 +277,17 @@ impl FleetController {
         self.shards.iter().map(|s| s.summary()).collect()
     }
 
-    /// One monitoring interval: every shard ticks; on the balance
-    /// cadence, one balance round runs.
+    /// One monitoring interval: every shard ticks — concurrently when
+    /// `tick_threads > 1` — then, on the balance cadence, one balance
+    /// round runs **on the calling thread**. Shards share no state, so
+    /// the fan-out is embarrassingly parallel; everything that mutates
+    /// cross-shard structures (the `ShardMap`, handoff transfers, the
+    /// handoff log, fleet stats) stays single-threaded and runs after the
+    /// join, which is why reports are tick-for-tick identical at any
+    /// thread count.
     pub fn tick(&mut self) -> FleetTickReport {
         self.stats.ticks += 1;
-        let outcomes: Vec<TickOutcome> = self.shards.iter_mut().map(|s| s.tick()).collect();
+        let outcomes = self.tick_shards();
 
         let on_cadence = self
             .stats
@@ -237,12 +302,58 @@ impl FleetController {
         FleetTickReport { outcomes, handoffs }
     }
 
+    /// Fan the per-shard ticks out across the configured worker threads.
+    /// Shards are split into contiguous chunks, one scoped thread per
+    /// chunk; each tick's outcome lands in its shard's slot, so the
+    /// merged vector is in shard order regardless of which thread
+    /// finished first (the determinism property tests pin this down).
+    fn tick_shards(&mut self) -> Vec<TickOutcome> {
+        // Fan out only when at least two shards might solve this tick
+        // (bootstrap, drift-check cadence, pending membership): spawning
+        // scoped threads costs tens of microseconds, which dwarfs a
+        // quiet poll-and-ingest tick but vanishes against a re-solve.
+        // The decision depends only on shard-local deterministic state,
+        // so it is identical at every thread count.
+        let solvers = self.shards.iter().filter(|s| s.tick_may_solve()).count();
+        let threads = if solvers < 2 {
+            1
+        } else {
+            self.cfg.tick_threads
+        };
+        let mut outcomes: Vec<Option<TickOutcome>> = Vec::new();
+        outcomes.resize_with(self.shards.len(), || None);
+        fan_out(threads, &mut self.shards, &mut outcomes, |shard, out| {
+            *out = Some(shard.tick())
+        });
+        outcomes
+            .into_iter()
+            .map(|o| o.expect("every shard ticked"))
+            .collect()
+    }
+
     /// One balance round: donors shed their heaviest tenants to the
     /// emptiest shards that can reserve capacity for them.
     fn balance_round(&mut self) -> Vec<HandoffRecord> {
         self.stats.balance_rounds += 1;
+        // A single-shard fleet has no possible receiver: proposing (and
+        // counting) handoffs would only pollute the rejection stats, so
+        // don't probe donors at all.
+        if self.shards.len() < 2 {
+            return Vec::new();
+        }
         let budget = self.cfg.balancer.machines_per_shard;
-        let summaries = self.summaries();
+        let shed_target = self.cfg.balancer.shed_target();
+        let cooldown = self.cfg.balancer.cooldown_rounds;
+        let round = self.stats.balance_rounds;
+        // Staleness-bounded cached summaries: a quiet shard's roll-up is
+        // reused between rounds instead of re-forecasting every tenant.
+        // Plans, membership, handoffs and failed solves invalidate
+        // immediately; the *forecast-derived* donor signal (a placement
+        // drifting infeasible without tripping the detector) can lag up
+        // to `summary_refresh_ticks`. Admissions stay capacity-safe
+        // regardless — `can_admit` always re-packs fresh.
+        let summaries: Vec<ShardSummary> =
+            self.shards.iter_mut().map(|s| s.summary_cached()).collect();
         let mut records = Vec::new();
         let mut moves_left = self.cfg.balancer.max_moves_per_round;
 
@@ -257,22 +368,41 @@ impl FleetController {
                 if moves_left == 0 || rejections >= 2 {
                     break;
                 }
-                // Shedding stops as soon as what remains packs within
-                // budget again (greedy estimate, like the reservation;
-                // already-evicted tenants are gone from the donor's
-                // forecast, so the estimate reflects them).
+                // Hysteresis: a tenant probed recently (moved or
+                // rejected) sits out `cooldown_rounds` balance rounds, so
+                // the same tenant is not re-proposed while the fleet
+                // hovers at its budget.
+                if cooldown > 0 {
+                    if let Some(&last) = self.probe_cooldown.get(&tenant) {
+                        if round.saturating_sub(last) <= cooldown {
+                            continue;
+                        }
+                    }
+                }
+                // Shedding stops as soon as what remains packs within the
+                // low watermark again (greedy estimate, like the
+                // reservation; already-evicted tenants are gone from the
+                // donor's forecast, so the estimate reflects them). The
+                // donor *triggered* at the high watermark (the budget),
+                // but sheds down to the low one so the next small drift
+                // doesn't immediately re-trigger it.
                 let est = self.shards[donor].pack_estimate(&[]).unwrap_or(usize::MAX);
-                if est <= budget {
+                if est <= shed_target {
                     break;
                 }
                 let Some(profile) = self.shards[donor].forecast_workload(&tenant) else {
                     continue;
                 };
                 // Phase 1 — reservation: first receiver (emptiest-first)
-                // that certifies capacity for the tenant.
+                // that certifies capacity for the tenant *within the low
+                // watermark*, so admission leaves the receiver headroom
+                // instead of parking it at the donor trigger.
                 let receiver = receiver_order(&summaries, donor, budget)
                     .into_iter()
-                    .find(|&r| self.shards[r].can_admit(&profile, budget));
+                    .find(|&r| self.shards[r].can_admit(&profile, shed_target));
+                if cooldown > 0 {
+                    self.probe_cooldown.insert(tenant.clone(), round);
+                }
                 match receiver {
                     Some(to) => {
                         // Phase 2 — transfer: evict (frees capacity on
@@ -351,10 +481,17 @@ impl FleetController {
             };
         };
 
-        let mut per_shard = Vec::with_capacity(self.shards.len());
+        // Phase 1 (serial): build each shard's restriction and read its
+        // placement into the restriction's slot order. Phase 2
+        // (parallel): the evaluations themselves — the expensive part,
+        // independent per shard — fan out across the tick worker
+        // threads, each consuming its prepared (sub-problem, assignment)
+        // pair.
+        let mut jobs: Vec<Option<(ConsolidationProblem, Assignment)>> =
+            Vec::with_capacity(self.shards.len());
         for (shard, keep) in self.shards.iter().zip(&shard_indices) {
             if keep.is_empty() || !shard.planned_once() {
-                per_shard.push(None);
+                jobs.push(None);
                 continue;
             }
             let sub = global.restrict(keep);
@@ -371,12 +508,25 @@ impl FleetController {
                     }
                 }
             }
-            per_shard.push(if complete {
-                Some(evaluate(&sub, &Assignment::new(machine_of)))
+            jobs.push(if complete {
+                Some((sub, Assignment::new(machine_of)))
             } else {
                 None
             });
         }
+
+        let mut per_shard: Vec<Option<Evaluation>> = Vec::new();
+        per_shard.resize_with(self.shards.len(), || None);
+        fan_out(
+            self.cfg.tick_threads,
+            &mut jobs,
+            &mut per_shard,
+            |job, out| {
+                if let Some((sub, assignment)) = job.take() {
+                    *out = Some(evaluate(&sub, &assignment));
+                }
+            },
+        );
         FleetAudit {
             per_shard,
             machines_used,
@@ -404,7 +554,9 @@ mod tests {
                 machines_per_shard: budget,
                 balance_every: 4,
                 max_moves_per_round: 4,
+                ..BalancerConfig::default()
             },
+            ..FleetConfig::default()
         }
     }
 
@@ -464,6 +616,85 @@ mod tests {
                 assert_eq!(fleet.map().shard_of(&name), Some(i));
             }
         }
+    }
+
+    #[test]
+    fn single_shard_fleet_never_proposes_handoffs() {
+        // Regression: a 1-shard fleet has no possible receiver, so the
+        // balancer must not probe donors at all — previously an
+        // over-budget single shard recorded a rejected handoff per
+        // candidate per round, polluting the stats.
+        let mut fleet = FleetController::new(quick_cfg(1, 2));
+        for i in 0..10 {
+            // ~4 cores each → way over a 2-machine budget.
+            fleet.add_workload_to(0, Box::new(flat(format!("t{i:02}"), 400.0)));
+        }
+        run(&mut fleet, 60);
+        let stats = fleet.stats();
+        assert!(stats.balance_rounds > 0, "balance cadence must have run");
+        assert_eq!(
+            stats.handoffs_rejected, 0,
+            "no receiver exists, so nothing may be counted as rejected"
+        );
+        assert_eq!(stats.handoffs_completed, 0);
+        assert!(fleet.handoffs().is_empty());
+    }
+
+    #[test]
+    fn cooldown_hysteresis_reduces_repeated_rejections() {
+        // Both shards saturated over budget: every probe is rejected
+        // (nobody can admit). Without the cooldown the same heavy
+        // tenants are re-proposed every round; with it they sit out.
+        let saturated = |cooldown_rounds: u64| {
+            let mut cfg = quick_cfg(2, 1);
+            cfg.balancer.cooldown_rounds = cooldown_rounds;
+            let mut fleet = FleetController::new(cfg);
+            for shard in 0..2 {
+                for i in 0..6 {
+                    fleet
+                        .add_workload_to(shard, Box::new(flat(format!("s{shard}-t{i:02}"), 400.0)));
+                }
+            }
+            run(&mut fleet, 80);
+            fleet.stats()
+        };
+        let without = saturated(0);
+        let with = saturated(3);
+        assert!(
+            without.handoffs_rejected > 0,
+            "saturated fleet must be proposing (and failing) handoffs: {without:?}"
+        );
+        assert!(
+            with.handoffs_rejected < without.handoffs_rejected,
+            "cooldown must cut repeated rejections: {} (cooldown) vs {} (none)",
+            with.handoffs_rejected,
+            without.handoffs_rejected
+        );
+    }
+
+    #[test]
+    fn low_watermark_sheds_below_budget() {
+        // Donor over a budget of 3; with a low watermark of 2 it keeps
+        // shedding — within the round that triggered it — until its
+        // greedy estimate fits 2 machines, not 3. (8 heavies ≈ 4
+        // machines; shedding 4 of them fits the round's move budget.)
+        let mut cfg = quick_cfg(2, 3);
+        cfg.balancer.low_watermark = 2;
+        cfg.balancer.cooldown_rounds = 0;
+        let mut fleet = FleetController::new(cfg);
+        for i in 0..8 {
+            fleet.add_workload_to(0, Box::new(flat(format!("heavy-{i:02}"), 400.0)));
+        }
+        for i in 0..2 {
+            fleet.add_workload_to(1, Box::new(flat(format!("light-{i}"), 100.0)));
+        }
+        run(&mut fleet, 60);
+        assert!(fleet.stats().handoffs_completed >= 1);
+        let donor_est = fleet.shards()[0].pack_estimate(&[]).expect("packable");
+        assert!(
+            donor_est <= 2,
+            "donor must shed to the low watermark, estimate {donor_est}"
+        );
     }
 
     #[test]

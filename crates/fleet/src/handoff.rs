@@ -34,7 +34,7 @@ pub enum HandoffOutcome {
 }
 
 /// One proposed cross-shard move.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HandoffRecord {
     pub tenant: String,
     pub from: usize,

@@ -41,7 +41,9 @@ pub mod handoff;
 pub mod shardmap;
 
 pub use balancer::{candidate_order, donor_order, is_overloaded, receiver_order, BalancerConfig};
-pub use fleet::{FleetAudit, FleetConfig, FleetController, FleetStats, FleetTickReport};
+pub use fleet::{
+    default_tick_threads, FleetAudit, FleetConfig, FleetController, FleetStats, FleetTickReport,
+};
 pub use handoff::{HandoffOutcome, HandoffRecord};
 pub use shardmap::ShardMap;
 

@@ -34,59 +34,64 @@ pub struct GreedyReport {
     pub machines_used: usize,
 }
 
-/// Peak single-resource demand of a workload (its packing key).
-fn peak(problem: &ConsolidationProblem, w: usize, r: GreedyResource) -> f64 {
-    let wl = &problem.workloads[w];
-    let peak_of = |s: &[f64]| s.iter().copied().fold(0.0, f64::max);
-    match r {
-        GreedyResource::Cpu => peak_of(&wl.cpu),
-        GreedyResource::Ram => peak_of(&wl.ram),
-        GreedyResource::Disk => peak_of(&wl.rate),
-    }
-}
-
 /// Pack on a single resource; returns the assignment even if other
 /// resources end up violated (the caller filters).
+///
+/// Hot path for the fleet balancer's reservation probes
+/// (`can_admit`/`pack_estimate` run one greedy pack per candidate): slot
+/// series and packing keys come from the problem's structure-of-arrays
+/// cache, and per-machine total load is maintained incrementally instead
+/// of being re-summed inside every candidate-order comparison.
 fn pack_one(problem: &ConsolidationProblem, resource: GreedyResource) -> Assignment {
-    let slots = problem.slots();
+    let series = problem.slot_series().clone();
+    let slots = &series.slots;
     let windows = problem.windows;
     let k_max = problem.max_machines;
 
     // Per-machine per-window sums of the packed resource, plus occupancy
-    // for anti-affinity.
+    // for anti-affinity and a running total for candidate ordering.
     let mut load: Vec<Vec<f64>> = vec![vec![0.0; windows]; k_max];
     let mut ws_sum: Vec<Vec<f64>> = vec![vec![0.0; windows]; k_max];
+    let mut load_total: Vec<f64> = vec![0.0; k_max];
     let mut occupants: Vec<Vec<usize>> = vec![Vec::new(); k_max];
     let mut machine_of = vec![usize::MAX; slots.len()];
 
-    // Sort slots by descending peak demand (first-fit decreasing).
+    let slot_series = |s: usize| -> (&[f64], &[f64]) {
+        match resource {
+            GreedyResource::Cpu => (series.cpu_of(s), series.ws_of(s)),
+            GreedyResource::Ram => (series.ram_of(s), series.ws_of(s)),
+            GreedyResource::Disk => (series.rate_of(s), series.ws_of(s)),
+        }
+    };
+
+    // Sort slots by descending peak demand (first-fit decreasing),
+    // keyed by the cached per-slot maxima.
+    let peak_of = |s: usize| -> f64 {
+        match resource {
+            GreedyResource::Cpu => series.cpu_max[s],
+            GreedyResource::Ram => series.ram_max[s],
+            GreedyResource::Disk => series.rate_max[s],
+        }
+    };
     let mut order: Vec<usize> = (0..slots.len()).collect();
-    order.sort_by(|&a, &b| {
-        let pa = peak(problem, slots[a].workload, resource);
-        let pb = peak(problem, slots[b].workload, resource);
-        pb.partial_cmp(&pa).expect("NaN demand")
-    });
+    order.sort_by(|&a, &b| peak_of(b).partial_cmp(&peak_of(a)).expect("NaN demand"));
 
     let fits = |problem: &ConsolidationProblem,
                 load: &[f64],
                 ws_sum: &[f64],
-                w: usize,
+                s: usize,
                 resource: GreedyResource|
      -> bool {
-        let wl = &problem.workloads[w];
         let headroom = problem.headroom;
+        let (res, ws) = slot_series(s);
         for t in 0..problem.windows {
             let ok = match resource {
-                GreedyResource::Cpu => {
-                    (load[t] + wl.cpu_at(t)) / problem.machine.cpu_cores <= headroom
-                }
-                GreedyResource::Ram => {
-                    (load[t] + wl.ram_at(t)) / problem.machine.ram_bytes <= headroom
-                }
+                GreedyResource::Cpu => (load[t] + res[t]) / problem.machine.cpu_cores <= headroom,
+                GreedyResource::Ram => (load[t] + res[t]) / problem.machine.ram_bytes <= headroom,
                 GreedyResource::Disk => {
                     problem
                         .disk
-                        .utilization(ws_sum[t] + wl.ws_at(t), load[t] + wl.rate_at(t))
+                        .utilization(ws_sum[t] + ws[t], load[t] + res[t])
                         <= headroom
                 }
             };
@@ -107,16 +112,15 @@ fn pack_one(problem: &ConsolidationProblem, resource: GreedyResource) -> Assignm
         } else {
             None
         };
-        let mut candidates: Vec<usize> = (0..k_max).collect();
-        candidates.sort_by(|&a, &b| {
-            let la: f64 = load[a].iter().sum();
-            let lb: f64 = load[b].iter().sum();
-            lb.partial_cmp(&la).expect("NaN load")
-        });
         let mut placed = false;
         let pick_list: Vec<usize> = match pinned {
             Some(p) => vec![p],
-            None => candidates,
+            None => {
+                let mut candidates: Vec<usize> = (0..k_max).collect();
+                candidates
+                    .sort_by(|&a, &b| load_total[b].partial_cmp(&load_total[a]).expect("NaN load"));
+                candidates
+            }
         };
         for m in pick_list {
             // Anti-affinity: replicas of the same workload, explicit pairs.
@@ -130,15 +134,12 @@ fn pack_one(problem: &ConsolidationProblem, resource: GreedyResource) -> Assignm
             if conflict {
                 continue;
             }
-            if pinned.is_some() || fits(problem, &load[m], &ws_sum[m], w, resource) {
-                let wl = &problem.workloads[w];
+            if pinned.is_some() || fits(problem, &load[m], &ws_sum[m], s, resource) {
+                let (res, ws) = slot_series(s);
                 for t in 0..windows {
-                    load[m][t] += match resource {
-                        GreedyResource::Cpu => wl.cpu_at(t),
-                        GreedyResource::Ram => wl.ram_at(t),
-                        GreedyResource::Disk => wl.rate_at(t),
-                    };
-                    ws_sum[m][t] += wl.ws_at(t);
+                    load[m][t] += res[t];
+                    ws_sum[m][t] += ws[t];
+                    load_total[m] += res[t];
                 }
                 occupants[m].push(w);
                 machine_of[s] = m;
@@ -150,11 +151,7 @@ fn pack_one(problem: &ConsolidationProblem, resource: GreedyResource) -> Assignm
             // No machine fits: dump on the least-loaded machine; the full
             // evaluation will flag the violation.
             let m = (0..k_max)
-                .min_by(|&a, &b| {
-                    let la: f64 = load[a].iter().sum();
-                    let lb: f64 = load[b].iter().sum();
-                    la.partial_cmp(&lb).expect("NaN load")
-                })
+                .min_by(|&a, &b| load_total[a].partial_cmp(&load_total[b]).expect("NaN load"))
                 .expect("at least one machine");
             occupants[m].push(w);
             machine_of[s] = m;

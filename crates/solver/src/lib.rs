@@ -36,11 +36,15 @@ pub use bounds::{fractional_lower_bound, identity_assignment, upper_bound};
 pub use direct::{direct_minimize, DirectConfig, DirectResult};
 pub use greedy::{greedy_pack, GreedyReport, GreedyResource};
 pub use local::{polish, PolishReport};
-pub use objective::{evaluate, Evaluation, WindowLoad};
+pub use objective::{
+    evaluate, evaluate_objective, evaluate_reference, evaluate_with_series, EvalScratch,
+    Evaluation, WindowLoad,
+};
 pub use problem::{
     Assignment, ConsolidationProblem, DiskCombiner, LinearDiskCombiner, MigrationCost,
-    ResourceWeights, Slot, TargetMachine, WorkloadSpec,
+    ResourceWeights, Slot, SlotSeries, TargetMachine, WorkloadSpec,
 };
 pub use search::{
-    decode, free_dims, solve, solve_at_k, solve_unbounded, solve_warm, SolveReport, SolverConfig,
+    decode, decode_into, free_dims, solve, solve_at_k, solve_at_k_with, solve_unbounded,
+    solve_warm, solve_warm_with, solve_with, SolveReport, SolveScratch, SolverConfig,
 };

@@ -6,9 +6,22 @@
 //! deterministic best-move hill climber over slot→machine moves, using
 //! cached per-machine load series so each candidate move costs O(windows)
 //! rather than a full re-evaluation.
+//!
+//! Two layers of caching keep the neighborhood scan cheap:
+//!
+//! * per-slot series come from the problem's structure-of-arrays cache
+//!   ([`crate::problem::SlotSeries`]) — no per-window bounds-checked
+//!   lookups in the inner loops;
+//! * per-machine extrema (peak CPU/RAM over the horizon) feed a sound
+//!   **lower-bound pruner**: candidate moves whose best-case objective
+//!   delta provably cannot beat the incumbent are skipped without
+//!   touching the load series. Pruning never changes the chosen move —
+//!   only moves that could not have won are skipped — so polish results
+//!   are identical with pruning on or off.
 
 use crate::objective::{evaluate, Evaluation};
-use crate::problem::{Assignment, ConsolidationProblem, Slot};
+use crate::problem::{Assignment, ConsolidationProblem, SlotSeries};
+use std::sync::Arc;
 
 const PENALTY: f64 = 1e4;
 
@@ -22,16 +35,23 @@ struct MachineState {
     contrib: f64,
     /// Resource-excess + co-location violations on this machine.
     violation: f64,
+    /// Peak CPU / RAM over the horizon (pruning bounds; refreshed with
+    /// the score).
+    cpu_peak: f64,
+    ram_peak: f64,
 }
 
 struct SearchState<'a> {
     problem: &'a ConsolidationProblem,
-    slots: Vec<Slot>,
+    /// Shared slot cache; the slot list itself is `series.slots`.
+    series: Arc<SlotSeries>,
     machines: Vec<MachineState>,
     assignment: Vec<usize>,
     /// Slots currently off the migration baseline (0 without a baseline);
     /// kept incrementally so the cached objective matches `evaluate`.
     mig_moves: usize,
+    /// Moves skipped by the lower-bound pruner (observability).
+    pruned: usize,
 }
 
 impl<'a> SearchState<'a> {
@@ -40,7 +60,7 @@ impl<'a> SearchState<'a> {
         assignment: &Assignment,
         k: usize,
     ) -> SearchState<'a> {
-        let slots = problem.slots();
+        let series = problem.slot_series().clone();
         let windows = problem.windows;
         let mut machines: Vec<MachineState> = (0..k)
             .map(|_| MachineState {
@@ -51,6 +71,8 @@ impl<'a> SearchState<'a> {
                 rate: vec![0.0; windows],
                 contrib: 0.0,
                 violation: 0.0,
+                cpu_peak: 0.0,
+                ram_peak: 0.0,
             })
             .collect();
         let mut asg = assignment.machine_of.clone();
@@ -59,7 +81,7 @@ impl<'a> SearchState<'a> {
             if *m >= k {
                 *m = k - 1;
             }
-            let slot = slots[s];
+            let slot = series.slots[s];
             if slot.replica == 0 {
                 if let Some(pin) = problem.workloads[slot.workload].pinned {
                     if pin < k {
@@ -76,10 +98,11 @@ impl<'a> SearchState<'a> {
             .unwrap_or(0);
         let mut state = SearchState {
             problem,
-            slots,
+            series,
             machines,
             assignment: asg,
             mig_moves,
+            pruned: 0,
         };
         for m in 0..k {
             state.recompute_sums(m);
@@ -91,20 +114,18 @@ impl<'a> SearchState<'a> {
     fn recompute_sums(&mut self, m: usize) {
         let windows = self.problem.windows;
         let ms = &mut self.machines[m];
-        for t in 0..windows {
-            ms.cpu[t] = 0.0;
-            ms.ram[t] = 0.0;
-            ms.ws[t] = 0.0;
-            ms.rate[t] = 0.0;
-        }
-        for &s in &ms.slots.clone() {
-            let w = &self.problem.workloads[self.slots[s].workload];
-            let ms = &mut self.machines[m];
+        ms.cpu[..windows].fill(0.0);
+        ms.ram[..windows].fill(0.0);
+        ms.ws[..windows].fill(0.0);
+        ms.rate[..windows].fill(0.0);
+        for i in 0..ms.slots.len() {
+            let s = ms.slots[i];
+            let base = s * windows;
             for t in 0..windows {
-                ms.cpu[t] += w.cpu_at(t);
-                ms.ram[t] += w.ram_at(t);
-                ms.ws[t] += w.ws_at(t);
-                ms.rate[t] += w.rate_at(t);
+                ms.cpu[t] += self.series.cpu[base + t];
+                ms.ram[t] += self.series.ram[base + t];
+                ms.ws[t] += self.series.ws[base + t];
+                ms.rate[t] += self.series.rate[base + t];
             }
         }
     }
@@ -112,8 +133,17 @@ impl<'a> SearchState<'a> {
     /// Recompute the cached contribution and violation of machine `m`.
     fn refresh(&mut self, m: usize) {
         let (contrib, violation) = self.score_machine(m);
-        self.machines[m].contrib = contrib;
-        self.machines[m].violation = violation;
+        let windows = self.problem.windows;
+        let ms = &mut self.machines[m];
+        ms.contrib = contrib;
+        ms.violation = violation;
+        if ms.slots.is_empty() {
+            ms.cpu_peak = 0.0;
+            ms.ram_peak = 0.0;
+        } else {
+            ms.cpu_peak = ms.cpu[..windows].iter().copied().fold(0.0, f64::max);
+            ms.ram_peak = ms.ram[..windows].iter().copied().fold(0.0, f64::max);
+        }
     }
 
     fn score_machine(&self, m: usize) -> (f64, f64) {
@@ -142,7 +172,7 @@ impl<'a> SearchState<'a> {
         // Co-location violations among this machine's slots.
         for (i, &a) in ms.slots.iter().enumerate() {
             for &b in &ms.slots[i + 1..] {
-                let (sa, sb) = (self.slots[a], self.slots[b]);
+                let (sa, sb) = (self.series.slots[a], self.series.slots[b]);
                 if sa.workload == sb.workload {
                     violation += 1.0;
                 }
@@ -169,6 +199,10 @@ impl<'a> SearchState<'a> {
         }
     }
 
+    fn total_violation(&self) -> f64 {
+        self.machines.iter().map(|m| m.violation).sum()
+    }
+
     /// Apply `slot → dst`, updating caches.
     fn apply_move(&mut self, slot: usize, dst: usize) {
         let src = self.assignment[slot];
@@ -176,25 +210,31 @@ impl<'a> SearchState<'a> {
             return;
         }
         let windows = self.problem.windows;
-        let w = &self.problem.workloads[self.slots[slot].workload];
+        let base = slot * windows;
         let pos = self.machines[src]
             .slots
             .iter()
             .position(|&s| s == slot)
             .expect("slot tracked on its machine");
         self.machines[src].slots.swap_remove(pos);
-        for t in 0..windows {
-            self.machines[src].cpu[t] -= w.cpu_at(t);
-            self.machines[src].ram[t] -= w.ram_at(t);
-            self.machines[src].ws[t] -= w.ws_at(t);
-            self.machines[src].rate[t] -= w.rate_at(t);
+        {
+            let ms = &mut self.machines[src];
+            for t in 0..windows {
+                ms.cpu[t] -= self.series.cpu[base + t];
+                ms.ram[t] -= self.series.ram[base + t];
+                ms.ws[t] -= self.series.ws[base + t];
+                ms.rate[t] -= self.series.rate[base + t];
+            }
         }
         self.machines[dst].slots.push(slot);
-        for t in 0..windows {
-            self.machines[dst].cpu[t] += w.cpu_at(t);
-            self.machines[dst].ram[t] += w.ram_at(t);
-            self.machines[dst].ws[t] += w.ws_at(t);
-            self.machines[dst].rate[t] += w.rate_at(t);
+        {
+            let ms = &mut self.machines[dst];
+            for t in 0..windows {
+                ms.cpu[t] += self.series.cpu[base + t];
+                ms.ram[t] += self.series.ram[base + t];
+                ms.ws[t] += self.series.ws[base + t];
+                ms.rate[t] += self.series.rate[base + t];
+            }
         }
         if let Some(m) = &self.problem.migration {
             if let Some(&Some(base)) = m.baseline.get(slot) {
@@ -221,6 +261,45 @@ impl<'a> SearchState<'a> {
         self.apply_move(slot, src);
         obj
     }
+
+    /// Upper bound on what moving `slot` anywhere could gain, valid when
+    /// the current state is violation-free. Removing the slot can drop
+    /// its source machine's contribution at most to 1 (the mean-exp floor
+    /// of a non-empty machine) or to 0 if the machine empties; adding it
+    /// elsewhere never *decreases* any destination's contribution (loads
+    /// are non-negative, so per-window `exp(clamp(norm))` is monotone);
+    /// and the migration term can recover at most one move's cost (when
+    /// the slot is currently off its baseline).
+    fn single_move_gain_bound(&self, slot: usize) -> f64 {
+        let src = self.assignment[slot];
+        let ms = &self.machines[src];
+        let floor = if ms.slots.len() > 1 { 1.0 } else { 0.0 };
+        let mig_relief = match &self.problem.migration {
+            Some(m) => match m.baseline.get(slot) {
+                Some(&Some(b)) if b != src => m.cost_per_move,
+                _ => 0.0,
+            },
+            None => 0.0,
+        };
+        (ms.contrib - floor) + mig_relief
+    }
+
+    /// Would placing `slot` on `dst` provably violate a CPU or RAM
+    /// capacity constraint? Sound per-machine-peak bound:
+    /// `max_t(dst_t + slot_t) ≥ max_t(dst_t) + min_t(slot_t)`, so when
+    /// the cached destination peak plus the slot's cached minimum already
+    /// exceeds capacity·headroom, the combined series certainly does.
+    /// (Disk is non-linear and excluded — the bound stays conservative.)
+    fn dst_certainly_violates(&self, slot: usize, dst: usize) -> bool {
+        let ms = &self.machines[dst];
+        if ms.slots.is_empty() {
+            return false;
+        }
+        let cap = self.problem.machine;
+        let headroom = self.problem.headroom;
+        ms.cpu_peak + self.series.cpu_min[slot] > cap.cpu_cores * headroom
+            || ms.ram_peak + self.series.ram_min[slot] > cap.ram_bytes * headroom
+    }
 }
 
 /// Outcome of a polish run.
@@ -230,6 +309,10 @@ pub struct PolishReport {
     pub evaluation: Evaluation,
     pub moves: usize,
     pub rounds: usize,
+    /// Candidate moves skipped by the lower-bound pruner (they provably
+    /// could not beat the incumbent; skipping them never changes the
+    /// result).
+    pub pruned: usize,
 }
 
 /// Deterministic best-move local search over `k` machines.
@@ -241,7 +324,7 @@ pub fn polish(
 ) -> PolishReport {
     assert!(k >= 1);
     let mut state = SearchState::new(problem, start, k);
-    let n_slots = state.slots.len();
+    let n_slots = state.series.slots.len();
     let mut moves = 0usize;
     let mut rounds = 0usize;
 
@@ -251,15 +334,34 @@ pub fn polish(
         // Single-slot moves.
         for slot in 0..n_slots {
             // Pinned replica-0 slots stay put.
-            let s = state.slots[slot];
+            let s = state.series.slots[slot];
             if s.replica == 0 && problem.workloads[s.workload].pinned.is_some() {
                 continue;
             }
             let current = state.total_objective();
             let src = state.assignment[slot];
+            // Lower-bound pruning (sound only from a violation-free
+            // state, where any new violation costs ≥ PENALTY): if the
+            // best case — source contribution collapsing to its floor,
+            // destinations absorbing the slot for free, one migration
+            // move recovered — cannot improve on the incumbent, no
+            // destination needs probing.
+            let feasible_now = state.total_violation() == 0.0 && current < PENALTY;
+            if feasible_now && current - state.single_move_gain_bound(slot) >= current - 1e-12 {
+                state.pruned += k - 1;
+                continue;
+            }
             let mut best = (current, src);
             for dst in 0..k {
                 if dst == src {
+                    continue;
+                }
+                // Capacity pruning: the cached destination peak plus the
+                // slot's minimum already exceeds CPU or RAM capacity, so
+                // the move is certainly infeasible and cannot beat a
+                // feasible incumbent.
+                if feasible_now && state.dst_certainly_violates(slot, dst) {
+                    state.pruned += 1;
                     continue;
                 }
                 let obj = state.probe_move(slot, dst);
@@ -282,15 +384,36 @@ pub fn polish(
                 continue;
             }
             if src_slots.iter().any(|&s| {
-                let slot = state.slots[s];
+                let slot = state.series.slots[s];
                 slot.replica == 0 && problem.workloads[slot.workload].pinned.is_some()
             }) {
                 continue;
             }
             let current = state.total_objective();
+            let feasible_now = state.total_violation() == 0.0 && current < PENALTY;
+            let src_cpu_min: f64 = state.machines[src].cpu[..problem.windows]
+                .iter()
+                .copied()
+                .fold(f64::INFINITY, f64::min);
+            let src_ram_min: f64 = state.machines[src].ram[..problem.windows]
+                .iter()
+                .copied()
+                .fold(f64::INFINITY, f64::min);
+            let cap = problem.machine;
             let mut best: Option<(f64, usize)> = None;
             for dst in 0..k {
                 if dst == src || state.machines[dst].slots.is_empty() {
+                    continue;
+                }
+                // Same peak+min capacity bound, applied to the whole
+                // source machine being folded into `dst`.
+                if feasible_now
+                    && (state.machines[dst].cpu_peak + src_cpu_min
+                        > cap.cpu_cores * problem.headroom
+                        || state.machines[dst].ram_peak + src_ram_min
+                            > cap.ram_bytes * problem.headroom)
+                {
+                    state.pruned += src_slots.len();
                     continue;
                 }
                 for &s in &src_slots {
@@ -324,6 +447,7 @@ pub fn polish(
         evaluation,
         moves,
         rounds,
+        pruned: state.pruned,
     }
 }
 

@@ -9,7 +9,7 @@
 //! assignment the minimum — exactly the landscape Fig 5 sketches,
 //! including the constraint-violation penalty spike.
 
-use crate::problem::{Assignment, ConsolidationProblem};
+use crate::problem::{Assignment, ConsolidationProblem, SlotSeries};
 
 /// Per-machine, per-window utilization triple (fractions of capacity).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -46,9 +46,24 @@ pub struct Evaluation {
 /// solution beats any infeasible one (Fig 5's spike).
 const PENALTY: f64 = 1e4;
 
-/// Evaluate `assignment` under `problem`.
+/// Evaluate `assignment` under `problem`, through the problem's
+/// structure-of-arrays slot cache (built on first use; see
+/// [`SlotSeries`]). Produces bit-identical results to
+/// [`evaluate_reference`] — the cache-coherence property tests assert it.
 pub fn evaluate(problem: &ConsolidationProblem, assignment: &Assignment) -> Evaluation {
-    let slots = problem.slots();
+    let series = problem.slot_series().clone();
+    evaluate_with_series(problem, &series, assignment)
+}
+
+/// [`evaluate`] against an explicitly supplied slot cache. Exposed so
+/// coherence tests can fault-inject a corrupted cache; production callers
+/// go through [`evaluate`].
+pub fn evaluate_with_series(
+    problem: &ConsolidationProblem,
+    series: &SlotSeries,
+    assignment: &Assignment,
+) -> Evaluation {
+    let slots = &series.slots;
     assert_eq!(
         slots.len(),
         assignment.machine_of.len(),
@@ -75,19 +90,7 @@ pub fn evaluate(problem: &ConsolidationProblem, assignment: &Assignment) -> Eval
     // Replica anti-affinity: two replicas of one workload cannot share a
     // machine; explicit anti-affinity pairs likewise.
     for (_, slot_ids) in by_machine.iter() {
-        for (a_pos, &a) in slot_ids.iter().enumerate() {
-            for &b in &slot_ids[a_pos + 1..] {
-                let (sa, sb) = (slots[a], slots[b]);
-                if sa.workload == sb.workload {
-                    violation += 1.0;
-                }
-                if problem.anti_affinity.iter().any(|&(x, y)| {
-                    (x, y) == (sa.workload, sb.workload) || (y, x) == (sa.workload, sb.workload)
-                }) {
-                    violation += 1.0;
-                }
-            }
-        }
+        violation += colocation_violations(problem, slots, slot_ids);
     }
 
     // Pinning: every replica of a pinned workload's slots... the paper pins
@@ -103,7 +106,147 @@ pub fn evaluate(problem: &ConsolidationProblem, assignment: &Assignment) -> Eval
         }
     }
 
-    // Resource constraints + objective, per used machine.
+    // Resource constraints + objective, per used machine. Sums run
+    // slot-major over the cached series: each window accumulator receives
+    // its contributions in the same slot order the reference path uses,
+    // so the floating-point results are identical.
+    let mut cpu_sum = vec![0.0f64; windows];
+    let mut ram_sum = vec![0.0f64; windows];
+    let mut ws_sum = vec![0.0f64; windows];
+    let mut rate_sum = vec![0.0f64; windows];
+    for (&m, slot_ids) in by_machine.iter() {
+        cpu_sum.fill(0.0);
+        ram_sum.fill(0.0);
+        ws_sum.fill(0.0);
+        rate_sum.fill(0.0);
+        for &s in slot_ids {
+            add_series(&mut cpu_sum, series.cpu_of(s));
+            add_series(&mut ram_sum, series.ram_of(s));
+            add_series(&mut ws_sum, series.ws_of(s));
+            add_series(&mut rate_sum, series.rate_of(s));
+        }
+        let mut window_loads = Vec::with_capacity(windows);
+        let mut exp_sum = 0.0;
+        for t in 0..windows {
+            let load = WindowLoad {
+                cpu: cpu_sum[t] / cap.cpu_cores,
+                ram: ram_sum[t] / cap.ram_bytes,
+                disk: problem.disk.utilization(ws_sum[t], rate_sum[t]),
+            };
+            for u in [load.cpu, load.ram, load.disk] {
+                if u > headroom {
+                    violation += u - headroom;
+                }
+            }
+            let norm =
+                (weights.cpu * load.cpu + weights.ram * load.ram + weights.disk * load.disk) / wsum;
+            exp_sum += norm.clamp(0.0, 1.0).exp();
+            window_loads.push(load);
+        }
+        objective += exp_sum / windows as f64;
+        loads.push((m, window_loads));
+    }
+
+    // Migration-cost term (§ online re-solve): each slot moved off its
+    // baseline machine costs a fixed objective increment, so plans with
+    // small placement deltas win among near-equals.
+    let moves_from_baseline = problem
+        .migration
+        .as_ref()
+        .map(|m| m.moves(&assignment.machine_of))
+        .unwrap_or(0);
+    if let Some(m) = &problem.migration {
+        objective += m.cost_per_move * moves_from_baseline as f64;
+    }
+
+    let feasible = violation == 0.0;
+    if !feasible {
+        objective += PENALTY * (1.0 + violation);
+    }
+    Evaluation {
+        objective,
+        feasible,
+        violation,
+        machines_used: by_machine.len(),
+        moves_from_baseline,
+        loads,
+    }
+}
+
+#[inline]
+fn add_series(acc: &mut [f64], src: &[f64]) {
+    for (a, &v) in acc.iter_mut().zip(src) {
+        *a += v;
+    }
+}
+
+/// Co-location violations (replica + explicit anti-affinity) among the
+/// slots sharing one machine.
+fn colocation_violations(
+    problem: &ConsolidationProblem,
+    slots: &[crate::problem::Slot],
+    slot_ids: &[usize],
+) -> f64 {
+    let mut violation = 0.0;
+    for (a_pos, &a) in slot_ids.iter().enumerate() {
+        for &b in &slot_ids[a_pos + 1..] {
+            let (sa, sb) = (slots[a], slots[b]);
+            if sa.workload == sb.workload {
+                violation += 1.0;
+            }
+            if problem.anti_affinity.iter().any(|&(x, y)| {
+                (x, y) == (sa.workload, sb.workload) || (y, x) == (sa.workload, sb.workload)
+            }) {
+                violation += 1.0;
+            }
+        }
+    }
+    violation
+}
+
+/// The original, cache-free evaluation path: slot list re-expanded and
+/// every per-window demand re-derived from the workload specs. Kept as
+/// the independent reference the cache-coherence tests compare
+/// [`evaluate`] against (bit-for-bit), and as the fallback documentation
+/// of the objective's exact arithmetic.
+pub fn evaluate_reference(problem: &ConsolidationProblem, assignment: &Assignment) -> Evaluation {
+    let slots = problem.slots();
+    assert_eq!(
+        slots.len(),
+        assignment.machine_of.len(),
+        "assignment must cover every placement slot"
+    );
+    let windows = problem.windows;
+    let weights = problem.weights;
+    let wsum = weights.total().max(1e-12);
+    let cap = problem.machine;
+    let headroom = problem.headroom;
+
+    let by_machine = assignment.by_machine();
+    let mut violation = 0.0;
+    let mut objective = 0.0;
+    let mut loads = Vec::with_capacity(by_machine.len());
+
+    for (&m, _) in by_machine.iter() {
+        if m >= problem.max_machines {
+            violation += 1.0 + (m - problem.max_machines) as f64;
+        }
+    }
+
+    for (_, slot_ids) in by_machine.iter() {
+        violation += colocation_violations(problem, &slots, slot_ids);
+    }
+
+    for (s, slot) in slots.iter().enumerate() {
+        if slot.replica == 0 {
+            if let Some(pin) = problem.workloads[slot.workload].pinned {
+                if assignment.machine_of[s] != pin {
+                    violation += 1.0;
+                }
+            }
+        }
+    }
+
     for (&m, slot_ids) in by_machine.iter() {
         let mut series = Vec::with_capacity(windows);
         let mut exp_sum = 0.0;
@@ -138,9 +281,6 @@ pub fn evaluate(problem: &ConsolidationProblem, assignment: &Assignment) -> Eval
         loads.push((m, series));
     }
 
-    // Migration-cost term (§ online re-solve): each slot moved off its
-    // baseline machine costs a fixed objective increment, so plans with
-    // small placement deltas win among near-equals.
     let moves_from_baseline = problem
         .migration
         .as_ref()
@@ -162,6 +302,125 @@ pub fn evaluate(problem: &ConsolidationProblem, assignment: &Assignment) -> Eval
         moves_from_baseline,
         loads,
     }
+}
+
+/// Reusable buffers for [`evaluate_objective`] — the allocation-free
+/// scoring path DIRECT's inner loop runs thousands of times per re-solve.
+#[derive(Default)]
+pub struct EvalScratch {
+    /// Per-machine slot lists (capacity retained across calls).
+    occupants: Vec<Vec<usize>>,
+    cpu: Vec<f64>,
+    ram: Vec<f64>,
+    ws: Vec<f64>,
+    rate: Vec<f64>,
+}
+
+/// Objective-only evaluation: the same score [`evaluate`] reports, with
+/// zero steady-state allocation. Used by DIRECT's inner loop where the
+/// full [`Evaluation`] (per-machine load series, feasibility breakdown)
+/// would be discarded anyway. Feasibility decisions (`violation > 0`)
+/// agree with [`evaluate`]; the final authority on any returned plan is
+/// still a full `evaluate` call.
+pub fn evaluate_objective(
+    problem: &ConsolidationProblem,
+    series: &SlotSeries,
+    machine_of: &[usize],
+    scratch: &mut EvalScratch,
+) -> f64 {
+    let slots = &series.slots;
+    debug_assert_eq!(slots.len(), machine_of.len());
+    let windows = problem.windows;
+    let weights = problem.weights;
+    let wsum = weights.total().max(1e-12);
+    let cap = problem.machine;
+    let headroom = problem.headroom;
+
+    let k = machine_of.iter().copied().max().map_or(0, |m| m + 1);
+    if scratch.occupants.len() < k {
+        scratch.occupants.resize_with(k, Vec::new);
+    }
+    for occ in scratch.occupants.iter_mut().take(k) {
+        occ.clear();
+    }
+    for (s, &m) in machine_of.iter().enumerate() {
+        scratch.occupants[m].push(s);
+    }
+    if scratch.cpu.len() < windows {
+        scratch.cpu.resize(windows, 0.0);
+        scratch.ram.resize(windows, 0.0);
+        scratch.ws.resize(windows, 0.0);
+        scratch.rate.resize(windows, 0.0);
+    }
+
+    let mut violation = 0.0;
+    let mut objective = 0.0;
+
+    for (m, occ) in scratch.occupants.iter().enumerate().take(k) {
+        if occ.is_empty() {
+            continue;
+        }
+        if m >= problem.max_machines {
+            violation += 1.0 + (m - problem.max_machines) as f64;
+        }
+    }
+    for occ in scratch.occupants.iter().take(k) {
+        if occ.len() > 1 {
+            violation += colocation_violations(problem, slots, occ);
+        }
+    }
+    for (s, slot) in slots.iter().enumerate() {
+        if slot.replica == 0 {
+            if let Some(pin) = problem.workloads[slot.workload].pinned {
+                if machine_of[s] != pin {
+                    violation += 1.0;
+                }
+            }
+        }
+    }
+
+    for m in 0..k {
+        // Swap the occupant list out so the accumulators can be borrowed
+        // mutably alongside it without re-allocating.
+        let occ = std::mem::take(&mut scratch.occupants[m]);
+        if occ.is_empty() {
+            scratch.occupants[m] = occ;
+            continue;
+        }
+        scratch.cpu[..windows].fill(0.0);
+        scratch.ram[..windows].fill(0.0);
+        scratch.ws[..windows].fill(0.0);
+        scratch.rate[..windows].fill(0.0);
+        for &s in &occ {
+            add_series(&mut scratch.cpu[..windows], series.cpu_of(s));
+            add_series(&mut scratch.ram[..windows], series.ram_of(s));
+            add_series(&mut scratch.ws[..windows], series.ws_of(s));
+            add_series(&mut scratch.rate[..windows], series.rate_of(s));
+        }
+        let mut exp_sum = 0.0;
+        for t in 0..windows {
+            let cpu = scratch.cpu[t] / cap.cpu_cores;
+            let ram = scratch.ram[t] / cap.ram_bytes;
+            let disk = problem.disk.utilization(scratch.ws[t], scratch.rate[t]);
+            for u in [cpu, ram, disk] {
+                if u > headroom {
+                    violation += u - headroom;
+                }
+            }
+            let norm = (weights.cpu * cpu + weights.ram * ram + weights.disk * disk) / wsum;
+            exp_sum += norm.clamp(0.0, 1.0).exp();
+        }
+        objective += exp_sum / windows as f64;
+        scratch.occupants[m] = occ;
+    }
+
+    if let Some(mig) = &problem.migration {
+        objective += mig.cost_per_move * mig.moves(machine_of) as f64;
+    }
+    if violation > 0.0 {
+        objective += PENALTY * (1.0 + violation);
+    }
+    objective
 }
 
 #[cfg(test)]
@@ -317,6 +576,56 @@ mod tests {
         let p = problem(4, 1.0).with_migration(vec![Some(0), Some(0)], 0.25);
         let eval = evaluate(&p, &Assignment::new(vec![0, 0, 1, 2]));
         assert_eq!(eval.moves_from_baseline, 0);
+    }
+
+    #[test]
+    fn cached_evaluate_matches_reference_bit_for_bit() {
+        let mut p = problem(5, 2.3).with_anti_affinity(vec![(0, 3)]);
+        p.workloads[1].replicas = 2;
+        p.workloads[4].pinned = Some(1);
+        let p = p.with_migration(
+            vec![Some(0), Some(1), None, Some(0), Some(2), Some(1)],
+            0.25,
+        );
+        for a in [
+            Assignment::new(vec![0, 1, 2, 0, 1, 1]),
+            Assignment::new(vec![0, 0, 0, 0, 0, 0]),
+            Assignment::new(vec![3, 2, 1, 0, 4, 1]),
+        ] {
+            let cached = evaluate(&p, &a);
+            let reference = evaluate_reference(&p, &a);
+            assert_eq!(cached.objective.to_bits(), reference.objective.to_bits());
+            assert_eq!(cached.violation.to_bits(), reference.violation.to_bits());
+            assert_eq!(cached.feasible, reference.feasible);
+            assert_eq!(cached.machines_used, reference.machines_used);
+            assert_eq!(cached.moves_from_baseline, reference.moves_from_baseline);
+            assert_eq!(cached.loads, reference.loads);
+        }
+    }
+
+    #[test]
+    fn lean_scorer_matches_full_evaluation() {
+        let mut p = problem(6, 1.7).with_anti_affinity(vec![(1, 2)]);
+        p.workloads[0].replicas = 2;
+        let p = p.with_migration(
+            vec![Some(0), None, Some(1), Some(1), Some(2), None, Some(3)],
+            0.1,
+        );
+        let series = p.slot_series().clone();
+        let mut scratch = EvalScratch::default();
+        for a in [
+            vec![0, 1, 2, 3, 4, 5, 0],
+            vec![0, 0, 0, 0, 0, 0, 0],
+            vec![2, 1, 2, 1, 2, 1, 2],
+        ] {
+            let full = evaluate(&p, &Assignment::new(a.clone()));
+            let lean = evaluate_objective(&p, &series, &a, &mut scratch);
+            assert!(
+                (full.objective - lean).abs() < 1e-9,
+                "full {} vs lean {lean}",
+                full.objective
+            );
+        }
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! 12-core / 96 GB machines); heterogeneous *sources* are handled upstream
 //! by CPU standardization (§6).
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// How disk demands combine on one machine — the non-linear piece the
 /// solver treats as a black box (implemented by `kairos-core` with the
@@ -195,6 +195,127 @@ pub struct ConsolidationProblem {
     /// Optional migration-cost term for online re-solves (None = the
     /// original one-shot objective).
     pub migration: Option<MigrationCost>,
+    /// Lazily built structure-of-arrays view of every slot's load series
+    /// (see [`SlotSeries`]); shared by `evaluate`, the local search, the
+    /// greedy packer and DIRECT so the per-window series are materialized
+    /// exactly once per problem instance. Mutating `workloads` directly
+    /// after the first evaluation invalidates it — use the `with_*`
+    /// builders (which construct fresh problems) or mutate before
+    /// evaluating; [`SlotSeries::coherent_with`] checks the invariant.
+    slot_cache: OnceLock<Arc<SlotSeries>>,
+}
+
+/// Structure-of-arrays cache of per-slot load series — the solver's hot
+/// data, laid out for linear scans.
+///
+/// The re-solve hot path (`evaluate` from DIRECT's inner loop, the local
+/// search's machine-sum rebuilds, greedy reservation probes) previously
+/// re-derived each workload's per-window demand through bounds-checked
+/// `cpu_at(t)`-style lookups and re-expanded the slot list on every call.
+/// This cache flattens everything once per problem: series are stored per
+/// *slot* (replicas repeat their workload's series) in `slot × window`
+/// row-major order, alongside per-slot extrema used by the local search's
+/// lower-bound pruning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotSeries {
+    /// One entry per placement slot (same order as
+    /// [`ConsolidationProblem::slots`]).
+    pub slots: Vec<Slot>,
+    pub windows: usize,
+    /// `cpu[slot * windows + t]`, and likewise below.
+    pub cpu: Vec<f64>,
+    pub ram: Vec<f64>,
+    pub ws: Vec<f64>,
+    pub rate: Vec<f64>,
+    /// Per-slot extrema over the horizon (pruning and greedy keys).
+    pub cpu_min: Vec<f64>,
+    pub cpu_max: Vec<f64>,
+    pub ram_min: Vec<f64>,
+    pub ram_max: Vec<f64>,
+    pub ws_max: Vec<f64>,
+    pub rate_max: Vec<f64>,
+}
+
+impl SlotSeries {
+    /// Materialize the cache for `problem`.
+    pub fn build(problem: &ConsolidationProblem) -> SlotSeries {
+        let slots = problem.slots();
+        let windows = problem.windows;
+        let n = slots.len();
+        let mut out = SlotSeries {
+            slots,
+            windows,
+            cpu: Vec::with_capacity(n * windows),
+            ram: Vec::with_capacity(n * windows),
+            ws: Vec::with_capacity(n * windows),
+            rate: Vec::with_capacity(n * windows),
+            cpu_min: Vec::with_capacity(n),
+            cpu_max: Vec::with_capacity(n),
+            ram_min: Vec::with_capacity(n),
+            ram_max: Vec::with_capacity(n),
+            ws_max: Vec::with_capacity(n),
+            rate_max: Vec::with_capacity(n),
+        };
+        for i in 0..n {
+            let w = &problem.workloads[out.slots[i].workload];
+            let mut ext = [
+                f64::INFINITY,
+                f64::NEG_INFINITY,
+                f64::INFINITY,
+                f64::NEG_INFINITY,
+            ];
+            let mut ws_mx = f64::NEG_INFINITY;
+            let mut rate_mx = f64::NEG_INFINITY;
+            for t in 0..windows {
+                let (c, r, s, q) = (w.cpu_at(t), w.ram_at(t), w.ws_at(t), w.rate_at(t));
+                out.cpu.push(c);
+                out.ram.push(r);
+                out.ws.push(s);
+                out.rate.push(q);
+                ext[0] = ext[0].min(c);
+                ext[1] = ext[1].max(c);
+                ext[2] = ext[2].min(r);
+                ext[3] = ext[3].max(r);
+                ws_mx = ws_mx.max(s);
+                rate_mx = rate_mx.max(q);
+            }
+            out.cpu_min.push(ext[0]);
+            out.cpu_max.push(ext[1]);
+            out.ram_min.push(ext[2]);
+            out.ram_max.push(ext[3]);
+            out.ws_max.push(ws_mx);
+            out.rate_max.push(rate_mx);
+        }
+        out
+    }
+
+    /// One slot's CPU series over the horizon.
+    #[inline]
+    pub fn cpu_of(&self, slot: usize) -> &[f64] {
+        &self.cpu[slot * self.windows..(slot + 1) * self.windows]
+    }
+
+    #[inline]
+    pub fn ram_of(&self, slot: usize) -> &[f64] {
+        &self.ram[slot * self.windows..(slot + 1) * self.windows]
+    }
+
+    #[inline]
+    pub fn ws_of(&self, slot: usize) -> &[f64] {
+        &self.ws[slot * self.windows..(slot + 1) * self.windows]
+    }
+
+    #[inline]
+    pub fn rate_of(&self, slot: usize) -> &[f64] {
+        &self.rate[slot * self.windows..(slot + 1) * self.windows]
+    }
+
+    /// Coherence check: does this cache still describe `problem`
+    /// bit-for-bit? Rebuilds from scratch and compares — O(slots ×
+    /// windows), intended for tests and debug assertions, not hot paths.
+    pub fn coherent_with(&self, problem: &ConsolidationProblem) -> bool {
+        *self == SlotSeries::build(problem)
+    }
 }
 
 impl std::fmt::Debug for ConsolidationProblem {
@@ -247,7 +368,31 @@ impl ConsolidationProblem {
             disk,
             anti_affinity: Vec::new(),
             migration: None,
+            slot_cache: OnceLock::new(),
         }
+    }
+
+    /// The structure-of-arrays slot-series cache, built on first use and
+    /// shared by every evaluation of this problem instance.
+    pub fn slot_series(&self) -> &Arc<SlotSeries> {
+        let series = self
+            .slot_cache
+            .get_or_init(|| Arc::new(SlotSeries::build(self)));
+        // Cheap structural guard against the one misuse the lazy cache
+        // allows: mutating the pub fields (replica counts, series
+        // lengths) after an evaluation has built it. Full bit-for-bit
+        // value coherence is the cache_coherence property suite's job —
+        // rebuilding here would defeat the cache.
+        debug_assert_eq!(
+            series.slots.len(),
+            self.slots().len(),
+            "slot cache stale: workloads/replicas mutated after first evaluation"
+        );
+        debug_assert_eq!(
+            series.windows, self.windows,
+            "slot cache stale: windows mutated after first evaluation"
+        );
+        series
     }
 
     pub fn with_headroom(mut self, headroom: f64) -> ConsolidationProblem {
@@ -355,6 +500,7 @@ impl ConsolidationProblem {
             disk: self.disk.clone(),
             anti_affinity,
             migration,
+            slot_cache: OnceLock::new(),
         }
     }
 

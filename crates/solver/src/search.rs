@@ -11,9 +11,20 @@
 use crate::bounds::{fractional_lower_bound, identity_assignment, upper_bound};
 use crate::direct::{direct_minimize, DirectConfig};
 use crate::local::polish;
-use crate::objective::{evaluate, Evaluation};
+use crate::objective::{evaluate, evaluate_objective, EvalScratch, Evaluation};
 use crate::problem::{Assignment, ConsolidationProblem};
 use kairos_types::{KairosError, Result};
+
+/// Reusable allocation arena for repeated solves. An online re-solver
+/// calls [`solve_warm_with`] every drift event against similarly-sized
+/// problems; holding one `SolveScratch` across calls means the DIRECT
+/// inner loop (thousands of decode+score evaluations per solve) performs
+/// no steady-state allocation.
+#[derive(Default)]
+pub struct SolveScratch {
+    eval: EvalScratch,
+    decode_buf: Vec<usize>,
+}
 
 /// Any objective below this is feasible (the infeasibility penalty floor).
 const FEASIBLE_BELOW: f64 = 1e4;
@@ -29,6 +40,14 @@ pub struct SolverConfig {
     pub epsilon: f64,
     /// Local-search rounds after DIRECT (0 disables polish).
     pub polish_rounds: usize,
+    /// Online re-solve fast path: when a warm start polishes into a
+    /// feasible plan that already meets the fractional lower bound on
+    /// machine count, accept it without running the binary search or the
+    /// final DIRECT solve (they cannot reduce K further; at most they
+    /// rebalance within the same K, which a near-stationary fleet does
+    /// not need every drift check). Off by default — one-shot solves keep
+    /// the paper's full pipeline.
+    pub accept_warm_at_bound: bool,
 }
 
 impl Default for SolverConfig {
@@ -38,6 +57,7 @@ impl Default for SolverConfig {
             final_evals: 8_000,
             epsilon: 1e-4,
             polish_rounds: 60,
+            accept_warm_at_bound: false,
         }
     }
 }
@@ -67,26 +87,34 @@ impl SolveReport {
 /// Decode a DIRECT point into an assignment over `k` machines. Pinned
 /// replica-0 slots are not variables: they sit on their pin.
 pub fn decode(problem: &ConsolidationProblem, k: usize, x: &[f64]) -> Assignment {
-    let slots = problem.slots();
-    let mut machine_of = Vec::with_capacity(slots.len());
+    let mut machine_of = Vec::new();
+    decode_into(problem, k, x, &mut machine_of);
+    Assignment::new(machine_of)
+}
+
+/// [`decode`] into a caller-owned buffer (cleared first) — the
+/// allocation-free variant DIRECT's inner loop uses.
+pub fn decode_into(problem: &ConsolidationProblem, k: usize, x: &[f64], out: &mut Vec<usize>) {
+    let slots = &problem.slot_series().slots;
+    out.clear();
+    out.reserve(slots.len());
     let mut xi = 0usize;
-    for slot in &slots {
+    for slot in slots {
         let pinned = if slot.replica == 0 {
             problem.workloads[slot.workload].pinned
         } else {
             None
         };
         match pinned {
-            Some(p) => machine_of.push(p.min(k - 1)),
+            Some(p) => out.push(p.min(k - 1)),
             None => {
                 let v = x[xi].clamp(0.0, 1.0);
                 xi += 1;
-                machine_of.push(((v * k as f64).floor() as usize).min(k - 1));
+                out.push(((v * k as f64).floor() as usize).min(k - 1));
             }
         }
     }
     debug_assert_eq!(xi, free_dims(problem));
-    Assignment::new(machine_of)
 }
 
 /// Number of free decision variables (unpinned slots).
@@ -109,6 +137,30 @@ pub fn solve_at_k(
     polish_rounds: usize,
     stop_on_feasible: bool,
 ) -> (Assignment, Evaluation, usize) {
+    solve_at_k_with(
+        problem,
+        k,
+        evals,
+        epsilon,
+        polish_rounds,
+        stop_on_feasible,
+        &mut SolveScratch::default(),
+    )
+}
+
+/// [`solve_at_k`] with a caller-held scratch arena: DIRECT's inner loop
+/// decodes into a reused buffer and scores through the allocation-free
+/// [`evaluate_objective`] path instead of materializing a full
+/// [`Evaluation`] per point.
+pub fn solve_at_k_with(
+    problem: &ConsolidationProblem,
+    k: usize,
+    evals: usize,
+    epsilon: f64,
+    polish_rounds: usize,
+    stop_on_feasible: bool,
+    scratch: &mut SolveScratch,
+) -> (Assignment, Evaluation, usize) {
     assert!(k >= 1);
     let dims = free_dims(problem).max(1);
     let cfg = DirectConfig {
@@ -121,9 +173,10 @@ pub fn solve_at_k(
             None
         },
     };
+    let series = problem.slot_series().clone();
     let result = direct_minimize(dims, &cfg, |x| {
-        let a = decode(problem, k, x);
-        evaluate(problem, &a).objective
+        decode_into(problem, k, x, &mut scratch.decode_buf);
+        evaluate_objective(problem, &series, &scratch.decode_buf, &mut scratch.eval)
     });
     let direct_best = decode(problem, k, &result.best_x);
     if polish_rounds > 0 {
@@ -137,7 +190,16 @@ pub fn solve_at_k(
 
 /// The §6-optimized solve: bounds → binary search for K′ → final solve.
 pub fn solve(problem: &ConsolidationProblem, cfg: &SolverConfig) -> Result<SolveReport> {
-    solve_inner(problem, cfg, None)
+    solve_inner(problem, cfg, None, &mut SolveScratch::default())
+}
+
+/// [`solve`] with a caller-held scratch arena (see [`SolveScratch`]).
+pub fn solve_with(
+    problem: &ConsolidationProblem,
+    cfg: &SolverConfig,
+    scratch: &mut SolveScratch,
+) -> Result<SolveReport> {
+    solve_inner(problem, cfg, None, scratch)
 }
 
 /// Warm-started solve for online re-planning: `warm` (typically the
@@ -151,18 +213,31 @@ pub fn solve_warm(
     cfg: &SolverConfig,
     warm: &Assignment,
 ) -> Result<SolveReport> {
+    solve_warm_with(problem, cfg, warm, &mut SolveScratch::default())
+}
+
+/// [`solve_warm`] with a caller-held scratch arena (see
+/// [`SolveScratch`]) — the online re-solver's zero-steady-state-
+/// allocation entry point.
+pub fn solve_warm_with(
+    problem: &ConsolidationProblem,
+    cfg: &SolverConfig,
+    warm: &Assignment,
+    scratch: &mut SolveScratch,
+) -> Result<SolveReport> {
     assert_eq!(
         warm.machine_of.len(),
         problem.slots().len(),
         "warm assignment must cover every placement slot"
     );
-    solve_inner(problem, cfg, Some(warm))
+    solve_inner(problem, cfg, Some(warm), scratch)
 }
 
 fn solve_inner(
     problem: &ConsolidationProblem,
     cfg: &SolverConfig,
     warm: Option<&Assignment>,
+    scratch: &mut SolveScratch,
 ) -> Result<SolveReport> {
     let lower = fractional_lower_bound(problem);
     let (ub_assignment, mut upper) = upper_bound(problem);
@@ -187,6 +262,7 @@ fn solve_inner(
     // Polish the warm start into a candidate incumbent. When the old plan
     // is still (near-)optimal for the drifted loads, this alone produces
     // the final answer and the search below merely confirms it.
+    let mut warm_is_incumbent = false;
     if let Some(w) = warm {
         let polished = polish(problem, w, problem.max_machines, cfg.polish_rounds.max(20));
         if polished.evaluation.feasible {
@@ -196,6 +272,7 @@ fn solve_inner(
                 .is_none_or(|(_, e)| polished.evaluation.objective < e.objective);
             if better {
                 best = Some((polished.assignment, polished.evaluation));
+                warm_is_incumbent = true;
             }
         }
     }
@@ -206,19 +283,44 @@ fn solve_inner(
                 .into(),
         ));
     };
+
+    // Online fast path: the *warm-polished* incumbent already sits at
+    // the fractional lower bound — no search can use fewer machines, so
+    // skip straight to the answer (see
+    // `SolverConfig::accept_warm_at_bound`). Gated on the incumbent
+    // actually being the warm-derived plan: if the warm polish lost to
+    // the baseline-blind greedy bound (e.g. the old placement went
+    // infeasible under a spike), accepting greedy here could ship a
+    // mass-migration plan the skipped search would have beaten, so the
+    // full pipeline runs instead.
+    if cfg.accept_warm_at_bound && warm_is_incumbent {
+        let used = incumbent.0.machines_used();
+        if incumbent.1.feasible && used <= lower {
+            let (assignment, evaluation) = incumbent;
+            return Ok(SolveReport {
+                assignment,
+                evaluation,
+                k_bounds: (lower, upper),
+                k_final: used,
+                evals_used: 0,
+                probes: Vec::new(),
+            });
+        }
+    }
     let mut probes = Vec::new();
 
     // Binary search the smallest feasible K in [lower, upper].
     let (mut lo, mut hi) = (lower, upper.max(lower));
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
-        let (a, eval, used) = solve_at_k(
+        let (a, eval, used) = solve_at_k_with(
             problem,
             mid,
             cfg.probe_evals,
             cfg.epsilon,
             cfg.polish_rounds.min(40),
             true,
+            scratch,
         );
         evals_used += used;
         let feasible = eval.feasible;
@@ -239,13 +341,14 @@ fn solve_inner(
     let k_final = lo;
 
     // Final, well-funded solve at K′ with local-search emphasis.
-    let (a, eval, used) = solve_at_k(
+    let (a, eval, used) = solve_at_k_with(
         problem,
         k_final,
         cfg.final_evals,
         cfg.epsilon,
         cfg.polish_rounds,
         false,
+        scratch,
     );
     evals_used += used;
     if eval.feasible && eval.objective < incumbent.1.objective {

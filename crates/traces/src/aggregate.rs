@@ -20,6 +20,14 @@ use kairos_types::TimeSeries;
 /// contributes zero to buckets older than its history. Empty input (or
 /// all-empty series) yields an empty series at `fallback_interval`.
 pub fn sum_tail_aligned(series: &[TimeSeries], fallback_interval: f64) -> TimeSeries {
+    let refs: Vec<&TimeSeries> = series.iter().collect();
+    sum_tail_aligned_refs(&refs, fallback_interval)
+}
+
+/// [`sum_tail_aligned`] over borrowed series — the sharded control
+/// plane's summary path aggregates every tenant's rolling window each
+/// balance round, so the roll-up must not deep-copy its inputs first.
+pub fn sum_tail_aligned_refs(series: &[&TimeSeries], fallback_interval: f64) -> TimeSeries {
     let len = series.iter().map(|s| s.len()).max().unwrap_or(0);
     let interval = series
         .iter()
@@ -61,17 +69,17 @@ impl ShardAggregate {
         let mut ws = Vec::new();
         let mut rate = Vec::new();
         for w in windows {
-            cpu.push(w[0].clone());
-            ram.push(w[1].clone());
-            ws.push(w[2].clone());
-            rate.push(w[3].clone());
+            cpu.push(&w[0]);
+            ram.push(&w[1]);
+            ws.push(&w[2]);
+            rate.push(&w[3]);
         }
         let tenants = cpu.len();
         ShardAggregate {
-            cpu_cores: sum_tail_aligned(&cpu, fallback_interval),
-            ram_bytes: sum_tail_aligned(&ram, fallback_interval),
-            ws_bytes: sum_tail_aligned(&ws, fallback_interval),
-            rate_rows: sum_tail_aligned(&rate, fallback_interval),
+            cpu_cores: sum_tail_aligned_refs(&cpu, fallback_interval),
+            ram_bytes: sum_tail_aligned_refs(&ram, fallback_interval),
+            ws_bytes: sum_tail_aligned_refs(&ws, fallback_interval),
+            rate_rows: sum_tail_aligned_refs(&rate, fallback_interval),
             tenants,
         }
     }

@@ -21,7 +21,7 @@ pub mod fleet;
 pub mod predict;
 pub mod rrd;
 
-pub use aggregate::{sum_tail_aligned, ShardAggregate};
+pub use aggregate::{sum_tail_aligned, sum_tail_aligned_refs, ShardAggregate};
 pub use fleet::{
     fleet_mean_utilization, generate_all, generate_fleet, Dataset, FleetConfig, ServerTrace,
 };

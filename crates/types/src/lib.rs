@@ -21,7 +21,7 @@ pub mod units;
 pub use error::{KairosError, Result};
 pub use profile::{DiskDemand, ProfileWindow, WorkloadProfile};
 pub use rng::SplitMix64;
-pub use series::TimeSeries;
+pub use series::{percentile_of_sorted, TimeSeries};
 pub use spec::{CpuSpec, DiskSpec, MachineSpec, RamSpec};
 pub use units::{Bytes, Percent, Rate, Seconds};
 

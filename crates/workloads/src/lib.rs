@@ -48,7 +48,12 @@ pub struct WorkloadHandle {
 
 /// A workload generator: installs its schema into a [`DbmsInstance`] and
 /// produces one [`OpBatch`] per tick.
-pub trait Workload {
+///
+/// `Send` is a supertrait so whole observation sessions — and the
+/// telemetry sources wrapping them — can migrate across the sharded
+/// control plane's tick worker threads (see `kairos-controller`'s
+/// `TelemetrySource`).
+pub trait Workload: Send {
     /// Short, stable name for reports.
     fn name(&self) -> &str;
 

@@ -40,7 +40,9 @@ fn config(shards: usize) -> FleetConfig {
             machines_per_shard: BUDGET,
             balance_every: 6,
             max_moves_per_round: 4,
+            ..BalancerConfig::default()
         },
+        ..FleetConfig::default()
     }
 }
 
