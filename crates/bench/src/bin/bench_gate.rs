@@ -1,0 +1,174 @@
+//! Bench regression gate: compare a fresh `fleet_scale` run against the
+//! committed `BENCH_fleet.json` baseline and fail (exit 1) when the
+//! control plane's hot-path numbers regress beyond 2×.
+//!
+//! ```text
+//! KAIROS_QUICK=1 cargo run --release -p kairos-bench --bin fleet_scale > fresh.json
+//! cargo run --release -p kairos-bench --bin bench_gate -- fresh.json BENCH_fleet.json
+//! ```
+//!
+//! Gated metrics, compared at the largest shard count both files report:
+//!
+//! * `steady_tick_p99_usecs` — tail latency of a quiet control tick;
+//! * `mean_warm_resolve_ms` — the warm re-solve the drift path pays.
+//!
+//! The threshold is deliberately loose (2×): CI machines are noisy and
+//! the quick profile runs a smaller fleet than the committed full
+//! profile, so the gate catches structural regressions (an accidental
+//! cold solve on the warm path, a quadratic tick), not percent-level
+//! drift. Output is a Markdown table with both values per metric, meant
+//! to be `tee`'d into `$GITHUB_STEP_SUMMARY`.
+//!
+//! The parser below handles exactly the JSON this workspace's bench
+//! emitters produce (flat objects of `"key":number|bool` inside the
+//! `"scales"` array) — it is not a general JSON reader, on purpose: the
+//! build is offline and a vendored serde_json is not available.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Regression threshold: fresh > FACTOR × baseline fails the gate.
+const FACTOR: f64 = 2.0;
+
+/// Extract the `"scales": [...]` array body from a bench JSON document.
+fn scales_body(json: &str) -> Option<&str> {
+    let key = json.find("\"scales\"")?;
+    let open = json[key..].find('[')? + key;
+    let mut depth = 0usize;
+    for (i, c) in json[open..].char_indices() {
+        match c {
+            '[' => depth += 1,
+            ']' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&json[open + 1..open + i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Split an array body into its top-level `{...}` objects.
+fn objects(body: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in body.char_indices() {
+        match c {
+            '{' => {
+                if depth == 0 {
+                    start = i + 1;
+                }
+                depth += 1;
+            }
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    out.push(&body[start..i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Parse a flat `"key":value` object into numeric fields (booleans read
+/// as 0/1; anything unparseable is skipped).
+fn fields(obj: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    for entry in obj.split(',') {
+        let Some((key, value)) = entry.split_once(':') else {
+            continue;
+        };
+        let key = key.trim().trim_matches('"').to_string();
+        let value = value.trim();
+        let parsed = match value {
+            "true" => Some(1.0),
+            "false" => Some(0.0),
+            v => v.parse::<f64>().ok(),
+        };
+        if let Some(v) = parsed {
+            out.insert(key, v);
+        }
+    }
+    out
+}
+
+/// `shards → fields` for every scale entry in a bench JSON document.
+fn parse_scales(json: &str) -> BTreeMap<u64, BTreeMap<String, f64>> {
+    let mut out = BTreeMap::new();
+    let Some(body) = scales_body(json) else {
+        return out;
+    };
+    for obj in objects(body) {
+        let f = fields(obj);
+        if let Some(&shards) = f.get("shards") {
+            out.insert(shards as u64, f);
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() != 3 {
+        eprintln!("usage: bench_gate <fresh.json> <baseline.json>");
+        return ExitCode::from(2);
+    }
+    let read = |path: &str| -> String {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("bench_gate: cannot read {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let fresh = parse_scales(&read(&args[1]));
+    let baseline = parse_scales(&read(&args[2]));
+
+    // Compare at the largest fleet both profiles ran (the quick profile
+    // stops at fewer shards than the committed full profile).
+    let Some(&shards) = fresh.keys().filter(|s| baseline.contains_key(s)).max() else {
+        eprintln!("bench_gate: no common shard count between fresh and baseline");
+        return ExitCode::from(2);
+    };
+    let f = &fresh[&shards];
+    let b = &baseline[&shards];
+
+    println!("### Bench regression gate (fleet_scale, {shards} shards)\n");
+    println!("| metric | baseline | fresh | ratio | limit | verdict |");
+    println!("|---|---|---|---|---|---|");
+
+    let mut failed = false;
+    for (metric, unit) in [
+        ("steady_tick_p99_usecs", "µs"),
+        ("mean_warm_resolve_ms", "ms"),
+    ] {
+        let (Some(&bv), Some(&fv)) = (b.get(metric), f.get(metric)) else {
+            eprintln!("bench_gate: metric {metric} missing from one input");
+            return ExitCode::from(2);
+        };
+        if bv <= 0.0 {
+            // Nothing to gate against (e.g. a profile with no warm
+            // re-solves); record it rather than dividing by zero.
+            println!("| `{metric}` | {bv:.3} {unit} | {fv:.3} {unit} | – | {FACTOR}× | skipped (no baseline signal) |");
+            continue;
+        }
+        let ratio = fv / bv;
+        let ok = ratio <= FACTOR;
+        failed |= !ok;
+        println!(
+            "| `{metric}` | {bv:.3} {unit} | {fv:.3} {unit} | {ratio:.2}× | {FACTOR}× | {} |",
+            if ok { "✅ pass" } else { "❌ **regressed**" }
+        );
+    }
+    println!();
+    if failed {
+        println!("**Gate failed:** a hot-path metric regressed more than {FACTOR}× against the committed `BENCH_fleet.json`.");
+        ExitCode::FAILURE
+    } else {
+        println!("Gate passed: both metrics within {FACTOR}× of the committed baseline.");
+        ExitCode::SUCCESS
+    }
+}

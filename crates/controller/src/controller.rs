@@ -115,8 +115,10 @@ pub enum TickOutcome {
     Replanned(ReplanSummary),
 }
 
-/// Running counters.
-#[derive(Debug, Clone, Copy, Default)]
+/// Running counters. Serializable: the tick counter drives every
+/// cadence gate (drift checks, cooldowns, balance rounds), so a restored
+/// shard must resume from the checkpointed counts.
+#[derive(Debug, Clone, Copy, Default, serde::Serialize, serde::Deserialize)]
 pub struct ControllerStats {
     pub ticks: u64,
     pub samples_ingested: u64,

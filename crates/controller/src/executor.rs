@@ -32,6 +32,11 @@ struct Tenant {
     machine: usize,
     db: kairos_dbsim::DatabaseId,
     bytes: Bytes,
+    /// Rows the tenant table was created with — recorded so a restored
+    /// executor can re-materialize the identical table (same pages, same
+    /// byte accounting) instead of re-deriving rows from page-rounded
+    /// bytes.
+    rows: u64,
 }
 
 /// What executing a plan did.
@@ -142,10 +147,23 @@ impl FleetExecutor {
         machine: usize,
         ws_bytes: f64,
     ) -> Bytes {
+        let rows = (ws_bytes / ROW_BYTES as f64).ceil().max(1.0) as u64;
+        self.materialize_rows(workload, replica, machine, rows)
+    }
+
+    /// [`FleetExecutor::materialize`] with an explicit row count — the
+    /// restore path re-creates checkpointed tenants through this, so the
+    /// rebuilt tables match the originals page-for-page.
+    fn materialize_rows(
+        &mut self,
+        workload: &str,
+        replica: u32,
+        machine: usize,
+        rows: u64,
+    ) -> Bytes {
         self.ensure_host(machine);
         let inst = self.hosts[machine].instance_mut(0);
         let db = inst.create_database(format!("{workload}#{replica}"));
-        let rows = (ws_bytes / ROW_BYTES as f64).ceil().max(1.0) as u64;
         let table = inst
             .create_table(db, rows, ROW_BYTES)
             .expect("tenant table on a freshly ensured database");
@@ -154,9 +172,33 @@ impl FleetExecutor {
         let bytes = inst.table_bytes(table);
         self.routing.insert(
             (workload.to_string(), replica),
-            Tenant { machine, db, bytes },
+            Tenant {
+                machine,
+                db,
+                bytes,
+                rows,
+            },
         );
         bytes
+    }
+
+    /// The routing table as checkpointable entries:
+    /// `(workload, replica, machine, rows)`, sorted by key.
+    pub fn routing_snapshot(&self) -> Vec<(String, u32, usize, u64)> {
+        self.routing
+            .iter()
+            .map(|((w, r), t)| (w.clone(), *r, t.machine, t.rows))
+            .collect()
+    }
+
+    /// Rebuild the executor's fleet from checkpointed routing entries:
+    /// every tenant is re-materialized on its machine with its original
+    /// row count (fresh database ids, bounded prewarm — the same state a
+    /// real restart would rebuild from a physical copy).
+    pub fn restore_routing(&mut self, entries: &[(String, u32, usize, u64)]) {
+        for (workload, replica, machine, rows) in entries {
+            self.materialize_rows(workload, *replica, *machine, *rows);
+        }
     }
 
     /// Execute one step. Returns (bytes copied, est seconds, bytes GC'd

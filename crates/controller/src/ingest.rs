@@ -10,6 +10,7 @@
 use kairos_monitor::MonitorSample;
 use kairos_traces::{ArchiveSpec, Consolidation, Rrd};
 use kairos_types::{Bytes, TimeSeries, WorkloadProfile};
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Where live samples come from. Implemented by the simulated pipeline's
@@ -51,7 +52,7 @@ impl TelemetrySource for SessionSource {
 }
 
 /// Rolling-store layout.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct TelemetryConfig {
     /// Monitoring interval (seconds of simulated time per sample).
     pub interval_secs: f64,
@@ -102,7 +103,12 @@ impl TelemetryConfig {
 }
 
 /// One workload's rolling telemetry: the four profile series as RRDs.
-#[derive(Debug, Clone)]
+///
+/// Serializable as part of the checkpoint/restore path (and of
+/// transport-encoded handoffs): the RRD rings, in-flight consolidation
+/// buckets and the phase-driving `samples_seen` counter all travel, so a
+/// restored copy ingests and forecasts exactly like the original.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct WorkloadTelemetry {
     cfg: TelemetryConfig,
     cpu: Rrd,

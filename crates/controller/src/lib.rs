@@ -65,6 +65,7 @@ pub mod migration;
 pub mod resolver;
 pub mod scenarios;
 pub mod shard;
+pub mod snapshot;
 
 pub use controller::{
     Controller, ControllerConfig, ControllerStats, ReplanReason, ReplanSummary, TickOutcome,
@@ -80,7 +81,8 @@ pub use scenarios::{
     run_scenario, scenario_churn, scenario_diurnal_shift, scenario_flash_crowd,
     scenario_stationary, FleetEvent, Scenario, ScenarioReport, SyntheticSource,
 };
-pub use shard::{ShardController, ShardSummary, TenantHandoff, TenantLoad};
+pub use shard::{ShardController, ShardSummary, TenantHandoff, TenantLoad, HANDOFF_WIRE_VERSION};
+pub use snapshot::ShardSnapshot;
 
 /// Convenience re-exports for downstream users and doc examples.
 pub mod prelude {

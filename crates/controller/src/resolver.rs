@@ -26,7 +26,11 @@ use kairos_types::{Result, TimeSeries, WorkloadProfile};
 use std::collections::BTreeMap;
 
 /// Where every replica of every workload currently runs.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// Serializable: a checkpointed placement is the warm-solver seed a
+/// restored controller re-solves from, so it must survive restarts
+/// bit-for-bit.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct FleetPlacement {
     /// (workload, replica) → machine index.
     map: BTreeMap<(String, u32), usize>,

@@ -71,6 +71,20 @@ impl SyntheticSource {
         self
     }
 
+    /// Advance the generator by `polls` intervals, discarding the
+    /// samples. Telemetry sources are the one piece of controller state a
+    /// checkpoint cannot carry (they are live processes, not data); a
+    /// resumed harness re-creates each synthetic source and fast-forwards
+    /// it to the checkpoint tick, after which it emits the exact sample
+    /// stream the crashed process would have seen.
+    pub fn fast_forward(mut self, polls: u64) -> SyntheticSource {
+        use crate::ingest::TelemetrySource as _;
+        for _ in 0..polls {
+            let _ = self.poll();
+        }
+        self
+    }
+
     fn pattern_now(&self) -> &RatePattern {
         self.schedule
             .iter()

@@ -24,16 +24,18 @@ use crate::executor::FleetExecutor;
 use crate::ingest::{TelemetryIngester, TelemetrySource, WorkloadTelemetry};
 use crate::migration::plan_migration;
 use crate::resolver::{forecast_profile, FleetPlacement, ReSolver};
+use crate::snapshot::ShardSnapshot;
 use kairos_core::ConsolidationEngine;
 use kairos_solver::{evaluate, greedy_pack, Assignment, Evaluation};
 use kairos_traces::ShardAggregate;
-use kairos_types::WorkloadProfile;
+use kairos_types::{KairosError, WorkloadProfile};
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::time::Instant;
 
 /// One tenant's forecast peaks — what the balancer weighs when choosing
 /// handoff candidates.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TenantLoad {
     pub name: String,
     pub replicas: u32,
@@ -43,8 +45,11 @@ pub struct TenantLoad {
     pub rate_peak: f64,
 }
 
-/// A shard's state as the balancer sees it.
-#[derive(Debug, Clone)]
+/// A shard's state as the balancer sees it. Serializable because the
+/// shard's staleness-bounded summary cache checkpoints with it — a
+/// restored fleet must present the balancer the same (possibly cached)
+/// view the original would have, or balance rounds diverge after resume.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ShardSummary {
     pub tenants: usize,
     /// `false` while the shard is still bootstrapping its first plan.
@@ -70,6 +75,52 @@ pub struct TenantHandoff {
     pub replicas: u32,
     pub source: Box<dyn TelemetrySource>,
     pub telemetry: WorkloadTelemetry,
+}
+
+/// Frame version of [`TenantHandoff::into_wire`]'s encoding.
+pub const HANDOFF_WIRE_VERSION: u32 = 1;
+
+impl TenantHandoff {
+    /// Serialize the transportable part of the handoff — name, replica
+    /// count, and the full rolling telemetry — into a checksummed
+    /// [`kairos_store`] frame, handing the live source back separately.
+    /// The source is the one piece that cannot cross a process boundary
+    /// as bytes (an RPC transport re-binds the destination's own); the
+    /// in-process balancer routes every handoff through this encoding so
+    /// the bytes are exercised on the hot path, not just in tests.
+    pub fn into_wire(self) -> (Vec<u8>, Box<dyn TelemetrySource>) {
+        let TenantHandoff {
+            name,
+            replicas,
+            source,
+            telemetry,
+        } = self;
+        let bytes = kairos_store::encode_frame(HANDOFF_WIRE_VERSION, &(name, replicas, telemetry));
+        (bytes, source)
+    }
+
+    /// Inverse of [`TenantHandoff::into_wire`]: validate and decode the
+    /// frame, re-binding the destination-side telemetry source. Rejects
+    /// corrupt bytes and a source whose name disagrees with the frame.
+    pub fn from_wire(
+        bytes: &[u8],
+        source: Box<dyn TelemetrySource>,
+    ) -> Result<TenantHandoff, kairos_store::StoreError> {
+        let (name, replicas, telemetry): (String, u32, WorkloadTelemetry) =
+            kairos_store::decode_frame(bytes, HANDOFF_WIRE_VERSION)?;
+        if source.name() != name {
+            return Err(kairos_store::StoreError::Inconsistent(format!(
+                "handoff frame names tenant {name} but the bound source is {}",
+                source.name()
+            )));
+        }
+        Ok(TenantHandoff {
+            name,
+            replicas,
+            source,
+            telemetry,
+        })
+    }
 }
 
 /// The per-shard consolidation loop. See module docs.
@@ -473,6 +524,131 @@ impl ShardController {
             }
         }
         out
+    }
+
+    // ----- checkpoint / restore -----
+
+    /// Capture everything a restarted controller needs to resume this
+    /// shard's loop exactly: rolling telemetry (drift-detector phase
+    /// state included — `samples_seen` drives phase alignment), the
+    /// current placement (the warm re-solver's seed), the planned
+    /// profiles it was solved for, replica counts, anti-affinity pairs,
+    /// cadence/cooldown counters, the balancer summary cache, and the
+    /// executor's tenant routing. The shard's *configuration* (and its
+    /// engine) deliberately stays out: a snapshot restores state into a
+    /// freshly configured controller, so ops can tune the loop across a
+    /// restart without invalidating checkpoints.
+    pub fn snapshot(&self) -> ShardSnapshot {
+        ShardSnapshot {
+            telemetry: self
+                .ingester
+                .iter()
+                .map(|(n, t)| (n.to_string(), t.clone()))
+                .collect(),
+            placement: self.placement.clone(),
+            planned: self.planned.clone(),
+            replicas: self.replicas.clone(),
+            anti_affinity: self.resolver.anti_affinity.clone(),
+            planned_once: self.planned_once,
+            membership_changed: self.membership_changed,
+            last_plan_tick: self.last_plan_tick,
+            replan_backoff_until: self.replan_backoff_until,
+            last_resolve_failed: self.last_resolve_failed,
+            summary_cache: self.summary_cache.clone(),
+            stats: self.stats,
+            routing: self.executor.routing_snapshot(),
+        }
+    }
+
+    /// Rebuild a shard from a [`ShardSnapshot`]: telemetry windows are
+    /// re-installed, the executor re-materializes every routed tenant on
+    /// its machine, and all loop state (placement, planned profiles,
+    /// counters, caches) is restored verbatim. Internally inconsistent
+    /// snapshots (placements or routing for tenants with no telemetry)
+    /// are rejected — a partial restore must never come up half-silent.
+    ///
+    /// Telemetry *sources* cannot be serialized; after restoring, re-bind
+    /// one per tenant with [`ShardController::attach_source`] before
+    /// ticking ([`ShardController::detached_workloads`] lists what is
+    /// still missing).
+    pub fn restore(
+        cfg: ControllerConfig,
+        engine: ConsolidationEngine,
+        snapshot: ShardSnapshot,
+    ) -> kairos_types::Result<ShardController> {
+        let names: std::collections::BTreeSet<&str> =
+            snapshot.telemetry.iter().map(|(n, _)| n.as_str()).collect();
+        if names.len() != snapshot.telemetry.len() {
+            return Err(KairosError::InvalidInput(
+                "shard snapshot repeats a tenant".into(),
+            ));
+        }
+        let known = |name: &str| names.contains(name);
+        for ((w, _), _) in snapshot.placement.iter() {
+            if !known(w) {
+                return Err(KairosError::InvalidInput(format!(
+                    "shard snapshot places unknown tenant {w}"
+                )));
+            }
+        }
+        for w in snapshot.planned.keys().chain(snapshot.replicas.keys()) {
+            if !known(w) {
+                return Err(KairosError::InvalidInput(format!(
+                    "shard snapshot plans unknown tenant {w}"
+                )));
+            }
+        }
+        for (w, _, _, _) in &snapshot.routing {
+            if !known(w) {
+                return Err(KairosError::InvalidInput(format!(
+                    "shard snapshot routes unknown tenant {w}"
+                )));
+            }
+        }
+
+        let mut shard = ShardController::new(cfg, engine);
+        for (name, telemetry) in snapshot.telemetry {
+            shard.ingester.insert(&name, telemetry);
+        }
+        shard.resolver.anti_affinity = snapshot.anti_affinity;
+        shard.executor.restore_routing(&snapshot.routing);
+        shard.placement = snapshot.placement;
+        shard.planned = snapshot.planned;
+        shard.replicas = snapshot.replicas;
+        shard.planned_once = snapshot.planned_once;
+        shard.membership_changed = snapshot.membership_changed;
+        shard.last_plan_tick = snapshot.last_plan_tick;
+        shard.replan_backoff_until = snapshot.replan_backoff_until;
+        shard.last_resolve_failed = snapshot.last_resolve_failed;
+        shard.summary_cache = snapshot.summary_cache;
+        shard.stats = snapshot.stats;
+        Ok(shard)
+    }
+
+    /// Re-bind a live telemetry source to a restored tenant. Unlike
+    /// [`ShardController::add_workload`] this does *not* mark membership
+    /// as changed — the tenant never left the fleet, only the process
+    /// died — so reattachment triggers no spurious re-plan. Rejects
+    /// sources for tenants the shard has no telemetry for.
+    pub fn attach_source(&mut self, source: Box<dyn TelemetrySource>) -> kairos_types::Result<()> {
+        let name = source.name().to_string();
+        if self.ingester.get(&name).is_none() {
+            return Err(KairosError::InvalidInput(format!(
+                "attach_source: {name} has no telemetry here — new tenants go through add_workload"
+            )));
+        }
+        self.sources.insert(name, source);
+        Ok(())
+    }
+
+    /// Tenants with telemetry but no live source — what still needs
+    /// [`ShardController::attach_source`] after a restore.
+    pub fn detached_workloads(&self) -> Vec<String> {
+        self.ingester
+            .names()
+            .into_iter()
+            .filter(|n| !self.sources.contains_key(n))
+            .collect()
     }
 
     // ----- balancer surface -----

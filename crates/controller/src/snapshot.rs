@@ -1,0 +1,73 @@
+//! Checkpointable shard state.
+//!
+//! [`ShardSnapshot`] is the serializable image of one
+//! [`crate::ShardController`]'s loop state — everything that must survive
+//! a controller restart for the loop to resume *exactly* where it
+//! stopped, rather than re-bootstrapping against a conservative flat
+//! envelope:
+//!
+//! * **telemetry windows** — each tenant's rolling
+//!   [`crate::WorkloadTelemetry`] (RRD rings, in-flight consolidation
+//!   buckets, and the `samples_seen` counter that phase-aligns the drift
+//!   detector);
+//! * **warm-solver seed** — the current [`crate::FleetPlacement`] plus
+//!   the planned profiles it was solved for (the incumbent every warm
+//!   re-solve starts from, and the envelope drift is judged against);
+//! * **loop phase** — cadence and cooldown counters
+//!   ([`crate::ControllerStats`], last-plan tick, replan backoff, the
+//!   pending-membership flag), so checks fire on the same ticks they
+//!   would have;
+//! * **balancer view** — the staleness-bounded summary cache, so the
+//!   fleet balancer sees the same (possibly cached) roll-up after resume;
+//! * **physical routing** — the executor's tenant → machine table with
+//!   original row counts, so hosts re-materialize page-for-page.
+//!
+//! What a snapshot deliberately does **not** carry: the shard's
+//! configuration and engine (supplied fresh on restore, so tuning can
+//! change across restarts) and the live telemetry *sources* (processes
+//! can't serialize; re-bind with [`crate::ShardController::attach_source`]).
+//!
+//! The struct is plain serde data; framing (version, CRC, atomic file
+//! replacement) is `kairos-store`'s job, and fleet-level aggregation
+//! (`ShardMap`, balancer cooldowns) lives in `kairos-fleet`'s
+//! `FleetSnapshot`.
+
+use crate::controller::ControllerStats;
+use crate::ingest::WorkloadTelemetry;
+use crate::resolver::FleetPlacement;
+use crate::shard::ShardSummary;
+use kairos_types::WorkloadProfile;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One shard's complete checkpointable state. See the module docs for
+/// what each group covers; construct via
+/// [`crate::ShardController::snapshot`] and rebuild via
+/// [`crate::ShardController::restore`].
+#[derive(Serialize, Deserialize)]
+pub struct ShardSnapshot {
+    /// Per-tenant rolling telemetry, in canonical (sorted-name) order.
+    pub telemetry: Vec<(String, WorkloadTelemetry)>,
+    /// Where every replica currently runs — the warm re-solve seed.
+    pub placement: FleetPlacement,
+    /// Per workload: the profile its current placement was solved for.
+    pub planned: BTreeMap<String, WorkloadProfile>,
+    /// Replica counts for tenants running more than one copy.
+    pub replicas: BTreeMap<String, u32>,
+    /// Named anti-affinity pairs registered on this shard's resolver.
+    pub anti_affinity: Vec<(String, String)>,
+    pub planned_once: bool,
+    /// A membership re-plan was pending when the checkpoint was taken
+    /// (e.g. an admitted handoff not yet replanned) — it stays pending.
+    pub membership_changed: bool,
+    pub last_plan_tick: u64,
+    pub replan_backoff_until: u64,
+    pub last_resolve_failed: bool,
+    /// The staleness-bounded balancer summary cache: `(tick computed at,
+    /// summary)`.
+    pub summary_cache: Option<(u64, ShardSummary)>,
+    pub stats: ControllerStats,
+    /// Executor routing: `(workload, replica, machine, rows)` per
+    /// materialized tenant copy.
+    pub routing: Vec<(String, u32, usize, u64)>,
+}

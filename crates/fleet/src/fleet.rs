@@ -17,12 +17,15 @@
 use crate::balancer::{candidate_order, donor_order, receiver_order, BalancerConfig};
 use crate::handoff::{HandoffOutcome, HandoffRecord};
 use crate::shardmap::ShardMap;
+use crate::snapshot::{FleetSnapshot, FLEET_SNAPSHOT_VERSION};
 use kairos_controller::{
-    ControllerConfig, ShardController, ShardSummary, TelemetrySource, TickOutcome,
+    ControllerConfig, ShardController, ShardSummary, TelemetrySource, TenantHandoff, TickOutcome,
 };
 use kairos_core::ConsolidationEngine;
 use kairos_solver::{evaluate, Assignment, ConsolidationProblem, Evaluation};
+use kairos_store::StoreError;
 use kairos_types::WorkloadProfile;
+use std::path::Path;
 
 /// Fleet-level tuning.
 #[derive(Debug, Clone, Copy)]
@@ -99,8 +102,10 @@ fn fan_out<J: Send, O: Send>(
     });
 }
 
-/// Fleet-level counters.
-#[derive(Debug, Clone, Copy, Default)]
+/// Fleet-level counters. Serializable: the tick counter drives the
+/// balance cadence, so a restored fleet must resume from the
+/// checkpointed counts.
+#[derive(Debug, Clone, Copy, Default, serde::Serialize, serde::Deserialize)]
 pub struct FleetStats {
     pub ticks: u64,
     pub balance_rounds: u64,
@@ -407,10 +412,17 @@ impl FleetController {
                     Some(to) => {
                         // Phase 2 — transfer: evict (frees capacity on
                         // the donor) then admit (telemetry travels; the
-                        // receiver replans membership next tick).
+                        // receiver replans membership next tick). The
+                        // telemetry crosses as transport-ready bytes —
+                        // the same checksummed encoding an RPC boundary
+                        // would ship — so the wire format is exercised on
+                        // every live handoff, not only in tests.
                         let handoff = self.shards[donor]
                             .evict(&tenant)
                             .expect("candidate listed by donor summary");
+                        let (wire, source) = handoff.into_wire();
+                        let handoff = TenantHandoff::from_wire(&wire, source)
+                            .expect("round-trip of a freshly encoded handoff frame");
                         self.shards[to].admit(handoff);
                         self.map.assign(&tenant, to);
                         moves_left -= 1;
@@ -439,6 +451,152 @@ impl FleetController {
         }
         self.handoff_log.extend(records.iter().cloned());
         records
+    }
+
+    // ----- checkpoint / restore -----
+
+    /// The whole control plane's state as one serializable snapshot:
+    /// every shard's [`kairos_controller::ShardSnapshot`] plus the shard
+    /// map, the balancer's cooldown memory, the handoff audit log and
+    /// fleet counters. Take it between ticks — everything in the image is
+    /// then mutually consistent.
+    ///
+    /// The handoff log is persisted as its most recent
+    /// [`crate::snapshot::HANDOFF_LOG_CHECKPOINT_CAP`] records: the log
+    /// is observability, not resume state (only stats and cooldowns feed
+    /// decisions), so checkpoint size must track *current* fleet state,
+    /// not total handoffs ever performed.
+    pub fn snapshot(&self) -> FleetSnapshot {
+        let log_tail = self
+            .handoff_log
+            .len()
+            .saturating_sub(crate::snapshot::HANDOFF_LOG_CHECKPOINT_CAP);
+        FleetSnapshot {
+            shards: self.shards.iter().map(|s| s.snapshot()).collect(),
+            map: self
+                .map
+                .entries()
+                .map(|(t, s)| (t.to_string(), s))
+                .collect(),
+            anti_affinity: self.anti_affinity.clone(),
+            handoff_log: self.handoff_log[log_tail..].to_vec(),
+            probe_cooldown: self.probe_cooldown.clone(),
+            stats: self.stats,
+        }
+    }
+
+    /// Atomically persist [`FleetController::snapshot`] at `path` as a
+    /// versioned, CRC-trailed `kairos-store` frame (temp-file-then-rename:
+    /// a crash mid-write leaves the previous complete checkpoint).
+    pub fn checkpoint(&self, path: &Path) -> Result<(), StoreError> {
+        kairos_store::save(path, FLEET_SNAPSHOT_VERSION, &self.snapshot())
+    }
+
+    /// Rebuild a fleet from a checkpoint file written by
+    /// [`FleetController::checkpoint`], with default engines per shard.
+    /// Partial, truncated or bit-flipped files are rejected with a
+    /// [`StoreError`] — never a panic or a silent partial restore.
+    ///
+    /// Telemetry sources cannot be persisted; re-bind one per tenant with
+    /// [`FleetController::reattach`] before ticking
+    /// ([`FleetController::missing_sources`] lists the remainder).
+    pub fn resume_from(cfg: FleetConfig, path: &Path) -> Result<FleetController, StoreError> {
+        let snapshot: FleetSnapshot = kairos_store::load(path, FLEET_SNAPSHOT_VERSION)?;
+        let engines = (0..cfg.shards)
+            .map(|_| ConsolidationEngine::builder().build())
+            .collect();
+        FleetController::resume_with_engines(cfg, engines, snapshot)
+    }
+
+    /// [`FleetController::resume_from`] with pre-built per-shard engines
+    /// and an already-loaded snapshot. Validates the cross-shard
+    /// invariants — the map and the shards' telemetry must describe the
+    /// same partition of tenants — before adopting any state.
+    ///
+    /// # Panics
+    /// Panics unless `engines.len() == cfg.shards` (same contract as
+    /// [`FleetController::with_engines`]).
+    pub fn resume_with_engines(
+        cfg: FleetConfig,
+        engines: Vec<ConsolidationEngine>,
+        snapshot: FleetSnapshot,
+    ) -> Result<FleetController, StoreError> {
+        assert_eq!(engines.len(), cfg.shards, "one engine per shard");
+        if cfg.shards != snapshot.shards.len() {
+            return Err(StoreError::Inconsistent(format!(
+                "config has {} shards but the snapshot has {}",
+                cfg.shards,
+                snapshot.shards.len()
+            )));
+        }
+        let mut map = ShardMap::new(cfg.shards);
+        for (tenant, shard) in &snapshot.map {
+            if *shard >= cfg.shards {
+                return Err(StoreError::Inconsistent(format!(
+                    "tenant {tenant} mapped to out-of-range shard {shard}"
+                )));
+            }
+            map.assign(tenant, *shard);
+        }
+        // The map and the shards must partition the same tenant set.
+        for (idx, shard_snap) in snapshot.shards.iter().enumerate() {
+            for (name, _) in &shard_snap.telemetry {
+                if map.shard_of(name) != Some(idx) {
+                    return Err(StoreError::Inconsistent(format!(
+                        "shard {idx} holds telemetry for {name}, which the map routes to {:?}",
+                        map.shard_of(name)
+                    )));
+                }
+            }
+        }
+        let held: usize = snapshot.shards.iter().map(|s| s.telemetry.len()).sum();
+        if held != map.len() {
+            return Err(StoreError::Inconsistent(format!(
+                "map routes {} tenants but shards hold {held}",
+                map.len()
+            )));
+        }
+        let mut shards = Vec::with_capacity(cfg.shards);
+        for (engine, shard_snap) in engines.into_iter().zip(snapshot.shards) {
+            let shard = ShardController::restore(cfg.shard, engine, shard_snap)
+                .map_err(|e| StoreError::Inconsistent(e.to_string()))?;
+            shards.push(shard);
+        }
+        Ok(FleetController {
+            cfg,
+            shards,
+            map,
+            anti_affinity: snapshot.anti_affinity,
+            handoff_log: snapshot.handoff_log,
+            probe_cooldown: snapshot.probe_cooldown,
+            stats: snapshot.stats,
+        })
+    }
+
+    /// Re-bind a live telemetry source to a restored tenant, routed to
+    /// whichever shard the restored map assigns it. Unlike
+    /// [`FleetController::add_workload`] this triggers no membership
+    /// re-plan — the tenant never left the fleet, only the process died.
+    pub fn reattach(&mut self, source: Box<dyn TelemetrySource>) -> Result<(), StoreError> {
+        let name = source.name().to_string();
+        let Some(shard) = self.map.shard_of(&name) else {
+            return Err(StoreError::Inconsistent(format!(
+                "reattach: {name} is not in the restored shard map"
+            )));
+        };
+        self.shards[shard]
+            .attach_source(source)
+            .map_err(|e| StoreError::Inconsistent(e.to_string()))
+    }
+
+    /// Tenants still waiting for [`FleetController::reattach`] after a
+    /// resume. Tick only once this is empty: a tenant without a source is
+    /// not polled, so its rolling window would silently stall.
+    pub fn missing_sources(&self) -> Vec<String> {
+        self.shards
+            .iter()
+            .flat_map(|s| s.detached_workloads())
+            .collect()
     }
 
     /// Global audit: build one problem over every tenant's forecast,

@@ -23,7 +23,7 @@
 //! [`ShardController::can_admit`]: kairos_controller::ShardController::can_admit
 
 /// How one proposed handoff ended.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum HandoffOutcome {
     /// Reservation granted; tenant evicted from the source and admitted
     /// by the destination.
@@ -33,8 +33,10 @@ pub enum HandoffOutcome {
     NoReceiver,
 }
 
-/// One proposed cross-shard move.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// One proposed cross-shard move. Serializable: the fleet checkpoint
+/// carries the audit trail, so a restored controller's handoff history
+/// matches the crashed one's.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct HandoffRecord {
     pub tenant: String,
     pub from: usize,

@@ -39,6 +39,7 @@ pub mod balancer;
 pub mod fleet;
 pub mod handoff;
 pub mod shardmap;
+pub mod snapshot;
 
 pub use balancer::{candidate_order, donor_order, is_overloaded, receiver_order, BalancerConfig};
 pub use fleet::{
@@ -46,6 +47,7 @@ pub use fleet::{
 };
 pub use handoff::{HandoffOutcome, HandoffRecord};
 pub use shardmap::ShardMap;
+pub use snapshot::{FleetSnapshot, FLEET_SNAPSHOT_VERSION};
 
 /// Convenience re-exports for examples and downstream users.
 pub mod prelude {

@@ -54,6 +54,12 @@ impl ShardMap {
         self.of.remove(tenant)
     }
 
+    /// All `(tenant, shard)` assignments in sorted tenant order — the
+    /// checkpointable image of the routing truth.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, usize)> {
+        self.of.iter().map(|(t, &s)| (t.as_str(), s))
+    }
+
     /// Tenants currently mapped to `shard`, sorted.
     pub fn tenants_of(&self, shard: usize) -> Vec<String> {
         self.of

@@ -1,0 +1,335 @@
+//! Checkpoint/restore correctness for the fleet control plane.
+//!
+//! Three properties, all on the workspace's seeded SplitMix64 harness
+//! (CI sweeps `KAIROS_TEST_SEED`):
+//!
+//! 1. **Resume equivalence** — a fleet checkpointed at a random mid-run
+//!    tick, "crashed", restored from the file and re-bound to
+//!    fast-forwarded telemetry sources finishes the run tick-for-tick
+//!    identically to an uninterrupted fleet: same outcomes, same handoff
+//!    log, same placements, bit-identical audit objectives, and zero
+//!    spurious re-solves.
+//! 2. **Byte identity** — restoring a checkpoint and snapshotting again
+//!    reproduces the original file byte-for-byte (the snapshot is a
+//!    fixed point, so nothing is lost or invented across a restore).
+//! 3. **Corruption rejection** — random truncations, bit flips and byte
+//!    zeroing of the checkpoint file always yield a clean error from
+//!    `resume_from`, never a panic or a partial restore.
+
+use kairos_controller::{ControllerConfig, SyntheticSource, TickOutcome};
+use kairos_fleet::{BalancerConfig, FleetConfig, FleetController};
+use kairos_types::{Bytes, SplitMix64};
+use kairos_workloads::RatePattern;
+use std::path::PathBuf;
+
+const SHARDS: usize = 2;
+const TENANTS_PER_SHARD: usize = 5;
+const TICKS: u64 = 60;
+
+fn config() -> FleetConfig {
+    FleetConfig {
+        shards: SHARDS,
+        shard: ControllerConfig {
+            horizon: 8,
+            check_every: 4,
+            cooldown_ticks: 8,
+            ..ControllerConfig::default()
+        },
+        balancer: BalancerConfig {
+            machines_per_shard: 3,
+            balance_every: 5,
+            max_moves_per_round: 3,
+            ..BalancerConfig::default()
+        },
+        ..FleetConfig::default()
+    }
+}
+
+/// One tenant's deterministic generator parameters, so the "restarted
+/// process" can rebuild the exact same source and fast-forward it.
+#[derive(Clone)]
+struct TenantSpec {
+    shard: usize,
+    name: String,
+    replicas: u32,
+    base_tps: f64,
+    spike: Option<(u64, f64)>,
+}
+
+fn tenant_specs(rng: &mut SplitMix64) -> Vec<TenantSpec> {
+    let mut specs = Vec::new();
+    for shard in 0..SHARDS {
+        for i in 0..TENANTS_PER_SHARD {
+            let base_tps = rng.next_in(120.0, 300.0);
+            let spike_tps = rng.next_in(420.0, 640.0);
+            let spike_at = 18 + rng.next_range(18);
+            // Shard 0's t1 always spikes ~3x (so every seed exercises a
+            // drift re-solve and the equivalence check is never
+            // vacuous); the rest drift with probability 1/3.
+            let spikes = (shard == 0 && i == 1) || rng.next_range(3) == 0;
+            specs.push(TenantSpec {
+                shard,
+                name: format!("s{shard}-t{i}"),
+                replicas: if i == 0 { 2 } else { 1 },
+                base_tps,
+                spike: spikes.then_some((spike_at, spike_tps.max(3.0 * base_tps))),
+            });
+        }
+    }
+    specs
+}
+
+fn make_source(spec: &TenantSpec) -> SyntheticSource {
+    let src = SyntheticSource::new(
+        spec.name.clone(),
+        300.0,
+        Bytes::gib(4),
+        RatePattern::Flat { tps: spec.base_tps },
+    );
+    match spec.spike {
+        Some((at, tps)) => src.then_at(at, RatePattern::Flat { tps }),
+        None => src,
+    }
+}
+
+fn build_fleet(specs: &[TenantSpec]) -> FleetController {
+    let mut fleet = FleetController::new(config());
+    for spec in specs {
+        let src = Box::new(make_source(spec));
+        if spec.replicas > 1 {
+            fleet.add_workload_with_replicas(spec.shard, src, spec.replicas);
+        } else {
+            fleet.add_workload_to(spec.shard, src);
+        }
+    }
+    for shard in 0..SHARDS {
+        fleet.add_anti_affinity(&format!("s{shard}-t1"), &format!("s{shard}-t2"));
+    }
+    fleet
+}
+
+/// Canonical wall-clock-free signature of one tick (solver wall time
+/// legitimately differs between the two processes).
+fn outcome_sig(o: &TickOutcome) -> String {
+    match o {
+        TickOutcome::Bootstrapping => "boot".into(),
+        TickOutcome::Idle => "idle".into(),
+        TickOutcome::Stable => "stable".into(),
+        TickOutcome::InitialPlan { machines, .. } => format!("init:m{machines}"),
+        TickOutcome::Replanned(r) => format!(
+            "replan:{:?}:feasible={}:moves={}:churn={:016x}:m{}",
+            r.reason,
+            r.feasible,
+            r.moves,
+            r.churn.to_bits(),
+            r.machines,
+        ),
+    }
+}
+
+fn tick_sig(fleet: &mut FleetController) -> String {
+    let report = fleet.tick();
+    let outcomes: Vec<String> = report.outcomes.iter().map(outcome_sig).collect();
+    format!("{outcomes:?} handoffs={:?}", report.handoffs)
+}
+
+fn audit_bits(fleet: &FleetController) -> Vec<Option<(u64, u64)>> {
+    fleet
+        .audit()
+        .per_shard
+        .iter()
+        .map(|e| {
+            e.as_ref()
+                .map(|e| (e.objective.to_bits(), e.violation.to_bits()))
+        })
+        .collect()
+}
+
+fn total_resolves(fleet: &FleetController) -> u64 {
+    fleet.shards().iter().map(|s| s.stats().resolves).sum()
+}
+
+fn temp_ckpt(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("kairos-ckpt-{}-{tag}.ksnp", std::process::id()))
+}
+
+#[test]
+fn restored_fleet_matches_uninterrupted_run() {
+    let mut rng = SplitMix64::from_env(0xC8EC_4901);
+    let specs = tenant_specs(&mut rng);
+    // Crash somewhere between bootstrap and the end of the run.
+    let crash_at = 16 + rng.next_range(TICKS - 16 - 8);
+    let path = temp_ckpt("equivalence");
+
+    // Uninterrupted reference run.
+    let mut reference = build_fleet(&specs);
+    let mut reference_sigs = Vec::new();
+    for _ in 0..TICKS {
+        reference_sigs.push(tick_sig(&mut reference));
+    }
+    assert!(
+        total_resolves(&reference) > 0,
+        "drift too weak: equivalence would be vacuous"
+    );
+
+    // Interrupted run: tick to the crash point, checkpoint, "crash".
+    let mut doomed = build_fleet(&specs);
+    for (tick, expected) in reference_sigs.iter().enumerate().take(crash_at as usize) {
+        let sig = tick_sig(&mut doomed);
+        assert_eq!(&sig, expected, "pre-crash divergence at tick {tick}");
+    }
+    doomed.checkpoint(&path).expect("checkpoint writes");
+    let resolves_at_crash = total_resolves(&doomed);
+    drop(doomed); // the crash
+
+    // Restart: restore from the file, re-bind fast-forwarded sources.
+    let mut restored = FleetController::resume_from(config(), &path).expect("clean file restores");
+    assert_eq!(restored.stats().ticks, crash_at);
+    let mut missing = restored.missing_sources();
+    missing.sort();
+    let mut expected: Vec<String> = specs.iter().map(|s| s.name.clone()).collect();
+    expected.sort();
+    assert_eq!(missing, expected, "every tenant needs a re-bound source");
+    for spec in &specs {
+        let src = make_source(spec).fast_forward(crash_at);
+        restored.reattach(Box::new(src)).expect("known tenant");
+    }
+    assert!(restored.missing_sources().is_empty());
+
+    // The resumed fleet must finish the run exactly like the reference.
+    for (tick, expected) in reference_sigs.iter().enumerate().skip(crash_at as usize) {
+        let sig = tick_sig(&mut restored);
+        assert_eq!(
+            &sig, expected,
+            "post-restore divergence at tick {tick} (crash was at {crash_at})"
+        );
+    }
+
+    // Same final placements, routing, audit (bit-for-bit) and handoffs.
+    assert_eq!(restored.handoffs(), reference.handoffs());
+    for (a, b) in restored.shards().iter().zip(reference.shards()) {
+        assert_eq!(a.workloads(), b.workloads());
+        assert_eq!(a.placement(), b.placement());
+    }
+    assert_eq!(audit_bits(&restored), audit_bits(&reference));
+    // Zero spurious re-solves: the restored run spends exactly the
+    // re-solves the uninterrupted run spends, no bootstrap repeats, no
+    // flat-envelope replans.
+    assert_eq!(total_resolves(&restored), total_resolves(&reference));
+    assert!(total_resolves(&restored) >= resolves_at_crash);
+
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn checkpoint_is_a_fixed_point_of_restore() {
+    let mut rng = SplitMix64::from_env(0xC8EC_4902);
+    let specs = tenant_specs(&mut rng);
+    let path = temp_ckpt("fixed-point");
+
+    let mut fleet = build_fleet(&specs);
+    for _ in 0..30 {
+        fleet.tick();
+    }
+    fleet.checkpoint(&path).expect("checkpoint writes");
+    let original = std::fs::read(&path).expect("file exists");
+
+    let restored = FleetController::resume_from(config(), &path).expect("restores");
+    let re_encoded =
+        kairos_store::encode_frame(kairos_fleet::FLEET_SNAPSHOT_VERSION, &restored.snapshot());
+    assert_eq!(
+        original, re_encoded,
+        "restore → snapshot must reproduce the checkpoint byte-for-byte"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn corrupted_checkpoints_are_rejected_cleanly() {
+    let mut rng = SplitMix64::from_env(0xC8EC_4903);
+    let specs = tenant_specs(&mut rng);
+    let path = temp_ckpt("corruption");
+
+    let mut fleet = build_fleet(&specs);
+    for _ in 0..24 {
+        fleet.tick();
+    }
+    fleet.checkpoint(&path).expect("checkpoint writes");
+    let clean = std::fs::read(&path).expect("file exists");
+
+    for round in 0..60 {
+        let mutated = match rng.next_range(3) {
+            0 => {
+                let cut = rng.next_range(clean.len() as u64) as usize;
+                clean[..cut].to_vec()
+            }
+            1 => {
+                let mut bad = clean.clone();
+                let byte = rng.next_range(bad.len() as u64) as usize;
+                bad[byte] ^= 1 << rng.next_range(8);
+                bad
+            }
+            _ => {
+                let mut bad = clean.clone();
+                let byte = rng.next_range(bad.len() as u64) as usize;
+                bad[byte] = if bad[byte] == 0 { 0xFF } else { 0 };
+                bad
+            }
+        };
+        std::fs::write(&path, &mutated).expect("write mutated file");
+        let r = FleetController::resume_from(config(), &path);
+        assert!(
+            r.is_err(),
+            "round {round}: corrupted checkpoint must be rejected, not restored"
+        );
+    }
+
+    // The pristine bytes still restore after all that.
+    std::fs::write(&path, &clean).expect("write clean file");
+    assert!(FleetController::resume_from(config(), &path).is_ok());
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn resume_rejects_mismatched_shard_count() {
+    let mut rng = SplitMix64::from_env(0xC8EC_4904);
+    let specs = tenant_specs(&mut rng);
+    let path = temp_ckpt("mismatch");
+
+    let mut fleet = build_fleet(&specs);
+    for _ in 0..20 {
+        fleet.tick();
+    }
+    fleet.checkpoint(&path).expect("checkpoint writes");
+
+    let mut wrong = config();
+    wrong.shards = SHARDS + 1;
+    match FleetController::resume_from(wrong, &path) {
+        Err(kairos_store::StoreError::Inconsistent(_)) => {}
+        Err(other) => panic!("expected Inconsistent, got {other:?}"),
+        Ok(_) => panic!("mismatched shard count must not restore"),
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn reattach_rejects_unknown_tenants() {
+    let mut rng = SplitMix64::from_env(0xC8EC_4905);
+    let specs = tenant_specs(&mut rng);
+    let path = temp_ckpt("reattach");
+
+    let mut fleet = build_fleet(&specs);
+    for _ in 0..20 {
+        fleet.tick();
+    }
+    fleet.checkpoint(&path).expect("checkpoint writes");
+    let mut restored = FleetController::resume_from(config(), &path).expect("restores");
+    let ghost = SyntheticSource::new(
+        "ghost".to_string(),
+        300.0,
+        Bytes::gib(4),
+        RatePattern::Flat { tps: 100.0 },
+    );
+    assert!(restored.reattach(Box::new(ghost)).is_err());
+    let _ = std::fs::remove_file(&path);
+}

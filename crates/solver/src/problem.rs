@@ -46,7 +46,12 @@ impl DiskCombiner for LinearDiskCombiner {
 
 /// One workload's resource needs over the planning horizon. All series
 /// share the problem's window count (shorter series read as zero).
-#[derive(Debug, Clone)]
+///
+/// Serializable: specs are the *inputs* half of a problem snapshot
+/// (machine class, headroom and the disk combiner come from the engine
+/// that rebuilds the problem), so a checkpointed control plane can
+/// re-construct bit-identical solves after a restart.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct WorkloadSpec {
     pub name: String,
     /// CPU per window, standardized cores.

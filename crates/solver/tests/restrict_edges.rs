@@ -1,0 +1,132 @@
+//! Edge-case coverage for [`ConsolidationProblem::restrict`] — the
+//! operation the fleet audit leans on every tick. Previously only
+//! exercised indirectly through `FleetController::audit()`; these tests
+//! pin the contract down directly: the degenerate shard shapes a real
+//! fleet produces (single-tenant shards, one shard owning everything)
+//! must restrict to sub-problems that evaluate *identically* to the
+//! global problem, and the impossible shape (an empty shard) must be
+//! rejected loudly.
+
+use kairos_solver::{
+    evaluate, Assignment, ConsolidationProblem, LinearDiskCombiner, TargetMachine, WorkloadSpec,
+};
+use std::sync::Arc;
+
+fn fleet_problem() -> ConsolidationProblem {
+    let mut w = vec![
+        WorkloadSpec::flat("a", 6, 1.0, 1e9, 5e8, 100.0),
+        WorkloadSpec::flat("b", 6, 2.0, 2e9, 5e8, 200.0),
+        WorkloadSpec::flat("c", 6, 3.0, 3e9, 5e8, 300.0),
+        WorkloadSpec::flat("d", 6, 4.0, 4e9, 5e8, 400.0),
+    ];
+    w[1].replicas = 2; // slots: a=0, b=1,2, c=3, d=4
+    ConsolidationProblem::new(
+        w,
+        TargetMachine::paper_target(),
+        4,
+        Arc::new(LinearDiskCombiner::default()),
+    )
+    .with_anti_affinity(vec![(0, 2), (1, 3)])
+    .with_migration(vec![Some(0), Some(1), Some(2), Some(1), None], 0.25)
+}
+
+#[test]
+#[should_panic(expected = "at least one workload")]
+fn empty_shard_is_rejected() {
+    // A shard with no tenants has nothing to restrict to; the audit
+    // skips such shards, and restrict() must refuse rather than build a
+    // zero-workload problem (which the solver cannot represent).
+    fleet_problem().restrict(&[]);
+}
+
+#[test]
+fn single_tenant_shard_restricts_to_self_consistent_problem() {
+    let global = fleet_problem();
+    // Shard holding only "b" (2 replicas): both slots survive, the
+    // replica anti-affinity is implicit, and the named pairs (which all
+    // cross the shard boundary) drop out.
+    let sub = global.restrict(&[1]);
+    assert_eq!(sub.workloads.len(), 1);
+    assert_eq!(sub.workloads[0].name, "b");
+    assert_eq!(sub.slots().len(), 2);
+    assert!(
+        sub.anti_affinity.is_empty(),
+        "cross-shard pairs are trivially satisfied and must be dropped"
+    );
+    // The migration baseline re-slices to b's two slots.
+    let m = sub.migration.as_ref().expect("migration survives");
+    assert_eq!(m.baseline, vec![Some(1), Some(2)]);
+    // Replicas on distinct machines evaluate feasible; co-located
+    // replicas violate the implicit anti-affinity.
+    let apart = evaluate(&sub, &Assignment::new(vec![0, 1]));
+    assert!(apart.feasible);
+    let together = evaluate(&sub, &Assignment::new(vec![0, 0]));
+    assert!(!together.feasible, "replica co-location must be infeasible");
+}
+
+#[test]
+fn single_tenant_shard_keeps_windows_and_capacities() {
+    let global = fleet_problem();
+    let sub = global.restrict(&[3]);
+    // The sub-problem judges placements under the same horizon and
+    // machine class as the global problem — restriction changes *which*
+    // workloads exist, nothing about the world they are placed into.
+    assert_eq!(sub.windows, global.windows);
+    assert_eq!(sub.max_machines, global.max_machines);
+    assert_eq!(sub.headroom, global.headroom);
+    let e = evaluate(&sub, &Assignment::new(vec![0]));
+    assert!(e.feasible);
+    assert_eq!(e.machines_used, 1);
+}
+
+#[test]
+fn all_tenants_on_one_shard_is_the_identity() {
+    let global = fleet_problem();
+    let sub = global.restrict(&[0, 1, 2, 3]);
+    assert_eq!(sub.workloads.len(), global.workloads.len());
+    assert_eq!(sub.slots(), global.slots());
+    assert_eq!(sub.anti_affinity, global.anti_affinity);
+    assert_eq!(
+        sub.migration.as_ref().expect("survives").baseline,
+        global.migration.as_ref().expect("present").baseline
+    );
+    // Bit-identical evaluation on the same assignment: the audit's
+    // one-shard degenerate case must agree with the global judgment.
+    let assignment = Assignment::new(vec![0, 1, 2, 0, 3]);
+    let e_sub = evaluate(&sub, &assignment);
+    let e_global = evaluate(&global, &assignment);
+    assert_eq!(e_sub.objective.to_bits(), e_global.objective.to_bits());
+    assert_eq!(e_sub.feasible, e_global.feasible);
+    assert_eq!(e_sub.machines_used, e_global.machines_used);
+}
+
+#[test]
+fn reordered_keep_permutes_workloads() {
+    let global = fleet_problem();
+    // The audit builds `keep` in shard order; restrict must honor the
+    // given order (the caller matches slots back by position).
+    let sub = global.restrict(&[2, 0]);
+    assert_eq!(sub.workloads[0].name, "c");
+    assert_eq!(sub.workloads[1].name, "a");
+    // The surviving (a, c) pair is remapped to the permuted indices.
+    assert_eq!(sub.anti_affinity, vec![(1, 0)]);
+}
+
+#[test]
+fn workload_spec_roundtrips_through_codec() {
+    // Problem snapshot inputs: a spec encodes and decodes bit-exactly
+    // (series values compared at the bit level).
+    let mut spec = WorkloadSpec::flat("w", 5, 1.25, 2e9, 7.5e8, 321.5);
+    spec.replicas = 3;
+    spec.pinned = Some(2);
+    let bytes = serde::to_bytes(&spec);
+    let back: WorkloadSpec = serde::from_bytes(&bytes).expect("decodes");
+    assert_eq!(back.name, spec.name);
+    assert_eq!(back.replicas, spec.replicas);
+    assert_eq!(back.pinned, spec.pinned);
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(bits(&back.cpu), bits(&spec.cpu));
+    assert_eq!(bits(&back.ram), bits(&spec.ram));
+    assert_eq!(bits(&back.ws), bits(&spec.ws));
+    assert_eq!(bits(&back.rate), bits(&spec.rate));
+}

@@ -1,0 +1,321 @@
+//! # kairos-store — durable snapshots for the control plane
+//!
+//! The fleet's planning horizon lives in rolling in-memory telemetry
+//! (`kairos_traces::Rrd`); a controller crash used to erase it and force
+//! conservative flat-envelope replanning. This crate is the persistence
+//! contract between the monitoring and management layers: a small,
+//! versioned, checksummed binary *frame* around the workspace codec
+//! (`shims/serde`), plus atomic file save/load.
+//!
+//! ## Frame layout
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"KSNP"
+//! 4       4     format version (u32 LE, per snapshot kind)
+//! 8       8     payload length (u64 LE)
+//! 16      n     payload (shims/serde wire format)
+//! 16+n    4     CRC-32 (IEEE, u32 LE) over bytes [0, 16+n)
+//! ```
+//!
+//! ## Guarantees
+//!
+//! * **Atomicity** — [`save`] writes `<path>.tmp`, fsyncs, then renames
+//!   over `<path>`: a crash mid-checkpoint leaves the previous complete
+//!   snapshot (or nothing), never a torn file at the final path.
+//! * **Corruption rejection** — [`load`]/[`decode_frame`] verify magic,
+//!   version, length and CRC before any payload decoding, and the codec
+//!   itself bounds-checks every read: truncated or bit-flipped snapshots
+//!   yield a clean [`StoreError`], never a panic or a silent partial
+//!   restore.
+//! * **Versioning** — each snapshot kind carries its own format version;
+//!   a mismatch is an explicit [`StoreError::UnsupportedVersion`], the
+//!   hook for future migration logic.
+
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+/// File magic for every kairos snapshot frame.
+pub const MAGIC: [u8; 4] = *b"KSNP";
+
+/// Frame header length (magic + version + payload length).
+const HEADER_LEN: usize = 16;
+
+/// CRC trailer length.
+const TRAILER_LEN: usize = 4;
+
+/// Why a snapshot could not be written or read back.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure (open/write/rename/read).
+    Io(std::io::Error),
+    /// The file does not start with [`MAGIC`] — not a kairos snapshot.
+    BadMagic,
+    /// Snapshot was written by an incompatible format version.
+    UnsupportedVersion { found: u32, expected: u32 },
+    /// Shorter than a complete frame, or payload length disagrees with
+    /// the file size — a torn or truncated write.
+    Truncated,
+    /// CRC trailer does not match the frame contents — bit rot or a
+    /// partial overwrite.
+    ChecksumMismatch,
+    /// The payload failed to decode despite a valid checksum (wrong
+    /// snapshot kind, or an encoder/decoder bug).
+    Corrupt(serde::Error),
+    /// The decoded snapshot is internally inconsistent (e.g. a routing
+    /// entry referencing a shard that is not in the snapshot).
+    Inconsistent(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            StoreError::BadMagic => write!(f, "not a kairos snapshot (bad magic)"),
+            StoreError::UnsupportedVersion { found, expected } => {
+                write!(
+                    f,
+                    "unsupported snapshot version {found} (expected {expected})"
+                )
+            }
+            StoreError::Truncated => write!(f, "snapshot truncated or torn"),
+            StoreError::ChecksumMismatch => write!(f, "snapshot checksum mismatch"),
+            StoreError::Corrupt(e) => write!(f, "snapshot payload corrupt: {e}"),
+            StoreError::Inconsistent(why) => write!(f, "snapshot inconsistent: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> StoreError {
+        StoreError::Io(e)
+    }
+}
+
+impl From<serde::Error> for StoreError {
+    fn from(e: serde::Error) -> StoreError {
+        StoreError::Corrupt(e)
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) lookup table,
+/// built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+/// Encode `value` into a complete frame (header + payload + CRC trailer).
+pub fn encode_frame<T: Serialize + ?Sized>(version: u32, value: &T) -> Vec<u8> {
+    let payload = serde::to_bytes(value);
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + TRAILER_LEN);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&version.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&payload);
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Validate a frame (magic, version, length, CRC) and decode its payload.
+pub fn decode_frame<T: Deserialize>(bytes: &[u8], expected_version: u32) -> Result<T, StoreError> {
+    if bytes.len() < HEADER_LEN + TRAILER_LEN {
+        return Err(StoreError::Truncated);
+    }
+    if bytes[..4] != MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("sized slice"));
+    if version != expected_version {
+        return Err(StoreError::UnsupportedVersion {
+            found: version,
+            expected: expected_version,
+        });
+    }
+    let payload_len = u64::from_le_bytes(bytes[8..16].try_into().expect("sized slice"));
+    let expected_total = (HEADER_LEN as u64)
+        .checked_add(payload_len)
+        .and_then(|n| n.checked_add(TRAILER_LEN as u64));
+    if expected_total != Some(bytes.len() as u64) {
+        return Err(StoreError::Truncated);
+    }
+    let body_end = bytes.len() - TRAILER_LEN;
+    let stored_crc = u32::from_le_bytes(bytes[body_end..].try_into().expect("sized slice"));
+    if crc32(&bytes[..body_end]) != stored_crc {
+        return Err(StoreError::ChecksumMismatch);
+    }
+    Ok(serde::from_bytes(&bytes[HEADER_LEN..body_end])?)
+}
+
+/// Atomically write `value` as a framed snapshot at `path`:
+/// temp-file-then-rename, with an fsync in between, so the final path
+/// only ever holds a complete frame.
+pub fn save<T: Serialize + ?Sized>(path: &Path, version: u32, value: &T) -> Result<(), StoreError> {
+    let frame = encode_frame(version, value);
+    let tmp = tmp_path(path);
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(&frame)?;
+        f.sync_all()?;
+    }
+    if let Err(e) = fs::rename(&tmp, path) {
+        let _ = fs::remove_file(&tmp);
+        return Err(e.into());
+    }
+    // Durability of the rename itself: fsync the parent directory so the
+    // new directory entry survives a power loss. Without this, a crash
+    // shortly after `save` returns can roll the path back to the
+    // *previous* checkpoint even though the caller was told this one
+    // persisted.
+    #[cfg(unix)]
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        fs::File::open(dir)?.sync_all()?;
+    }
+    Ok(())
+}
+
+/// Load and validate a framed snapshot from `path`. Partial, truncated
+/// or bit-flipped files are rejected with a [`StoreError`]; the decode
+/// itself never panics.
+pub fn load<T: Deserialize>(path: &Path, expected_version: u32) -> Result<T, StoreError> {
+    let bytes = fs::read(path)?;
+    decode_frame(&bytes, expected_version)
+}
+
+fn tmp_path(path: &Path) -> std::path::PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The classic IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF43926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let value = (String::from("tenant"), vec![1.5f64, -2.25], 42u64);
+        let frame = encode_frame(3, &value);
+        let back: (String, Vec<f64>, u64) = decode_frame(&frame, 3).expect("valid frame");
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let frame = encode_frame(2, &7u64);
+        match decode_frame::<u64>(&frame, 3) {
+            Err(StoreError::UnsupportedVersion {
+                found: 2,
+                expected: 3,
+            }) => {}
+            other => panic!("expected version error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut frame = encode_frame(1, &7u64);
+        frame[0] = b'X';
+        assert!(matches!(
+            decode_frame::<u64>(&frame, 1),
+            Err(StoreError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn every_truncation_point_rejected() {
+        let frame = encode_frame(1, &vec![3u64, 1, 4, 1, 5]);
+        for cut in 0..frame.len() {
+            let r = decode_frame::<Vec<u64>>(&frame[..cut], 1);
+            assert!(r.is_err(), "truncation at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_rejected() {
+        let frame = encode_frame(1, &(String::from("abc"), 9u32));
+        for byte in 0..frame.len() {
+            for bit in 0..8 {
+                let mut bad = frame.clone();
+                bad[byte] ^= 1 << bit;
+                let r = decode_frame::<(String, u32)>(&bad, 1);
+                assert!(r.is_err(), "bit flip at {byte}:{bit} must fail");
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut frame = encode_frame(1, &1u8);
+        frame.push(0);
+        assert!(matches!(
+            decode_frame::<u8>(&frame, 1),
+            Err(StoreError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn save_then_load_roundtrips_and_leaves_no_temp() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("kairos-store-test-{}.ksnp", std::process::id()));
+        let value = vec![(String::from("a"), 1u64), (String::from("b"), 2u64)];
+        save(&path, 5, &value).expect("save");
+        assert!(!tmp_path(&path).exists(), "temp file must be renamed away");
+        let back: Vec<(String, u64)> = load(&path, 5).expect("load");
+        assert_eq!(back, value);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn save_overwrites_atomically() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!(
+            "kairos-store-overwrite-{}.ksnp",
+            std::process::id()
+        ));
+        save(&path, 1, &1u64).expect("first save");
+        save(&path, 1, &2u64).expect("second save");
+        let back: u64 = load(&path, 1).expect("load");
+        assert_eq!(back, 2);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -13,6 +13,7 @@
 //! newly admitted tenant contributes only to the recent suffix).
 
 use kairos_types::TimeSeries;
+use serde::{Deserialize, Serialize};
 
 /// Element-wise sum of `series`, aligned at the most recent sample.
 ///
@@ -46,7 +47,7 @@ pub fn sum_tail_aligned_refs(series: &[&TimeSeries], fallback_interval: f64) -> 
 
 /// One shard's aggregate load over the rolling horizon: the four profile
 /// resources summed across its tenants, tail-aligned.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ShardAggregate {
     pub cpu_cores: TimeSeries,
     pub ram_bytes: TimeSeries,

@@ -11,10 +11,11 @@
 //! their consolidation functions.
 
 use kairos_types::TimeSeries;
+use serde::{Deserialize, Serialize};
 
 /// Consolidation function applied when folding base samples into a
 /// coarser archive bucket.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Consolidation {
     Average,
     Max,
@@ -23,14 +24,22 @@ pub enum Consolidation {
 
 /// Declares one archive: every `step` base samples become one stored
 /// point; the archive keeps the most recent `capacity` points.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct ArchiveSpec {
     pub step: usize,
     pub capacity: usize,
     pub cf: Consolidation,
 }
 
-#[derive(Debug, Clone)]
+impl ArchiveSpec {
+    /// The invariants [`Archive::new`] asserts, as a decode-time check
+    /// (restored snapshots must error, not panic, on nonsense specs).
+    fn valid(&self) -> bool {
+        self.step >= 1 && self.capacity >= 1
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct Archive {
     spec: ArchiveSpec,
     /// Ring of consolidated points (oldest first after unrolling).
@@ -82,11 +91,44 @@ fn initial_acc(cf: Consolidation) -> f64 {
 }
 
 /// The multi-archive store.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize)]
 pub struct Rrd {
     base_interval_secs: f64,
     archives: Vec<Archive>,
     samples_pushed: u64,
+}
+
+/// Decoding validates what [`Rrd::new`]/[`Archive::new`] would assert —
+/// a corrupt or hand-built byte stream must surface as an error, never
+/// as a store that panics on its first push.
+impl Deserialize for Rrd {
+    fn decode_from(input: &mut &[u8]) -> Result<Rrd, serde::Error> {
+        let base_interval_secs = f64::decode_from(input)?;
+        let archives = Vec::<Archive>::decode_from(input)?;
+        let samples_pushed = u64::decode_from(input)?;
+        if !(base_interval_secs.is_finite() && base_interval_secs > 0.0) {
+            return Err(serde::Error::msg("rrd: non-positive base interval"));
+        }
+        if archives.is_empty() {
+            return Err(serde::Error::msg("rrd: no archives"));
+        }
+        for a in &archives {
+            if !a.spec.valid() {
+                return Err(serde::Error::msg("rrd: invalid archive spec"));
+            }
+            if a.ring.len() > a.spec.capacity {
+                return Err(serde::Error::msg("rrd: archive ring exceeds capacity"));
+            }
+            if a.acc_n >= a.spec.step {
+                return Err(serde::Error::msg("rrd: archive accumulator past bucket"));
+            }
+        }
+        Ok(Rrd {
+            base_interval_secs,
+            archives,
+            samples_pushed,
+        })
+    }
 }
 
 impl Rrd {
@@ -139,6 +181,20 @@ impl Rrd {
 
     pub fn samples_pushed(&self) -> u64 {
         self.samples_pushed
+    }
+
+    /// Serialize the whole store — ring contents, in-flight accumulator
+    /// state and sample counter — to the workspace wire format. The
+    /// restored store continues exactly where this one stops:
+    /// `decode(encode(r))` then `push(v)` equals `r.push(v)`.
+    pub fn encode(&self) -> Vec<u8> {
+        serde::to_bytes(self)
+    }
+
+    /// Inverse of [`Rrd::encode`], with full validation: truncated or
+    /// invariant-breaking bytes yield an error, never a panicking store.
+    pub fn decode(bytes: &[u8]) -> Result<Rrd, serde::Error> {
+        serde::from_bytes(bytes)
     }
 
     /// Push one base-resolution sample into every archive.
@@ -347,6 +403,50 @@ mod tests {
         // Asking for more than held returns what exists.
         assert_eq!(rrd.rolling_window(99).values(), &[3.0, 4.0, 5.0, 6.0, 7.0]);
         assert_eq!(rrd.rolling_window(3).interval_secs(), 1.0);
+    }
+
+    #[test]
+    fn encode_decode_resumes_mid_bucket() {
+        // 5 samples into step-3 archives leaves a half-full accumulator;
+        // the restored store must finish that bucket identically.
+        let mut original = Rrd::new(
+            2.0,
+            vec![
+                avg_archive(1, 4),
+                ArchiveSpec {
+                    step: 3,
+                    capacity: 4,
+                    cf: Consolidation::Max,
+                },
+            ],
+        );
+        original.extend((0..5).map(|i| i as f64));
+        let mut restored = Rrd::decode(&original.encode()).expect("clean bytes decode");
+        assert_eq!(restored.samples_pushed(), original.samples_pushed());
+        for v in [9.0, 1.0, 7.0, 2.0] {
+            original.push(v);
+            restored.push(v);
+        }
+        for idx in 0..original.archives() {
+            assert_eq!(restored.series(idx).values(), original.series(idx).values());
+        }
+        // Byte-level determinism: same state, same encoding.
+        assert_eq!(restored.encode(), original.encode());
+    }
+
+    #[test]
+    fn decode_rejects_corrupt_invariants() {
+        let mut rrd = Rrd::new(1.0, vec![avg_archive(2, 3)]);
+        rrd.extend([1.0, 2.0, 3.0]);
+        let bytes = rrd.encode();
+        // Truncations at every byte boundary fail cleanly.
+        for cut in 0..bytes.len() {
+            assert!(Rrd::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        // A zero-length interval violates the constructor invariant.
+        let mut bad = bytes.clone();
+        bad[..8].copy_from_slice(&0.0f64.to_bits().to_le_bytes());
+        assert!(Rrd::decode(&bad).is_err(), "zero interval must be rejected");
     }
 
     #[test]

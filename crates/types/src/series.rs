@@ -9,12 +9,31 @@
 use serde::{Deserialize, Serialize};
 
 /// A uniformly-sampled series of `f64` values.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct TimeSeries {
     /// Sampling interval in seconds (e.g. 300 for the paper's 5-minute
     /// windows over 24 hours).
     interval_secs: f64,
     values: Vec<f64>,
+}
+
+/// Decoding re-checks what [`TimeSeries::new`] asserts: a snapshot (or
+/// hand-built byte stream) carrying a non-positive or non-finite
+/// interval must surface as a decode error at load time, not as a panic
+/// the first time downstream code re-wraps the interval through
+/// [`TimeSeries::new`].
+impl Deserialize for TimeSeries {
+    fn decode_from(input: &mut &[u8]) -> Result<TimeSeries, serde::Error> {
+        let interval_secs = f64::decode_from(input)?;
+        let values = Vec::<f64>::decode_from(input)?;
+        if !(interval_secs.is_finite() && interval_secs > 0.0) {
+            return Err(serde::Error::msg("time series: non-positive interval"));
+        }
+        Ok(TimeSeries {
+            interval_secs,
+            values,
+        })
+    }
 }
 
 impl TimeSeries {

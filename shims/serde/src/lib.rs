@@ -1,18 +1,398 @@
-//! Offline stand-in for `serde`.
+//! Offline stand-in for `serde` — now a real (if small) binary codec.
 //!
-//! The build environment has no access to crates.io, so this workspace-local
-//! shim satisfies the `serde::Serialize` / `serde::Deserialize` derive
-//! annotations scattered through the data types. The traits are markers and
-//! the derives expand to empty impls: nothing in the workspace serializes
-//! through serde today (report JSON is hand-rendered). Swapping in the real
-//! serde later is a one-line Cargo change; the annotations are already
-//! correct.
+//! The build environment has no access to crates.io, so this
+//! workspace-local shim satisfies the `serde::Serialize` /
+//! `serde::Deserialize` derive annotations scattered through the data
+//! types. Until the checkpoint/restore work the traits were inert
+//! markers; they now define the workspace's canonical wire format, which
+//! `kairos-store` frames into versioned, checksummed snapshot files:
+//!
+//! * fixed-width little-endian integers (`u8`/`u16`/`u32`/`u64`; `usize`
+//!   travels as `u64`),
+//! * `f64` as its IEEE-754 bit pattern (bit-exact round-trips — restored
+//!   telemetry must reproduce solver objectives to the last bit),
+//! * `bool` and `Option` as one validated tag byte,
+//! * sequences (`Vec`, `VecDeque`, `String`, maps) as a `u64` length
+//!   followed by the elements,
+//! * structs as their fields in declaration order, enums as a `u32`
+//!   variant index plus the payload (see `serde_derive_shim`).
+//!
+//! Decoding never panics on malformed input: every length is bounds-
+//! checked against the remaining input before allocation, UTF-8 and tag
+//! bytes are validated, and errors surface as [`Error`]. Swapping in
+//! real serde later means re-deriving against it and re-encoding
+//! persisted state (the file format version in `kairos-store` gates
+//! that migration).
 
 pub use serde_derive_shim::{Deserialize, Serialize};
 
-/// Marker stand-in for `serde::Serialize`.
-pub trait Serialize {}
+use std::collections::{BTreeMap, VecDeque};
 
-/// Marker stand-in for `serde::Deserialize` (lifetime elided: no code in
-/// this workspace names the `'de` parameter).
-pub trait Deserialize {}
+/// Decode failure: what was being read and why it stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: &'static str,
+}
+
+impl Error {
+    pub fn msg(msg: &'static str) -> Error {
+        Error { msg }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "decode error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Encode to the shim's little-endian wire format.
+pub trait Serialize {
+    fn encode_to(&self, out: &mut Vec<u8>);
+}
+
+/// Decode from the shim's wire format, consuming from the front of
+/// `input`. Implementations must never panic on malformed bytes.
+pub trait Deserialize: Sized {
+    fn decode_from(input: &mut &[u8]) -> Result<Self, Error>;
+}
+
+/// Encode `value` into a fresh buffer.
+pub fn to_bytes<T: Serialize + ?Sized>(value: &T) -> Vec<u8> {
+    let mut out = Vec::new();
+    value.encode_to(&mut out);
+    out
+}
+
+/// Decode one `T` from `bytes`, requiring every byte to be consumed.
+pub fn from_bytes<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let mut input = bytes;
+    let value = T::decode_from(&mut input)?;
+    if !input.is_empty() {
+        return Err(Error::msg("trailing bytes after value"));
+    }
+    Ok(value)
+}
+
+/// Take `n` bytes off the front of `input`, or fail on truncation.
+fn take<'a>(input: &mut &'a [u8], n: usize) -> Result<&'a [u8], Error> {
+    if input.len() < n {
+        return Err(Error::msg("unexpected end of input"));
+    }
+    let (head, tail) = input.split_at(n);
+    *input = tail;
+    Ok(head)
+}
+
+/// Read a `u64` length prefix. The follow-on data costs at least one
+/// byte per element for every type in this workspace, so a length
+/// exceeding the remaining input is rejected *before* any allocation.
+fn decode_len(input: &mut &[u8]) -> Result<usize, Error> {
+    let n = u64::decode_from(input)?;
+    if n > input.len() as u64 {
+        return Err(Error::msg("length prefix exceeds remaining input"));
+    }
+    Ok(n as usize)
+}
+
+macro_rules! int_impl {
+    ($t:ty, $n:expr) => {
+        impl Serialize for $t {
+            fn encode_to(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+        }
+        impl Deserialize for $t {
+            fn decode_from(input: &mut &[u8]) -> Result<Self, Error> {
+                let raw = take(input, $n)?;
+                Ok(<$t>::from_le_bytes(raw.try_into().expect("sized take")))
+            }
+        }
+    };
+}
+
+int_impl!(u8, 1);
+int_impl!(u16, 2);
+int_impl!(u32, 4);
+int_impl!(u64, 8);
+int_impl!(i32, 4);
+int_impl!(i64, 8);
+
+impl Serialize for usize {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        (*self as u64).encode_to(out);
+    }
+}
+
+impl Deserialize for usize {
+    fn decode_from(input: &mut &[u8]) -> Result<Self, Error> {
+        let v = u64::decode_from(input)?;
+        usize::try_from(v).map_err(|_| Error::msg("usize out of range for this platform"))
+    }
+}
+
+impl Serialize for f64 {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_bits().to_le_bytes());
+    }
+}
+
+impl Deserialize for f64 {
+    fn decode_from(input: &mut &[u8]) -> Result<Self, Error> {
+        Ok(f64::from_bits(u64::decode_from(input)?))
+    }
+}
+
+impl Serialize for bool {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+}
+
+impl Deserialize for bool {
+    fn decode_from(input: &mut &[u8]) -> Result<Self, Error> {
+        match u8::decode_from(input)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(Error::msg("invalid bool tag")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode_to(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+}
+
+impl Deserialize for String {
+    fn decode_from(input: &mut &[u8]) -> Result<Self, Error> {
+        let n = decode_len(input)?;
+        let raw = take(input, n)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| Error::msg("invalid UTF-8 in string"))
+    }
+}
+
+impl Serialize for str {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode_to(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode_to(out);
+            }
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn decode_from(input: &mut &[u8]) -> Result<Self, Error> {
+        match u8::decode_from(input)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode_from(input)?)),
+            _ => Err(Error::msg("invalid option tag")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode_to(out);
+        for v in self {
+            v.encode_to(out);
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn decode_from(input: &mut &[u8]) -> Result<Self, Error> {
+        let n = decode_len(input)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(T::decode_from(input)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode_to(out);
+        for v in self {
+            v.encode_to(out);
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn decode_from(input: &mut &[u8]) -> Result<Self, Error> {
+        Ok(Vec::<T>::decode_from(input)?.into())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode_to(out);
+        for (k, v) in self {
+            k.encode_to(out);
+            v.encode_to(out);
+        }
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn decode_from(input: &mut &[u8]) -> Result<Self, Error> {
+        let n = decode_len(input)?;
+        let mut out = BTreeMap::new();
+        for _ in 0..n {
+            let k = K::decode_from(input)?;
+            let v = V::decode_from(input)?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        self.0.encode_to(out);
+        self.1.encode_to(out);
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn decode_from(input: &mut &[u8]) -> Result<Self, Error> {
+        Ok((A::decode_from(input)?, B::decode_from(input)?))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        self.0.encode_to(out);
+        self.1.encode_to(out);
+        self.2.encode_to(out);
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn decode_from(input: &mut &[u8]) -> Result<Self, Error> {
+        Ok((
+            A::decode_from(input)?,
+            B::decode_from(input)?,
+            C::decode_from(input)?,
+        ))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize, D: Serialize> Serialize for (A, B, C, D) {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        self.0.encode_to(out);
+        self.1.encode_to(out);
+        self.2.encode_to(out);
+        self.3.encode_to(out);
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize, D: Deserialize> Deserialize for (A, B, C, D) {
+    fn decode_from(input: &mut &[u8]) -> Result<Self, Error> {
+        Ok((
+            A::decode_from(input)?,
+            B::decode_from(input)?,
+            C::decode_from(input)?,
+            D::decode_from(input)?,
+        ))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        (*self).encode_to(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Serialize + Deserialize + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = to_bytes(&v);
+        let back: T = from_bytes(&bytes).expect("roundtrip decodes");
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(0u8);
+        roundtrip(u64::MAX);
+        roundtrip(usize::MAX);
+        roundtrip(-7i64);
+        roundtrip(true);
+        roundtrip(std::f64::consts::PI);
+        // NaN bit patterns survive exactly.
+        let nan_bits = 0x7FF8_0000_0000_0001u64;
+        let bytes = to_bytes(&f64::from_bits(nan_bits));
+        let back: f64 = from_bytes(&bytes).unwrap();
+        assert_eq!(back.to_bits(), nan_bits);
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        roundtrip(String::from("kairos"));
+        roundtrip(vec![1.0f64, -2.5, f64::INFINITY]);
+        roundtrip(Option::<u64>::None);
+        roundtrip(Some(vec![String::from("a"), String::new()]));
+        roundtrip(VecDeque::from(vec![1u32, 2, 3]));
+        let mut m = BTreeMap::new();
+        m.insert((String::from("w"), 0u32), 3usize);
+        m.insert((String::from("w"), 1u32), 5usize);
+        roundtrip(m);
+    }
+
+    #[test]
+    fn truncated_input_errors_cleanly() {
+        let bytes = to_bytes(&vec![1u64, 2, 3]);
+        for cut in 0..bytes.len() {
+            let r: Result<Vec<u64>, Error> = from_bytes(&bytes[..cut]);
+            assert!(r.is_err(), "truncation at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected_without_allocating() {
+        // Claims u64::MAX elements with no data behind it.
+        let bytes = to_bytes(&u64::MAX);
+        let r: Result<Vec<f64>, Error> = from_bytes(&bytes);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn invalid_tags_rejected() {
+        assert!(from_bytes::<bool>(&[2]).is_err());
+        assert!(from_bytes::<Option<u8>>(&[7, 0]).is_err());
+        assert!(from_bytes::<String>(
+            &to_bytes(&(1u64))
+                .iter()
+                .chain(&[0xFFu8])
+                .copied()
+                .collect::<Vec<u8>>()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = to_bytes(&1u32);
+        bytes.push(0);
+        assert!(from_bytes::<u32>(&bytes).is_err());
+    }
+}

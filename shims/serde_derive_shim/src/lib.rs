@@ -1,50 +1,322 @@
-//! No-op `Serialize`/`Deserialize` derives for the workspace-local serde
-//! shim. Each derive emits an empty marker-trait impl for the annotated
-//! type. Only non-generic types are supported — which covers every derive
-//! site in this workspace; a generic type fails loudly at compile time
-//! rather than silently mis-expanding.
+//! Field-wise `Serialize`/`Deserialize` derives for the workspace-local
+//! serde shim.
+//!
+//! The shim's traits stopped being markers when the checkpoint/restore
+//! stack (`kairos-store`) needed a real binary codec without network
+//! access to crates.io: each derive now expands to a field-by-field
+//! `encode_to`/`decode_from` implementation against the shim's canonical
+//! little-endian wire format (see `shims/serde`).
+//!
+//! Supported shapes — which cover every derive site in this workspace:
+//!
+//! * named-field structs (`struct S { a: T, .. }`),
+//! * tuple structs (`struct S(T, U);`),
+//! * unit structs,
+//! * enums whose variants are unit, tuple, or struct-like (tagged with a
+//!   `u32` variant index in declaration order).
+//!
+//! Generic types are *not* supported and fail loudly at compile time
+//! rather than silently mis-expanding (reproducing bounds would need a
+//! real parser like `syn`, which the offline build cannot fetch).
 
-use proc_macro::{TokenStream, TokenTree};
+use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
-    marker_impl(input, "Serialize")
+    let shape = parse_shape(input);
+    shape
+        .serialize_impl()
+        .parse()
+        .expect("generated Serialize impl must parse")
 }
 
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
-    marker_impl(input, "Deserialize")
-}
-
-fn marker_impl(input: TokenStream, trait_name: &str) -> TokenStream {
-    let name =
-        type_name(input).unwrap_or_else(|| panic!("serde shim derive: could not find type name"));
-    format!("impl ::serde::{trait_name} for {name} {{}}")
+    let shape = parse_shape(input);
+    shape
+        .deserialize_impl()
         .parse()
-        .expect("serde shim derive: generated impl must parse")
+        .expect("generated Deserialize impl must parse")
 }
 
-/// Scan the derive input for `struct`/`enum`/`union` and return the
-/// following identifier. Panics on generic types (the shim would need real
-/// parsing to reproduce their bounds).
-fn type_name(input: TokenStream) -> Option<String> {
-    let mut saw_kw = false;
-    for tt in input {
-        match tt {
-            TokenTree::Ident(id) => {
-                let s = id.to_string();
-                if saw_kw {
-                    return Some(s);
+/// One variant's payload shape.
+enum Fields {
+    Unit,
+    /// Tuple fields: arity only (types are recovered by inference).
+    Tuple(usize),
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+}
+
+struct Shape {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+impl Shape {
+    fn serialize_impl(&self) -> String {
+        let name = &self.name;
+        let body = match &self.kind {
+            Kind::Struct(Fields::Unit) => String::new(),
+            Kind::Struct(Fields::Tuple(n)) => (0..*n)
+                .map(|i| format!("::serde::Serialize::encode_to(&self.{i}, out);"))
+                .collect(),
+            Kind::Struct(Fields::Named(fields)) => fields
+                .iter()
+                .map(|f| format!("::serde::Serialize::encode_to(&self.{f}, out);"))
+                .collect(),
+            Kind::Enum(variants) => {
+                let mut arms = String::new();
+                for (tag, (vname, fields)) in variants.iter().enumerate() {
+                    let arm = match fields {
+                        Fields::Unit => format!(
+                            "{name}::{vname} => {{ ::serde::Serialize::encode_to(&{tag}u32, out); }}"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let encodes: String = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::encode_to({b}, out);"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => {{ ::serde::Serialize::encode_to(&{tag}u32, out); {encodes} }}",
+                                binds.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let encodes: String = fields
+                                .iter()
+                                .map(|f| format!("::serde::Serialize::encode_to({f}, out);"))
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {} }} => {{ ::serde::Serialize::encode_to(&{tag}u32, out); {encodes} }}",
+                                fields.join(", ")
+                            )
+                        }
+                    };
+                    arms.push_str(&arm);
                 }
-                if s == "struct" || s == "enum" || s == "union" {
-                    saw_kw = true;
-                }
+                format!("match self {{ {arms} }}")
             }
-            TokenTree::Punct(p) if p.as_char() == '<' => {
-                panic!("serde shim derive does not support generic types");
+        };
+        format!(
+            "impl ::serde::Serialize for {name} {{\
+                 fn encode_to(&self, out: &mut ::std::vec::Vec<u8>) {{ {body} }}\
+             }}"
+        )
+    }
+
+    fn deserialize_impl(&self) -> String {
+        let name = &self.name;
+        let body = match &self.kind {
+            Kind::Struct(fields) => {
+                format!("::std::result::Result::Ok({})", construct(name, fields))
+            }
+            Kind::Enum(variants) => {
+                let mut arms = String::new();
+                for (tag, (vname, fields)) in variants.iter().enumerate() {
+                    arms.push_str(&format!(
+                        "{tag}u32 => ::std::result::Result::Ok({}),",
+                        construct(&format!("{name}::{vname}"), fields)
+                    ));
+                }
+                format!(
+                    "let tag: u32 = ::serde::Deserialize::decode_from(input)?;\
+                     match tag {{ {arms} _ => ::std::result::Result::Err(\
+                         ::serde::Error::msg(\"invalid enum tag for {name}\")) }}"
+                )
+            }
+        };
+        format!(
+            "impl ::serde::Deserialize for {name} {{\
+                 fn decode_from(input: &mut &[u8]) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\
+             }}"
+        )
+    }
+}
+
+/// Constructor expression decoding each field in declaration order.
+fn construct(path: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => path.to_string(),
+        Fields::Tuple(n) => format!(
+            "{path}({})",
+            (0..*n)
+                .map(|_| "::serde::Deserialize::decode_from(input)?".to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        Fields::Named(fields) => format!(
+            "{path} {{ {} }}",
+            fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::decode_from(input)?"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+    }
+}
+
+// ----- input parsing (no syn: plain token scanning) -----
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let mut tokens = input.into_iter().peekable();
+    // Skip outer attributes and visibility until the item keyword.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" || s == "union" {
+                    break;
+                }
+                tokens.next(); // `pub` etc.
+            }
+            Some(TokenTree::Group(_)) => {
+                tokens.next(); // `pub(crate)`'s group
+            }
+            other => panic!("serde shim derive: unexpected input before item keyword: {other:?}"),
+        }
+    }
+    let kw = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected item keyword, got {other:?}"),
+    };
+    if kw == "union" {
+        panic!("serde shim derive does not support unions");
+    }
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("serde shim derive does not support generic types");
+        }
+    }
+    let kind = if kw == "struct" {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Struct(Fields::Named(named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Struct(Fields::Tuple(tuple_arity(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Struct(Fields::Unit),
+            other => panic!("serde shim derive: unexpected struct body: {other:?}"),
+        }
+    } else {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(enum_variants(g.stream()))
+            }
+            other => panic!("serde shim derive: expected enum body, got {other:?}"),
+        }
+    };
+    Shape { name, kind }
+}
+
+/// Split a brace-group token stream into top-level comma-separated
+/// segments, tracking `<`/`>` depth so generic arguments (e.g.
+/// `BTreeMap<String, usize>`) do not split.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut segments: Vec<Vec<TokenTree>> = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                segments.push(std::mem::take(&mut current));
+                continue;
             }
             _ => {}
         }
+        current.push(tt);
     }
-    None
+    if !current.is_empty() {
+        segments.push(current);
+    }
+    segments
+}
+
+/// Strip leading attributes and visibility from one field/variant segment.
+fn strip_meta(segment: &[TokenTree]) -> &[TokenTree] {
+    let mut i = 0;
+    while i < segment.len() {
+        match &segment[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // #[...]
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = segment.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate)
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    &segment[i..]
+}
+
+/// Field names of a named-field struct body, in declaration order.
+fn named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .iter()
+        .filter(|seg| !seg.is_empty())
+        .map(|seg| {
+            let seg = strip_meta(seg);
+            match seg.first() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde shim derive: expected field name, got {other:?}"),
+            }
+        })
+        .collect()
+}
+
+/// Arity of a tuple-struct / tuple-variant body.
+fn tuple_arity(stream: TokenStream) -> usize {
+    split_top_level(stream)
+        .iter()
+        .filter(|seg| !seg.is_empty())
+        .count()
+}
+
+/// Enum variants: name plus payload shape, in declaration order.
+fn enum_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    split_top_level(stream)
+        .iter()
+        .filter(|seg| !seg.is_empty())
+        .map(|seg| {
+            let seg = strip_meta(seg);
+            let name = match seg.first() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde shim derive: expected variant name, got {other:?}"),
+            };
+            let fields = match seg.get(1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(tuple_arity(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '=' => panic!(
+                    "serde shim derive: explicit discriminants are not supported (variant {name})"
+                ),
+                None => Fields::Unit,
+                other => panic!("serde shim derive: unexpected variant body: {other:?}"),
+            };
+            (name, fields)
+        })
+        .collect()
 }

@@ -90,6 +90,7 @@ pub use kairos_diskmodel as diskmodel;
 pub use kairos_fleet as fleet;
 pub use kairos_monitor as monitor;
 pub use kairos_solver as solver;
+pub use kairos_store as store;
 pub use kairos_traces as traces;
 pub use kairos_types as types;
 pub use kairos_vmsim as vmsim;
