@@ -10,7 +10,16 @@
 //! Gated metrics, compared at the largest shard count both files report:
 //!
 //! * `steady_tick_p99_usecs` — tail latency of a quiet control tick;
-//! * `mean_warm_resolve_ms` — the warm re-solve the drift path pays.
+//! * `mean_warm_resolve_ms` — the warm re-solve the drift path pays;
+//!
+//! plus, from the top-level `"net"` object (the RPC boundary added with
+//! `kairos-net`):
+//!
+//! * `handoff_rpc_roundtrip_usecs` — the two-phase handoff handshake
+//!   (forecast → reserve → evict → admit) over the loopback transport,
+//!   so the serialization + dispatch cost of the process boundary is
+//!   perf-gated from day one (the loopback is deterministic; TCP ping is
+//!   recorded but not gated — localhost latency is CI-noisy).
 //!
 //! The threshold is deliberately loose (2×): CI machines are noisy and
 //! the quick profile runs a smaller fleet than the committed full
@@ -97,6 +106,21 @@ fn fields(obj: &str) -> BTreeMap<String, f64> {
     out
 }
 
+/// The flat top-level `"net": {...}` object's numeric fields (empty map
+/// when the document predates the network plane).
+fn parse_net(json: &str) -> BTreeMap<String, f64> {
+    let Some(key) = json.find("\"net\"") else {
+        return BTreeMap::new();
+    };
+    let Some(open) = json[key..].find('{').map(|i| i + key) else {
+        return BTreeMap::new();
+    };
+    let Some(close) = json[open..].find('}').map(|i| i + open) else {
+        return BTreeMap::new();
+    };
+    fields(&json[open + 1..close])
+}
+
 /// `shards → fields` for every scale entry in a bench JSON document.
 fn parse_scales(json: &str) -> BTreeMap<u64, BTreeMap<String, f64>> {
     let mut out = BTreeMap::new();
@@ -124,8 +148,10 @@ fn main() -> ExitCode {
             std::process::exit(2);
         })
     };
-    let fresh = parse_scales(&read(&args[1]));
-    let baseline = parse_scales(&read(&args[2]));
+    let fresh_doc = read(&args[1]);
+    let baseline_doc = read(&args[2]);
+    let fresh = parse_scales(&fresh_doc);
+    let baseline = parse_scales(&baseline_doc);
 
     // Compare at the largest fleet both profiles ran (the quick profile
     // stops at fewer shards than the committed full profile).
@@ -140,12 +166,39 @@ fn main() -> ExitCode {
     println!("| metric | baseline | fresh | ratio | limit | verdict |");
     println!("|---|---|---|---|---|---|");
 
+    // The network-plane metrics live in a flat top-level object, not in
+    // the per-scale entries (RPC latency does not vary with shard
+    // count). Missing from *both* files is fine (pre-net baselines);
+    // missing from one is a gate-input error like any other.
+    let fresh_net = parse_net(&fresh_doc);
+    let baseline_net = parse_net(&baseline_doc);
+
     let mut failed = false;
-    for (metric, unit) in [
-        ("steady_tick_p99_usecs", "µs"),
-        ("mean_warm_resolve_ms", "ms"),
-    ] {
-        let (Some(&bv), Some(&fv)) = (b.get(metric), f.get(metric)) else {
+    let mut rows: Vec<(&str, &str, Option<f64>, Option<f64>)> = vec![
+        (
+            "steady_tick_p99_usecs",
+            "µs",
+            b.get("steady_tick_p99_usecs").copied(),
+            f.get("steady_tick_p99_usecs").copied(),
+        ),
+        (
+            "mean_warm_resolve_ms",
+            "ms",
+            b.get("mean_warm_resolve_ms").copied(),
+            f.get("mean_warm_resolve_ms").copied(),
+        ),
+    ];
+    let net_metric = "handoff_rpc_roundtrip_usecs";
+    if baseline_net.contains_key(net_metric) || fresh_net.contains_key(net_metric) {
+        rows.push((
+            net_metric,
+            "µs",
+            baseline_net.get(net_metric).copied(),
+            fresh_net.get(net_metric).copied(),
+        ));
+    }
+    for (metric, unit, bv, fv) in rows {
+        let (Some(bv), Some(fv)) = (bv, fv) else {
             eprintln!("bench_gate: metric {metric} missing from one input");
             return ExitCode::from(2);
         };
@@ -168,7 +221,7 @@ fn main() -> ExitCode {
         println!("**Gate failed:** a hot-path metric regressed more than {FACTOR}× against the committed `BENCH_fleet.json`.");
         ExitCode::FAILURE
     } else {
-        println!("Gate passed: both metrics within {FACTOR}× of the committed baseline.");
+        println!("Gate passed: all gated metrics within {FACTOR}× of the committed baseline.");
         ExitCode::SUCCESS
     }
 }

@@ -17,6 +17,7 @@
 use kairos_bench::quick;
 use kairos_controller::{ControllerConfig, SyntheticSource, TickOutcome};
 use kairos_fleet::{default_tick_threads, BalancerConfig, FleetConfig, FleetController};
+use kairos_net::{rpc, LoopbackTransport, Request, Response, ShardNode, SourceEscrow, Transport};
 use kairos_types::Bytes;
 use kairos_workloads::RatePattern;
 use std::time::Instant;
@@ -218,6 +219,153 @@ fn result_json(r: &ScaleResult) -> String {
     )
 }
 
+/// RPC latency of the network plane (`kairos-net`), measured over the
+/// deterministic loopback (the same dispatch path TCP wraps, minus the
+/// socket): the Ping floor and the full two-phase handoff round trip
+/// (forecast → reserve → evict → admit, a tenant ping-ponged between
+/// two planned shard nodes with its telemetry as the real wire frame).
+/// A TCP Ping over localhost records the socket floor alongside. The
+/// loopback handoff figure is what `bench_gate` holds the boundary to.
+struct NetResult {
+    ping_rpc_usecs: f64,
+    ping_rpc_p99_usecs: f64,
+    handoff_rpc_roundtrip_usecs: f64,
+    handoff_rpc_roundtrip_p99_usecs: f64,
+    handoff_frame_bytes: usize,
+    /// Localhost TCP Ping mean; negative when the bind failed (no
+    /// loopback networking in the sandbox).
+    tcp_ping_rpc_usecs: f64,
+}
+
+fn run_net_bench() -> NetResult {
+    let cfg = ControllerConfig {
+        horizon: 8,
+        check_every: 4,
+        cooldown_ticks: 8,
+        ..ControllerConfig::default()
+    };
+    let transport = LoopbackTransport::new();
+    let escrow = SourceEscrow::new();
+    let mut nodes = Vec::new();
+    let mut handles = Vec::new();
+    for shard in 0..2 {
+        let node = ShardNode::new(
+            cfg,
+            kairos_core::ConsolidationEngine::builder().build(),
+            Box::new(escrow.clone()),
+        );
+        handles.push(
+            node.serve(&transport, &format!("shard-{shard}"))
+                .expect("loopback serves"),
+        );
+        nodes.push(node);
+    }
+    for (shard, node) in nodes.iter().enumerate() {
+        node.with_shard(|s| {
+            for i in 0..8 {
+                s.add_workload(Box::new(
+                    SyntheticSource::new(
+                        format!("n{shard}-t{i:02}"),
+                        300.0,
+                        Bytes::gib(4),
+                        RatePattern::Flat { tps: 200.0 },
+                    )
+                    .with_noise(0.0),
+                ));
+            }
+            for _ in 0..20 {
+                if let TickOutcome::InitialPlan { .. } = s.tick() {
+                    break;
+                }
+            }
+        });
+    }
+    let mut conns: Vec<_> = (0..2)
+        .map(|s| transport.connect(&format!("shard-{s}")).expect("connects"))
+        .collect();
+
+    // Ping floor.
+    let mut ping_usecs = Vec::with_capacity(2000);
+    for _ in 0..2000 {
+        let t0 = Instant::now();
+        let response = rpc::call(conns[0].as_mut(), &Request::Ping).expect("ping");
+        ping_usecs.push(t0.elapsed().as_secs_f64() * 1e6);
+        assert!(matches!(response, Response::Pong { .. }));
+    }
+
+    // The two-phase handoff, ping-ponged: donor forecasts the tenant,
+    // the receiver certifies the reservation, then evict + admit carry
+    // the telemetry as its checksummed wire frame.
+    let tenant = "n0-t00".to_string();
+    let mut handoff_usecs = Vec::with_capacity(64);
+    let mut frame_bytes = 0usize;
+    for round in 0..64u64 {
+        let donor = (round % 2) as usize;
+        let receiver = 1 - donor;
+        let t0 = Instant::now();
+        let Response::Forecast(Some(profile)) = rpc::call(
+            conns[donor].as_mut(),
+            &Request::Forecast {
+                tenant: tenant.clone(),
+            },
+        )
+        .expect("forecast") else {
+            panic!("tenant must forecast on its current shard");
+        };
+        let Response::CanAdmit(true) = rpc::call(
+            conns[receiver].as_mut(),
+            &Request::CanAdmit {
+                profile,
+                budget: 16,
+            },
+        )
+        .expect("reserve") else {
+            panic!("reservation must hold at a loose budget");
+        };
+        let Response::Evicted(Some(wire)) = rpc::call(
+            conns[donor].as_mut(),
+            &Request::Evict {
+                tenant: tenant.clone(),
+            },
+        )
+        .expect("evict") else {
+            panic!("tenant must evict");
+        };
+        frame_bytes = wire.len();
+        let response =
+            rpc::call(conns[receiver].as_mut(), &Request::Admit { frame: wire }).expect("admit");
+        assert!(matches!(response, Response::Done));
+        handoff_usecs.push(t0.elapsed().as_secs_f64() * 1e6);
+    }
+
+    // Socket floor: the same Ping over a real localhost TCP connection.
+    let tcp_ping_rpc_usecs = (|| -> Option<f64> {
+        let tcp = kairos_net::TcpTransport::new();
+        let handle = nodes[0].serve(&tcp, "127.0.0.1:0").ok()?;
+        let mut conn = tcp.connect(&handle.endpoint).ok()?;
+        let mut usecs = Vec::with_capacity(1000);
+        for _ in 0..1000 {
+            let t0 = Instant::now();
+            rpc::call(conn.as_mut(), &Request::Ping).ok()?;
+            usecs.push(t0.elapsed().as_secs_f64() * 1e6);
+        }
+        Some(usecs.iter().sum::<f64>() / usecs.len() as f64)
+    })()
+    .unwrap_or(-1.0);
+
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    let ping_sorted = sorted(&ping_usecs);
+    let handoff_sorted = sorted(&handoff_usecs);
+    NetResult {
+        ping_rpc_usecs: mean(&ping_usecs),
+        ping_rpc_p99_usecs: percentile(&ping_sorted, 99.0),
+        handoff_rpc_roundtrip_usecs: mean(&handoff_usecs),
+        handoff_rpc_roundtrip_p99_usecs: percentile(&handoff_sorted, 99.0),
+        handoff_frame_bytes: frame_bytes,
+        tcp_ping_rpc_usecs,
+    }
+}
+
 fn main() {
     let (scales, tenants_per_shard, ticks): (&[usize], usize, u64) = if quick() {
         (&[1, 2, 4], 12, 90)
@@ -311,7 +459,26 @@ fn main() {
     out.push_str(&format!(
         "    \"steady_tick_speedup\": {speedup:.3},\n    \"threaded_steady_vs_1_shard\": {vs_one_shard:.3}\n"
     ));
-    out.push_str("  }\n");
+    out.push_str("  },\n");
+
+    // The network plane: RPC latency floors and the two-phase handoff
+    // round trip — gated by bench_gate so the new process boundary is
+    // perf-guarded from day one.
+    let net = run_net_bench();
+    out.push_str(&format!(
+        concat!(
+            "  \"net\": {{\"transport\":\"loopback\",",
+            "\"ping_rpc_usecs\":{:.2},\"ping_rpc_p99_usecs\":{:.2},",
+            "\"handoff_rpc_roundtrip_usecs\":{:.2},\"handoff_rpc_roundtrip_p99_usecs\":{:.2},",
+            "\"handoff_frame_bytes\":{},\"tcp_ping_rpc_usecs\":{:.2}}}\n"
+        ),
+        net.ping_rpc_usecs,
+        net.ping_rpc_p99_usecs,
+        net.handoff_rpc_roundtrip_usecs,
+        net.handoff_rpc_roundtrip_p99_usecs,
+        net.handoff_frame_bytes,
+        net.tcp_ping_rpc_usecs,
+    ));
     out.push_str("}\n");
     print!("{out}");
 }

@@ -48,6 +48,14 @@ pub struct ControllerConfig {
     /// Measurement mode: re-solve cold (no warm start, no migration
     /// term) to quantify what the incumbent-aware path saves.
     pub cold_resolves: bool,
+    /// Scheduled horizon refresh: after a re-plan that provisioned a
+    /// conservative flat envelope (regime change — history stopped being
+    /// predictive), wait this many ticks of post-drift telemetry to
+    /// re-accumulate, then refresh the planned profiles from the
+    /// post-drift window alone — a cheap, zero-move tightening that
+    /// doesn't wait for the lazy slack side of the drift detector (and
+    /// doesn't pay a solve). `0` disables the refresh.
+    pub profile_refresh_ticks: u64,
 }
 
 impl Default for ControllerConfig {
@@ -72,12 +80,14 @@ impl Default for ControllerConfig {
                 ..Default::default()
             },
             cold_resolves: false,
+            profile_refresh_ticks: 24,
         }
     }
 }
 
-/// Why a re-plan happened.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Why a re-plan happened. Serializable (inside [`TickOutcome`]) so the
+/// RPC shard nodes can report it across the network boundary.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum ReplanReason {
     /// These workloads' live windows left their planned envelopes.
     Drift(Vec<String>),
@@ -86,7 +96,7 @@ pub enum ReplanReason {
 }
 
 /// Summary of one re-plan.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct ReplanSummary {
     pub reason: ReplanReason,
     pub feasible: bool,
@@ -100,8 +110,9 @@ pub struct ReplanSummary {
     pub solve_secs: f64,
 }
 
-/// What one tick did.
-#[derive(Debug, Clone)]
+/// What one tick did. Serializable: it is the Tick RPC's response
+/// payload when a shard runs behind a network boundary (`kairos-net`).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub enum TickOutcome {
     /// Still accumulating the bootstrap horizon.
     Bootstrapping,
@@ -113,6 +124,10 @@ pub enum TickOutcome {
     Idle,
     /// Drift or membership change forced a re-plan.
     Replanned(ReplanSummary),
+    /// Scheduled horizon refresh: `refreshed` conservative envelope
+    /// profiles were tightened onto post-drift phase means — no solve,
+    /// no migrations (see [`ControllerConfig::profile_refresh_ticks`]).
+    ProfileRefreshed { refreshed: usize },
 }
 
 /// Running counters. Serializable: the tick counter drives every
@@ -129,6 +144,8 @@ pub struct ControllerStats {
     pub bytes_copied: f64,
     pub max_churn: f64,
     pub solve_secs_total: f64,
+    /// Scheduled zero-move profile refreshes performed (no solver run).
+    pub profile_refreshes: u64,
 }
 
 /// The online consolidation daemon — a single-shard fleet.

@@ -39,8 +39,10 @@ struct Tenant {
     rows: u64,
 }
 
-/// What executing a plan did.
-#[derive(Debug, Clone, Default)]
+/// What executing a plan did. Serializable: it rides inside
+/// [`crate::TickOutcome`], which the RPC shard nodes (`kairos-net`)
+/// return to the balancer as wire frames.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
 pub struct ExecutionReport {
     pub steps: usize,
     pub moves: usize,

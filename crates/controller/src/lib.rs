@@ -76,13 +76,16 @@ pub use ingest::{
     SessionSource, TelemetryConfig, TelemetryIngester, TelemetrySource, WorkloadTelemetry,
 };
 pub use migration::{plan_migration, MigrationPlan, MigrationStep, Move};
-pub use resolver::{forecast_profile, forecast_series, FleetPlacement, ReSolveOutcome, ReSolver};
+pub use resolver::{
+    forecast_profile, forecast_profile_flagged, forecast_profile_tail, forecast_series,
+    forecast_series_flagged, FleetPlacement, ReSolveOutcome, ReSolver,
+};
 pub use scenarios::{
     run_scenario, scenario_churn, scenario_diurnal_shift, scenario_flash_crowd,
     scenario_stationary, FleetEvent, Scenario, ScenarioReport, SyntheticSource,
 };
 pub use shard::{ShardController, ShardSummary, TenantHandoff, TenantLoad, HANDOFF_WIRE_VERSION};
-pub use snapshot::ShardSnapshot;
+pub use snapshot::{ShardSnapshot, SHARD_SNAPSHOT_VERSION};
 
 /// Convenience re-exports for downstream users and doc examples.
 pub mod prelude {

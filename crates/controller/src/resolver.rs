@@ -307,11 +307,25 @@ const REGIME_CHANGE_THRESHOLD: f64 = 0.25;
 ///   the regime that is arriving; the lazier slack side of the drift
 ///   detector repacks later if the envelope proves too generous.
 pub fn forecast_series(history: &TimeSeries, horizon: usize, start_index: u64) -> TimeSeries {
+    forecast_series_flagged(history, horizon, start_index).0
+}
+
+/// [`forecast_series`] plus whether the forecast fell back to the
+/// conservative flat envelope (regime change detected). The flag is what
+/// schedules the controller's zero-move horizon refresh: an
+/// envelope-planned profile is deliberately loose, and should be
+/// tightened once enough post-drift history re-accumulates instead of
+/// waiting for slack drift to trip.
+pub fn forecast_series_flagged(
+    history: &TimeSeries,
+    horizon: usize,
+    start_index: u64,
+) -> (TimeSeries, bool) {
     assert!(horizon > 0);
     let interval = history.interval_secs();
     let vals = history.values();
     if vals.is_empty() {
-        return TimeSeries::constant(interval, 0.0, horizon);
+        return (TimeSeries::constant(interval, 0.0, horizon), false);
     }
 
     // Per-phase occurrence means.
@@ -346,10 +360,10 @@ pub fn forecast_series(history: &TimeSeries, horizon: usize, start_index: u64) -
     let mean_abs = overall_mean.abs().max(1e-12);
 
     if rmse / mean_abs <= REGIME_CHANGE_THRESHOLD {
-        TimeSeries::new(interval, phase_mean)
+        (TimeSeries::new(interval, phase_mean), false)
     } else {
         let peak = tail.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        TimeSeries::constant(interval, peak, horizon)
+        (TimeSeries::constant(interval, peak, horizon), true)
     }
 }
 
@@ -360,7 +374,49 @@ pub fn forecast_profile(
     telemetry: &WorkloadTelemetry,
     horizon: usize,
 ) -> WorkloadProfile {
+    forecast_profile_flagged(name, telemetry, horizon).0
+}
+
+/// [`forecast_profile`] plus whether *any* resource series fell back to
+/// the conservative flat envelope (see [`forecast_series_flagged`]).
+pub fn forecast_profile_flagged(
+    name: &str,
+    telemetry: &WorkloadTelemetry,
+    horizon: usize,
+) -> (WorkloadProfile, bool) {
     let [cpu, ram, ws, rate] = telemetry.history();
+    let start = telemetry.samples_seen().saturating_sub(cpu.len() as u64);
+    let (cpu, e0) = forecast_series_flagged(&cpu, horizon, start);
+    let (ram, e1) = forecast_series_flagged(&ram, horizon, start);
+    let (ws, e2) = forecast_series_flagged(&ws, horizon, start);
+    let (rate, e3) = forecast_series_flagged(&rate, horizon, start);
+    (
+        WorkloadProfile::new(name, cpu, ram, ws, rate),
+        e0 || e1 || e2 || e3,
+    )
+}
+
+/// Forecast the next horizon from the most recent `tail_len` samples
+/// *only* — the scheduled horizon refresh's forecaster. After a regime
+/// change the full-window phase means stay polluted by the old regime
+/// until it washes out of the rolling window, which is exactly why the
+/// regime forecast fell back to a flat envelope; once `tail_len` ticks of
+/// pure post-drift telemetry exist, their phase means are the tight,
+/// periodic profile the envelope was standing in for. Phase convention
+/// matches [`forecast_series`]: element `p` corresponds to global phase
+/// `p` within the horizon.
+pub fn forecast_profile_tail(
+    name: &str,
+    telemetry: &WorkloadTelemetry,
+    horizon: usize,
+    tail_len: usize,
+) -> WorkloadProfile {
+    let [cpu, ram, ws, rate] = telemetry.history();
+    let tail_of = |s: &TimeSeries| {
+        let keep = tail_len.min(s.len());
+        TimeSeries::new(s.interval_secs(), s.values()[s.len() - keep..].to_vec())
+    };
+    let (cpu, ram, ws, rate) = (tail_of(&cpu), tail_of(&ram), tail_of(&ws), tail_of(&rate));
     let start = telemetry.samples_seen().saturating_sub(cpu.len() as u64);
     WorkloadProfile::new(
         name,

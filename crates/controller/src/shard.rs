@@ -23,7 +23,7 @@ use crate::drift::DriftReport;
 use crate::executor::FleetExecutor;
 use crate::ingest::{TelemetryIngester, TelemetrySource, WorkloadTelemetry};
 use crate::migration::plan_migration;
-use crate::resolver::{forecast_profile, FleetPlacement, ReSolver};
+use crate::resolver::{FleetPlacement, ReSolver};
 use crate::snapshot::ShardSnapshot;
 use kairos_core::ConsolidationEngine;
 use kairos_solver::{evaluate, greedy_pack, Assignment, Evaluation};
@@ -99,6 +99,18 @@ impl TenantHandoff {
         (bytes, source)
     }
 
+    /// Validate and decode a handoff frame's transportable parts —
+    /// `(tenant, replicas, telemetry)` — without binding a source. The
+    /// RPC admit path decodes first and only then binds a
+    /// destination-side source for the named tenant, so a damaged frame
+    /// is rejected before any state is touched (and a failed admission
+    /// can hand the caller's source back for the rollback re-admit).
+    pub fn parts_from_wire(
+        bytes: &[u8],
+    ) -> Result<(String, u32, WorkloadTelemetry), kairos_store::StoreError> {
+        kairos_store::decode_frame(bytes, HANDOFF_WIRE_VERSION)
+    }
+
     /// Inverse of [`TenantHandoff::into_wire`]: validate and decode the
     /// frame, re-binding the destination-side telemetry source. Rejects
     /// corrupt bytes and a source whose name disagrees with the frame.
@@ -106,8 +118,7 @@ impl TenantHandoff {
         bytes: &[u8],
         source: Box<dyn TelemetrySource>,
     ) -> Result<TenantHandoff, kairos_store::StoreError> {
-        let (name, replicas, telemetry): (String, u32, WorkloadTelemetry) =
-            kairos_store::decode_frame(bytes, HANDOFF_WIRE_VERSION)?;
+        let (name, replicas, telemetry) = TenantHandoff::parts_from_wire(bytes)?;
         if source.name() != name {
             return Err(kairos_store::StoreError::Inconsistent(format!(
                 "handoff frame names tenant {name} but the bound source is {}",
@@ -123,6 +134,36 @@ impl TenantHandoff {
     }
 }
 
+/// Does `cand` tighten `old` — never exceeding its peak on any resource
+/// series while actually lowering the mean somewhere? The scheduled
+/// horizon refresh only swaps a conservative envelope for a candidate
+/// that is a strict improvement; anything else keeps the envelope (and
+/// leaves the correction to the drift detector).
+fn profile_tightens(cand: &WorkloadProfile, old: &WorkloadProfile) -> bool {
+    let pairs = [
+        (&cand.cpu_cores, &old.cpu_cores),
+        (&cand.ram_bytes, &old.ram_bytes),
+        (&cand.disk_working_set_bytes, &old.disk_working_set_bytes),
+        (
+            &cand.disk_update_rows_per_sec,
+            &old.disk_update_rows_per_sec,
+        ),
+    ];
+    let mut improves = false;
+    for (c, o) in pairs {
+        if c.is_empty() || o.is_empty() {
+            return false;
+        }
+        if c.max() > o.max() * (1.0 + 1e-9) {
+            return false;
+        }
+        if c.mean() < o.mean() * (1.0 - 1e-9) {
+            improves = true;
+        }
+    }
+    improves
+}
+
 /// The per-shard consolidation loop. See module docs.
 pub struct ShardController {
     cfg: ControllerConfig,
@@ -133,6 +174,14 @@ pub struct ShardController {
     placement: FleetPlacement,
     /// Per workload: the profile its current placement was solved for.
     planned: BTreeMap<String, WorkloadProfile>,
+    /// Workloads whose planned profile is a conservative flat envelope
+    /// (their forecast hit the regime-change fallback) — the scheduled
+    /// horizon refresh's worklist.
+    envelope_planned: std::collections::BTreeSet<String>,
+    /// Tick at which the scheduled zero-move profile refresh runs (set
+    /// after an envelope-planned re-plan; see
+    /// [`ControllerConfig::profile_refresh_ticks`]).
+    profile_refresh_due: Option<u64>,
     /// Replica counts for tenants that run more than one copy.
     replicas: BTreeMap<String, u32>,
     planned_once: bool,
@@ -164,6 +213,8 @@ impl ShardController {
             executor: FleetExecutor::new(),
             placement: FleetPlacement::new(),
             planned: BTreeMap::new(),
+            envelope_planned: std::collections::BTreeSet::new(),
+            profile_refresh_due: None,
             replicas: BTreeMap::new(),
             planned_once: false,
             membership_changed: false,
@@ -206,10 +257,22 @@ impl ShardController {
 
     /// Declare that `a` and `b` must never share a machine. Applies to
     /// every subsequent solve; ignored in solves where either is absent.
+    /// Idempotent (either orientation): re-registering an existing pair
+    /// is a no-op, so a network balancer can blindly re-assert the
+    /// fleet list on a rejoined node without skewing the constraint set
+    /// (a duplicated pair would double-count its violations and shift
+    /// solver objectives).
     pub fn add_anti_affinity(&mut self, a: &str, b: &str) {
-        self.resolver
+        let known = self
+            .resolver
             .anti_affinity
-            .push((a.to_string(), b.to_string()));
+            .iter()
+            .any(|(x, y)| (x == a && y == b) || (x == b && y == a));
+        if !known {
+            self.resolver
+                .anti_affinity
+                .push((a.to_string(), b.to_string()));
+        }
     }
 
     /// Detach a workload: telemetry dropped, tenant retired (its dbsim
@@ -219,6 +282,7 @@ impl ShardController {
         self.sources.remove(name);
         self.ingester.deregister(name);
         self.planned.remove(name);
+        self.envelope_planned.remove(name);
         self.replicas.remove(name);
         self.placement.remove_workload(name);
         self.executor.retire(name);
@@ -300,6 +364,17 @@ impl ShardController {
         if self.membership_changed && self.fleet_observable() {
             return self.replan(ReplanReason::Membership);
         }
+        // The scheduled refresh outranks the drift-check cadence: it
+        // fires at most once per replan and is cheap (no solver), while
+        // a cadence check runs forever — were the order reversed, a
+        // `check_every: 1` config would drift-check on every cooled tick
+        // and starve the refresh permanently.
+        if self
+            .profile_refresh_due
+            .is_some_and(|due| self.stats.ticks >= due)
+        {
+            return self.profile_refresh();
+        }
         let cooled_down =
             self.stats.ticks.saturating_sub(self.last_plan_tick) >= self.cfg.cooldown_ticks;
         if cooled_down && self.stats.ticks.is_multiple_of(self.cfg.check_every) {
@@ -332,7 +407,7 @@ impl ShardController {
         if !ready {
             return TickOutcome::Bootstrapping;
         }
-        let profiles = self.forecast_fleet();
+        let (profiles, envelopes) = self.forecast_fleet_flagged();
         let t0 = Instant::now();
         let (problem, report) = match self.resolver.plan_cold(&profiles) {
             Ok(x) => x,
@@ -360,6 +435,7 @@ impl ShardController {
         self.planned = profiles.into_iter().map(|p| (p.name.clone(), p)).collect();
         self.planned_once = true;
         self.last_plan_tick = self.stats.ticks;
+        self.note_envelopes(envelopes);
         self.invalidate_summary();
         TickOutcome::InitialPlan {
             machines,
@@ -370,19 +446,116 @@ impl ShardController {
     /// Forecast every workload's next horizon from its rolling telemetry
     /// (replica counts applied).
     pub fn forecast_fleet(&self) -> Vec<WorkloadProfile> {
-        self.ingester
-            .names()
-            .iter()
-            .map(|n| self.forecast_workload(n).expect("registered"))
-            .collect()
+        self.forecast_fleet_flagged().0
     }
 
     /// Forecast one workload's next horizon. `None` if unknown.
     pub fn forecast_workload(&self, name: &str) -> Option<WorkloadProfile> {
+        Some(self.forecast_workload_flagged(name)?.0)
+    }
+
+    /// [`ShardController::forecast_workload`] plus whether the forecast
+    /// fell back to the conservative flat envelope — the single
+    /// forecasting path every caller (planning, summaries, the
+    /// ForecastFleet RPC, the audit) goes through, so the flagged and
+    /// unflagged views can never drift apart.
+    fn forecast_workload_flagged(&self, name: &str) -> Option<(WorkloadProfile, bool)> {
         let telemetry = self.ingester.get(name)?;
-        let mut profile = forecast_profile(name, telemetry, self.cfg.horizon);
+        let (mut profile, envelope) =
+            crate::resolver::forecast_profile_flagged(name, telemetry, self.cfg.horizon);
         profile.replicas = self.replicas.get(name).copied().unwrap_or(1);
-        Some(profile)
+        Some((profile, envelope))
+    }
+
+    /// [`ShardController::forecast_fleet`] plus the names whose forecast
+    /// fell back to the conservative flat envelope — the scheduled
+    /// horizon refresh's worklist.
+    fn forecast_fleet_flagged(&self) -> (Vec<WorkloadProfile>, Vec<String>) {
+        let mut profiles = Vec::new();
+        let mut envelopes = Vec::new();
+        for name in self.ingester.names() {
+            let (profile, envelope) = self
+                .forecast_workload_flagged(&name)
+                .expect("registered workload");
+            if envelope {
+                envelopes.push(name);
+            }
+            profiles.push(profile);
+        }
+        (profiles, envelopes)
+    }
+
+    /// Record which workloads were just planned against a conservative
+    /// envelope, scheduling the zero-move refresh once
+    /// [`ControllerConfig::profile_refresh_ticks`] of post-drift
+    /// telemetry will have re-accumulated.
+    fn note_envelopes(&mut self, envelopes: Vec<String>) {
+        self.envelope_planned = envelopes.into_iter().collect();
+        self.profile_refresh_due =
+            if !self.envelope_planned.is_empty() && self.cfg.profile_refresh_ticks > 0 {
+                Some(self.stats.ticks + self.cfg.profile_refresh_ticks)
+            } else {
+                None
+            };
+    }
+
+    /// The profile `name`'s current placement was solved for (`None`
+    /// before the initial plan or for unknown tenants).
+    pub fn planned_profile(&self, name: &str) -> Option<&WorkloadProfile> {
+        self.planned.get(name)
+    }
+
+    /// Workloads whose planned profile is currently a conservative flat
+    /// envelope, pending the scheduled refresh.
+    pub fn envelope_planned(&self) -> Vec<String> {
+        self.envelope_planned.iter().cloned().collect()
+    }
+
+    /// Scheduled horizon refresh: re-forecast every envelope-planned
+    /// workload from its post-drift tail alone and, when that tightens
+    /// the profile *and* the current placement stays feasible under it,
+    /// adopt the tighter planned set — zero solver work, zero
+    /// migrations. The lazier slack side of the drift detector would
+    /// eventually force the same correction, but through a full re-solve
+    /// and possible moves.
+    fn profile_refresh(&mut self) -> TickOutcome {
+        self.profile_refresh_due = None;
+        let names: Vec<String> = self.envelope_planned.iter().cloned().collect();
+        let tail_len = self.cfg.profile_refresh_ticks as usize;
+        let mut candidates = self.planned.clone();
+        let mut refreshed = 0usize;
+        for name in &names {
+            let (Some(telemetry), Some(old)) = (self.ingester.get(name), self.planned.get(name))
+            else {
+                continue;
+            };
+            let mut cand =
+                crate::resolver::forecast_profile_tail(name, telemetry, self.cfg.horizon, tail_len);
+            cand.replicas = self.replicas.get(name).copied().unwrap_or(1);
+            if !profile_tightens(&cand, old) {
+                continue;
+            }
+            candidates.insert(name.clone(), cand);
+            refreshed += 1;
+        }
+        self.envelope_planned.clear();
+        if refreshed == 0 {
+            return TickOutcome::Idle;
+        }
+        // Zero-move safety: adopt only when the *current* placement is
+        // feasible under the refreshed profiles (it is, whenever the live
+        // load really stabilized inside the envelope — a regime still
+        // running hot trips overload drift instead).
+        let profiles: Vec<WorkloadProfile> = candidates.values().cloned().collect();
+        match self.verify_with(&profiles) {
+            Some(e) if e.feasible => {
+                self.planned = candidates;
+                self.stats.profile_refreshes += 1;
+                self.invalidate_summary();
+                TickOutcome::ProfileRefreshed { refreshed }
+            }
+            _ => TickOutcome::Idle,
+        }
     }
 
     /// Compare each live window against its planned profile.
@@ -416,7 +589,7 @@ impl ShardController {
 
     /// Warm re-solve + capacity-safe migration.
     fn replan(&mut self, reason: ReplanReason) -> TickOutcome {
-        let profiles = self.forecast_fleet();
+        let (profiles, envelopes) = self.forecast_fleet_flagged();
         let t0 = Instant::now();
         let outcome = match self.resolver.resolve(&profiles, &self.placement) {
             Ok(o) => o,
@@ -455,6 +628,7 @@ impl ShardController {
         self.planned = profiles.into_iter().map(|p| (p.name.clone(), p)).collect();
         self.membership_changed = false;
         self.last_plan_tick = self.stats.ticks;
+        self.note_envelopes(envelopes);
         self.invalidate_summary();
 
         TickOutcome::Replanned(ReplanSummary {
@@ -547,6 +721,8 @@ impl ShardController {
                 .collect(),
             placement: self.placement.clone(),
             planned: self.planned.clone(),
+            envelope_planned: self.envelope_planned.iter().cloned().collect(),
+            profile_refresh_due: self.profile_refresh_due,
             replicas: self.replicas.clone(),
             anti_affinity: self.resolver.anti_affinity.clone(),
             planned_once: self.planned_once,
@@ -598,6 +774,13 @@ impl ShardController {
                 )));
             }
         }
+        for w in &snapshot.envelope_planned {
+            if !known(w) {
+                return Err(KairosError::InvalidInput(format!(
+                    "shard snapshot envelope-plans unknown tenant {w}"
+                )));
+            }
+        }
         for (w, _, _, _) in &snapshot.routing {
             if !known(w) {
                 return Err(KairosError::InvalidInput(format!(
@@ -614,6 +797,8 @@ impl ShardController {
         shard.executor.restore_routing(&snapshot.routing);
         shard.placement = snapshot.placement;
         shard.planned = snapshot.planned;
+        shard.envelope_planned = snapshot.envelope_planned.into_iter().collect();
+        shard.profile_refresh_due = snapshot.profile_refresh_due;
         shard.replicas = snapshot.replicas;
         shard.planned_once = snapshot.planned_once;
         shard.membership_changed = snapshot.membership_changed;
@@ -639,6 +824,19 @@ impl ShardController {
         }
         self.sources.insert(name, source);
         Ok(())
+    }
+
+    /// Replica counts for tenants running more than one copy — part of
+    /// the membership view a network balancer adopts on failover (the
+    /// shard is the ground truth for what it hosts).
+    pub fn replica_counts(&self) -> Vec<(String, u32)> {
+        self.replicas.iter().map(|(k, &v)| (k.clone(), v)).collect()
+    }
+
+    /// Named anti-affinity pairs registered on this shard, in
+    /// registration order (every shard carries the full fleet list).
+    pub fn anti_affinity_pairs(&self) -> &[(String, String)] {
+        &self.resolver.anti_affinity
     }
 
     /// Tenants with telemetry but no live source — what still needs
@@ -776,6 +974,7 @@ impl ShardController {
             .expect("registered source implies telemetry");
         let replicas = self.replicas.remove(name).unwrap_or(1);
         self.planned.remove(name);
+        self.envelope_planned.remove(name);
         self.placement.remove_workload(name);
         self.executor.retire(name);
         if self.planned_once {

@@ -40,6 +40,13 @@ use kairos_types::WorkloadProfile;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
+/// Frame version for a *standalone* shard snapshot file — what a
+/// network shard node (`kairos-net`) checkpoints on command and restores
+/// from on rejoin. The fleet-wide checkpoint embeds [`ShardSnapshot`]s
+/// inside its own frame and carries its own version
+/// (`kairos_fleet::FLEET_SNAPSHOT_VERSION`).
+pub const SHARD_SNAPSHOT_VERSION: u32 = 1;
+
 /// One shard's complete checkpointable state. See the module docs for
 /// what each group covers; construct via
 /// [`crate::ShardController::snapshot`] and rebuild via
@@ -52,6 +59,11 @@ pub struct ShardSnapshot {
     pub placement: FleetPlacement,
     /// Per workload: the profile its current placement was solved for.
     pub planned: BTreeMap<String, WorkloadProfile>,
+    /// Workloads whose planned profile is a conservative flat envelope,
+    /// awaiting the scheduled zero-move refresh.
+    pub envelope_planned: Vec<String>,
+    /// Tick the scheduled profile refresh is due at, if one is pending.
+    pub profile_refresh_due: Option<u64>,
     /// Replica counts for tenants running more than one copy.
     pub replicas: BTreeMap<String, u32>,
     /// Named anti-affinity pairs registered on this shard's resolver.

@@ -1,0 +1,165 @@
+//! Direct edge-case coverage for the source re-binding surface
+//! (`ShardController::attach_source` / `detached_workloads`) — the API
+//! every restore and every cross-process admission rides on. Previously
+//! only exercised indirectly through `crash_recovery`; the network
+//! layer (`kairos-net`) leans on it from multiple paths, so the corners
+//! get their own tests: reattach of an unknown tenant, double attach,
+//! and reattach after a handoff moved the tenant away.
+
+use kairos_controller::{ControllerConfig, ShardController, SyntheticSource, TickOutcome};
+use kairos_core::ConsolidationEngine;
+use kairos_types::Bytes;
+use kairos_workloads::RatePattern;
+
+fn quick_cfg() -> ControllerConfig {
+    ControllerConfig {
+        horizon: 8,
+        check_every: 4,
+        cooldown_ticks: 8,
+        ..ControllerConfig::default()
+    }
+}
+
+fn flat(name: &str, tps: f64) -> SyntheticSource {
+    SyntheticSource::new(
+        name.to_string(),
+        300.0,
+        Bytes::gib(4),
+        RatePattern::Flat { tps },
+    )
+    .with_noise(0.0)
+}
+
+fn shard_with(n: usize, tps: f64) -> ShardController {
+    let mut shard = ShardController::new(quick_cfg(), ConsolidationEngine::builder().build());
+    for i in 0..n {
+        shard.add_workload(Box::new(flat(&format!("t{i:02}"), tps)));
+    }
+    shard
+}
+
+fn run_until_planned(shard: &mut ShardController) {
+    for _ in 0..20 {
+        if let TickOutcome::InitialPlan { .. } = shard.tick() {
+            return;
+        }
+    }
+    panic!("shard never planned");
+}
+
+/// Round-trip a shard through snapshot/restore, losing its live sources
+/// — the state every reattach test starts from.
+fn crash_and_restore(shard: &ShardController) -> ShardController {
+    ShardController::restore(
+        quick_cfg(),
+        ConsolidationEngine::builder().build(),
+        shard.snapshot(),
+    )
+    .expect("clean snapshot restores")
+}
+
+#[test]
+fn reattach_unknown_tenant_is_rejected() {
+    let mut shard = shard_with(3, 200.0);
+    run_until_planned(&mut shard);
+    let mut restored = crash_and_restore(&shard);
+    // A tenant the shard has no telemetry for must not attach — new
+    // tenants go through add_workload (which registers telemetry).
+    let err = restored.attach_source(Box::new(flat("ghost", 100.0)));
+    assert!(err.is_err(), "unknown tenant must be rejected");
+    // The rejection changed nothing: the real tenants are still waiting.
+    let mut detached = restored.detached_workloads();
+    detached.sort();
+    assert_eq!(detached, vec!["t00", "t01", "t02"]);
+    assert!(!restored.has_workload("ghost"));
+}
+
+#[test]
+fn double_attach_replaces_the_source_without_membership_churn() {
+    let mut shard = shard_with(3, 200.0);
+    run_until_planned(&mut shard);
+    let mut restored = crash_and_restore(&shard);
+    for name in ["t00", "t01", "t02"] {
+        restored
+            .attach_source(Box::new(
+                flat(name, 200.0).fast_forward(restored.stats().ticks),
+            ))
+            .expect("known tenant attaches");
+    }
+    assert!(restored.detached_workloads().is_empty());
+
+    // Attaching again for an already-live tenant replaces the source —
+    // idempotent from the membership side: no duplicate registration,
+    // no replan scheduled, the tenant stays singular.
+    restored
+        .attach_source(Box::new(
+            flat("t00", 200.0).fast_forward(restored.stats().ticks),
+        ))
+        .expect("double attach is a replace, not an error");
+    assert!(restored.detached_workloads().is_empty());
+    assert_eq!(restored.workloads().len(), 3);
+    // The next tick behaves like any steady tick — a double attach must
+    // not read as a membership change (that would cost a replan).
+    match restored.tick() {
+        TickOutcome::Idle | TickOutcome::Stable => {}
+        other => panic!("double attach caused spurious work: {other:?}"),
+    }
+}
+
+#[test]
+fn reattach_after_handoff_is_rejected_on_the_donor_and_lands_on_the_receiver() {
+    let mut donor = shard_with(4, 200.0);
+    let mut receiver = shard_with(3, 200.0);
+    run_until_planned(&mut donor);
+    run_until_planned(&mut receiver);
+
+    // Hand t00 off: telemetry (and the live source) leave the donor.
+    let handoff = donor.evict("t00").expect("evictable");
+    receiver.admit(handoff);
+
+    // The donor no longer knows t00 — a reattach there must be refused
+    // (attaching would resurrect a tenant the routing map moved away).
+    assert!(
+        donor.attach_source(Box::new(flat("t00", 200.0))).is_err(),
+        "donor must reject a reattach for a handed-off tenant"
+    );
+    assert!(!donor.has_workload("t00"));
+
+    // On the receiver the tenant is live (the handoff carried the
+    // source), so a *reattach* there is the double-attach case: allowed,
+    // replaces the source in place.
+    receiver
+        .attach_source(Box::new(
+            flat("t00", 200.0).fast_forward(receiver.stats().ticks),
+        ))
+        .expect("receiver owns the telemetry: reattach replaces the source");
+    assert!(receiver.has_workload("t00"));
+    assert!(receiver.detached_workloads().is_empty());
+
+    // And after the receiver itself crashes, t00 is part of *its*
+    // detached set — ownership followed the handoff.
+    let restored_receiver = crash_and_restore(&receiver);
+    let mut detached = restored_receiver.detached_workloads();
+    detached.sort();
+    assert!(detached.contains(&"t00".to_string()));
+    let restored_donor = crash_and_restore(&donor);
+    assert!(!restored_donor
+        .detached_workloads()
+        .contains(&"t00".to_string()));
+}
+
+#[test]
+fn detached_workloads_shrinks_as_sources_attach() {
+    let mut shard = shard_with(4, 220.0);
+    run_until_planned(&mut shard);
+    let mut restored = crash_and_restore(&shard);
+    assert_eq!(restored.detached_workloads().len(), 4);
+    for (i, name) in ["t00", "t01", "t02", "t03"].iter().enumerate() {
+        restored
+            .attach_source(Box::new(
+                flat(name, 220.0).fast_forward(restored.stats().ticks),
+            ))
+            .expect("attaches");
+        assert_eq!(restored.detached_workloads().len(), 3 - i);
+    }
+}

@@ -1,0 +1,254 @@
+//! Regression tests for the scheduled horizon refresh (ROADMAP item):
+//! after a regime change the controller plans against a conservative
+//! flat envelope; once `profile_refresh_ticks` of post-drift telemetry
+//! re-accumulates, a cheap **zero-move** refresh tightens the planned
+//! profile from the post-drift window alone — no solver run, no
+//! migrations — instead of waiting for slack drift (which, for a
+//! moderately periodic regime, may *never* trip: the envelope would
+//! stay loose forever).
+//!
+//! The scenario is built to sit exactly in that gap: a tenant switches
+//! from flat load to a sinusoid whose slack against the envelope stays
+//! *below* the slack threshold. Without the refresh the envelope is
+//! permanent; with it, the planned profile drops to the sinusoid's
+//! phase means while the placement never moves.
+
+use kairos_controller::{ControllerConfig, ShardController, SyntheticSource, TickOutcome};
+use kairos_core::ConsolidationEngine;
+use kairos_types::Bytes;
+use kairos_workloads::RatePattern;
+
+const HORIZON: usize = 8;
+const INTERVAL: f64 = 300.0;
+const SWITCH_AT: u64 = 24;
+
+fn cfg(profile_refresh_ticks: u64) -> ControllerConfig {
+    ControllerConfig {
+        horizon: HORIZON,
+        check_every: 4,
+        cooldown_ticks: 8,
+        profile_refresh_ticks,
+        ..ControllerConfig::default()
+    }
+}
+
+/// The regime-changing tenant: flat 200 tps, then a sinusoid (mean 260,
+/// amplitude 140 → peak 400) with one full cycle per planning horizon.
+/// Against a flat-400 envelope its slack relative RMSE is ≈ 0.43 —
+/// *below* the 0.5 slack threshold, so only the scheduled refresh can
+/// ever tighten the plan.
+fn hot_source() -> SyntheticSource {
+    SyntheticSource::new(
+        "hot",
+        INTERVAL,
+        Bytes::gib(4),
+        RatePattern::Flat { tps: 200.0 },
+    )
+    .with_noise(0.0)
+    .then_at(
+        SWITCH_AT,
+        RatePattern::Sinusoid {
+            mean: 260.0,
+            amplitude: 140.0,
+            period_secs: HORIZON as f64 * INTERVAL,
+            phase: 0.0,
+        },
+    )
+}
+
+fn build_shard(profile_refresh_ticks: u64) -> ShardController {
+    let mut shard = ShardController::new(
+        cfg(profile_refresh_ticks),
+        ConsolidationEngine::builder().build(),
+    );
+    shard.add_workload(Box::new(hot_source()));
+    for i in 0..3 {
+        shard.add_workload(Box::new(
+            SyntheticSource::new(
+                format!("flat-{i}"),
+                INTERVAL,
+                Bytes::gib(4),
+                RatePattern::Flat { tps: 220.0 },
+            )
+            .with_noise(0.0),
+        ));
+    }
+    shard
+}
+
+fn planned_cpu(shard: &ShardController, name: &str) -> (f64, f64) {
+    let planned = shard.planned_profile(name).expect("planned");
+    (planned.cpu_cores.mean(), planned.cpu_cores.max())
+}
+
+#[test]
+fn refresh_tightens_the_envelope_without_migrations() {
+    let mut shard = build_shard(HORIZON as u64);
+
+    let mut replan_tick = None;
+    let mut refresh_tick = None;
+    let mut envelope_cpu = (0.0, 0.0);
+    let mut resolves_at_refresh = 0;
+    let mut placement_before_refresh = None;
+
+    for tick in 1..=90u64 {
+        let resolves_before = shard.stats().resolves;
+        let placement = shard.placement().clone();
+        match shard.tick() {
+            TickOutcome::Replanned(r) => {
+                assert!(replan_tick.is_none(), "one regime change, one re-solve");
+                assert!(matches!(
+                    r.reason,
+                    kairos_controller::ReplanReason::Drift(_)
+                ));
+                replan_tick = Some(tick);
+                // The drifted tenant is now envelope-planned, and the
+                // refresh is scheduled.
+                assert_eq!(shard.envelope_planned(), vec!["hot".to_string()]);
+                envelope_cpu = planned_cpu(&shard, "hot");
+            }
+            TickOutcome::ProfileRefreshed { refreshed } => {
+                assert!(replan_tick.is_some(), "refresh only follows a replan");
+                assert!(refresh_tick.is_none(), "exactly one refresh");
+                assert_eq!(refreshed, 1, "only the drifted tenant refreshes");
+                refresh_tick = Some(tick);
+                resolves_at_refresh = resolves_before;
+                placement_before_refresh = Some(placement);
+            }
+            _ => {}
+        }
+    }
+
+    let replan_tick = replan_tick.expect("the regime change must force a re-solve");
+    let refresh_tick = refresh_tick.expect("the scheduled refresh must fire");
+    assert!(
+        refresh_tick >= replan_tick + HORIZON as u64,
+        "refresh waits for a full horizon of post-drift telemetry \
+         (replan {replan_tick}, refresh {refresh_tick})"
+    );
+    assert!(
+        refresh_tick <= replan_tick + HORIZON as u64 + cfg(0).check_every,
+        "refresh fires promptly once history re-accumulated"
+    );
+
+    // Zero-move: the refresh ran no solver and moved nothing.
+    assert_eq!(
+        shard.stats().resolves,
+        resolves_at_refresh,
+        "a profile refresh must not be a re-solve"
+    );
+    assert_eq!(
+        shard.placement(),
+        &placement_before_refresh.expect("captured"),
+        "a profile refresh must not migrate anything"
+    );
+    assert_eq!(shard.stats().profile_refreshes, 1);
+    assert!(shard.envelope_planned().is_empty(), "worklist drained");
+
+    // Tightened: the planned profile dropped from the flat envelope to
+    // the sinusoid's phase means — same peak, much lower mean.
+    let (refreshed_mean, refreshed_peak) = planned_cpu(&shard, "hot");
+    let (envelope_mean, envelope_peak) = envelope_cpu;
+    assert!(
+        (envelope_mean - envelope_peak).abs() < 1e-9,
+        "the envelope was flat (mean == peak)"
+    );
+    assert!(refreshed_peak <= envelope_peak * (1.0 + 1e-9));
+    assert!(
+        refreshed_mean < envelope_mean * 0.75,
+        "planned mean must tighten substantially: {refreshed_mean} vs envelope {envelope_mean}"
+    );
+
+    // And the tightened plan is *stable*: the sinusoid now matches its
+    // planned profile phase-for-phase, so the loop goes quiet again.
+    let resolves = shard.stats().resolves;
+    for _ in 0..40 {
+        shard.tick();
+    }
+    assert_eq!(
+        shard.stats().resolves,
+        resolves,
+        "the refreshed profile must not re-trip the detector"
+    );
+    assert!(shard.verify_current().expect("planned").feasible);
+}
+
+#[test]
+fn without_the_refresh_the_envelope_is_permanent() {
+    // Control: profile_refresh_ticks = 0 disables the refresh, and this
+    // regime's slack (≈0.43) sits below the 0.5 threshold — so the
+    // conservative envelope never tightens. This is precisely the waste
+    // the scheduled refresh exists to reclaim.
+    let mut shard = build_shard(0);
+    let mut saw_replan = false;
+    for _ in 1..=90u64 {
+        match shard.tick() {
+            TickOutcome::Replanned(_) => saw_replan = true,
+            TickOutcome::ProfileRefreshed { .. } => {
+                panic!("refresh disabled: must never fire")
+            }
+            _ => {}
+        }
+    }
+    assert!(saw_replan, "the regime change still re-solves");
+    assert_eq!(shard.stats().profile_refreshes, 0);
+    let (mean, peak) = planned_cpu(&shard, "hot");
+    assert!(
+        (mean - peak).abs() < 1e-9,
+        "without the refresh the planned profile stays a flat envelope"
+    );
+    assert_eq!(shard.envelope_planned(), vec!["hot".to_string()]);
+}
+
+#[test]
+fn refresh_state_survives_checkpoint_restore() {
+    // Crash between the replan and the refresh: the restored shard must
+    // still fire the refresh on schedule (the due tick and worklist are
+    // checkpointed state).
+    let mut shard = build_shard(HORIZON as u64);
+    let mut replan_tick = None;
+    for tick in 1..=60u64 {
+        if let TickOutcome::Replanned(_) = shard.tick() {
+            replan_tick = Some(tick);
+            break;
+        }
+    }
+    let replan_tick = replan_tick.expect("re-solve happens");
+    // Two more ticks, then "crash".
+    shard.tick();
+    shard.tick();
+    let crash_tick = replan_tick + 2;
+    let mut restored = ShardController::restore(
+        cfg(HORIZON as u64),
+        ConsolidationEngine::builder().build(),
+        shard.snapshot(),
+    )
+    .expect("snapshot restores");
+    assert_eq!(restored.envelope_planned(), vec!["hot".to_string()]);
+    restored
+        .attach_source(Box::new(hot_source().fast_forward(crash_tick)))
+        .expect("rebinds");
+    for i in 0..3 {
+        let src = SyntheticSource::new(
+            format!("flat-{i}"),
+            INTERVAL,
+            Bytes::gib(4),
+            RatePattern::Flat { tps: 220.0 },
+        )
+        .with_noise(0.0)
+        .fast_forward(crash_tick);
+        restored.attach_source(Box::new(src)).expect("rebinds");
+    }
+    let mut refreshed = false;
+    for _ in 0..30 {
+        if let TickOutcome::ProfileRefreshed { .. } = restored.tick() {
+            refreshed = true;
+            break;
+        }
+    }
+    assert!(
+        refreshed,
+        "the restored shard still runs its scheduled refresh"
+    );
+    assert_eq!(restored.stats().profile_refreshes, 1);
+}

@@ -13,7 +13,10 @@
 //! destination certainly fits it, and donors stop shedding as soon as
 //! their greedy estimate fits the budget again.
 
-use kairos_controller::ShardSummary;
+use crate::handoff::{HandoffOutcome, HandoffRecord};
+use kairos_controller::{ShardController, ShardSummary, TelemetrySource, TenantHandoff};
+use kairos_types::WorkloadProfile;
+use std::collections::BTreeMap;
 
 /// Balancer tuning.
 #[derive(Debug, Clone, Copy)]
@@ -90,6 +93,378 @@ pub fn receiver_order(summaries: &[ShardSummary], donor: usize, budget: usize) -
         .collect();
     receivers.sort_by_key(|&i| summaries[i].machines_used);
     receivers
+}
+
+/// A tenant mid-transfer between shards, as the balance round carries
+/// it: the checksummed wire frame ([`TenantHandoff::into_wire`]'s bytes
+/// — name, replicas, full rolling telemetry) plus, for in-process
+/// handoffs only, the live telemetry source. Over a real transport the
+/// source stays server-side (the destination node re-binds its own);
+/// the frame is the part that crosses the boundary either way.
+pub struct EvictedTenant {
+    pub name: String,
+    /// The handoff as a checksummed `kairos-store` frame.
+    pub wire: Vec<u8>,
+    /// The live source, when the donor and receiver share a process.
+    pub source: Option<Box<dyn TelemetrySource>>,
+}
+
+/// The surface a balance round drives a shard through — implemented
+/// directly by [`ShardController`] (the in-process fleet) and by
+/// `kairos-net`'s RPC client handle (a shard behind a transport). One
+/// trait, one [`run_balance_round`] implementation: the networked
+/// control plane runs the *same* policy code path as the in-process
+/// one, which is what makes the loopback fleet tick-for-tick identical
+/// to `FleetController` by construction.
+pub trait ShardHandle {
+    /// The shard's (possibly cached) balancer summary.
+    fn summary(&mut self) -> ShardSummary;
+    /// Greedy machine estimate for the shard's current tenant set.
+    fn pack_estimate_remaining(&mut self) -> Option<usize>;
+    /// Forecast one tenant's next horizon. `None` if unknown.
+    fn forecast(&mut self, tenant: &str) -> Option<WorkloadProfile>;
+    /// Phase 1 reservation: would `incoming` fit within `budget`?
+    fn can_admit(&mut self, incoming: &WorkloadProfile, budget: usize) -> bool;
+    /// Phase 2a: evict a tenant, returning it as a wire frame (plus the
+    /// live source, in-process). `None` if unknown or unreachable.
+    fn evict(&mut self, tenant: &str) -> Option<EvictedTenant>;
+    /// Phase 2b: admit an evicted tenant. On failure the tenant is
+    /// handed back so the round can re-admit it on the donor — the
+    /// rollback that keeps a mid-handshake failure from stranding it.
+    fn admit(&mut self, tenant: EvictedTenant) -> Result<(), EvictedTenant>;
+    /// Does this shard currently hold `tenant`? `None` when that cannot
+    /// be determined (unreachable peer). The handshake's recovery path:
+    /// when an admit *reports* failure, the transfer may still have
+    /// applied with only the response lost — the round asks before
+    /// rolling back, so a lost response cannot duplicate a tenant.
+    fn owns(&mut self, tenant: &str) -> Option<bool>;
+}
+
+impl ShardHandle for ShardController {
+    fn summary(&mut self) -> ShardSummary {
+        self.summary_cached()
+    }
+
+    fn pack_estimate_remaining(&mut self) -> Option<usize> {
+        self.pack_estimate(&[])
+    }
+
+    fn forecast(&mut self, tenant: &str) -> Option<WorkloadProfile> {
+        self.forecast_workload(tenant)
+    }
+
+    fn can_admit(&mut self, incoming: &WorkloadProfile, budget: usize) -> bool {
+        ShardController::can_admit(self, incoming, budget)
+    }
+
+    fn evict(&mut self, tenant: &str) -> Option<EvictedTenant> {
+        let handoff = ShardController::evict(self, tenant)?;
+        let name = handoff.name.clone();
+        // The telemetry crosses as transport-ready bytes — the same
+        // checksummed encoding an RPC boundary ships — so the wire
+        // format is exercised on every live handoff, not only in tests.
+        let (wire, source) = handoff.into_wire();
+        Some(EvictedTenant {
+            name,
+            wire,
+            source: Some(source),
+        })
+    }
+
+    fn admit(&mut self, tenant: EvictedTenant) -> Result<(), EvictedTenant> {
+        let EvictedTenant { name, wire, source } = tenant;
+        let Some(source) = source else {
+            // An in-process shard cannot re-bind a source by itself.
+            return Err(EvictedTenant {
+                name,
+                wire,
+                source: None,
+            });
+        };
+        match TenantHandoff::parts_from_wire(&wire) {
+            Ok((frame_name, replicas, telemetry)) if frame_name == *source.name() => {
+                ShardController::admit(
+                    self,
+                    TenantHandoff {
+                        name: frame_name,
+                        replicas,
+                        source,
+                        telemetry,
+                    },
+                );
+                Ok(())
+            }
+            _ => Err(EvictedTenant {
+                name,
+                wire,
+                source: Some(source),
+            }),
+        }
+    }
+
+    fn owns(&mut self, tenant: &str) -> Option<bool> {
+        Some(self.has_workload(tenant))
+    }
+}
+
+/// A handoff stranded mid-handshake by transport faults: the admit
+/// reported failure, and either the receiver could not be asked whether
+/// it actually applied, or the donor-side rollback failed too. The
+/// caller holds these between rounds; every subsequent round resolves
+/// them **probe-first** (ask the receiver, then re-admit on the donor),
+/// so a tenant is never silently dropped *and* never blindly duplicated.
+pub struct ParkedHandoff {
+    pub donor: usize,
+    pub receiver: usize,
+    pub tenant: EvictedTenant,
+}
+
+/// One balance round over any set of [`ShardHandle`]s: donors shed their
+/// heaviest tenants to the emptiest shards that can reserve capacity for
+/// them, through the two-phase (reserve → evict → admit) handshake. The
+/// single policy implementation shared by the in-process
+/// [`crate::FleetController`] and `kairos-net`'s RPC balancer.
+///
+/// `round` is the balance-round counter (drives the per-tenant probe
+/// cooldown stored in `cooldown`), `tick` stamps the audit records. The
+/// caller applies the returned records to its shard map and stats.
+///
+/// `parked` is the caller-held lot of [`ParkedHandoff`]s (only a lossy
+/// transport can populate it — in-process handshakes cannot fail). Each
+/// round resolves it first: if the receiver turns out to own the tenant
+/// (the admit applied, only its response was lost) a late `Completed`
+/// record re-routes the map; if the receiver provably does not, the
+/// donor re-admits; if neither peer answers, the entry stays parked for
+/// the next round.
+pub fn run_balance_round<H: ShardHandle>(
+    shards: &mut [H],
+    cfg: &BalancerConfig,
+    round: u64,
+    tick: u64,
+    cooldown: &mut BTreeMap<String, u64>,
+    parked: &mut Vec<ParkedHandoff>,
+) -> Vec<HandoffRecord> {
+    let mut records = Vec::new();
+    let pending = std::mem::take(parked);
+    for entry in pending {
+        let ParkedHandoff {
+            donor,
+            receiver,
+            tenant,
+        } = entry;
+        match shards.get_mut(receiver).and_then(|r| r.owns(&tenant.name)) {
+            // The original admit landed and only its response was
+            // lost: surface the transfer so the caller re-routes.
+            Some(true) => records.push(HandoffRecord {
+                tenant: tenant.name,
+                from: donor,
+                to: Some(receiver),
+                tick,
+                outcome: HandoffOutcome::Completed,
+            }),
+            // Provably not at the receiver: safe to restore the donor.
+            Some(false) => match shards.get_mut(donor) {
+                Some(shard) => {
+                    if let Err(returned) = shard.admit(tenant) {
+                        parked.push(ParkedHandoff {
+                            donor,
+                            receiver,
+                            tenant: returned,
+                        });
+                    }
+                }
+                None => parked.push(ParkedHandoff {
+                    donor,
+                    receiver,
+                    tenant,
+                }),
+            },
+            // Unknowable right now: keep waiting rather than risk a
+            // duplicate.
+            None => parked.push(ParkedHandoff {
+                donor,
+                receiver,
+                tenant,
+            }),
+        }
+    }
+    // A single-shard fleet has no possible receiver: proposing (and
+    // counting) handoffs would only pollute the rejection stats, so
+    // don't probe donors at all.
+    if shards.len() < 2 {
+        return records;
+    }
+    let budget = cfg.machines_per_shard;
+    let shed_target = cfg.shed_target();
+    let cooldown_rounds = cfg.cooldown_rounds;
+    // Staleness-bounded cached summaries: a quiet shard's roll-up is
+    // reused between rounds instead of re-forecasting every tenant.
+    // Plans, membership, handoffs and failed solves invalidate
+    // immediately; the *forecast-derived* donor signal (a placement
+    // drifting infeasible without tripping the detector) can lag up
+    // to `summary_refresh_ticks`. Admissions stay capacity-safe
+    // regardless — `can_admit` always re-packs fresh.
+    let summaries: Vec<ShardSummary> = shards.iter_mut().map(|s| s.summary()).collect();
+    let mut moves_left = cfg.max_moves_per_round;
+
+    for donor in donor_order(&summaries, budget) {
+        // A saturated fleet can leave a donor with no willing
+        // receiver; after a couple of failed reservations this round,
+        // stop probing the rest of its tenants (smaller candidates
+        // rarely fit where bigger ones already failed, and the next
+        // round re-evaluates from fresh summaries anyway).
+        let mut rejections = 0;
+        for tenant in candidate_order(&summaries[donor]) {
+            if moves_left == 0 || rejections >= 2 {
+                break;
+            }
+            // Hysteresis: a tenant probed recently (moved or
+            // rejected) sits out `cooldown_rounds` balance rounds, so
+            // the same tenant is not re-proposed while the fleet
+            // hovers at its budget.
+            if cooldown_rounds > 0 {
+                if let Some(&last) = cooldown.get(&tenant) {
+                    if round.saturating_sub(last) <= cooldown_rounds {
+                        continue;
+                    }
+                }
+            }
+            // Shedding stops as soon as what remains packs within the
+            // low watermark again (greedy estimate, like the
+            // reservation; already-evicted tenants are gone from the
+            // donor's forecast, so the estimate reflects them). The
+            // donor *triggered* at the high watermark (the budget),
+            // but sheds down to the low one so the next small drift
+            // doesn't immediately re-trigger it.
+            let est = shards[donor]
+                .pack_estimate_remaining()
+                .unwrap_or(usize::MAX);
+            if est <= shed_target {
+                break;
+            }
+            let Some(profile) = shards[donor].forecast(&tenant) else {
+                continue;
+            };
+            // Phase 1 — reservation: first receiver (emptiest-first)
+            // that certifies capacity for the tenant *within the low
+            // watermark*, so admission leaves the receiver headroom
+            // instead of parking it at the donor trigger.
+            let receiver = receiver_order(&summaries, donor, budget)
+                .into_iter()
+                .find(|&r| shards[r].can_admit(&profile, shed_target));
+            if cooldown_rounds > 0 {
+                cooldown.insert(tenant.clone(), round);
+            }
+            let Some(to) = receiver else {
+                rejections += 1;
+                records.push(HandoffRecord {
+                    tenant,
+                    from: donor,
+                    to: None,
+                    tick,
+                    outcome: HandoffOutcome::NoReceiver,
+                });
+                continue;
+            };
+            // Phase 2 — transfer: evict (frees capacity on the donor)
+            // then admit (telemetry travels as a checksummed wire
+            // frame; the receiver replans membership next tick).
+            let mut evicted = shards[donor].evict(&tenant);
+            if evicted.is_none() && shards[donor].owns(&tenant) == Some(false) {
+                // The eviction came back empty while the donor provably
+                // no longer hosts the tenant: the evict applied and its
+                // *response* was lost. The donor's outbox retains the
+                // frame for exactly this retry — and the probe having
+                // just answered means the link works again.
+                evicted = shards[donor].evict(&tenant);
+            }
+            let Some(evicted) = evicted else {
+                // Unreachable donor (or a candidate its summary listed
+                // but it no longer hosts — only possible over a failing
+                // transport). If the eviction did apply under the
+                // failure, the donor's lease is collapsing with it and
+                // the rejoin reconciliation re-seeds what the map still
+                // routes there. The reservation *was* granted, so this
+                // is a mid-handshake transport fault, not a capacity
+                // rejection — record it as Failed so the operator-facing
+                // counters tell the truth.
+                rejections += 1;
+                records.push(HandoffRecord {
+                    tenant,
+                    from: donor,
+                    to: Some(to),
+                    tick,
+                    outcome: HandoffOutcome::Failed,
+                });
+                continue;
+            };
+            match shards[to].admit(evicted) {
+                Ok(()) => {
+                    moves_left -= 1;
+                    records.push(HandoffRecord {
+                        tenant,
+                        from: donor,
+                        to: Some(to),
+                        tick,
+                        outcome: HandoffOutcome::Completed,
+                    });
+                }
+                Err(returned) => {
+                    // The admit *reported* failure — but over a lossy
+                    // transport the transfer may have applied with only
+                    // the response lost. Ask before rolling back: a
+                    // blind donor re-admit would duplicate the tenant.
+                    match shards[to].owns(&tenant) {
+                        Some(true) => {
+                            moves_left -= 1;
+                            records.push(HandoffRecord {
+                                tenant,
+                                from: donor,
+                                to: Some(to),
+                                tick,
+                                outcome: HandoffOutcome::Completed,
+                            });
+                            continue;
+                        }
+                        Some(false) => {
+                            // Provably not admitted: roll the tenant
+                            // back onto the donor so it is never
+                            // stranded. The donor admit reuses the same
+                            // frame + source the eviction produced, so
+                            // the rollback is exact; if even that fails
+                            // (a second fault), park for the
+                            // probe-first retry.
+                            if let Err(orphan) = shards[donor].admit(returned) {
+                                parked.push(ParkedHandoff {
+                                    donor,
+                                    receiver: to,
+                                    tenant: orphan,
+                                });
+                            }
+                        }
+                        // The receiver cannot be asked right now — the
+                        // transfer may or may not have landed, and a
+                        // blind rollback could duplicate. Park; the
+                        // next round probes first.
+                        None => parked.push(ParkedHandoff {
+                            donor,
+                            receiver: to,
+                            tenant: returned,
+                        }),
+                    }
+                    rejections += 1;
+                    records.push(HandoffRecord {
+                        tenant,
+                        from: donor,
+                        to: Some(to),
+                        tick,
+                        outcome: HandoffOutcome::Failed,
+                    });
+                }
+            }
+        }
+    }
+    records
 }
 
 /// Handoff candidates on a donor: heaviest forecast CPU peak first —

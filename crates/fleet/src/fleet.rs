@@ -14,12 +14,12 @@
 //! summaries ([`kairos_traces::aggregate`] roll-ups), never per-tenant
 //! telemetry.
 
-use crate::balancer::{candidate_order, donor_order, receiver_order, BalancerConfig};
+use crate::balancer::{run_balance_round, BalancerConfig, ParkedHandoff};
 use crate::handoff::{HandoffOutcome, HandoffRecord};
 use crate::shardmap::ShardMap;
 use crate::snapshot::{FleetSnapshot, FLEET_SNAPSHOT_VERSION};
 use kairos_controller::{
-    ControllerConfig, ShardController, ShardSummary, TelemetrySource, TenantHandoff, TickOutcome,
+    ControllerConfig, ShardController, ShardSummary, TelemetrySource, TickOutcome,
 };
 use kairos_core::ConsolidationEngine;
 use kairos_solver::{evaluate, Assignment, ConsolidationProblem, Evaluation};
@@ -111,6 +111,10 @@ pub struct FleetStats {
     pub balance_rounds: u64,
     pub handoffs_completed: u64,
     pub handoffs_rejected: u64,
+    /// Handoffs that failed mid-handshake and were rolled back onto the
+    /// donor ([`HandoffOutcome::Failed`]). Always 0 in-process; only a
+    /// real transport can damage or lose a frame between the phases.
+    pub handoffs_failed: u64,
 }
 
 /// What one fleet tick did.
@@ -171,6 +175,13 @@ pub struct FleetController {
     /// Balance round at which each tenant was last probed for a handoff
     /// (completed or rejected) — the hysteresis cooldown's memory.
     probe_cooldown: std::collections::BTreeMap<String, u64>,
+    /// Parking lot for handoffs stranded mid-handshake (see
+    /// [`run_balance_round`]). In-process admits cannot fail, so this
+    /// stays empty here — the field exists because the shared round
+    /// owns the recovery contract — and is deliberately not
+    /// checkpointed (a live telemetry source cannot serialize; an
+    /// in-process fleet never has anything to persist in it).
+    parked: Vec<ParkedHandoff>,
     stats: FleetStats,
 }
 
@@ -202,6 +213,7 @@ impl FleetController {
             anti_affinity: Vec::new(),
             handoff_log: Vec::new(),
             probe_cooldown: std::collections::BTreeMap::new(),
+            parked: Vec::new(),
             stats: FleetStats::default(),
         }
     }
@@ -258,6 +270,9 @@ impl FleetController {
             self.shards[shard].remove_workload(name);
         }
         self.probe_cooldown.remove(name);
+        // In-process handshakes never park, but a retired tenant must
+        // never be resurrectable from the lot either.
+        self.parked.retain(|p| p.tenant.name != name);
     }
 
     /// Declare a fleet-wide anti-affinity pair. Holds inside whatever
@@ -337,116 +352,34 @@ impl FleetController {
     }
 
     /// One balance round: donors shed their heaviest tenants to the
-    /// emptiest shards that can reserve capacity for them.
+    /// emptiest shards that can reserve capacity for them. The policy
+    /// itself is [`run_balance_round`] — the single code path shared
+    /// with the RPC balancer (`kairos-net`), driven here through
+    /// [`ShardController`]'s direct [`crate::balancer::ShardHandle`]
+    /// implementation.
     fn balance_round(&mut self) -> Vec<HandoffRecord> {
         self.stats.balance_rounds += 1;
-        // A single-shard fleet has no possible receiver: proposing (and
-        // counting) handoffs would only pollute the rejection stats, so
-        // don't probe donors at all.
-        if self.shards.len() < 2 {
-            return Vec::new();
-        }
-        let budget = self.cfg.balancer.machines_per_shard;
-        let shed_target = self.cfg.balancer.shed_target();
-        let cooldown = self.cfg.balancer.cooldown_rounds;
-        let round = self.stats.balance_rounds;
-        // Staleness-bounded cached summaries: a quiet shard's roll-up is
-        // reused between rounds instead of re-forecasting every tenant.
-        // Plans, membership, handoffs and failed solves invalidate
-        // immediately; the *forecast-derived* donor signal (a placement
-        // drifting infeasible without tripping the detector) can lag up
-        // to `summary_refresh_ticks`. Admissions stay capacity-safe
-        // regardless — `can_admit` always re-packs fresh.
-        let summaries: Vec<ShardSummary> =
-            self.shards.iter_mut().map(|s| s.summary_cached()).collect();
-        let mut records = Vec::new();
-        let mut moves_left = self.cfg.balancer.max_moves_per_round;
-
-        for donor in donor_order(&summaries, budget) {
-            // A saturated fleet can leave a donor with no willing
-            // receiver; after a couple of failed reservations this round,
-            // stop probing the rest of its tenants (smaller candidates
-            // rarely fit where bigger ones already failed, and the next
-            // round re-evaluates from fresh summaries anyway).
-            let mut rejections = 0;
-            for tenant in candidate_order(&summaries[donor]) {
-                if moves_left == 0 || rejections >= 2 {
-                    break;
+        let records = run_balance_round(
+            &mut self.shards,
+            &self.cfg.balancer,
+            self.stats.balance_rounds,
+            self.stats.ticks,
+            &mut self.probe_cooldown,
+            &mut self.parked,
+        );
+        debug_assert!(
+            self.parked.is_empty(),
+            "in-process admits cannot fail, so nothing may park"
+        );
+        for record in &records {
+            match record.outcome {
+                HandoffOutcome::Completed => {
+                    let to = record.to.expect("completed handoffs carry a destination");
+                    self.map.assign(&record.tenant, to);
+                    self.stats.handoffs_completed += 1;
                 }
-                // Hysteresis: a tenant probed recently (moved or
-                // rejected) sits out `cooldown_rounds` balance rounds, so
-                // the same tenant is not re-proposed while the fleet
-                // hovers at its budget.
-                if cooldown > 0 {
-                    if let Some(&last) = self.probe_cooldown.get(&tenant) {
-                        if round.saturating_sub(last) <= cooldown {
-                            continue;
-                        }
-                    }
-                }
-                // Shedding stops as soon as what remains packs within the
-                // low watermark again (greedy estimate, like the
-                // reservation; already-evicted tenants are gone from the
-                // donor's forecast, so the estimate reflects them). The
-                // donor *triggered* at the high watermark (the budget),
-                // but sheds down to the low one so the next small drift
-                // doesn't immediately re-trigger it.
-                let est = self.shards[donor].pack_estimate(&[]).unwrap_or(usize::MAX);
-                if est <= shed_target {
-                    break;
-                }
-                let Some(profile) = self.shards[donor].forecast_workload(&tenant) else {
-                    continue;
-                };
-                // Phase 1 — reservation: first receiver (emptiest-first)
-                // that certifies capacity for the tenant *within the low
-                // watermark*, so admission leaves the receiver headroom
-                // instead of parking it at the donor trigger.
-                let receiver = receiver_order(&summaries, donor, budget)
-                    .into_iter()
-                    .find(|&r| self.shards[r].can_admit(&profile, shed_target));
-                if cooldown > 0 {
-                    self.probe_cooldown.insert(tenant.clone(), round);
-                }
-                match receiver {
-                    Some(to) => {
-                        // Phase 2 — transfer: evict (frees capacity on
-                        // the donor) then admit (telemetry travels; the
-                        // receiver replans membership next tick). The
-                        // telemetry crosses as transport-ready bytes —
-                        // the same checksummed encoding an RPC boundary
-                        // would ship — so the wire format is exercised on
-                        // every live handoff, not only in tests.
-                        let handoff = self.shards[donor]
-                            .evict(&tenant)
-                            .expect("candidate listed by donor summary");
-                        let (wire, source) = handoff.into_wire();
-                        let handoff = TenantHandoff::from_wire(&wire, source)
-                            .expect("round-trip of a freshly encoded handoff frame");
-                        self.shards[to].admit(handoff);
-                        self.map.assign(&tenant, to);
-                        moves_left -= 1;
-                        self.stats.handoffs_completed += 1;
-                        records.push(HandoffRecord {
-                            tenant,
-                            from: donor,
-                            to: Some(to),
-                            tick: self.stats.ticks,
-                            outcome: HandoffOutcome::Completed,
-                        });
-                    }
-                    None => {
-                        rejections += 1;
-                        self.stats.handoffs_rejected += 1;
-                        records.push(HandoffRecord {
-                            tenant,
-                            from: donor,
-                            to: None,
-                            tick: self.stats.ticks,
-                            outcome: HandoffOutcome::NoReceiver,
-                        });
-                    }
-                }
+                HandoffOutcome::NoReceiver => self.stats.handoffs_rejected += 1,
+                HandoffOutcome::Failed => self.stats.handoffs_failed += 1,
             }
         }
         self.handoff_log.extend(records.iter().cloned());
@@ -569,6 +502,7 @@ impl FleetController {
             anti_affinity: snapshot.anti_affinity,
             handoff_log: snapshot.handoff_log,
             probe_cooldown: snapshot.probe_cooldown,
+            parked: Vec::new(),
             stats: snapshot.stats,
         })
     }

@@ -31,6 +31,17 @@ pub enum HandoffOutcome {
     /// No shard could reserve capacity for the tenant; it stayed on the
     /// (overloaded) source shard.
     NoReceiver,
+    /// Reservation granted but the transfer failed mid-handshake (a
+    /// damaged frame or an unreachable destination — only possible over
+    /// a real transport). The tenant is rolled back onto the source
+    /// shard when the destination provably did not admit it; when
+    /// neither peer can be asked (or the rollback itself fails), it
+    /// parks in the balancer's recovery lot and later rounds resolve it
+    /// probe-first — possibly surfacing a late `Completed` record if
+    /// the transfer turns out to have landed. Either way the routing
+    /// map keeps pointing at the source until a `Completed` record says
+    /// otherwise, and the tenant is never silently dropped.
+    Failed,
 }
 
 /// One proposed cross-shard move. Serializable: the fleet checkpoint

@@ -41,7 +41,10 @@ pub mod handoff;
 pub mod shardmap;
 pub mod snapshot;
 
-pub use balancer::{candidate_order, donor_order, is_overloaded, receiver_order, BalancerConfig};
+pub use balancer::{
+    candidate_order, donor_order, is_overloaded, receiver_order, run_balance_round, BalancerConfig,
+    EvictedTenant, ParkedHandoff, ShardHandle,
+};
 pub use fleet::{
     default_tick_threads, FleetAudit, FleetConfig, FleetController, FleetStats, FleetTickReport,
 };

@@ -39,7 +39,11 @@ pub const HANDOFF_LOG_CHECKPOINT_CAP: usize = 4096;
 /// [`FleetSnapshot`]'s layout (or any type it transitively embeds);
 /// loading an older version then fails with an explicit
 /// `UnsupportedVersion` instead of misdecoding.
-pub const FLEET_SNAPSHOT_VERSION: u32 = 1;
+///
+/// v2: `ShardSnapshot` gained the scheduled-horizon-refresh state
+/// (`envelope_planned`, `profile_refresh_due`), `ControllerStats` gained
+/// `profile_refreshes`, and `FleetStats` gained `handoffs_failed`.
+pub const FLEET_SNAPSHOT_VERSION: u32 = 2;
 
 /// The whole control plane's checkpointable state. Construct via
 /// [`crate::FleetController::snapshot`] / persist via

@@ -92,6 +92,7 @@ fn outcome_sig(o: &TickOutcome) -> String {
         TickOutcome::Bootstrapping => "boot".into(),
         TickOutcome::Idle => "idle".into(),
         TickOutcome::Stable => "stable".into(),
+        TickOutcome::ProfileRefreshed { refreshed } => format!("refresh:{refreshed}"),
         TickOutcome::InitialPlan { machines, .. } => format!("init:m{machines}"),
         TickOutcome::Replanned(r) => format!(
             "replan:{:?}:feasible={}:moves={}:churn={:016x}:m{}:exec[{},{},{},{:016x},{}]",

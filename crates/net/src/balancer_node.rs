@@ -1,0 +1,981 @@
+//! The balancer-node role: `FleetController`'s cross-shard half, driven
+//! purely over RPC.
+//!
+//! A [`BalancerNode`] owns what the fleet layer owns in-process — the
+//! [`ShardMap`] routing truth, the balance policy state (cooldowns,
+//! stats, the handoff audit log) — and *nothing* of what shards own
+//! (telemetry, placements, solvers). Every observation and every
+//! mutation of shard state crosses the [`crate::Transport`] as an RPC,
+//! and the balance round itself is
+//! [`kairos_fleet::balancer::run_balance_round`] — the **same** policy
+//! code path the in-process `FleetController` runs, driven through
+//! [`RemoteShard`] handles instead of direct `ShardController` access.
+//! That single-code-path design is what the loopback equivalence
+//! property test pins down: a fleet run over RPC is tick-for-tick
+//! identical to the in-process fleet.
+//!
+//! ## Leases and failure detection
+//!
+//! Liveness is tick-based, not wall-clock-based (wall clocks would break
+//! determinism): every successful RPC renews a shard's lease; every
+//! failed one counts a miss. A shard at
+//! [`LeaseConfig::miss_limit`] consecutive misses is **down**: the
+//! balancer stops ticking it, its summary reads as unplanned (never a
+//! donor, never a receiver), and the rest of the fleet keeps running.
+//! Rejoin is explicit ([`BalancerNode::rejoin`]) — the operator (or the
+//! supervising process) restores the node from its checkpoint and hands
+//! the balancer the new endpoint; the balancer then *reconciles*: the
+//! routing map is the ownership truth, so a restored-but-stale node
+//! drops tenants the map has since moved elsewhere, and tenants the map
+//! routes to the node but its checkpoint predates are re-seeded from
+//! scratch.
+//!
+//! ## Balancer failover
+//!
+//! The balancer is itself a single point of control, so it serves a
+//! lease endpoint of its own ([`BalancerNode::serve_lease`]) and any
+//! number of [`StandbyBalancer`]s watch it. Promotion is deterministic
+//! and double-guarded: standby rank `r` arms after `r × miss_limit`
+//! consecutive misses (the lowest rank always arms first), and then
+//! promotes only once the *fleet itself* has stopped making progress —
+//! the split-brain guard, since a promoted lower rank never serves the
+//! dead primary's old endpoint but does keep the shards' tick counters
+//! moving. A promoted standby rebuilds the routing map **and** the
+//! membership view (replica counts, anti-affinity pairs) from the
+//! shards themselves — the ground truth the balancer state summarizes —
+//! and adopts the fleet tick from the most advanced shard. Cooldown
+//! memory and the audit log die with the old balancer; both are
+//! hysteresis/observability, not correctness state.
+
+use crate::frame;
+use crate::rpc::{self, Request, Response};
+use crate::transport::{Conn, Handler, NetError, ServerHandle, Transport};
+use kairos_controller::{ControllerStats, FleetPlacement, ReSolver, TickOutcome};
+use kairos_core::ConsolidationEngine;
+use kairos_fleet::{
+    run_balance_round, EvictedTenant, FleetAudit, FleetConfig, FleetStats, HandoffOutcome,
+    HandoffRecord, ParkedHandoff, ShardHandle, ShardMap,
+};
+use kairos_solver::{evaluate, Assignment};
+use kairos_traces::ShardAggregate;
+use kairos_types::WorkloadProfile;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Tick-based lease tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct LeaseConfig {
+    /// Consecutive failed RPCs after which a shard is considered down
+    /// (and a balancer's own lease endpoint, dead — scaled by standby
+    /// rank; see the module docs).
+    pub miss_limit: u32,
+}
+
+impl Default for LeaseConfig {
+    fn default() -> LeaseConfig {
+        LeaseConfig { miss_limit: 3 }
+    }
+}
+
+/// One shard's connection state. The connection is dialed lazily and
+/// redialed after any transport failure (a broken TCP stream never
+/// poisons the link permanently — the next call reconnects, which is
+/// also what makes [`BalancerNode::set_endpoint`] take effect on the
+/// very next RPC).
+struct ShardLink {
+    endpoint: String,
+    transport: Arc<dyn Transport>,
+    conn: Option<Box<dyn Conn>>,
+    missed: u32,
+}
+
+impl ShardLink {
+    fn new(endpoint: &str, transport: Arc<dyn Transport>) -> ShardLink {
+        ShardLink {
+            endpoint: endpoint.to_string(),
+            transport,
+            conn: None,
+            missed: 0,
+        }
+    }
+
+    /// One RPC with lease accounting: success (or a *remote* error — the
+    /// peer answered, so it is alive) renews the lease; transport
+    /// failures count a miss and drop the connection for a redial.
+    fn call(&mut self, request: &Request) -> Result<Response, NetError> {
+        if self.conn.is_none() {
+            match self.transport.connect(&self.endpoint) {
+                Ok(conn) => self.conn = Some(conn),
+                Err(e) => {
+                    self.missed = self.missed.saturating_add(1);
+                    return Err(e);
+                }
+            }
+        }
+        let conn = self.conn.as_deref_mut().expect("just dialed");
+        match rpc::call(conn, request) {
+            Ok(response) => {
+                self.missed = 0;
+                Ok(response)
+            }
+            Err(NetError::Remote(msg)) => {
+                self.missed = 0;
+                Err(NetError::Remote(msg))
+            }
+            Err(e) => {
+                self.missed = self.missed.saturating_add(1);
+                self.conn = None;
+                Err(e)
+            }
+        }
+    }
+
+    fn down(&self, miss_limit: u32) -> bool {
+        self.missed >= miss_limit
+    }
+}
+
+/// What one balancer tick did.
+#[derive(Debug)]
+pub struct NetTickReport {
+    /// Per-shard outcome; `None` for shards that are down (or whose Tick
+    /// RPC failed this interval).
+    pub outcomes: Vec<Option<TickOutcome>>,
+    /// Handoffs proposed by this tick's balance round (empty off-cadence).
+    pub handoffs: Vec<HandoffRecord>,
+    /// Shards currently past their lease (skipped until rejoin).
+    pub down: Vec<usize>,
+}
+
+/// The RPC balancer. See module docs.
+pub struct BalancerNode {
+    cfg: FleetConfig,
+    lease: LeaseConfig,
+    transport: Arc<dyn Transport>,
+    links: Vec<ShardLink>,
+    map: ShardMap,
+    /// Replica counts by tenant — needed to re-seed a tenant lost to a
+    /// pre-checkpoint node death.
+    replicas: BTreeMap<String, u32>,
+    anti_affinity: Vec<(String, String)>,
+    cooldown: BTreeMap<String, u64>,
+    handoff_log: Vec<HandoffRecord>,
+    /// Parking lot for handoffs stranded mid-handshake by transport
+    /// faults; every balance round resolves it probe-first (see
+    /// [`run_balance_round`]), so a tenant is never silently dropped
+    /// and never blindly duplicated. Caveat: the lot is this process's
+    /// memory — like cooldowns and the audit log it dies with the
+    /// balancer, so a *triple* fault (double-fault parking followed by
+    /// a balancer death before the next round resolves it) loses the
+    /// parked telemetry; the tenant itself is then recovered by the
+    /// rejoin re-seed path. Replicating balancer state to standbys is
+    /// the ROADMAP item that closes this.
+    parked: Vec<ParkedHandoff>,
+    stats: FleetStats,
+    /// Builds the audit's global problem with a real engine (shards are
+    /// assumed homogeneous, the same contract as
+    /// `FleetController::audit`) and the fleet anti-affinity list.
+    audit_resolver: ReSolver,
+    /// Mirror of `stats.ticks` for the served lease endpoint.
+    lease_ticks: Arc<AtomicU64>,
+}
+
+impl BalancerNode {
+    /// Connect to one shard-node endpoint per configured shard. The
+    /// audit judges placements with a default engine; use
+    /// [`BalancerNode::set_audit_engine`] for custom machine classes.
+    /// (`cfg.tick_threads` is ignored: RPC dispatch is strictly serial —
+    /// that is what makes delivery order deterministic.)
+    pub fn connect(
+        cfg: FleetConfig,
+        lease: LeaseConfig,
+        transport: Arc<dyn Transport>,
+        endpoints: &[String],
+    ) -> Result<BalancerNode, NetError> {
+        assert_eq!(endpoints.len(), cfg.shards, "one endpoint per shard");
+        assert!(cfg.shards >= 1, "need at least one shard");
+        let mut links = Vec::with_capacity(endpoints.len());
+        for endpoint in endpoints {
+            let mut link = ShardLink::new(endpoint, transport.clone());
+            link.conn = Some(transport.connect(endpoint)?);
+            links.push(link);
+        }
+        Ok(BalancerNode {
+            map: ShardMap::new(cfg.shards),
+            cfg,
+            lease,
+            transport,
+            links,
+            replicas: BTreeMap::new(),
+            anti_affinity: Vec::new(),
+            cooldown: BTreeMap::new(),
+            handoff_log: Vec::new(),
+            parked: Vec::new(),
+            stats: FleetStats::default(),
+            audit_resolver: ReSolver::new(ConsolidationEngine::builder().build()),
+            lease_ticks: Arc::new(AtomicU64::new(0)),
+        })
+    }
+
+    /// Swap the engine the fleet audit builds its global problem with.
+    pub fn set_audit_engine(&mut self, engine: ConsolidationEngine) {
+        let anti = self.audit_resolver.anti_affinity.clone();
+        self.audit_resolver = ReSolver::new(engine);
+        self.audit_resolver.anti_affinity = anti;
+    }
+
+    pub fn config(&self) -> &FleetConfig {
+        &self.cfg
+    }
+
+    pub fn stats(&self) -> FleetStats {
+        self.stats
+    }
+
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// All handoffs ever proposed (completed, rejected and failed).
+    pub fn handoffs(&self) -> &[HandoffRecord] {
+        &self.handoff_log
+    }
+
+    /// Shards currently past their lease.
+    pub fn down_shards(&self) -> Vec<usize> {
+        (0..self.links.len())
+            .filter(|&i| self.links[i].down(self.lease.miss_limit))
+            .collect()
+    }
+
+    /// Register a brand-new tenant on a specific shard. The node binds
+    /// the live source itself (by name, through its
+    /// [`crate::SourceBinder`]); only the registration crosses the wire.
+    pub fn add_workload_to(
+        &mut self,
+        shard: usize,
+        tenant: &str,
+        replicas: u32,
+    ) -> Result<(), NetError> {
+        match self.links[shard].call(&Request::AddWorkload {
+            tenant: tenant.to_string(),
+            replicas,
+        })? {
+            Response::Done => {
+                self.map.assign(tenant, shard);
+                if replicas > 1 {
+                    self.replicas.insert(tenant.to_string(), replicas);
+                }
+                Ok(())
+            }
+            other => Err(NetError::Protocol(format!(
+                "AddWorkload answered {other:?}"
+            ))),
+        }
+    }
+
+    /// Address-book update: point a shard's link at a new endpoint
+    /// without connecting yet (the next RPC — or a promotion's
+    /// reconnect — dials it). This is how standbys learn about a node
+    /// respawned on a new port before they ever take over.
+    pub fn set_endpoint(&mut self, shard: usize, endpoint: &str) {
+        self.links[shard] = ShardLink::new(endpoint, self.transport.clone());
+    }
+
+    /// Operator override: re-assert that `tenant` lives on `shard` in
+    /// the routing map without touching any node (used after an
+    /// out-of-band transfer, e.g. an operator-driven evict/admit pair;
+    /// the next rejoin reconciliation then enforces it).
+    pub fn reroute(&mut self, tenant: &str, shard: usize) {
+        self.map.assign(tenant, shard);
+    }
+
+    /// Retire a tenant wherever it currently lives. The node-side
+    /// retirement happens first: on a transport failure the routing map
+    /// is left untouched, so a retry actually retries (removing the map
+    /// entry first would orphan a still-live tenant and turn retries
+    /// into no-ops).
+    pub fn remove_workload(&mut self, tenant: &str) -> Result<(), NetError> {
+        let Some(shard) = self.map.shard_of(tenant) else {
+            return Ok(());
+        };
+        self.links[shard].call(&Request::RemoveWorkload {
+            tenant: tenant.to_string(),
+        })?;
+        self.map.remove(tenant);
+        self.replicas.remove(tenant);
+        self.cooldown.remove(tenant);
+        // A retired tenant must not be resurrected by the parked-handoff
+        // recovery path later.
+        self.parked.retain(|p| p.tenant.name != tenant);
+        Ok(())
+    }
+
+    /// Declare a fleet-wide anti-affinity pair (registered on every
+    /// shard, and on the audit's problem builder). Idempotent at every
+    /// layer — node-side registration skips known pairs — so a
+    /// partially-failed call is safely retried whole.
+    pub fn add_anti_affinity(&mut self, a: &str, b: &str) -> Result<(), NetError> {
+        let known = self
+            .anti_affinity
+            .iter()
+            .any(|(x, y)| (x == a && y == b) || (x == b && y == a));
+        if !known {
+            self.anti_affinity.push((a.to_string(), b.to_string()));
+            self.audit_resolver
+                .anti_affinity
+                .push((a.to_string(), b.to_string()));
+        }
+        for link in &mut self.links {
+            link.call(&Request::AddAntiAffinity {
+                a: a.to_string(),
+                b: b.to_string(),
+            })?;
+        }
+        Ok(())
+    }
+
+    /// One monitoring interval: tick every live shard over RPC, then, on
+    /// the balance cadence, one balance round — the shared
+    /// [`run_balance_round`] policy over [`RemoteShard`] handles.
+    pub fn tick(&mut self) -> NetTickReport {
+        self.stats.ticks += 1;
+        self.lease_ticks.store(self.stats.ticks, Ordering::SeqCst);
+        let miss_limit = self.lease.miss_limit;
+        let mut outcomes: Vec<Option<TickOutcome>> = Vec::new();
+        outcomes.resize_with(self.links.len(), || None);
+        for (shard, link) in self.links.iter_mut().enumerate() {
+            if link.down(miss_limit) {
+                continue;
+            }
+            if let Ok(Response::Tick(outcome)) = link.call(&Request::Tick) {
+                outcomes[shard] = Some(outcome);
+            }
+        }
+        let on_cadence = self
+            .stats
+            .ticks
+            .is_multiple_of(self.cfg.balancer.balance_every.max(1));
+        let handoffs = if on_cadence && self.all_live_planned() {
+            self.balance_round()
+        } else {
+            Vec::new()
+        };
+        NetTickReport {
+            outcomes,
+            handoffs,
+            down: self.down_shards(),
+        }
+    }
+
+    /// Every live shard has produced its first plan (down shards are
+    /// excluded — they read as unplanned in the round and can be neither
+    /// donor nor receiver, so balancing the rest stays safe).
+    fn all_live_planned(&mut self) -> bool {
+        let miss_limit = self.lease.miss_limit;
+        let mut any_live = false;
+        for link in &mut self.links {
+            if link.down(miss_limit) {
+                continue;
+            }
+            any_live = true;
+            match link.call(&Request::PlannedOnce) {
+                Ok(Response::PlannedOnce(true)) => {}
+                _ => return false,
+            }
+        }
+        any_live
+    }
+
+    fn balance_round(&mut self) -> Vec<HandoffRecord> {
+        self.stats.balance_rounds += 1;
+        let miss_limit = self.lease.miss_limit;
+        let interval_secs = self.cfg.shard.telemetry.interval_secs;
+        let mut handles: Vec<RemoteShard> = self
+            .links
+            .iter_mut()
+            .map(|link| RemoteShard {
+                link,
+                miss_limit,
+                interval_secs,
+            })
+            .collect();
+        let records = run_balance_round(
+            &mut handles,
+            &self.cfg.balancer,
+            self.stats.balance_rounds,
+            self.stats.ticks,
+            &mut self.cooldown,
+            &mut self.parked,
+        );
+        for record in &records {
+            match record.outcome {
+                HandoffOutcome::Completed => {
+                    let to = record.to.expect("completed handoffs carry a destination");
+                    self.map.assign(&record.tenant, to);
+                    self.stats.handoffs_completed += 1;
+                }
+                HandoffOutcome::NoReceiver => self.stats.handoffs_rejected += 1,
+                HandoffOutcome::Failed => self.stats.handoffs_failed += 1,
+            }
+        }
+        self.handoff_log.extend(records.iter().cloned());
+        records
+    }
+
+    /// Command every live shard to checkpoint itself at
+    /// `<dir>/shard-<i>.ksnp` (node-local paths — in the multi-process
+    /// example all nodes share a filesystem; a real deployment would
+    /// point each node at its own durable volume). Returns per-shard
+    /// results; down shards are skipped with an error entry.
+    pub fn checkpoint_shards(&mut self, dir: &str) -> Vec<Result<String, NetError>> {
+        let miss_limit = self.lease.miss_limit;
+        let mut results = Vec::with_capacity(self.links.len());
+        for (shard, link) in self.links.iter_mut().enumerate() {
+            let path = format!("{dir}/shard-{shard}.ksnp");
+            if link.down(miss_limit) {
+                results.push(Err(NetError::Unreachable(link.endpoint.clone())));
+                continue;
+            }
+            results.push(
+                match link.call(&Request::Checkpoint { path: path.clone() }) {
+                    Ok(Response::Done) => Ok(path),
+                    Ok(other) => Err(NetError::Protocol(format!("Checkpoint answered {other:?}"))),
+                    Err(e) => Err(e),
+                },
+            );
+        }
+        results
+    }
+
+    /// Reconnect a (restored) shard node at `endpoint` and reconcile
+    /// ownership: the routing map is the single-ownership truth, so the
+    /// node drops tenants the map has since moved elsewhere, and tenants
+    /// the map routes here but the node's checkpoint predates are
+    /// re-seeded from scratch (fresh telemetry; its next ticks replan
+    /// membership).
+    pub fn rejoin(&mut self, shard: usize, endpoint: &str) -> Result<(), NetError> {
+        let mut conn = self.transport.connect(endpoint)?;
+        let owned: BTreeSet<String> = match rpc::call(conn.as_mut(), &Request::Workloads)? {
+            Response::Workloads(names) => names.into_iter().collect(),
+            other => {
+                return Err(NetError::Protocol(format!("Workloads answered {other:?}")));
+            }
+        };
+        // Stale copies: the restored checkpoint predates a handoff that
+        // moved the tenant elsewhere. Map wins; the node retires them.
+        for name in &owned {
+            if self.map.shard_of(name) != Some(shard) {
+                rpc::call(
+                    conn.as_mut(),
+                    &Request::RemoveWorkload {
+                        tenant: name.clone(),
+                    },
+                )?;
+            }
+        }
+        // Lost tenants: admitted (or added) after the checkpoint the
+        // node restored from. Re-seed them; history is gone but
+        // ownership is preserved.
+        for tenant in self.map.tenants_of(shard) {
+            if !owned.contains(&tenant) {
+                let replicas = self.replicas.get(&tenant).copied().unwrap_or(1);
+                rpc::call(
+                    conn.as_mut(),
+                    &Request::AddWorkload {
+                        tenant: tenant.clone(),
+                        replicas,
+                    },
+                )?;
+            }
+        }
+        // Constraints can postdate the checkpoint too: re-assert the
+        // fleet anti-affinity list (idempotent node-side, so pairs the
+        // checkpoint already carried are not duplicated).
+        for (a, b) in &self.anti_affinity {
+            rpc::call(
+                conn.as_mut(),
+                &Request::AddAntiAffinity {
+                    a: a.clone(),
+                    b: b.clone(),
+                },
+            )?;
+        }
+        let mut link = ShardLink::new(endpoint, self.transport.clone());
+        link.conn = Some(conn);
+        self.links[shard] = link;
+        Ok(())
+    }
+
+    /// Global audit over RPC: pull every shard's forecasts and
+    /// placement, build one global problem (from the audit resolver's
+    /// engine and the fleet anti-affinity list), restrict it
+    /// shard-by-shard and evaluate each shard's placement against its
+    /// restriction — the same construction as `FleetController::audit`,
+    /// bit-identical when the engines match. Down shards audit as
+    /// `None`.
+    pub fn audit(&mut self) -> FleetAudit {
+        let miss_limit = self.lease.miss_limit;
+        let shards = self.links.len();
+        let mut profiles: Vec<WorkloadProfile> = Vec::new();
+        let mut shard_indices: Vec<Vec<usize>> = Vec::with_capacity(shards);
+        let mut placements: Vec<Option<FleetPlacement>> = Vec::with_capacity(shards);
+        let mut planned: Vec<bool> = Vec::with_capacity(shards);
+        for link in &mut self.links {
+            if link.down(miss_limit) {
+                shard_indices.push(Vec::new());
+                placements.push(None);
+                planned.push(false);
+                continue;
+            }
+            let fleet = match link.call(&Request::ForecastFleet) {
+                Ok(Response::Profiles(p)) => p,
+                _ => Vec::new(),
+            };
+            let start = profiles.len();
+            shard_indices.push((start..start + fleet.len()).collect());
+            profiles.extend(fleet);
+            placements.push(match link.call(&Request::Placement) {
+                Ok(Response::Placement(p)) => Some(p),
+                _ => None,
+            });
+            planned.push(matches!(
+                link.call(&Request::PlannedOnce),
+                Ok(Response::PlannedOnce(true))
+            ));
+        }
+        let machines_used: Vec<usize> = placements
+            .iter()
+            .map(|p| p.as_ref().map_or(0, |p| p.machines_used()))
+            .collect();
+        let empty_audit = |machines_used: Vec<usize>| FleetAudit {
+            per_shard: vec![None; shards],
+            machines_used,
+        };
+        if profiles.is_empty() {
+            return empty_audit(machines_used);
+        }
+        let Ok(global) = self.audit_resolver.problem(&profiles) else {
+            return empty_audit(machines_used);
+        };
+        let mut per_shard = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let keep = &shard_indices[shard];
+            let (true, false, Some(placement)) =
+                (planned[shard], keep.is_empty(), placements[shard].as_ref())
+            else {
+                per_shard.push(None);
+                continue;
+            };
+            let sub = global.restrict(keep);
+            let slots = sub.slots();
+            let mut machine_of = Vec::with_capacity(slots.len());
+            let mut complete = true;
+            for slot in &slots {
+                let name = &sub.workloads[slot.workload].name;
+                match placement.machine_of(name, slot.replica) {
+                    Some(m) => machine_of.push(m),
+                    None => {
+                        complete = false;
+                        break;
+                    }
+                }
+            }
+            per_shard.push(if complete {
+                Some(evaluate(&sub, &Assignment::new(machine_of)))
+            } else {
+                None
+            });
+        }
+        FleetAudit {
+            per_shard,
+            machines_used,
+        }
+    }
+
+    /// Per-shard loop counters over RPC (`None` for down shards).
+    pub fn shard_stats(&mut self) -> Vec<Option<ControllerStats>> {
+        let miss_limit = self.lease.miss_limit;
+        self.links
+            .iter_mut()
+            .map(|link| {
+                if link.down(miss_limit) {
+                    return None;
+                }
+                match link.call(&Request::Stats) {
+                    Ok(Response::Stats(s)) => Some(s),
+                    _ => None,
+                }
+            })
+            .collect()
+    }
+
+    /// Tenant names per shard over RPC (`None` for down shards).
+    pub fn shard_workloads(&mut self) -> Vec<Option<Vec<String>>> {
+        let miss_limit = self.lease.miss_limit;
+        self.links
+            .iter_mut()
+            .map(|link| {
+                if link.down(miss_limit) {
+                    return None;
+                }
+                match link.call(&Request::Workloads) {
+                    Ok(Response::Workloads(w)) => Some(w),
+                    _ => None,
+                }
+            })
+            .collect()
+    }
+
+    /// Ask every live shard node to exit (the multi-process example's
+    /// clean teardown).
+    pub fn shutdown_shards(&mut self) {
+        for link in &mut self.links {
+            let _ = link.call(&Request::Shutdown);
+        }
+    }
+
+    /// Serve this balancer's own lease endpoint: standbys ping it and
+    /// promote when it goes quiet. Only `Ping` is answered — the
+    /// balancer's mutable state never crosses this endpoint.
+    pub fn serve_lease(
+        &self,
+        transport: &dyn Transport,
+        endpoint: &str,
+    ) -> Result<ServerHandle, NetError> {
+        let ticks = self.lease_ticks.clone();
+        let handler: Handler = Arc::new(Mutex::new(move |request_frame: &[u8]| {
+            let response = match frame::decode_frame::<Request>(request_frame) {
+                Ok(Request::Ping) => Response::Pong {
+                    ticks: ticks.load(Ordering::SeqCst),
+                },
+                Ok(other) => Response::Error(format!(
+                    "balancer lease endpoint answers Ping only, got {other:?}"
+                )),
+                Err(e) => Response::Error(format!("bad request frame: {e}")),
+            };
+            frame::encode_frame(&response)
+        }));
+        transport.serve(endpoint, handler)
+    }
+
+    /// Rebuild balancer state from the shards themselves — the promotion
+    /// path. The shards are the ground truth the routing map summarizes:
+    /// each reports what it owns (single ownership holds because the
+    /// two-phase handshake never leaves a tenant on two shards) **and**
+    /// its membership view (replica counts, anti-affinity pairs — a
+    /// re-seed after a node death must not silently drop a replica, and
+    /// the audit must keep building the same constrained problem the
+    /// dead primary built). The fleet tick resumes from the most
+    /// advanced shard so cadences keep firing. Fails if any shard is
+    /// unreachable — a promotion must start from a complete map.
+    fn adopt_from_shards(&mut self) -> Result<(), NetError> {
+        let mut map = ShardMap::new(self.links.len());
+        let mut replicas: BTreeMap<String, u32> = BTreeMap::new();
+        let mut anti_affinity: Option<Vec<(String, String)>> = None;
+        let mut max_ticks = 0u64;
+        for (shard, link) in self.links.iter_mut().enumerate() {
+            // Fresh connections: the standby's links may never have been
+            // used (or may predate a node restart).
+            link.conn = Some(self.transport.connect(&link.endpoint)?);
+            link.missed = 0;
+            match link.call(&Request::Workloads)? {
+                Response::Workloads(names) => {
+                    for name in names {
+                        map.assign(&name, shard);
+                    }
+                }
+                other => {
+                    return Err(NetError::Protocol(format!("Workloads answered {other:?}")));
+                }
+            }
+            match link.call(&Request::Membership)? {
+                Response::Membership {
+                    replicas: shard_replicas,
+                    anti_affinity: shard_pairs,
+                } => {
+                    replicas.extend(shard_replicas);
+                    // Every shard carries the full fleet pair list in
+                    // registration order; the first one is canonical.
+                    anti_affinity.get_or_insert(shard_pairs);
+                }
+                other => {
+                    return Err(NetError::Protocol(format!("Membership answered {other:?}")));
+                }
+            }
+            if let Response::Stats(stats) = link.call(&Request::Stats)? {
+                max_ticks = max_ticks.max(stats.ticks);
+            }
+        }
+        self.map = map;
+        self.replicas = replicas;
+        let anti_affinity = anti_affinity.unwrap_or_default();
+        self.audit_resolver.anti_affinity = anti_affinity.clone();
+        self.anti_affinity = anti_affinity;
+        self.stats.ticks = max_ticks;
+        self.lease_ticks.store(max_ticks, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// The most advanced shard tick observable right now — the standby's
+    /// fleet-activity probe (a dead lease endpoint with a *moving* fleet
+    /// means another balancer already took over).
+    fn max_shard_ticks(&mut self) -> u64 {
+        let mut max_ticks = 0u64;
+        for link in &mut self.links {
+            if let Ok(Response::Stats(stats)) = link.call(&Request::Stats) {
+                max_ticks = max_ticks.max(stats.ticks);
+            }
+        }
+        max_ticks
+    }
+}
+
+/// A shard behind a transport, as the shared balance round drives it.
+/// Every trait method is one RPC; a down shard reads as an unplanned
+/// summary (never donor, never receiver) so a dead node degrades the
+/// round instead of wedging it.
+pub struct RemoteShard<'a> {
+    link: &'a mut ShardLink,
+    miss_limit: u32,
+    interval_secs: f64,
+}
+
+/// The summary a down/unreachable shard presents: unplanned, empty.
+/// `planned: false` excludes it from donor and receiver orders.
+fn offline_summary(interval_secs: f64) -> kairos_controller::ShardSummary {
+    kairos_controller::ShardSummary {
+        tenants: 0,
+        planned: false,
+        machines_used: 0,
+        feasible: true,
+        violation: 0.0,
+        resolve_failed: false,
+        drifting: 0,
+        aggregate: ShardAggregate::from_windows(std::iter::empty(), interval_secs),
+        tenant_loads: Vec::new(),
+    }
+}
+
+impl ShardHandle for RemoteShard<'_> {
+    fn summary(&mut self) -> kairos_controller::ShardSummary {
+        if self.link.down(self.miss_limit) {
+            return offline_summary(self.interval_secs);
+        }
+        match self.link.call(&Request::Summary) {
+            Ok(Response::Summary(summary)) => summary,
+            _ => offline_summary(self.interval_secs),
+        }
+    }
+
+    fn pack_estimate_remaining(&mut self) -> Option<usize> {
+        match self.link.call(&Request::PackEstimate {
+            exclude: Vec::new(),
+        }) {
+            Ok(Response::PackEstimate(est)) => est,
+            _ => None,
+        }
+    }
+
+    fn forecast(&mut self, tenant: &str) -> Option<WorkloadProfile> {
+        match self.link.call(&Request::Forecast {
+            tenant: tenant.to_string(),
+        }) {
+            Ok(Response::Forecast(profile)) => profile,
+            _ => None,
+        }
+    }
+
+    fn can_admit(&mut self, incoming: &WorkloadProfile, budget: usize) -> bool {
+        matches!(
+            self.link.call(&Request::CanAdmit {
+                profile: incoming.clone(),
+                budget,
+            }),
+            Ok(Response::CanAdmit(true))
+        )
+    }
+
+    fn evict(&mut self, tenant: &str) -> Option<EvictedTenant> {
+        // Two attempts: an Evict whose *response* is lost has already
+        // removed the tenant node-side, and the node's evict outbox
+        // makes the retry idempotent — it hands the same frame out
+        // again, so a transient fault cannot strand the bytes between
+        // the shard and the balancer.
+        for _ in 0..2 {
+            match self.link.call(&Request::Evict {
+                tenant: tenant.to_string(),
+            }) {
+                Ok(Response::Evicted(Some(wire))) => {
+                    return Some(EvictedTenant {
+                        name: tenant.to_string(),
+                        wire,
+                        // The live source stays node-side: the
+                        // destination re-binds its own (escrow
+                        // in-process, factory across processes).
+                        source: None,
+                    });
+                }
+                Ok(_) => return None,
+                Err(_) => {}
+            }
+        }
+        // Both attempts failed at the transport. If the tenant is still
+        // hosted, nothing happened — safe. If it is not (eviction
+        // applied, both responses lost) the donor is effectively dying
+        // mid-round; its lease is about to expire and the rejoin
+        // reconciliation re-seeds map-routed tenants the node lost.
+        None
+    }
+
+    fn admit(&mut self, tenant: EvictedTenant) -> Result<(), EvictedTenant> {
+        match self.link.call(&Request::Admit {
+            frame: tenant.wire.clone(),
+        }) {
+            Ok(Response::Done) => Ok(()),
+            // Remote rejection (damaged frame, unbindable source) or a
+            // transport failure: hand the frame back for the donor-side
+            // rollback.
+            _ => Err(tenant),
+        }
+    }
+
+    fn owns(&mut self, tenant: &str) -> Option<bool> {
+        match self.link.call(&Request::Owns {
+            tenant: tenant.to_string(),
+        }) {
+            Ok(Response::Owns(owned)) => Some(owned),
+            _ => None,
+        }
+    }
+}
+
+/// Pacing outcome of one standby watch interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StandbyAction {
+    /// The primary's lease is current (or not yet past this standby's
+    /// threshold).
+    Watching,
+    /// This standby's promotion threshold was reached — call
+    /// [`StandbyBalancer::promote`].
+    Promote,
+}
+
+/// A warm-standby balancer watching a primary's lease endpoint. See the
+/// module docs for the rank-ordered deterministic promotion rule.
+pub struct StandbyBalancer {
+    node: BalancerNode,
+    rank: u32,
+    primary_endpoint: String,
+    primary_conn: Option<Box<dyn Conn>>,
+    missed: u32,
+    /// Fleet progress at the previous over-threshold watch — the
+    /// split-brain guard's memory (see [`StandbyBalancer::watch_tick`]).
+    fleet_ticks_seen: Option<u64>,
+    /// Consecutive over-threshold watches with no fleet progress.
+    frozen_watches: u32,
+}
+
+/// Consecutive frozen-fleet observations a standby requires before
+/// promoting. One observation is racy — an active balancer may simply
+/// not have completed a tick between two samples (e.g. blocked inside a
+/// warm re-solve); two full watch intervals of zero progress is the
+/// signal nobody is driving. Deployment contract: the watch interval
+/// must be at least the control tick interval.
+const FROZEN_WATCHES_TO_PROMOTE: u32 = 2;
+
+impl StandbyBalancer {
+    /// `rank >= 1`; rank 1 is the first in the promotion order.
+    pub fn new(node: BalancerNode, primary_endpoint: &str, rank: u32) -> StandbyBalancer {
+        assert!(rank >= 1, "standby ranks start at 1");
+        StandbyBalancer {
+            node,
+            rank,
+            primary_endpoint: primary_endpoint.to_string(),
+            primary_conn: None,
+            missed: 0,
+            fleet_ticks_seen: None,
+            frozen_watches: 0,
+        }
+    }
+
+    /// One watch interval: ping the primary's lease endpoint. Returns
+    /// [`StandbyAction::Promote`] once `rank × miss_limit` consecutive
+    /// pings have failed **and** the fleet has made no progress for
+    /// [`FROZEN_WATCHES_TO_PROMOTE`] consecutive watches. The second
+    /// condition is the split-brain guard: a promoted lower-rank
+    /// standby never serves the dead primary's old endpoint, so a
+    /// higher rank would otherwise blow through its own threshold
+    /// eventually and promote a *second* active balancer. The shards'
+    /// tick counters are the reliable signal — if they advanced across
+    /// this standby's recent watches, someone is driving the fleet, and
+    /// this standby keeps waiting.
+    pub fn watch_tick(&mut self) -> StandbyAction {
+        if self.primary_conn.is_none() {
+            self.primary_conn = self.node.transport.connect(&self.primary_endpoint).ok();
+        }
+        let alive = match self.primary_conn.as_deref_mut() {
+            Some(conn) => matches!(rpc::call(conn, &Request::Ping), Ok(Response::Pong { .. })),
+            None => false,
+        };
+        if alive {
+            self.missed = 0;
+            self.fleet_ticks_seen = None;
+            self.frozen_watches = 0;
+            return StandbyAction::Watching;
+        }
+        self.missed = self.missed.saturating_add(1);
+        self.primary_conn = None;
+        let threshold = self.node.lease.miss_limit.saturating_mul(self.rank.max(1));
+        if self.missed < threshold {
+            return StandbyAction::Watching;
+        }
+        let now = self.node.max_shard_ticks();
+        match self.fleet_ticks_seen {
+            // No progress since the last over-threshold watch. One
+            // frozen sample is racy (an active balancer may simply be
+            // mid-tick); require consecutive frozen intervals before
+            // concluding nobody is driving.
+            Some(seen) if now <= seen => {
+                self.frozen_watches = self.frozen_watches.saturating_add(1);
+                if self.frozen_watches >= FROZEN_WATCHES_TO_PROMOTE {
+                    StandbyAction::Promote
+                } else {
+                    StandbyAction::Watching
+                }
+            }
+            // Moving (or first over-threshold sample): hold, re-check
+            // next watch.
+            _ => {
+                self.fleet_ticks_seen = Some(now);
+                self.frozen_watches = 0;
+                StandbyAction::Watching
+            }
+        }
+    }
+
+    /// Take over: rebuild the routing map from the shards (ground
+    /// truth), adopt the fleet tick from the most advanced shard, and
+    /// return the now-primary balancer. Fails (returning `self` for a
+    /// retry) while any shard is unreachable.
+    #[allow(clippy::result_large_err)] // self is handed back for retry
+    pub fn promote(mut self) -> Result<BalancerNode, (Box<StandbyBalancer>, NetError)> {
+        match self.node.adopt_from_shards() {
+            Ok(()) => Ok(self.node),
+            Err(e) => Err((Box::new(self), e)),
+        }
+    }
+
+    /// The wrapped (not yet primary) balancer, for inspection.
+    pub fn node(&self) -> &BalancerNode {
+        &self.node
+    }
+
+    /// Mutable access to the wrapped balancer — address-book updates
+    /// ([`BalancerNode::set_endpoint`]) must reach standbys too, or a
+    /// promotion would dial ports that died with the old nodes.
+    pub fn node_mut(&mut self) -> &mut BalancerNode {
+        &mut self.node
+    }
+}

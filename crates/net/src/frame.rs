@@ -1,0 +1,177 @@
+//! The RPC wire envelope: length-framed, CRC-trailed, version-tagged
+//! messages over the workspace codec (`shims/serde`).
+//!
+//! ## Frame layout
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"KNET"
+//! 4       4     protocol version (u32 LE, see RPC_WIRE_VERSION)
+//! 8       8     payload length (u64 LE)
+//! 16      n     payload (shims/serde wire format: a Request or Response)
+//! 16+n    4     CRC-32 (IEEE, u32 LE) over bytes [0, 16+n)
+//! ```
+//!
+//! The layout deliberately mirrors `kairos-store`'s snapshot frame (and
+//! reuses its CRC) so one validation discipline covers both the
+//! durability and the network boundary; only the magic differs, so a
+//! snapshot file can never be mistaken for an RPC message or vice versa.
+//! The length prefix sits at a fixed offset, which is what lets a
+//! blocking stream reader ([`read_frame`]) recover message boundaries
+//! from a TCP byte stream.
+//!
+//! Every validation failure is a clean [`NetError`] — a frame is checked
+//! (magic, version, sane length, CRC) *before* any payload decoding, and
+//! the codec itself bounds-checks every read, so damaged or truncated
+//! bytes can never panic a node or half-apply a message.
+
+use crate::transport::NetError;
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+
+/// Magic prefix of every kairos RPC frame.
+pub const NET_MAGIC: [u8; 4] = *b"KNET";
+
+/// Protocol version carried by every frame. Bump on any change to the
+/// `Request`/`Response` catalog or the codec; mismatched peers then fail
+/// loudly instead of misdecoding each other.
+pub const RPC_WIRE_VERSION: u32 = 1;
+
+/// Hard cap on a frame's payload length. Far above any real message
+/// (the largest is a full-telemetry handoff, tens of KiB), low enough
+/// that a corrupted length prefix cannot make a reader allocate or block
+/// on gigabytes.
+pub const MAX_PAYLOAD_LEN: u64 = 64 << 20;
+
+const HEADER_LEN: usize = 16;
+const TRAILER_LEN: usize = 4;
+
+/// Encode `value` into a complete frame (header + payload + CRC).
+pub fn encode_frame<T: Serialize + ?Sized>(value: &T) -> Vec<u8> {
+    let payload = serde::to_bytes(value);
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + TRAILER_LEN);
+    out.extend_from_slice(&NET_MAGIC);
+    out.extend_from_slice(&RPC_WIRE_VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&payload);
+    let crc = kairos_store::crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Validate a complete frame (magic, version, length, CRC) and decode
+/// its payload. Never panics on malformed input.
+pub fn decode_frame<T: Deserialize>(bytes: &[u8]) -> Result<T, NetError> {
+    if bytes.len() < HEADER_LEN + TRAILER_LEN {
+        return Err(NetError::Truncated);
+    }
+    if bytes[..4] != NET_MAGIC {
+        return Err(NetError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("sized slice"));
+    if version != RPC_WIRE_VERSION {
+        return Err(NetError::UnsupportedVersion {
+            found: version,
+            expected: RPC_WIRE_VERSION,
+        });
+    }
+    let payload_len = u64::from_le_bytes(bytes[8..16].try_into().expect("sized slice"));
+    if payload_len > MAX_PAYLOAD_LEN {
+        return Err(NetError::Oversized(payload_len));
+    }
+    let expected_total = (HEADER_LEN as u64)
+        .checked_add(payload_len)
+        .and_then(|n| n.checked_add(TRAILER_LEN as u64));
+    if expected_total != Some(bytes.len() as u64) {
+        return Err(NetError::Truncated);
+    }
+    let body_end = bytes.len() - TRAILER_LEN;
+    let stored_crc = u32::from_le_bytes(bytes[body_end..].try_into().expect("sized slice"));
+    if kairos_store::crc32(&bytes[..body_end]) != stored_crc {
+        return Err(NetError::ChecksumMismatch);
+    }
+    serde::from_bytes(&bytes[HEADER_LEN..body_end]).map_err(NetError::Decode)
+}
+
+/// Write one frame to a blocking stream.
+pub fn write_frame(w: &mut impl Write, frame: &[u8]) -> Result<(), NetError> {
+    w.write_all(frame)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one complete frame from a blocking stream: header first (fixed
+/// 16 bytes → payload length), then payload + CRC, then full validation.
+/// Returns the whole validated frame so callers can decode (or forward)
+/// it. The length is sanity-capped *before* the payload read, so a
+/// damaged prefix cannot make the reader allocate or block unboundedly.
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, NetError> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)?;
+    if header[..4] != NET_MAGIC {
+        return Err(NetError::BadMagic);
+    }
+    let version = u32::from_le_bytes(header[4..8].try_into().expect("sized slice"));
+    if version != RPC_WIRE_VERSION {
+        return Err(NetError::UnsupportedVersion {
+            found: version,
+            expected: RPC_WIRE_VERSION,
+        });
+    }
+    let payload_len = u64::from_le_bytes(header[8..16].try_into().expect("sized slice"));
+    if payload_len > MAX_PAYLOAD_LEN {
+        return Err(NetError::Oversized(payload_len));
+    }
+    let rest = payload_len as usize + TRAILER_LEN;
+    let mut frame = Vec::with_capacity(HEADER_LEN + rest);
+    frame.extend_from_slice(&header);
+    frame.resize(HEADER_LEN + rest, 0);
+    r.read_exact(&mut frame[HEADER_LEN..])?;
+    let body_end = frame.len() - TRAILER_LEN;
+    let stored_crc = u32::from_le_bytes(frame[body_end..].try_into().expect("sized slice"));
+    if kairos_store::crc32(&frame[..body_end]) != stored_crc {
+        return Err(NetError::ChecksumMismatch);
+    }
+    Ok(frame)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_through_a_stream() {
+        let frame = encode_frame(&(String::from("tenant"), 7u64));
+        let mut stream: &[u8] = &frame;
+        let read = read_frame(&mut stream).expect("valid frame reads");
+        assert_eq!(read, frame);
+        let back: (String, u64) = decode_frame(&read).expect("decodes");
+        assert_eq!(back, (String::from("tenant"), 7));
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected_before_reading() {
+        let mut frame = encode_frame(&1u8);
+        frame[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        let mut stream: &[u8] = &frame;
+        assert!(matches!(
+            read_frame(&mut stream),
+            Err(NetError::Oversized(_))
+        ));
+        assert!(matches!(
+            decode_frame::<u8>(&frame),
+            Err(NetError::Oversized(_))
+        ));
+    }
+
+    #[test]
+    fn store_snapshot_magic_is_rejected() {
+        // A snapshot file fed to the RPC decoder must fail on magic, not
+        // misdecode.
+        let snap = kairos_store::encode_frame(1, &42u64);
+        assert!(matches!(
+            decode_frame::<u64>(&snap),
+            Err(NetError::BadMagic)
+        ));
+    }
+}

@@ -1,0 +1,289 @@
+//! The deterministic in-memory transport.
+//!
+//! Endpoints live in a shared registry; a [`Conn::call`] dispatches the
+//! request frame to the registered handler synchronously on the calling
+//! thread, so delivery order is exactly call order — the property the
+//! loopback-vs-in-process equivalence tests lean on (no threads, no
+//! queues, no timing).
+//!
+//! Faults are injectable per endpoint, all from explicit state plus one
+//! seeded [`SplitMix64`] stream (so failure tests replay exactly under
+//! `KAIROS_TEST_SEED`):
+//!
+//! * **partition** — the endpoint becomes unreachable until healed
+//!   (models a dead or isolated node; heartbeat misses accumulate);
+//! * **drop** — the next N calls to the endpoint vanish
+//!   ([`NetError::Dropped`] — models transient loss);
+//! * **corrupt** — the next call's request frame has one seeded bit
+//!   flipped in flight (models wire damage; the server's frame
+//!   validation must reject it).
+
+use crate::transport::{Conn, Handler, NetError, ServerHandle, Transport};
+use kairos_types::SplitMix64;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Mutex};
+
+#[derive(Default)]
+struct LoopbackState {
+    endpoints: BTreeMap<String, Handler>,
+    partitioned: BTreeSet<String>,
+    drop_next: BTreeMap<String, u64>,
+    corrupt_next: BTreeMap<String, u64>,
+    /// Per endpoint: corrupt the next `n` frames whose payload tag (the
+    /// request enum's variant index, bytes 16..20 of the frame) matches —
+    /// how a test damages exactly the `Admit` of a handshake while every
+    /// other RPC flows clean.
+    corrupt_matching: BTreeMap<String, (u32, u64)>,
+}
+
+/// The in-memory transport. `Clone` shares the registry (and the fault
+/// plan), so tests hold one handle while nodes hold others.
+#[derive(Clone)]
+pub struct LoopbackTransport {
+    state: Arc<Mutex<LoopbackState>>,
+    rng: Arc<Mutex<SplitMix64>>,
+}
+
+impl Default for LoopbackTransport {
+    fn default() -> LoopbackTransport {
+        LoopbackTransport::new()
+    }
+}
+
+impl LoopbackTransport {
+    pub fn new() -> LoopbackTransport {
+        LoopbackTransport::with_seed(0x100B_BAC4)
+    }
+
+    /// Seed only feeds fault injection (corruption bit positions); a
+    /// fault-free loopback is deterministic regardless.
+    pub fn with_seed(seed: u64) -> LoopbackTransport {
+        LoopbackTransport {
+            state: Arc::new(Mutex::new(LoopbackState::default())),
+            rng: Arc::new(Mutex::new(SplitMix64::new(seed))),
+        }
+    }
+
+    /// Make `endpoint` unreachable (calls fail with
+    /// [`NetError::Unreachable`]) until [`LoopbackTransport::heal`].
+    pub fn partition(&self, endpoint: &str) {
+        self.state
+            .lock()
+            .expect("loopback state lock")
+            .partitioned
+            .insert(endpoint.to_string());
+    }
+
+    /// Undo a [`LoopbackTransport::partition`].
+    pub fn heal(&self, endpoint: &str) {
+        self.state
+            .lock()
+            .expect("loopback state lock")
+            .partitioned
+            .remove(endpoint);
+    }
+
+    /// Drop the next `n` calls to `endpoint` ([`NetError::Dropped`]).
+    pub fn drop_next_calls(&self, endpoint: &str, n: u64) {
+        self.state
+            .lock()
+            .expect("loopback state lock")
+            .drop_next
+            .insert(endpoint.to_string(), n);
+    }
+
+    /// Flip one seeded bit in the next `n` request frames sent to
+    /// `endpoint` — in-flight corruption the server must reject.
+    pub fn corrupt_next_calls(&self, endpoint: &str, n: u64) {
+        self.state
+            .lock()
+            .expect("loopback state lock")
+            .corrupt_next
+            .insert(endpoint.to_string(), n);
+    }
+
+    /// Flip one seeded bit in the next `n` request frames to `endpoint`
+    /// **whose payload tag matches** (see [`crate::rpc::wire_tag`]) —
+    /// targeted mid-handshake damage: reservations and ticks flow clean,
+    /// the `Admit` arrives broken.
+    pub fn corrupt_next_calls_matching(&self, endpoint: &str, tag: u32, n: u64) {
+        self.state
+            .lock()
+            .expect("loopback state lock")
+            .corrupt_matching
+            .insert(endpoint.to_string(), (tag, n));
+    }
+
+    /// Endpoints currently served (diagnostics).
+    pub fn endpoints(&self) -> Vec<String> {
+        self.state
+            .lock()
+            .expect("loopback state lock")
+            .endpoints
+            .keys()
+            .cloned()
+            .collect()
+    }
+}
+
+impl Transport for LoopbackTransport {
+    fn serve(&self, endpoint: &str, handler: Handler) -> Result<ServerHandle, NetError> {
+        let mut state = self.state.lock().expect("loopback state lock");
+        if state.endpoints.contains_key(endpoint) {
+            return Err(NetError::Protocol(format!(
+                "endpoint {endpoint} already served"
+            )));
+        }
+        state.endpoints.insert(endpoint.to_string(), handler);
+        let registry = self.state.clone();
+        let unbind = endpoint.to_string();
+        Ok(ServerHandle::new(endpoint.to_string(), move || {
+            registry
+                .lock()
+                .expect("loopback state lock")
+                .endpoints
+                .remove(&unbind);
+        }))
+    }
+
+    fn connect(&self, endpoint: &str) -> Result<Box<dyn Conn>, NetError> {
+        // Connections are lazy (like TCP reconnection logic, resolution
+        // happens per call), but fail fast here if nothing is served so
+        // misconfigured tests surface immediately.
+        let state = self.state.lock().expect("loopback state lock");
+        if !state.endpoints.contains_key(endpoint) {
+            return Err(NetError::Unreachable(endpoint.to_string()));
+        }
+        Ok(Box::new(LoopbackConn {
+            endpoint: endpoint.to_string(),
+            state: self.state.clone(),
+            rng: self.rng.clone(),
+        }))
+    }
+}
+
+struct LoopbackConn {
+    endpoint: String,
+    state: Arc<Mutex<LoopbackState>>,
+    rng: Arc<Mutex<SplitMix64>>,
+}
+
+impl Conn for LoopbackConn {
+    fn call(&mut self, frame: &[u8]) -> Result<Vec<u8>, NetError> {
+        // Resolve faults and the handler under the registry lock, then
+        // release it before dispatching — the handler may itself hold
+        // long-running locks (a shard mid-solve) and must not serialize
+        // against registry mutations.
+        let (handler, corrupt) = {
+            let mut state = self.state.lock().expect("loopback state lock");
+            if state.partitioned.contains(&self.endpoint) {
+                return Err(NetError::Unreachable(self.endpoint.clone()));
+            }
+            if let Some(n) = state.drop_next.get_mut(&self.endpoint) {
+                if *n > 0 {
+                    *n -= 1;
+                    return Err(NetError::Dropped);
+                }
+            }
+            let mut corrupt = match state.corrupt_next.get_mut(&self.endpoint) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    true
+                }
+                _ => false,
+            };
+            if !corrupt && frame.len() >= 20 {
+                let tag = u32::from_le_bytes(frame[16..20].try_into().expect("sized slice"));
+                if let Some((want, n)) = state.corrupt_matching.get_mut(&self.endpoint) {
+                    if *want == tag && *n > 0 {
+                        *n -= 1;
+                        corrupt = true;
+                    }
+                }
+            }
+            let handler = state
+                .endpoints
+                .get(&self.endpoint)
+                .cloned()
+                .ok_or_else(|| NetError::Unreachable(self.endpoint.clone()))?;
+            (handler, corrupt)
+        };
+        let mut owned;
+        let frame = if corrupt {
+            owned = frame.to_vec();
+            let mut rng = self.rng.lock().expect("loopback rng lock");
+            let byte = rng.next_range(owned.len() as u64) as usize;
+            let bit = rng.next_range(8) as u8;
+            owned[byte] ^= 1 << bit;
+            owned.as_slice()
+        } else {
+            frame
+        };
+        let mut handler = handler.lock().expect("loopback handler lock");
+        Ok(handler(frame))
+    }
+
+    fn endpoint(&self) -> &str {
+        &self.endpoint
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame;
+
+    fn echo_handler() -> Handler {
+        Arc::new(Mutex::new(|frame: &[u8]| frame.to_vec()))
+    }
+
+    #[test]
+    fn serve_call_and_unbind() {
+        let t = LoopbackTransport::new();
+        let handle = t.serve("a", echo_handler()).expect("serves");
+        let mut conn = t.connect("a").expect("connects");
+        let msg = frame::encode_frame(&7u64);
+        assert_eq!(conn.call(&msg).expect("echoes"), msg);
+        handle.stop();
+        assert!(matches!(conn.call(&msg), Err(NetError::Unreachable(_))));
+    }
+
+    #[test]
+    fn partition_and_heal() {
+        let t = LoopbackTransport::new();
+        let _h = t.serve("a", echo_handler()).expect("serves");
+        let mut conn = t.connect("a").expect("connects");
+        t.partition("a");
+        assert!(matches!(conn.call(b"x"), Err(NetError::Unreachable(_))));
+        t.heal("a");
+        assert!(conn.call(b"x").is_ok());
+    }
+
+    #[test]
+    fn drops_are_counted() {
+        let t = LoopbackTransport::new();
+        let _h = t.serve("a", echo_handler()).expect("serves");
+        let mut conn = t.connect("a").expect("connects");
+        t.drop_next_calls("a", 2);
+        assert!(matches!(conn.call(b"x"), Err(NetError::Dropped)));
+        assert!(matches!(conn.call(b"x"), Err(NetError::Dropped)));
+        assert!(conn.call(b"x").is_ok());
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_bit() {
+        let t = LoopbackTransport::new();
+        let _h = t.serve("a", echo_handler()).expect("serves");
+        let mut conn = t.connect("a").expect("connects");
+        t.corrupt_next_calls("a", 1);
+        let msg = frame::encode_frame(&(String::from("x"), 3u32));
+        let echoed = conn.call(&msg).expect("delivered, damaged");
+        let diff: u32 = msg
+            .iter()
+            .zip(&echoed)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(diff, 1, "exactly one bit flipped in flight");
+        assert_eq!(conn.call(&msg).expect("clean again"), msg);
+    }
+}

@@ -1,0 +1,184 @@
+//! The RPC catalog: every message a balancer exchanges with a shard
+//! node.
+//!
+//! The catalog is exactly the `ShardController` surface the balancer
+//! already drove in-process — summaries, reservation, the two-phase
+//! evict/admit handshake, checkpoint/reattach — plus the heartbeat the
+//! lease layer rides on. A handoff's telemetry does **not** get a bespoke
+//! message shape: it travels as the same checksummed
+//! [`kairos_controller::TenantHandoff::into_wire`] frame the in-process
+//! balancer produces, nested as opaque bytes inside [`Request::Admit`]
+//! (frame-in-frame: the transport envelope protects the message, the
+//! inner CRC protects the handoff across *any* path, including disk).
+//!
+//! Every request maps to exactly one response shape; anything else is a
+//! protocol error. Errors cross as [`Response::Error`] strings — the
+//! caller turns them into `NetError::Remote`.
+
+use crate::frame;
+use crate::transport::{Conn, NetError};
+use kairos_controller::{ControllerStats, FleetPlacement, ShardSummary, TickOutcome};
+use kairos_types::WorkloadProfile;
+use serde::{Deserialize, Serialize};
+
+/// What a balancer asks a shard node.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Request {
+    /// Heartbeat / lease renewal. Cheap and state-free.
+    Ping,
+    /// Advance the shard one monitoring interval.
+    Tick,
+    /// Has the shard produced its first plan? (Pure; used by the balance
+    /// cadence gate without touching the summary cache.)
+    PlannedOnce,
+    /// The shard's (cached) balancer summary.
+    Summary,
+    /// Greedy machine estimate with the named tenants excluded.
+    PackEstimate { exclude: Vec<String> },
+    /// Forecast one tenant's next horizon.
+    Forecast { tenant: String },
+    /// Forecast every tenant (the fleet audit's input).
+    ForecastFleet,
+    /// Phase 1 reservation: would `profile` fit within `budget`?
+    CanAdmit {
+        profile: WorkloadProfile,
+        budget: usize,
+    },
+    /// Phase 2a: evict a tenant, returning its handoff wire frame.
+    Evict { tenant: String },
+    /// Phase 2b: admit a tenant from a handoff wire frame (the node
+    /// re-binds a destination-side telemetry source itself).
+    Admit { frame: Vec<u8> },
+    /// Register a brand-new tenant; the node binds a source by name.
+    AddWorkload { tenant: String, replicas: u32 },
+    /// Retire a tenant (also the rejoin reconciliation path: a node
+    /// restored from a pre-handoff checkpoint drops the stale copy of a
+    /// tenant the routing map has since moved elsewhere).
+    RemoveWorkload { tenant: String },
+    /// Register a fleet-wide anti-affinity pair.
+    AddAntiAffinity { a: String, b: String },
+    /// Tenant names the shard currently owns.
+    Workloads,
+    /// Does the shard currently own one tenant? The handshake recovery
+    /// probe — constant-size either way, unlike `Workloads`.
+    Owns { tenant: String },
+    /// The shard's full membership view: replica counts and the
+    /// anti-affinity pairs registered on it — what a promoted standby
+    /// adopts (the shards are the ground truth; a balancer that died
+    /// took its own copy with it).
+    Membership,
+    /// Tenants with telemetry but no live source (post-restore).
+    DetachedWorkloads,
+    /// The shard's current placement.
+    Placement,
+    /// The shard's loop counters.
+    Stats,
+    /// Persist a shard snapshot at the node-local path.
+    Checkpoint { path: String },
+    /// Ask the node process to exit its serve loop.
+    Shutdown,
+}
+
+/// What a shard node answers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Response {
+    Pong {
+        ticks: u64,
+    },
+    Tick(TickOutcome),
+    PlannedOnce(bool),
+    Summary(ShardSummary),
+    PackEstimate(Option<usize>),
+    Forecast(Option<WorkloadProfile>),
+    Profiles(Vec<WorkloadProfile>),
+    CanAdmit(bool),
+    /// `None`: the tenant is unknown here.
+    Evicted(Option<Vec<u8>>),
+    Workloads(Vec<String>),
+    Owns(bool),
+    Membership {
+        /// `(tenant, replicas)` for tenants running more than one copy.
+        replicas: Vec<(String, u32)>,
+        /// Named anti-affinity pairs, in registration order.
+        anti_affinity: Vec<(String, String)>,
+    },
+    Placement(FleetPlacement),
+    Stats(ControllerStats),
+    /// Generic success for requests with nothing to report.
+    Done,
+    /// The request was understood but failed; the handshake layers turn
+    /// this into a rollback, never a partial application.
+    Error(String),
+}
+
+/// The wire tag (enum variant index) a request encodes with — the first
+/// four payload bytes of its frame. Test fault injectors use it to
+/// target one message kind (e.g. corrupt only `Admit` frames, proving
+/// the mid-handshake guarantee) without parsing whole messages.
+pub fn wire_tag(request: &Request) -> u32 {
+    let payload = serde::to_bytes(request);
+    u32::from_le_bytes(payload[..4].try_into().expect("tagged enum payload"))
+}
+
+/// One round trip: encode the request, ship it, decode the response.
+/// [`Response::Error`] becomes [`NetError::Remote`] so call sites match
+/// on the one success shape they expect.
+pub fn call(conn: &mut dyn Conn, request: &Request) -> Result<Response, NetError> {
+    let frame = frame::encode_frame(request);
+    let response = conn.call(&frame)?;
+    match frame::decode_frame::<Response>(&response)? {
+        Response::Error(msg) => Err(NetError::Remote(msg)),
+        ok => Ok(ok),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_roundtrip_through_the_envelope() {
+        let reqs = vec![
+            Request::Ping,
+            Request::Tick,
+            Request::PackEstimate {
+                exclude: vec!["a".into(), "b".into()],
+            },
+            Request::Evict {
+                tenant: "t0".into(),
+            },
+            Request::Admit {
+                frame: vec![1, 2, 3, 255],
+            },
+            Request::AddWorkload {
+                tenant: "t1".into(),
+                replicas: 2,
+            },
+            Request::Checkpoint {
+                path: "/tmp/x.ksnp".into(),
+            },
+        ];
+        for req in reqs {
+            let bytes = frame::encode_frame(&req);
+            let back: Request = frame::decode_frame(&bytes).expect("request roundtrips");
+            assert_eq!(format!("{req:?}"), format!("{back:?}"));
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip_through_the_envelope() {
+        let resps = vec![
+            Response::Pong { ticks: 42 },
+            Response::PlannedOnce(true),
+            Response::Evicted(Some(vec![9, 9, 9])),
+            Response::Workloads(vec!["a".into()]),
+            Response::Done,
+            Response::Error("nope".into()),
+        ];
+        for resp in resps {
+            let bytes = frame::encode_frame(&resp);
+            let back: Response = frame::decode_frame(&bytes).expect("response roundtrips");
+            assert_eq!(format!("{resp:?}"), format!("{back:?}"));
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! The tentpole property: a fleet run **over the RPC transport** is
+//! tick-for-tick identical to the in-process `FleetController`.
+//!
+//! Two fleets are built from one seeded [`SplitMix64`] stream:
+//!
+//! * the **reference** — today's in-process `FleetController` (serial
+//!   ticks, direct `ShardController` access);
+//! * the **networked fleet** — one [`ShardNode`] per shard served over a
+//!   transport, a [`BalancerNode`] driving ticks, balance rounds
+//!   (through the *shared* `run_balance_round` policy), and audits
+//!   purely over RPC, with live sources flowing through a
+//!   [`SourceEscrow`].
+//!
+//! Every tick must agree: outcome signatures, handoff records (tick
+//! stamps and all), and — on a cadence — the fleet audit **bit for bit**
+//! (objective and violation f64 bit patterns). At the end: same
+//! workloads, same placements, same stats.
+//!
+//! The transport defaults to the deterministic loopback;
+//! `KAIROS_NET_TRANSPORT=tcp` reruns the same property over real
+//! localhost sockets (CI runs both legs of the matrix), proving the
+//! equivalence is a property of the RPC layer, not of the loopback's
+//! synchronous dispatch.
+
+use kairos_controller::{ControllerConfig, SyntheticSource, TickOutcome};
+use kairos_fleet::{BalancerConfig, FleetConfig, FleetController};
+use kairos_net::{BalancerNode, LeaseConfig, ShardNode, SourceEscrow, Transport};
+use kairos_types::{Bytes, SplitMix64};
+use kairos_workloads::RatePattern;
+use std::sync::Arc;
+
+const SHARDS: usize = 3;
+const TENANTS_PER_SHARD: usize = 20;
+const TICKS: u64 = 70;
+
+fn config() -> FleetConfig {
+    FleetConfig {
+        shards: SHARDS,
+        shard: ControllerConfig {
+            horizon: 8,
+            check_every: 4,
+            cooldown_ticks: 8,
+            // Exercise the scheduled refresh inside the equivalence run.
+            profile_refresh_ticks: 8,
+            ..ControllerConfig::default()
+        },
+        balancer: BalancerConfig {
+            machines_per_shard: 6,
+            balance_every: 5,
+            max_moves_per_round: 4,
+            ..BalancerConfig::default()
+        },
+        // The reference runs fully serial; the networked fleet is serial
+        // by construction (RPC dispatch order = call order).
+        tick_threads: 1,
+    }
+}
+
+struct TenantSpec {
+    shard: usize,
+    name: String,
+    replicas: u32,
+    base: f64,
+    spike: Option<(u64, f64)>,
+}
+
+fn tenant_specs(rng: &mut SplitMix64) -> Vec<TenantSpec> {
+    let mut specs = Vec::new();
+    for shard in 0..SHARDS {
+        for i in 0..TENANTS_PER_SHARD {
+            let base = rng.next_in(150.0, 280.0);
+            let spike_tps = rng.next_in(520.0, 640.0);
+            let spike_at = 22 + rng.next_range(10);
+            // Shard 0 takes a regional flash crowd (its first eight
+            // tenants always spike ~3×, blowing past the machine
+            // budget) so every seed exercises drift re-solves AND
+            // cross-shard handoffs — the equality checks are never
+            // vacuous. A sprinkling of other tenants drifts too.
+            let spikes = (shard == 0 && i < 8) || rng.next_range(6) == 0;
+            specs.push(TenantSpec {
+                shard,
+                name: format!("s{shard}-t{i}"),
+                replicas: if i == 0 { 2 } else { 1 },
+                base,
+                spike: spikes.then_some((spike_at, spike_tps)),
+            });
+        }
+    }
+    specs
+}
+
+fn make_source(spec: &TenantSpec) -> SyntheticSource {
+    let src = SyntheticSource::new(
+        spec.name.clone(),
+        300.0,
+        Bytes::gib(4),
+        RatePattern::Flat { tps: spec.base },
+    );
+    match spec.spike {
+        Some((at, tps)) => src.then_at(at, RatePattern::Flat { tps }),
+        None => src,
+    }
+}
+
+fn build_reference(specs: &[TenantSpec]) -> FleetController {
+    let mut fleet = FleetController::new(config());
+    for spec in specs {
+        let src = Box::new(make_source(spec));
+        if spec.replicas > 1 {
+            fleet.add_workload_with_replicas(spec.shard, src, spec.replicas);
+        } else {
+            fleet.add_workload_to(spec.shard, src);
+        }
+    }
+    for shard in 0..SHARDS {
+        fleet.add_anti_affinity(&format!("s{shard}-t1"), &format!("s{shard}-t2"));
+    }
+    fleet
+}
+
+/// The transport under test: loopback by default, TCP when
+/// `KAIROS_NET_TRANSPORT=tcp` (the CI matrix runs both).
+fn transport() -> Arc<dyn Transport> {
+    match std::env::var("KAIROS_NET_TRANSPORT").as_deref() {
+        Ok("tcp") => Arc::new(kairos_net::TcpTransport::new()),
+        _ => Arc::new(kairos_net::LoopbackTransport::new()),
+    }
+}
+
+/// Endpoint name per shard: loopback names are symbolic; TCP binds
+/// kernel-assigned localhost ports (the serve handle reports them).
+fn bind_endpoint(shard: usize) -> String {
+    match std::env::var("KAIROS_NET_TRANSPORT").as_deref() {
+        Ok("tcp") => "127.0.0.1:0".to_string(),
+        _ => format!("shard-{shard}"),
+    }
+}
+
+fn outcome_sig(o: &TickOutcome) -> String {
+    match o {
+        TickOutcome::Bootstrapping => "boot".into(),
+        TickOutcome::Idle => "idle".into(),
+        TickOutcome::Stable => "stable".into(),
+        TickOutcome::ProfileRefreshed { refreshed } => format!("refresh:{refreshed}"),
+        TickOutcome::InitialPlan { machines, .. } => format!("init:m{machines}"),
+        TickOutcome::Replanned(r) => format!(
+            "replan:{:?}:feasible={}:moves={}:churn={:016x}:m{}:exec[{},{},{},{:016x},{}]",
+            r.reason,
+            r.feasible,
+            r.moves,
+            r.churn.to_bits(),
+            r.machines,
+            r.execution.steps,
+            r.execution.moves,
+            r.execution.provisions,
+            r.execution.bytes_copied.to_bits(),
+            r.execution.forced_steps,
+        ),
+    }
+}
+
+fn audit_bits(audit: &kairos_fleet::FleetAudit) -> Vec<Option<(u64, u64)>> {
+    audit
+        .per_shard
+        .iter()
+        .map(|e| {
+            e.as_ref()
+                .map(|e| (e.objective.to_bits(), e.violation.to_bits()))
+        })
+        .collect()
+}
+
+#[test]
+fn rpc_fleet_is_tick_for_tick_identical_to_in_process() {
+    let seed_rng = SplitMix64::from_env(0x4E7F_1EE7);
+    let specs = tenant_specs(&mut seed_rng.clone());
+
+    let mut reference = build_reference(&specs);
+
+    // --- the networked fleet: nodes, escrow, balancer -------------------
+    let transport = transport();
+    let escrow = SourceEscrow::new();
+    let mut nodes = Vec::new();
+    let mut handles = Vec::new();
+    for shard in 0..SHARDS {
+        let node = ShardNode::new(
+            config().shard,
+            kairos_core::ConsolidationEngine::builder().build(),
+            Box::new(escrow.clone()),
+        );
+        let handle = node
+            .serve(transport.as_ref(), &bind_endpoint(shard))
+            .expect("shard node serves");
+        nodes.push(node);
+        handles.push(handle);
+    }
+    let endpoints: Vec<String> = handles.iter().map(|h| h.endpoint.clone()).collect();
+    let mut balancer = BalancerNode::connect(
+        config(),
+        LeaseConfig::default(),
+        transport.clone(),
+        &endpoints,
+    )
+    .expect("balancer connects");
+
+    // Tenants reach their nodes through the escrow + AddWorkload RPC —
+    // the registration crosses the wire, the live source does not.
+    for spec in &specs {
+        escrow.park(Box::new(make_source(spec)));
+        balancer
+            .add_workload_to(spec.shard, &spec.name, spec.replicas)
+            .expect("registration");
+    }
+    for shard in 0..SHARDS {
+        balancer
+            .add_anti_affinity(&format!("s{shard}-t1"), &format!("s{shard}-t2"))
+            .expect("anti-affinity registration");
+    }
+    assert!(escrow.parked().is_empty(), "every source was bound");
+
+    // --- run both, comparing every tick ---------------------------------
+    for tick in 0..TICKS {
+        let a = reference.tick();
+        let b = balancer.tick();
+        assert!(b.down.is_empty(), "no shard may miss a lease here");
+        let sig_a: Vec<String> = a.outcomes.iter().map(outcome_sig).collect();
+        let sig_b: Vec<String> = b
+            .outcomes
+            .iter()
+            .map(|o| outcome_sig(o.as_ref().expect("all shards alive")))
+            .collect();
+        assert_eq!(sig_a, sig_b, "tick {tick}: outcomes diverged over RPC");
+        assert_eq!(
+            a.handoffs, b.handoffs,
+            "tick {tick}: balance rounds diverged over RPC"
+        );
+        if tick % 10 == 9 {
+            let audit_a = reference.audit();
+            let audit_b = balancer.audit();
+            assert_eq!(audit_a.machines_used, audit_b.machines_used);
+            assert_eq!(
+                audit_bits(&audit_a),
+                audit_bits(&audit_b),
+                "tick {tick}: audits diverged bit-for-bit"
+            );
+        }
+    }
+
+    // The run must have exercised the interesting paths.
+    let resolves: u64 = reference.shards().iter().map(|s| s.stats().resolves).sum();
+    assert!(resolves > 0, "no shard ever re-solved; drift too weak");
+    assert!(
+        reference.stats().handoffs_completed > 0,
+        "no handoffs; the two-phase RPC handshake went unexercised"
+    );
+
+    // --- end state ------------------------------------------------------
+    assert_eq!(reference.handoffs(), balancer.handoffs());
+    let (sa, sb) = (reference.stats(), balancer.stats());
+    assert_eq!(sa.ticks, sb.ticks);
+    assert_eq!(sa.balance_rounds, sb.balance_rounds);
+    assert_eq!(sa.handoffs_completed, sb.handoffs_completed);
+    assert_eq!(sa.handoffs_rejected, sb.handoffs_rejected);
+    assert_eq!(sb.handoffs_failed, 0, "clean transport: no failed handoffs");
+    for (shard, (ctrl, net_workloads)) in reference
+        .shards()
+        .iter()
+        .zip(balancer.shard_workloads())
+        .enumerate()
+    {
+        let net_workloads = net_workloads.expect("shard alive");
+        assert_eq!(ctrl.workloads(), net_workloads, "shard {shard} membership");
+        assert_eq!(
+            reference.map().tenants_of(shard),
+            balancer.map().tenants_of(shard),
+            "shard {shard} routing"
+        );
+    }
+    // Placements byte-for-byte, via the node side (the balancer holds no
+    // placement state of its own — that is the point).
+    for (shard, node) in nodes.iter().enumerate() {
+        node.with_shard(|s| {
+            assert_eq!(
+                s.placement(),
+                reference.shards()[shard].placement(),
+                "shard {shard} placement"
+            );
+            let (na, nb) = (s.stats(), reference.shards()[shard].stats());
+            assert_eq!(na.ticks, nb.ticks);
+            assert_eq!(na.resolves, nb.resolves);
+            assert_eq!(na.profile_refreshes, nb.profile_refreshes);
+        });
+    }
+}

@@ -1,0 +1,405 @@
+//! Failure handling at both levels of the network control plane, over
+//! the deterministic loopback with injected partitions:
+//!
+//! 1. **Shard-node death + checkpoint rejoin** — a partitioned shard
+//!    node misses its lease, the fleet keeps running around it (its
+//!    summary reads unplanned: never a donor, never a receiver), and a
+//!    replacement node restored from the shard's last checkpoint rejoins
+//!    with its telemetry, placement and loop phase intact. Tenants that
+//!    moved after the checkpoint are reconciled against the routing map.
+//! 2. **Balancer death + deterministic standby promotion** — a standby
+//!    watching the primary's lease endpoint promotes after its
+//!    rank-scaled miss threshold, rebuilds the routing map from the
+//!    shards (ground truth), and keeps balancing; a second standby with
+//!    a higher rank stays down longer, so promotions cannot race.
+//!
+//! Seeded; CI sweeps `KAIROS_TEST_SEED`.
+
+use kairos_controller::{ControllerConfig, SyntheticSource};
+use kairos_fleet::{BalancerConfig, FleetConfig};
+use kairos_net::{
+    BalancerNode, LeaseConfig, LoopbackTransport, ShardNode, SourceEscrow, StandbyAction,
+    StandbyBalancer, Transport,
+};
+use kairos_types::{Bytes, SplitMix64};
+use kairos_workloads::RatePattern;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+const SHARDS: usize = 2;
+const TENANTS_PER_SHARD: usize = 6;
+
+fn quick_cfg() -> ControllerConfig {
+    ControllerConfig {
+        horizon: 8,
+        check_every: 4,
+        cooldown_ticks: 8,
+        ..ControllerConfig::default()
+    }
+}
+
+fn fleet_cfg() -> FleetConfig {
+    FleetConfig {
+        shards: SHARDS,
+        shard: quick_cfg(),
+        balancer: BalancerConfig {
+            machines_per_shard: 4,
+            balance_every: 4,
+            max_moves_per_round: 2,
+            ..BalancerConfig::default()
+        },
+        tick_threads: 1,
+    }
+}
+
+/// Tenant sources are reconstructible by name — the factory/rejoin
+/// contract the whole restore path rests on.
+fn make_source(name: &str, rng_tps: f64) -> SyntheticSource {
+    SyntheticSource::new(
+        name.to_string(),
+        300.0,
+        Bytes::gib(4),
+        RatePattern::Flat { tps: rng_tps },
+    )
+    .with_noise(0.0)
+}
+
+/// `name → tps`, derived from the name so every rebuild agrees.
+fn tps_of(name: &str, base: f64) -> f64 {
+    let h = name
+        .bytes()
+        .fold(7u64, |a, b| a.wrapping_mul(31).wrapping_add(b as u64));
+    base + (h % 80) as f64
+}
+
+struct Cluster {
+    transport: Arc<LoopbackTransport>,
+    escrow: SourceEscrow,
+    nodes: Vec<ShardNode>,
+    handles: Vec<kairos_net::ServerHandle>,
+    balancer: BalancerNode,
+}
+
+fn cluster(lease: LeaseConfig) -> Cluster {
+    let transport = Arc::new(LoopbackTransport::new());
+    let escrow = SourceEscrow::new();
+    let mut nodes = Vec::new();
+    let mut handles = Vec::new();
+    for shard in 0..SHARDS {
+        let node = ShardNode::new(
+            quick_cfg(),
+            kairos_core::ConsolidationEngine::builder().build(),
+            Box::new(escrow.clone()),
+        );
+        handles.push(
+            node.serve(transport.as_ref(), &format!("shard-{shard}"))
+                .expect("serves"),
+        );
+        nodes.push(node);
+    }
+    let endpoints: Vec<String> = (0..SHARDS).map(|s| format!("shard-{s}")).collect();
+    let mut balancer = BalancerNode::connect(fleet_cfg(), lease, transport.clone(), &endpoints)
+        .expect("balancer connects");
+    for shard in 0..SHARDS {
+        for i in 0..TENANTS_PER_SHARD {
+            let name = format!("s{shard}-t{i}");
+            escrow.park(Box::new(make_source(&name, tps_of(&name, 180.0))));
+            balancer
+                .add_workload_to(shard, &name, 1)
+                .expect("registers");
+        }
+    }
+    Cluster {
+        transport,
+        escrow,
+        nodes,
+        handles,
+        balancer,
+    }
+}
+
+fn ckpt_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("kairos-net-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("checkpoint dir");
+    dir
+}
+
+#[test]
+fn dead_shard_is_detected_skipped_and_rejoins_from_checkpoint() {
+    let _rng = SplitMix64::from_env(0xFA11_0001);
+    let lease = LeaseConfig { miss_limit: 3 };
+    let mut c = cluster(lease);
+    let dir = ckpt_dir("rejoin");
+    let dir_str = dir.to_string_lossy().to_string();
+
+    // Run until both shards planned, then checkpoint.
+    for _ in 0..20 {
+        c.balancer.tick();
+    }
+    let results = c.balancer.checkpoint_shards(&dir_str);
+    let ckpt_path = results[1].as_ref().expect("shard 1 checkpointed").clone();
+    let ticks_at_ckpt = c.nodes[1].with_shard(|s| s.stats().ticks);
+
+    // Kill shard 1: partition its endpoint. The lease must expire after
+    // exactly miss_limit failed ticks.
+    c.transport.partition("shard-1");
+    for i in 0..3 {
+        let report = c.balancer.tick();
+        assert!(
+            report.outcomes[1].is_none(),
+            "tick {i}: no outcome from a dead node"
+        );
+    }
+    assert_eq!(c.balancer.down_shards(), vec![1], "lease expired");
+
+    // The fleet keeps running around the hole — ticks flow to shard 0,
+    // balance rounds treat shard 1 as unplanned (no donor, no receiver).
+    for _ in 0..6 {
+        let report = c.balancer.tick();
+        assert!(report.outcomes[0].is_some());
+        assert!(report.outcomes[1].is_none());
+        for handoff in &report.handoffs {
+            assert_ne!(handoff.to, Some(1), "no handoff may target a dead shard");
+            assert_ne!(handoff.from, 1, "no handoff may leave a dead shard");
+        }
+    }
+
+    // "Restart the process": restore a fresh node from the checkpoint.
+    // The escrow has no live sources for it (they died with the node) —
+    // park reconstructed, fast-forwarded ones first, exactly what a
+    // supervising process does.
+    let down_ticks = c.balancer.stats().ticks; // how far the world moved on
+    assert!(down_ticks > ticks_at_ckpt);
+    let restored_names: Vec<String> = (0..TENANTS_PER_SHARD).map(|i| format!("s1-t{i}")).collect();
+    for name in &restored_names {
+        let src = make_source(name, tps_of(name, 180.0)).fast_forward(ticks_at_ckpt);
+        c.escrow.park(Box::new(src));
+    }
+    let restored = ShardNode::restore_from(
+        quick_cfg(),
+        kairos_core::ConsolidationEngine::builder().build(),
+        std::path::Path::new(&ckpt_path),
+        Box::new(c.escrow.clone()),
+    )
+    .expect("checkpoint restores");
+    restored.with_shard(|s| {
+        assert_eq!(s.stats().ticks, ticks_at_ckpt, "loop phase restored");
+        assert!(s.planned_once(), "plan survived the death");
+        assert!(s.detached_workloads().is_empty(), "all sources re-bound");
+    });
+    // Serve at a NEW endpoint (the old one is still partitioned — like a
+    // process restarted on a new port) and rejoin.
+    c.handles.push(
+        restored
+            .serve(c.transport.as_ref(), "shard-1-reborn")
+            .expect("serves"),
+    );
+    c.balancer.rejoin(1, "shard-1-reborn").expect("rejoins");
+    assert!(c.balancer.down_shards().is_empty(), "lease renewed");
+
+    // The rejoined shard participates again: ticks flow, membership is
+    // intact, audits complete.
+    for _ in 0..8 {
+        let report = c.balancer.tick();
+        assert!(report.outcomes[1].is_some(), "rejoined shard ticks");
+    }
+    let workloads = c.balancer.shard_workloads();
+    assert_eq!(
+        workloads[1].as_ref().expect("alive").len(),
+        TENANTS_PER_SHARD,
+        "membership preserved across death + rejoin"
+    );
+    let audit = c.balancer.audit();
+    assert!(audit.complete(), "every shard audits after rejoin");
+    assert!(audit.zero_violations());
+
+    c.nodes.push(restored);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn rejoin_reconciles_tenants_moved_after_the_checkpoint() {
+    let lease = LeaseConfig { miss_limit: 2 };
+    let mut c = cluster(lease);
+    let dir = ckpt_dir("reconcile");
+    let dir_str = dir.to_string_lossy().to_string();
+
+    for _ in 0..20 {
+        c.balancer.tick();
+    }
+    // Checkpoint shard 1 while it still owns s1-t0 …
+    let results = c.balancer.checkpoint_shards(&dir_str);
+    let ckpt_path = results[1].as_ref().expect("checkpointed").clone();
+    let ticks_at_ckpt = c.nodes[1].with_shard(|s| s.stats().ticks);
+
+    // … then move s1-t0 to shard 0 through the real two-phase handshake
+    // (simulating a post-checkpoint handoff), and kill shard 1.
+    {
+        let mut donor_conn = c.transport.connect("shard-1").expect("connects");
+        let kairos_net::Response::Evicted(Some(wire)) = kairos_net::rpc::call(
+            donor_conn.as_mut(),
+            &kairos_net::Request::Evict {
+                tenant: "s1-t0".into(),
+            },
+        )
+        .expect("evicts") else {
+            panic!("eviction must yield a frame");
+        };
+        let mut recv_conn = c.transport.connect("shard-0").expect("connects");
+        let response = kairos_net::rpc::call(
+            recv_conn.as_mut(),
+            &kairos_net::Request::Admit { frame: wire },
+        )
+        .expect("admits");
+        assert!(matches!(response, kairos_net::Response::Done));
+    }
+    // Keep the routing truth in step (the balancer would have done this
+    // in its own round).
+    c.balancer.reroute("s1-t0", 0);
+
+    c.transport.partition("shard-1");
+    for _ in 0..2 {
+        c.balancer.tick();
+    }
+    assert_eq!(c.balancer.down_shards(), vec![1]);
+
+    // Restore shard 1 from the PRE-handoff checkpoint: it believes it
+    // still owns s1-t0.
+    for i in 0..TENANTS_PER_SHARD {
+        let name = format!("s1-t{i}");
+        let src = make_source(&name, tps_of(&name, 180.0)).fast_forward(ticks_at_ckpt);
+        c.escrow.park(Box::new(src));
+    }
+    let restored = ShardNode::restore_from(
+        quick_cfg(),
+        kairos_core::ConsolidationEngine::builder().build(),
+        std::path::Path::new(&ckpt_path),
+        Box::new(c.escrow.clone()),
+    )
+    .expect("restores");
+    restored.with_shard(|s| assert!(s.has_workload("s1-t0"), "stale copy present pre-rejoin"));
+    c.handles.push(
+        restored
+            .serve(c.transport.as_ref(), "shard-1-reborn")
+            .expect("serves"),
+    );
+    c.balancer.rejoin(1, "shard-1-reborn").expect("rejoins");
+
+    // Reconciliation: the map routes s1-t0 to shard 0, so the restored
+    // node must have dropped its stale copy — single ownership holds.
+    restored.with_shard(|s| {
+        assert!(
+            !s.has_workload("s1-t0"),
+            "rejoin must retire the stale pre-checkpoint copy"
+        );
+    });
+    c.nodes[0].with_shard(|s| assert!(s.has_workload("s1-t0")));
+    let workloads = c.balancer.shard_workloads();
+    let total: usize = workloads
+        .iter()
+        .map(|w| w.as_ref().expect("alive").len())
+        .sum();
+    assert_eq!(
+        total,
+        SHARDS * TENANTS_PER_SHARD,
+        "nobody lost, nobody doubled"
+    );
+
+    c.nodes.push(restored);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn standby_promotes_deterministically_when_the_balancer_dies() {
+    let lease = LeaseConfig { miss_limit: 2 };
+    let mut c = cluster(lease);
+
+    // Primary serves its lease endpoint; two standbys (ranks 1 and 2)
+    // watch it. Rank ordering is the determinism: rank 1's threshold is
+    // 2 misses, rank 2's is 4 — rank 1 always takes over first.
+    let lease_handle = c
+        .balancer
+        .serve_lease(c.transport.as_ref(), "balancer-0")
+        .expect("lease endpoint serves");
+    let endpoints: Vec<String> = (0..SHARDS).map(|s| format!("shard-{s}")).collect();
+    let standby_node = BalancerNode::connect(fleet_cfg(), lease, c.transport.clone(), &endpoints)
+        .expect("standby connects");
+    let mut standby = StandbyBalancer::new(standby_node, "balancer-0", 1);
+    let second_node = BalancerNode::connect(fleet_cfg(), lease, c.transport.clone(), &endpoints)
+        .expect("second standby connects");
+    let mut second = StandbyBalancer::new(second_node, "balancer-0", 2);
+
+    // Healthy primary: standbys watch quietly.
+    for _ in 0..20 {
+        c.balancer.tick();
+        assert_eq!(standby.watch_tick(), StandbyAction::Watching);
+        assert_eq!(second.watch_tick(), StandbyAction::Watching);
+    }
+    let handoffs_before = c.balancer.stats().handoffs_completed;
+    let map_before: Vec<Vec<String>> = (0..SHARDS)
+        .map(|s| c.balancer.map().tenants_of(s))
+        .collect();
+
+    // The primary dies: stop serving its lease (and stop ticking).
+    lease_handle.stop();
+    drop(c.balancer);
+
+    // Rank 1 reaches its threshold (2 misses) and then needs two
+    // consecutive frozen-fleet confirmations — the split-brain guard —
+    // so it promotes on its fourth watch; rank 2's threshold alone is
+    // 4 misses, so it is still counting.
+    let mut promoted_at = None;
+    for watch in 0..8 {
+        let first = standby.watch_tick();
+        let second_action = second.watch_tick();
+        if first == StandbyAction::Promote && promoted_at.is_none() {
+            promoted_at = Some(watch);
+        }
+        if promoted_at.is_some() {
+            assert_eq!(
+                second_action,
+                StandbyAction::Watching,
+                "rank 2 must still be waiting when rank 1 promotes"
+            );
+            break;
+        }
+    }
+    assert_eq!(
+        promoted_at,
+        Some(3),
+        "rank 1 promotes after 2 misses + 2 consecutive frozen-fleet confirmations"
+    );
+
+    // Promotion rebuilds the map from the shards — ground truth.
+    let mut promoted = match standby.promote() {
+        Ok(promoted) => promoted,
+        Err((_, e)) => panic!("all shards reachable, promotion must succeed: {e}"),
+    };
+    for (shard, expected) in map_before.iter().enumerate() {
+        assert_eq!(
+            &promoted.map().tenants_of(shard),
+            expected,
+            "promoted map must match the shards' actual ownership"
+        );
+    }
+
+    // The promoted balancer keeps the fleet healthy…
+    for _ in 0..12 {
+        let report = promoted.tick();
+        assert!(report.down.is_empty());
+        // …and its activity holds rank 2 back indefinitely: the lease
+        // endpoint is still dead, but the fleet is moving — the
+        // split-brain guard must never let a second balancer activate.
+        assert_eq!(
+            second.watch_tick(),
+            StandbyAction::Watching,
+            "rank 2 must hold while the promoted balancer drives the fleet"
+        );
+    }
+    let audit = promoted.audit();
+    assert!(audit.complete());
+    assert!(audit.zero_violations());
+    // Its stats continue from the shards' tick line, not from zero.
+    assert!(promoted.stats().ticks > 20);
+    let _ = handoffs_before;
+}

@@ -1,0 +1,398 @@
+//! The fleet control plane as a real multi-process system over TCP.
+//!
+//! ```text
+//! cargo run --release --example fleet_over_tcp
+//! KAIROS_TEST_SEED=7 cargo run --release --example fleet_over_tcp
+//! ```
+//!
+//! This binary plays two roles. Run plainly, it is the **control
+//! process**: it spawns one child process per shard (re-executing
+//! itself with `shard-node` args), connects a primary `BalancerNode`
+//! plus a rank-1 `StandbyBalancer` to the children's kernel-assigned
+//! localhost ports, and drives a 3-shard flash-crowd fleet through the
+//! full distributed lifecycle:
+//!
+//! 1. tenants registered over RPC (each node binds its own telemetry
+//!    sources by name — nothing but bytes ever crosses a process
+//!    boundary);
+//! 2. the flash crowd blows shard 0 past its machine budget; the
+//!    balancer sheds tenants cross-process through the two-phase
+//!    reserve → evict → admit handshake, telemetry travelling as
+//!    checksummed `TenantHandoff` wire frames;
+//! 3. mid-run, shard 1's **process is killed** (SIGKILL — no goodbye).
+//!    The balancer's tick-based lease detects it, the fleet keeps
+//!    running around the hole, and a replacement process restores from
+//!    the shard's last commanded checkpoint, fast-forwards its sources,
+//!    and rejoins on a fresh port;
+//! 4. later the **primary balancer dies** too. The standby watching its
+//!    lease endpoint promotes deterministically, rebuilds the routing
+//!    map from the shards themselves, and finishes the run;
+//! 5. final acceptance: the audit (over RPC) is complete, violation-free
+//!    and within budget on every shard, cross-process handoffs
+//!    completed, and no tenant was lost or duplicated anywhere in the
+//!    timeline.
+
+use kairos::controller::{ControllerConfig, SyntheticSource};
+use kairos::fleet::{BalancerConfig, FleetConfig};
+use kairos::net::{
+    BalancerNode, LeaseConfig, ShardNode, SourceFactory, StandbyAction, StandbyBalancer,
+    TcpTransport, Transport,
+};
+use kairos::types::Bytes;
+use kairos::workloads::RatePattern;
+use std::io::BufRead;
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+
+const SHARDS: usize = 3;
+const TENANTS_PER_SHARD: usize = 16;
+const TICKS: u64 = 130;
+const BUDGET: usize = 6;
+const KILL_SHARD_AT: u64 = 55;
+const KILL_BALANCER_AT: u64 = 95;
+
+fn shard_cfg() -> ControllerConfig {
+    ControllerConfig {
+        horizon: 10,
+        check_every: 4,
+        cooldown_ticks: 10,
+        ..ControllerConfig::default()
+    }
+}
+
+fn fleet_cfg() -> FleetConfig {
+    FleetConfig {
+        shards: SHARDS,
+        shard: shard_cfg(),
+        balancer: BalancerConfig {
+            machines_per_shard: BUDGET,
+            balance_every: 5,
+            max_moves_per_round: 4,
+            ..BalancerConfig::default()
+        },
+        ..FleetConfig::default()
+    }
+}
+
+/// Tenant sources are derived entirely from the tenant *name*, so any
+/// process — original node, respawned node, handoff destination — can
+/// rebuild the exact deterministic stream and fast-forward it into
+/// phase. `s0-t00 … s0-t06` are the flash crowd: ~3× spikes mid-run.
+fn make_source(name: &str, at_tick: u64) -> Option<SyntheticSource> {
+    let (shard, idx) = parse_name(name)?;
+    let base = 170.0 + 12.0 * (idx % 5) as f64;
+    let src = SyntheticSource::new(
+        name.to_string(),
+        300.0,
+        Bytes::gib(4),
+        RatePattern::Flat { tps: base },
+    );
+    let src = if shard == 0 && idx < 7 {
+        src.then_at(30, RatePattern::Flat { tps: 600.0 })
+            .then_at(80, RatePattern::Flat { tps: base })
+    } else {
+        src
+    };
+    Some(src.fast_forward(at_tick))
+}
+
+fn parse_name(name: &str) -> Option<(usize, usize)> {
+    let rest = name.strip_prefix('s')?;
+    let (shard, idx) = rest.split_once("-t")?;
+    Some((shard.parse().ok()?, idx.parse().ok()?))
+}
+
+fn ckpt_path(dir: &str, shard: usize) -> String {
+    format!("{dir}/shard-{shard}.ksnp")
+}
+
+// ---------------------------------------------------------------------
+// Child role: one shard node process.
+// ---------------------------------------------------------------------
+
+fn run_shard_node(shard: usize, ckpt_dir: &str, restore: bool) -> ! {
+    let binder = Box::new(SourceFactory::new(|name, at_tick| {
+        make_source(name, at_tick)
+            .map(|s| Box::new(s) as Box<dyn kairos::controller::TelemetrySource>)
+    }));
+    let engine = kairos::core::ConsolidationEngine::builder().build();
+    let node = if restore {
+        ShardNode::restore_from(
+            shard_cfg(),
+            engine,
+            std::path::Path::new(&ckpt_path(ckpt_dir, shard)),
+            binder,
+        )
+        .unwrap_or_else(|e| panic!("shard {shard}: restore failed: {e}"))
+    } else {
+        ShardNode::new(shard_cfg(), engine, binder)
+    };
+    let transport = TcpTransport::new();
+    let handle = node
+        .serve(&transport, "127.0.0.1:0")
+        .unwrap_or_else(|e| panic!("shard {shard}: bind failed: {e}"));
+    // The control process reads this line to learn our port.
+    println!("PORT {}", handle.endpoint);
+
+    // Die with the parent: EOF on stdin means the control process is
+    // gone and nobody will ever send Shutdown.
+    std::thread::spawn(|| {
+        let mut line = String::new();
+        let _ = std::io::stdin().lock().read_line(&mut line);
+        std::process::exit(0);
+    });
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(600);
+    while !node.shutdown_requested() {
+        if std::time::Instant::now() > deadline {
+            eprintln!("shard {shard}: watchdog deadline, exiting");
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    drop(handle);
+    std::process::exit(0);
+}
+
+// ---------------------------------------------------------------------
+// Control role: spawn children, drive the fleet, break things.
+// ---------------------------------------------------------------------
+
+struct ShardProcess {
+    child: Child,
+    endpoint: String,
+}
+
+fn spawn_shard(shard: usize, ckpt_dir: &str, restore: bool) -> ShardProcess {
+    let exe = std::env::current_exe().expect("own path");
+    let mut child = Command::new(exe)
+        .arg("shard-node")
+        .arg(shard.to_string())
+        .arg(ckpt_dir)
+        .arg(if restore { "restore" } else { "fresh" })
+        .stdin(Stdio::piped()) // held open: child exits on EOF
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn shard node");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let endpoint = loop {
+        let line = lines
+            .next()
+            .expect("child prints its port")
+            .expect("readable stdout");
+        if let Some(ep) = line.strip_prefix("PORT ") {
+            break ep.to_string();
+        }
+    };
+    // Keep draining stdout in the background so the child never blocks.
+    std::thread::spawn(move || for _ in lines {});
+    ShardProcess { child, endpoint }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) == Some("shard-node") {
+        let shard: usize = args[2].parse().expect("shard index");
+        let restore = args.get(4).map(String::as_str) == Some("restore");
+        run_shard_node(shard, &args[3], restore);
+    }
+
+    println!("== kairos-net: a 3-shard fleet as real processes over TCP ==\n");
+    let ckpt_dir =
+        std::env::var("KAIROS_SNAPSHOT_DIR").unwrap_or_else(|_| "target/ckpt-tcp".to_string());
+    std::fs::create_dir_all(&ckpt_dir).expect("checkpoint dir");
+
+    // --- spawn the shard fleet ------------------------------------------
+    let mut procs: Vec<ShardProcess> = (0..SHARDS)
+        .map(|s| spawn_shard(s, &ckpt_dir, false))
+        .collect();
+    let endpoints: Vec<String> = procs.iter().map(|p| p.endpoint.clone()).collect();
+    println!("spawned {SHARDS} shard-node processes: {endpoints:?}");
+
+    let transport: Arc<dyn Transport> = Arc::new(TcpTransport::new());
+    let lease = LeaseConfig { miss_limit: 3 };
+    let mut primary = Some(
+        BalancerNode::connect(fleet_cfg(), lease, transport.clone(), &endpoints)
+            .expect("primary balancer connects"),
+    );
+    let lease_handle = primary
+        .as_ref()
+        .expect("alive")
+        .serve_lease(transport.as_ref(), "127.0.0.1:0")
+        .expect("lease endpoint binds");
+    let mut standby = Some(StandbyBalancer::new(
+        BalancerNode::connect(fleet_cfg(), lease, transport.clone(), &endpoints)
+            .expect("standby balancer connects"),
+        &lease_handle.endpoint,
+        1,
+    ));
+    let mut lease_handle = Some(lease_handle);
+    let mut promoted: Option<BalancerNode> = None;
+
+    // --- register tenants over RPC --------------------------------------
+    {
+        let primary = primary.as_mut().expect("alive");
+        for shard in 0..SHARDS {
+            for i in 0..TENANTS_PER_SHARD {
+                let name = format!("s{shard}-t{i:02}");
+                primary
+                    .add_workload_to(shard, &name, 1)
+                    .expect("registration over RPC");
+            }
+        }
+    }
+    println!(
+        "registered {} tenants over RPC (sources bound node-side by name)\n",
+        SHARDS * TENANTS_PER_SHARD
+    );
+
+    // --- the run: flash crowd, a murdered shard, a murdered balancer ----
+    let mut shard_killed = false;
+    let mut shard_rejoined_at = None;
+    let mut balancer_promoted_at = None;
+    // Counted from the tick reports: handoff history spans both
+    // balancers (the promoted standby's own counters start at zero —
+    // the audit log died with the primary, by design).
+    let mut completed_handoffs = 0u64;
+    for tick in 1..=TICKS {
+        // Periodic checkpoints — the restore-from material.
+        if tick % 10 == 0 {
+            if let Some(primary) = primary.as_mut() {
+                let _ = primary.checkpoint_shards(&ckpt_dir);
+            } else if let Some(promoted) = promoted.as_mut() {
+                let _ = promoted.checkpoint_shards(&ckpt_dir);
+            }
+        }
+        if tick == KILL_SHARD_AT {
+            procs[1].child.kill().expect("kill shard 1");
+            let _ = procs[1].child.wait();
+            shard_killed = true;
+            println!(
+                "tick {tick:>3}: SIGKILL shard-node 1 ({})",
+                procs[1].endpoint
+            );
+        }
+        if tick == KILL_BALANCER_AT {
+            // The primary dies: lease endpoint gone, ticking stops.
+            lease_handle.take().expect("still serving").stop();
+            primary = None;
+            println!("tick {tick:>3}: primary balancer dropped; standby watching");
+        }
+
+        if let Some(primary) = primary.as_mut() {
+            let report = primary.tick();
+            // Shard death detected → respawn from checkpoint and rejoin.
+            if shard_killed && shard_rejoined_at.is_none() && report.down.contains(&1) {
+                let reborn = spawn_shard(1, &ckpt_dir, true);
+                primary
+                    .rejoin(1, &reborn.endpoint)
+                    .expect("restored node rejoins");
+                if let Some(standby) = standby.as_mut() {
+                    standby.node_mut().set_endpoint(1, &reborn.endpoint);
+                }
+                println!(
+                    "tick {tick:>3}: lease expired for shard 1 → respawned from {} at {}",
+                    ckpt_path(&ckpt_dir, 1),
+                    reborn.endpoint
+                );
+                procs[1] = reborn;
+                shard_rejoined_at = Some(tick);
+            }
+            for handoff in &report.handoffs {
+                if handoff.completed() {
+                    completed_handoffs += 1;
+                }
+                println!(
+                    "tick {tick:>3}: handoff {} shard {} → {:?} [{:?}]",
+                    handoff.tenant, handoff.from, handoff.to, handoff.outcome
+                );
+            }
+        } else if promoted.is_none() {
+            let watcher = standby.as_mut().expect("standby exists");
+            if watcher.watch_tick() == StandbyAction::Promote {
+                match standby.take().expect("standby exists").promote() {
+                    Ok(node) => {
+                        println!(
+                            "tick {tick:>3}: standby promoted (rank 1, {} missed leases) — \
+                             map rebuilt from the shards",
+                            lease.miss_limit
+                        );
+                        balancer_promoted_at = Some(tick);
+                        promoted = Some(node);
+                    }
+                    Err((returned, e)) => {
+                        println!("tick {tick:>3}: promotion retry ({e})");
+                        standby = Some(*returned);
+                    }
+                }
+            }
+        } else if let Some(promoted) = promoted.as_mut() {
+            let report = promoted.tick();
+            for handoff in &report.handoffs {
+                if handoff.completed() {
+                    completed_handoffs += 1;
+                }
+                println!(
+                    "tick {tick:>3}: handoff {} shard {} → {:?} [{:?}] (post-failover)",
+                    handoff.tenant, handoff.from, handoff.to, handoff.outcome
+                );
+            }
+        }
+    }
+
+    // --- acceptance ------------------------------------------------------
+    let rejoined = shard_rejoined_at.expect("the killed shard must have rejoined");
+    let promoted_at = balancer_promoted_at.expect("the standby must have promoted");
+    let mut final_balancer = promoted.expect("the promoted balancer finishes the run");
+    let audit = final_balancer.audit();
+    let stats = final_balancer.stats();
+    println!(
+        "\nfinal audit (over RPC): machines {:?}, complete={}, zero-violations={}, \
+         within-budget({BUDGET})={}",
+        audit.machines_used,
+        audit.complete(),
+        audit.zero_violations(),
+        audit.within_budget(BUDGET),
+    );
+    assert!(
+        audit.complete(),
+        "every shard must audit after the failovers"
+    );
+    assert!(
+        audit.zero_violations(),
+        "flash crowd must converge to zero violations"
+    );
+    assert!(
+        audit.within_budget(BUDGET),
+        "every shard within its machine budget"
+    );
+    assert!(
+        completed_handoffs >= 1,
+        "the crowd must have forced cross-process handoffs"
+    );
+    let workloads = final_balancer.shard_workloads();
+    let total: usize = workloads
+        .iter()
+        .map(|w| w.as_ref().map_or(0, |w| w.len()))
+        .sum();
+    assert_eq!(
+        total,
+        SHARDS * TENANTS_PER_SHARD,
+        "no tenant lost or duplicated across kill + rejoin + failover"
+    );
+    println!(
+        "survived: shard-1 SIGKILL at tick {KILL_SHARD_AT} (rejoined tick {rejoined}), \
+         balancer death at tick {KILL_BALANCER_AT} (promoted tick {promoted_at})"
+    );
+    println!(
+        "handoffs: {completed_handoffs} completed across both balancers; \
+         post-failover stats {stats:?}"
+    );
+
+    // --- teardown --------------------------------------------------------
+    final_balancer.shutdown_shards();
+    for p in &mut procs {
+        let _ = p.child.wait();
+    }
+    println!("\nall fleet-over-TCP acceptance properties passed.");
+}

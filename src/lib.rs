@@ -23,6 +23,7 @@
 //! | [`core`] | `kairos-core` | combined-load estimator + consolidation engine |
 //! | [`controller`] | `kairos-controller` | online rolling-horizon consolidation daemon |
 //! | [`fleet`] | `kairos-fleet` | sharded control plane: per-shard loops + cross-shard balancer |
+//! | [`net`] | `kairos-net` | multi-node transport: RPC shard/balancer roles over loopback or TCP |
 //!
 //! ## Quickstart: one-shot consolidation
 //!
@@ -89,6 +90,7 @@ pub use kairos_dbsim as dbsim;
 pub use kairos_diskmodel as diskmodel;
 pub use kairos_fleet as fleet;
 pub use kairos_monitor as monitor;
+pub use kairos_net as net;
 pub use kairos_solver as solver;
 pub use kairos_store as store;
 pub use kairos_traces as traces;
