@@ -51,9 +51,22 @@ struct ScaleResult {
     steady_tick_p50_usecs: f64,
     steady_tick_p99_usecs: f64,
     /// All ticks, including solves and balance rounds — the latency the
-    /// control plane actually exhibits.
+    /// control plane actually exhibits. Kept for baseline continuity,
+    /// but it conflates two populations that differ by orders of
+    /// magnitude; read the registry-sourced poll/solve split below.
     tick_p50_usecs: f64,
     tick_p99_usecs: f64,
+    /// The fleet registry's own tick-latency split: quiet
+    /// poll-and-ingest ticks vs. ticks that solved or moved tenants
+    /// (`kairos_fleet_{poll,solve}_tick_usecs`). Log-bucketed
+    /// upper-bound percentiles (≤25% bucket error) — the honest
+    /// replacement for the conflated `tick_p99_usecs`.
+    poll_ticks: u64,
+    poll_tick_p50_usecs: f64,
+    poll_tick_p99_usecs: f64,
+    solve_ticks: u64,
+    solve_tick_p50_usecs: f64,
+    solve_tick_p99_usecs: f64,
     /// Mean wall-clock per solve (bootstrap + re-solves), averaged over
     /// shards — the quantity that must stay flat under weak scaling, and
     /// the figure comparable with pre-overhaul baselines.
@@ -78,6 +91,7 @@ fn run_scale(
     tenants_per_shard: usize,
     ticks: u64,
     tick_threads: usize,
+    tracing: bool,
 ) -> ScaleResult {
     let cfg = FleetConfig {
         shards,
@@ -96,6 +110,12 @@ fn run_scale(
         tick_threads,
     };
     let mut fleet = FleetController::new(cfg);
+    if !tracing {
+        // Disabled-sink run: decision recording becomes a branch and
+        // nothing else — the overhead section compares this against the
+        // traced default.
+        fleet.set_tracing(false);
+    }
     let spike_start = ticks / 3;
     let spike_end = (2 * ticks) / 3;
     for shard in 0..shards {
@@ -159,6 +179,15 @@ fn run_scale(
     let steady_sorted = sorted(&steady_usecs);
     let all_sorted = sorted(&all_usecs);
     let resolve_sorted = sorted(&resolve_ms);
+    // The registry's own split of the same tick population: handles are
+    // get-or-register, so fetching by name reads the live histograms the
+    // fleet recorded into.
+    let poll_hist = fleet
+        .metrics_registry()
+        .histogram("kairos_fleet_poll_tick_usecs");
+    let solve_hist = fleet
+        .metrics_registry()
+        .histogram("kairos_fleet_solve_tick_usecs");
     ScaleResult {
         shards,
         tenants: shards * tenants_per_shard,
@@ -169,6 +198,12 @@ fn run_scale(
         steady_tick_p99_usecs: percentile(&steady_sorted, 99.0),
         tick_p50_usecs: percentile(&all_sorted, 50.0),
         tick_p99_usecs: percentile(&all_sorted, 99.0),
+        poll_ticks: poll_hist.count(),
+        poll_tick_p50_usecs: poll_hist.percentile(0.50) as f64,
+        poll_tick_p99_usecs: poll_hist.percentile(0.99) as f64,
+        solve_ticks: solve_hist.count(),
+        solve_tick_p50_usecs: solve_hist.percentile(0.50) as f64,
+        solve_tick_p99_usecs: solve_hist.percentile(0.99) as f64,
         mean_resolve_ms: {
             let all: Vec<f64> = bootstrap_ms.iter().chain(&resolve_ms).copied().collect();
             mean(&all)
@@ -192,6 +227,8 @@ fn result_json(r: &ScaleResult) -> String {
             "{{\"shards\":{},\"tenants\":{},\"ticks\":{},\"tick_threads\":{},",
             "\"steady_tick_usecs\":{:.2},\"steady_tick_p50_usecs\":{:.2},\"steady_tick_p99_usecs\":{:.2},",
             "\"tick_p50_usecs\":{:.2},\"tick_p99_usecs\":{:.2},",
+            "\"poll_ticks\":{},\"poll_tick_p50_usecs\":{:.2},\"poll_tick_p99_usecs\":{:.2},",
+            "\"solve_ticks\":{},\"solve_tick_p50_usecs\":{:.2},\"solve_tick_p99_usecs\":{:.2},",
             "\"mean_resolve_ms\":{:.3},\"mean_warm_resolve_ms\":{:.3},\"resolve_p50_ms\":{:.3},\"resolve_p99_ms\":{:.3},\"mean_bootstrap_ms\":{:.3},\"resolves\":{},",
             "\"handoffs_completed\":{},\"handoffs_rejected\":{},",
             "\"total_machines\":{},\"zero_violations\":{},\"within_budget\":{}}}"
@@ -205,6 +242,12 @@ fn result_json(r: &ScaleResult) -> String {
         r.steady_tick_p99_usecs,
         r.tick_p50_usecs,
         r.tick_p99_usecs,
+        r.poll_ticks,
+        r.poll_tick_p50_usecs,
+        r.poll_tick_p99_usecs,
+        r.solve_ticks,
+        r.solve_tick_p50_usecs,
+        r.solve_tick_p99_usecs,
         r.mean_resolve_ms,
         r.mean_warm_resolve_ms,
         r.resolve_p50_ms,
@@ -377,7 +420,7 @@ fn main() {
 
     let results: Vec<ScaleResult> = scales
         .iter()
-        .map(|&s| run_scale(s, tenants_per_shard, ticks, threads))
+        .map(|&s| run_scale(s, tenants_per_shard, ticks, threads, true))
         .collect();
 
     let mut out = String::new();
@@ -432,7 +475,7 @@ fn main() {
     // approach the 1-shard figure; on a 1-core box the two runs are the
     // same work and the ratio records that honestly (see
     // available_parallelism in config).
-    let serial = run_scale(max_shards, tenants_per_shard, ticks, 1);
+    let serial = run_scale(max_shards, tenants_per_shard, ticks, 1, true);
     // At least 2 threads so the scoped fan-out path is genuinely
     // measured even where the machine offers one core.
     let threaded = run_scale(
@@ -440,6 +483,7 @@ fn main() {
         tenants_per_shard,
         ticks,
         threads.max(parallelism).max(2),
+        true,
     );
     let speedup = if threaded.steady_tick_usecs > 0.0 {
         serial.steady_tick_usecs / threaded.steady_tick_usecs
@@ -460,6 +504,28 @@ fn main() {
         "    \"steady_tick_speedup\": {speedup:.3},\n    \"threaded_steady_vs_1_shard\": {vs_one_shard:.3}\n"
     ));
     out.push_str("  },\n");
+
+    // Decision-trace overhead: the 1-shard scale run back-to-back with
+    // the sink enabled and disabled (adjacent runs, so process warm-up
+    // does not bias the pair). Recording is a branch plus a ring push on
+    // rare events, so the traced steady tick should sit within noise of
+    // the disabled run (the acceptance envelope is 10% on p50).
+    let traced = run_scale(scales[0], tenants_per_shard, ticks, threads, true);
+    let untraced = run_scale(scales[0], tenants_per_shard, ticks, threads, false);
+    let overhead_ratio = if untraced.steady_tick_p50_usecs > 0.0 {
+        traced.steady_tick_p50_usecs / untraced.steady_tick_p50_usecs
+    } else {
+        0.0
+    };
+    out.push_str(&format!(
+        concat!(
+            "  \"obs_overhead\": {{\"shards\":{},",
+            "\"steady_tick_p50_traced_usecs\":{:.2},",
+            "\"steady_tick_p50_disabled_usecs\":{:.2},",
+            "\"traced_over_disabled_p50_ratio\":{:.3}}},\n"
+        ),
+        scales[0], traced.steady_tick_p50_usecs, untraced.steady_tick_p50_usecs, overhead_ratio,
+    ));
 
     // The network plane: RPC latency floors and the two-phase handoff
     // round trip — gated by bench_gate so the new process boundary is

@@ -148,6 +148,84 @@ pub struct ControllerStats {
     pub profile_refreshes: u64,
 }
 
+/// The registry-backed live counters behind [`ControllerStats`].
+///
+/// One code path owns counting: the loop bumps these lock-free
+/// [`kairos_obs`] handles, and [`ShardMetrics::stats`] assembles the
+/// serializable [`ControllerStats`] *view* on demand — so the snapshot
+/// format, the Stats RPC and every existing caller keep the same struct
+/// while the `Metrics` RPC exports the registry directly.
+pub struct ShardMetrics {
+    registry: kairos_obs::MetricsRegistry,
+    pub ticks: kairos_obs::Counter,
+    pub samples_ingested: kairos_obs::Counter,
+    pub drift_checks: kairos_obs::Counter,
+    pub resolves: kairos_obs::Counter,
+    pub total_moves: kairos_obs::Counter,
+    pub forced_steps: kairos_obs::Counter,
+    pub profile_refreshes: kairos_obs::Counter,
+    pub bytes_copied: kairos_obs::FloatCell,
+    pub max_churn: kairos_obs::FloatCell,
+    pub solve_secs_total: kairos_obs::FloatCell,
+    /// Wall-clock solver latency (bootstrap + re-solves), microseconds.
+    pub solve_usecs: kairos_obs::Histogram,
+}
+
+impl ShardMetrics {
+    pub fn new(registry: kairos_obs::MetricsRegistry) -> ShardMetrics {
+        ShardMetrics {
+            ticks: registry.counter("kairos_shard_ticks_total"),
+            samples_ingested: registry.counter("kairos_shard_samples_ingested_total"),
+            drift_checks: registry.counter("kairos_shard_drift_checks_total"),
+            resolves: registry.counter("kairos_shard_resolves_total"),
+            total_moves: registry.counter("kairos_shard_moves_total"),
+            forced_steps: registry.counter("kairos_shard_forced_steps_total"),
+            profile_refreshes: registry.counter("kairos_shard_profile_refreshes_total"),
+            bytes_copied: registry.gauge("kairos_shard_bytes_copied"),
+            max_churn: registry.gauge("kairos_shard_max_churn"),
+            solve_secs_total: registry.gauge("kairos_shard_solve_secs_total"),
+            solve_usecs: registry.histogram("kairos_shard_solve_usecs"),
+            registry,
+        }
+    }
+
+    /// The registry these counters live in (what the `Metrics` RPC and
+    /// the fleet-level exporters render).
+    pub fn registry(&self) -> &kairos_obs::MetricsRegistry {
+        &self.registry
+    }
+
+    /// Assemble the compatibility view.
+    pub fn stats(&self) -> ControllerStats {
+        ControllerStats {
+            ticks: self.ticks.get(),
+            samples_ingested: self.samples_ingested.get(),
+            drift_checks: self.drift_checks.get(),
+            resolves: self.resolves.get(),
+            total_moves: self.total_moves.get(),
+            forced_steps: self.forced_steps.get(),
+            bytes_copied: self.bytes_copied.get(),
+            max_churn: self.max_churn.get(),
+            solve_secs_total: self.solve_secs_total.get(),
+            profile_refreshes: self.profile_refreshes.get(),
+        }
+    }
+
+    /// Seed the registry from a checkpointed view (restore path).
+    pub fn restore(&self, stats: &ControllerStats) {
+        self.ticks.set(stats.ticks);
+        self.samples_ingested.set(stats.samples_ingested);
+        self.drift_checks.set(stats.drift_checks);
+        self.resolves.set(stats.resolves);
+        self.total_moves.set(stats.total_moves);
+        self.forced_steps.set(stats.forced_steps);
+        self.bytes_copied.set(stats.bytes_copied);
+        self.max_churn.set(stats.max_churn);
+        self.solve_secs_total.set(stats.solve_secs_total);
+        self.profile_refreshes.set(stats.profile_refreshes);
+    }
+}
+
 /// The online consolidation daemon — a single-shard fleet.
 pub struct Controller {
     shard: ShardController,

@@ -68,7 +68,8 @@ pub mod shard;
 pub mod snapshot;
 
 pub use controller::{
-    Controller, ControllerConfig, ControllerStats, ReplanReason, ReplanSummary, TickOutcome,
+    Controller, ControllerConfig, ControllerStats, ReplanReason, ReplanSummary, ShardMetrics,
+    TickOutcome,
 };
 pub use drift::{DriftDetector, DriftReport, ResourceDrift};
 pub use executor::{ExecutionReport, FleetExecutor};
@@ -85,7 +86,7 @@ pub use scenarios::{
     scenario_stationary, FleetEvent, Scenario, ScenarioReport, SyntheticSource,
 };
 pub use shard::{ShardController, ShardSummary, TenantHandoff, TenantLoad, HANDOFF_WIRE_VERSION};
-pub use snapshot::{ShardSnapshot, SHARD_SNAPSHOT_VERSION};
+pub use snapshot::{ShardSnapshot, SHARD_SNAPSHOT_VERSION, TRACE_CHECKPOINT_CAP};
 
 /// Convenience re-exports for downstream users and doc examples.
 pub mod prelude {

@@ -17,15 +17,16 @@
 //!   bootstrap solve, every re-solve, and placement verification.
 
 use crate::controller::{
-    ControllerConfig, ControllerStats, ReplanReason, ReplanSummary, TickOutcome,
+    ControllerConfig, ControllerStats, ReplanReason, ReplanSummary, ShardMetrics, TickOutcome,
 };
 use crate::drift::DriftReport;
 use crate::executor::FleetExecutor;
 use crate::ingest::{TelemetryIngester, TelemetrySource, WorkloadTelemetry};
 use crate::migration::plan_migration;
 use crate::resolver::{FleetPlacement, ReSolver};
-use crate::snapshot::ShardSnapshot;
+use crate::snapshot::{ShardSnapshot, TRACE_CHECKPOINT_CAP};
 use kairos_core::ConsolidationEngine;
+use kairos_obs::{DecisionEvent, DecisionLog, MetricsRegistry, TracedEvent};
 use kairos_solver::{evaluate, greedy_pack, Assignment, Evaluation};
 use kairos_traces::ShardAggregate;
 use kairos_types::{KairosError, WorkloadProfile};
@@ -196,7 +197,14 @@ pub struct ShardController {
     /// invalidated by anything that changes what the balancer would see
     /// (see [`ControllerConfig::summary_refresh_ticks`]).
     summary_cache: Option<(u64, ShardSummary)>,
-    stats: ControllerStats,
+    /// Registry-backed live counters; [`ControllerStats`] is a view.
+    metrics: ShardMetrics,
+    /// The deterministic decision trace (tick-stamped, ring-buffered).
+    log: DecisionLog,
+    /// Objective of the current plan at its adoption — the "before" side
+    /// of the next [`DecisionEvent::Replanned`] event. Checkpointed so a
+    /// restored shard's trace continues instead of forking.
+    last_objective_bits: u64,
 }
 
 impl ShardController {
@@ -222,8 +230,44 @@ impl ShardController {
             replan_backoff_until: 0,
             last_resolve_failed: false,
             summary_cache: None,
-            stats: ControllerStats::default(),
+            metrics: ShardMetrics::new(MetricsRegistry::new()),
+            log: DecisionLog::new(),
+            last_objective_bits: 0,
         }
+    }
+
+    /// The shard's current tick count (drives every cadence gate).
+    fn ticks(&self) -> u64 {
+        self.metrics.ticks.get()
+    }
+
+    /// The registry behind this shard's metrics (the `Metrics` RPC and
+    /// the fleet exporters render it).
+    pub fn metrics_registry(&self) -> &MetricsRegistry {
+        self.metrics.registry()
+    }
+
+    /// The shard's decision trace.
+    pub fn decision_log(&self) -> &DecisionLog {
+        &self.log
+    }
+
+    /// The trace's events, oldest first (checkpoint / RPC payload).
+    pub fn trace_events(&self) -> Vec<TracedEvent> {
+        self.log.to_vec()
+    }
+
+    /// The canonical trace bytes (workspace codec) — the byte-identity
+    /// the determinism and net-equivalence suites assert.
+    pub fn trace_bytes(&self) -> Vec<u8> {
+        self.log.trace_bytes()
+    }
+
+    /// Enable or disable decision tracing. Disabled, `record` is a single
+    /// branch (the bench-overhead configuration); already-recorded events
+    /// are kept.
+    pub fn set_tracing(&mut self, enabled: bool) {
+        self.log.set_enabled(enabled);
     }
 
     /// Drop the cached balancer summary — called on every state change a
@@ -293,7 +337,7 @@ impl ShardController {
     }
 
     pub fn stats(&self) -> ControllerStats {
-        self.stats
+        self.metrics.stats()
     }
 
     pub fn placement(&self) -> &FleetPlacement {
@@ -324,7 +368,7 @@ impl ShardController {
     /// ones worth parallelizing — go wide. Purely a scheduling hint: the
     /// tick's behaviour is identical either way.
     pub fn tick_may_solve(&self) -> bool {
-        let next = self.stats.ticks + 1;
+        let next = self.ticks() + 1;
         // Lookahead 1 everywhere: one more sample lands before the next
         // tick's readiness checks actually run.
         if !self.planned_once {
@@ -348,17 +392,17 @@ impl ShardController {
 
     /// One monitoring interval: poll every source, then act.
     pub fn tick(&mut self) -> TickOutcome {
-        self.stats.ticks += 1;
+        self.metrics.ticks.inc();
         for (name, source) in self.sources.iter_mut() {
             let sample = source.poll();
             self.ingester.ingest(name, &sample);
-            self.stats.samples_ingested += 1;
         }
+        self.metrics.samples_ingested.add(self.sources.len() as u64);
 
         if !self.planned_once {
             return self.maybe_bootstrap();
         }
-        if self.stats.ticks < self.replan_backoff_until {
+        if self.ticks() < self.replan_backoff_until {
             return TickOutcome::Idle;
         }
         if self.membership_changed && self.fleet_observable() {
@@ -371,13 +415,13 @@ impl ShardController {
         // and starve the refresh permanently.
         if self
             .profile_refresh_due
-            .is_some_and(|due| self.stats.ticks >= due)
+            .is_some_and(|due| self.ticks() >= due)
         {
             return self.profile_refresh();
         }
         let cooled_down =
-            self.stats.ticks.saturating_sub(self.last_plan_tick) >= self.cfg.cooldown_ticks;
-        if cooled_down && self.stats.ticks.is_multiple_of(self.cfg.check_every) {
+            self.ticks().saturating_sub(self.last_plan_tick) >= self.cfg.cooldown_ticks;
+        if cooled_down && self.ticks().is_multiple_of(self.cfg.check_every) {
             return self.check_drift();
         }
         TickOutcome::Idle
@@ -414,13 +458,14 @@ impl ShardController {
             Err(_) => return TickOutcome::Bootstrapping,
         };
         let solve_secs = t0.elapsed().as_secs_f64();
-        self.stats.solve_secs_total += solve_secs;
+        self.metrics.solve_secs_total.add(solve_secs);
+        self.metrics.solve_usecs.record((solve_secs * 1e6) as u64);
 
         let slots = problem.slots();
         let from = vec![None; slots.len()];
         let migration = plan_migration(&problem, &from, &report.assignment);
         let exec = self.executor.execute(&migration, &problem);
-        self.stats.forced_steps += exec.forced_steps as u64;
+        self.metrics.forced_steps.add(exec.forced_steps as u64);
 
         let mut placement = FleetPlacement::new();
         for (slot, &machine) in slots.iter().zip(report.assignment.machine_of.iter()) {
@@ -434,7 +479,15 @@ impl ShardController {
         self.placement = placement;
         self.planned = profiles.into_iter().map(|p| (p.name.clone(), p)).collect();
         self.planned_once = true;
-        self.last_plan_tick = self.stats.ticks;
+        self.last_plan_tick = self.ticks();
+        self.last_objective_bits = report.evaluation.objective.to_bits();
+        self.log.record(
+            self.ticks(),
+            DecisionEvent::Bootstrapped {
+                machines,
+                objective_bits: self.last_objective_bits,
+            },
+        );
         self.note_envelopes(envelopes);
         self.invalidate_summary();
         TickOutcome::InitialPlan {
@@ -493,7 +546,7 @@ impl ShardController {
         self.envelope_planned = envelopes.into_iter().collect();
         self.profile_refresh_due =
             if !self.envelope_planned.is_empty() && self.cfg.profile_refresh_ticks > 0 {
-                Some(self.stats.ticks + self.cfg.profile_refresh_ticks)
+                Some(self.ticks() + self.cfg.profile_refresh_ticks)
             } else {
                 None
             };
@@ -523,7 +576,7 @@ impl ShardController {
         let names: Vec<String> = self.envelope_planned.iter().cloned().collect();
         let tail_len = self.cfg.profile_refresh_ticks as usize;
         let mut candidates = self.planned.clone();
-        let mut refreshed = 0usize;
+        let mut refreshed_names: Vec<String> = Vec::new();
         for name in &names {
             let (Some(telemetry), Some(old)) = (self.ingester.get(name), self.planned.get(name))
             else {
@@ -536,10 +589,10 @@ impl ShardController {
                 continue;
             }
             candidates.insert(name.clone(), cand);
-            refreshed += 1;
+            refreshed_names.push(name.clone());
         }
         self.envelope_planned.clear();
-        if refreshed == 0 {
+        if refreshed_names.is_empty() {
             return TickOutcome::Idle;
         }
         // Zero-move safety: adopt only when the *current* placement is
@@ -550,7 +603,14 @@ impl ShardController {
         match self.verify_with(&profiles) {
             Some(e) if e.feasible => {
                 self.planned = candidates;
-                self.stats.profile_refreshes += 1;
+                self.metrics.profile_refreshes.inc();
+                let refreshed = refreshed_names.len();
+                self.log.record(
+                    self.ticks(),
+                    DecisionEvent::ProfileRefreshed {
+                        workloads: refreshed_names,
+                    },
+                );
                 self.invalidate_summary();
                 TickOutcome::ProfileRefreshed { refreshed }
             }
@@ -560,8 +620,9 @@ impl ShardController {
 
     /// Compare each live window against its planned profile.
     fn check_drift(&mut self) -> TickOutcome {
-        self.stats.drift_checks += 1;
+        self.metrics.drift_checks.inc();
         let mut drifted: Vec<String> = Vec::new();
+        let (mut max_overload, mut max_slack) = (0.0f64, 0.0f64);
         for name in self.ingester.names() {
             let Some(planned) = self.planned.get(&name) else {
                 // A workload with telemetry but no plan yet (arrival still
@@ -577,13 +638,33 @@ impl ShardController {
                     .detector
                     .check(planned, &live, telemetry.samples_seen().saturating_sub(1));
             if report.drifted {
+                max_overload = max_overload.max(report.max_overload);
+                max_slack = max_slack.max(report.max_slack);
                 drifted.push(report.workload);
             }
         }
         if drifted.is_empty() {
             TickOutcome::Stable
         } else {
+            self.log.record(
+                self.ticks(),
+                DecisionEvent::DriftTripped {
+                    workloads: drifted.clone(),
+                    max_overload_bits: max_overload.to_bits(),
+                    max_slack_bits: max_slack.to_bits(),
+                    overload_threshold_bits: self.cfg.detector.overload_threshold.to_bits(),
+                    slack_threshold_bits: self.cfg.detector.slack_threshold.to_bits(),
+                },
+            );
             self.replan(ReplanReason::Drift(drifted))
+        }
+    }
+
+    /// Render a replan trigger for the decision trace.
+    fn reason_label(reason: &ReplanReason) -> String {
+        match reason {
+            ReplanReason::Membership => "membership".to_string(),
+            ReplanReason::Drift(names) => format!("drift[{}]", names.join(",")),
         }
     }
 
@@ -600,8 +681,15 @@ impl ShardController {
                 // pending arrival is retried rather than orphaned; back
                 // off one check period so a persistently infeasible fleet
                 // doesn't pay a full solve every tick.
-                self.replan_backoff_until = self.stats.ticks + self.cfg.check_every;
+                self.replan_backoff_until = self.ticks() + self.cfg.check_every;
                 self.last_resolve_failed = true;
+                self.log.record(
+                    self.ticks(),
+                    DecisionEvent::ResolveFailed {
+                        reason: Self::reason_label(&reason),
+                        backoff_until: self.replan_backoff_until,
+                    },
+                );
                 self.invalidate_summary();
                 return TickOutcome::Stable;
             }
@@ -617,17 +705,32 @@ impl ShardController {
         let execution = self.executor.execute(&migration, &outcome.problem);
 
         let churn = outcome.churn();
-        self.stats.resolves += 1;
-        self.stats.total_moves += outcome.moves as u64;
-        self.stats.forced_steps += execution.forced_steps as u64;
-        self.stats.bytes_copied += execution.bytes_copied;
-        self.stats.max_churn = self.stats.max_churn.max(churn);
-        self.stats.solve_secs_total += solve_secs;
+        self.metrics.resolves.inc();
+        self.metrics.total_moves.add(outcome.moves as u64);
+        self.metrics.forced_steps.add(execution.forced_steps as u64);
+        self.metrics.bytes_copied.add(execution.bytes_copied);
+        self.metrics.max_churn.max(churn);
+        self.metrics.solve_secs_total.add(solve_secs);
+        self.metrics.solve_usecs.record((solve_secs * 1e6) as u64);
 
         self.placement = outcome.placement;
         self.planned = profiles.into_iter().map(|p| (p.name.clone(), p)).collect();
         self.membership_changed = false;
-        self.last_plan_tick = self.stats.ticks;
+        self.last_plan_tick = self.ticks();
+        let objective_after_bits = outcome.report.evaluation.objective.to_bits();
+        self.log.record(
+            self.ticks(),
+            DecisionEvent::Replanned {
+                reason: Self::reason_label(&reason),
+                feasible: outcome.report.evaluation.feasible,
+                moves: outcome.moves,
+                machines: self.placement.machines_used(),
+                objective_before_bits: self.last_objective_bits,
+                objective_after_bits,
+                churn_bits: churn.to_bits(),
+            },
+        );
+        self.last_objective_bits = objective_after_bits;
         self.note_envelopes(envelopes);
         self.invalidate_summary();
 
@@ -731,8 +834,16 @@ impl ShardController {
             replan_backoff_until: self.replan_backoff_until,
             last_resolve_failed: self.last_resolve_failed,
             summary_cache: self.summary_cache.clone(),
-            stats: self.stats,
+            stats: self.metrics.stats(),
             routing: self.executor.routing_snapshot(),
+            trace: {
+                // Like the fleet handoff log, checkpoints keep a bounded
+                // tail of the trace so file size tracks current state.
+                let events = self.log.to_vec();
+                let skip = events.len().saturating_sub(TRACE_CHECKPOINT_CAP);
+                events.into_iter().skip(skip).collect()
+            },
+            last_objective_bits: self.last_objective_bits,
         }
     }
 
@@ -806,7 +917,10 @@ impl ShardController {
         shard.replan_backoff_until = snapshot.replan_backoff_until;
         shard.last_resolve_failed = snapshot.last_resolve_failed;
         shard.summary_cache = snapshot.summary_cache;
-        shard.stats = snapshot.stats;
+        shard.metrics.restore(&snapshot.stats);
+        shard.log =
+            DecisionLog::restore(snapshot.trace, kairos_obs::events::DEFAULT_TRACE_CAP, true);
+        shard.last_objective_bits = snapshot.last_objective_bits;
         Ok(shard)
     }
 
@@ -916,14 +1030,14 @@ impl ShardController {
         let refresh = self.cfg.summary_refresh_ticks;
         if refresh > 0 {
             if let Some((at, cached)) = &self.summary_cache {
-                if self.stats.ticks.saturating_sub(*at) < refresh {
+                if self.ticks().saturating_sub(*at) < refresh {
                     return cached.clone();
                 }
             }
         }
         let fresh = self.summary();
         if refresh > 0 {
-            self.summary_cache = Some((self.stats.ticks, fresh.clone()));
+            self.summary_cache = Some((self.ticks(), fresh.clone()));
         }
         fresh
     }
@@ -980,6 +1094,12 @@ impl ShardController {
         if self.planned_once {
             self.membership_changed = true;
         }
+        self.log.record(
+            self.ticks(),
+            DecisionEvent::TenantEvicted {
+                tenant: name.to_string(),
+            },
+        );
         self.invalidate_summary();
         Some(TenantHandoff {
             name: name.to_string(),
@@ -1004,6 +1124,12 @@ impl ShardController {
         if replicas > 1 {
             self.replicas.insert(name.clone(), replicas);
         }
+        self.log.record(
+            self.ticks(),
+            DecisionEvent::TenantAdmitted {
+                tenant: name.clone(),
+            },
+        );
         self.sources.insert(name, source);
         if self.planned_once {
             self.membership_changed = true;

@@ -45,7 +45,18 @@ use std::collections::BTreeMap;
 /// from on rejoin. The fleet-wide checkpoint embeds [`ShardSnapshot`]s
 /// inside its own frame and carries its own version
 /// (`kairos_fleet::FLEET_SNAPSHOT_VERSION`).
-pub const SHARD_SNAPSHOT_VERSION: u32 = 1;
+///
+/// v2: the snapshot carries the shard's decision trace (`trace`,
+/// `last_objective_bits`) so a restored controller's event stream
+/// *continues* the checkpointed history rather than forking it.
+pub const SHARD_SNAPSHOT_VERSION: u32 = 2;
+
+/// Most recent decision events a checkpoint persists per shard (the
+/// in-memory ring may be larger; see
+/// [`kairos_obs::events::DEFAULT_TRACE_CAP`]). Same rationale as the
+/// fleet handoff-log cap: checkpoint size tracks current state, not
+/// total history.
+pub const TRACE_CHECKPOINT_CAP: usize = 4096;
 
 /// One shard's complete checkpointable state. See the module docs for
 /// what each group covers; construct via
@@ -82,4 +93,13 @@ pub struct ShardSnapshot {
     /// Executor routing: `(workload, replica, machine, rows)` per
     /// materialized tenant copy.
     pub routing: Vec<(String, u32, usize, u64)>,
+    /// The decision trace's most recent [`TRACE_CHECKPOINT_CAP`] events.
+    /// Restore resumes the sequence counter after the last entry, so the
+    /// post-restore stream appends to the checkpointed history — the
+    /// "restore must not fork history" property the decision-trace CI
+    /// job diffs.
+    pub trace: Vec<kairos_obs::TracedEvent>,
+    /// Objective (bit pattern) of the current plan at its adoption — the
+    /// "before" side of the next Replanned trace event.
+    pub last_objective_bits: u64,
 }

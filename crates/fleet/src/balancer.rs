@@ -15,6 +15,7 @@
 
 use crate::handoff::{HandoffOutcome, HandoffRecord};
 use kairos_controller::{ShardController, ShardSummary, TelemetrySource, TenantHandoff};
+use kairos_obs::{DecisionEvent, DecisionLog};
 use kairos_types::WorkloadProfile;
 use std::collections::BTreeMap;
 
@@ -236,6 +237,13 @@ pub struct ParkedHandoff {
 /// record re-routes the map; if the receiver provably does not, the
 /// donor re-admits; if neither peer answers, the entry stays parked for
 /// the next round.
+///
+/// `log` receives the round's decision trace — donor flagging,
+/// proposals, outcomes, parked retries. Both callers pass their own log
+/// and record on the calling thread, so the in-process and RPC fleets
+/// produce byte-identical balancer traces by construction (same policy
+/// code, same recorder discipline). Pass a
+/// [`DecisionLog::disabled`] sink to trace nothing.
 pub fn run_balance_round<H: ShardHandle>(
     shards: &mut [H],
     cfg: &BalancerConfig,
@@ -243,6 +251,7 @@ pub fn run_balance_round<H: ShardHandle>(
     tick: u64,
     cooldown: &mut BTreeMap<String, u64>,
     parked: &mut Vec<ParkedHandoff>,
+    log: &mut DecisionLog,
 ) -> Vec<HandoffRecord> {
     let mut records = Vec::new();
     let pending = std::mem::take(parked);
@@ -255,37 +264,91 @@ pub fn run_balance_round<H: ShardHandle>(
         match shards.get_mut(receiver).and_then(|r| r.owns(&tenant.name)) {
             // The original admit landed and only its response was
             // lost: surface the transfer so the caller re-routes.
-            Some(true) => records.push(HandoffRecord {
-                tenant: tenant.name,
-                from: donor,
-                to: Some(receiver),
-                tick,
-                outcome: HandoffOutcome::Completed,
-            }),
+            Some(true) => {
+                log.record(
+                    tick,
+                    DecisionEvent::ParkedRetried {
+                        tenant: tenant.name.clone(),
+                        donor,
+                        receiver,
+                        resolution: "completed-late".into(),
+                    },
+                );
+                records.push(HandoffRecord {
+                    tenant: tenant.name,
+                    from: donor,
+                    to: Some(receiver),
+                    tick,
+                    outcome: HandoffOutcome::Completed,
+                });
+            }
             // Provably not at the receiver: safe to restore the donor.
             Some(false) => match shards.get_mut(donor) {
                 Some(shard) => {
-                    if let Err(returned) = shard.admit(tenant) {
-                        parked.push(ParkedHandoff {
-                            donor,
-                            receiver,
-                            tenant: returned,
-                        });
+                    let name = tenant.name.clone();
+                    match shard.admit(tenant) {
+                        Ok(()) => log.record(
+                            tick,
+                            DecisionEvent::ParkedRetried {
+                                tenant: name,
+                                donor,
+                                receiver,
+                                resolution: "returned-to-donor".into(),
+                            },
+                        ),
+                        Err(returned) => {
+                            log.record(
+                                tick,
+                                DecisionEvent::ParkedRetried {
+                                    tenant: name,
+                                    donor,
+                                    receiver,
+                                    resolution: "still-parked".into(),
+                                },
+                            );
+                            parked.push(ParkedHandoff {
+                                donor,
+                                receiver,
+                                tenant: returned,
+                            });
+                        }
                     }
                 }
-                None => parked.push(ParkedHandoff {
-                    donor,
-                    receiver,
-                    tenant,
-                }),
+                None => {
+                    log.record(
+                        tick,
+                        DecisionEvent::ParkedRetried {
+                            tenant: tenant.name.clone(),
+                            donor,
+                            receiver,
+                            resolution: "still-parked".into(),
+                        },
+                    );
+                    parked.push(ParkedHandoff {
+                        donor,
+                        receiver,
+                        tenant,
+                    });
+                }
             },
             // Unknowable right now: keep waiting rather than risk a
             // duplicate.
-            None => parked.push(ParkedHandoff {
-                donor,
-                receiver,
-                tenant,
-            }),
+            None => {
+                log.record(
+                    tick,
+                    DecisionEvent::ParkedRetried {
+                        tenant: tenant.name.clone(),
+                        donor,
+                        receiver,
+                        resolution: "still-parked".into(),
+                    },
+                );
+                parked.push(ParkedHandoff {
+                    donor,
+                    receiver,
+                    tenant,
+                });
+            }
         }
     }
     // A single-shard fleet has no possible receiver: proposing (and
@@ -308,6 +371,18 @@ pub fn run_balance_round<H: ShardHandle>(
     let mut moves_left = cfg.max_moves_per_round;
 
     for donor in donor_order(&summaries, budget) {
+        // The trace records *which* summary fields made this shard a
+        // donor — over budget, infeasible plan, or a failed re-solve.
+        log.record(
+            tick,
+            DecisionEvent::DonorFlagged {
+                shard: donor,
+                machines_used: summaries[donor].machines_used,
+                budget,
+                feasible: summaries[donor].feasible,
+                resolve_failed: summaries[donor].resolve_failed,
+            },
+        );
         // A saturated fleet can leave a donor with no willing
         // receiver; after a couple of failed reservations this round,
         // stop probing the rest of its tenants (smaller candidates
@@ -357,6 +432,13 @@ pub fn run_balance_round<H: ShardHandle>(
             }
             let Some(to) = receiver else {
                 rejections += 1;
+                log.record(
+                    tick,
+                    DecisionEvent::HandoffNoReceiver {
+                        tenant: tenant.clone(),
+                        donor,
+                    },
+                );
                 records.push(HandoffRecord {
                     tenant,
                     from: donor,
@@ -366,6 +448,16 @@ pub fn run_balance_round<H: ShardHandle>(
                 });
                 continue;
             };
+            log.record(
+                tick,
+                DecisionEvent::HandoffProposed {
+                    tenant: tenant.clone(),
+                    donor,
+                    receiver: to,
+                    shed_target,
+                    receiver_machines: summaries[to].machines_used,
+                },
+            );
             // Phase 2 — transfer: evict (frees capacity on the donor)
             // then admit (telemetry travels as a checksummed wire
             // frame; the receiver replans membership next tick).
@@ -389,6 +481,15 @@ pub fn run_balance_round<H: ShardHandle>(
                 // rejection — record it as Failed so the operator-facing
                 // counters tell the truth.
                 rejections += 1;
+                log.record(
+                    tick,
+                    DecisionEvent::HandoffFailed {
+                        tenant: tenant.clone(),
+                        donor,
+                        receiver: to,
+                        returned_to_donor: false,
+                    },
+                );
                 records.push(HandoffRecord {
                     tenant,
                     from: donor,
@@ -401,6 +502,14 @@ pub fn run_balance_round<H: ShardHandle>(
             match shards[to].admit(evicted) {
                 Ok(()) => {
                     moves_left -= 1;
+                    log.record(
+                        tick,
+                        DecisionEvent::HandoffCompleted {
+                            tenant: tenant.clone(),
+                            donor,
+                            receiver: to,
+                        },
+                    );
                     records.push(HandoffRecord {
                         tenant,
                         from: donor,
@@ -414,9 +523,18 @@ pub fn run_balance_round<H: ShardHandle>(
                     // transport the transfer may have applied with only
                     // the response lost. Ask before rolling back: a
                     // blind donor re-admit would duplicate the tenant.
+                    let mut returned_to_donor = false;
                     match shards[to].owns(&tenant) {
                         Some(true) => {
                             moves_left -= 1;
+                            log.record(
+                                tick,
+                                DecisionEvent::HandoffCompleted {
+                                    tenant: tenant.clone(),
+                                    donor,
+                                    receiver: to,
+                                },
+                            );
                             records.push(HandoffRecord {
                                 tenant,
                                 from: donor,
@@ -434,25 +552,55 @@ pub fn run_balance_round<H: ShardHandle>(
                             // the rollback is exact; if even that fails
                             // (a second fault), park for the
                             // probe-first retry.
-                            if let Err(orphan) = shards[donor].admit(returned) {
-                                parked.push(ParkedHandoff {
-                                    donor,
-                                    receiver: to,
-                                    tenant: orphan,
-                                });
+                            match shards[donor].admit(returned) {
+                                Ok(()) => returned_to_donor = true,
+                                Err(orphan) => {
+                                    log.record(
+                                        tick,
+                                        DecisionEvent::HandoffParked {
+                                            tenant: tenant.clone(),
+                                            donor,
+                                            receiver: to,
+                                        },
+                                    );
+                                    parked.push(ParkedHandoff {
+                                        donor,
+                                        receiver: to,
+                                        tenant: orphan,
+                                    });
+                                }
                             }
                         }
                         // The receiver cannot be asked right now — the
                         // transfer may or may not have landed, and a
                         // blind rollback could duplicate. Park; the
                         // next round probes first.
-                        None => parked.push(ParkedHandoff {
-                            donor,
-                            receiver: to,
-                            tenant: returned,
-                        }),
+                        None => {
+                            log.record(
+                                tick,
+                                DecisionEvent::HandoffParked {
+                                    tenant: tenant.clone(),
+                                    donor,
+                                    receiver: to,
+                                },
+                            );
+                            parked.push(ParkedHandoff {
+                                donor,
+                                receiver: to,
+                                tenant: returned,
+                            });
+                        }
                     }
                     rejections += 1;
+                    log.record(
+                        tick,
+                        DecisionEvent::HandoffFailed {
+                            tenant: tenant.clone(),
+                            donor,
+                            receiver: to,
+                            returned_to_donor,
+                        },
+                    );
                     records.push(HandoffRecord {
                         tenant,
                         from: donor,

@@ -20,12 +20,15 @@ use crate::shardmap::ShardMap;
 use crate::snapshot::{FleetSnapshot, FLEET_SNAPSHOT_VERSION};
 use kairos_controller::{
     ControllerConfig, ShardController, ShardSummary, TelemetrySource, TickOutcome,
+    TRACE_CHECKPOINT_CAP,
 };
 use kairos_core::ConsolidationEngine;
+use kairos_obs::{DecisionLog, MetricsRegistry, TracedEvent};
 use kairos_solver::{evaluate, Assignment, ConsolidationProblem, Evaluation};
 use kairos_store::StoreError;
 use kairos_types::WorkloadProfile;
 use std::path::Path;
+use std::time::Instant;
 
 /// Fleet-level tuning.
 #[derive(Debug, Clone, Copy)]
@@ -117,6 +120,74 @@ pub struct FleetStats {
     pub handoffs_failed: u64,
 }
 
+/// The registry-backed live counters behind [`FleetStats`], plus the
+/// fleet-only instruments the compatibility view doesn't carry: tick
+/// wall-clock latency **split by what the tick did** (quiet
+/// poll-and-ingest vs. a tick that solved or moved tenants — the two
+/// populations whose conflation the old `tick_p99` hid) and the parked
+/// handoff lot's depth.
+///
+/// Same pattern as [`kairos_controller::ShardMetrics`]: one code path
+/// owns counting, [`FleetMetrics::stats`] assembles the serializable
+/// view on demand, and the `Metrics` exporters render the registry.
+pub struct FleetMetrics {
+    registry: MetricsRegistry,
+    pub ticks: kairos_obs::Counter,
+    pub balance_rounds: kairos_obs::Counter,
+    pub handoffs_completed: kairos_obs::Counter,
+    pub handoffs_rejected: kairos_obs::Counter,
+    pub handoffs_failed: kairos_obs::Counter,
+    /// Wall-clock latency of ticks where no shard solved and no tenant
+    /// moved — the steady-state polling cost.
+    pub poll_tick_usecs: kairos_obs::Histogram,
+    /// Wall-clock latency of ticks that bootstrapped, re-planned or
+    /// completed handoffs — the solver-dominated population.
+    pub solve_tick_usecs: kairos_obs::Histogram,
+    /// Current depth of the parked-handoff retry lot.
+    pub parked_depth: kairos_obs::FloatCell,
+}
+
+impl FleetMetrics {
+    pub fn new(registry: MetricsRegistry) -> FleetMetrics {
+        FleetMetrics {
+            ticks: registry.counter("kairos_fleet_ticks_total"),
+            balance_rounds: registry.counter("kairos_fleet_balance_rounds_total"),
+            handoffs_completed: registry.counter("kairos_fleet_handoffs_completed_total"),
+            handoffs_rejected: registry.counter("kairos_fleet_handoffs_rejected_total"),
+            handoffs_failed: registry.counter("kairos_fleet_handoffs_failed_total"),
+            poll_tick_usecs: registry.histogram("kairos_fleet_poll_tick_usecs"),
+            solve_tick_usecs: registry.histogram("kairos_fleet_solve_tick_usecs"),
+            parked_depth: registry.gauge("kairos_fleet_parked_depth"),
+            registry,
+        }
+    }
+
+    /// The registry these counters live in.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Assemble the compatibility view.
+    pub fn stats(&self) -> FleetStats {
+        FleetStats {
+            ticks: self.ticks.get(),
+            balance_rounds: self.balance_rounds.get(),
+            handoffs_completed: self.handoffs_completed.get(),
+            handoffs_rejected: self.handoffs_rejected.get(),
+            handoffs_failed: self.handoffs_failed.get(),
+        }
+    }
+
+    /// Seed the registry from a checkpointed view (restore path).
+    pub fn restore(&self, stats: &FleetStats) {
+        self.ticks.set(stats.ticks);
+        self.balance_rounds.set(stats.balance_rounds);
+        self.handoffs_completed.set(stats.handoffs_completed);
+        self.handoffs_rejected.set(stats.handoffs_rejected);
+        self.handoffs_failed.set(stats.handoffs_failed);
+    }
+}
+
 /// What one fleet tick did.
 #[derive(Debug)]
 pub struct FleetTickReport {
@@ -182,7 +253,12 @@ pub struct FleetController {
     /// checkpointed (a live telemetry source cannot serialize; an
     /// in-process fleet never has anything to persist in it).
     parked: Vec<ParkedHandoff>,
-    stats: FleetStats,
+    metrics: FleetMetrics,
+    /// Fleet-level decision trace: balancer-round events, recorded on
+    /// the tick thread (cross-shard work is single-threaded after the
+    /// fan-out join, so the stream is deterministic at any thread
+    /// count). Shard-loop events live in each shard's own log.
+    log: DecisionLog,
 }
 
 impl FleetController {
@@ -214,7 +290,8 @@ impl FleetController {
             handoff_log: Vec::new(),
             probe_cooldown: std::collections::BTreeMap::new(),
             parked: Vec::new(),
-            stats: FleetStats::default(),
+            metrics: FleetMetrics::new(MetricsRegistry::new()),
+            log: DecisionLog::new(),
         }
     }
 
@@ -223,7 +300,62 @@ impl FleetController {
     }
 
     pub fn stats(&self) -> FleetStats {
-        self.stats
+        self.metrics.stats()
+    }
+
+    /// The fleet-level metrics registry (balancer counters, tick-latency
+    /// histograms split poll vs. solve, parked-lot depth). Per-shard
+    /// registries are reachable via
+    /// [`kairos_controller::ShardController::metrics_registry`]; the
+    /// render helpers below merge all of them.
+    pub fn metrics_registry(&self) -> &MetricsRegistry {
+        self.metrics.registry()
+    }
+
+    /// Every registry in the control plane — fleet-level first, then one
+    /// per shard — rendered as one flat JSON object.
+    pub fn metrics_json(&self) -> String {
+        let shard_regs: Vec<&MetricsRegistry> =
+            self.shards.iter().map(|s| s.metrics_registry()).collect();
+        let mut all = vec![self.metrics.registry()];
+        all.extend(shard_regs);
+        kairos_obs::render_json_all(&all)
+    }
+
+    /// Every registry in the control plane in Prometheus text format.
+    pub fn metrics_prometheus(&self) -> String {
+        let shard_regs: Vec<&MetricsRegistry> =
+            self.shards.iter().map(|s| s.metrics_registry()).collect();
+        let mut all = vec![self.metrics.registry()];
+        all.extend(shard_regs);
+        kairos_obs::render_prometheus_all(&all)
+    }
+
+    /// The fleet-level decision trace (balancer rounds).
+    pub fn decision_log(&self) -> &DecisionLog {
+        &self.log
+    }
+
+    /// The fleet trace's events, oldest first.
+    pub fn trace_events(&self) -> Vec<TracedEvent> {
+        self.log.to_vec()
+    }
+
+    /// The canonical fleet trace bytes (workspace codec) — the
+    /// byte-identity the net equivalence suite asserts against the RPC
+    /// balancer's trace.
+    pub fn trace_bytes(&self) -> Vec<u8> {
+        self.log.trace_bytes()
+    }
+
+    /// Enable or disable decision tracing fleet-wide (the fleet log and
+    /// every shard's). Disabled, recording is a single branch per event —
+    /// the bench-overhead configuration.
+    pub fn set_tracing(&mut self, enabled: bool) {
+        self.log.set_enabled(enabled);
+        for shard in &mut self.shards {
+            shard.set_tracing(enabled);
+        }
     }
 
     pub fn map(&self) -> &ShardMap {
@@ -306,12 +438,14 @@ impl FleetController {
     /// join, which is why reports are tick-for-tick identical at any
     /// thread count.
     pub fn tick(&mut self) -> FleetTickReport {
-        self.stats.ticks += 1;
+        let started = Instant::now();
+        self.metrics.ticks.inc();
         let outcomes = self.tick_shards();
 
         let on_cadence = self
-            .stats
+            .metrics
             .ticks
+            .get()
             .is_multiple_of(self.cfg.balancer.balance_every.max(1));
         let all_planned = self.shards.iter().all(|s| s.planned_once());
         let handoffs = if on_cadence && all_planned {
@@ -319,6 +453,25 @@ impl FleetController {
         } else {
             Vec::new()
         };
+        // Tick latency, classified by what the tick actually did: quiet
+        // poll-and-ingest ticks and solver/handoff ticks are different
+        // populations by orders of magnitude, so one conflated histogram
+        // would report a meaningless p99 (the fleet_scale bench's old
+        // `tick_p99_usecs` did exactly that).
+        let solved = !handoffs.is_empty()
+            || outcomes.iter().any(|o| {
+                matches!(
+                    o,
+                    TickOutcome::InitialPlan { .. } | TickOutcome::Replanned(_)
+                )
+            });
+        let usecs = started.elapsed().as_micros() as u64;
+        if solved {
+            self.metrics.solve_tick_usecs.record(usecs);
+        } else {
+            self.metrics.poll_tick_usecs.record(usecs);
+        }
+        self.metrics.parked_depth.set(self.parked.len() as f64);
         FleetTickReport { outcomes, handoffs }
     }
 
@@ -358,14 +511,15 @@ impl FleetController {
     /// [`ShardController`]'s direct [`crate::balancer::ShardHandle`]
     /// implementation.
     fn balance_round(&mut self) -> Vec<HandoffRecord> {
-        self.stats.balance_rounds += 1;
+        self.metrics.balance_rounds.inc();
         let records = run_balance_round(
             &mut self.shards,
             &self.cfg.balancer,
-            self.stats.balance_rounds,
-            self.stats.ticks,
+            self.metrics.balance_rounds.get(),
+            self.metrics.ticks.get(),
             &mut self.probe_cooldown,
             &mut self.parked,
+            &mut self.log,
         );
         debug_assert!(
             self.parked.is_empty(),
@@ -376,10 +530,10 @@ impl FleetController {
                 HandoffOutcome::Completed => {
                     let to = record.to.expect("completed handoffs carry a destination");
                     self.map.assign(&record.tenant, to);
-                    self.stats.handoffs_completed += 1;
+                    self.metrics.handoffs_completed.inc();
                 }
-                HandoffOutcome::NoReceiver => self.stats.handoffs_rejected += 1,
-                HandoffOutcome::Failed => self.stats.handoffs_failed += 1,
+                HandoffOutcome::NoReceiver => self.metrics.handoffs_rejected.inc(),
+                HandoffOutcome::Failed => self.metrics.handoffs_failed.inc(),
             }
         }
         self.handoff_log.extend(records.iter().cloned());
@@ -414,7 +568,12 @@ impl FleetController {
             anti_affinity: self.anti_affinity.clone(),
             handoff_log: self.handoff_log[log_tail..].to_vec(),
             probe_cooldown: self.probe_cooldown.clone(),
-            stats: self.stats,
+            stats: self.stats(),
+            trace: {
+                let events = self.log.to_vec();
+                let skip = events.len().saturating_sub(TRACE_CHECKPOINT_CAP);
+                events.into_iter().skip(skip).collect()
+            },
         }
     }
 
@@ -495,6 +654,8 @@ impl FleetController {
                 .map_err(|e| StoreError::Inconsistent(e.to_string()))?;
             shards.push(shard);
         }
+        let metrics = FleetMetrics::new(MetricsRegistry::new());
+        metrics.restore(&snapshot.stats);
         Ok(FleetController {
             cfg,
             shards,
@@ -503,7 +664,8 @@ impl FleetController {
             handoff_log: snapshot.handoff_log,
             probe_cooldown: snapshot.probe_cooldown,
             parked: Vec::new(),
-            stats: snapshot.stats,
+            metrics,
+            log: DecisionLog::restore(snapshot.trace, kairos_obs::events::DEFAULT_TRACE_CAP, true),
         })
     }
 
@@ -622,6 +784,43 @@ impl FleetController {
         FleetAudit {
             per_shard,
             machines_used,
+        }
+    }
+
+    /// Explain an audit in terms of the decision trace: for every shard
+    /// the audit flags (infeasible, violated, unevaluated, or over the
+    /// balancer budget), render the why-chain — the decision events from
+    /// the shard's last adopted plan forward, merged with the balancer
+    /// events that touched it ([`kairos_obs::render_why_chain`]). The
+    /// human-readable bridge from "the audit failed" to "here is the
+    /// sequence of decisions that got us here".
+    pub fn explain_audit(&self, audit: &FleetAudit) -> String {
+        let budget = self.cfg.balancer.machines_per_shard;
+        let fleet_events = self.log.to_vec();
+        let mut out = String::new();
+        for (shard, eval) in audit.per_shard.iter().enumerate() {
+            let verdict = match eval {
+                None => "not evaluated (bootstrapping or mid-handoff)".to_string(),
+                Some(e) if !e.feasible || e.violation > 0.0 => {
+                    format!("infeasible (violation {:.3})", e.violation)
+                }
+                Some(_) if audit.machines_used[shard] > budget => format!(
+                    "over budget ({} machines > {budget})",
+                    audit.machines_used[shard]
+                ),
+                Some(_) => continue,
+            };
+            out.push_str(&format!("shard {shard}: {verdict}\n"));
+            out.push_str(&kairos_obs::render_why_chain(
+                shard,
+                &self.shards[shard].trace_events(),
+                &fleet_events,
+            ));
+        }
+        if out.is_empty() {
+            "audit clean: every planned shard feasible and within budget\n".to_string()
+        } else {
+            out
         }
     }
 }

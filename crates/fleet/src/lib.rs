@@ -46,7 +46,8 @@ pub use balancer::{
     EvictedTenant, ParkedHandoff, ShardHandle,
 };
 pub use fleet::{
-    default_tick_threads, FleetAudit, FleetConfig, FleetController, FleetStats, FleetTickReport,
+    default_tick_threads, FleetAudit, FleetConfig, FleetController, FleetMetrics, FleetStats,
+    FleetTickReport,
 };
 pub use handoff::{HandoffOutcome, HandoffRecord};
 pub use shardmap::ShardMap;

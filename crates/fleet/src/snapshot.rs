@@ -43,7 +43,12 @@ pub const HANDOFF_LOG_CHECKPOINT_CAP: usize = 4096;
 /// v2: `ShardSnapshot` gained the scheduled-horizon-refresh state
 /// (`envelope_planned`, `profile_refresh_due`), `ControllerStats` gained
 /// `profile_refreshes`, and `FleetStats` gained `handoffs_failed`.
-pub const FLEET_SNAPSHOT_VERSION: u32 = 2;
+///
+/// v3: decision traces — `ShardSnapshot` carries each shard's trace tail
+/// (`trace`, `last_objective_bits`) and [`FleetSnapshot`] the fleet-level
+/// balancer trace, so a restored control plane's event streams *continue*
+/// the checkpointed history instead of forking it.
+pub const FLEET_SNAPSHOT_VERSION: u32 = 3;
 
 /// The whole control plane's checkpointable state. Construct via
 /// [`crate::FleetController::snapshot`] / persist via
@@ -63,4 +68,10 @@ pub struct FleetSnapshot {
     /// hysteresis memory.
     pub probe_cooldown: BTreeMap<String, u64>,
     pub stats: FleetStats,
+    /// The fleet-level decision trace's most recent
+    /// [`kairos_controller::TRACE_CHECKPOINT_CAP`] events (balancer
+    /// rounds: donors, proposals, outcomes). Restore resumes the
+    /// sequence counter after the last entry — post-restore history
+    /// appends rather than forking.
+    pub trace: Vec<kairos_obs::TracedEvent>,
 }

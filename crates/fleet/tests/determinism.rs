@@ -171,4 +171,33 @@ fn fleet_runs_identically_at_any_thread_count() {
         assert_eq!(shard.0.workloads(), shard.1.workloads());
         assert_eq!(shard.0.placement(), shard.1.placement());
     }
+
+    // Decision traces are part of the determinism contract: the same
+    // seed must yield **byte-identical** event streams at any thread
+    // count — fleet-level (balancer choices) and per shard (drift trips,
+    // re-solves) — through the canonical codec. The fleet trace only
+    // fills when balance rounds actually flag donors, so its
+    // non-emptiness is asserted conditionally; the byte equality is not.
+    if sa.handoffs_completed + sa.handoffs_rejected > 0 {
+        assert!(
+            !serial.trace_events().is_empty(),
+            "handoffs ran but the fleet recorded no decisions"
+        );
+    }
+    assert_eq!(
+        serial.trace_bytes(),
+        parallel.trace_bytes(),
+        "fleet decision traces diverged between 1 and {max_threads} threads"
+    );
+    for (shard, pair) in serial.shards().iter().zip(parallel.shards()).enumerate() {
+        assert!(
+            !pair.0.trace_events().is_empty(),
+            "shard {shard} recorded no decisions"
+        );
+        assert_eq!(
+            pair.0.trace_bytes(),
+            pair.1.trace_bytes(),
+            "shard {shard} decision traces diverged across thread counts"
+        );
+    }
 }

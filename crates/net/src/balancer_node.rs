@@ -53,15 +53,17 @@ use crate::transport::{Conn, Handler, NetError, ServerHandle, Transport};
 use kairos_controller::{ControllerStats, FleetPlacement, ReSolver, TickOutcome};
 use kairos_core::ConsolidationEngine;
 use kairos_fleet::{
-    run_balance_round, EvictedTenant, FleetAudit, FleetConfig, FleetStats, HandoffOutcome,
-    HandoffRecord, ParkedHandoff, ShardHandle, ShardMap,
+    run_balance_round, EvictedTenant, FleetAudit, FleetConfig, FleetMetrics, FleetStats,
+    HandoffOutcome, HandoffRecord, ParkedHandoff, ShardHandle, ShardMap,
 };
+use kairos_obs::{DecisionEvent, DecisionLog, MetricsRegistry, TracedEvent};
 use kairos_solver::{evaluate, Assignment};
 use kairos_traces::ShardAggregate;
 use kairos_types::WorkloadProfile;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Tick-based lease tuning.
 #[derive(Debug, Clone, Copy)]
@@ -172,12 +174,21 @@ pub struct BalancerNode {
     /// rejoin re-seed path. Replicating balancer state to standbys is
     /// the ROADMAP item that closes this.
     parked: Vec<ParkedHandoff>,
-    stats: FleetStats,
+    metrics: FleetMetrics,
+    /// Transport-level lease misses observed by the tick loop (the
+    /// `Metrics` exporters render it alongside the fleet counters).
+    lease_misses: kairos_obs::Counter,
+    /// Fleet-level decision trace: balancer-round events via the shared
+    /// [`run_balance_round`] (recorded on this thread — byte-identical
+    /// to the in-process `FleetController`'s trace by construction)
+    /// plus the network-plane events only this role can see (lease
+    /// misses, shard down, rejoin reconciliation, standby promotion).
+    log: DecisionLog,
     /// Builds the audit's global problem with a real engine (shards are
     /// assumed homogeneous, the same contract as
     /// `FleetController::audit`) and the fleet anti-affinity list.
     audit_resolver: ReSolver,
-    /// Mirror of `stats.ticks` for the served lease endpoint.
+    /// Mirror of the fleet tick counter for the served lease endpoint.
     lease_ticks: Arc<AtomicU64>,
 }
 
@@ -201,6 +212,8 @@ impl BalancerNode {
             link.conn = Some(transport.connect(endpoint)?);
             links.push(link);
         }
+        let metrics = FleetMetrics::new(MetricsRegistry::new());
+        let lease_misses = metrics.registry().counter("kairos_net_lease_misses_total");
         Ok(BalancerNode {
             map: ShardMap::new(cfg.shards),
             cfg,
@@ -212,7 +225,9 @@ impl BalancerNode {
             cooldown: BTreeMap::new(),
             handoff_log: Vec::new(),
             parked: Vec::new(),
-            stats: FleetStats::default(),
+            metrics,
+            lease_misses,
+            log: DecisionLog::new(),
             audit_resolver: ReSolver::new(ConsolidationEngine::builder().build()),
             lease_ticks: Arc::new(AtomicU64::new(0)),
         })
@@ -230,7 +245,73 @@ impl BalancerNode {
     }
 
     pub fn stats(&self) -> FleetStats {
-        self.stats
+        self.metrics.stats()
+    }
+
+    /// The balancer's metrics registry (fleet counters, tick-latency
+    /// histograms split poll vs. solve, lease misses, parked-lot depth).
+    pub fn metrics_registry(&self) -> &MetricsRegistry {
+        self.metrics.registry()
+    }
+
+    /// This balancer's registries — fleet-level plus the process-global
+    /// transport instruments — as one flat JSON object. Shard-side
+    /// metrics are a `Metrics` RPC away ([`BalancerNode::shard_metrics`]).
+    pub fn metrics_json(&self) -> String {
+        kairos_obs::render_json_all(&[self.metrics.registry(), kairos_obs::global()])
+    }
+
+    /// [`BalancerNode::metrics_json`] in Prometheus text format.
+    pub fn metrics_prometheus(&self) -> String {
+        kairos_obs::render_prometheus_all(&[self.metrics.registry(), kairos_obs::global()])
+    }
+
+    /// One shard node's rendered metrics `(json, prometheus)` over RPC;
+    /// `None` for down shards.
+    pub fn shard_metrics(&mut self, shard: usize) -> Option<(String, String)> {
+        if self.links[shard].down(self.lease.miss_limit) {
+            return None;
+        }
+        match self.links[shard].call(&Request::Metrics) {
+            Ok(Response::Metrics { json, prometheus }) => Some((json, prometheus)),
+            _ => None,
+        }
+    }
+
+    /// One shard's decision-trace bytes over RPC; `None` for down
+    /// shards. Byte-identical to the same shard's
+    /// `ShardController::trace_bytes` — the trace crosses the wire as
+    /// the canonical codec encoding, untranslated.
+    pub fn shard_trace(&mut self, shard: usize) -> Option<Vec<u8>> {
+        if self.links[shard].down(self.lease.miss_limit) {
+            return None;
+        }
+        match self.links[shard].call(&Request::Trace) {
+            Ok(Response::Trace(bytes)) => Some(bytes),
+            _ => None,
+        }
+    }
+
+    /// The fleet-level decision trace (balancer rounds + network-plane
+    /// events).
+    pub fn decision_log(&self) -> &DecisionLog {
+        &self.log
+    }
+
+    /// The fleet trace's events, oldest first.
+    pub fn trace_events(&self) -> Vec<TracedEvent> {
+        self.log.to_vec()
+    }
+
+    /// The canonical fleet trace bytes (workspace codec).
+    pub fn trace_bytes(&self) -> Vec<u8> {
+        self.log.trace_bytes()
+    }
+
+    /// Enable or disable this balancer's decision tracing (shard-side
+    /// logs are owned by the shard nodes).
+    pub fn set_tracing(&mut self, enabled: bool) {
+        self.log.set_enabled(enabled);
     }
 
     pub fn map(&self) -> &ShardMap {
@@ -340,28 +421,61 @@ impl BalancerNode {
     /// the balance cadence, one balance round — the shared
     /// [`run_balance_round`] policy over [`RemoteShard`] handles.
     pub fn tick(&mut self) -> NetTickReport {
-        self.stats.ticks += 1;
-        self.lease_ticks.store(self.stats.ticks, Ordering::SeqCst);
+        let started = Instant::now();
+        self.metrics.ticks.inc();
+        let tick = self.metrics.ticks.get();
+        self.lease_ticks.store(tick, Ordering::SeqCst);
         let miss_limit = self.lease.miss_limit;
         let mut outcomes: Vec<Option<TickOutcome>> = Vec::new();
         outcomes.resize_with(self.links.len(), || None);
-        for (shard, link) in self.links.iter_mut().enumerate() {
-            if link.down(miss_limit) {
+        for (shard, outcome_slot) in outcomes.iter_mut().enumerate() {
+            if self.links[shard].down(miss_limit) {
                 continue;
             }
-            if let Ok(Response::Tick(outcome)) = link.call(&Request::Tick) {
-                outcomes[shard] = Some(outcome);
+            match self.links[shard].call(&Request::Tick) {
+                Ok(Response::Tick(outcome)) => *outcome_slot = Some(outcome),
+                Ok(_) | Err(NetError::Remote(_)) => {}
+                // Transport failure: the link already counted the miss;
+                // the trace records it (and the down transition, the
+                // moment the miss counter crosses the lease limit).
+                Err(_) => {
+                    self.lease_misses.inc();
+                    self.log.record(
+                        tick,
+                        DecisionEvent::LeaseMiss {
+                            shard,
+                            missed: u64::from(self.links[shard].missed),
+                            limit: u64::from(miss_limit),
+                        },
+                    );
+                    if self.links[shard].missed == miss_limit {
+                        self.log.record(tick, DecisionEvent::ShardDown { shard });
+                    }
+                }
             }
         }
-        let on_cadence = self
-            .stats
-            .ticks
-            .is_multiple_of(self.cfg.balancer.balance_every.max(1));
+        let on_cadence = tick.is_multiple_of(self.cfg.balancer.balance_every.max(1));
         let handoffs = if on_cadence && self.all_live_planned() {
             self.balance_round()
         } else {
             Vec::new()
         };
+        // Same latency classification as the in-process fleet: quiet
+        // polling ticks vs. ticks that solved or moved tenants.
+        let solved = !handoffs.is_empty()
+            || outcomes.iter().flatten().any(|o| {
+                matches!(
+                    o,
+                    TickOutcome::InitialPlan { .. } | TickOutcome::Replanned(_)
+                )
+            });
+        let usecs = started.elapsed().as_micros() as u64;
+        if solved {
+            self.metrics.solve_tick_usecs.record(usecs);
+        } else {
+            self.metrics.poll_tick_usecs.record(usecs);
+        }
+        self.metrics.parked_depth.set(self.parked.len() as f64);
         NetTickReport {
             outcomes,
             handoffs,
@@ -389,7 +503,7 @@ impl BalancerNode {
     }
 
     fn balance_round(&mut self) -> Vec<HandoffRecord> {
-        self.stats.balance_rounds += 1;
+        self.metrics.balance_rounds.inc();
         let miss_limit = self.lease.miss_limit;
         let interval_secs = self.cfg.shard.telemetry.interval_secs;
         let mut handles: Vec<RemoteShard> = self
@@ -404,20 +518,21 @@ impl BalancerNode {
         let records = run_balance_round(
             &mut handles,
             &self.cfg.balancer,
-            self.stats.balance_rounds,
-            self.stats.ticks,
+            self.metrics.balance_rounds.get(),
+            self.metrics.ticks.get(),
             &mut self.cooldown,
             &mut self.parked,
+            &mut self.log,
         );
         for record in &records {
             match record.outcome {
                 HandoffOutcome::Completed => {
                     let to = record.to.expect("completed handoffs carry a destination");
                     self.map.assign(&record.tenant, to);
-                    self.stats.handoffs_completed += 1;
+                    self.metrics.handoffs_completed.inc();
                 }
-                HandoffOutcome::NoReceiver => self.stats.handoffs_rejected += 1,
-                HandoffOutcome::Failed => self.stats.handoffs_failed += 1,
+                HandoffOutcome::NoReceiver => self.metrics.handoffs_rejected.inc(),
+                HandoffOutcome::Failed => self.metrics.handoffs_failed.inc(),
             }
         }
         self.handoff_log.extend(records.iter().cloned());
@@ -465,6 +580,7 @@ impl BalancerNode {
         };
         // Stale copies: the restored checkpoint predates a handoff that
         // moved the tenant elsewhere. Map wins; the node retires them.
+        let mut retired = Vec::new();
         for name in &owned {
             if self.map.shard_of(name) != Some(shard) {
                 rpc::call(
@@ -473,11 +589,13 @@ impl BalancerNode {
                         tenant: name.clone(),
                     },
                 )?;
+                retired.push(name.clone());
             }
         }
         // Lost tenants: admitted (or added) after the checkpoint the
         // node restored from. Re-seed them; history is gone but
         // ownership is preserved.
+        let mut reseeded = Vec::new();
         for tenant in self.map.tenants_of(shard) {
             if !owned.contains(&tenant) {
                 let replicas = self.replicas.get(&tenant).copied().unwrap_or(1);
@@ -488,6 +606,7 @@ impl BalancerNode {
                         replicas,
                     },
                 )?;
+                reseeded.push(tenant);
             }
         }
         // Constraints can postdate the checkpoint too: re-assert the
@@ -505,6 +624,14 @@ impl BalancerNode {
         let mut link = ShardLink::new(endpoint, self.transport.clone());
         link.conn = Some(conn);
         self.links[shard] = link;
+        self.log.record(
+            self.metrics.ticks.get(),
+            DecisionEvent::ShardRejoined {
+                shard,
+                retired,
+                reseeded,
+            },
+        );
         Ok(())
     }
 
@@ -591,6 +718,44 @@ impl BalancerNode {
         FleetAudit {
             per_shard,
             machines_used,
+        }
+    }
+
+    /// Explain an audit in terms of the decision traces: same
+    /// construction as `FleetController::explain_audit`, with each
+    /// flagged shard's trace pulled over the `Trace` RPC and merged with
+    /// this balancer's own fleet-level log.
+    pub fn explain_audit(&mut self, audit: &FleetAudit) -> String {
+        let budget = self.cfg.balancer.machines_per_shard;
+        let fleet_events = self.log.to_vec();
+        let mut out = String::new();
+        for shard in 0..audit.per_shard.len() {
+            let verdict = match &audit.per_shard[shard] {
+                None => "not evaluated (bootstrapping, mid-handoff or down)".to_string(),
+                Some(e) if !e.feasible || e.violation > 0.0 => {
+                    format!("infeasible (violation {:.3})", e.violation)
+                }
+                Some(_) if audit.machines_used[shard] > budget => format!(
+                    "over budget ({} machines > {budget})",
+                    audit.machines_used[shard]
+                ),
+                Some(_) => continue,
+            };
+            let shard_events: Vec<TracedEvent> = self
+                .shard_trace(shard)
+                .and_then(|bytes| serde::from_bytes(&bytes).ok())
+                .unwrap_or_default();
+            out.push_str(&format!("shard {shard}: {verdict}\n"));
+            out.push_str(&kairos_obs::render_why_chain(
+                shard,
+                &shard_events,
+                &fleet_events,
+            ));
+        }
+        if out.is_empty() {
+            "audit clean: every planned shard feasible and within budget\n".to_string()
+        } else {
+            out
         }
     }
 
@@ -713,7 +878,7 @@ impl BalancerNode {
         let anti_affinity = anti_affinity.unwrap_or_default();
         self.audit_resolver.anti_affinity = anti_affinity.clone();
         self.anti_affinity = anti_affinity;
-        self.stats.ticks = max_ticks;
+        self.metrics.ticks.set(max_ticks);
         self.lease_ticks.store(max_ticks, Ordering::SeqCst);
         Ok(())
     }
@@ -962,7 +1127,17 @@ impl StandbyBalancer {
     #[allow(clippy::result_large_err)] // self is handed back for retry
     pub fn promote(mut self) -> Result<BalancerNode, (Box<StandbyBalancer>, NetError)> {
         match self.node.adopt_from_shards() {
-            Ok(()) => Ok(self.node),
+            Ok(()) => {
+                let adopted_ticks = self.node.metrics.ticks.get();
+                self.node.log.record(
+                    adopted_ticks,
+                    DecisionEvent::StandbyPromoted {
+                        rank: u64::from(self.rank),
+                        adopted_ticks,
+                    },
+                );
+                Ok(self.node)
+            }
             Err(e) => Err((Box::new(self), e)),
         }
     }

@@ -343,5 +343,15 @@ fn dispatch(state: &Arc<Mutex<NodeState>>, request: Request) -> Response {
             state.shutdown = true;
             Response::Done
         }
+        Request::Metrics => {
+            // The shard's own registry plus the process-global one (the
+            // transport layer's RPC/frame instruments live there).
+            let registries = [shard.metrics_registry(), kairos_obs::global()];
+            Response::Metrics {
+                json: kairos_obs::render_json_all(&registries),
+                prometheus: kairos_obs::render_prometheus_all(&registries),
+            }
+        }
+        Request::Trace => Response::Trace(shard.trace_bytes()),
     }
 }

@@ -77,6 +77,14 @@ pub enum Request {
     Checkpoint { path: String },
     /// Ask the node process to exit its serve loop.
     Shutdown,
+    // New requests append here: the wire tag is the variant index, so
+    // reordering or inserting above breaks every recorded frame.
+    /// The node's metrics registries rendered as JSON and Prometheus
+    /// text (the scrape endpoint, over the control transport).
+    Metrics,
+    /// The shard's decision trace as canonical codec bytes
+    /// (`Vec<TracedEvent>` through the workspace codec).
+    Trace,
 }
 
 /// What a shard node answers.
@@ -109,6 +117,14 @@ pub enum Response {
     /// The request was understood but failed; the handshake layers turn
     /// this into a rollback, never a partial application.
     Error(String),
+    // New responses append here (wire tag = variant index; see Request).
+    /// The node's rendered metrics.
+    Metrics {
+        json: String,
+        prometheus: String,
+    },
+    /// The shard's decision trace bytes.
+    Trace(Vec<u8>),
 }
 
 /// The wire tag (enum variant index) a request encodes with — the first
@@ -120,12 +136,44 @@ pub fn wire_tag(request: &Request) -> u32 {
     u32::from_le_bytes(payload[..4].try_into().expect("tagged enum payload"))
 }
 
+/// Transport-layer instruments, registered once on the process-global
+/// [`kairos_obs::global`] registry: RPC count, frame bytes both ways,
+/// and wall-clock round-trip latency. Wall clocks are fine here —
+/// metrics are observability, never part of the decision trace.
+struct NetMetrics {
+    rpcs: kairos_obs::Counter,
+    bytes_sent: kairos_obs::Counter,
+    bytes_received: kairos_obs::Counter,
+    rpc_usecs: kairos_obs::Histogram,
+}
+
+fn net_metrics() -> &'static NetMetrics {
+    static NET: std::sync::OnceLock<NetMetrics> = std::sync::OnceLock::new();
+    NET.get_or_init(|| {
+        let registry = kairos_obs::global();
+        NetMetrics {
+            rpcs: registry.counter("kairos_net_rpcs_total"),
+            bytes_sent: registry.counter("kairos_net_frame_bytes_sent_total"),
+            bytes_received: registry.counter("kairos_net_frame_bytes_received_total"),
+            rpc_usecs: registry.histogram("kairos_net_rpc_usecs"),
+        }
+    })
+}
+
 /// One round trip: encode the request, ship it, decode the response.
 /// [`Response::Error`] becomes [`NetError::Remote`] so call sites match
 /// on the one success shape they expect.
 pub fn call(conn: &mut dyn Conn, request: &Request) -> Result<Response, NetError> {
+    let metrics = net_metrics();
     let frame = frame::encode_frame(request);
+    metrics.rpcs.inc();
+    metrics.bytes_sent.add(frame.len() as u64);
+    let started = std::time::Instant::now();
     let response = conn.call(&frame)?;
+    metrics
+        .rpc_usecs
+        .record(started.elapsed().as_micros() as u64);
+    metrics.bytes_received.add(response.len() as u64);
     match frame::decode_frame::<Response>(&response)? {
         Response::Error(msg) => Err(NetError::Remote(msg)),
         ok => Ok(ok),

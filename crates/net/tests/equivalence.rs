@@ -291,4 +291,41 @@ fn rpc_fleet_is_tick_for_tick_identical_to_in_process() {
             assert_eq!(na.profile_refreshes, nb.profile_refreshes);
         });
     }
+
+    // Decision traces: the in-process and RPC fleets must have recorded
+    // **byte-identical** event streams — the balancer's donor/receiver
+    // choices through the shared `run_balance_round` recorder, and each
+    // shard's drift/re-solve history (fetched here over the `Trace`
+    // RPC). This is the observability face of the equivalence property.
+    assert!(
+        !reference.trace_events().is_empty(),
+        "reference fleet recorded no decisions; trace equality vacuous"
+    );
+    assert_eq!(
+        reference.trace_bytes(),
+        balancer.trace_bytes(),
+        "fleet decision traces diverged between in-process and RPC"
+    );
+    for (shard, ctrl) in reference.shards().iter().enumerate() {
+        let remote = balancer
+            .shard_trace(shard)
+            .expect("shard answers the Trace RPC");
+        assert!(!remote.is_empty(), "shard {shard} trace crossed empty");
+        assert_eq!(
+            ctrl.trace_bytes(),
+            remote,
+            "shard {shard} decision traces diverged between in-process and RPC"
+        );
+    }
+
+    // The Metrics RPC serves both renderings, and the balancer's own
+    // registry carries the fleet counters the stats view mirrors.
+    let (json, prometheus) = balancer
+        .shard_metrics(0)
+        .expect("shard answers the Metrics RPC");
+    assert!(json.contains("\"kairos_shard_ticks_total\""));
+    assert!(prometheus.contains("kairos_shard_ticks_total"));
+    assert!(balancer
+        .metrics_prometheus()
+        .contains("kairos_fleet_handoffs_completed_total"));
 }

@@ -1,0 +1,344 @@
+//! Explainable audits: turn a decision trace into a "why" chain.
+//!
+//! When `audit()` flags a shard — a capacity violation, an over-budget
+//! machine count, an incomplete evaluation — the question is always the
+//! same: *which decisions produced this placement?* The answer is already
+//! in the trace: the plan event that last established the placement, the
+//! drift trip that forced that plan, and every membership change
+//! (handoffs in/out, refreshes, failed re-solves) since. This module
+//! walks a shard's own trace plus the fleet/balancer trace and renders
+//! that chain as human-readable lines, newest context last.
+
+use crate::events::{DecisionEvent, TracedEvent};
+
+fn bits(b: u64) -> f64 {
+    f64::from_bits(b)
+}
+
+/// One event as a human-readable line (no leading tick stamp).
+pub fn render_event(event: &DecisionEvent) -> String {
+    use DecisionEvent::*;
+    match event {
+        Bootstrapped {
+            machines,
+            objective_bits,
+        } => format!(
+            "bootstrapped: initial plan on {machines} machines, objective {:.4}",
+            bits(*objective_bits)
+        ),
+        DriftTripped {
+            workloads,
+            max_overload_bits,
+            max_slack_bits,
+            overload_threshold_bits,
+            slack_threshold_bits,
+        } => format!(
+            "drift tripped on [{}]: max overload {:.3} (threshold {:.3}), max slack {:.3} (threshold {:.3})",
+            workloads.join(", "),
+            bits(*max_overload_bits),
+            bits(*overload_threshold_bits),
+            bits(*max_slack_bits),
+            bits(*slack_threshold_bits),
+        ),
+        Replanned {
+            reason,
+            feasible,
+            moves,
+            machines,
+            objective_before_bits,
+            objective_after_bits,
+            churn_bits,
+        } => format!(
+            "replanned ({reason}): objective {:.4} -> {:.4}, {moves} moves (churn {:.2}), {machines} machines, feasible={feasible}",
+            bits(*objective_before_bits),
+            bits(*objective_after_bits),
+            bits(*churn_bits),
+        ),
+        ResolveFailed {
+            reason,
+            backoff_until,
+        } => format!("re-solve FAILED ({reason}); backing off until tick {backoff_until}"),
+        ProfileRefreshed { workloads } => format!(
+            "profile refresh tightened envelopes for [{}] (zero moves)",
+            workloads.join(", ")
+        ),
+        TenantEvicted { tenant } => format!("evicted {tenant} (handed off outward)"),
+        TenantAdmitted { tenant } => {
+            format!("admitted {tenant} (handed off inward; membership replan pending)")
+        }
+        DonorFlagged {
+            shard,
+            machines_used,
+            budget,
+            feasible,
+            resolve_failed,
+        } => {
+            let mut triggers = Vec::new();
+            if machines_used > budget {
+                triggers.push(format!("machines {machines_used} > budget {budget}"));
+            }
+            if !feasible {
+                triggers.push("plan infeasible".to_string());
+            }
+            if *resolve_failed {
+                triggers.push("last re-solve failed".to_string());
+            }
+            format!("shard {shard} flagged as donor: {}", triggers.join(", "))
+        }
+        HandoffProposed {
+            tenant,
+            donor,
+            receiver,
+            shed_target,
+            receiver_machines,
+        } => format!(
+            "proposed handoff {tenant}: shard {donor} -> shard {receiver} (receiver at {receiver_machines} machines admits at shed target {shed_target})"
+        ),
+        HandoffNoReceiver { tenant, donor } => {
+            format!("no receiver for {tenant} from shard {donor} (handoff rejected)")
+        }
+        HandoffCompleted {
+            tenant,
+            donor,
+            receiver,
+        } => format!("handoff {tenant}: shard {donor} -> shard {receiver} completed"),
+        HandoffFailed {
+            tenant,
+            donor,
+            receiver,
+            returned_to_donor,
+        } => format!(
+            "handoff {tenant}: shard {donor} -> shard {receiver} FAILED ({})",
+            if *returned_to_donor {
+                "rolled back to donor"
+            } else {
+                "tenant not restored to donor"
+            }
+        ),
+        HandoffParked {
+            tenant,
+            donor,
+            receiver,
+        } => format!(
+            "handoff {tenant}: shard {donor} -> shard {receiver} PARKED (unresolvable mid-flight; retried each round)"
+        ),
+        ParkedRetried {
+            tenant,
+            donor,
+            receiver,
+            resolution,
+        } => format!(
+            "parked handoff {tenant} (shard {donor} -> shard {receiver}) probed: {resolution}"
+        ),
+        LeaseMiss {
+            shard,
+            missed,
+            limit,
+        } => format!("shard {shard} missed a lease renewal ({missed}/{limit})"),
+        ShardDown { shard } => format!("shard {shard} declared DOWN (lease limit crossed)"),
+        ShardRejoined {
+            shard,
+            retired,
+            reseeded,
+        } => format!(
+            "shard {shard} rejoined: retired stale [{}], re-seeded lost [{}]",
+            retired.join(", "),
+            reseeded.join(", ")
+        ),
+        StandbyPromoted {
+            rank,
+            adopted_ticks,
+        } => format!("standby rank {rank} promoted; adopted fleet state at tick {adopted_ticks}"),
+    }
+}
+
+/// Does a fleet-level event concern this shard?
+fn concerns_shard(event: &DecisionEvent, shard: usize) -> bool {
+    use DecisionEvent::*;
+    match event {
+        DonorFlagged { shard: s, .. }
+        | LeaseMiss { shard: s, .. }
+        | ShardDown { shard: s }
+        | ShardRejoined { shard: s, .. } => *s == shard,
+        HandoffProposed {
+            donor, receiver, ..
+        }
+        | HandoffCompleted {
+            donor, receiver, ..
+        }
+        | HandoffFailed {
+            donor, receiver, ..
+        }
+        | HandoffParked {
+            donor, receiver, ..
+        }
+        | ParkedRetried {
+            donor, receiver, ..
+        } => *donor == shard || *receiver == shard,
+        HandoffNoReceiver { donor, .. } => *donor == shard,
+        _ => false,
+    }
+}
+
+fn is_plan_event(event: &DecisionEvent) -> bool {
+    matches!(
+        event,
+        DecisionEvent::Bootstrapped { .. } | DecisionEvent::Replanned { .. }
+    )
+}
+
+/// Render the chain of decisions that produced shard `shard`'s current
+/// placement: the last plan-establishing event (and the drift trip that
+/// forced it), then every shard-local membership change and every
+/// fleet-level event touching the shard since, merged in tick order.
+///
+/// `shard_events` is the shard's own trace (shard ticks);
+/// `fleet_events` is the balancer's trace (fleet ticks). The two tick
+/// domains advance in lockstep in this control plane, so a simple
+/// tick-ordered merge reads correctly.
+pub fn render_why_chain(
+    shard: usize,
+    shard_events: &[TracedEvent],
+    fleet_events: &[TracedEvent],
+) -> String {
+    let mut out = String::new();
+    let plan_idx = shard_events.iter().rposition(|e| is_plan_event(&e.event));
+    let Some(plan_idx) = plan_idx else {
+        out.push_str(&format!(
+            "  shard {shard}: no plan-establishing event in trace (never bootstrapped, or ring evicted it)\n"
+        ));
+        return out;
+    };
+    let plan_tick = shard_events[plan_idx].tick;
+
+    // The drift trip immediately preceding the plan is its cause.
+    let mut chain: Vec<&TracedEvent> = Vec::new();
+    if plan_idx > 0 {
+        let prev = &shard_events[plan_idx - 1];
+        if matches!(prev.event, DecisionEvent::DriftTripped { .. }) {
+            chain.push(prev);
+        }
+    }
+    chain.extend(&shard_events[plan_idx..]);
+    let mut fleet_since: Vec<&TracedEvent> = fleet_events
+        .iter()
+        .filter(|e| e.tick >= plan_tick && concerns_shard(&e.event, shard))
+        .collect();
+    chain.append(&mut fleet_since);
+    chain.sort_by_key(|e| (e.tick, e.seq));
+
+    for e in chain {
+        out.push_str(&format!(
+            "  tick {:>4} · {}\n",
+            e.tick,
+            render_event(&e.event)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traced(seq: u64, tick: u64, event: DecisionEvent) -> TracedEvent {
+        TracedEvent { seq, tick, event }
+    }
+
+    #[test]
+    fn chain_starts_at_last_plan_and_includes_its_drift_cause() {
+        let shard_events = vec![
+            traced(
+                0,
+                1,
+                DecisionEvent::Bootstrapped {
+                    machines: 4,
+                    objective_bits: 1.0f64.to_bits(),
+                },
+            ),
+            traced(
+                1,
+                10,
+                DecisionEvent::DriftTripped {
+                    workloads: vec!["t1".into()],
+                    max_overload_bits: 0.4f64.to_bits(),
+                    max_slack_bits: 0.0f64.to_bits(),
+                    overload_threshold_bits: 0.25f64.to_bits(),
+                    slack_threshold_bits: 0.5f64.to_bits(),
+                },
+            ),
+            traced(
+                2,
+                10,
+                DecisionEvent::Replanned {
+                    reason: "drift[t1]".into(),
+                    feasible: true,
+                    moves: 2,
+                    machines: 5,
+                    objective_before_bits: 1.0f64.to_bits(),
+                    objective_after_bits: 1.2f64.to_bits(),
+                    churn_bits: 0.1f64.to_bits(),
+                },
+            ),
+            traced(
+                3,
+                14,
+                DecisionEvent::TenantAdmitted {
+                    tenant: "t9".into(),
+                },
+            ),
+        ];
+        let fleet_events = vec![
+            traced(
+                0,
+                5,
+                DecisionEvent::HandoffCompleted {
+                    tenant: "ancient".into(),
+                    donor: 0,
+                    receiver: 2,
+                },
+            ),
+            traced(
+                1,
+                14,
+                DecisionEvent::HandoffCompleted {
+                    tenant: "t9".into(),
+                    donor: 0,
+                    receiver: 2,
+                },
+            ),
+            traced(
+                2,
+                14,
+                DecisionEvent::HandoffCompleted {
+                    tenant: "zz".into(),
+                    donor: 1,
+                    receiver: 3,
+                },
+            ),
+        ];
+        let chain = render_why_chain(2, &shard_events, &fleet_events);
+        assert!(chain.contains("drift tripped on [t1]"), "{chain}");
+        assert!(chain.contains("replanned (drift[t1])"), "{chain}");
+        assert!(chain.contains("handoff t9"), "{chain}");
+        assert!(chain.contains("admitted t9"), "{chain}");
+        assert!(
+            !chain.contains("bootstrapped"),
+            "pre-plan history excluded: {chain}"
+        );
+        assert!(
+            !chain.contains("ancient"),
+            "pre-plan fleet events excluded: {chain}"
+        );
+        assert!(
+            !chain.contains("zz"),
+            "other shards' handoffs excluded: {chain}"
+        );
+    }
+
+    #[test]
+    fn empty_trace_says_so() {
+        let chain = render_why_chain(0, &[], &[]);
+        assert!(chain.contains("no plan-establishing event"));
+    }
+}

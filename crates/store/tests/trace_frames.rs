@@ -1,0 +1,133 @@
+//! Decision traces through the snapshot store.
+//!
+//! Traces ride inside shard and fleet checkpoints, but they are also a
+//! standalone artifact (the `Trace` RPC ships them raw; the CI
+//! decision-trace job diffs them on disk) — so the store must round-trip
+//! a bare `Vec<TracedEvent>` under [`kairos_obs::TRACE_WIRE_VERSION`]
+//! with the same guarantees as any snapshot: byte-stable encoding,
+//! version pinning, and clean rejection of corruption.
+
+use kairos_obs::{DecisionEvent, DecisionLog, TracedEvent, TRACE_WIRE_VERSION};
+use kairos_store::{decode_frame, encode_frame, load, save, StoreError};
+use std::path::PathBuf;
+
+fn sample_trace() -> Vec<TracedEvent> {
+    let mut log = DecisionLog::new();
+    log.record(
+        3,
+        DecisionEvent::Bootstrapped {
+            machines: 4,
+            objective_bits: 1.25f64.to_bits(),
+        },
+    );
+    log.record(
+        17,
+        DecisionEvent::DriftTripped {
+            workloads: vec!["s0-t03".into(), "s0-t07".into()],
+            max_overload_bits: 1.4f64.to_bits(),
+            max_slack_bits: 0.2f64.to_bits(),
+            overload_threshold_bits: 1.2f64.to_bits(),
+            slack_threshold_bits: 0.5f64.to_bits(),
+        },
+    );
+    log.record(
+        22,
+        DecisionEvent::HandoffCompleted {
+            tenant: "s0-t07".into(),
+            donor: 0,
+            receiver: 2,
+        },
+    );
+    log.record(
+        31,
+        DecisionEvent::ParkedRetried {
+            tenant: "s0-t07".into(),
+            donor: 0,
+            receiver: 2,
+            resolution: "completed-late".into(),
+        },
+    );
+    log.to_vec()
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "kairos-trace-frame-{}-{tag}.ktrc",
+        std::process::id()
+    ))
+}
+
+#[test]
+fn traces_roundtrip_through_frames_and_files() {
+    let trace = sample_trace();
+    let frame = encode_frame(TRACE_WIRE_VERSION, &trace);
+    let back: Vec<TracedEvent> =
+        decode_frame(&frame, TRACE_WIRE_VERSION).expect("frame roundtrips");
+    assert_eq!(back, trace);
+
+    // Byte stability: encoding is a pure function of the events.
+    assert_eq!(frame, encode_frame(TRACE_WIRE_VERSION, &trace));
+
+    let path = temp_path("roundtrip");
+    save(&path, TRACE_WIRE_VERSION, &trace).expect("trace saves");
+    let loaded: Vec<TracedEvent> = load(&path, TRACE_WIRE_VERSION).expect("trace loads");
+    assert_eq!(loaded, trace);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn wrong_version_is_rejected() {
+    let frame = encode_frame(TRACE_WIRE_VERSION, &sample_trace());
+    match decode_frame::<Vec<TracedEvent>>(&frame, TRACE_WIRE_VERSION + 1) {
+        Err(StoreError::UnsupportedVersion { found, expected }) => {
+            assert_eq!(found, TRACE_WIRE_VERSION);
+            assert_eq!(expected, TRACE_WIRE_VERSION + 1);
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn corruption_is_rejected_not_misread() {
+    let trace = sample_trace();
+    let clean = encode_frame(TRACE_WIRE_VERSION, &trace);
+    // Flip every byte position in turn: no single-byte corruption may
+    // decode (the CRC trailer guards the whole payload).
+    for i in 0..clean.len() {
+        let mut bad = clean.clone();
+        bad[i] ^= 0x40;
+        assert!(
+            decode_frame::<Vec<TracedEvent>>(&bad, TRACE_WIRE_VERSION).is_err(),
+            "byte {i}: corrupted frame must not decode"
+        );
+    }
+    // Truncations too.
+    for cut in 0..clean.len() {
+        assert!(
+            decode_frame::<Vec<TracedEvent>>(&clean[..cut], TRACE_WIRE_VERSION).is_err(),
+            "truncation at {cut} must not decode"
+        );
+    }
+}
+
+#[test]
+fn restored_log_continues_sequence_numbers() {
+    let trace = sample_trace();
+    let frame = encode_frame(TRACE_WIRE_VERSION, &trace);
+    let events: Vec<TracedEvent> =
+        decode_frame(&frame, TRACE_WIRE_VERSION).expect("frame roundtrips");
+    let last_seq = events.last().expect("non-empty").seq;
+    let mut log = DecisionLog::restore(events, 1024, true);
+    log.record(
+        40,
+        DecisionEvent::TenantEvicted {
+            tenant: "s0-t07".into(),
+        },
+    );
+    let appended = log.to_vec();
+    assert_eq!(
+        appended.last().expect("appended").seq,
+        last_seq + 1,
+        "post-restore events must extend the sequence, not fork it"
+    );
+}

@@ -24,13 +24,19 @@
 //! * the handoff audit log is identical, tick stamps included;
 //! * a **truncated** snapshot and a **bit-flipped** snapshot are both
 //!   rejected with a clean error — never a panic, never a silent
-//!   partial restore.
+//!   partial restore;
+//! * the **decision trace does not fork**: the restored fleet carries
+//!   the pre-kill trace verbatim (sequence numbers included) and
+//!   finishes with a trace byte-identical to the uninterrupted run's.
+//!   The traces are dumped as text next to the snapshot
+//!   (`trace-prekill.txt`, `trace-restored.txt`, `trace-reference.txt`)
+//!   so CI can diff them and upload them on failure.
 
 use kairos::controller::{ControllerConfig, SyntheticSource, TickOutcome};
 use kairos::fleet::{BalancerConfig, FleetConfig, FleetController};
 use kairos::types::{Bytes, SplitMix64};
 use kairos::workloads::RatePattern;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 const SHARDS: usize = 3;
 const TENANTS_PER_SHARD: usize = 20;
@@ -98,15 +104,31 @@ fn audit_objective_bits(fleet: &FleetController) -> Vec<Option<u64>> {
         .collect()
 }
 
-fn snapshot_path() -> PathBuf {
+fn snapshot_dir() -> PathBuf {
     let dir = std::env::var("KAIROS_SNAPSHOT_DIR").unwrap_or_else(|_| "target/ckpt".to_string());
     std::fs::create_dir_all(&dir).expect("snapshot dir is creatable");
-    PathBuf::from(dir).join("fleet.ksnp")
+    PathBuf::from(dir)
+}
+
+/// Human-readable trace rendering, one event per line — what the CI
+/// decision-trace job diffs (a fork shows up as a line-level diff, not a
+/// binary mismatch).
+fn render_trace(events: &[kairos::obs::TracedEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&format!("#{:06} t{:04} {:?}\n", e.seq, e.tick, e.event));
+    }
+    out
+}
+
+fn dump_trace(dir: &Path, name: &str, events: &[kairos::obs::TracedEvent]) {
+    std::fs::write(dir.join(name), render_trace(events)).expect("trace dump writes");
 }
 
 fn main() {
     println!("== kairos-store: durable checkpoint/restore for the fleet control plane ==\n");
-    let path = snapshot_path();
+    let dir = snapshot_dir();
+    let path = dir.join("fleet.ksnp");
     // The crash lands at a random tick between bootstrap and the end of
     // the run (seeded; sweep with KAIROS_TEST_SEED).
     let mut rng = SplitMix64::from_env(0x00C4_A511);
@@ -126,6 +148,7 @@ fn main() {
         reference.stats().handoffs_completed,
         ref_audit.machines_used,
     );
+    dump_trace(&dir, "trace-reference.txt", &reference.trace_events());
 
     // --- interrupted: checkpoint, crash at a random tick ------------------
     let mut doomed = build_fleet();
@@ -140,12 +163,19 @@ fn main() {
         "crash at tick {crash_at:>3} : checkpoint {} ({file_len} bytes, CRC-trailed)",
         path.display()
     );
+    let prekill_trace = doomed.trace_events();
+    dump_trace(&dir, "trace-prekill.txt", &prekill_trace);
     drop(doomed); // the crash: every in-memory window, placement and plan is gone
 
     // --- restart: restore, re-bind sources, finish the run ----------------
     let mut restored =
         FleetController::resume_from(config(), &path).expect("snapshot restores cleanly");
     assert_eq!(restored.stats().ticks, crash_at);
+    assert_eq!(
+        restored.trace_events(),
+        prekill_trace,
+        "restore must carry the pre-kill decision trace verbatim, not fork it"
+    );
     for shard in 0..SHARDS {
         for i in 0..TENANTS_PER_SHARD {
             let src = make_source(shard, i).fast_forward(crash_at);
@@ -205,6 +235,48 @@ fn main() {
         "equivalence       : placements identical, audit objectives bit-identical, \
          0 spurious re-solves"
     );
+
+    // --- the decision trace must not fork ----------------------------------
+    let restored_trace = restored.trace_events();
+    dump_trace(&dir, "trace-restored.txt", &restored_trace);
+    assert_eq!(
+        restored_trace[..prekill_trace.len()],
+        prekill_trace[..],
+        "the pre-kill trace must be a verbatim prefix of the restored run's"
+    );
+    assert_eq!(
+        restored.trace_bytes(),
+        reference.trace_bytes(),
+        "restored and uninterrupted decision traces must be byte-identical"
+    );
+    for (shard, (a, b)) in restored.shards().iter().zip(reference.shards()).enumerate() {
+        assert_eq!(
+            a.trace_bytes(),
+            b.trace_bytes(),
+            "shard {shard} traces must be byte-identical"
+        );
+    }
+    println!(
+        "decision trace    : {} fleet events, prefix preserved across restore, \
+         byte-identical to the uninterrupted run",
+        restored_trace.len()
+    );
+    if let Some(last) = restored_trace.last() {
+        println!(
+            "  last event      : #{:06} t{:04} {:?}",
+            last.seq, last.tick, last.event
+        );
+    }
+
+    // Metrics, both renderings — the same text the Metrics RPC serves.
+    let prometheus = restored.metrics_prometheus();
+    let completed_line = prometheus
+        .lines()
+        .find(|l| l.starts_with("kairos_fleet_handoffs_completed_total"))
+        .unwrap_or("kairos_fleet_handoffs_completed_total <missing>");
+    println!("  metrics         : {completed_line} (full dump: metrics.prom / metrics.json)");
+    std::fs::write(dir.join("metrics.prom"), &prometheus).expect("metrics dump writes");
+    std::fs::write(dir.join("metrics.json"), restored.metrics_json()).expect("metrics dump writes");
 
     // --- corruption injection ---------------------------------------------
     let clean = std::fs::read(&path).expect("snapshot readable");

@@ -389,6 +389,36 @@ fn main() {
          post-failover stats {stats:?}"
     );
 
+    // The observability plane crosses the same wire: each shard process
+    // serves its metrics and its decision trace over RPC, and the
+    // promoted balancer carries its own failover events.
+    let (_, prometheus) = final_balancer
+        .shard_metrics(0)
+        .expect("shard 0 serves the Metrics RPC");
+    let ticks_line = prometheus
+        .lines()
+        .find(|l| l.starts_with("kairos_shard_ticks_total"))
+        .expect("shard metrics include the tick counter");
+    println!("shard 0 metrics over RPC: {ticks_line}");
+    let trace = final_balancer
+        .shard_trace(1)
+        .expect("the rejoined shard serves the Trace RPC");
+    assert!(
+        !trace.is_empty(),
+        "shard 1's restored trace must cross the wire"
+    );
+    println!(
+        "shard 1 trace over RPC: {} bytes (history survived SIGKILL + restore)",
+        trace.len()
+    );
+    let failover_events = final_balancer.trace_events();
+    assert!(
+        failover_events
+            .iter()
+            .any(|e| matches!(e.event, kairos::obs::DecisionEvent::StandbyPromoted { .. })),
+        "the promotion must be on the promoted balancer's own trace"
+    );
+
     // --- teardown --------------------------------------------------------
     final_balancer.shutdown_shards();
     for p in &mut procs {

@@ -144,6 +144,35 @@ fn flash_crowd() {
         assert_eq!(h.completed(), h.to.is_some());
     }
     assert_hosts_faithful(&fleet);
+
+    // The observability face of the same run: the decision trace names
+    // every balancer choice, and the metrics registry serves both
+    // renderings (the `Metrics` RPC exposes the same text per node).
+    let trace = fleet.trace_events();
+    assert!(!trace.is_empty(), "the spike must leave a decision trace");
+    println!(
+        "  decision trace ({} fleet events), last three:",
+        trace.len()
+    );
+    for e in trace.iter().rev().take(3).rev() {
+        println!("    #{:06} t{:04} {:?}", e.seq, e.tick, e.event);
+    }
+    let prometheus = fleet.metrics_prometheus();
+    println!("  prometheus excerpt:");
+    for line in prometheus
+        .lines()
+        .filter(|l| l.starts_with("kairos_fleet_handoffs") || l.starts_with("kairos_fleet_ticks"))
+    {
+        println!("    {line}");
+    }
+    assert!(fleet
+        .metrics_json()
+        .contains("\"kairos_fleet_ticks_total\""));
+
+    // The audit explanation reads clean after convergence.
+    let explanation = fleet.explain_audit(&audit);
+    assert!(explanation.contains("audit clean"), "{explanation}");
+    println!("  explain_audit: {}", explanation.trim_end());
 }
 
 fn churn() {

@@ -91,6 +91,7 @@ pub use kairos_diskmodel as diskmodel;
 pub use kairos_fleet as fleet;
 pub use kairos_monitor as monitor;
 pub use kairos_net as net;
+pub use kairos_obs as obs;
 pub use kairos_solver as solver;
 pub use kairos_store as store;
 pub use kairos_traces as traces;
