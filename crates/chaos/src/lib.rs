@@ -1,0 +1,32 @@
+//! # kairos-chaos — the deterministic chaos harness
+//!
+//! Fault injection for the fleet control plane, done as *data*: a
+//! [`Schedule`] says what breaks when (partitions, crashes with
+//! checkpoint restores, corrupted Admit/Evict/Owns frames, dropped
+//! calls, skipped or delayed balance rounds), and a driver interprets
+//! it against a full RPC fleet over the seeded loopback transport while
+//! asserting the invariant suite after every tick:
+//!
+//! * **no tenant lost or duplicated** — ownership conservation across
+//!   the routing map and every live shard's ground truth, continuously
+//!   and exactly at end of run;
+//! * **parked handoffs eventually drain** — once faults heal, the
+//!   retry lot empties;
+//! * **audits converge** — complete, zero capacity violations, within
+//!   the machine budget after the settle phase;
+//! * **determinism** — the same schedule reruns to a byte-identical
+//!   decision-trace fingerprint (the [`driver::RunOutcome::fingerprint`]
+//!   oracle).
+//!
+//! Schedules come from a seed sweep ([`schedule::generate`], SplitMix64
+//! over `KAIROS_CHAOS_SEED + i`) with structural constraints that keep
+//! every generated run recoverable by construction. A failing schedule
+//! is [`schedule::shrink`]-ed to a 1-minimal reproduction and printed
+//! with its decision-trace why-chain — the `chaos_sweep` binary is the
+//! CI face of all of this.
+
+pub mod driver;
+pub mod schedule;
+
+pub use driver::{run, ChaosConfig, RunOutcome, RunReport, Violation};
+pub use schedule::{generate, shrink, ChaosFault, GeneratorBounds, Schedule, ScheduledFault};

@@ -1,0 +1,379 @@
+//! The fault-schedule grammar, its seeded generator, and the shrinker.
+//!
+//! A schedule is declarative data: *at tick T, do this to the fleet*.
+//! The driver ([`crate::driver`]) interprets it against a real RPC
+//! fleet; nothing in here touches a socket. That split is what makes a
+//! failing run reproducible (rerun the same [`Schedule`]) and
+//! shrinkable (delete faults one at a time and rerun).
+//!
+//! The generator derives a schedule from one `u64` seed through
+//! [`SplitMix64`] — the whole sweep is a seed range. Structural
+//! constraints are enforced at generation time so every generated
+//! schedule is *recoverable by construction*:
+//!
+//! * a crash is only scheduled after the first checkpoint cadence has
+//!   passed, and its restore lands 3–10 ticks later;
+//! * at most one outstanding crash or partition per shard, and never
+//!   all shards dark at once (the fleet must always have ground truth
+//!   left to recover from);
+//! * everything is healed/restored by the end of the fault window — the
+//!   settle phase starts from a fully reachable fleet, which is what
+//!   lets the invariant suite demand full convergence.
+
+use kairos_types::SplitMix64;
+
+/// One fault the driver can apply at a tick. Shards are indices into
+/// the fleet (the driver maps them to live endpoints, which change
+/// across crash/restore generations).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChaosFault {
+    /// Partition the shard's endpoint: every RPC fails until healed.
+    /// The node itself keeps its state — this is a network fault.
+    Partition { shard: usize },
+    /// Heal the shard's endpoint. Per the [`kairos_net::FaultPlan`]
+    /// precedence, healing *cancels* any pending one-shot faults on the
+    /// endpoint. If the lease already expired, the driver rejoins the
+    /// shard at its existing endpoint (the operator's recovery step).
+    Heal { shard: usize },
+    /// Kill the shard's process: stop serving, lose all in-memory
+    /// state. Recovery is [`ChaosFault::Restore`] from the last
+    /// checkpoint the driver took.
+    Crash { shard: usize },
+    /// Restore a crashed shard from its last checkpoint on a fresh
+    /// endpoint, re-park reconstructed telemetry sources, and rejoin.
+    Restore { shard: usize },
+    /// Drop the next `n` RPCs to the shard (the calls fail, the peer
+    /// never sees them). Kept below the lease limit by the generator so
+    /// a drop alone cannot expire a lease.
+    DropCalls { shard: usize, n: u64 },
+    /// Corrupt the next Admit frame reaching the shard (one bit flip;
+    /// the node rejects it with zero state change).
+    CorruptAdmit { shard: usize },
+    /// Corrupt the next Evict response from the shard.
+    CorruptEvict { shard: usize },
+    /// Corrupt the next Owns probe answered by the shard — the
+    /// probe-first rollback path sees `None` and must park, not guess.
+    CorruptOwns { shard: usize },
+    /// Drop the next `n` due balance rounds outright (the rounds never
+    /// run; moves are simply lost, not deferred).
+    SkipRound { n: u64 },
+    /// Run each of the next `n` due balance rounds one tick late.
+    DelayRound { n: u64 },
+}
+
+/// A fault pinned to the fleet tick it fires at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduledFault {
+    pub tick: u64,
+    pub fault: ChaosFault,
+}
+
+/// A complete, self-describing chaos run: the seed it came from and
+/// the tick-ordered fault list. `seed` also seeds the transport's
+/// corruption bit-flips, so a schedule reruns byte-identically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    pub seed: u64,
+    pub faults: Vec<ScheduledFault>,
+}
+
+impl Schedule {
+    /// A fault-free schedule — the baseline the invariant suite must
+    /// hold on before chaos means anything.
+    pub fn quiet(seed: u64) -> Schedule {
+        Schedule {
+            seed,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Human-readable one-fault-per-line rendering — what a failing
+    /// sweep prints next to the seed so the run can be reproduced.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "schedule seed=0x{:016x} ({} faults)\n",
+            self.seed,
+            self.faults.len()
+        );
+        for f in &self.faults {
+            out.push_str(&format!("  t={:<4} {:?}\n", f.tick, f.fault));
+        }
+        out
+    }
+}
+
+/// Knobs the generator needs from the driver's world: where the fault
+/// window sits and what it may not break permanently.
+#[derive(Debug, Clone, Copy)]
+pub struct GeneratorBounds {
+    /// First tick faults may fire at (the driver's warmup is over and
+    /// the first checkpoint exists).
+    pub window_start: u64,
+    /// One past the last tick faults may fire at. Crash restores are
+    /// clamped to land before this.
+    pub window_end: u64,
+    /// Shards in the fleet.
+    pub shards: usize,
+    /// The lease miss limit — `DropCalls` bursts stay strictly below it.
+    pub miss_limit: u64,
+}
+
+/// Derive a schedule from a seed. Deterministic: same seed + bounds →
+/// same schedule, always.
+pub fn generate(seed: u64, bounds: &GeneratorBounds) -> Schedule {
+    let mut rng = SplitMix64::new(seed);
+    let span = bounds.window_end.saturating_sub(bounds.window_start).max(1);
+    let count = 2 + rng.next_range(6); // 2..=7 primary faults
+    let mut faults: Vec<ScheduledFault> = Vec::new();
+    // Dark intervals per shard: [start, end) where the shard is
+    // unreachable (partitioned-until-heal or crashed-until-restore).
+    let mut dark: Vec<Vec<(u64, u64)>> = vec![Vec::new(); bounds.shards];
+
+    let dark_at = |dark: &[Vec<(u64, u64)>], t: u64| -> usize {
+        dark.iter()
+            .filter(|iv| iv.iter().any(|&(a, b)| a <= t && t < b))
+            .count()
+    };
+
+    for _ in 0..count {
+        let tick = bounds.window_start + rng.next_range(span);
+        let shard = rng.next_range(bounds.shards as u64) as usize;
+        match rng.next_range(7) {
+            0 | 1 => {
+                // Partition + paired heal, 1..=6 ticks later (clamped
+                // into the window so the settle phase starts healed).
+                let heal = (tick + 1 + rng.next_range(6)).min(bounds.window_end - 1);
+                let blocked = (tick..heal.max(tick + 1))
+                    .any(|t| dark_at(&dark, t) + 1 >= bounds.shards)
+                    || dark[shard].iter().any(|&(a, b)| tick < b && a < heal);
+                if blocked {
+                    continue;
+                }
+                dark[shard].push((tick, heal));
+                faults.push(ScheduledFault {
+                    tick,
+                    fault: ChaosFault::Partition { shard },
+                });
+                faults.push(ScheduledFault {
+                    tick: heal,
+                    fault: ChaosFault::Heal { shard },
+                });
+            }
+            2 => {
+                // Crash + paired restore, 3..=10 ticks later.
+                let restore = (tick + 3 + rng.next_range(8)).min(bounds.window_end - 1);
+                if restore <= tick {
+                    continue;
+                }
+                let blocked = (tick..restore).any(|t| dark_at(&dark, t) + 1 >= bounds.shards)
+                    || dark[shard].iter().any(|&(a, b)| tick < b && a < restore);
+                if blocked {
+                    continue;
+                }
+                dark[shard].push((tick, restore));
+                faults.push(ScheduledFault {
+                    tick,
+                    fault: ChaosFault::Crash { shard },
+                });
+                faults.push(ScheduledFault {
+                    tick: restore,
+                    fault: ChaosFault::Restore { shard },
+                });
+            }
+            3 => {
+                let n = 1 + rng.next_range(bounds.miss_limit.saturating_sub(1).max(1));
+                faults.push(ScheduledFault {
+                    tick,
+                    fault: ChaosFault::DropCalls {
+                        shard,
+                        n: n.min(bounds.miss_limit - 1).max(1),
+                    },
+                });
+            }
+            4 => {
+                let fault = match rng.next_range(3) {
+                    0 => ChaosFault::CorruptAdmit { shard },
+                    1 => ChaosFault::CorruptEvict { shard },
+                    _ => ChaosFault::CorruptOwns { shard },
+                };
+                faults.push(ScheduledFault { tick, fault });
+            }
+            5 => faults.push(ScheduledFault {
+                tick,
+                fault: ChaosFault::SkipRound {
+                    n: 1 + rng.next_range(2),
+                },
+            }),
+            _ => faults.push(ScheduledFault {
+                tick,
+                fault: ChaosFault::DelayRound {
+                    n: 1 + rng.next_range(2),
+                },
+            }),
+        }
+    }
+
+    // Stable order: by tick, then by insertion (sort_by_key is stable).
+    faults.sort_by_key(|f| f.tick);
+    Schedule { seed, faults }
+}
+
+/// Greedy delta-debugging shrink: repeatedly delete single faults
+/// (keeping the schedule otherwise intact) while `still_fails` holds,
+/// to a fixpoint. The result is 1-minimal: removing any one remaining
+/// fault makes the failure disappear.
+///
+/// Removing a `Partition`/`Crash` whose paired `Heal`/`Restore` stays
+/// behind is safe — heals are idempotent no-ops on a healthy endpoint,
+/// and the driver refuses to restore a shard that never crashed.
+pub fn shrink(schedule: &Schedule, mut still_fails: impl FnMut(&Schedule) -> bool) -> Schedule {
+    let mut current = schedule.clone();
+    loop {
+        let mut reduced = false;
+        let mut i = 0;
+        while i < current.faults.len() {
+            let mut candidate = current.clone();
+            candidate.faults.remove(i);
+            if still_fails(&candidate) {
+                current = candidate;
+                reduced = true;
+                // Same index now holds the next fault; don't advance.
+            } else {
+                i += 1;
+            }
+        }
+        if !reduced {
+            return current;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bounds() -> GeneratorBounds {
+        GeneratorBounds {
+            window_start: 12,
+            window_end: 60,
+            shards: 3,
+            miss_limit: 3,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let b = bounds();
+        assert_eq!(generate(42, &b), generate(42, &b));
+        assert_ne!(generate(42, &b).faults, generate(43, &b).faults);
+    }
+
+    #[test]
+    fn generated_schedules_respect_structural_constraints() {
+        let b = bounds();
+        for seed in 0..200u64 {
+            let s = generate(seed, &b);
+            let mut last = 0;
+            let mut crashed: Vec<bool> = vec![false; b.shards];
+            let mut dark = 0usize;
+            for f in &s.faults {
+                assert!(f.tick >= b.window_start, "seed {seed}: fault before window");
+                assert!(f.tick < b.window_end, "seed {seed}: fault after window");
+                assert!(f.tick >= last, "seed {seed}: unsorted");
+                last = f.tick;
+                match f.fault {
+                    ChaosFault::Crash { shard } => {
+                        assert!(!crashed[shard], "seed {seed}: double crash");
+                        crashed[shard] = true;
+                        dark += 1;
+                        assert!(dark < b.shards, "seed {seed}: all shards dark");
+                    }
+                    ChaosFault::Restore { shard } => {
+                        assert!(crashed[shard], "seed {seed}: restore without crash");
+                        crashed[shard] = false;
+                        dark -= 1;
+                    }
+                    ChaosFault::DropCalls { n, .. } => {
+                        assert!(
+                            n < b.miss_limit,
+                            "seed {seed}: drop burst could expire a lease"
+                        );
+                    }
+                    _ => {}
+                }
+            }
+            assert!(
+                crashed.iter().all(|&c| !c),
+                "seed {seed}: crash left unrestored"
+            );
+        }
+    }
+
+    #[test]
+    fn every_crash_has_a_later_restore_for_the_same_shard() {
+        let b = bounds();
+        for seed in 0..200u64 {
+            let s = generate(seed, &b);
+            for (i, f) in s.faults.iter().enumerate() {
+                if let ChaosFault::Crash { shard } = f.fault {
+                    assert!(
+                        s.faults[i..]
+                            .iter()
+                            .any(|g| g.tick > f.tick && g.fault == (ChaosFault::Restore { shard })),
+                        "seed {seed}: crash of shard {shard} never restored"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shrink_reaches_a_one_minimal_failing_schedule() {
+        let b = GeneratorBounds {
+            window_start: 0,
+            window_end: 1000,
+            shards: 3,
+            miss_limit: 3,
+        };
+        // Synthetic failure: the run "fails" iff the schedule contains a
+        // SkipRound AND a CorruptAdmit — a two-fault interaction, the
+        // shape shrinking exists for.
+        let mut big = generate(7, &b);
+        big.faults.push(ScheduledFault {
+            tick: 500,
+            fault: ChaosFault::SkipRound { n: 1 },
+        });
+        big.faults.push(ScheduledFault {
+            tick: 501,
+            fault: ChaosFault::CorruptAdmit { shard: 0 },
+        });
+        big.faults.sort_by_key(|f| f.tick);
+        let fails = |s: &Schedule| {
+            s.faults
+                .iter()
+                .any(|f| matches!(f.fault, ChaosFault::SkipRound { .. }))
+                && s.faults
+                    .iter()
+                    .any(|f| matches!(f.fault, ChaosFault::CorruptAdmit { .. }))
+        };
+        let minimal = shrink(&big, fails);
+        assert_eq!(minimal.faults.len(), 2, "exactly the interacting pair");
+        assert!(fails(&minimal));
+        assert_eq!(minimal.seed, big.seed, "seed survives shrinking");
+    }
+
+    #[test]
+    fn render_names_the_seed_and_every_fault() {
+        let s = Schedule {
+            seed: 0xBEEF,
+            faults: vec![ScheduledFault {
+                tick: 9,
+                fault: ChaosFault::Partition { shard: 1 },
+            }],
+        };
+        let text = s.render();
+        assert!(text.contains("0x000000000000beef"));
+        assert!(text.contains("t=9"));
+        assert!(text.contains("Partition"));
+    }
+}

@@ -1,0 +1,107 @@
+//! The chaos harness's own acceptance tests: the invariant suite holds
+//! on a quiet fleet and under seeded schedules, reruns are
+//! byte-identical, and a hand-written worst-case (crash a shard while a
+//! double-faulted handoff sits parked) recovers.
+//!
+//! The full seed sweep lives in the `chaos_sweep` binary (CI runs
+//! hundreds); these tests keep the harness itself honest at unit cost.
+
+use kairos_chaos::{generate, run, ChaosConfig, ChaosFault, Schedule, ScheduledFault};
+
+#[test]
+fn quiet_fleet_holds_every_invariant() {
+    let cfg = ChaosConfig::default();
+    let outcome = run(&cfg, &Schedule::quiet(1));
+    assert!(
+        outcome.passed(),
+        "fault-free run violated an invariant:\n{}",
+        outcome.violation.unwrap().render()
+    );
+    // The baseline fleet is deliberately imbalanced: shard 0's heavies
+    // must shed, so chaos always has live handoffs to collide with.
+    assert!(
+        outcome.report.handoffs_completed > 0,
+        "quiet run moved nothing; the fault window would hit an idle fleet"
+    );
+    let total = (cfg.shards * cfg.tenants_per_shard + cfg.heavies) as u64;
+    assert_eq!(outcome.report.owned_p100, total, "census peak = registered");
+}
+
+#[test]
+fn seeded_schedules_hold_the_invariant_suite() {
+    let cfg = ChaosConfig::default();
+    for seed in 100..108u64 {
+        let schedule = generate(seed, &cfg.bounds());
+        let outcome = run(&cfg, &schedule);
+        assert!(
+            outcome.passed(),
+            "seed {seed} violated an invariant under\n{}\n{}",
+            schedule.render(),
+            outcome.violation.unwrap().render()
+        );
+    }
+}
+
+#[test]
+fn same_schedule_reruns_byte_identical() {
+    let cfg = ChaosConfig::default();
+    let schedule = generate(4242, &cfg.bounds());
+    assert!(
+        !schedule.faults.is_empty(),
+        "seed must actually inject faults for determinism to mean much"
+    );
+    let a = run(&cfg, &schedule);
+    let b = run(&cfg, &schedule);
+    assert!(a.passed() && b.passed());
+    assert_eq!(
+        a.fingerprint, b.fingerprint,
+        "same seed, same schedule — the decision traces must match byte for byte"
+    );
+}
+
+#[test]
+fn crash_with_a_parked_handoff_in_flight_recovers() {
+    // The hand-written worst case the satellite bugfixes exist for:
+    // corrupt the receiver's Admit *and* the probe-first Owns so a
+    // handoff parks, then crash the donor (whose evict outbox and
+    // checkpoint are the only places the tenant still exists), restore
+    // it, and demand full convergence.
+    let cfg = ChaosConfig::default();
+    let t0 = cfg.warmup; // first balance-eligible faulted round
+    let schedule = Schedule {
+        seed: 0x5EED_CA55,
+        faults: vec![
+            ScheduledFault {
+                tick: t0,
+                fault: ChaosFault::CorruptAdmit { shard: 1 },
+            },
+            ScheduledFault {
+                tick: t0,
+                fault: ChaosFault::CorruptOwns { shard: 1 },
+            },
+            ScheduledFault {
+                tick: t0 + 6,
+                fault: ChaosFault::Crash { shard: 0 },
+            },
+            ScheduledFault {
+                tick: t0 + 12,
+                fault: ChaosFault::Restore { shard: 0 },
+            },
+        ],
+    };
+    let outcome = run(&cfg, &schedule);
+    assert!(
+        outcome.passed(),
+        "parked+crash recovery failed:\n{}",
+        outcome.violation.unwrap().render()
+    );
+}
+
+#[test]
+fn report_percentiles_are_pinned_to_the_census_extremes() {
+    let cfg = ChaosConfig::default();
+    let outcome = run(&cfg, &Schedule::quiet(9));
+    assert!(outcome.report.owned_p0 <= outcome.report.owned_p50);
+    assert!(outcome.report.owned_p50 <= outcome.report.owned_p100);
+    assert_eq!(outcome.report.ticks, cfg.total_ticks());
+}

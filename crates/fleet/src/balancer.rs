@@ -70,6 +70,57 @@ impl BalancerConfig {
     }
 }
 
+/// Fault-injection gate over the balance cadence — the `fleet`-side
+/// hook the chaos harness schedules "skip a balancer round" and "delay
+/// a balancer round" through, shared by the in-process
+/// `FleetController` and the RPC `BalancerNode` so both interpret a
+/// schedule identically.
+///
+/// The controller asks [`admit`](BalanceGate::admit) on every tick with
+/// `due` = "the cadence says a round runs now". A **skipped** round is
+/// gone; a **delayed** round runs on the next tick instead (one tick
+/// late, not re-scheduled onto the next cadence point). An idle gate
+/// passes `due` through unchanged, so a fleet with no faults injected
+/// behaves exactly as before the gate existed.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BalanceGate {
+    skip: u64,
+    delay: u64,
+    deferred: bool,
+}
+
+impl BalanceGate {
+    /// Drop the next `n` due balance rounds entirely.
+    pub fn skip_rounds(&mut self, n: u64) {
+        self.skip += n;
+    }
+
+    /// Push each of the next `n` due balance rounds one tick later.
+    pub fn delay_rounds(&mut self, n: u64) {
+        self.delay += n;
+    }
+
+    /// Should a balance round run this tick? Burns at most one pending
+    /// skip/delay; skip outranks delay when both are armed.
+    pub fn admit(&mut self, due: bool) -> bool {
+        let carried = std::mem::replace(&mut self.deferred, false);
+        if due {
+            if self.skip > 0 {
+                self.skip -= 1;
+                return carried;
+            }
+            if self.delay > 0 {
+                self.delay -= 1;
+                self.deferred = true;
+                return carried;
+            }
+            true
+        } else {
+            carried
+        }
+    }
+}
+
 /// Is this shard a donor — i.e., must it shed load?
 pub fn is_overloaded(summary: &ShardSummary, budget: usize) -> bool {
     summary.planned
@@ -283,6 +334,23 @@ pub fn run_balance_round<H: ShardHandle>(
                 });
             }
             // Provably not at the receiver: safe to restore the donor.
+            // Probe the donor first — a donor restored from a
+            // pre-eviction checkpoint already holds the tenant, and a
+            // blind re-admit would wedge the entry (no source left to
+            // bind across a process boundary). Already home is done.
+            Some(false)
+                if shards.get_mut(donor).and_then(|d| d.owns(&tenant.name)) == Some(true) =>
+            {
+                log.record(
+                    tick,
+                    DecisionEvent::ParkedRetried {
+                        tenant: tenant.name.clone(),
+                        donor,
+                        receiver,
+                        resolution: "returned-to-donor".into(),
+                    },
+                );
+            }
             Some(false) => match shards.get_mut(donor) {
                 Some(shard) => {
                     let name = tenant.name.clone();
@@ -694,5 +762,45 @@ mod tests {
             candidate_order(&summary(true, 20, true)),
             vec!["big".to_string(), "small".to_string()]
         );
+    }
+
+    #[test]
+    fn idle_gate_is_transparent() {
+        let mut gate = BalanceGate::default();
+        assert!(gate.admit(true));
+        assert!(!gate.admit(false));
+        assert!(gate.admit(true));
+    }
+
+    #[test]
+    fn skipped_rounds_are_gone() {
+        let mut gate = BalanceGate::default();
+        gate.skip_rounds(2);
+        assert!(!gate.admit(true));
+        assert!(!gate.admit(false));
+        assert!(!gate.admit(true));
+        assert!(gate.admit(true), "skips exhausted");
+    }
+
+    #[test]
+    fn delayed_round_runs_one_tick_late() {
+        let mut gate = BalanceGate::default();
+        gate.delay_rounds(1);
+        // Cadence fires at tick 4; the round runs at tick 5 instead.
+        assert!(!gate.admit(true), "due round deferred");
+        assert!(gate.admit(false), "deferred round fires off-cadence");
+        assert!(!gate.admit(false));
+        assert!(gate.admit(true), "later cadences unaffected");
+    }
+
+    #[test]
+    fn skip_outranks_delay() {
+        let mut gate = BalanceGate::default();
+        gate.skip_rounds(1);
+        gate.delay_rounds(1);
+        assert!(!gate.admit(true), "skipped outright, no deferral");
+        assert!(!gate.admit(false), "nothing was deferred by the skip");
+        assert!(!gate.admit(true), "this one is delayed");
+        assert!(gate.admit(false), "and lands one tick later");
     }
 }

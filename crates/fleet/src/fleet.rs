@@ -14,7 +14,7 @@
 //! summaries ([`kairos_traces::aggregate`] roll-ups), never per-tenant
 //! telemetry.
 
-use crate::balancer::{run_balance_round, BalancerConfig, ParkedHandoff};
+use crate::balancer::{run_balance_round, BalanceGate, BalancerConfig, ParkedHandoff};
 use crate::handoff::{HandoffOutcome, HandoffRecord};
 use crate::shardmap::ShardMap;
 use crate::snapshot::{FleetSnapshot, FLEET_SNAPSHOT_VERSION};
@@ -253,6 +253,9 @@ pub struct FleetController {
     /// checkpointed (a live telemetry source cannot serialize; an
     /// in-process fleet never has anything to persist in it).
     parked: Vec<ParkedHandoff>,
+    /// Chaos-harness hook: skip/delay injections over the balance
+    /// cadence. Idle (the default) it is a pass-through.
+    gate: BalanceGate,
     metrics: FleetMetrics,
     /// Fleet-level decision trace: balancer-round events, recorded on
     /// the tick thread (cross-shard work is single-threaded after the
@@ -290,6 +293,7 @@ impl FleetController {
             handoff_log: Vec::new(),
             probe_cooldown: std::collections::BTreeMap::new(),
             parked: Vec::new(),
+            gate: BalanceGate::default(),
             metrics: FleetMetrics::new(MetricsRegistry::new()),
             log: DecisionLog::new(),
         }
@@ -429,6 +433,27 @@ impl FleetController {
         self.shards.iter().map(|s| s.summary()).collect()
     }
 
+    /// Chaos-harness injection: drop the next `n` due balance rounds.
+    pub fn skip_balance_rounds(&mut self, n: u64) {
+        self.gate.skip_rounds(n);
+    }
+
+    /// Chaos-harness injection: run each of the next `n` due balance
+    /// rounds one tick late.
+    pub fn delay_balance_rounds(&mut self, n: u64) {
+        self.gate.delay_rounds(n);
+    }
+
+    /// The parked-handoff lot as `(tenant, donor, receiver)` triples —
+    /// chaos-invariant introspection (an unowned-but-routed tenant must
+    /// appear here, and the lot must drain once faults heal).
+    pub fn parked_handoffs(&self) -> Vec<(String, usize, usize)> {
+        self.parked
+            .iter()
+            .map(|p| (p.tenant.name.clone(), p.donor, p.receiver))
+            .collect()
+    }
+
     /// One monitoring interval: every shard ticks — concurrently when
     /// `tick_threads > 1` — then, on the balance cadence, one balance
     /// round runs **on the calling thread**. Shards share no state, so
@@ -448,7 +473,7 @@ impl FleetController {
             .get()
             .is_multiple_of(self.cfg.balancer.balance_every.max(1));
         let all_planned = self.shards.iter().all(|s| s.planned_once());
-        let handoffs = if on_cadence && all_planned {
+        let handoffs = if self.gate.admit(on_cadence && all_planned) {
             self.balance_round()
         } else {
             Vec::new()
@@ -664,6 +689,7 @@ impl FleetController {
             handoff_log: snapshot.handoff_log,
             probe_cooldown: snapshot.probe_cooldown,
             parked: Vec::new(),
+            gate: BalanceGate::default(),
             metrics,
             log: DecisionLog::restore(snapshot.trace, kairos_obs::events::DEFAULT_TRACE_CAP, true),
         })

@@ -42,8 +42,8 @@ pub mod shardmap;
 pub mod snapshot;
 
 pub use balancer::{
-    candidate_order, donor_order, is_overloaded, receiver_order, run_balance_round, BalancerConfig,
-    EvictedTenant, ParkedHandoff, ShardHandle,
+    candidate_order, donor_order, is_overloaded, receiver_order, run_balance_round, BalanceGate,
+    BalancerConfig, EvictedTenant, ParkedHandoff, ShardHandle,
 };
 pub use fleet::{
     default_tick_threads, FleetAudit, FleetConfig, FleetController, FleetMetrics, FleetStats,

@@ -50,11 +50,11 @@
 use crate::frame;
 use crate::rpc::{self, Request, Response};
 use crate::transport::{Conn, Handler, NetError, ServerHandle, Transport};
-use kairos_controller::{ControllerStats, FleetPlacement, ReSolver, TickOutcome};
+use kairos_controller::{ControllerStats, FleetPlacement, ReSolver, TenantHandoff, TickOutcome};
 use kairos_core::ConsolidationEngine;
 use kairos_fleet::{
-    run_balance_round, EvictedTenant, FleetAudit, FleetConfig, FleetMetrics, FleetStats,
-    HandoffOutcome, HandoffRecord, ParkedHandoff, ShardHandle, ShardMap,
+    run_balance_round, BalanceGate, EvictedTenant, FleetAudit, FleetConfig, FleetMetrics,
+    FleetStats, HandoffOutcome, HandoffRecord, ParkedHandoff, ShardHandle, ShardMap,
 };
 use kairos_obs::{DecisionEvent, DecisionLog, MetricsRegistry, TracedEvent};
 use kairos_solver::{evaluate, Assignment};
@@ -166,14 +166,18 @@ pub struct BalancerNode {
     /// Parking lot for handoffs stranded mid-handshake by transport
     /// faults; every balance round resolves it probe-first (see
     /// [`run_balance_round`]), so a tenant is never silently dropped
-    /// and never blindly duplicated. Caveat: the lot is this process's
-    /// memory — like cooldowns and the audit log it dies with the
-    /// balancer, so a *triple* fault (double-fault parking followed by
-    /// a balancer death before the next round resolves it) loses the
-    /// parked telemetry; the tenant itself is then recovered by the
-    /// rejoin re-seed path. Replicating balancer state to standbys is
-    /// the ROADMAP item that closes this.
+    /// and never blindly duplicated. The lot is this process's memory,
+    /// but it no longer dies with the balancer: a promoted standby
+    /// rebuilds it probe-first from shard ground truth (the evict
+    /// outboxes — see [`BalancerNode::recover_stray_tenants`]), so a
+    /// *triple* fault (double-fault parking followed by a balancer
+    /// death) recovers the tenant at promotion instead of stranding it
+    /// until a manual rejoin.
     parked: Vec<ParkedHandoff>,
+    /// Chaos-harness hook: skip/delay injections over the balance
+    /// cadence — same gate as the in-process fleet, so both interpret a
+    /// chaos schedule identically. Idle by default.
+    gate: BalanceGate,
     metrics: FleetMetrics,
     /// Transport-level lease misses observed by the tick loop (the
     /// `Metrics` exporters render it alongside the fleet counters).
@@ -225,6 +229,7 @@ impl BalancerNode {
             cooldown: BTreeMap::new(),
             handoff_log: Vec::new(),
             parked: Vec::new(),
+            gate: BalanceGate::default(),
             metrics,
             lease_misses,
             log: DecisionLog::new(),
@@ -306,6 +311,27 @@ impl BalancerNode {
     /// The canonical fleet trace bytes (workspace codec).
     pub fn trace_bytes(&self) -> Vec<u8> {
         self.log.trace_bytes()
+    }
+
+    /// Chaos-harness injection: drop the next `n` due balance rounds.
+    pub fn skip_balance_rounds(&mut self, n: u64) {
+        self.gate.skip_rounds(n);
+    }
+
+    /// Chaos-harness injection: run each of the next `n` due balance
+    /// rounds one tick late.
+    pub fn delay_balance_rounds(&mut self, n: u64) {
+        self.gate.delay_rounds(n);
+    }
+
+    /// The parked-handoff lot as `(tenant, donor, receiver)` triples —
+    /// chaos-invariant introspection (an unowned-but-routed tenant must
+    /// appear here, and the lot must drain once faults heal).
+    pub fn parked_handoffs(&self) -> Vec<(String, usize, usize)> {
+        self.parked
+            .iter()
+            .map(|p| (p.tenant.name.clone(), p.donor, p.receiver))
+            .collect()
     }
 
     /// Enable or disable this balancer's decision tracing (shard-side
@@ -455,7 +481,8 @@ impl BalancerNode {
             }
         }
         let on_cadence = tick.is_multiple_of(self.cfg.balancer.balance_every.max(1));
-        let handoffs = if on_cadence && self.all_live_planned() {
+        let due = on_cadence && self.all_live_planned();
+        let handoffs = if self.gate.admit(due) {
             self.balance_round()
         } else {
             Vec::new()
@@ -880,6 +907,93 @@ impl BalancerNode {
         self.anti_affinity = anti_affinity;
         self.metrics.ticks.set(max_ticks);
         self.lease_ticks.store(max_ticks, Ordering::SeqCst);
+        self.recover_stray_tenants(max_ticks)?;
+        Ok(())
+    }
+
+    /// Rebuild the dead primary's parked-handoff lot from shard ground
+    /// truth. The lot was the primary's memory; without this pass a
+    /// standby promotion after a double-faulted handoff (evicted at the
+    /// donor, admit failed at the receiver, owns probe unanswered)
+    /// strands the tenant until a manual rejoin: it is owned by no
+    /// shard, so the map rebuild above never sees it.
+    ///
+    /// Ground truth is the evict outbox: the donor node retains every
+    /// evicted tenant's handoff frame until the tenant is admitted back
+    /// somewhere it knows of. A tenant in some node's outbox and in no
+    /// node's workload list is exactly a stranded handoff. Recovery is
+    /// probe-first and happens where the frame lives: re-`Evict`
+    /// replays the retained frame (idempotent retry path), `Admit`
+    /// re-binds a source and re-admits at that shard. If even that
+    /// fails (the node's binder cannot produce a source, or the shard
+    /// faults again mid-recovery), the tenant parks in the *new*
+    /// balancer's lot so every subsequent balance round keeps probing —
+    /// recovered or parked, never forgotten.
+    fn recover_stray_tenants(&mut self, tick: u64) -> Result<(), NetError> {
+        self.parked.clear();
+        for shard in 0..self.links.len() {
+            let stray: Vec<String> = match self.links[shard].call(&Request::EvictOutbox)? {
+                Response::Workloads(names) => names
+                    .into_iter()
+                    .filter(|name| self.map.shard_of(name).is_none())
+                    .collect(),
+                other => {
+                    return Err(NetError::Protocol(format!(
+                        "EvictOutbox answered {other:?}"
+                    )));
+                }
+            };
+            for tenant in stray {
+                let wire = match self.links[shard].call(&Request::Evict {
+                    tenant: tenant.clone(),
+                }) {
+                    Ok(Response::Evicted(Some(wire))) => wire,
+                    _ => Vec::new(),
+                };
+                let admitted = !wire.is_empty()
+                    && matches!(
+                        self.links[shard].call(&Request::Admit {
+                            frame: wire.clone()
+                        }),
+                        Ok(Response::Done)
+                    );
+                if admitted {
+                    self.map.assign(&tenant, shard);
+                    if let Ok((_, tenant_replicas, _)) = TenantHandoff::parts_from_wire(&wire) {
+                        if tenant_replicas > 1 {
+                            self.replicas.insert(tenant.clone(), tenant_replicas);
+                        }
+                    }
+                    self.log.record(
+                        tick,
+                        DecisionEvent::ParkedRetried {
+                            tenant,
+                            donor: shard,
+                            receiver: shard,
+                            resolution: "recovered-at-promotion".to_string(),
+                        },
+                    );
+                } else {
+                    self.log.record(
+                        tick,
+                        DecisionEvent::HandoffParked {
+                            tenant: tenant.clone(),
+                            donor: shard,
+                            receiver: shard,
+                        },
+                    );
+                    self.parked.push(ParkedHandoff {
+                        donor: shard,
+                        receiver: shard,
+                        tenant: EvictedTenant {
+                            name: tenant,
+                            wire,
+                            source: None,
+                        },
+                    });
+                }
+            }
+        }
         Ok(())
     }
 

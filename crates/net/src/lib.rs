@@ -29,8 +29,13 @@
 //!   handoffs cross as the *same* checksummed `into_wire` frames,
 //!   nested;
 //! * [`transport`] — the pluggable boundary ([`Transport`], [`Conn`]);
+//! * [`fault`] — the declarative [`FaultPlan`]: one per-endpoint fault
+//!   state with a normative precedence (partition ≻ drop ≻ corrupt;
+//!   heal cancels pending faults) that the chaos harness schedules
+//!   against;
 //! * [`loopback`] — deterministic in-memory backend with injectable
-//!   drops, partitions and bit-flip corruption (seeded);
+//!   drops, partitions and bit-flip corruption (seeded), all routed
+//!   through the shared [`FaultPlan`];
 //! * [`tcp`] — `std::net` blocking sockets, one thread per connection —
 //!   no async runtime, matching the workspace's `std::thread::scope`
 //!   architecture;
@@ -53,6 +58,7 @@
 //! (checkpoint rejoin) and a balancer kill (standby promotion) mid-run.
 
 pub mod balancer_node;
+pub mod fault;
 pub mod frame;
 pub mod loopback;
 pub mod node;
@@ -63,6 +69,7 @@ pub mod transport;
 pub use balancer_node::{
     BalancerNode, LeaseConfig, NetTickReport, RemoteShard, StandbyAction, StandbyBalancer,
 };
+pub use fault::{Fault, FaultPlan, FaultVerdict};
 pub use frame::{MAX_PAYLOAD_LEN, NET_MAGIC, RPC_WIRE_VERSION};
 pub use loopback::LoopbackTransport;
 pub use node::{ShardNode, SourceBinder, SourceEscrow, SourceFactory, SourceMaker};

@@ -6,9 +6,12 @@
 //! loopback-vs-in-process equivalence tests lean on (no threads, no
 //! queues, no timing).
 //!
-//! Faults are injectable per endpoint, all from explicit state plus one
-//! seeded [`SplitMix64`] stream (so failure tests replay exactly under
-//! `KAIROS_TEST_SEED`):
+//! Faults are injected through the one declarative [`FaultPlan`]
+//! surface (see [`crate::fault`] for the normative precedence:
+//! partition ≻ drop ≻ corrupt, and **heal cancels pending one-shot
+//! faults**), plus one seeded [`SplitMix64`] stream deciding corruption
+//! bit positions — so failure tests replay exactly under
+//! `KAIROS_TEST_SEED`:
 //!
 //! * **partition** — the endpoint becomes unreachable until healed
 //!   (models a dead or isolated node; heartbeat misses accumulate);
@@ -17,23 +20,23 @@
 //! * **corrupt** — the next call's request frame has one seeded bit
 //!   flipped in flight (models wire damage; the server's frame
 //!   validation must reject it).
+//!
+//! The named methods ([`partition`](LoopbackTransport::partition),
+//! [`drop_next_calls`](LoopbackTransport::drop_next_calls), …) are thin
+//! wrappers over [`inject`](LoopbackTransport::inject) — kept because
+//! the failure suites read better with them, but there is exactly one
+//! fault state underneath.
 
+use crate::fault::{Fault, FaultPlan, FaultVerdict};
 use crate::transport::{Conn, Handler, NetError, ServerHandle, Transport};
 use kairos_types::SplitMix64;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
 #[derive(Default)]
 struct LoopbackState {
     endpoints: BTreeMap<String, Handler>,
-    partitioned: BTreeSet<String>,
-    drop_next: BTreeMap<String, u64>,
-    corrupt_next: BTreeMap<String, u64>,
-    /// Per endpoint: corrupt the next `n` frames whose payload tag (the
-    /// request enum's variant index, bytes 16..20 of the frame) matches —
-    /// how a test damages exactly the `Admit` of a handshake while every
-    /// other RPC flows clean.
-    corrupt_matching: BTreeMap<String, (u32, u64)>,
+    faults: FaultPlan,
 }
 
 /// The in-memory transport. `Clone` shares the registry (and the fault
@@ -64,54 +67,59 @@ impl LoopbackTransport {
         }
     }
 
-    /// Make `endpoint` unreachable (calls fail with
-    /// [`NetError::Unreachable`]) until [`LoopbackTransport::heal`].
-    pub fn partition(&self, endpoint: &str) {
+    /// Arm one [`Fault`] against `endpoint` on the shared [`FaultPlan`].
+    pub fn inject(&self, endpoint: &str, fault: Fault) {
         self.state
             .lock()
             .expect("loopback state lock")
-            .partitioned
-            .insert(endpoint.to_string());
+            .faults
+            .inject(endpoint, fault);
     }
 
-    /// Undo a [`LoopbackTransport::partition`].
+    /// Make `endpoint` unreachable (calls fail with
+    /// [`NetError::Unreachable`]) until [`LoopbackTransport::heal`].
+    pub fn partition(&self, endpoint: &str) {
+        self.inject(endpoint, Fault::Partition);
+    }
+
+    /// Undo a [`LoopbackTransport::partition`] — and, per the
+    /// [`crate::fault`] contract, cancel every pending one-shot fault
+    /// on the endpoint: it comes back clean.
     pub fn heal(&self, endpoint: &str) {
         self.state
             .lock()
             .expect("loopback state lock")
-            .partitioned
-            .remove(endpoint);
+            .faults
+            .heal(endpoint);
+    }
+
+    /// Heal every endpoint (a chaos schedule's end-of-faults barrier).
+    pub fn heal_all(&self) {
+        self.state
+            .lock()
+            .expect("loopback state lock")
+            .faults
+            .heal_all();
     }
 
     /// Drop the next `n` calls to `endpoint` ([`NetError::Dropped`]).
     pub fn drop_next_calls(&self, endpoint: &str, n: u64) {
-        self.state
-            .lock()
-            .expect("loopback state lock")
-            .drop_next
-            .insert(endpoint.to_string(), n);
+        self.inject(endpoint, Fault::DropNext(n));
     }
 
     /// Flip one seeded bit in the next `n` request frames sent to
     /// `endpoint` — in-flight corruption the server must reject.
     pub fn corrupt_next_calls(&self, endpoint: &str, n: u64) {
-        self.state
-            .lock()
-            .expect("loopback state lock")
-            .corrupt_next
-            .insert(endpoint.to_string(), n);
+        self.inject(endpoint, Fault::CorruptNext(n));
     }
 
     /// Flip one seeded bit in the next `n` request frames to `endpoint`
     /// **whose payload tag matches** (see [`crate::rpc::wire_tag`]) —
     /// targeted mid-handshake damage: reservations and ticks flow clean,
-    /// the `Admit` arrives broken.
+    /// the `Admit` arrives broken. Rules queue per endpoint, so a test
+    /// can arm `Admit` and `Owns` corruption before the round starts.
     pub fn corrupt_next_calls_matching(&self, endpoint: &str, tag: u32, n: u64) {
-        self.state
-            .lock()
-            .expect("loopback state lock")
-            .corrupt_matching
-            .insert(endpoint.to_string(), (tag, n));
+        self.inject(endpoint, Fault::CorruptNextMatching { tag, n });
     }
 
     /// Endpoints currently served (diagnostics).
@@ -176,31 +184,17 @@ impl Conn for LoopbackConn {
         // against registry mutations.
         let (handler, corrupt) = {
             let mut state = self.state.lock().expect("loopback state lock");
-            if state.partitioned.contains(&self.endpoint) {
-                return Err(NetError::Unreachable(self.endpoint.clone()));
-            }
-            if let Some(n) = state.drop_next.get_mut(&self.endpoint) {
-                if *n > 0 {
-                    *n -= 1;
-                    return Err(NetError::Dropped);
+            // The payload tag (request enum variant index) rides at
+            // frame bytes 16..20; shorter frames carry no tag.
+            let tag = (frame.len() >= 20)
+                .then(|| u32::from_le_bytes(frame[16..20].try_into().expect("sized slice")));
+            let corrupt = match state.faults.next_call(&self.endpoint, tag) {
+                FaultVerdict::Unreachable => {
+                    return Err(NetError::Unreachable(self.endpoint.clone()))
                 }
-            }
-            let mut corrupt = match state.corrupt_next.get_mut(&self.endpoint) {
-                Some(n) if *n > 0 => {
-                    *n -= 1;
-                    true
-                }
-                _ => false,
+                FaultVerdict::Drop => return Err(NetError::Dropped),
+                FaultVerdict::Deliver { corrupt } => corrupt,
             };
-            if !corrupt && frame.len() >= 20 {
-                let tag = u32::from_le_bytes(frame[16..20].try_into().expect("sized slice"));
-                if let Some((want, n)) = state.corrupt_matching.get_mut(&self.endpoint) {
-                    if *want == tag && *n > 0 {
-                        *n -= 1;
-                        corrupt = true;
-                    }
-                }
-            }
             let handler = state
                 .endpoints
                 .get(&self.endpoint)
@@ -271,6 +265,22 @@ mod tests {
     }
 
     #[test]
+    fn heal_cancels_drops_scheduled_before_the_partition() {
+        // The satellite bug: drops armed before a partition used to
+        // survive the heal and fire arbitrarily later. The documented
+        // precedence says a heal cancels them.
+        let t = LoopbackTransport::new();
+        let _h = t.serve("a", echo_handler()).expect("serves");
+        let mut conn = t.connect("a").expect("connects");
+        t.drop_next_calls("a", 3);
+        t.partition("a");
+        assert!(matches!(conn.call(b"x"), Err(NetError::Unreachable(_))));
+        t.heal("a");
+        assert!(conn.call(b"x").is_ok(), "healed endpoint comes back clean");
+        assert!(conn.call(b"x").is_ok());
+    }
+
+    #[test]
     fn corruption_flips_exactly_one_bit() {
         let t = LoopbackTransport::new();
         let _h = t.serve("a", echo_handler()).expect("serves");
@@ -285,5 +295,24 @@ mod tests {
             .sum();
         assert_eq!(diff, 1, "exactly one bit flipped in flight");
         assert_eq!(conn.call(&msg).expect("clean again"), msg);
+    }
+
+    #[test]
+    fn matching_corruption_rules_queue_per_endpoint() {
+        let t = LoopbackTransport::new();
+        let _h = t.serve("a", echo_handler()).expect("serves");
+        let mut conn = t.connect("a").expect("connects");
+        // Two different request kinds, armed up front.
+        let ping = frame::encode_frame(&crate::rpc::Request::Ping);
+        let tick = frame::encode_frame(&crate::rpc::Request::Tick);
+        let ping_tag = crate::rpc::wire_tag(&crate::rpc::Request::Ping);
+        let tick_tag = crate::rpc::wire_tag(&crate::rpc::Request::Tick);
+        t.corrupt_next_calls_matching("a", ping_tag, 1);
+        t.corrupt_next_calls_matching("a", tick_tag, 1);
+        // Tick fires its rule even though Ping's queued first.
+        assert_ne!(conn.call(&tick).expect("damaged"), tick);
+        assert_ne!(conn.call(&ping).expect("damaged"), ping);
+        assert_eq!(conn.call(&ping).expect("clean"), ping);
+        assert_eq!(conn.call(&tick).expect("clean"), tick);
     }
 }

@@ -353,5 +353,12 @@ fn dispatch(state: &Arc<Mutex<NodeState>>, request: Request) -> Response {
             }
         }
         Request::Trace => Response::Trace(shard.trace_bytes()),
+        Request::EvictOutbox => Response::Workloads(
+            state
+                .evict_outbox
+                .iter()
+                .map(|(name, _)| name.clone())
+                .collect(),
+        ),
     }
 }

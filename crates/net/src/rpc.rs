@@ -85,6 +85,13 @@ pub enum Request {
     /// The shard's decision trace as canonical codec bytes
     /// (`Vec<TracedEvent>` through the workspace codec).
     Trace,
+    /// Tenant names sitting in the node's evict outbox: evicted here,
+    /// handoff frame retained, not yet admitted anywhere the node knows
+    /// of. Answered with [`Response::Workloads`]. A promoted standby
+    /// probes this to rebuild the parked-handoff lot from shard ground
+    /// truth — the outbox is exactly where a double-faulted handoff's
+    /// tenant is still recoverable from.
+    EvictOutbox,
 }
 
 /// What a shard node answers.

@@ -329,3 +329,161 @@ fn rpc_fleet_is_tick_for_tick_identical_to_in_process() {
         .metrics_prometheus()
         .contains("kairos_fleet_handoffs_completed_total"));
 }
+
+/// One faulted run of the equivalence fleet: a skipped balance round, a
+/// delayed one, and a checkpoint → kill → restore → rejoin of shard 1
+/// mid-run — all transport-agnostic, so the property holds on both the
+/// loopback and TCP legs of the CI matrix. Returns the behaviour
+/// digest: balancer trace, per-shard traces, final membership.
+fn faulted_run(tag: &str) -> (Vec<u8>, Vec<Vec<u8>>, Vec<Vec<String>>) {
+    static RUN: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "kairos-equiv-chaos-{}-{tag}-{}",
+        std::process::id(),
+        RUN.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("checkpoint dir");
+
+    let seed_rng = SplitMix64::from_env(0x4E7F_1EE7);
+    let specs = tenant_specs(&mut seed_rng.clone());
+    let transport = transport();
+    let escrow = SourceEscrow::new();
+    let mut nodes = Vec::new();
+    let mut handles = Vec::new();
+    for shard in 0..SHARDS {
+        let node = ShardNode::new(
+            config().shard,
+            kairos_core::ConsolidationEngine::builder().build(),
+            Box::new(escrow.clone()),
+        );
+        let handle = node
+            .serve(transport.as_ref(), &bind_endpoint(shard))
+            .expect("shard node serves");
+        nodes.push(node);
+        handles.push(handle);
+    }
+    let endpoints: Vec<String> = handles.iter().map(|h| h.endpoint.clone()).collect();
+    let mut balancer = BalancerNode::connect(
+        config(),
+        LeaseConfig::default(),
+        transport.clone(),
+        &endpoints,
+    )
+    .expect("balancer connects");
+    for spec in &specs {
+        escrow.park(Box::new(make_source(spec)));
+        balancer
+            .add_workload_to(spec.shard, &spec.name, spec.replicas)
+            .expect("registration");
+    }
+
+    let mut ckpt: Option<(String, u64, Vec<String>)> = None;
+    for tick in 0..TICKS {
+        match tick {
+            // Post-round quiet spot (rounds run every 5 ticks): the
+            // checkpoint and the kill straddle no handoff, so the
+            // restored node needs no reconciliation — determinism of
+            // the rejoin events is part of what the rerun asserts.
+            26 => {
+                let dir_str = dir.to_string_lossy().to_string();
+                let results = balancer.checkpoint_shards(&dir_str);
+                let path = results[1].as_ref().expect("shard 1 checkpoints").clone();
+                let at = nodes[1].with_shard(|s| s.stats().ticks);
+                let names = balancer.map().tenants_of(1);
+                ckpt = Some((path, at, names));
+            }
+            28 => {
+                // Kill shard 1 and bring it back from the checkpoint in
+                // the same breath — no lease arithmetic involved, which
+                // is what keeps this leg TCP-safe (an established TCP
+                // conn keeps draining after stop(); the rejoin swaps
+                // the link to the new endpoint either way).
+                let (path, at, names) = ckpt.clone().expect("checkpointed at tick 26");
+                handles.remove(1).stop();
+                for name in &names {
+                    let spec = specs
+                        .iter()
+                        .find(|s| &s.name == name)
+                        .expect("known tenant");
+                    escrow.park(Box::new(make_source(spec).fast_forward(at)));
+                }
+                let restored = ShardNode::restore_from(
+                    config().shard,
+                    kairos_core::ConsolidationEngine::builder().build(),
+                    std::path::Path::new(&path),
+                    Box::new(escrow.clone()),
+                )
+                .expect("checkpoint restores");
+                let handle = restored
+                    .serve(transport.as_ref(), &bind_endpoint(1))
+                    .expect("restored shard serves");
+                let endpoint = handle.endpoint.clone();
+                nodes[1] = restored;
+                handles.insert(1, handle);
+                balancer.rejoin(1, &endpoint).expect("rejoins");
+            }
+            30 => balancer.skip_balance_rounds(1),
+            40 => balancer.delay_balance_rounds(1),
+            _ => {}
+        }
+        let report = balancer.tick();
+        assert!(report.down.is_empty(), "tick {tick}: no lease may expire");
+    }
+
+    // Ownership conservation after the faulted run: every tenant owned
+    // exactly once, the map agrees with shard ground truth, the lot is
+    // empty, and audits converge.
+    let mut seen = std::collections::BTreeSet::new();
+    let mut membership = Vec::new();
+    for (shard, names) in balancer.shard_workloads().into_iter().enumerate() {
+        let names = names.expect("shard alive");
+        for name in &names {
+            assert!(seen.insert(name.clone()), "{name} owned twice");
+            assert_eq!(
+                balancer.map().shard_of(name),
+                Some(shard),
+                "map must agree with shard ground truth for {name}"
+            );
+        }
+        membership.push(names);
+    }
+    assert_eq!(
+        seen.len(),
+        SHARDS * TENANTS_PER_SHARD,
+        "nobody lost, nobody doubled across skip/delay/kill/restore"
+    );
+    assert!(
+        balancer.parked_handoffs().is_empty(),
+        "no handoff may stay parked after a clean-transport run"
+    );
+    let audit = balancer.audit();
+    assert!(audit.complete(), "every shard audits after the rejoin");
+    assert!(audit.zero_violations());
+
+    let fleet_trace = balancer.trace_bytes();
+    let shard_traces: Vec<Vec<u8>> = (0..SHARDS)
+        .map(|s| balancer.shard_trace(s).expect("shard answers Trace RPC"))
+        .collect();
+    let _ = std::fs::remove_dir_all(&dir);
+    (fleet_trace, shard_traces, membership)
+}
+
+#[test]
+fn faulted_run_conserves_ownership_and_reruns_byte_identical() {
+    let first = faulted_run("a");
+    let second = faulted_run("b");
+    assert_eq!(
+        first.0, second.0,
+        "fleet decision traces diverged between reruns of the same faulted schedule"
+    );
+    for (shard, (a, b)) in first.1.iter().zip(&second.1).enumerate() {
+        assert_eq!(
+            a, b,
+            "shard {shard} decision traces diverged between reruns"
+        );
+    }
+    assert_eq!(
+        first.2, second.2,
+        "final membership diverged between reruns"
+    );
+}

@@ -81,6 +81,10 @@ struct Cluster {
 }
 
 fn cluster(lease: LeaseConfig) -> Cluster {
+    cluster_with(lease, fleet_cfg())
+}
+
+fn cluster_with(lease: LeaseConfig, cfg: FleetConfig) -> Cluster {
     let transport = Arc::new(LoopbackTransport::new());
     let escrow = SourceEscrow::new();
     let mut nodes = Vec::new();
@@ -98,7 +102,7 @@ fn cluster(lease: LeaseConfig) -> Cluster {
         nodes.push(node);
     }
     let endpoints: Vec<String> = (0..SHARDS).map(|s| format!("shard-{s}")).collect();
-    let mut balancer = BalancerNode::connect(fleet_cfg(), lease, transport.clone(), &endpoints)
+    let mut balancer = BalancerNode::connect(cfg, lease, transport.clone(), &endpoints)
         .expect("balancer connects");
     for shard in 0..SHARDS {
         for i in 0..TENANTS_PER_SHARD {
@@ -307,6 +311,160 @@ fn rejoin_reconciles_tenants_moved_after_the_checkpoint() {
 
     c.nodes.push(restored);
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The parked-lot-survives-promotion regression test (chaos satellite):
+/// a double-faulted handoff parks a tenant in the primary's lot; the
+/// primary then dies before the next round can resolve it. The old
+/// promotion path rebuilt only the routing map from `Workloads`, so the
+/// tenant — owned by *no* shard, alive only in the donor's evict outbox
+/// — stayed stranded until a manual rejoin. Promotion must instead
+/// rebuild the lot probe-first from shard ground truth and recover the
+/// tenant where its frame lives.
+#[test]
+fn promotion_rebuilds_the_parked_lot_from_shard_ground_truth() {
+    // A 2-machine budget makes shard 0 a donor the moment the heavies
+    // land, so the double fault hits the very next balance round.
+    let shed_cfg = || FleetConfig {
+        shards: SHARDS,
+        shard: quick_cfg(),
+        balancer: BalancerConfig {
+            machines_per_shard: 2,
+            balance_every: 4,
+            max_moves_per_round: 2,
+            cooldown_rounds: 0,
+            ..BalancerConfig::default()
+        },
+        tick_threads: 1,
+    };
+    let lease = LeaseConfig { miss_limit: 2 };
+    let mut c = cluster_with(lease, shed_cfg());
+
+    let lease_handle = c
+        .balancer
+        .serve_lease(c.transport.as_ref(), "balancer-0")
+        .expect("lease endpoint serves");
+    let endpoints: Vec<String> = (0..SHARDS).map(|s| format!("shard-{s}")).collect();
+    let standby_node = BalancerNode::connect(shed_cfg(), lease, c.transport.clone(), &endpoints)
+        .expect("standby connects");
+    let mut standby = StandbyBalancer::new(standby_node, "balancer-0", 1);
+
+    // Both shards plan under a healthy primary.
+    for _ in 0..20 {
+        c.balancer.tick();
+        assert_eq!(standby.watch_tick(), StandbyAction::Watching);
+    }
+
+    // Overload shard 0 so the next balance round must shed to shard 1.
+    let heavies: Vec<String> = (0..4).map(|i| format!("s0-heavy{i}")).collect();
+    for name in &heavies {
+        c.escrow
+            .park(Box::new(make_source(name, tps_of(name, 600.0))));
+        c.balancer.add_workload_to(0, name, 1).expect("registers");
+    }
+
+    // Double-fault the upcoming handshake: the receiver's next Admit
+    // arrives damaged (rejected with zero state change), and so does
+    // the probe-first Owns that follows — the balancer can neither
+    // complete nor safely roll back, so the tenant parks. Matching
+    // rules queue on the FaultPlan, so both are armed up front.
+    let admit_tag = kairos_net::rpc::wire_tag(&kairos_net::Request::Admit { frame: Vec::new() });
+    let owns_tag = kairos_net::rpc::wire_tag(&kairos_net::Request::Owns {
+        tenant: String::new(),
+    });
+    c.transport
+        .corrupt_next_calls_matching("shard-1", admit_tag, 1);
+    c.transport
+        .corrupt_next_calls_matching("shard-1", owns_tag, 1);
+
+    let mut parked = Vec::new();
+    for _ in 0..16 {
+        c.balancer.tick();
+        parked = c.balancer.parked_handoffs();
+        if !parked.is_empty() {
+            break;
+        }
+        assert_eq!(standby.watch_tick(), StandbyAction::Watching);
+    }
+    assert!(!parked.is_empty(), "the double fault must park a handoff");
+    let (stray, donor, _) = parked[0].clone();
+    // The limbo state: evicted at the donor, rejected at the receiver —
+    // owned by nobody, alive only as the donor's outbox frame.
+    c.nodes[0].with_shard(|s| assert!(!s.has_workload(&stray)));
+    c.nodes[1].with_shard(|s| assert!(!s.has_workload(&stray)));
+
+    // The primary dies with the lot in its memory — the triple fault.
+    lease_handle.stop();
+    drop(c.balancer);
+    let mut promoted_at = None;
+    for watch in 0..8 {
+        if standby.watch_tick() == StandbyAction::Promote {
+            promoted_at = Some(watch);
+            break;
+        }
+    }
+    assert_eq!(
+        promoted_at,
+        Some(3),
+        "rank 1 promotes after 2 misses + 2 frozen-fleet confirmations"
+    );
+    let mut promoted = match standby.promote() {
+        Ok(promoted) => promoted,
+        Err((_, e)) => panic!("all shards reachable, promotion must succeed: {e}"),
+    };
+
+    // The regression: promotion found the stray in the donor's evict
+    // outbox and re-admitted it there — routed, owned, explained.
+    assert_eq!(
+        promoted.map().shard_of(&stray),
+        Some(donor),
+        "stray tenant re-routed at promotion"
+    );
+    c.nodes[donor].with_shard(|s| {
+        assert!(
+            s.has_workload(&stray),
+            "re-admitted at the shard whose outbox held it"
+        )
+    });
+    assert!(
+        promoted.parked_handoffs().is_empty(),
+        "recovered outright, not merely re-parked"
+    );
+    assert!(
+        promoted.trace_events().iter().any(|e| matches!(
+            &e.event,
+            kairos_obs::DecisionEvent::ParkedRetried { tenant, resolution, .. }
+                if tenant == &stray && resolution == "recovered-at-promotion"
+        )),
+        "the decision trace explains the recovery"
+    );
+
+    // Ownership conservation across map + nodes: nobody lost, nobody
+    // doubled, and the map agrees with every shard's ground truth.
+    let workloads = promoted.shard_workloads();
+    let mut seen = std::collections::BTreeSet::new();
+    let mut total = 0usize;
+    for (shard, names) in workloads.iter().enumerate() {
+        for name in names.as_ref().expect("alive") {
+            assert!(seen.insert(name.clone()), "{name} owned twice");
+            assert_eq!(
+                promoted.map().shard_of(name),
+                Some(shard),
+                "map agrees with shard ground truth for {name}"
+            );
+            total += 1;
+        }
+    }
+    assert_eq!(total, SHARDS * TENANTS_PER_SHARD + heavies.len());
+
+    // And the fleet keeps running clean under the new primary.
+    for _ in 0..8 {
+        let report = promoted.tick();
+        assert!(report.down.is_empty());
+    }
+    let audit = promoted.audit();
+    assert!(audit.complete());
+    assert!(audit.zero_violations());
 }
 
 #[test]

@@ -114,7 +114,9 @@ pub enum DecisionEvent {
         receiver: usize,
     },
     /// A parked handoff was probed this round; resolution is one of
-    /// `"completed-late"`, `"returned-to-donor"`, `"still-parked"`.
+    /// `"completed-late"`, `"returned-to-donor"`, `"still-parked"` —
+    /// or `"recovered-at-promotion"`, when a promoted standby re-admits
+    /// a stranded tenant found in a shard's evict outbox.
     ParkedRetried {
         tenant: String,
         donor: usize,

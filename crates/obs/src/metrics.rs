@@ -166,13 +166,27 @@ impl Histogram {
         }
     }
 
-    /// Conservative percentile estimate (`q` in `[0, 1]`): the upper
-    /// bound of the bucket holding the rank-`⌈q·n⌉` sample.
+    /// Conservative percentile estimate: the upper bound of the bucket
+    /// holding the rank-`⌈q·n⌉` sample, with the rank clamped to
+    /// `[1, n]`.
+    ///
+    /// Total for every input — the chaos driver folds these into its
+    /// invariant report, so the edges are pinned rather than left to
+    /// float-cast accidents:
+    ///
+    /// * an **empty** histogram returns `0` for every `q`;
+    /// * `q` is clamped to `[0, 1]` first, and `NaN` clamps to `0`;
+    /// * `q = 0.0` is the minimum estimate (upper bound of the first
+    ///   occupied bucket), `q = 1.0` the maximum estimate (upper bound
+    ///   of the last occupied bucket).
     pub fn percentile(&self, q: f64) -> u64 {
         let n = self.count();
         if n == 0 {
             return 0;
         }
+        // NaN maps to 0.0 (clamp would propagate it), so the rank
+        // arithmetic below only ever sees q in [0, 1].
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
         let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
         let mut seen = 0u64;
         for (idx, b) in self.inner.buckets.iter().enumerate() {
@@ -362,6 +376,37 @@ mod tests {
         assert!((99..=127).contains(&p99), "p99 {p99}");
         assert_eq!(h.count(), 100);
         assert_eq!(h.sum(), 5050);
+    }
+
+    #[test]
+    fn percentile_is_total_at_the_edges() {
+        let empty = Histogram::default();
+        for q in [f64::NAN, -1.0, 0.0, 0.5, 1.0, 2.0] {
+            assert_eq!(empty.percentile(q), 0, "empty histogram, q={q}");
+        }
+
+        let h = Histogram::default();
+        for v in 10..=100u64 {
+            h.record(v);
+        }
+        let min = h.percentile(0.0);
+        let max = h.percentile(1.0);
+        // q=0 is the upper bound of the *first* occupied bucket (a
+        // conservative minimum), q=1 of the *last* (the maximum).
+        assert_eq!(min, 11, "bucket holding 10 tops out at 11");
+        assert_eq!(max, 111, "bucket holding 100 tops out at 111");
+        // Out-of-range and NaN quantiles clamp to those edges instead
+        // of riding float-to-int cast behaviour.
+        assert_eq!(h.percentile(-3.0), min);
+        assert_eq!(h.percentile(f64::NAN), min);
+        assert_eq!(h.percentile(7.5), max);
+        // And the estimate is monotone in q.
+        let mut last = 0;
+        for i in 0..=20 {
+            let p = h.percentile(i as f64 / 20.0);
+            assert!(p >= last, "q={} gave {p} < {last}", i as f64 / 20.0);
+            last = p;
+        }
     }
 
     #[test]
