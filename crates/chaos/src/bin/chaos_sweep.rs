@@ -8,12 +8,14 @@
 //! * `KAIROS_CHAOS_SCHEDULES` — how many seeded schedules (default 25;
 //!   CI runs ≥200);
 //! * `KAIROS_CHAOS_SEED` — base seed, decimal or `0x…` hex (default
-//!   `0xC4A05EED`); schedule `i` uses `base + i`.
+//!   `0xC4A05EED`); schedule `i` uses `base + i`;
+//! * `KAIROS_CHAOS_TRANSPORT` — `loopback` (default) or `tcp`: the
+//!   backend under the fault-injecting decorator.
 //!
 //! On failure the minimal schedule and the violation report are also
 //! written to `target/chaos/` so CI can upload them as artifacts.
 
-use kairos_chaos::{generate, run, shrink, ChaosConfig, Schedule};
+use kairos_chaos::{generate, run_on, shrink, ChaosBackend, ChaosConfig, Schedule};
 
 fn env_u64(name: &str, default: u64) -> u64 {
     match std::env::var(name) {
@@ -39,24 +41,27 @@ fn dump(seed: u64, body: &str) {
     }
 }
 
-fn fail(schedule: &Schedule, cfg: &ChaosConfig) -> ! {
+fn fail(schedule: &Schedule, cfg: &ChaosConfig, backend: ChaosBackend) -> ! {
     // Shrink to a 1-minimal failing schedule before reporting: the
     // rerun inside the predicate is the reproduction CI asks for.
     eprintln!(
         "shrinking failing schedule (seed 0x{:016x})…",
         schedule.seed
     );
-    let minimal = shrink(schedule, |s| run(cfg, s).violation.is_some());
-    let outcome = run(cfg, &minimal);
+    let minimal = shrink(schedule, |s| run_on(cfg, s, backend).violation.is_some());
+    let outcome = run_on(cfg, &minimal, backend);
     let violation = outcome
         .violation
         .expect("shrink keeps the schedule failing");
     let body = format!(
-        "chaos sweep failure\n\nminimal failing {}\n{}\nreproduce with:\n  \
-         KAIROS_CHAOS_SCHEDULES=1 KAIROS_CHAOS_SEED=0x{:016x} cargo run --release -p kairos-chaos --bin chaos_sweep\n",
+        "chaos sweep failure ({} backend)\n\nminimal failing {}\n{}\nreproduce with:\n  \
+         KAIROS_CHAOS_SCHEDULES=1 KAIROS_CHAOS_SEED=0x{:016x} KAIROS_CHAOS_TRANSPORT={} \
+         cargo run --release -p kairos-chaos --bin chaos_sweep\n",
+        backend.label(),
         minimal.render(),
         violation.render(),
         minimal.seed,
+        backend.label(),
     );
     eprintln!("{body}");
     dump(minimal.seed, &body);
@@ -66,6 +71,7 @@ fn fail(schedule: &Schedule, cfg: &ChaosConfig) -> ! {
 fn main() {
     let schedules = env_u64("KAIROS_CHAOS_SCHEDULES", 25);
     let base = env_u64("KAIROS_CHAOS_SEED", 0xC4A0_5EED);
+    let backend = ChaosBackend::from_env();
     let cfg = ChaosConfig::default();
     let bounds = cfg.bounds();
 
@@ -73,15 +79,15 @@ fn main() {
     for i in 0..schedules {
         let seed = base.wrapping_add(i);
         let schedule = generate(seed, &bounds);
-        let outcome = run(&cfg, &schedule);
+        let outcome = run_on(&cfg, &schedule, backend);
         total_faults += outcome.report.faults_applied;
         if outcome.violation.is_some() {
-            fail(&schedule, &cfg);
+            fail(&schedule, &cfg, backend);
         }
         // Determinism spot-check: every 10th schedule reruns and must
         // fingerprint byte-identically.
         if i % 10 == 0 {
-            let again = run(&cfg, &schedule);
+            let again = run_on(&cfg, &schedule, backend);
             if again.fingerprint != outcome.fingerprint {
                 let body = format!(
                     "chaos sweep failure: NON-DETERMINISTIC RUN\n\n{}\nthe same schedule produced \
@@ -105,7 +111,8 @@ fn main() {
         }
     }
     println!(
-        "chaos sweep: {schedules} schedules green, {total_faults} faults applied, \
-         invariants held on every tick"
+        "chaos sweep ({}): {schedules} schedules green, {total_faults} faults applied, \
+         invariants held on every tick",
+        backend.label()
     );
 }

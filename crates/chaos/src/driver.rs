@@ -1,5 +1,11 @@
-//! The schedule interpreter: one full RPC fleet (loopback), one
-//! [`Schedule`], and an invariant suite asserted after **every tick**.
+//! The schedule interpreter: one full RPC fleet, one [`Schedule`], and
+//! an invariant suite asserted after **every tick**.
+//!
+//! The fleet runs over a [`FaultedTransport`] — the fault-injecting
+//! decorator — wrapped around a pluggable backend
+//! ([`ChaosBackend::Loopback`] by default, [`ChaosBackend::Tcp`] for
+//! real sockets via `KAIROS_CHAOS_TRANSPORT=tcp`), so the full
+//! schedule grammar drives either backend through one code path.
 //!
 //! The driver is three phases on one tick loop:
 //!
@@ -25,15 +31,16 @@
 //! Determinism: the transport's corruption bit-flips are seeded from
 //! the schedule's seed, the fleet is single-threaded, and nothing here
 //! reads clocks — so a rerun of the same schedule produces the same
-//! [`RunOutcome::fingerprint`] byte for byte. The sweep binary spot-
-//! checks exactly that, and a violation report carries the why-chain
-//! (the decision-trace tail) for the failing run.
+//! [`RunOutcome::fingerprint`] byte for byte, per backend. The sweep
+//! binary spot-checks exactly that, and a violation report carries the
+//! why-chain (the decision-trace tail) for the failing run.
 
 use crate::schedule::{ChaosFault, GeneratorBounds, Schedule};
 use kairos_controller::{ControllerConfig, SyntheticSource};
 use kairos_fleet::{BalancerConfig, FleetConfig};
 use kairos_net::{
-    BalancerNode, LeaseConfig, LoopbackTransport, Request, ServerHandle, ShardNode, SourceEscrow,
+    BalancerNode, FaultInjector, FaultedTransport, LeaseConfig, LoopbackTransport, Request,
+    ServerHandle, ShardNode, SourceEscrow, Transport,
 };
 use kairos_obs::why::render_event;
 use kairos_types::Bytes;
@@ -42,6 +49,50 @@ use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// The backend the fault-injecting decorator wraps. Every run goes
+/// through [`FaultedTransport`] either way — the schedule grammar and
+/// its precedence contract are identical; only the bytes' ride differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChaosBackend {
+    /// Deterministic in-memory dispatch (the sweep's default).
+    #[default]
+    Loopback,
+    /// Real `std::net` sockets on kernel-assigned loopback ports; the
+    /// decorator routes the schedule's logical endpoint names.
+    Tcp,
+}
+
+impl ChaosBackend {
+    /// `KAIROS_CHAOS_TRANSPORT=tcp|loopback` (default loopback).
+    pub fn from_env() -> ChaosBackend {
+        match std::env::var("KAIROS_CHAOS_TRANSPORT").as_deref() {
+            Ok("tcp") => ChaosBackend::Tcp,
+            _ => ChaosBackend::Loopback,
+        }
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            ChaosBackend::Loopback => "loopback",
+            ChaosBackend::Tcp => "tcp",
+        }
+    }
+
+    fn transport(self, seed: u64) -> FaultedTransport {
+        match self {
+            ChaosBackend::Loopback => {
+                FaultedTransport::new(Arc::new(LoopbackTransport::with_seed(seed)), seed)
+            }
+            ChaosBackend::Tcp => FaultedTransport::over_tcp(seed),
+        }
+    }
+}
+
+/// The balancer's lease endpoint — restored shard nodes announce here
+/// and the balancer reconciles at its next tick (self-healing
+/// membership; no supervisor-driven rejoin anywhere in the driver).
+const LEASE_ENDPOINT: &str = "balancer-lease";
 
 /// The fleet the schedules run against. Small on purpose: the sweep
 /// runs hundreds of these, and every fault class fires just as well
@@ -224,23 +275,29 @@ struct ShardSlot {
 
 static RUN_SEQ: AtomicU64 = AtomicU64::new(0);
 
-/// Interpret `schedule` against a fresh loopback fleet. Total: every
-/// schedule (generated ones by construction, hand-written ones by the
-/// forced heal at the window edge) runs to completion and returns.
+/// Interpret `schedule` against a fresh fleet over the default
+/// (loopback-backed) decorator. Total: every schedule (generated ones
+/// by construction, hand-written ones by the forced heal at the window
+/// edge) runs to completion and returns.
 pub fn run(cfg: &ChaosConfig, schedule: &Schedule) -> RunOutcome {
+    run_on(cfg, schedule, ChaosBackend::default())
+}
+
+/// [`run`], with the decorator's backend chosen explicitly.
+pub fn run_on(cfg: &ChaosConfig, schedule: &Schedule, backend: ChaosBackend) -> RunOutcome {
     let dir = std::env::temp_dir().join(format!(
         "kairos-chaos-{}-{}",
         std::process::id(),
         RUN_SEQ.fetch_add(1, Ordering::Relaxed)
     ));
     std::fs::create_dir_all(&dir).expect("chaos checkpoint dir");
-    let outcome = run_in(cfg, schedule, &dir);
+    let outcome = run_in(cfg, schedule, &dir, backend);
     let _ = std::fs::remove_dir_all(&dir);
     outcome
 }
 
-fn run_in(cfg: &ChaosConfig, schedule: &Schedule, dir: &Path) -> RunOutcome {
-    let transport = Arc::new(LoopbackTransport::with_seed(schedule.seed));
+fn run_in(cfg: &ChaosConfig, schedule: &Schedule, dir: &Path, backend: ChaosBackend) -> RunOutcome {
+    let transport = Arc::new(backend.transport(schedule.seed));
     let escrow = SourceEscrow::new();
     let fleet_cfg = cfg.fleet_cfg();
 
@@ -274,6 +331,12 @@ fn run_in(cfg: &ChaosConfig, schedule: &Schedule, dir: &Path) -> RunOutcome {
         &endpoints,
     )
     .expect("balancer connects");
+    // Served so restored nodes can announce themselves back in; never
+    // the target of a scheduled fault, so self-healing is reachable
+    // whenever the node's side of the link is.
+    let _lease = balancer
+        .serve_lease(transport.as_ref(), LEASE_ENDPOINT)
+        .expect("lease endpoint serves");
 
     let mut registered: BTreeSet<String> = BTreeSet::new();
     for shard in 0..cfg.shards {
@@ -349,9 +412,11 @@ fn run_in(cfg: &ChaosConfig, schedule: &Schedule, dir: &Path) -> RunOutcome {
                     restore_shard(shard, t, &transport, &escrow, &mut slots, &mut balancer);
                 }
             }
+            // Partition-downed (not crashed) shards heal themselves the
+            // same way a restored one does: announce, reconcile at the
+            // balancer's next tick.
             for shard in balancer.down_shards() {
-                let endpoint = slots[shard].endpoint.clone();
-                let _ = balancer.rejoin(shard, &endpoint);
+                announce(shard, &transport, &slots);
             }
         }
 
@@ -558,7 +623,7 @@ fn apply_fault(
     fault: &ChaosFault,
     tick: u64,
     cfg: &ChaosConfig,
-    transport: &Arc<LoopbackTransport>,
+    transport: &Arc<FaultedTransport>,
     escrow: &SourceEscrow,
     slots: &mut [ShardSlot],
     balancer: &mut BalancerNode,
@@ -574,8 +639,7 @@ fn apply_fault(
         ChaosFault::Heal { shard } => {
             transport.heal(&slots[shard].endpoint);
             if !slots[shard].crashed && balancer.down_shards().contains(&shard) {
-                let endpoint = slots[shard].endpoint.clone();
-                let _ = balancer.rejoin(shard, &endpoint);
+                announce(shard, transport, slots);
             }
         }
         ChaosFault::Crash { shard } => {
@@ -614,15 +678,34 @@ fn apply_fault(
     }
 }
 
+/// The self-healing path: the node announces `(shard, endpoint,
+/// generation)` to the balancer's lease endpoint; the balancer drains
+/// announces at the top of its next tick and reconciles via rejoin.
+/// An undeliverable announce retries on the node's `Tick` dispatches
+/// with bounded deterministic backoff.
+fn announce(shard: usize, transport: &Arc<FaultedTransport>, slots: &[ShardSlot]) {
+    if let Some(node) = &slots[shard].node {
+        let shared: Arc<dyn Transport> = transport.clone();
+        node.announce_via(
+            shared,
+            LEASE_ENDPOINT,
+            shard as u64,
+            &slots[shard].endpoint,
+            u64::from(slots[shard].generation),
+        );
+    }
+}
+
 /// Bring a crashed shard back: reconstructed sources parked for every
 /// tenant the checkpoint (or the map, for post-checkpoint arrivals)
 /// says it should hold, node restored from the checkpoint, served on a
-/// fresh endpoint, rejoined (which reconciles stale/lost tenants
-/// against the routing map).
+/// fresh endpoint — which then announces itself to the balancer
+/// (reconciling stale/lost tenants against the routing map at the
+/// balancer's next tick).
 fn restore_shard(
     shard: usize,
     _tick: u64,
-    transport: &Arc<LoopbackTransport>,
+    transport: &Arc<FaultedTransport>,
     escrow: &SourceEscrow,
     slots: &mut [ShardSlot],
     balancer: &mut BalancerNode,
@@ -657,11 +740,9 @@ fn restore_shard(
         .expect("restored shard serves");
     slots[shard].node = Some(node);
     slots[shard].handle = Some(handle);
-    slots[shard].endpoint = endpoint.clone();
+    slots[shard].endpoint = endpoint;
     slots[shard].crashed = false;
-    balancer
-        .rejoin(shard, &endpoint)
-        .expect("healed shard rejoins");
+    announce(shard, transport, slots);
 }
 
 /// Checkpoint directory helper for tests that drive `run_in` shapes.

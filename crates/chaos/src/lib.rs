@@ -4,8 +4,10 @@
 //! [`Schedule`] says what breaks when (partitions, crashes with
 //! checkpoint restores, corrupted Admit/Evict/Owns frames, dropped
 //! calls, skipped or delayed balance rounds), and a driver interprets
-//! it against a full RPC fleet over the seeded loopback transport while
-//! asserting the invariant suite after every tick:
+//! it against a full RPC fleet over the seeded fault-injecting
+//! transport decorator — loopback-backed by default, real TCP sockets
+//! with `KAIROS_CHAOS_TRANSPORT=tcp` — while asserting the invariant
+//! suite after every tick:
 //!
 //! * **no tenant lost or duplicated** — ownership conservation across
 //!   the routing map and every live shard's ground truth, continuously
@@ -28,5 +30,5 @@
 pub mod driver;
 pub mod schedule;
 
-pub use driver::{run, ChaosConfig, RunOutcome, RunReport, Violation};
+pub use driver::{run, run_on, ChaosBackend, ChaosConfig, RunOutcome, RunReport, Violation};
 pub use schedule::{generate, shrink, ChaosFault, GeneratorBounds, Schedule, ScheduledFault};

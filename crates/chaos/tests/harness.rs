@@ -6,7 +6,9 @@
 //! The full seed sweep lives in the `chaos_sweep` binary (CI runs
 //! hundreds); these tests keep the harness itself honest at unit cost.
 
-use kairos_chaos::{generate, run, ChaosConfig, ChaosFault, Schedule, ScheduledFault};
+use kairos_chaos::{
+    generate, run, run_on, ChaosBackend, ChaosConfig, ChaosFault, Schedule, ScheduledFault,
+};
 
 #[test]
 fn quiet_fleet_holds_every_invariant() {
@@ -56,6 +58,31 @@ fn same_schedule_reruns_byte_identical() {
     assert_eq!(
         a.fingerprint, b.fingerprint,
         "same seed, same schedule — the decision traces must match byte for byte"
+    );
+}
+
+#[test]
+fn chaos_over_faulted_tcp_holds_invariants_and_reruns_byte_identical() {
+    // The same schedule grammar against real sockets: the faulted
+    // decorator routes the schedule's logical endpoint names over
+    // kernel-assigned loopback ports and applies the same precedence
+    // contract below the stream. What differs (by design) is the far
+    // side of a corruption — the TCP reader rejects the frame and the
+    // connection closes — and the invariants must hold either way.
+    let cfg = ChaosConfig::default();
+    let schedule = generate(4242, &cfg.bounds());
+    assert!(!schedule.faults.is_empty());
+    let a = run_on(&cfg, &schedule, ChaosBackend::Tcp);
+    assert!(
+        a.passed(),
+        "tcp-backed chaos run violated an invariant:\n{}",
+        a.violation.unwrap().render()
+    );
+    let b = run_on(&cfg, &schedule, ChaosBackend::Tcp);
+    assert!(b.passed());
+    assert_eq!(
+        a.fingerprint, b.fingerprint,
+        "same schedule over TCP must fingerprint byte-identically"
     );
 }
 

@@ -252,6 +252,12 @@ impl ShardController {
         &self.log
     }
 
+    /// Record an externally-observed event (e.g. the serving layer's
+    /// `AuthRejected`) into this shard's trace at its current tick.
+    pub fn record_event(&mut self, event: DecisionEvent) {
+        self.log.record(self.ticks(), event);
+    }
+
     /// The trace's events, oldest first (checkpoint / RPC payload).
     pub fn trace_events(&self) -> Vec<TracedEvent> {
         self.log.to_vec()

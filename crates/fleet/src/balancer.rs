@@ -82,7 +82,7 @@ impl BalancerConfig {
 /// late, not re-scheduled onto the next cadence point). An idle gate
 /// passes `due` through unchanged, so a fleet with no faults injected
 /// behaves exactly as before the gate existed.
-#[derive(Debug, Default, Clone, Copy)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct BalanceGate {
     skip: u64,
     delay: u64,
@@ -269,6 +269,100 @@ pub struct ParkedHandoff {
     pub donor: usize,
     pub receiver: usize,
     pub tenant: EvictedTenant,
+}
+
+/// Wire version for replicated balancer soft-state frames
+/// ([`BalancerSoftState::to_frame`], `kairos-store` framing). Bump on
+/// any layout change.
+pub const SYNC_STATE_VERSION: u32 = 1;
+
+/// The balancer's **soft state** — everything the balance policy
+/// accumulates that is not recoverable from the shards: the per-tenant
+/// cooldown memory, the parked-handoff lot, the handoff audit log, and
+/// the [`BalanceGate`]. This is what dies with a primary balancer unless
+/// replicated; the primary captures one of these per balance round and
+/// streams it to standbys (`kairos-net`'s `SyncState` RPC), so a
+/// promoted standby resumes the policy mid-stream instead of rebuilding
+/// from shard ground truth.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct BalancerSoftState {
+    /// The balance round this snapshot describes (monotone; standbys use
+    /// it to detect sync lag).
+    pub round: u64,
+    /// Fleet tick at capture time.
+    pub tick: u64,
+    /// Per-tenant cooldown memory: tenant → last probed round.
+    pub cooldown: BTreeMap<String, u64>,
+    /// Parked handoffs as `(donor, receiver, tenant, wire frame)`. The
+    /// live telemetry source cannot cross a process boundary (and is
+    /// already `None` on RPC-parked entries), so only the checksummed
+    /// frame replicates — exactly what probe-first resolution needs.
+    pub parked: Vec<(u64, u64, String, Vec<u8>)>,
+    /// The handoff audit log, in order.
+    pub handoffs: Vec<HandoffRecord>,
+    /// Balance-cadence gate state (pending skips/delays/deferral).
+    pub gate: BalanceGate,
+}
+
+impl BalancerSoftState {
+    /// Capture the current soft state for replication.
+    pub fn capture(
+        round: u64,
+        tick: u64,
+        cooldown: &BTreeMap<String, u64>,
+        parked: &[ParkedHandoff],
+        handoffs: &[HandoffRecord],
+        gate: BalanceGate,
+    ) -> BalancerSoftState {
+        BalancerSoftState {
+            round,
+            tick,
+            cooldown: cooldown.clone(),
+            parked: parked
+                .iter()
+                .map(|p| {
+                    (
+                        p.donor as u64,
+                        p.receiver as u64,
+                        p.tenant.name.clone(),
+                        p.tenant.wire.clone(),
+                    )
+                })
+                .collect(),
+            handoffs: handoffs.to_vec(),
+            gate,
+        }
+    }
+
+    /// Rebuild the parked lot from the replicated entries. Sources are
+    /// gone (they never replicate); probe-first resolution re-routes or
+    /// re-admits from the wire frame, same as any RPC-parked entry.
+    pub fn parked_lot(&self) -> Vec<ParkedHandoff> {
+        self.parked
+            .iter()
+            .map(|(donor, receiver, name, wire)| ParkedHandoff {
+                donor: *donor as usize,
+                receiver: *receiver as usize,
+                tenant: EvictedTenant {
+                    name: name.clone(),
+                    wire: wire.clone(),
+                    source: None,
+                },
+            })
+            .collect()
+    }
+
+    /// The state as a checksummed, versioned `kairos-store` frame — the
+    /// `SyncState` RPC payload.
+    pub fn to_frame(&self) -> Vec<u8> {
+        kairos_store::encode_frame(SYNC_STATE_VERSION, self)
+    }
+
+    /// Decode a replicated frame; rejects truncation, corruption, and
+    /// version mismatches before anything is applied.
+    pub fn from_frame(bytes: &[u8]) -> Result<BalancerSoftState, kairos_store::StoreError> {
+        kairos_store::decode_frame(bytes, SYNC_STATE_VERSION)
+    }
 }
 
 /// One balance round over any set of [`ShardHandle`]s: donors shed their

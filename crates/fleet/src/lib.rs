@@ -43,7 +43,8 @@ pub mod snapshot;
 
 pub use balancer::{
     candidate_order, donor_order, is_overloaded, receiver_order, run_balance_round, BalanceGate,
-    BalancerConfig, EvictedTenant, ParkedHandoff, ShardHandle,
+    BalancerConfig, BalancerSoftState, EvictedTenant, ParkedHandoff, ShardHandle,
+    SYNC_STATE_VERSION,
 };
 pub use fleet::{
     default_tick_threads, FleetAudit, FleetConfig, FleetController, FleetMetrics, FleetStats,

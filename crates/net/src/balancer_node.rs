@@ -22,13 +22,16 @@
 //! [`LeaseConfig::miss_limit`] consecutive misses is **down**: the
 //! balancer stops ticking it, its summary reads as unplanned (never a
 //! donor, never a receiver), and the rest of the fleet keeps running.
-//! Rejoin is explicit ([`BalancerNode::rejoin`]) — the operator (or the
-//! supervising process) restores the node from its checkpoint and hands
-//! the balancer the new endpoint; the balancer then *reconciles*: the
-//! routing map is the ownership truth, so a restored-but-stale node
-//! drops tenants the map has since moved elsewhere, and tenants the map
-//! routes to the node but its checkpoint predates are re-seeded from
-//! scratch.
+//! Rejoin is **self-healing**: a restored node announces itself to the
+//! balancer's lease endpoint (`Announce`, retried with bounded
+//! deterministic tick-based backoff — see [`crate::ShardNode::announce_via`]),
+//! and the balancer drains announces at the top of each tick and
+//! *reconciles*: the routing map is the ownership truth, so a
+//! restored-but-stale node drops tenants the map has since moved
+//! elsewhere, and tenants the map routes to the node but its checkpoint
+//! predates are re-seeded from scratch. The operator-driven path
+//! ([`BalancerNode::rejoin`]) still exists underneath — an announce is
+//! just a node asking for it.
 //!
 //! ## Balancer failover
 //!
@@ -43,9 +46,18 @@
 //! moving. A promoted standby rebuilds the routing map **and** the
 //! membership view (replica counts, anti-affinity pairs) from the
 //! shards themselves — the ground truth the balancer state summarizes —
-//! and adopts the fleet tick from the most advanced shard. Cooldown
-//! memory and the audit log die with the old balancer; both are
-//! hysteresis/observability, not correctness state.
+//! and adopts the fleet tick from the most advanced shard.
+//!
+//! The balancer's *soft* state — cooldown memory, the parked-handoff
+//! lot, the handoff audit log, the chaos gate — no longer dies with
+//! the primary: after every balance round the primary streams a
+//! [`BalancerSoftState`] frame to each registered standby
+//! ([`BalancerNode::add_standby_sync`] → `SyncState` RPC →
+//! [`StandbyBalancer::serve_sync`]), and a promoted standby resumes
+//! from the replicated state. The probe-first rebuild from shard
+//! ground truth ([`BalancerNode::recover_stray_tenants`]) remains as
+//! the fallback reconciliation — it catches whatever a lagging sync
+//! missed (e.g. a tenant parked after the last acked frame).
 
 use crate::frame;
 use crate::rpc::{self, Request, Response};
@@ -53,8 +65,8 @@ use crate::transport::{Conn, Handler, NetError, ServerHandle, Transport};
 use kairos_controller::{ControllerStats, FleetPlacement, ReSolver, TenantHandoff, TickOutcome};
 use kairos_core::ConsolidationEngine;
 use kairos_fleet::{
-    run_balance_round, BalanceGate, EvictedTenant, FleetAudit, FleetConfig, FleetMetrics,
-    FleetStats, HandoffOutcome, HandoffRecord, ParkedHandoff, ShardHandle, ShardMap,
+    run_balance_round, BalanceGate, BalancerSoftState, EvictedTenant, FleetAudit, FleetConfig,
+    FleetMetrics, FleetStats, HandoffOutcome, HandoffRecord, ParkedHandoff, ShardHandle, ShardMap,
 };
 use kairos_obs::{DecisionEvent, DecisionLog, MetricsRegistry, TracedEvent};
 use kairos_solver::{evaluate, Assignment};
@@ -80,6 +92,12 @@ impl Default for LeaseConfig {
     }
 }
 
+/// Consecutive transport-level I/O failures after which the in-call
+/// redial-and-retry below stops — the link falls back to the lazy
+/// once-per-tick redial, so a genuinely dead node costs one connect
+/// attempt per tick, not two, while it runs down its lease.
+const LINK_IO_RETRY_LIMIT: u32 = 3;
+
 /// One shard's connection state. The connection is dialed lazily and
 /// redialed after any transport failure (a broken TCP stream never
 /// poisons the link permanently — the next call reconnects, which is
@@ -90,6 +108,9 @@ struct ShardLink {
     transport: Arc<dyn Transport>,
     conn: Option<Box<dyn Conn>>,
     missed: u32,
+    /// Consecutive transport-level I/O failures (TCP resets, closed
+    /// streams) — gates the bounded in-call retry.
+    io_fails: u32,
 }
 
 impl ShardLink {
@@ -99,38 +120,72 @@ impl ShardLink {
             transport,
             conn: None,
             missed: 0,
+            io_fails: 0,
         }
+    }
+
+    /// A transient stream-level failure worth one immediate redial: an
+    /// I/O error that is not a timeout. A broken TCP stream (server
+    /// restarted, connection reset, a corrupted frame closed the
+    /// socket) fails instantly and a fresh dial usually succeeds — but
+    /// a *timed-out* call may have been applied remotely, and blindly
+    /// replaying it would double-apply non-idempotent requests like
+    /// `Tick`. Injected faults (`Unreachable`, `Dropped`) are never
+    /// I/O errors, so the chaos harness's loopback fault accounting is
+    /// untouched by the retry.
+    fn transient_io(e: &NetError) -> bool {
+        matches!(
+            e,
+            NetError::Io(err) if !matches!(
+                err.kind(),
+                std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+            )
+        )
+    }
+
+    /// One dial-if-needed RPC attempt, no lease accounting.
+    fn attempt(&mut self, request: &Request) -> Result<Response, NetError> {
+        if self.conn.is_none() {
+            self.conn = Some(self.transport.connect(&self.endpoint)?);
+        }
+        let conn = self.conn.as_deref_mut().expect("just dialed");
+        let result = rpc::call(conn, request);
+        match &result {
+            Ok(_) | Err(NetError::Remote(_)) => {}
+            Err(_) => self.conn = None,
+        }
+        result
     }
 
     /// One RPC with lease accounting: success (or a *remote* error — the
     /// peer answered, so it is alive) renews the lease; transport
-    /// failures count a miss and drop the connection for a redial.
+    /// failures count a miss and drop the connection for a redial. A
+    /// transient stream-level I/O failure gets one immediate
+    /// redial-and-retry (bounded by [`LINK_IO_RETRY_LIMIT`] consecutive
+    /// failures), so a single broken TCP stream costs zero lease misses
+    /// instead of one per in-flight call.
     fn call(&mut self, request: &Request) -> Result<Response, NetError> {
-        if self.conn.is_none() {
-            match self.transport.connect(&self.endpoint) {
-                Ok(conn) => self.conn = Some(conn),
-                Err(e) => {
-                    self.missed = self.missed.saturating_add(1);
-                    return Err(e);
-                }
+        let mut result = self.attempt(request);
+        if let Err(e) = &result {
+            if Self::transient_io(e) && self.io_fails < LINK_IO_RETRY_LIMIT {
+                result = self.attempt(request);
             }
         }
-        let conn = self.conn.as_deref_mut().expect("just dialed");
-        match rpc::call(conn, request) {
-            Ok(response) => {
+        match &result {
+            Ok(_) | Err(NetError::Remote(_)) => {
                 self.missed = 0;
-                Ok(response)
-            }
-            Err(NetError::Remote(msg)) => {
-                self.missed = 0;
-                Err(NetError::Remote(msg))
+                self.io_fails = 0;
             }
             Err(e) => {
                 self.missed = self.missed.saturating_add(1);
-                self.conn = None;
-                Err(e)
+                if Self::transient_io(e) {
+                    self.io_fails = self.io_fails.saturating_add(1);
+                } else {
+                    self.io_fails = 0;
+                }
             }
         }
+        result
     }
 
     fn down(&self, miss_limit: u32) -> bool {
@@ -194,6 +249,39 @@ pub struct BalancerNode {
     audit_resolver: ReSolver,
     /// Mirror of the fleet tick counter for the served lease endpoint.
     lease_ticks: Arc<AtomicU64>,
+    /// Standby sync endpoints ([`BalancerNode::add_standby_sync`]): the
+    /// primary streams a [`BalancerSoftState`] frame to each after
+    /// every balance round.
+    standbys: Vec<StandbyLink>,
+    /// `kairos_fleet_sync_lag_rounds` — rounds between the current
+    /// balance round and the *least*-caught-up standby's last ack.
+    /// Registered lazily with the first standby.
+    sync_lag: Option<kairos_obs::FloatCell>,
+    /// Announces received on the lease endpoint, drained (and
+    /// reconciled via [`BalancerNode::rejoin`]) at the top of each
+    /// tick: `(shard, endpoint, generation)`.
+    announce_inbox: Arc<Mutex<Vec<(u64, String, u64)>>>,
+    /// Authentication rejects observed by the lease endpoint's server
+    /// thread, drained into the decision trace on the tick thread (the
+    /// trace itself is single-writer).
+    auth_reject_notes: Arc<Mutex<Vec<String>>>,
+}
+
+/// Maximum sync-retry backoff, in balance rounds.
+const MAX_SYNC_BACKOFF_ROUNDS: u64 = 8;
+
+/// One standby's sync-replication state (primary side).
+struct StandbyLink {
+    endpoint: String,
+    conn: Option<Box<dyn Conn>>,
+    /// Highest round the standby has acked (`Synced { round }`).
+    acked_round: u64,
+    /// Consecutive failed syncs — drives the bounded deterministic
+    /// backoff below, so a dead standby costs one connect attempt per
+    /// backoff window, not per round.
+    fails: u32,
+    /// Skip sync attempts until this balance round.
+    retry_at_round: u64,
 }
 
 impl BalancerNode {
@@ -235,6 +323,10 @@ impl BalancerNode {
             log: DecisionLog::new(),
             audit_resolver: ReSolver::new(ConsolidationEngine::builder().build()),
             lease_ticks: Arc::new(AtomicU64::new(0)),
+            standbys: Vec::new(),
+            sync_lag: None,
+            announce_inbox: Arc::new(Mutex::new(Vec::new())),
+            auth_reject_notes: Arc::new(Mutex::new(Vec::new())),
         })
     }
 
@@ -338,6 +430,21 @@ impl BalancerNode {
     /// logs are owned by the shard nodes).
     pub fn set_tracing(&mut self, enabled: bool) {
         self.log.set_enabled(enabled);
+    }
+
+    /// Capture this balancer's current soft state — exactly what a
+    /// `SyncState` push replicates. Diagnostics and tests (the
+    /// failover regression compares a promoted standby's resumed state
+    /// byte-for-byte against the dead primary's last capture).
+    pub fn soft_state(&self) -> BalancerSoftState {
+        BalancerSoftState::capture(
+            self.metrics.balance_rounds.get(),
+            self.metrics.ticks.get(),
+            &self.cooldown,
+            &self.parked,
+            &self.handoff_log,
+            self.gate,
+        )
     }
 
     pub fn map(&self) -> &ShardMap {
@@ -451,6 +558,7 @@ impl BalancerNode {
         self.metrics.ticks.inc();
         let tick = self.metrics.ticks.get();
         self.lease_ticks.store(tick, Ordering::SeqCst);
+        self.drain_announces(tick);
         let miss_limit = self.lease.miss_limit;
         let mut outcomes: Vec<Option<TickOutcome>> = Vec::new();
         outcomes.resize_with(self.links.len(), || None);
@@ -563,7 +671,154 @@ impl BalancerNode {
             }
         }
         self.handoff_log.extend(records.iter().cloned());
+        self.sync_to_standbys();
         records
+    }
+
+    /// Register a standby's sync endpoint (served by
+    /// [`StandbyBalancer::serve_sync`]). After every balance round the
+    /// primary captures its soft state — cooldown memory, the
+    /// parked-handoff lot, the handoff audit log, the chaos gate — and
+    /// streams it there as one checksummed `SyncState` frame.
+    pub fn add_standby_sync(&mut self, endpoint: &str) {
+        if self.sync_lag.is_none() {
+            self.sync_lag = Some(
+                self.metrics
+                    .registry()
+                    .gauge("kairos_fleet_sync_lag_rounds"),
+            );
+        }
+        self.standbys.push(StandbyLink {
+            endpoint: endpoint.to_string(),
+            conn: None,
+            acked_round: 0,
+            fails: 0,
+            retry_at_round: 0,
+        });
+    }
+
+    /// Stream this round's [`BalancerSoftState`] to every registered
+    /// standby. Failures back off deterministically (in rounds, capped
+    /// at [`MAX_SYNC_BACKOFF_ROUNDS`]) and never block the round — a
+    /// standby that misses frames resumes from the next one it acks,
+    /// and whatever it missed is covered at promotion by the
+    /// probe-first fallback ([`BalancerNode::recover_stray_tenants`]).
+    fn sync_to_standbys(&mut self) {
+        if self.standbys.is_empty() {
+            return;
+        }
+        let round = self.metrics.balance_rounds.get();
+        let state = BalancerSoftState::capture(
+            round,
+            self.metrics.ticks.get(),
+            &self.cooldown,
+            &self.parked,
+            &self.handoff_log,
+            self.gate,
+        );
+        let frame = state.to_frame();
+        for standby in &mut self.standbys {
+            if round < standby.retry_at_round {
+                continue;
+            }
+            if standby.conn.is_none() {
+                standby.conn = self.transport.connect(&standby.endpoint).ok();
+            }
+            let acked = standby.conn.as_deref_mut().and_then(|conn| {
+                match rpc::call(
+                    conn,
+                    &Request::SyncState {
+                        frame: frame.clone(),
+                    },
+                ) {
+                    Ok(Response::Synced { round }) => Some(round),
+                    _ => None,
+                }
+            });
+            match acked {
+                Some(acked_round) => {
+                    standby.acked_round = standby.acked_round.max(acked_round);
+                    standby.fails = 0;
+                    standby.retry_at_round = 0;
+                }
+                None => {
+                    standby.conn = None;
+                    standby.fails = standby.fails.saturating_add(1);
+                    let backoff = 1u64
+                        .checked_shl(standby.fails)
+                        .unwrap_or(MAX_SYNC_BACKOFF_ROUNDS)
+                        .min(MAX_SYNC_BACKOFF_ROUNDS);
+                    standby.retry_at_round = round + backoff;
+                }
+            }
+        }
+        let min_acked = self
+            .standbys
+            .iter()
+            .map(|s| s.acked_round)
+            .min()
+            .unwrap_or(round);
+        if let Some(gauge) = &self.sync_lag {
+            gauge.set(round.saturating_sub(min_acked) as f64);
+        }
+    }
+
+    /// Drain the lease endpoint's inboxes on the tick thread: record
+    /// any authentication rejects, then reconcile pending announces
+    /// through [`BalancerNode::rejoin`]. An announce that cannot be
+    /// reconciled yet (the fault that killed the node still active) is
+    /// re-queued for the next tick — and the node keeps re-announcing
+    /// on its own backoff, so neither side forgets.
+    fn drain_announces(&mut self, tick: u64) {
+        let rejects: Vec<String> = {
+            let mut notes = self.auth_reject_notes.lock().expect("auth note lock");
+            std::mem::take(&mut *notes)
+        };
+        for endpoint in rejects {
+            self.log
+                .record(tick, DecisionEvent::AuthRejected { endpoint });
+        }
+        let pending: Vec<(u64, String, u64)> = {
+            let mut inbox = self.announce_inbox.lock().expect("announce inbox lock");
+            std::mem::take(&mut *inbox)
+        };
+        if pending.is_empty() {
+            return;
+        }
+        // Keep the newest announce per shard: a node may have retried
+        // while its first announce was still queued, or a replacement
+        // node (higher generation) may have announced over a dead one.
+        let mut newest: BTreeMap<u64, (String, u64)> = BTreeMap::new();
+        for (shard, endpoint, generation) in pending {
+            newest.insert(shard, (endpoint, generation));
+        }
+        for (shard, (endpoint, generation)) in newest {
+            let idx = shard as usize;
+            if idx >= self.links.len() {
+                continue;
+            }
+            // A retry of an already-reconciled announce: the link
+            // already points there and is healthy. Ignore.
+            if self.links[idx].endpoint == endpoint && !self.links[idx].down(self.lease.miss_limit)
+            {
+                continue;
+            }
+            match self.rejoin(idx, &endpoint) {
+                Ok(()) => self.log.record(
+                    tick,
+                    DecisionEvent::NodeAnnounced {
+                        shard: idx,
+                        endpoint,
+                        generation,
+                    },
+                ),
+                Err(_) => self
+                    .announce_inbox
+                    .lock()
+                    .expect("announce inbox lock")
+                    .push((shard, endpoint, generation)),
+            }
+        }
     }
 
     /// Command every live shard to checkpoint itself at
@@ -829,25 +1084,51 @@ impl BalancerNode {
     }
 
     /// Serve this balancer's own lease endpoint: standbys ping it and
-    /// promote when it goes quiet. Only `Ping` is answered — the
-    /// balancer's mutable state never crosses this endpoint.
+    /// promote when it goes quiet, and restored shard nodes announce
+    /// themselves here for rejoin. Only `Ping` and `Announce` are
+    /// answered — the balancer's mutable state never crosses this
+    /// endpoint (announces land in an inbox the tick thread drains).
     pub fn serve_lease(
         &self,
         transport: &dyn Transport,
         endpoint: &str,
     ) -> Result<ServerHandle, NetError> {
         let ticks = self.lease_ticks.clone();
+        let inbox = self.announce_inbox.clone();
+        let reject_notes = self.auth_reject_notes.clone();
+        let served = endpoint.to_string();
         let handler: Handler = Arc::new(Mutex::new(move |request_frame: &[u8]| {
-            let response = match frame::decode_frame::<Request>(request_frame) {
-                Ok(Request::Ping) => Response::Pong {
-                    ticks: ticks.load(Ordering::SeqCst),
+            let key = crate::auth::process_key();
+            let response = match crate::auth::verify(request_frame, key) {
+                Ok(base) => match frame::decode_frame::<Request>(base) {
+                    Ok(Request::Ping) => Response::Pong {
+                        ticks: ticks.load(Ordering::SeqCst),
+                    },
+                    Ok(Request::Announce {
+                        shard,
+                        endpoint,
+                        generation,
+                    }) => {
+                        inbox
+                            .lock()
+                            .expect("announce inbox lock")
+                            .push((shard, endpoint, generation));
+                        Response::Done
+                    }
+                    Ok(other) => Response::Error(format!(
+                        "balancer lease endpoint answers Ping/Announce only, got {other:?}"
+                    )),
+                    Err(e) => Response::Error(format!("bad request frame: {e}")),
                 },
-                Ok(other) => Response::Error(format!(
-                    "balancer lease endpoint answers Ping only, got {other:?}"
-                )),
-                Err(e) => Response::Error(format!("bad request frame: {e}")),
+                Err(_) => {
+                    reject_notes
+                        .lock()
+                        .expect("auth note lock")
+                        .push(served.clone());
+                    Response::Error("unauthenticated frame".to_string())
+                }
             };
-            frame::encode_frame(&response)
+            crate::auth::seal(frame::encode_frame(&response), key)
         }));
         transport.serve(endpoint, handler)
     }
@@ -862,7 +1143,14 @@ impl BalancerNode {
     /// dead primary built). The fleet tick resumes from the most
     /// advanced shard so cadences keep firing. Fails if any shard is
     /// unreachable — a promotion must start from a complete map.
-    fn adopt_from_shards(&mut self) -> Result<(), NetError> {
+    ///
+    /// When a replicated [`BalancerSoftState`] is available the soft
+    /// state — cooldown memory, the parked lot, the audit log and the
+    /// chaos gate — resumes from the last synced frame, so hysteresis
+    /// and history survive the primary; the probe-first stray recovery
+    /// still runs afterwards as reconciliation and only touches
+    /// tenants the replicated lot does not already track.
+    fn adopt(&mut self, replicated: Option<&BalancerSoftState>) -> Result<(), NetError> {
         let mut map = ShardMap::new(self.links.len());
         let mut replicas: BTreeMap<String, u32> = BTreeMap::new();
         let mut anti_affinity: Option<Vec<(String, String)>> = None;
@@ -905,6 +1193,26 @@ impl BalancerNode {
         let anti_affinity = anti_affinity.unwrap_or_default();
         self.audit_resolver.anti_affinity = anti_affinity.clone();
         self.anti_affinity = anti_affinity;
+        if let Some(state) = replicated {
+            max_ticks = max_ticks.max(state.tick);
+            self.cooldown = state.cooldown.clone();
+            self.handoff_log = state.handoffs.clone();
+            self.gate = state.gate;
+            self.parked = state.parked_lot();
+            // A parked tenant is owned by no shard (evicted at the
+            // donor, never admitted at the receiver), so the ground-
+            // truth rebuild above cannot route it. The dead primary's
+            // map still did — the registration survived the failed
+            // handoff — and the retry resolutions depend on that: a
+            // `returned-to-donor` re-admit emits no re-routing record.
+            // Restore the same routing for every replicated entry.
+            for entry in &self.parked {
+                if self.map.shard_of(&entry.tenant.name).is_none() {
+                    self.map.assign(&entry.tenant.name, entry.donor);
+                }
+            }
+            self.metrics.balance_rounds.set(state.round);
+        }
         self.metrics.ticks.set(max_ticks);
         self.lease_ticks.store(max_ticks, Ordering::SeqCst);
         self.recover_stray_tenants(max_ticks)?;
@@ -929,13 +1237,20 @@ impl BalancerNode {
     /// faults again mid-recovery), the tenant parks in the *new*
     /// balancer's lot so every subsequent balance round keeps probing —
     /// recovered or parked, never forgotten.
+    ///
+    /// Tenants already tracked by the (possibly replicated) parked lot
+    /// are skipped: the next balance round resolves them probe-first
+    /// with their real donor/receiver context, which this promotion
+    /// pass does not have.
     fn recover_stray_tenants(&mut self, tick: u64) -> Result<(), NetError> {
-        self.parked.clear();
         for shard in 0..self.links.len() {
             let stray: Vec<String> = match self.links[shard].call(&Request::EvictOutbox)? {
                 Response::Workloads(names) => names
                     .into_iter()
-                    .filter(|name| self.map.shard_of(name).is_none())
+                    .filter(|name| {
+                        self.map.shard_of(name).is_none()
+                            && !self.parked.iter().any(|p| &p.tenant.name == name)
+                    })
                     .collect(),
                 other => {
                     return Err(NetError::Protocol(format!(
@@ -1141,6 +1456,11 @@ pub enum StandbyAction {
     Promote,
 }
 
+/// What a standby's sync endpoint observed for one applied frame:
+/// `(round, parked, cooldowns, log_events)` — the shape of the
+/// `StandbySynced` decision event it becomes once drained.
+type SyncNote = (u64, usize, usize, usize);
+
 /// A warm-standby balancer watching a primary's lease endpoint. See the
 /// module docs for the rank-ordered deterministic promotion rule.
 pub struct StandbyBalancer {
@@ -1154,6 +1474,16 @@ pub struct StandbyBalancer {
     fleet_ticks_seen: Option<u64>,
     /// Consecutive over-threshold watches with no fleet progress.
     frozen_watches: u32,
+    /// The newest [`BalancerSoftState`] the primary has streamed here
+    /// (shared with the sync endpoint's server thread).
+    replicated: Arc<Mutex<Option<BalancerSoftState>>>,
+    /// Notes queued by the sync server thread, drained into the
+    /// decision trace on the watch thread (single-writer trace,
+    /// deterministic ordering).
+    sync_notes: Arc<Mutex<Vec<SyncNote>>>,
+    /// The serving handle for this standby's sync endpoint; stopped at
+    /// promotion (a primary pushes sync, it does not receive it).
+    sync_server: Option<ServerHandle>,
 }
 
 /// Consecutive frozen-fleet observations a standby requires before
@@ -1176,6 +1506,91 @@ impl StandbyBalancer {
             missed: 0,
             fleet_ticks_seen: None,
             frozen_watches: 0,
+            replicated: Arc::new(Mutex::new(None)),
+            sync_notes: Arc::new(Mutex::new(Vec::new())),
+            sync_server: None,
+        }
+    }
+
+    /// Serve this standby's sync endpoint: the primary streams its soft
+    /// state here after every balance round
+    /// ([`BalancerNode::add_standby_sync`]). Frames are checksummed and
+    /// versioned ([`BalancerSoftState`]); stale rounds (out-of-order
+    /// delivery after a redial) are acked with the newer round already
+    /// held, never applied backwards.
+    pub fn serve_sync(
+        &mut self,
+        transport: &dyn Transport,
+        endpoint: &str,
+    ) -> Result<(), NetError> {
+        let cell = self.replicated.clone();
+        let notes = self.sync_notes.clone();
+        let handler: Handler = Arc::new(Mutex::new(move |request_frame: &[u8]| {
+            let key = crate::auth::process_key();
+            let response = match crate::auth::verify(request_frame, key) {
+                Ok(base) => match frame::decode_frame::<Request>(base) {
+                    Ok(Request::SyncState { frame: state_frame }) => {
+                        match BalancerSoftState::from_frame(&state_frame) {
+                            Ok(state) => {
+                                let mut cell = cell.lock().expect("replicated state lock");
+                                let newest = cell.as_ref().map_or(0, |s| s.round);
+                                if state.round >= newest {
+                                    notes.lock().expect("sync note lock").push((
+                                        state.round,
+                                        state.parked.len(),
+                                        state.cooldown.len(),
+                                        state.handoffs.len(),
+                                    ));
+                                    let round = state.round;
+                                    *cell = Some(state);
+                                    Response::Synced { round }
+                                } else {
+                                    Response::Synced { round: newest }
+                                }
+                            }
+                            Err(e) => Response::Error(format!("sync_state: damaged frame: {e}")),
+                        }
+                    }
+                    Ok(other) => Response::Error(format!(
+                        "standby sync endpoint answers SyncState only, got {other:?}"
+                    )),
+                    Err(e) => Response::Error(format!("bad request frame: {e}")),
+                },
+                Err(_) => Response::Error("unauthenticated frame".to_string()),
+            };
+            crate::auth::seal(frame::encode_frame(&response), key)
+        }));
+        self.sync_server = Some(transport.serve(endpoint, handler)?);
+        Ok(())
+    }
+
+    /// The newest replicated round held, if the primary has synced yet.
+    pub fn replicated_round(&self) -> Option<u64> {
+        self.replicated
+            .lock()
+            .expect("replicated state lock")
+            .as_ref()
+            .map(|s| s.round)
+    }
+
+    /// Move sync arrivals from the server thread into the decision
+    /// trace (on this thread — the trace is single-writer).
+    fn drain_sync_notes(&mut self) {
+        let notes: Vec<(u64, usize, usize, usize)> = {
+            let mut queued = self.sync_notes.lock().expect("sync note lock");
+            std::mem::take(&mut *queued)
+        };
+        let tick = self.node.metrics.ticks.get();
+        for (sync_round, parked, cooldowns, log_events) in notes {
+            self.node.log.record(
+                tick,
+                DecisionEvent::StandbySynced {
+                    sync_round,
+                    parked,
+                    cooldowns,
+                    log_events,
+                },
+            );
         }
     }
 
@@ -1191,6 +1606,7 @@ impl StandbyBalancer {
     /// this standby's recent watches, someone is driving the fleet, and
     /// this standby keeps waiting.
     pub fn watch_tick(&mut self) -> StandbyAction {
+        self.drain_sync_notes();
         if self.primary_conn.is_none() {
             self.primary_conn = self.node.transport.connect(&self.primary_endpoint).ok();
         }
@@ -1235,13 +1651,27 @@ impl StandbyBalancer {
     }
 
     /// Take over: rebuild the routing map from the shards (ground
-    /// truth), adopt the fleet tick from the most advanced shard, and
-    /// return the now-primary balancer. Fails (returning `self` for a
-    /// retry) while any shard is unreachable.
+    /// truth), resume soft state — cooldowns, the parked lot, the
+    /// audit log, the gate — from the last replicated [`SyncState`]
+    /// frame when the primary was syncing here, adopt the fleet tick
+    /// from the most advanced shard, and return the now-primary
+    /// balancer. Fails (returning `self` for a retry) while any shard
+    /// is unreachable.
+    ///
+    /// [`SyncState`]: crate::Request::SyncState
     #[allow(clippy::result_large_err)] // self is handed back for retry
     pub fn promote(mut self) -> Result<BalancerNode, (Box<StandbyBalancer>, NetError)> {
-        match self.node.adopt_from_shards() {
+        self.drain_sync_notes();
+        let replicated = self
+            .replicated
+            .lock()
+            .expect("replicated state lock")
+            .clone();
+        match self.node.adopt(replicated.as_ref()) {
             Ok(()) => {
+                if let Some(handle) = self.sync_server.take() {
+                    handle.stop();
+                }
                 let adopted_ticks = self.node.metrics.ticks.get();
                 self.node.log.record(
                     adopted_ticks,

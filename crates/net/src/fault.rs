@@ -155,6 +155,37 @@ impl FaultPlan {
     }
 }
 
+/// The shared named-fault surface: everything that owns a [`FaultPlan`]
+/// (the loopback's in-memory registry, the [`crate::FaultedTransport`]
+/// decorator over any backend) exposes the same injection verbs, so a
+/// schedule interpreter (`kairos-chaos`) is generic over *where* the
+/// faults land — in-memory dispatch or a real TCP socket.
+pub trait FaultInjector {
+    /// Arm one [`Fault`] against `endpoint` on the owned [`FaultPlan`].
+    fn inject_fault(&self, endpoint: &str, fault: Fault);
+    /// Heal `endpoint` (cancels its pending one-shot faults too).
+    fn heal(&self, endpoint: &str);
+    /// Heal every endpoint (a schedule's end-of-faults barrier).
+    fn heal_all(&self);
+
+    /// Make `endpoint` unreachable until healed.
+    fn partition(&self, endpoint: &str) {
+        self.inject_fault(endpoint, Fault::Partition);
+    }
+    /// Drop the next `n` calls to `endpoint`.
+    fn drop_next_calls(&self, endpoint: &str, n: u64) {
+        self.inject_fault(endpoint, Fault::DropNext(n));
+    }
+    /// Flip one seeded bit in each of the next `n` frames to `endpoint`.
+    fn corrupt_next_calls(&self, endpoint: &str, n: u64) {
+        self.inject_fault(endpoint, Fault::CorruptNext(n));
+    }
+    /// Tag-targeted corruption (see [`Fault::CorruptNextMatching`]).
+    fn corrupt_next_calls_matching(&self, endpoint: &str, tag: u32, n: u64) {
+        self.inject_fault(endpoint, Fault::CorruptNextMatching { tag, n });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

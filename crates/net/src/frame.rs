@@ -106,6 +106,15 @@ pub fn write_frame(w: &mut impl Write, frame: &[u8]) -> Result<(), NetError> {
 /// it. The length is sanity-capped *before* the payload read, so a
 /// damaged prefix cannot make the reader allocate or block unboundedly.
 pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, NetError> {
+    read_frame_with_trailer(r, 0)
+}
+
+/// [`read_frame`] for streams whose frames carry `extra` trailer bytes
+/// *after* the CRC — the keyed-auth tag (see [`crate::auth`]). The CRC
+/// still covers exactly the header + payload; the extra trailer is read
+/// but left for the auth layer to verify, so framing stays recoverable
+/// from the byte stream whether or not a key is configured.
+pub fn read_frame_with_trailer(r: &mut impl Read, extra: usize) -> Result<Vec<u8>, NetError> {
     let mut header = [0u8; HEADER_LEN];
     r.read_exact(&mut header)?;
     if header[..4] != NET_MAGIC {
@@ -122,14 +131,16 @@ pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, NetError> {
     if payload_len > MAX_PAYLOAD_LEN {
         return Err(NetError::Oversized(payload_len));
     }
-    let rest = payload_len as usize + TRAILER_LEN;
+    let rest = payload_len as usize + TRAILER_LEN + extra;
     let mut frame = Vec::with_capacity(HEADER_LEN + rest);
     frame.extend_from_slice(&header);
     frame.resize(HEADER_LEN + rest, 0);
     r.read_exact(&mut frame[HEADER_LEN..])?;
-    let body_end = frame.len() - TRAILER_LEN;
-    let stored_crc = u32::from_le_bytes(frame[body_end..].try_into().expect("sized slice"));
-    if kairos_store::crc32(&frame[..body_end]) != stored_crc {
+    let body_end = HEADER_LEN + payload_len as usize;
+    let crc_bytes: [u8; TRAILER_LEN] = frame[body_end..body_end + TRAILER_LEN]
+        .try_into()
+        .expect("sized slice");
+    if kairos_store::crc32(&frame[..body_end]) != u32::from_le_bytes(crc_bytes) {
         return Err(NetError::ChecksumMismatch);
     }
     Ok(frame)

@@ -57,8 +57,10 @@
 //! roles as real child processes over TCP, surviving a shard-node kill
 //! (checkpoint rejoin) and a balancer kill (standby promotion) mid-run.
 
+pub mod auth;
 pub mod balancer_node;
 pub mod fault;
+pub mod faulted;
 pub mod frame;
 pub mod loopback;
 pub mod node;
@@ -66,10 +68,12 @@ pub mod rpc;
 pub mod tcp;
 pub mod transport;
 
+pub use auth::{AuthKey, AUTH_TAG_LEN};
 pub use balancer_node::{
     BalancerNode, LeaseConfig, NetTickReport, RemoteShard, StandbyAction, StandbyBalancer,
 };
-pub use fault::{Fault, FaultPlan, FaultVerdict};
+pub use fault::{Fault, FaultInjector, FaultPlan, FaultVerdict};
+pub use faulted::FaultedTransport;
 pub use frame::{MAX_PAYLOAD_LEN, NET_MAGIC, RPC_WIRE_VERSION};
 pub use loopback::LoopbackTransport;
 pub use node::{ShardNode, SourceBinder, SourceEscrow, SourceFactory, SourceMaker};

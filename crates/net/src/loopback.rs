@@ -27,7 +27,7 @@
 //! the failure suites read better with them, but there is exactly one
 //! fault state underneath.
 
-use crate::fault::{Fault, FaultPlan, FaultVerdict};
+use crate::fault::{Fault, FaultInjector, FaultPlan, FaultVerdict};
 use crate::transport::{Conn, Handler, NetError, ServerHandle, Transport};
 use kairos_types::SplitMix64;
 use std::collections::BTreeMap;
@@ -131,6 +131,23 @@ impl LoopbackTransport {
             .keys()
             .cloned()
             .collect()
+    }
+}
+
+/// The generic fault surface (see [`crate::fault::FaultInjector`]):
+/// delegates to the inherent methods so the chaos harness can drive the
+/// loopback and the [`crate::FaultedTransport`] decorator identically.
+impl FaultInjector for LoopbackTransport {
+    fn inject_fault(&self, endpoint: &str, fault: Fault) {
+        self.inject(endpoint, fault);
+    }
+
+    fn heal(&self, endpoint: &str) {
+        LoopbackTransport::heal(self, endpoint);
+    }
+
+    fn heal_all(&self) {
+        LoopbackTransport::heal_all(self);
     }
 }
 

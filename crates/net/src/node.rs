@@ -25,7 +25,7 @@
 //! cannot prove intact (mid-handshake corruption is property-tested).
 
 use crate::frame;
-use crate::rpc::{Request, Response};
+use crate::rpc::{self, Request, Response};
 use crate::transport::{Handler, NetError, ServerHandle, Transport};
 use kairos_controller::{
     ControllerConfig, ShardController, ShardSnapshot, TelemetrySource, TenantHandoff,
@@ -126,6 +126,54 @@ impl SourceBinder for SourceFactory {
 /// evictions are kept.
 const EVICT_OUTBOX_CAP: usize = 64;
 
+/// Ticks of backoff never exceed this between announce attempts.
+const MAX_ANNOUNCE_BACKOFF_TICKS: u64 = 8;
+
+/// Self-healing membership state: this node announces itself to the
+/// balancer's lease endpoint and, until acknowledged, re-announces on
+/// `Tick` dispatches with bounded deterministic backoff
+/// (`min(2^attempts, 8)` ticks — tick-based, never wall-clock, so chaos
+/// schedules replay exactly).
+struct AnnounceState {
+    transport: Arc<dyn Transport>,
+    balancer: String,
+    shard: u64,
+    endpoint: String,
+    generation: u64,
+    /// An announce is owed (initial, or the last attempt failed).
+    pending: bool,
+    attempts: u32,
+    next_attempt_tick: u64,
+}
+
+impl AnnounceState {
+    /// One announce attempt. On failure the next attempt is scheduled
+    /// `min(2^attempts, 8)` ticks out from `now`.
+    fn attempt(&mut self, now: u64) {
+        let request = Request::Announce {
+            shard: self.shard,
+            endpoint: self.endpoint.clone(),
+            generation: self.generation,
+        };
+        let delivered = self
+            .transport
+            .connect(&self.balancer)
+            .and_then(|mut conn| rpc::call(conn.as_mut(), &request))
+            .is_ok();
+        if delivered {
+            self.pending = false;
+            self.attempts = 0;
+        } else {
+            self.attempts = self.attempts.saturating_add(1);
+            let backoff = 1u64
+                .checked_shl(self.attempts)
+                .unwrap_or(MAX_ANNOUNCE_BACKOFF_TICKS)
+                .min(MAX_ANNOUNCE_BACKOFF_TICKS);
+            self.next_attempt_tick = now + backoff;
+        }
+    }
+}
+
 struct NodeState {
     shard: ShardController,
     binder: Box<dyn SourceBinder>,
@@ -133,6 +181,8 @@ struct NodeState {
     /// lost-response recovery buffer (see [`EVICT_OUTBOX_CAP`]).
     evict_outbox: Vec<(String, Vec<u8>)>,
     shutdown: bool,
+    /// Self-healing membership, when configured (see [`AnnounceState`]).
+    announce: Option<AnnounceState>,
 }
 
 /// One shard served over a transport. See module docs.
@@ -158,6 +208,7 @@ impl ShardNode {
                 binder,
                 evict_outbox: Vec::new(),
                 shutdown: false,
+                announce: None,
             })),
         }
     }
@@ -206,16 +257,70 @@ impl ShardNode {
         endpoint: &str,
     ) -> Result<ServerHandle, NetError> {
         let state = self.state.clone();
+        let served = endpoint.to_string();
         let handler: Handler = Arc::new(Mutex::new(move |request_frame: &[u8]| {
-            let response = match frame::decode_frame::<Request>(request_frame) {
-                Ok(request) => dispatch(&state, request),
-                // A damaged request frame touches no state — validation
-                // precedes dispatch, always.
-                Err(e) => Response::Error(format!("bad request frame: {e}")),
+            let key = crate::auth::process_key();
+            let response = match crate::auth::verify(request_frame, key) {
+                Ok(base) => match frame::decode_frame::<Request>(base) {
+                    Ok(request) => dispatch(&state, request),
+                    // A damaged request frame touches no state —
+                    // validation precedes dispatch, always.
+                    Err(e) => Response::Error(format!("bad request frame: {e}")),
+                },
+                // Unauthenticated: counted by the auth layer; traced
+                // here; zero shard-state change.
+                Err(_) => {
+                    let mut state = state.lock().expect("node state lock");
+                    state
+                        .shard
+                        .record_event(kairos_obs::DecisionEvent::AuthRejected {
+                            endpoint: served.clone(),
+                        });
+                    Response::Error("unauthenticated frame".into())
+                }
             };
-            frame::encode_frame(&response)
+            crate::auth::seal(frame::encode_frame(&response), key)
         }));
         transport.serve(endpoint, handler)
+    }
+
+    /// Configure self-healing membership: announce `(shard, endpoint,
+    /// generation)` to the balancer's lease endpoint now, and — if the
+    /// announce cannot be delivered — keep retrying on `Tick`
+    /// dispatches with bounded deterministic backoff until it lands.
+    /// Call after `serve` (initial join, or a checkpoint restore): this
+    /// replaces supervisor-driven rejoin with the node healing itself.
+    pub fn announce_via(
+        &self,
+        transport: Arc<dyn Transport>,
+        balancer_endpoint: &str,
+        shard: u64,
+        endpoint: &str,
+        generation: u64,
+    ) {
+        let mut announce = AnnounceState {
+            transport,
+            balancer: balancer_endpoint.to_string(),
+            shard,
+            endpoint: endpoint.to_string(),
+            generation,
+            pending: true,
+            attempts: 0,
+            next_attempt_tick: 0,
+        };
+        let now = self.with_shard(|shard| shard.stats().ticks);
+        announce.attempt(now);
+        self.state.lock().expect("node state lock").announce = Some(announce);
+    }
+
+    /// Is an announce still owed (undelivered)? Diagnostics and tests.
+    pub fn announce_pending(&self) -> bool {
+        self.state
+            .lock()
+            .expect("node state lock")
+            .announce
+            .as_ref()
+            .is_some_and(|a| a.pending)
     }
 
     /// Run `f` against the shard (tests, examples, local maintenance).
@@ -239,7 +344,18 @@ fn dispatch(state: &Arc<Mutex<NodeState>>, request: Request) -> Response {
         Request::Ping => Response::Pong {
             ticks: shard.stats().ticks,
         },
-        Request::Tick => Response::Tick(shard.tick()),
+        Request::Tick => {
+            let outcome = shard.tick();
+            // Pump self-healing membership on the tick clock: an owed
+            // announce retries here once its backoff expires.
+            let now = shard.stats().ticks;
+            if let Some(announce) = state.announce.as_mut() {
+                if announce.pending && now >= announce.next_attempt_tick {
+                    announce.attempt(now);
+                }
+            }
+            Response::Tick(outcome)
+        }
         Request::PlannedOnce => Response::PlannedOnce(shard.planned_once()),
         Request::Summary => Response::Summary(shard.summary_cached()),
         Request::PackEstimate { exclude } => {
@@ -360,5 +476,8 @@ fn dispatch(state: &Arc<Mutex<NodeState>>, request: Request) -> Response {
                 .map(|(name, _)| name.clone())
                 .collect(),
         ),
+        // Balancer-role requests; a shard node is the wrong peer.
+        Request::SyncState { .. } => Response::Error("sync_state: not a balancer standby".into()),
+        Request::Announce { .. } => Response::Error("announce: not a balancer".into()),
     }
 }

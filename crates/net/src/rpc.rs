@@ -92,6 +92,22 @@ pub enum Request {
     /// truth — the outbox is exactly where a double-faulted handoff's
     /// tenant is still recoverable from.
     EvictOutbox,
+    /// Replicated balancer soft state: a `kairos-fleet`
+    /// `BalancerSoftState` frame (cooldown memory, parked-handoff lot,
+    /// audit log, gate state) the primary streams to each standby after
+    /// every balance round. Answered with [`Response::Synced`]; a
+    /// promoted standby resumes from the last ingested frame and uses
+    /// the probe-first shard adoption only as fallback reconciliation.
+    SyncState { frame: Vec<u8> },
+    /// A shard node announcing itself to the balancer's lease endpoint
+    /// (self-healing membership): sent at serve/restore and re-sent
+    /// with bounded tick-based backoff until acknowledged. The balancer
+    /// reconciles it into a rejoin on its next tick.
+    Announce {
+        shard: u64,
+        endpoint: String,
+        generation: u64,
+    },
 }
 
 /// What a shard node answers.
@@ -132,6 +148,12 @@ pub enum Response {
     },
     /// The shard's decision trace bytes.
     Trace(Vec<u8>),
+    /// A standby ingested (or deliberately ignored, if stale) a
+    /// [`Request::SyncState`] frame; `round` echoes the balance round
+    /// of the newest state it now holds.
+    Synced {
+        round: u64,
+    },
 }
 
 /// The wire tag (enum variant index) a request encodes with — the first
@@ -167,12 +189,14 @@ fn net_metrics() -> &'static NetMetrics {
     })
 }
 
-/// One round trip: encode the request, ship it, decode the response.
-/// [`Response::Error`] becomes [`NetError::Remote`] so call sites match
-/// on the one success shape they expect.
+/// One round trip: encode the request, seal it under the process key
+/// (if any — see [`crate::auth`]), ship it, verify and decode the
+/// response. [`Response::Error`] becomes [`NetError::Remote`] so call
+/// sites match on the one success shape they expect.
 pub fn call(conn: &mut dyn Conn, request: &Request) -> Result<Response, NetError> {
     let metrics = net_metrics();
-    let frame = frame::encode_frame(request);
+    let key = crate::auth::process_key();
+    let frame = crate::auth::seal(frame::encode_frame(request), key);
     metrics.rpcs.inc();
     metrics.bytes_sent.add(frame.len() as u64);
     let started = std::time::Instant::now();
@@ -181,7 +205,8 @@ pub fn call(conn: &mut dyn Conn, request: &Request) -> Result<Response, NetError
         .rpc_usecs
         .record(started.elapsed().as_micros() as u64);
     metrics.bytes_received.add(response.len() as u64);
-    match frame::decode_frame::<Response>(&response)? {
+    let body = crate::auth::verify(&response, key)?;
+    match frame::decode_frame::<Response>(body)? {
         Response::Error(msg) => Err(NetError::Remote(msg)),
         ok => Ok(ok),
     }

@@ -14,7 +14,8 @@
 //! surfaces as an error instead of a hang — the balancer's lease logic
 //! turns those errors into failure detection.
 
-use crate::frame::{read_frame, write_frame};
+use crate::auth::wire_trailer_len;
+use crate::frame::{read_frame_with_trailer, write_frame};
 use crate::transport::{Conn, Handler, NetError, ServerHandle, Transport};
 use std::io::ErrorKind;
 use std::net::{TcpListener, TcpStream};
@@ -101,7 +102,10 @@ impl Transport for TcpTransport {
 fn serve_connection(mut stream: TcpStream, handler: Handler) {
     let _ = stream.set_nodelay(true);
     loop {
-        let frame = match read_frame(&mut stream) {
+        // Keyed deployments carry an auth tag after the CRC; the frame
+        // reader consumes it so stream framing survives, and the node's
+        // handler verifies it before dispatch.
+        let frame = match read_frame_with_trailer(&mut stream, wire_trailer_len()) {
             Ok(frame) => frame,
             Err(NetError::Io(e)) if e.kind() == ErrorKind::UnexpectedEof => return,
             Err(_) => return,
@@ -124,7 +128,7 @@ struct TcpConn {
 impl Conn for TcpConn {
     fn call(&mut self, frame: &[u8]) -> Result<Vec<u8>, NetError> {
         write_frame(&mut self.stream, frame)?;
-        read_frame(&mut self.stream)
+        read_frame_with_trailer(&mut self.stream, wire_trailer_len())
     }
 
     fn endpoint(&self) -> &str {

@@ -49,6 +49,9 @@ pub enum NetError {
     Remote(String),
     /// The peer answered with a response of the wrong kind.
     Protocol(String),
+    /// The frame's shared-secret tag failed verification (or was
+    /// absent on a keyed deployment) — rejected before any decoding.
+    AuthRejected,
 }
 
 impl std::fmt::Display for NetError {
@@ -67,6 +70,9 @@ impl std::fmt::Display for NetError {
             NetError::Dropped => write!(f, "message dropped (injected fault)"),
             NetError::Remote(msg) => write!(f, "remote error: {msg}"),
             NetError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            NetError::AuthRejected => {
+                write!(f, "RPC frame failed shared-secret authentication")
+            }
         }
     }
 }

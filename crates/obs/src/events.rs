@@ -18,7 +18,7 @@ use std::collections::VecDeque;
 
 /// Version tag for serialized trace frames (`kairos-store` framing).
 /// Bump on any change to [`TracedEvent`] / [`DecisionEvent`] layout.
-pub const TRACE_WIRE_VERSION: u32 = 1;
+pub const TRACE_WIRE_VERSION: u32 = 2;
 
 /// Default ring capacity: large enough to hold every event of the test
 /// and example runs (so checkpoint/restore preserves full history), small
@@ -143,6 +143,25 @@ pub enum DecisionEvent {
     /// A standby balancer promoted itself and adopted the fleet state
     /// from the shards (ground truth).
     StandbyPromoted { rank: u64, adopted_ticks: u64 },
+    /// A standby ingested a replicated soft-state snapshot from the
+    /// primary. `sync_round` is the balancer round the state describes;
+    /// `parked`/`cooldowns`/`log_events` size the replicated payload.
+    StandbySynced {
+        sync_round: u64,
+        parked: usize,
+        cooldowns: usize,
+        log_events: usize,
+    },
+    /// A frame failed shared-secret authentication and was rejected
+    /// before any decode — zero state change on the receiver.
+    AuthRejected { endpoint: String },
+    /// A shard node announced itself to the balancer (self-healing
+    /// membership): first contact, post-restore, or after backoff.
+    NodeAnnounced {
+        shard: usize,
+        endpoint: String,
+        generation: u64,
+    },
 }
 
 /// A [`DecisionEvent`] with its position in the stream: a monotone

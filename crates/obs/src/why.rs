@@ -149,6 +149,22 @@ pub fn render_event(event: &DecisionEvent) -> String {
             rank,
             adopted_ticks,
         } => format!("standby rank {rank} promoted; adopted fleet state at tick {adopted_ticks}"),
+        StandbySynced {
+            sync_round,
+            parked,
+            cooldowns,
+            log_events,
+        } => format!(
+            "standby synced replicated state for round {sync_round}: {parked} parked, {cooldowns} cooldowns, {log_events} log events"
+        ),
+        AuthRejected { endpoint } => {
+            format!("frame from {endpoint} REJECTED: shared-secret auth failed (no state change)")
+        }
+        NodeAnnounced {
+            shard,
+            endpoint,
+            generation,
+        } => format!("shard {shard} announced itself at {endpoint} (generation {generation})"),
     }
 }
 
@@ -176,6 +192,7 @@ fn concerns_shard(event: &DecisionEvent, shard: usize) -> bool {
             donor, receiver, ..
         } => *donor == shard || *receiver == shard,
         HandoffNoReceiver { donor, .. } => *donor == shard,
+        NodeAnnounced { shard: s, .. } => *s == shard,
         _ => false,
     }
 }

@@ -197,7 +197,15 @@ fn main() {
         run_shard_node(shard, &args[3], restore);
     }
 
-    println!("== kairos-net: a 3-shard fleet as real processes over TCP ==\n");
+    // Key the whole deployment before the first net call: the child
+    // processes inherit the environment, so every frame in this run —
+    // parent balancer, shard nodes, the respawned node — carries a
+    // SipHash-2-4 tag and an unkeyed peer could drive nothing.
+    if std::env::var(kairos_net::auth::KEY_ENV).is_err() {
+        std::env::set_var(kairos_net::auth::KEY_ENV, "fleet-over-tcp-demo");
+    }
+
+    println!("== kairos-net: a 3-shard fleet as real processes over TCP (authenticated) ==\n");
     let ckpt_dir =
         std::env::var("KAIROS_SNAPSHOT_DIR").unwrap_or_else(|_| "target/ckpt-tcp".to_string());
     std::fs::create_dir_all(&ckpt_dir).expect("checkpoint dir");
