@@ -136,6 +136,39 @@ fn parse_scales(json: &str) -> BTreeMap<u64, BTreeMap<String, f64>> {
     out
 }
 
+/// The `"hierarchy"` section: its own `scales` array (keyed by total
+/// shard count) plus the section-level flatness ratios. Empty when the
+/// document predates the hierarchy (pre-mega-fleet baselines).
+struct Hierarchy {
+    scales: BTreeMap<u64, BTreeMap<String, f64>>,
+    root_cost_ratio: Option<f64>,
+}
+
+fn parse_hierarchy(json: &str) -> Hierarchy {
+    let mut out = Hierarchy {
+        scales: BTreeMap::new(),
+        root_cost_ratio: None,
+    };
+    let Some(key) = json.find("\"hierarchy\"") else {
+        return out;
+    };
+    // Everything from the key onward: the nested scales array is the
+    // first `"scales"` in this slice, and the ratio scalars follow it.
+    let section = &json[key..];
+    out.scales = parse_scales(section);
+    out.root_cost_ratio = section.find("\"root_cost_ratio\"").and_then(|i| {
+        let rest = &section[i..];
+        let colon = rest.find(':')?;
+        rest[colon + 1..]
+            .split(|c: char| c == ',' || c == '}' || c == '\n')
+            .next()?
+            .trim()
+            .parse::<f64>()
+            .ok()
+    });
+    out
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     if args.len() != 3 {
@@ -197,6 +230,37 @@ fn main() -> ExitCode {
             fresh_net.get(net_metric).copied(),
         ));
     }
+
+    // The hierarchy section: compared at the largest total shard count
+    // both documents ran (the mega-fleet scale, 1,000 shards on the
+    // committed profile). Missing from *both* files means a
+    // pre-hierarchy baseline; missing from one is a gate-input error.
+    let fresh_hier = parse_hierarchy(&fresh_doc);
+    let baseline_hier = parse_hierarchy(&baseline_doc);
+    let hier_shards = fresh_hier
+        .scales
+        .keys()
+        .filter(|s| baseline_hier.scales.contains_key(s))
+        .max()
+        .copied();
+    if !fresh_hier.scales.is_empty() || !baseline_hier.scales.is_empty() {
+        let fh = hier_shards.and_then(|s| fresh_hier.scales.get(&s));
+        let bh = hier_shards.and_then(|s| baseline_hier.scales.get(&s));
+        for (metric, unit) in [
+            ("root_round_mean_usecs", "µs"),
+            ("zone_rollup_bytes", "B"),
+        ] {
+            rows.push((
+                match metric {
+                    "root_round_mean_usecs" => "hierarchy.root_round_mean_usecs",
+                    _ => "hierarchy.zone_rollup_bytes",
+                },
+                unit,
+                bh.and_then(|f| f.get(metric).copied()),
+                fh.and_then(|f| f.get(metric).copied()),
+            ));
+        }
+    }
     for (metric, unit, bv, fv) in rows {
         let (Some(bv), Some(fv)) = (bv, fv) else {
             eprintln!("bench_gate: metric {metric} missing from one input");
@@ -213,6 +277,24 @@ fn main() -> ExitCode {
         failed |= !ok;
         println!(
             "| `{metric}` | {bv:.3} {unit} | {fv:.3} {unit} | {ratio:.2}× | {FACTOR}× | {} |",
+            if ok { "✅ pass" } else { "❌ **regressed**" }
+        );
+    }
+
+    // The flat-cost claim is gated as an *absolute* bound on the fresh
+    // run, not against the baseline: the root's per-round cost must stay
+    // within FACTOR× as the fleet scales 250 → 1,000 shards beneath the
+    // same zone population. A fresh document with a hierarchy section
+    // must report the ratio.
+    if !fresh_hier.scales.is_empty() {
+        let Some(ratio) = fresh_hier.root_cost_ratio else {
+            eprintln!("bench_gate: hierarchy section missing root_cost_ratio");
+            return ExitCode::from(2);
+        };
+        let ok = ratio > 0.0 && ratio <= FACTOR;
+        failed |= !ok;
+        println!(
+            "| `hierarchy.root_cost_ratio` (fresh, absolute) | – | {ratio:.3}× | {ratio:.2}× | {FACTOR}× | {} |",
             if ok { "✅ pass" } else { "❌ **regressed**" }
         );
     }

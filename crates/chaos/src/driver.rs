@@ -119,6 +119,11 @@ pub struct ChaosConfig {
     /// fault class restores from the latest of these.
     pub checkpoint_every: u64,
     pub miss_limit: u32,
+    /// Sketch shape every shard compresses summaries and handoff
+    /// frames with. Default is the controller default; the sketched
+    /// chaos leg tightens it so faulted handoffs cross with genuinely
+    /// lossy frames.
+    pub sketch: kairos_traces::SketchConfig,
 }
 
 impl Default for ChaosConfig {
@@ -134,6 +139,7 @@ impl Default for ChaosConfig {
             balance_every: 4,
             checkpoint_every: 8,
             miss_limit: 3,
+            sketch: kairos_traces::SketchConfig::default(),
         }
     }
 }
@@ -160,6 +166,7 @@ impl ChaosConfig {
                 horizon: 8,
                 check_every: 4,
                 cooldown_ticks: 8,
+                sketch: self.sketch,
                 ..ControllerConfig::default()
             },
             balancer: BalancerConfig {

@@ -132,3 +132,33 @@ fn report_percentiles_are_pinned_to_the_census_extremes() {
     assert!(outcome.report.owned_p50 <= outcome.report.owned_p100);
     assert_eq!(outcome.report.ticks, cfg.total_ticks());
 }
+
+#[test]
+fn sketched_handoff_frames_survive_the_fault_schedule() {
+    // The sketched-telemetry leg: the same seeded schedules, but every
+    // handoff frame crossing the (faulted) wire carries a deliberately
+    // tight lossy sketch — a short verbatim tail and a coarse quantile
+    // grid — instead of the default shape. Corruption, drops, crashes
+    // and restores must leave the invariant suite intact, and reruns
+    // must stay byte-identical: lossy compression is still
+    // deterministic compression.
+    let cfg = ChaosConfig {
+        sketch: kairos_traces::SketchConfig { marks: 5, tail: 8 },
+        ..ChaosConfig::default()
+    };
+    for seed in 300..304u64 {
+        let schedule = generate(seed, &cfg.bounds());
+        let a = run(&cfg, &schedule);
+        assert!(
+            a.passed(),
+            "seed {seed} violated an invariant with sketched handoffs under\n{}\n{}",
+            schedule.render(),
+            a.violation.unwrap().render()
+        );
+        let b = run(&cfg, &schedule);
+        assert_eq!(
+            a.fingerprint, b.fingerprint,
+            "sketched run must stay deterministic under replay (seed {seed})"
+        );
+    }
+}

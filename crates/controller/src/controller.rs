@@ -56,6 +56,10 @@ pub struct ControllerConfig {
     /// doesn't wait for the lazy slack side of the drift detector (and
     /// doesn't pay a solve). `0` disables the refresh.
     pub profile_refresh_ticks: u64,
+    /// Sketch shape for balancer summaries and handoff frames (quantile
+    /// marks + verbatim tail). Part of the summary cache key: changing
+    /// it invalidates cached roll-ups even with no state change.
+    pub sketch: kairos_traces::SketchConfig,
 }
 
 impl Default for ControllerConfig {
@@ -81,6 +85,7 @@ impl Default for ControllerConfig {
             },
             cold_resolves: false,
             profile_refresh_ticks: 24,
+            sketch: kairos_traces::SketchConfig::default(),
         }
     }
 }

@@ -8,7 +8,7 @@
 //! for forecasting the next planning horizon.
 
 use kairos_monitor::MonitorSample;
-use kairos_traces::{ArchiveSpec, Consolidation, Rrd};
+use kairos_traces::{ArchiveSpec, Consolidation, Rrd, SeriesSketch, SketchConfig};
 use kairos_types::{Bytes, TimeSeries, WorkloadProfile};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -52,7 +52,7 @@ impl TelemetrySource for SessionSource {
 }
 
 /// Rolling-store layout.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TelemetryConfig {
     /// Monitoring interval (seconds of simulated time per sample).
     pub interval_secs: f64,
@@ -182,6 +182,61 @@ impl WorkloadTelemetry {
             self.rate.rolling_window(full),
         ]
     }
+
+    /// Compress the transportable telemetry to a [`TelemetrySketch`]:
+    /// the three stored series at fixed size, however long the rolling
+    /// window is. What a sketched handoff frame carries instead of the
+    /// full RRD rings.
+    pub fn sketch(&self, sketch_cfg: &SketchConfig) -> TelemetrySketch {
+        let full = self.cfg.window_capacity;
+        TelemetrySketch {
+            cfg: self.cfg,
+            cpu: SeriesSketch::of(&self.cpu.rolling_window(full), sketch_cfg),
+            ram: SeriesSketch::of(&self.ram.rolling_window(full), sketch_cfg),
+            rate: SeriesSketch::of(&self.rate.rolling_window(full), sketch_cfg),
+            samples_seen: self.samples_seen,
+        }
+    }
+
+    /// Rebuild rolling telemetry from a sketch — the admit side of a
+    /// sketched handoff. Fresh RRDs are replayed from each series'
+    /// reconstruction (exact recent tail, quantile staircase for the
+    /// deeper past, peaks preserved verbatim), and `samples_seen` is
+    /// restored exactly so the drift detector's phase alignment
+    /// survives the transfer.
+    pub fn from_sketch(sketch: &TelemetrySketch) -> WorkloadTelemetry {
+        let mut out = WorkloadTelemetry::new(sketch.cfg);
+        let cpu = sketch.cpu.reconstruct();
+        let ram = sketch.ram.reconstruct();
+        let rate = sketch.rate.reconstruct();
+        let n = cpu.len().max(ram.len()).max(rate.len());
+        let at = |s: &TimeSeries, i: usize| s.values().get(i).copied().unwrap_or(0.0);
+        for i in 0..n {
+            // Push directly: gauging (if any) was already applied when the
+            // samples were first ingested on the donor side.
+            out.cpu.push(at(&cpu, i));
+            out.ram.push(at(&ram, i));
+            out.rate.push(at(&rate, i));
+        }
+        out.samples_seen = sketch.samples_seen;
+        out
+    }
+}
+
+/// Constant-size image of one workload's rolling telemetry — what a
+/// [`crate::TenantHandoff`] wire frame carries. Holds the telemetry
+/// layout (so the destination rebuilds identically-shaped RRDs), one
+/// [`SeriesSketch`] per stored series, and the phase-driving sample
+/// counter. Size is independent of `cfg.window_capacity`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TelemetrySketch {
+    pub cfg: TelemetryConfig,
+    pub cpu: SeriesSketch,
+    /// RAM doubles as the working-set series, mirroring
+    /// [`WorkloadTelemetry`]'s storage layout.
+    pub ram: SeriesSketch,
+    pub rate: SeriesSketch,
+    pub samples_seen: u64,
 }
 
 /// The fleet-wide ingester: name → rolling telemetry.
@@ -324,5 +379,46 @@ mod tests {
     fn ingest_unregistered_panics() {
         let mut ing = TelemetryIngester::new();
         ing.ingest("ghost", &sample(1.0, 1024, 50.0));
+    }
+
+    #[test]
+    fn sketch_roundtrip_preserves_decision_inputs() {
+        let mut t = WorkloadTelemetry::new(TelemetryConfig {
+            window_capacity: 64,
+            ..Default::default()
+        });
+        for i in 0..200u64 {
+            // A spike at i=150 lands inside the window but outside a
+            // 16-sample tail — the quantile staircase must carry it.
+            let cpu = if i == 150 { 6.0 } else { 0.5 + (i % 7) as f64 * 0.1 };
+            t.ingest(&sample(cpu, 2048, 100.0 + i as f64));
+        }
+        let sk = t.sketch(&SketchConfig { marks: 9, tail: 16 });
+        let back = WorkloadTelemetry::from_sketch(&sk);
+        assert_eq!(back.samples_seen(), 200, "phase alignment survives");
+        assert_eq!(back.window_len(), t.window_len());
+        let [cpu_a, ram_a, _, rate_a] = t.history();
+        let [cpu_b, ram_b, _, rate_b] = back.history();
+        assert_eq!(cpu_b.max(), cpu_a.max(), "peak is exact");
+        assert_eq!(ram_b.max(), ram_a.max());
+        assert_eq!(rate_b.max(), rate_a.max());
+        // The recent tail is verbatim.
+        let tail = |s: &kairos_types::TimeSeries| s.values()[s.len() - 16..].to_vec();
+        assert_eq!(tail(&cpu_b), tail(&cpu_a));
+    }
+
+    #[test]
+    fn lossless_sketch_config_reproduces_the_window_exactly() {
+        let cfg = TelemetryConfig {
+            window_capacity: 48,
+            ..Default::default()
+        };
+        let mut t = WorkloadTelemetry::new(cfg);
+        for i in 0..48u64 {
+            t.ingest(&sample(0.1 + i as f64 * 0.02, 1024 + i, 10.0 * i as f64));
+        }
+        let sk = t.sketch(&SketchConfig::lossless_for(cfg.window_capacity));
+        let back = WorkloadTelemetry::from_sketch(&sk);
+        assert_eq!(back.history(), t.history());
     }
 }

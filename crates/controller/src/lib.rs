@@ -74,7 +74,8 @@ pub use controller::{
 pub use drift::{DriftDetector, DriftReport, ResourceDrift};
 pub use executor::{ExecutionReport, FleetExecutor};
 pub use ingest::{
-    SessionSource, TelemetryConfig, TelemetryIngester, TelemetrySource, WorkloadTelemetry,
+    SessionSource, TelemetryConfig, TelemetryIngester, TelemetrySketch, TelemetrySource,
+    WorkloadTelemetry,
 };
 pub use migration::{plan_migration, MigrationPlan, MigrationStep, Move};
 pub use resolver::{

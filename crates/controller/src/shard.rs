@@ -21,14 +21,14 @@ use crate::controller::{
 };
 use crate::drift::DriftReport;
 use crate::executor::FleetExecutor;
-use crate::ingest::{TelemetryIngester, TelemetrySource, WorkloadTelemetry};
+use crate::ingest::{TelemetryIngester, TelemetrySketch, TelemetrySource, WorkloadTelemetry};
 use crate::migration::plan_migration;
 use crate::resolver::{FleetPlacement, ReSolver};
 use crate::snapshot::{ShardSnapshot, TRACE_CHECKPOINT_CAP};
 use kairos_core::ConsolidationEngine;
 use kairos_obs::{DecisionEvent, DecisionLog, MetricsRegistry, TracedEvent};
 use kairos_solver::{evaluate, greedy_pack, Assignment, Evaluation};
-use kairos_traces::ShardAggregate;
+use kairos_traces::{AggregateSketch, ShardAggregate, SketchConfig};
 use kairos_types::{KairosError, WorkloadProfile};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -63,8 +63,10 @@ pub struct ShardSummary {
     pub resolve_failed: bool,
     /// Workloads currently outside their planned envelope.
     pub drifting: usize,
-    /// Aggregate rolling load across the shard's tenants.
-    pub aggregate: ShardAggregate,
+    /// Aggregate rolling load across the shard's tenants, sketched to
+    /// constant size (peaks exact — see [`kairos_traces::sketch`]): the
+    /// summary's wire size no longer grows with the monitoring window.
+    pub aggregate: AggregateSketch,
     /// Per-tenant forecast peaks, for handoff candidate selection.
     pub tenant_loads: Vec<TenantLoad>,
 }
@@ -76,32 +78,46 @@ pub struct TenantHandoff {
     pub replicas: u32,
     pub source: Box<dyn TelemetrySource>,
     pub telemetry: WorkloadTelemetry,
+    /// Sketch shape [`TenantHandoff::into_wire`] compresses the
+    /// telemetry with (the donor shard's configured shape).
+    pub sketch: SketchConfig,
 }
 
 /// Frame version of [`TenantHandoff::into_wire`]'s encoding.
-pub const HANDOFF_WIRE_VERSION: u32 = 1;
+///
+/// v2: the telemetry travels as a constant-size [`TelemetrySketch`]
+/// instead of the full RRD rings — frame size is independent of the
+/// monitoring window (peaks exact, recent tail verbatim, deep past
+/// replayed from the quantile staircase on admit).
+pub const HANDOFF_WIRE_VERSION: u32 = 2;
 
 impl TenantHandoff {
     /// Serialize the transportable part of the handoff — name, replica
-    /// count, and the full rolling telemetry — into a checksummed
+    /// count, and the *sketched* rolling telemetry — into a checksummed
     /// [`kairos_store`] frame, handing the live source back separately.
     /// The source is the one piece that cannot cross a process boundary
     /// as bytes (an RPC transport re-binds the destination's own); the
     /// in-process balancer routes every handoff through this encoding so
-    /// the bytes are exercised on the hot path, not just in tests.
+    /// the bytes (and the sketch round-trip) are exercised on the hot
+    /// path, not just in tests.
     pub fn into_wire(self) -> (Vec<u8>, Box<dyn TelemetrySource>) {
         let TenantHandoff {
             name,
             replicas,
             source,
             telemetry,
+            sketch,
         } = self;
-        let bytes = kairos_store::encode_frame(HANDOFF_WIRE_VERSION, &(name, replicas, telemetry));
+        let bytes = kairos_store::encode_frame(
+            HANDOFF_WIRE_VERSION,
+            &(name, replicas, telemetry.sketch(&sketch)),
+        );
         (bytes, source)
     }
 
     /// Validate and decode a handoff frame's transportable parts —
-    /// `(tenant, replicas, telemetry)` — without binding a source. The
+    /// `(tenant, replicas, telemetry)` — without binding a source,
+    /// rebuilding the rolling telemetry from the frame's sketch. The
     /// RPC admit path decodes first and only then binds a
     /// destination-side source for the named tenant, so a damaged frame
     /// is rejected before any state is touched (and a failed admission
@@ -109,7 +125,9 @@ impl TenantHandoff {
     pub fn parts_from_wire(
         bytes: &[u8],
     ) -> Result<(String, u32, WorkloadTelemetry), kairos_store::StoreError> {
-        kairos_store::decode_frame(bytes, HANDOFF_WIRE_VERSION)
+        let (name, replicas, sketch): (String, u32, TelemetrySketch) =
+            kairos_store::decode_frame(bytes, HANDOFF_WIRE_VERSION)?;
+        Ok((name, replicas, WorkloadTelemetry::from_sketch(&sketch)))
     }
 
     /// Inverse of [`TenantHandoff::into_wire`]: validate and decode the
@@ -131,6 +149,9 @@ impl TenantHandoff {
             replicas,
             source,
             telemetry,
+            // A decoded handoff re-sketches (if ever re-encoded) with the
+            // default shape; the owning shard's evict path overrides it.
+            sketch: SketchConfig::default(),
         })
     }
 }
@@ -193,10 +214,13 @@ pub struct ShardController {
     /// failed solve so retries are paced, not per-tick).
     replan_backoff_until: u64,
     last_resolve_failed: bool,
-    /// Cached balancer summary plus the tick it was computed at;
-    /// invalidated by anything that changes what the balancer would see
-    /// (see [`ControllerConfig::summary_refresh_ticks`]).
-    summary_cache: Option<(u64, ShardSummary)>,
+    /// Cached balancer summary plus the tick it was computed at and the
+    /// [`SketchConfig::digest`] it was sketched with; invalidated by
+    /// anything that changes what the balancer would see (see
+    /// [`ControllerConfig::summary_refresh_ticks`]) and by a sketch
+    /// shape change — a summary sketched with the old shape must never
+    /// be served under a new one.
+    summary_cache: Option<(u64, u64, ShardSummary)>,
     /// Registry-backed live counters; [`ControllerStats`] is a view.
     metrics: ShardMetrics,
     /// The deterministic decision trace (tick-stamped, ring-buffered).
@@ -980,8 +1004,8 @@ impl ShardController {
             .iter()
             .filter_map(|n| self.ingester.get(n).map(|t| t.history()))
             .collect();
-        let aggregate =
-            ShardAggregate::from_windows(windows.iter(), self.cfg.telemetry.interval_secs);
+        let full = ShardAggregate::from_windows(windows.iter(), self.cfg.telemetry.interval_secs);
+        let aggregate = AggregateSketch::of(&full, &self.cfg.sketch);
         // One forecast pass feeds both the placement check and the
         // per-tenant peaks (forecasting every tenant is the expensive
         // part of a summary).
@@ -1034,18 +1058,41 @@ impl ShardController {
     /// staleness bound expires.
     pub fn summary_cached(&mut self) -> ShardSummary {
         let refresh = self.cfg.summary_refresh_ticks;
+        let digest = self.cfg.sketch.digest();
         if refresh > 0 {
-            if let Some((at, cached)) = &self.summary_cache {
-                if self.ticks().saturating_sub(*at) < refresh {
+            if let Some((at, sketched_as, cached)) = &self.summary_cache {
+                // A cached summary sketched under a different shape is
+                // stale regardless of age (the shape can change between
+                // computation and use via `set_sketch_config` or a
+                // restore under a new config).
+                if *sketched_as == digest && self.ticks().saturating_sub(*at) < refresh {
                     return cached.clone();
                 }
             }
         }
         let fresh = self.summary();
         if refresh > 0 {
-            self.summary_cache = Some((self.ticks(), fresh.clone()));
+            self.summary_cache = Some((self.ticks(), digest, fresh.clone()));
         }
         fresh
+    }
+
+    /// The sketch shape this shard compresses summaries and handoff
+    /// frames with.
+    pub fn sketch_config(&self) -> SketchConfig {
+        self.cfg.sketch
+    }
+
+    /// Re-shape the telemetry sketches (mark count / verbatim tail).
+    /// Invalidates the summary cache eagerly; the digest check in
+    /// [`ShardController::summary_cached`] is the belt-and-braces
+    /// backstop for shape changes that bypass this setter (e.g. a
+    /// snapshot restored under a different config).
+    pub fn set_sketch_config(&mut self, sketch: SketchConfig) {
+        if self.cfg.sketch != sketch {
+            self.cfg.sketch = sketch;
+            self.invalidate_summary();
+        }
     }
 
     /// Phase 1 of the handoff (reservation): would this shard still pack
@@ -1112,6 +1159,7 @@ impl ShardController {
             replicas,
             source,
             telemetry,
+            sketch: self.cfg.sketch,
         })
     }
 
@@ -1125,6 +1173,7 @@ impl ShardController {
             replicas,
             source,
             telemetry,
+            sketch: _,
         } = handoff;
         self.ingester.insert(&name, telemetry);
         if replicas > 1 {

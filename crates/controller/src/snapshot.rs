@@ -49,7 +49,13 @@ use std::collections::BTreeMap;
 /// v2: the snapshot carries the shard's decision trace (`trace`,
 /// `last_objective_bits`) so a restored controller's event stream
 /// *continues* the checkpointed history rather than forking it.
-pub const SHARD_SNAPSHOT_VERSION: u32 = 2;
+///
+/// v3: `ShardSummary.aggregate` is a constant-size
+/// [`kairos_traces::AggregateSketch`] instead of a full
+/// `ShardAggregate`, and the summary cache records the
+/// [`kairos_traces::SketchConfig::digest`] it was sketched with so a
+/// restore under a different sketch shape invalidates it.
+pub const SHARD_SNAPSHOT_VERSION: u32 = 3;
 
 /// Most recent decision events a checkpoint persists per shard (the
 /// in-memory ring may be larger; see
@@ -87,8 +93,10 @@ pub struct ShardSnapshot {
     pub replan_backoff_until: u64,
     pub last_resolve_failed: bool,
     /// The staleness-bounded balancer summary cache: `(tick computed at,
-    /// summary)`.
-    pub summary_cache: Option<(u64, ShardSummary)>,
+    /// sketch-config digest it was sketched with, summary)`. The digest
+    /// lets a restore under a different sketch shape treat the cached
+    /// copy as stale instead of serving a mis-shaped roll-up.
+    pub summary_cache: Option<(u64, u64, ShardSummary)>,
     pub stats: ControllerStats,
     /// Executor routing: `(workload, replica, machine, rows)` per
     /// materialized tenant copy.

@@ -1,0 +1,107 @@
+//! Regression tests for the summary cache's sketch-config keying.
+//!
+//! The balancer-facing summary cache is staleness-bounded
+//! (`summary_refresh_ticks`) and invalidated on state change — but a
+//! summary is also a function of the **sketch shape** it was
+//! compressed under. A config change (live via `set_sketch_config`, or
+//! implicit via a snapshot restored into a differently-configured
+//! controller) must invalidate the cache immediately, not after the
+//! staleness bound expires: a root balancer reading a 9-mark roll-up
+//! from a shard reconfigured to 5 marks would otherwise see frames of
+//! the wrong shape for a whole refresh window.
+
+use kairos_controller::{ControllerConfig, ShardController, SyntheticSource};
+use kairos_core::ConsolidationEngine;
+use kairos_traces::SketchConfig;
+use kairos_types::Bytes;
+use kairos_workloads::RatePattern;
+
+fn planned_shard() -> ShardController {
+    let cfg = ControllerConfig {
+        horizon: 8,
+        check_every: 4,
+        cooldown_ticks: 8,
+        // A wide staleness bound: without sketch-digest keying, a stale
+        // summary would be served for 24 ticks after a config change.
+        summary_refresh_ticks: 24,
+        ..ControllerConfig::default()
+    };
+    let mut shard = ShardController::new(cfg, ConsolidationEngine::builder().build());
+    for i in 0..6 {
+        shard.add_workload(Box::new(
+            SyntheticSource::new(
+                format!("t{i:02}"),
+                300.0,
+                Bytes::gib(4),
+                RatePattern::Flat { tps: 210.0 },
+            )
+            .with_noise(0.0),
+        ));
+    }
+    for _ in 0..12 {
+        shard.tick();
+    }
+    shard
+}
+
+fn mark_count(shard: &mut ShardController) -> usize {
+    shard.summary_cached().aggregate.cpu_cores.marks().len()
+}
+
+#[test]
+fn sketch_config_change_invalidates_summary_cache() {
+    let mut shard = planned_shard();
+    let default_marks = SketchConfig::default().marks as usize;
+    assert_eq!(mark_count(&mut shard), default_marks);
+    // Second read inside the staleness window: served from cache.
+    assert_eq!(mark_count(&mut shard), default_marks);
+
+    // Re-shape the sketch. The cached summary is age-fresh but
+    // shape-stale — the very next read must carry the new shape.
+    shard.set_sketch_config(SketchConfig { marks: 5, tail: 4 });
+    assert_eq!(
+        mark_count(&mut shard),
+        5,
+        "summary cache must invalidate on sketch config change, not only on state change"
+    );
+
+    // Setting the same config back and forth is not a spurious
+    // invalidation: an identical config keeps the cache warm.
+    let before = shard.summary_cached();
+    shard.set_sketch_config(SketchConfig { marks: 5, tail: 4 });
+    let after = shard.summary_cached();
+    assert_eq!(before.aggregate, after.aggregate);
+}
+
+#[test]
+fn restore_under_different_sketch_config_recomputes_summary() {
+    // The snapshot carries the summary cache verbatim (that is the
+    // point — a restored shard answers the balancer instantly). But if
+    // the restoring process is configured with a different sketch
+    // shape, the carried cache is shape-stale and the digest check must
+    // catch it without any setter being called.
+    let mut shard = planned_shard();
+    let default_marks = SketchConfig::default().marks as usize;
+    assert_eq!(mark_count(&mut shard), default_marks);
+    let snapshot = shard.snapshot();
+
+    let restore_cfg = ControllerConfig {
+        horizon: 8,
+        check_every: 4,
+        cooldown_ticks: 8,
+        summary_refresh_ticks: 24,
+        sketch: SketchConfig { marks: 3, tail: 2 },
+        ..ControllerConfig::default()
+    };
+    let mut restored = ShardController::restore(
+        restore_cfg,
+        ConsolidationEngine::builder().build(),
+        snapshot,
+    )
+    .expect("snapshot restores");
+    assert_eq!(
+        mark_count(&mut restored),
+        3,
+        "a snapshot-carried summary cache under the old sketch shape must not be served"
+    );
+}

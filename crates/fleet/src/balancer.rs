@@ -235,6 +235,7 @@ impl ShardHandle for ShardController {
         };
         match TenantHandoff::parts_from_wire(&wire) {
             Ok((frame_name, replicas, telemetry)) if frame_name == *source.name() => {
+                let sketch = self.sketch_config();
                 ShardController::admit(
                     self,
                     TenantHandoff {
@@ -242,6 +243,7 @@ impl ShardHandle for ShardController {
                         replicas,
                         source,
                         telemetry,
+                        sketch,
                     },
                 );
                 Ok(())
@@ -795,7 +797,7 @@ pub fn candidate_order(summary: &ShardSummary) -> Vec<String> {
 mod tests {
     use super::*;
     use kairos_controller::TenantLoad;
-    use kairos_traces::ShardAggregate;
+    use kairos_traces::AggregateSketch;
 
     fn summary(planned: bool, machines: usize, feasible: bool) -> ShardSummary {
         ShardSummary {
@@ -806,7 +808,7 @@ mod tests {
             violation: if feasible { 0.0 } else { 1.0 },
             resolve_failed: false,
             drifting: 0,
-            aggregate: ShardAggregate::from_windows(std::iter::empty(), 300.0),
+            aggregate: AggregateSketch::empty(300.0),
             tenant_loads: vec![
                 TenantLoad {
                     name: "small".into(),

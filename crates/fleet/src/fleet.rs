@@ -19,7 +19,7 @@ use crate::handoff::{HandoffOutcome, HandoffRecord};
 use crate::shardmap::ShardMap;
 use crate::snapshot::{FleetSnapshot, FLEET_SNAPSHOT_VERSION};
 use kairos_controller::{
-    ControllerConfig, ShardController, ShardSummary, TelemetrySource, TickOutcome,
+    ControllerConfig, ShardController, ShardSummary, TelemetrySource, TenantHandoff, TickOutcome,
     TRACE_CHECKPOINT_CAP,
 };
 use kairos_core::ConsolidationEngine;
@@ -452,6 +452,72 @@ impl FleetController {
             .iter()
             .map(|p| (p.tenant.name.clone(), p.donor, p.receiver))
             .collect()
+    }
+
+    // ----- hierarchy surface (see `crate::hierarchy`) -----
+
+    /// Mutable shard access, for callers that drive shards through the
+    /// [`crate::balancer::ShardHandle`] surface themselves — the zone
+    /// roll-up does (its constant-size summary consumes each shard's
+    /// staleness-bounded `summary_cached`, which is `&mut`).
+    pub fn shards_mut(&mut self) -> &mut [ShardController] {
+        &mut self.shards
+    }
+
+    /// Evict `name` from whichever shard holds it, returning the tenant
+    /// as a checksummed handoff frame (sketched telemetry inside; see
+    /// [`kairos_controller::HANDOFF_WIRE_VERSION`]). The live source is
+    /// dropped: a cross-zone admit re-binds its own, exactly like an RPC
+    /// admit. This is the building block of the hierarchy's group moves.
+    pub fn evict_tenant(&mut self, name: &str) -> Option<Vec<u8>> {
+        let shard = self.map.shard_of(name)?;
+        let handoff = self.shards[shard].evict(name)?;
+        self.map.remove(name);
+        self.probe_cooldown.remove(name);
+        self.parked.retain(|p| p.tenant.name != name);
+        let (wire, _source) = handoff.into_wire();
+        Some(wire)
+    }
+
+    /// Admit a handoff frame into a specific shard, binding the given
+    /// destination-side source — the inverse of
+    /// [`FleetController::evict_tenant`]. Rejects damaged frames and a
+    /// source whose name disagrees with the frame before any state is
+    /// touched.
+    pub fn admit_frame(
+        &mut self,
+        shard: usize,
+        frame: &[u8],
+        source: Box<dyn TelemetrySource>,
+    ) -> Result<(), StoreError> {
+        let mut handoff = TenantHandoff::from_wire(frame, source)?;
+        handoff.sketch = self.shards[shard].sketch_config();
+        self.map.assign(&handoff.name, shard);
+        self.shards[shard].admit(handoff);
+        Ok(())
+    }
+
+    /// Admit an already-decoded handoff into a specific shard, updating
+    /// the routing map — the decoded-side counterpart of
+    /// [`FleetController::admit_frame`] (the hierarchy's group admit
+    /// binds all its members' sources *before* touching any state, so it
+    /// arrives here with handoffs already built).
+    pub fn admit_handoff(&mut self, shard: usize, handoff: TenantHandoff) {
+        self.map.assign(&handoff.name, shard);
+        self.shards[shard].admit(handoff);
+    }
+
+    /// Forecast one tenant wherever it currently lives.
+    pub fn forecast_tenant(&self, name: &str) -> Option<WorkloadProfile> {
+        let shard = self.map.shard_of(name)?;
+        self.shards[shard].forecast_workload(name)
+    }
+
+    /// Summed greedy pack estimate across every shard — the zone-level
+    /// analogue of a shard's `pack_estimate_remaining`. `None` if any
+    /// shard cannot estimate (unbootstrapped).
+    pub fn pack_estimate_total(&self) -> Option<usize> {
+        self.shards.iter().map(|s| s.pack_estimate(&[])).sum()
     }
 
     /// One monitoring interval: every shard ticks — concurrently when

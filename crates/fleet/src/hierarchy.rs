@@ -1,0 +1,782 @@
+//! The balancer-of-balancers: zones below, one root above.
+//!
+//! A single [`crate::FleetController`] balances tenants between its own
+//! shards. At mega-fleet scale (a thousand shards, tens of thousands of
+//! tenants) one balancer cannot look at every shard every round — so the
+//! fleet decomposes into **zones**, each running the ordinary per-shard
+//! balance loop over its slice, and a **root balancer** runs the *same*
+//! policy one level up:
+//!
+//! ```text
+//!                      ┌───────────────────────────┐
+//!                      │       RootBalancer        │
+//!                      │  run_balance_round over   │
+//!                      │     zone roll-ups only    │
+//!                      └──┬─────────┬─────────┬────┘
+//!       zone summaries ▲  │         │         │  ▼ group frames
+//!                      ┌──┴───┐ ┌───┴──┐ ┌────┴─┐
+//!                      │zone 0│ │zone 1│ │zone Z│  Zone = FleetController
+//!                      │ ...  │ │ ...  │ │ ...  │  + group bookkeeping
+//!                      └──────┘ └──────┘ └──────┘
+//! ```
+//!
+//! Three ideas make the level-up reuse work:
+//!
+//! 1. **The unit of movement is a tenant *group***, not a tenant. Every
+//!    tenant hashes to one of a fixed number of groups ([`group_of`]);
+//!    the root balancer moves whole groups, so its working set is
+//!    `groups`, not `tenants`, and its audit trail stays readable.
+//! 2. **A zone presents itself as one big shard.** [`Zone`] implements
+//!    [`ShardHandle`] — summary, reserve, evict, admit, owns — so
+//!    [`run_balance_round`] drives zones with the *identical* policy
+//!    code that drives shards. Its "summary" is a constant-size roll-up
+//!    of the per-shard summaries: counters sum, flags AND/OR, and the
+//!    aggregate series sum as sketches
+//!    ([`kairos_traces::AggregateSketch::sum`]) — so the roll-up's wire
+//!    size is independent of both window length *and* zone width.
+//! 3. **Groups travel as one frame.** A group eviction bundles each
+//!    member's (sketched) handoff frame into a single checksummed
+//!    [`GROUP_WIRE_VERSION`] frame; the receiving zone validates it,
+//!    re-binds destination-side telemetry sources, and admits every
+//!    member — the same decode-before-touch discipline as the tenant
+//!    handoff path.
+//!
+//! The root never sees a tenant's telemetry, a shard's summary, or a
+//! per-tenant forecast: its inputs are zone roll-ups and group-level
+//! peak envelopes only, which is what keeps the per-round root cost flat
+//! as shards multiply (the `"hierarchy"` section of `BENCH_fleet.json`
+//! pins this).
+
+use crate::balancer::{run_balance_round, BalancerConfig, EvictedTenant, ParkedHandoff, ShardHandle};
+use crate::fleet::FleetController;
+use crate::handoff::{HandoffOutcome, HandoffRecord};
+use kairos_controller::{ShardSummary, TelemetrySource, TenantHandoff, TenantLoad};
+use kairos_obs::{Counter, DecisionEvent, DecisionLog, Histogram, MetricsRegistry, TracedEvent};
+use kairos_traces::AggregateSketch;
+use kairos_types::{Bytes, DiskDemand, Rate, WorkloadProfile};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Frame version for a bundled group handoff — `(group name, member
+/// handoff frames)` under the standard `kairos-store` envelope. Each
+/// member frame is itself a complete
+/// [`kairos_controller::HANDOFF_WIRE_VERSION`] frame (sketched
+/// telemetry, its own CRC), so a damaged member is caught by its own
+/// checksum even before the group checksum is consulted.
+pub const GROUP_WIRE_VERSION: u32 = 1;
+
+/// Deterministic tenant → group partition (FNV-1a over the name, mod
+/// `groups`). Stable across processes, platforms and runs — the
+/// property that lets any zone, the root, and the bench all agree on
+/// membership without ever exchanging it.
+pub fn group_of(tenant: &str, groups: usize) -> usize {
+    debug_assert!(groups > 0, "group count must be positive");
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in tenant.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    (h % groups.max(1) as u64) as usize
+}
+
+/// Canonical display name for group `index` — the "tenant" identifier
+/// the root balancer's records and traces carry.
+pub fn group_name(index: usize) -> String {
+    format!("g{index}")
+}
+
+/// Inverse of [`group_name`].
+pub fn group_index(name: &str) -> Option<usize> {
+    name.strip_prefix('g')?.parse().ok()
+}
+
+/// One group's resident membership inside a zone, as
+/// [`Zone::resident_groups`] reports it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantGroup {
+    pub index: usize,
+    /// Member tenants, sorted (deterministic eviction order).
+    pub members: Vec<String>,
+}
+
+/// A zone's constant-size roll-up with its provenance — what
+/// [`Zone::rollup`] computes and a zone node serves the root over RPC.
+/// `summary` is shaped exactly like a shard's [`ShardSummary`] (that is
+/// the point: the root's policy code cannot tell zones from shards);
+/// its `tenant_loads` are *group* envelopes, one per resident group,
+/// with `replicas` carrying the group's summed member replica count.
+#[derive(Debug, Clone)]
+pub struct ZoneRollup {
+    pub zone: usize,
+    pub shards: usize,
+    pub tenants: usize,
+    pub groups: usize,
+    pub summary: ShardSummary,
+}
+
+impl ZoneRollup {
+    /// The roll-up's encoded size (workspace codec) — the quantity the
+    /// sketches hold independent of window length, reported in
+    /// [`DecisionEvent::ZoneSummarized`] and the hierarchy bench.
+    pub fn encoded_len(&self) -> usize {
+        serde::to_bytes(&self.summary).len()
+    }
+}
+
+/// Binds a destination-side telemetry source for a tenant admitted into
+/// a zone — the cross-zone analogue of `kairos-net`'s admit-path source
+/// binder. A group frame carries sketched history, never live sources;
+/// whoever admits it must be able to produce fresh sources by name.
+pub type ZoneSourceBinder = Box<dyn FnMut(&str, u64) -> Option<Box<dyn TelemetrySource>> + Send>;
+
+/// A zone: one [`FleetController`] plus the group bookkeeping that lets
+/// it stand in for "one big shard" under the root balancer. Implements
+/// [`ShardHandle`], so [`run_balance_round`] — unchanged — is the root
+/// balance policy.
+pub struct Zone {
+    id: usize,
+    fleet: FleetController,
+    groups: usize,
+    binder: ZoneSourceBinder,
+    /// Roll-up memo for the current fleet tick: the root's event pass
+    /// and the balance round both ask for the summary each round, and
+    /// the underlying per-shard summaries are themselves cached.
+    rollup_cache: Option<(u64, ZoneRollup)>,
+}
+
+impl Zone {
+    pub fn new(id: usize, fleet: FleetController, groups: usize, binder: ZoneSourceBinder) -> Zone {
+        assert!(groups > 0, "group count must be positive");
+        Zone {
+            id,
+            fleet,
+            groups,
+            binder,
+            rollup_cache: None,
+        }
+    }
+
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Fleet-wide tenant-group count this zone partitions by.
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    pub fn fleet(&self) -> &FleetController {
+        &self.fleet
+    }
+
+    pub fn fleet_mut(&mut self) -> &mut FleetController {
+        &mut self.fleet
+    }
+
+    /// One monitoring interval for the whole zone: every shard ticks and
+    /// the zone's own (shard-level) balance cadence runs. Invalidate the
+    /// roll-up memo — state moved.
+    pub fn tick(&mut self) -> crate::fleet::FleetTickReport {
+        self.rollup_cache = None;
+        self.fleet.tick()
+    }
+
+    /// Groups with at least one member resident in this zone, members
+    /// sorted — the deterministic order group evictions walk.
+    pub fn resident_groups(&self) -> Vec<TenantGroup> {
+        let mut by_group: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+        for (tenant, _) in self.fleet.map().entries() {
+            by_group
+                .entry(group_of(tenant, self.groups))
+                .or_default()
+                .push(tenant.to_string());
+        }
+        by_group
+            .into_iter()
+            .map(|(index, mut members)| {
+                members.sort();
+                TenantGroup { index, members }
+            })
+            .collect()
+    }
+
+    /// Sorted members of one group resident here (empty if none).
+    fn members_of(&self, group: usize) -> Vec<String> {
+        let mut members: Vec<String> = self
+            .fleet
+            .map()
+            .entries()
+            .filter(|(t, _)| group_of(t, self.groups) == group)
+            .map(|(t, _)| t.to_string())
+            .collect();
+        members.sort();
+        members
+    }
+
+    /// The zone as one constant-size summary: counters sum, health flags
+    /// AND/OR, aggregates sum *as sketches*, and `tenant_loads` carries
+    /// one peak envelope per resident group (`replicas` = summed member
+    /// replicas). Everything derives from the shards' (cached) summaries
+    /// — no per-tenant telemetry is touched.
+    pub fn rollup(&mut self) -> ZoneRollup {
+        let tick = self.fleet.stats().ticks;
+        if let Some((at, cached)) = &self.rollup_cache {
+            if *at == tick {
+                return cached.clone();
+            }
+        }
+        let groups = self.groups;
+        let interval = self.fleet.config().shard.telemetry.interval_secs;
+        let summaries: Vec<ShardSummary> = self
+            .fleet
+            .shards_mut()
+            .iter_mut()
+            .map(|s| s.summary_cached())
+            .collect();
+        let aggregate = AggregateSketch::sum(summaries.iter().map(|s| &s.aggregate), interval);
+        let mut loads: BTreeMap<usize, TenantLoad> = BTreeMap::new();
+        for s in &summaries {
+            for t in &s.tenant_loads {
+                let g = group_of(&t.name, groups);
+                let entry = loads.entry(g).or_insert_with(|| TenantLoad {
+                    name: group_name(g),
+                    replicas: 0,
+                    cpu_peak: 0.0,
+                    ram_peak: 0.0,
+                    ws_peak: 0.0,
+                    rate_peak: 0.0,
+                });
+                entry.replicas += t.replicas;
+                entry.cpu_peak += t.cpu_peak;
+                entry.ram_peak += t.ram_peak;
+                entry.ws_peak += t.ws_peak;
+                entry.rate_peak += t.rate_peak;
+            }
+        }
+        let rollup = ZoneRollup {
+            zone: self.id,
+            shards: summaries.len(),
+            tenants: summaries.iter().map(|s| s.tenants).sum(),
+            groups: loads.len(),
+            summary: ShardSummary {
+                tenants: summaries.iter().map(|s| s.tenants).sum(),
+                // A zone is "planned" when every shard that *has*
+                // tenants has planned them. An empty shard never
+                // bootstraps, but an empty (or partly empty) zone is
+                // still a perfectly good receiver — admitted members
+                // bootstrap it.
+                planned: summaries.iter().all(|s| s.planned || s.tenants == 0),
+                machines_used: summaries.iter().map(|s| s.machines_used).sum(),
+                feasible: summaries.iter().all(|s| s.feasible),
+                violation: summaries.iter().map(|s| s.violation).sum(),
+                resolve_failed: summaries.iter().any(|s| s.resolve_failed),
+                drifting: summaries.iter().map(|s| s.drifting).sum(),
+                aggregate,
+                tenant_loads: loads.into_values().collect(),
+            },
+        };
+        self.rollup_cache = Some((tick, rollup.clone()));
+        rollup
+    }
+
+    /// The shard-level admission bar group admits certify against: the
+    /// zone's own balancer low watermark — the same bar its internal
+    /// balance rounds hold receivers to.
+    fn per_shard_target(&self) -> usize {
+        self.fleet.config().balancer.shed_target()
+    }
+
+    /// Index of the emptiest planned shard (fewest machines in use),
+    /// falling back to the least-populated unplanned shard — an empty
+    /// shard has not bootstrapped yet, but admitting into it is exactly
+    /// how it starts.
+    fn emptiest_shard(&mut self) -> Option<usize> {
+        let summaries: Vec<ShardSummary> = self
+            .fleet
+            .shards_mut()
+            .iter_mut()
+            .map(|s| s.summary_cached())
+            .collect();
+        (0..summaries.len())
+            .filter(|&i| summaries[i].planned)
+            .min_by_key(|&i| summaries[i].machines_used)
+            .or_else(|| {
+                (0..summaries.len())
+                    .min_by_key(|&i| (summaries[i].tenants, summaries[i].machines_used))
+            })
+    }
+}
+
+impl ShardHandle for Zone {
+    fn summary(&mut self) -> ShardSummary {
+        self.rollup().summary
+    }
+
+    fn pack_estimate_remaining(&mut self) -> Option<usize> {
+        self.fleet.pack_estimate_total()
+    }
+
+    /// A *group's* forecast: the flat peak envelope of its resident
+    /// members, straight from the roll-up (sums of per-tenant forecast
+    /// peaks). Deliberately conservative — a receiver zone certifying
+    /// this envelope certainly fits the group's true series — and O(1)
+    /// in window length, like everything the root consumes.
+    fn forecast(&mut self, tenant: &str) -> Option<WorkloadProfile> {
+        let rollup = self.rollup();
+        let load = rollup
+            .summary
+            .tenant_loads
+            .iter()
+            .find(|t| t.name == tenant)?;
+        let horizon = self.fleet.config().shard.horizon.max(1);
+        let interval = self.fleet.config().shard.telemetry.interval_secs;
+        Some(WorkloadProfile::flat(
+            tenant,
+            interval,
+            horizon,
+            load.cpu_peak,
+            Bytes(load.ram_peak.max(0.0) as u64),
+            DiskDemand::new(
+                Bytes(load.ws_peak.max(0.0) as u64),
+                Rate(load.rate_peak.max(0.0)),
+            ),
+        ))
+    }
+
+    /// Zone-level reservation: the emptiest planned shard must certify
+    /// the *whole group's* envelope within this zone's own per-shard
+    /// low watermark. The root-level `budget` gates donor selection and
+    /// ordering (via the roll-up's `machines_used`); admission safety is
+    /// enforced where capacity actually lives — at a shard, by the same
+    /// greedy packer every tenant-level reservation uses.
+    fn can_admit(&mut self, incoming: &WorkloadProfile, _budget: usize) -> bool {
+        let target = self.per_shard_target();
+        let Some(shard) = self.emptiest_shard() else {
+            return false;
+        };
+        self.fleet.shards()[shard].can_admit(incoming, target)
+    }
+
+    /// Evict a whole group: every resident member leaves its shard as a
+    /// sketched handoff frame, and the frames bundle into one
+    /// [`GROUP_WIRE_VERSION`] frame. Sources are dropped — the admitting
+    /// zone re-binds its own, exactly like an RPC admit.
+    fn evict(&mut self, tenant: &str) -> Option<EvictedTenant> {
+        let group = group_index(tenant)?;
+        let members = self.members_of(group);
+        if members.is_empty() {
+            return None;
+        }
+        let mut frames: Vec<Vec<u8>> = Vec::with_capacity(members.len());
+        for member in &members {
+            // In-process evictions cannot fail for resident tenants.
+            let frame = self
+                .fleet
+                .evict_tenant(member)
+                .expect("resident member evicts");
+            frames.push(frame);
+        }
+        self.rollup_cache = None;
+        let wire = kairos_store::encode_frame(GROUP_WIRE_VERSION, &(tenant.to_string(), frames));
+        Some(EvictedTenant {
+            name: tenant.to_string(),
+            wire,
+            source: None,
+        })
+    }
+
+    /// Admit a group frame: validate, decode every member, bind every
+    /// destination-side source, and only then touch state — so a damaged
+    /// frame or an unbindable member rejects the whole group with zero
+    /// state change (the round's rollback then re-admits it at the
+    /// donor). Members land on the emptiest planned shard; the zone's
+    /// own balance rounds spread them from there.
+    fn admit(&mut self, tenant: EvictedTenant) -> Result<(), EvictedTenant> {
+        let Ok((group, frames)) =
+            kairos_store::decode_frame::<(String, Vec<Vec<u8>>)>(&tenant.wire, GROUP_WIRE_VERSION)
+        else {
+            return Err(tenant);
+        };
+        if group != tenant.name {
+            return Err(tenant);
+        }
+        let at_tick = self.fleet.stats().ticks;
+        let mut members = Vec::with_capacity(frames.len());
+        for frame in &frames {
+            let Ok((name, replicas, telemetry)) = TenantHandoff::parts_from_wire(frame) else {
+                return Err(tenant);
+            };
+            let Some(source) = (self.binder)(&name, at_tick) else {
+                return Err(tenant);
+            };
+            if source.name() != name {
+                return Err(tenant);
+            }
+            members.push((name, replicas, telemetry, source));
+        }
+        let Some(shard) = self.emptiest_shard() else {
+            return Err(tenant);
+        };
+        let sketch = self.fleet.shards()[shard].sketch_config();
+        for (name, replicas, telemetry, source) in members {
+            self.fleet.admit_handoff(
+                shard,
+                TenantHandoff {
+                    name,
+                    replicas,
+                    source,
+                    telemetry,
+                    sketch,
+                },
+            );
+        }
+        self.rollup_cache = None;
+        Ok(())
+    }
+
+    fn owns(&mut self, tenant: &str) -> Option<bool> {
+        let group = group_index(tenant)?;
+        Some(
+            self.fleet
+                .map()
+                .entries()
+                .any(|(t, _)| group_of(t, self.groups) == group),
+        )
+    }
+}
+
+/// Root balancer tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct RootConfig {
+    /// The balance policy, one level up: `machines_per_shard` reads as
+    /// *machines per zone* (a zone becomes a donor above it), the shed
+    /// target as the zone-level low watermark, and the cooldown applies
+    /// to groups.
+    pub balancer: BalancerConfig,
+    /// Fleet-wide tenant-group count every zone partitions by.
+    pub groups: usize,
+}
+
+impl Default for RootConfig {
+    fn default() -> RootConfig {
+        RootConfig {
+            balancer: BalancerConfig {
+                machines_per_shard: 64,
+                balance_every: 6,
+                max_moves_per_round: 4,
+                low_watermark: 0,
+                cooldown_rounds: 2,
+            },
+            groups: 64,
+        }
+    }
+}
+
+/// Counters and latency the root exposes, in its own registry so a
+/// mega-fleet's dashboards separate root rounds from zone internals.
+struct RootMetrics {
+    registry: MetricsRegistry,
+    rounds: Counter,
+    groups_moved: Counter,
+    moves_rejected: Counter,
+    moves_failed: Counter,
+    round_usecs: Histogram,
+    summary_bytes: Counter,
+}
+
+impl RootMetrics {
+    fn new() -> RootMetrics {
+        let registry = MetricsRegistry::new();
+        RootMetrics {
+            rounds: registry.counter("root_balance_rounds"),
+            groups_moved: registry.counter("root_groups_moved"),
+            moves_rejected: registry.counter("root_moves_rejected"),
+            moves_failed: registry.counter("root_moves_failed"),
+            round_usecs: registry.histogram("root_round_usecs"),
+            summary_bytes: registry.counter("root_summary_bytes_total"),
+            registry,
+        }
+    }
+}
+
+/// The fleet-of-fleets balancer: [`run_balance_round`] over zone
+/// roll-ups, moving tenant groups. Owns the root-level soft state
+/// (group cooldowns, parked group handoffs), its own decision trace
+/// ([`DecisionEvent::ZoneSummarized`], [`DecisionEvent::GroupMoved`]
+/// plus the ordinary balancer events with zones in the shard slots),
+/// and its own metrics registry.
+pub struct RootBalancer {
+    cfg: RootConfig,
+    rounds: u64,
+    cooldown: BTreeMap<String, u64>,
+    parked: Vec<ParkedHandoff>,
+    log: DecisionLog,
+    moves: Vec<HandoffRecord>,
+    metrics: RootMetrics,
+}
+
+impl RootBalancer {
+    pub fn new(cfg: RootConfig) -> RootBalancer {
+        assert!(cfg.groups > 0, "group count must be positive");
+        RootBalancer {
+            cfg,
+            rounds: 0,
+            cooldown: BTreeMap::new(),
+            parked: Vec::new(),
+            log: DecisionLog::new(),
+            moves: Vec::new(),
+            metrics: RootMetrics::new(),
+        }
+    }
+
+    pub fn config(&self) -> &RootConfig {
+        &self.cfg
+    }
+
+    /// Balance rounds run so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Every group move ever proposed (completed and rejected).
+    pub fn handoffs(&self) -> &[HandoffRecord] {
+        &self.moves
+    }
+
+    /// Root-level parked group handoffs as `(group, donor zone,
+    /// receiver zone)` — only a lossy transport can populate this.
+    pub fn parked(&self) -> Vec<(String, usize, usize)> {
+        self.parked
+            .iter()
+            .map(|p| (p.tenant.name.clone(), p.donor, p.receiver))
+            .collect()
+    }
+
+    pub fn metrics_registry(&self) -> &MetricsRegistry {
+        &self.metrics.registry
+    }
+
+    pub fn metrics_json(&self) -> String {
+        self.metrics.registry.render_json()
+    }
+
+    pub fn decision_log(&self) -> &DecisionLog {
+        &self.log
+    }
+
+    pub fn trace_events(&self) -> Vec<TracedEvent> {
+        self.log.to_vec()
+    }
+
+    pub fn set_tracing(&mut self, enabled: bool) {
+        self.log.set_enabled(enabled);
+    }
+
+    /// One root balance round at fleet tick `tick`: summarize every
+    /// zone (traced as [`DecisionEvent::ZoneSummarized`]), then run the
+    /// shared balance policy over the roll-ups, moving whole groups
+    /// between overloaded and underloaded zones. Returns the round's
+    /// records with zones in the donor/receiver slots.
+    pub fn run_round<Z: ShardHandle>(&mut self, zones: &mut [Z], tick: u64) -> Vec<HandoffRecord> {
+        let started = Instant::now();
+        self.rounds += 1;
+        self.metrics.rounds.inc();
+        // Pre-round roll-up pass: traces each zone's constant-size view
+        // and remembers group sizes so completed moves can report them.
+        // The balance round's own summary calls hit the zones' memos.
+        let mut group_sizes: BTreeMap<String, u32> = BTreeMap::new();
+        for (i, zone) in zones.iter_mut().enumerate() {
+            let summary = zone.summary();
+            let bytes = serde::to_bytes(&summary).len();
+            self.metrics.summary_bytes.add(bytes as u64);
+            for load in &summary.tenant_loads {
+                *group_sizes.entry(load.name.clone()).or_insert(0) += load.replicas;
+            }
+            self.log.record(
+                tick,
+                DecisionEvent::ZoneSummarized {
+                    zone: i,
+                    tenants: summary.tenants,
+                    groups: summary.tenant_loads.len(),
+                    machines_used: summary.machines_used,
+                    summary_bytes: bytes,
+                },
+            );
+        }
+        let records = run_balance_round(
+            zones,
+            &self.cfg.balancer,
+            self.rounds,
+            tick,
+            &mut self.cooldown,
+            &mut self.parked,
+            &mut self.log,
+        );
+        for record in &records {
+            match record.outcome {
+                HandoffOutcome::Completed => {
+                    let to = record.to.expect("completed moves carry a destination");
+                    self.metrics.groups_moved.inc();
+                    self.log.record(
+                        tick,
+                        DecisionEvent::GroupMoved {
+                            group: record.tenant.clone(),
+                            tenants: group_sizes.get(&record.tenant).copied().unwrap_or(0)
+                                as usize,
+                            from_zone: record.from,
+                            to_zone: to,
+                        },
+                    );
+                }
+                HandoffOutcome::NoReceiver => self.metrics.moves_rejected.inc(),
+                HandoffOutcome::Failed => self.metrics.moves_failed.inc(),
+            }
+        }
+        self.moves.extend(records.iter().cloned());
+        self.metrics
+            .round_usecs
+            .record(started.elapsed().as_micros() as u64);
+        records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::FleetConfig;
+    use kairos_controller::{ControllerConfig, SyntheticSource};
+    use kairos_types::Bytes;
+    use kairos_workloads::RatePattern;
+
+    fn source(name: &str, tps: f64) -> Box<dyn TelemetrySource> {
+        Box::new(
+            SyntheticSource::new(name, 300.0, Bytes::gib(4), RatePattern::Flat { tps })
+                .with_noise(0.0),
+        )
+    }
+
+    fn binder() -> ZoneSourceBinder {
+        Box::new(|name: &str, _tick: u64| Some(source(name, 50.0)))
+    }
+
+    fn zone_with(id: usize, tenants: &[&str], budget: usize) -> Zone {
+        let cfg = FleetConfig {
+            shards: 2,
+            shard: ControllerConfig {
+                horizon: 8,
+                check_every: 4,
+                cooldown_ticks: 8,
+                ..ControllerConfig::default()
+            },
+            balancer: BalancerConfig {
+                machines_per_shard: budget,
+                balance_every: 4,
+                ..BalancerConfig::default()
+            },
+            tick_threads: 1,
+        };
+        let mut fleet = FleetController::new(cfg);
+        for t in tenants {
+            fleet.add_workload(source(t, 50.0));
+        }
+        let mut zone = Zone::new(id, fleet, 8, binder());
+        for _ in 0..10 {
+            zone.tick();
+        }
+        zone
+    }
+
+    #[test]
+    fn group_partition_is_deterministic_and_total() {
+        for groups in [1, 8, 64] {
+            for t in ["t0", "t1", "alpha", "bravo"] {
+                let g = group_of(t, groups);
+                assert!(g < groups);
+                assert_eq!(g, group_of(t, groups));
+            }
+        }
+        assert_eq!(group_index(&group_name(17)), Some(17));
+    }
+
+    #[test]
+    fn rollup_sums_shards_and_buckets_groups() {
+        let mut zone = zone_with(0, &["t0", "t1", "t2", "t3"], 16);
+        let rollup = zone.rollup();
+        assert_eq!(rollup.tenants, 4);
+        assert!(rollup.summary.planned);
+        assert!(rollup.summary.machines_used >= 1);
+        // Every tenant is accounted to exactly one group envelope.
+        let members: u32 = rollup.summary.tenant_loads.iter().map(|t| t.replicas).sum();
+        assert_eq!(members, 4);
+        // The roll-up is constant-size: its encoded length must not
+        // scale with the monitoring window (sketch marks dominate).
+        assert!(rollup.encoded_len() < 4096, "rollup {}B", rollup.encoded_len());
+    }
+
+    #[test]
+    fn group_evict_admit_moves_whole_group_between_zones() {
+        let mut donor = zone_with(0, &["t0", "t1", "t2", "t3"], 16);
+        let mut receiver = zone_with(1, &[], 16);
+        let groups = donor.resident_groups();
+        let g = groups[0].index;
+        let moved = groups[0].members.clone();
+        let evicted = ShardHandle::evict(&mut donor, &group_name(g)).expect("group evicts");
+        assert!(ShardHandle::owns(&mut donor, &group_name(g)) == Some(false));
+        assert!(ShardHandle::admit(&mut receiver, evicted).is_ok());
+        assert_eq!(ShardHandle::owns(&mut receiver, &group_name(g)), Some(true));
+        for t in &moved {
+            assert!(receiver.fleet().map().shard_of(t).is_some());
+            assert!(donor.fleet().map().shard_of(t).is_none());
+        }
+    }
+
+    #[test]
+    fn damaged_group_frame_rejects_with_zero_state_change() {
+        let mut donor = zone_with(0, &["t0", "t1", "t2", "t3"], 16);
+        let mut receiver = zone_with(1, &[], 16);
+        let g = donor.resident_groups()[0].index;
+        let mut evicted = ShardHandle::evict(&mut donor, &group_name(g)).expect("group evicts");
+        let before = receiver.fleet().map().len();
+        let mid = evicted.wire.len() / 2;
+        evicted.wire[mid] ^= 0x40;
+        assert!(ShardHandle::admit(&mut receiver, evicted).is_err());
+        assert_eq!(receiver.fleet().map().len(), before);
+    }
+
+    #[test]
+    fn root_round_moves_groups_off_the_overloaded_zone() {
+        // Zone 0 far over its (tiny) zone budget, zone 1 idle.
+        let mut zones = vec![
+            zone_with(0, &["t0", "t1", "t2", "t3", "t4", "t5"], 16),
+            zone_with(1, &[], 16),
+        ];
+        let mut root = RootBalancer::new(RootConfig {
+            balancer: BalancerConfig {
+                machines_per_shard: 1,
+                balance_every: 1,
+                max_moves_per_round: 4,
+                low_watermark: 0,
+                cooldown_rounds: 0,
+            },
+            groups: 8,
+        });
+        let mut completed = 0;
+        for round in 0..4 {
+            let records = root.run_round(&mut zones, round);
+            completed += records
+                .iter()
+                .filter(|r| r.outcome == HandoffOutcome::Completed)
+                .count();
+        }
+        assert!(completed > 0, "root must move at least one group");
+        assert!(zones[1].fleet().map().len() > 0);
+        let events = root.trace_events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.event, DecisionEvent::ZoneSummarized { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.event, DecisionEvent::GroupMoved { .. })));
+        assert!(root.metrics_json().contains("root_groups_moved"));
+    }
+}

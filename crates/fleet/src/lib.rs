@@ -28,7 +28,14 @@
 //! * [`fleet`] — the [`FleetController`] driving N
 //!   [`kairos_controller::ShardController`]s, plus the global
 //!   [`fleet::FleetAudit`] built by restricting one fleet-wide problem
-//!   shard-by-shard ([`kairos_solver::ConsolidationProblem::restrict`]).
+//!   shard-by-shard ([`kairos_solver::ConsolidationProblem::restrict`]);
+//! * [`sketch`] — fixed-size, peak-preserving quantile sketches of
+//!   rolling windows: the O(1) representation summaries and handoff
+//!   frames carry, independent of window length;
+//! * [`hierarchy`] — the balancer-of-balancers: zones run the ordinary
+//!   balance round over their shards, and a [`RootBalancer`] reuses the
+//!   same [`balancer::ShardHandle`] policy one level up, moving *tenant
+//!   groups* between zones from constant-size zone roll-ups only.
 //!
 //! Why shards scale: a per-shard re-solve sees only that shard's tenants,
 //! so solve cost tracks shard size while the fleet grows; the balancer
@@ -38,7 +45,9 @@
 pub mod balancer;
 pub mod fleet;
 pub mod handoff;
+pub mod hierarchy;
 pub mod shardmap;
+pub mod sketch;
 pub mod snapshot;
 
 pub use balancer::{
@@ -51,7 +60,12 @@ pub use fleet::{
     FleetTickReport,
 };
 pub use handoff::{HandoffOutcome, HandoffRecord};
+pub use hierarchy::{
+    group_index, group_name, group_of, RootBalancer, RootConfig, TenantGroup, Zone, ZoneRollup,
+    ZoneSourceBinder, GROUP_WIRE_VERSION,
+};
 pub use shardmap::ShardMap;
+pub use sketch::{AggregateSketch, SeriesSketch, SketchConfig, SKETCH_WIRE_VERSION};
 pub use snapshot::{FleetSnapshot, FLEET_SNAPSHOT_VERSION};
 
 /// Convenience re-exports for examples and downstream users.

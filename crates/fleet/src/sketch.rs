@@ -1,0 +1,68 @@
+//! Sketched telemetry at the fleet layer.
+//!
+//! The sketch types themselves live in [`kairos_traces::sketch`] (they
+//! compress `TimeSeries` windows, one layer below the controller); this
+//! module is the fleet-facing surface: the re-exports the balancer plane
+//! uses, plus the CRC-framed standalone codec — the same
+//! `kairos-store` envelope (magic, version, length, payload, CRC-32)
+//! every other kairos frame rides, versioned by
+//! [`SKETCH_WIRE_VERSION`].
+//!
+//! Embedded sketches (inside `ShardSummary` roll-ups and
+//! `TenantHandoff` frames) are covered by their container's version;
+//! the standalone frame exists for sketch-only transfer and for the
+//! codec property suite (bit-flip/truncation/version-skew rejection,
+//! mirroring the store suite).
+
+pub use kairos_traces::sketch::{
+    AggregateSketch, SeriesSketch, SketchConfig, MAX_SKETCH_MARKS, MAX_SKETCH_TAIL,
+    SKETCH_WIRE_VERSION,
+};
+
+use kairos_store::StoreError;
+
+/// Frame one series sketch under the store envelope.
+pub fn encode_series_sketch(sketch: &SeriesSketch) -> Vec<u8> {
+    kairos_store::encode_frame(SKETCH_WIRE_VERSION, sketch)
+}
+
+/// Decode a framed series sketch, verifying magic, version and CRC.
+pub fn decode_series_sketch(bytes: &[u8]) -> Result<SeriesSketch, StoreError> {
+    kairos_store::decode_frame(bytes, SKETCH_WIRE_VERSION)
+}
+
+/// Frame one aggregate sketch (a shard or zone roll-up).
+pub fn encode_aggregate_sketch(sketch: &AggregateSketch) -> Vec<u8> {
+    kairos_store::encode_frame(SKETCH_WIRE_VERSION, sketch)
+}
+
+/// Decode a framed aggregate sketch, verifying magic, version and CRC.
+pub fn decode_aggregate_sketch(bytes: &[u8]) -> Result<AggregateSketch, StoreError> {
+    kairos_store::decode_frame(bytes, SKETCH_WIRE_VERSION)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kairos_types::TimeSeries;
+
+    #[test]
+    fn framed_sketch_roundtrips() {
+        let sk = SeriesSketch::of(
+            &TimeSeries::new(300.0, vec![0.1, 0.9, 0.4]),
+            &SketchConfig::default(),
+        );
+        let frame = encode_series_sketch(&sk);
+        assert_eq!(decode_series_sketch(&frame).expect("roundtrip"), sk);
+    }
+
+    #[test]
+    fn framed_sketch_rejects_wrong_version() {
+        let sk = AggregateSketch::empty(300.0);
+        let frame = kairos_store::encode_frame(SKETCH_WIRE_VERSION + 1, &sk);
+        assert!(matches!(
+            decode_aggregate_sketch(&frame),
+            Err(StoreError::UnsupportedVersion { .. })
+        ));
+    }
+}

@@ -48,7 +48,11 @@ pub const HANDOFF_LOG_CHECKPOINT_CAP: usize = 4096;
 /// (`trace`, `last_objective_bits`) and [`FleetSnapshot`] the fleet-level
 /// balancer trace, so a restored control plane's event streams *continue*
 /// the checkpointed history instead of forking it.
-pub const FLEET_SNAPSHOT_VERSION: u32 = 3;
+///
+/// v4: sketched summaries — the embedded `ShardSnapshot`s moved to
+/// `SHARD_SNAPSHOT_VERSION` 3 (constant-size `AggregateSketch` roll-ups
+/// and a sketch-digest-keyed summary cache).
+pub const FLEET_SNAPSHOT_VERSION: u32 = 4;
 
 /// The whole control plane's checkpointable state. Construct via
 /// [`crate::FleetController::snapshot`] / persist via

@@ -1,0 +1,130 @@
+//! Seeded property suite for the standalone sketch frames — the same
+//! discipline the store suite applies to snapshot frames, pointed at
+//! the telemetry compression layer: random sketches round-trip
+//! bit-exactly, every single-bit flip and every truncation point is
+//! rejected with a clean error (never a panic, never a silently wrong
+//! sketch), and version skew refuses to decode.
+//!
+//! Runs on the workspace's SplitMix64 harness; CI sweeps
+//! `KAIROS_TEST_SEED` over these assertions.
+
+use kairos_fleet::sketch::{
+    decode_aggregate_sketch, decode_series_sketch, encode_aggregate_sketch, encode_series_sketch,
+    AggregateSketch, SeriesSketch, SketchConfig, SKETCH_WIRE_VERSION,
+};
+use kairos_store::StoreError;
+use kairos_types::{SplitMix64, TimeSeries};
+
+fn random_config(rng: &mut SplitMix64) -> SketchConfig {
+    SketchConfig {
+        marks: 2 + rng.next_range(14) as u32,
+        tail: 1 + rng.next_range(12) as u32,
+    }
+}
+
+fn random_series_sketch(rng: &mut SplitMix64) -> SeriesSketch {
+    let n = rng.next_range(96) as usize;
+    let samples: Vec<f64> = (0..n).map(|_| rng.next_in(0.0, 1e6)).collect();
+    SeriesSketch::of(&TimeSeries::new(300.0, samples), &random_config(rng))
+}
+
+fn random_aggregate_sketch(rng: &mut SplitMix64) -> AggregateSketch {
+    AggregateSketch {
+        cpu_cores: random_series_sketch(rng),
+        ram_bytes: random_series_sketch(rng),
+        ws_bytes: random_series_sketch(rng),
+        rate_rows: random_series_sketch(rng),
+        tenants: rng.next_range(512) as usize,
+    }
+}
+
+#[test]
+fn series_sketch_frames_roundtrip_bit_exact() {
+    let mut rng = SplitMix64::from_env(0x5E7C_0001);
+    for _ in 0..100 {
+        let sk = random_series_sketch(&mut rng);
+        let frame = encode_series_sketch(&sk);
+        let back = decode_series_sketch(&frame).expect("clean frame decodes");
+        assert_eq!(back, sk);
+        // Bit-exact peaks: the decision-critical fields must not be
+        // normalized or rounded by the codec.
+        assert_eq!(back.peak().to_bits(), sk.peak().to_bits());
+        assert_eq!(back.mean().to_bits(), sk.mean().to_bits());
+        // Deterministic bytes — frames are diffable.
+        assert_eq!(frame, encode_series_sketch(&sk));
+    }
+}
+
+#[test]
+fn aggregate_sketch_frames_roundtrip_bit_exact() {
+    let mut rng = SplitMix64::from_env(0x5E7C_0002);
+    for _ in 0..50 {
+        let sk = random_aggregate_sketch(&mut rng);
+        let frame = encode_aggregate_sketch(&sk);
+        let back = decode_aggregate_sketch(&frame).expect("clean frame decodes");
+        let bp: Vec<u64> = back.peaks().iter().map(|v| v.to_bits()).collect();
+        let sp: Vec<u64> = sk.peaks().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bp, sp);
+        assert_eq!(back, sk);
+    }
+}
+
+#[test]
+fn every_bit_flip_is_rejected() {
+    // Exhaustive, not sampled: a sketch frame is small enough to flip
+    // every bit of every byte and demand rejection for each.
+    let mut rng = SplitMix64::from_env(0x5E7C_0003);
+    let sk = random_series_sketch(&mut rng);
+    let frame = encode_series_sketch(&sk);
+    for byte in 0..frame.len() {
+        for bit in 0..8 {
+            let mut bad = frame.clone();
+            bad[byte] ^= 1 << bit;
+            assert!(
+                decode_series_sketch(&bad).is_err(),
+                "flip of byte {byte} bit {bit} must be rejected"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_truncation_is_rejected() {
+    let mut rng = SplitMix64::from_env(0x5E7C_0004);
+    let sk = random_aggregate_sketch(&mut rng);
+    let frame = encode_aggregate_sketch(&sk);
+    for cut in 0..frame.len() {
+        assert!(
+            decode_aggregate_sketch(&frame[..cut]).is_err(),
+            "truncation at {cut} must be rejected"
+        );
+    }
+}
+
+#[test]
+fn version_skew_refuses_to_decode() {
+    let sk = AggregateSketch::empty(300.0);
+    for skew in [SKETCH_WIRE_VERSION + 1, SKETCH_WIRE_VERSION + 7, 0] {
+        let frame = kairos_store::encode_frame(skew, &sk);
+        assert!(matches!(
+            decode_aggregate_sketch(&frame),
+            Err(StoreError::UnsupportedVersion { .. })
+        ));
+    }
+}
+
+#[test]
+fn oversized_declared_shapes_are_rejected_not_allocated() {
+    // A frame whose payload *claims* an absurd mark count must fail in
+    // the sketch deserializer's bounds check (fed directly, bypassing
+    // the CRC which would otherwise catch the tamper first).
+    let cfg = SketchConfig {
+        marks: kairos_fleet::sketch::MAX_SKETCH_MARKS + 1,
+        tail: 1,
+    };
+    let bytes = serde::to_bytes(&cfg);
+    assert!(
+        serde::from_bytes::<SketchConfig>(&bytes).is_err(),
+        "a config beyond MAX_SKETCH_MARKS must not deserialize"
+    );
+}

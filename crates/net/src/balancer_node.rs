@@ -70,7 +70,7 @@ use kairos_fleet::{
 };
 use kairos_obs::{DecisionEvent, DecisionLog, MetricsRegistry, TracedEvent};
 use kairos_solver::{evaluate, Assignment};
-use kairos_traces::ShardAggregate;
+use kairos_traces::AggregateSketch;
 use kairos_types::WorkloadProfile;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -1338,7 +1338,7 @@ pub struct RemoteShard<'a> {
 
 /// The summary a down/unreachable shard presents: unplanned, empty.
 /// `planned: false` excludes it from donor and receiver orders.
-fn offline_summary(interval_secs: f64) -> kairos_controller::ShardSummary {
+pub(crate) fn offline_summary(interval_secs: f64) -> kairos_controller::ShardSummary {
     kairos_controller::ShardSummary {
         tenants: 0,
         planned: false,
@@ -1347,7 +1347,7 @@ fn offline_summary(interval_secs: f64) -> kairos_controller::ShardSummary {
         violation: 0.0,
         resolve_failed: false,
         drifting: 0,
-        aggregate: ShardAggregate::from_windows(std::iter::empty(), interval_secs),
+        aggregate: AggregateSketch::empty(interval_secs),
         tenant_loads: Vec::new(),
     }
 }

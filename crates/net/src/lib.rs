@@ -67,6 +67,7 @@ pub mod node;
 pub mod rpc;
 pub mod tcp;
 pub mod transport;
+pub mod zone_node;
 
 pub use auth::{AuthKey, AUTH_TAG_LEN};
 pub use balancer_node::{
@@ -80,6 +81,7 @@ pub use node::{ShardNode, SourceBinder, SourceEscrow, SourceFactory, SourceMaker
 pub use rpc::{Request, Response};
 pub use tcp::TcpTransport;
 pub use transport::{Conn, Handler, NetError, ServerHandle, Transport};
+pub use zone_node::{RemoteZone, ZoneNode};
 
 /// Convenience re-exports for examples and tests.
 pub mod prelude {

@@ -417,6 +417,7 @@ fn dispatch(state: &Arc<Mutex<NodeState>>, request: Request) -> Response {
                 replicas,
                 source,
                 telemetry,
+                sketch: shard.sketch_config(),
             });
             Response::Done
         }

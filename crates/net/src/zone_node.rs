@@ -1,0 +1,272 @@
+//! Zone nodes: a whole [`Zone`] served at one endpoint, and the root
+//! balancer's client handle to it.
+//!
+//! The hierarchy needs **no new RPC catalog**: a zone presents itself
+//! through the same [`crate::rpc::Request`] surface a shard does —
+//! `Summary` answers with the zone's constant-size roll-up, `Forecast`
+//! with a *group's* peak envelope, `Evict`/`Admit` carry bundled
+//! [`kairos_fleet::GROUP_WIRE_VERSION`] group frames instead of single
+//! tenant frames, and `Owns` probes group residency. The node type
+//! determines the level; the messages, the envelope (auth, CRC,
+//! version) and the decode-before-touch discipline are identical. That
+//! is the point of the [`ShardHandle`] reuse: [`RemoteZone`] is to the
+//! root balancer exactly what `RemoteShard` is to a zone's balancer,
+//! so `run_balance_round` drives zones across a transport with the
+//! same policy code path it drives in-process.
+
+use crate::frame;
+use crate::rpc::{Request, Response};
+use crate::transport::{Conn, Handler, NetError, ServerHandle, Transport};
+use kairos_fleet::balancer::{EvictedTenant, ShardHandle};
+use kairos_fleet::hierarchy::Zone;
+use kairos_fleet::GROUP_WIRE_VERSION;
+use kairos_types::WorkloadProfile;
+use std::sync::{Arc, Mutex};
+
+struct ZoneNodeState {
+    zone: Zone,
+    shutdown: bool,
+}
+
+/// One zone — a whole [`kairos_fleet::FleetController`] plus group
+/// bookkeeping — behind an RPC endpoint. The root balancer drives it
+/// through [`RemoteZone`]; operators scrape `Metrics`/`Trace` from it
+/// like any shard node.
+pub struct ZoneNode {
+    state: Arc<Mutex<ZoneNodeState>>,
+}
+
+impl ZoneNode {
+    pub fn new(zone: Zone) -> ZoneNode {
+        ZoneNode {
+            state: Arc::new(Mutex::new(ZoneNodeState {
+                zone,
+                shutdown: false,
+            })),
+        }
+    }
+
+    /// Register this zone's RPC handler at `endpoint`. Same envelope
+    /// discipline as a shard node: authenticate, validate, decode —
+    /// only then dispatch; a damaged or unauthenticated frame touches
+    /// no state.
+    pub fn serve(
+        &self,
+        transport: &dyn Transport,
+        endpoint: &str,
+    ) -> Result<ServerHandle, NetError> {
+        let state = self.state.clone();
+        let handler: Handler = Arc::new(Mutex::new(move |request_frame: &[u8]| {
+            let key = crate::auth::process_key();
+            let response = match crate::auth::verify(request_frame, key) {
+                Ok(base) => match frame::decode_frame::<Request>(base) {
+                    Ok(request) => dispatch(&state, request),
+                    Err(e) => Response::Error(format!("bad request frame: {e}")),
+                },
+                Err(_) => Response::Error("unauthenticated frame".into()),
+            };
+            crate::auth::seal(frame::encode_frame(&response), key)
+        }));
+        transport.serve(endpoint, handler)
+    }
+
+    /// Run `f` against the zone (tests, examples, local maintenance).
+    pub fn with_zone<R>(&self, f: impl FnOnce(&mut Zone) -> R) -> R {
+        f(&mut self.state.lock().expect("zone state lock").zone)
+    }
+
+    /// Did a `Shutdown` RPC arrive?
+    pub fn shutdown_requested(&self) -> bool {
+        self.state.lock().expect("zone state lock").shutdown
+    }
+}
+
+/// Serve one request against the zone — one lock scope, consistent
+/// state. Requests with no zone-level meaning answer `Error` rather
+/// than silently misbehaving at the wrong level.
+fn dispatch(state: &Arc<Mutex<ZoneNodeState>>, request: Request) -> Response {
+    let mut state = state.lock().expect("zone state lock");
+    let state = &mut *state;
+    let zone = &mut state.zone;
+    match request {
+        Request::Ping => Response::Pong {
+            ticks: zone.fleet().stats().ticks,
+        },
+        Request::Tick => {
+            // The zone's internal tick report (per-shard outcomes,
+            // zone-level handoffs) stays zone-side; the root only needs
+            // the interval advanced.
+            zone.tick();
+            Response::Done
+        }
+        Request::PlannedOnce => Response::PlannedOnce(ShardHandle::summary(zone).planned),
+        Request::Summary => Response::Summary(ShardHandle::summary(zone)),
+        Request::PackEstimate { .. } => {
+            Response::PackEstimate(ShardHandle::pack_estimate_remaining(zone))
+        }
+        Request::Forecast { tenant } => Response::Forecast(ShardHandle::forecast(zone, &tenant)),
+        Request::CanAdmit { profile, budget } => {
+            Response::CanAdmit(ShardHandle::can_admit(zone, &profile, budget))
+        }
+        Request::Evict { tenant } => {
+            Response::Evicted(ShardHandle::evict(zone, &tenant).map(|e| e.wire))
+        }
+        Request::Admit { frame } => {
+            // Validate the group frame before constructing the handle's
+            // eviction shape — the group name lives inside the frame.
+            let group = match kairos_store::decode_frame::<(String, Vec<Vec<u8>>)>(
+                &frame,
+                GROUP_WIRE_VERSION,
+            ) {
+                Ok((group, _)) => group,
+                Err(e) => return Response::Error(format!("admit: damaged group frame: {e}")),
+            };
+            match ShardHandle::admit(
+                zone,
+                EvictedTenant {
+                    name: group.clone(),
+                    wire: frame,
+                    source: None,
+                },
+            ) {
+                Ok(()) => Response::Done,
+                Err(_) => Response::Error(format!("admit: group {group} rejected")),
+            }
+        }
+        Request::Owns { tenant } => {
+            Response::Owns(ShardHandle::owns(zone, &tenant).unwrap_or(false))
+        }
+        Request::Workloads => {
+            let mut tenants: Vec<String> = zone
+                .fleet()
+                .map()
+                .entries()
+                .map(|(t, _)| t.to_string())
+                .collect();
+            tenants.sort();
+            Response::Workloads(tenants)
+        }
+        Request::Metrics => Response::Metrics {
+            json: zone.fleet().metrics_json(),
+            prometheus: zone.fleet().metrics_prometheus(),
+        },
+        Request::Trace => Response::Trace(zone.fleet().trace_bytes()),
+        Request::Shutdown => {
+            state.shutdown = true;
+            Response::Done
+        }
+        other => Response::Error(format!("request {other:?} has no zone-level meaning")),
+    }
+}
+
+/// The root balancer's handle to one zone behind a transport —
+/// [`ShardHandle`] over RPC, so [`kairos_fleet::RootBalancer::run_round`]
+/// drives remote zones with the unchanged balance policy. Transport
+/// failures degrade the same way `RemoteShard`'s do: an unreachable
+/// zone presents the offline (unplanned, empty) summary and answers
+/// `None`/`false` to probes, so the round routes around it instead of
+/// wedging.
+pub struct RemoteZone {
+    conn: Box<dyn Conn>,
+    interval_secs: f64,
+}
+
+impl RemoteZone {
+    /// Connect to a zone node. `interval_secs` shapes the offline
+    /// summary presented while the zone is unreachable.
+    pub fn connect(
+        transport: &dyn Transport,
+        endpoint: &str,
+        interval_secs: f64,
+    ) -> Result<RemoteZone, NetError> {
+        Ok(RemoteZone {
+            conn: transport.connect(endpoint)?,
+            interval_secs,
+        })
+    }
+
+    fn call(&mut self, request: &Request) -> Result<Response, NetError> {
+        crate::rpc::call(self.conn.as_mut(), request)
+    }
+
+    /// Advance the remote zone one monitoring interval.
+    pub fn tick(&mut self) -> Result<(), NetError> {
+        match self.call(&Request::Tick)? {
+            Response::Done => Ok(()),
+            other => Err(NetError::Remote(format!("tick answered {other:?}"))),
+        }
+    }
+
+    /// The endpoint this handle targets.
+    pub fn endpoint(&self) -> &str {
+        self.conn.endpoint()
+    }
+}
+
+impl ShardHandle for RemoteZone {
+    fn summary(&mut self) -> kairos_controller::ShardSummary {
+        match self.call(&Request::Summary) {
+            Ok(Response::Summary(summary)) => summary,
+            _ => crate::balancer_node::offline_summary(self.interval_secs),
+        }
+    }
+
+    fn pack_estimate_remaining(&mut self) -> Option<usize> {
+        match self.call(&Request::PackEstimate {
+            exclude: Vec::new(),
+        }) {
+            Ok(Response::PackEstimate(est)) => est,
+            _ => None,
+        }
+    }
+
+    fn forecast(&mut self, tenant: &str) -> Option<WorkloadProfile> {
+        match self.call(&Request::Forecast {
+            tenant: tenant.to_string(),
+        }) {
+            Ok(Response::Forecast(profile)) => profile,
+            _ => None,
+        }
+    }
+
+    fn can_admit(&mut self, incoming: &WorkloadProfile, budget: usize) -> bool {
+        matches!(
+            self.call(&Request::CanAdmit {
+                profile: incoming.clone(),
+                budget,
+            }),
+            Ok(Response::CanAdmit(true))
+        )
+    }
+
+    fn evict(&mut self, tenant: &str) -> Option<EvictedTenant> {
+        match self.call(&Request::Evict {
+            tenant: tenant.to_string(),
+        }) {
+            Ok(Response::Evicted(Some(wire))) => Some(EvictedTenant {
+                name: tenant.to_string(),
+                wire,
+                source: None,
+            }),
+            _ => None,
+        }
+    }
+
+    fn admit(&mut self, tenant: EvictedTenant) -> Result<(), EvictedTenant> {
+        match self.call(&Request::Admit {
+            frame: tenant.wire.clone(),
+        }) {
+            Ok(Response::Done) => Ok(()),
+            _ => Err(tenant),
+        }
+    }
+
+    fn owns(&mut self, tenant: &str) -> Option<bool> {
+        match self.call(&Request::Owns {
+            tenant: tenant.to_string(),
+        }) {
+            Ok(Response::Owns(owned)) => Some(owned),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! The hierarchy's transport property: a root balancer driving zones
+//! **over RPC** produces the same group moves, in the same order, as
+//! the identical zones driven in-process — and group frames crossing
+//! the wire carry sketched member telemetry the receiving zone can
+//! plan from immediately.
+//!
+//! Two identical two-zone fleets are built from the same deterministic
+//! tenant specs: the reference holds its [`Zone`]s directly; the
+//! networked run serves each zone at an endpoint ([`ZoneNode`]) and
+//! hands the root [`RemoteZone`] handles. Same policy code
+//! (`run_balance_round` one level up), same records — the equivalence
+//! the shard-level suite proves, lifted a level.
+//!
+//! Defaults to the deterministic loopback; `KAIROS_NET_TRANSPORT=tcp`
+//! reruns the property over real localhost sockets.
+
+use kairos_controller::{ControllerConfig, SyntheticSource, TelemetrySource};
+use kairos_fleet::{
+    group_name, BalancerConfig, FleetConfig, FleetController, HandoffOutcome, RootBalancer,
+    RootConfig, Zone, ZoneSourceBinder,
+};
+use kairos_net::{RemoteZone, Transport, ZoneNode};
+use kairos_types::Bytes;
+use kairos_workloads::RatePattern;
+use std::sync::Arc;
+
+const ZONES: usize = 2;
+const SHARDS_PER_ZONE: usize = 2;
+const GROUPS: usize = 8;
+const TICKS: u64 = 40;
+const ROOT_EVERY: u64 = 8;
+
+fn transport() -> Arc<dyn Transport> {
+    match std::env::var("KAIROS_NET_TRANSPORT").as_deref() {
+        Ok("tcp") => Arc::new(kairos_net::TcpTransport::new()),
+        _ => Arc::new(kairos_net::LoopbackTransport::new()),
+    }
+}
+
+fn bind_endpoint(zone: usize) -> String {
+    match std::env::var("KAIROS_NET_TRANSPORT").as_deref() {
+        Ok("tcp") => "127.0.0.1:0".to_string(),
+        _ => format!("zone-{zone}"),
+    }
+}
+
+/// Deterministic source for a tenant name like `z0t03`: flat rate
+/// parameterized by the indices, zero noise — so the binder on any
+/// zone rebuilds the identical source from the name alone.
+fn source_for(name: &str) -> Box<dyn TelemetrySource> {
+    let digits: u64 = name
+        .bytes()
+        .filter(u8::is_ascii_digit)
+        .fold(0, |acc, b| acc * 10 + u64::from(b - b'0'));
+    let tps = 180.0 + 17.0 * (digits % 13) as f64;
+    Box::new(
+        SyntheticSource::new(name, 300.0, Bytes::gib(4), RatePattern::Flat { tps })
+            .with_noise(0.0),
+    )
+}
+
+fn binder() -> ZoneSourceBinder {
+    Box::new(|name: &str, _tick: u64| Some(source_for(name)))
+}
+
+fn zone_config() -> FleetConfig {
+    FleetConfig {
+        shards: SHARDS_PER_ZONE,
+        shard: ControllerConfig {
+            horizon: 8,
+            check_every: 4,
+            cooldown_ticks: 8,
+            ..ControllerConfig::default()
+        },
+        balancer: BalancerConfig {
+            machines_per_shard: 8,
+            balance_every: 5,
+            ..BalancerConfig::default()
+        },
+        tick_threads: 1,
+    }
+}
+
+/// Zone 0 overloaded (all tenants), zone 1 empty — every run exercises
+/// root-level group moves.
+fn build_zones() -> Vec<Zone> {
+    (0..ZONES)
+        .map(|z| {
+            let mut fleet = FleetController::new(zone_config());
+            if z == 0 {
+                for i in 0..10 {
+                    fleet.add_workload(source_for(&format!("z0t{i:02}")));
+                }
+            }
+            Zone::new(z, fleet, GROUPS, binder())
+        })
+        .collect()
+}
+
+fn root() -> RootBalancer {
+    RootBalancer::new(RootConfig {
+        balancer: BalancerConfig {
+            machines_per_shard: 2,
+            balance_every: ROOT_EVERY,
+            max_moves_per_round: 2,
+            low_watermark: 0,
+            cooldown_rounds: 1,
+        },
+        groups: GROUPS,
+    })
+}
+
+fn record_sig(records: &[kairos_fleet::HandoffRecord]) -> Vec<(String, usize, Option<usize>, u64, String)> {
+    records
+        .iter()
+        .map(|r| {
+            (
+                r.tenant.clone(),
+                r.from,
+                r.to,
+                r.tick,
+                format!("{:?}", r.outcome),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn rpc_root_rounds_match_in_process_zones() {
+    // --- reference: in-process zones ---
+    let mut ref_zones = build_zones();
+    let mut ref_root = root();
+    for tick in 1..=TICKS {
+        for zone in &mut ref_zones {
+            zone.tick();
+        }
+        if tick % ROOT_EVERY == 0 {
+            ref_root.run_round(&mut ref_zones, tick);
+        }
+    }
+
+    // --- networked: the same zones behind ZoneNodes ---
+    let transport = transport();
+    let nodes: Vec<ZoneNode> = build_zones().into_iter().map(ZoneNode::new).collect();
+    let mut handles = Vec::new();
+    let mut remotes = Vec::new();
+    for (z, node) in nodes.iter().enumerate() {
+        let handle = node
+            .serve(transport.as_ref(), &bind_endpoint(z))
+            .expect("zone serves");
+        let remote = RemoteZone::connect(transport.as_ref(), &handle.endpoint, 300.0)
+            .expect("root connects");
+        handles.push(handle);
+        remotes.push(remote);
+    }
+    let mut net_root = root();
+    for tick in 1..=TICKS {
+        for remote in &mut remotes {
+            remote.tick().expect("zone ticks over rpc");
+        }
+        if tick % ROOT_EVERY == 0 {
+            net_root.run_round(&mut remotes, tick);
+        }
+    }
+
+    // Same policy code path, same inputs: identical move history.
+    assert_eq!(record_sig(ref_root.handoffs()), record_sig(net_root.handoffs()));
+    let completed = net_root
+        .handoffs()
+        .iter()
+        .filter(|r| r.outcome == HandoffOutcome::Completed)
+        .count();
+    assert!(completed > 0, "the overloaded zone must shed groups");
+
+    // Membership agrees zone-by-zone with the reference.
+    for (z, node) in nodes.iter().enumerate() {
+        let net_tenants = node.with_zone(|zone| {
+            let mut t: Vec<String> = zone.fleet().map().entries().map(|(n, _)| n.to_string()).collect();
+            t.sort();
+            t
+        });
+        let mut ref_tenants: Vec<String> = ref_zones[z]
+            .fleet()
+            .map()
+            .entries()
+            .map(|(n, _)| n.to_string())
+            .collect();
+        ref_tenants.sort();
+        assert_eq!(net_tenants, ref_tenants, "zone {z} membership diverged");
+    }
+    // The receiving zone can plan what it admitted: every moved tenant
+    // is routed to a shard and the zone's roll-up accounts for it.
+    let moved: usize = nodes[1].with_zone(|zone| zone.fleet().map().len());
+    assert!(moved > 0, "zone 1 must hold the moved groups");
+
+    // Group-level probes answer over the transport.
+    for remote in &mut remotes {
+        for g in 0..GROUPS {
+            let _ = kairos_fleet::balancer::ShardHandle::owns(remote, &group_name(g));
+        }
+    }
+    for handle in handles {
+        handle.stop();
+    }
+}

@@ -18,7 +18,10 @@ use std::collections::VecDeque;
 
 /// Version tag for serialized trace frames (`kairos-store` framing).
 /// Bump on any change to [`TracedEvent`] / [`DecisionEvent`] layout.
-pub const TRACE_WIRE_VERSION: u32 = 2;
+///
+/// v3: hierarchy events ([`DecisionEvent::ZoneSummarized`],
+/// [`DecisionEvent::GroupMoved`]) appended for the balancer-of-balancers.
+pub const TRACE_WIRE_VERSION: u32 = 3;
 
 /// Default ring capacity: large enough to hold every event of the test
 /// and example runs (so checkpoint/restore preserves full history), small
@@ -161,6 +164,29 @@ pub enum DecisionEvent {
         shard: usize,
         endpoint: String,
         generation: u64,
+    },
+
+    // --- hierarchy (balancer-of-balancers) ------------------------------
+    // Appended in trace v3; enum wire tags are variant indices, so new
+    // variants go at the end.
+    /// A zone rolled its shard summaries up into one constant-size zone
+    /// summary for the root balancer. `summary_bytes` is the roll-up's
+    /// encoded size — the quantity the sketches keep independent of
+    /// window length.
+    ZoneSummarized {
+        zone: usize,
+        tenants: usize,
+        groups: usize,
+        machines_used: usize,
+        summary_bytes: usize,
+    },
+    /// The root balancer moved a tenant group between zones (every member
+    /// travelled inside one group frame).
+    GroupMoved {
+        group: String,
+        tenants: usize,
+        from_zone: usize,
+        to_zone: usize,
     },
 }
 

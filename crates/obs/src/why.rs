@@ -165,6 +165,23 @@ pub fn render_event(event: &DecisionEvent) -> String {
             endpoint,
             generation,
         } => format!("shard {shard} announced itself at {endpoint} (generation {generation})"),
+        ZoneSummarized {
+            zone,
+            tenants,
+            groups,
+            machines_used,
+            summary_bytes,
+        } => format!(
+            "zone {zone} rolled up: {tenants} tenants in {groups} groups, {machines_used} machines ({summary_bytes} B on the wire)"
+        ),
+        GroupMoved {
+            group,
+            tenants,
+            from_zone,
+            to_zone,
+        } => format!(
+            "group {group} ({tenants} tenants) moved: zone {from_zone} -> zone {to_zone}"
+        ),
     }
 }
 

@@ -14,14 +14,21 @@
 //! * [`predict`] — the Fig 13 predictability analysis (mean of past weeks
 //!   predicts the next week);
 //! * [`aggregate`] — shard-level roll-ups of per-tenant rolling windows,
-//!   the coarse signal the sharded control plane's balancer consumes.
+//!   the coarse signal the sharded control plane's balancer consumes;
+//! * [`sketch`] — fixed-size, peak-preserving quantile sketches of those
+//!   windows, the O(1) representation summaries and handoffs ship.
 
 pub mod aggregate;
 pub mod fleet;
 pub mod predict;
 pub mod rrd;
+pub mod sketch;
 
 pub use aggregate::{sum_tail_aligned, sum_tail_aligned_refs, ShardAggregate};
+pub use sketch::{
+    AggregateSketch, SeriesSketch, SketchConfig, MAX_SKETCH_MARKS, MAX_SKETCH_TAIL,
+    SKETCH_WIRE_VERSION,
+};
 pub use fleet::{
     fleet_mean_utilization, generate_all, generate_fleet, Dataset, FleetConfig, ServerTrace,
 };

@@ -248,7 +248,11 @@ pub fn percentile_of_sorted(sorted: &[f64], p: f64) -> f64 {
         sorted[lo]
     } else {
         let frac = rank - lo as f64;
-        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+        // Single-product lerp: exact when the bracket endpoints are equal
+        // and never outside [sorted[lo], sorted[hi]] by more than one
+        // rounding step — the two-product form `lo*(1-frac) + hi*frac`
+        // can dip below both endpoints and break monotonicity in `p`.
+        sorted[lo] + (sorted[hi] - sorted[lo]) * frac
     }
 }
 
