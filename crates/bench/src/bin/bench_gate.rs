@@ -106,10 +106,10 @@ fn fields(obj: &str) -> BTreeMap<String, f64> {
     out
 }
 
-/// The flat top-level `"net": {...}` object's numeric fields (empty map
-/// when the document predates the network plane).
-fn parse_net(json: &str) -> BTreeMap<String, f64> {
-    let Some(key) = json.find("\"net\"") else {
+/// A flat top-level `"<name>": {...}` object's numeric fields (empty
+/// map when the document predates that section).
+fn parse_flat(json: &str, name: &str) -> BTreeMap<String, f64> {
+    let Some(key) = json.find(&format!("\"{name}\"")) else {
         return BTreeMap::new();
     };
     let Some(open) = json[key..].find('{').map(|i| i + key) else {
@@ -119,6 +119,12 @@ fn parse_net(json: &str) -> BTreeMap<String, f64> {
         return BTreeMap::new();
     };
     fields(&json[open + 1..close])
+}
+
+/// The flat top-level `"net": {...}` object's numeric fields (empty map
+/// when the document predates the network plane).
+fn parse_net(json: &str) -> BTreeMap<String, f64> {
+    parse_flat(json, "net")
 }
 
 /// `shards → fields` for every scale entry in a bench JSON document.
@@ -160,7 +166,7 @@ fn parse_hierarchy(json: &str) -> Hierarchy {
         let rest = &section[i..];
         let colon = rest.find(':')?;
         rest[colon + 1..]
-            .split(|c: char| c == ',' || c == '}' || c == '\n')
+            .split([',', '}', '\n'])
             .next()?
             .trim()
             .parse::<f64>()
@@ -246,10 +252,7 @@ fn main() -> ExitCode {
     if !fresh_hier.scales.is_empty() || !baseline_hier.scales.is_empty() {
         let fh = hier_shards.and_then(|s| fresh_hier.scales.get(&s));
         let bh = hier_shards.and_then(|s| baseline_hier.scales.get(&s));
-        for (metric, unit) in [
-            ("root_round_mean_usecs", "µs"),
-            ("zone_rollup_bytes", "B"),
-        ] {
+        for (metric, unit) in [("root_round_mean_usecs", "µs"), ("zone_rollup_bytes", "B")] {
             rows.push((
                 match metric {
                     "root_round_mean_usecs" => "hierarchy.root_round_mean_usecs",
@@ -295,6 +298,35 @@ fn main() -> ExitCode {
         failed |= !ok;
         println!(
             "| `hierarchy.root_cost_ratio` (fresh, absolute) | – | {ratio:.3}× | {ratio:.2}× | {FACTOR}× | {} |",
+            if ok { "✅ pass" } else { "❌ **regressed**" }
+        );
+    }
+    // Span-tracing overhead is gated as an *absolute* bound on the
+    // fresh run, like root_cost_ratio: the document already carries the
+    // spans-on / spans-off ratio measured between adjacent runs of the
+    // same process, so comparing against a baseline file would only add
+    // machine noise. Two surfaces, same envelope: the steady tick (a
+    // quiet tick opens no spans, so the ratio must sit in noise) and
+    // the handoff RPC round trip (four frames each paying the 28-byte
+    // span section plus two shard-side span records).
+    const SPANS_FACTOR: f64 = 1.15;
+    let fresh_obs = parse_flat(&fresh_doc, "obs_overhead");
+    for (metric, ratio) in [
+        (
+            "obs_overhead.spans_over_plain_p50_ratio (fresh, absolute)",
+            fresh_obs.get("spans_over_plain_p50_ratio").copied(),
+        ),
+        (
+            "net.handoff_spans_over_plain_ratio (fresh, absolute)",
+            fresh_net.get("handoff_spans_over_plain_ratio").copied(),
+        ),
+    ] {
+        // Missing keys mean a pre-span fresh document — nothing to gate.
+        let Some(ratio) = ratio else { continue };
+        let ok = ratio > 0.0 && ratio <= SPANS_FACTOR;
+        failed |= !ok;
+        println!(
+            "| `{metric}` | – | {ratio:.3}× | {ratio:.2}× | {SPANS_FACTOR}× | {} |",
             if ok { "✅ pass" } else { "❌ **regressed**" }
         );
     }

@@ -98,6 +98,7 @@ fn run_scale(
     ticks: u64,
     tick_threads: usize,
     tracing: bool,
+    spans: bool,
 ) -> ScaleResult {
     let cfg = FleetConfig {
         shards,
@@ -121,6 +122,12 @@ fn run_scale(
         // nothing else — the overhead section compares this against the
         // traced default.
         fleet.set_tracing(false);
+    }
+    if spans {
+        // Spans-on run: every balance round opens a root span, handoffs
+        // chain balancer → shard child spans, and each shard's evict and
+        // admit record into its log — the full causal-tracing hot path.
+        fleet.set_span_tracing(true);
     }
     let spike_start = ticks / 3;
     let spike_end = (2 * ticks) / 3;
@@ -280,6 +287,10 @@ struct NetResult {
     ping_rpc_p99_usecs: f64,
     handoff_rpc_roundtrip_usecs: f64,
     handoff_rpc_roundtrip_p99_usecs: f64,
+    /// The same two-phase handoff with causal span tracing armed end to
+    /// end: the caller holds an open root span, every frame carries the
+    /// 28-byte span section, and both shard nodes record child spans.
+    handoff_rpc_roundtrip_spans_usecs: f64,
     handoff_frame_bytes: usize,
     /// Localhost TCP Ping mean; negative when the bind failed (no
     /// loopback networking in the sandbox).
@@ -387,6 +398,58 @@ fn run_net_bench() -> NetResult {
         handoff_usecs.push(t0.elapsed().as_secs_f64() * 1e6);
     }
 
+    // The same handshake with span tracing armed: shard logs record
+    // evict/admit child spans, and the bench holds an open root so every
+    // frame pays the span section. bench_gate holds the spans-on mean to
+    // 1.15× of the plain figure above.
+    for (shard, node) in nodes.iter().enumerate() {
+        node.with_shard(|s| {
+            s.configure_spans(kairos_obs::span::node_for_shard(shard), true);
+        });
+    }
+    let mut bench_spans = kairos_obs::SpanLog::new(kairos_obs::span::NODE_BALANCER);
+    bench_spans.set_enabled(true);
+    let mut handoff_spans_usecs = Vec::with_capacity(64);
+    for round in 0..64u64 {
+        let donor = (round % 2) as usize;
+        let receiver = 1 - donor;
+        let root = bench_spans.open_root("bench_handoff", round, &[("tenant", &tenant)]);
+        let _guard = kairos_obs::span::install(root);
+        let t0 = Instant::now();
+        let Response::Forecast(Some(profile)) = rpc::call(
+            conns[donor].as_mut(),
+            &Request::Forecast {
+                tenant: tenant.clone(),
+            },
+        )
+        .expect("forecast") else {
+            panic!("tenant must forecast on its current shard");
+        };
+        let Response::CanAdmit(true) = rpc::call(
+            conns[receiver].as_mut(),
+            &Request::CanAdmit {
+                profile,
+                budget: 16,
+            },
+        )
+        .expect("reserve") else {
+            panic!("reservation must hold at a loose budget");
+        };
+        let Response::Evicted(Some(wire)) = rpc::call(
+            conns[donor].as_mut(),
+            &Request::Evict {
+                tenant: tenant.clone(),
+            },
+        )
+        .expect("evict") else {
+            panic!("tenant must evict");
+        };
+        let response =
+            rpc::call(conns[receiver].as_mut(), &Request::Admit { frame: wire }).expect("admit");
+        assert!(matches!(response, Response::Done));
+        handoff_spans_usecs.push(t0.elapsed().as_secs_f64() * 1e6);
+    }
+
     // Socket floor: the same Ping over a real localhost TCP connection.
     let tcp_ping_rpc_usecs = (|| -> Option<f64> {
         let tcp = kairos_net::TcpTransport::new();
@@ -410,6 +473,7 @@ fn run_net_bench() -> NetResult {
         ping_rpc_p99_usecs: percentile(&ping_sorted, 99.0),
         handoff_rpc_roundtrip_usecs: mean(&handoff_usecs),
         handoff_rpc_roundtrip_p99_usecs: percentile(&handoff_sorted, 99.0),
+        handoff_rpc_roundtrip_spans_usecs: mean(&handoff_spans_usecs),
         handoff_frame_bytes: frame_bytes,
         tcp_ping_rpc_usecs,
     }
@@ -456,8 +520,7 @@ fn hier_source(name: &str) -> Box<dyn kairos_controller::TelemetrySource> {
         .fold(0, |acc, b| acc * 10 + u64::from(b - b'0'));
     let tps = 190.0 + 10.0 * (digits % 4) as f64;
     Box::new(
-        SyntheticSource::new(name, 300.0, Bytes::gib(4), RatePattern::Flat { tps })
-            .with_noise(0.0),
+        SyntheticSource::new(name, 300.0, Bytes::gib(4), RatePattern::Flat { tps }).with_noise(0.0),
     )
 }
 
@@ -627,7 +690,7 @@ fn main() {
 
     let results: Vec<ScaleResult> = scales
         .iter()
-        .map(|&s| run_scale(s, tenants_per_shard, ticks, threads, true))
+        .map(|&s| run_scale(s, tenants_per_shard, ticks, threads, true, false))
         .collect();
 
     let mut out = String::new();
@@ -682,7 +745,7 @@ fn main() {
     // approach the 1-shard figure; on a 1-core box the two runs are the
     // same work and the ratio records that honestly (see
     // available_parallelism in config).
-    let serial = run_scale(max_shards, tenants_per_shard, ticks, 1, true);
+    let serial = run_scale(max_shards, tenants_per_shard, ticks, 1, true, false);
     // At least 2 threads so the scoped fan-out path is genuinely
     // measured even where the machine offers one core.
     let threaded = run_scale(
@@ -691,6 +754,7 @@ fn main() {
         ticks,
         threads.max(parallelism).max(2),
         true,
+        false,
     );
     let speedup = if threaded.steady_tick_usecs > 0.0 {
         serial.steady_tick_usecs / threaded.steady_tick_usecs
@@ -717,10 +781,21 @@ fn main() {
     // does not bias the pair). Recording is a branch plus a ring push on
     // rare events, so the traced steady tick should sit within noise of
     // the disabled run (the acceptance envelope is 10% on p50).
-    let traced = run_scale(scales[0], tenants_per_shard, ticks, threads, true);
-    let untraced = run_scale(scales[0], tenants_per_shard, ticks, threads, false);
+    let traced = run_scale(scales[0], tenants_per_shard, ticks, threads, true, false);
+    let untraced = run_scale(scales[0], tenants_per_shard, ticks, threads, false, false);
     let overhead_ratio = if untraced.steady_tick_p50_usecs > 0.0 {
         traced.steady_tick_p50_usecs / untraced.steady_tick_p50_usecs
+    } else {
+        0.0
+    };
+    // Span-tracing overhead, same discipline: the spans-on run against
+    // the traced default (spans are the increment over tracing, not over
+    // a fully disabled sink). A steady tick opens no spans at all —
+    // roots only open on balance rounds — so the p50 must sit within
+    // noise; bench_gate holds the ratio to 1.15×.
+    let spanned = run_scale(scales[0], tenants_per_shard, ticks, threads, true, true);
+    let spans_ratio = if traced.steady_tick_p50_usecs > 0.0 {
+        spanned.steady_tick_p50_usecs / traced.steady_tick_p50_usecs
     } else {
         0.0
     };
@@ -729,9 +804,16 @@ fn main() {
             "  \"obs_overhead\": {{\"shards\":{},",
             "\"steady_tick_p50_traced_usecs\":{:.2},",
             "\"steady_tick_p50_disabled_usecs\":{:.2},",
-            "\"traced_over_disabled_p50_ratio\":{:.3}}},\n"
+            "\"traced_over_disabled_p50_ratio\":{:.3},",
+            "\"steady_tick_p50_spans_usecs\":{:.2},",
+            "\"spans_over_plain_p50_ratio\":{:.3}}},\n"
         ),
-        scales[0], traced.steady_tick_p50_usecs, untraced.steady_tick_p50_usecs, overhead_ratio,
+        scales[0],
+        traced.steady_tick_p50_usecs,
+        untraced.steady_tick_p50_usecs,
+        overhead_ratio,
+        spanned.steady_tick_p50_usecs,
+        spans_ratio,
     ));
 
     // The network plane: RPC latency floors and the two-phase handoff
@@ -743,12 +825,20 @@ fn main() {
             "  \"net\": {{\"transport\":\"loopback\",",
             "\"ping_rpc_usecs\":{:.2},\"ping_rpc_p99_usecs\":{:.2},",
             "\"handoff_rpc_roundtrip_usecs\":{:.2},\"handoff_rpc_roundtrip_p99_usecs\":{:.2},",
+            "\"handoff_rpc_roundtrip_spans_usecs\":{:.2},",
+            "\"handoff_spans_over_plain_ratio\":{:.3},",
             "\"handoff_frame_bytes\":{},\"tcp_ping_rpc_usecs\":{:.2}}}"
         ),
         net.ping_rpc_usecs,
         net.ping_rpc_p99_usecs,
         net.handoff_rpc_roundtrip_usecs,
         net.handoff_rpc_roundtrip_p99_usecs,
+        net.handoff_rpc_roundtrip_spans_usecs,
+        if net.handoff_rpc_roundtrip_usecs > 0.0 {
+            net.handoff_rpc_roundtrip_spans_usecs / net.handoff_rpc_roundtrip_usecs
+        } else {
+            0.0
+        },
         net.handoff_frame_bytes,
         net.tcp_ping_rpc_usecs,
     ));

@@ -124,6 +124,12 @@ pub struct ChaosConfig {
     /// chaos leg tightens it so faulted handoffs cross with genuinely
     /// lossy frames.
     pub sketch: kairos_traces::SketchConfig,
+    /// Run with causal span tracing armed on the balancer and every
+    /// shard (including restored ones). The span logs then join the
+    /// determinism fingerprint, so a rerun must reproduce the whole
+    /// cross-node span forest byte-for-byte — not just the decision
+    /// traces.
+    pub spans: bool,
 }
 
 impl Default for ChaosConfig {
@@ -140,6 +146,7 @@ impl Default for ChaosConfig {
             checkpoint_every: 8,
             miss_limit: 3,
             sketch: kairos_traces::SketchConfig::default(),
+            spans: false,
         }
     }
 }
@@ -338,6 +345,16 @@ fn run_in(cfg: &ChaosConfig, schedule: &Schedule, dir: &Path, backend: ChaosBack
         &endpoints,
     )
     .expect("balancer connects");
+    if cfg.spans {
+        balancer.set_span_tracing(true);
+        for (shard, slot) in slots.iter().enumerate() {
+            if let Some(node) = &slot.node {
+                node.with_shard(|s| {
+                    s.configure_spans(kairos_obs::span::node_for_shard(shard), true)
+                });
+            }
+        }
+    }
     // Served so restored nodes can announce themselves back in; never
     // the target of a scheduled fault, so self-healing is reachable
     // whenever the node's side of the link is.
@@ -416,7 +433,15 @@ fn run_in(cfg: &ChaosConfig, schedule: &Schedule, dir: &Path, backend: ChaosBack
             transport.heal_all();
             for shard in 0..cfg.shards {
                 if slots[shard].crashed {
-                    restore_shard(shard, t, &transport, &escrow, &mut slots, &mut balancer);
+                    restore_shard(
+                        shard,
+                        t,
+                        cfg,
+                        &transport,
+                        &escrow,
+                        &mut slots,
+                        &mut balancer,
+                    );
                 }
             }
             // Partition-downed (not crashed) shards heal themselves the
@@ -600,6 +625,19 @@ fn run_in(cfg: &ChaosConfig, schedule: &Schedule, dir: &Path, backend: ChaosBack
         fingerprint.extend_from_slice(balancer.map().tenants_of(shard).join(",").as_bytes());
         fingerprint.push(b';');
     }
+    if cfg.spans {
+        // The span forest is part of observable behaviour when armed:
+        // the balancer's own spans plus every shard's, the latter
+        // fetched over the `Spans` RPC so the wire path is in the
+        // oracle too.
+        fingerprint.extend_from_slice(&balancer.span_bytes());
+        for shard in 0..cfg.shards {
+            fingerprint.extend_from_slice(&(shard as u64).to_le_bytes());
+            if let Some(spans) = balancer.shard_spans(shard) {
+                fingerprint.extend_from_slice(&spans);
+            }
+        }
+    }
 
     RunOutcome {
         violation,
@@ -636,7 +674,6 @@ fn apply_fault(
     balancer: &mut BalancerNode,
     (admit_tag, evict_tag, owns_tag): (u32, u32, u32),
 ) {
-    let _ = cfg;
     match *fault {
         ChaosFault::Partition { shard } => {
             if !slots[shard].crashed {
@@ -665,7 +702,7 @@ fn apply_fault(
         }
         ChaosFault::Restore { shard } => {
             if slots[shard].crashed {
-                restore_shard(shard, tick, transport, escrow, slots, balancer);
+                restore_shard(shard, tick, cfg, transport, escrow, slots, balancer);
             }
         }
         ChaosFault::DropCalls { shard, n } => {
@@ -709,9 +746,11 @@ fn announce(shard: usize, transport: &Arc<FaultedTransport>, slots: &[ShardSlot]
 /// fresh endpoint — which then announces itself to the balancer
 /// (reconciling stale/lost tenants against the routing map at the
 /// balancer's next tick).
+#[allow(clippy::too_many_arguments)]
 fn restore_shard(
     shard: usize,
     _tick: u64,
+    cfg: &ChaosConfig,
     transport: &Arc<FaultedTransport>,
     escrow: &SourceEscrow,
     slots: &mut [ShardSlot],
@@ -740,6 +779,12 @@ fn restore_shard(
         Box::new(escrow.clone()),
     )
     .expect("checkpoint restores");
+    if cfg.spans {
+        // Span logs are in-memory only: the restored node starts an
+        // empty log (deterministically — a rerun crashes and restores
+        // at the same ticks), but must record from here on.
+        node.with_shard(|s| s.configure_spans(kairos_obs::span::node_for_shard(shard), true));
+    }
     slots[shard].generation += 1;
     let endpoint = format!("shard-{shard}-g{}", slots[shard].generation);
     let handle = node

@@ -87,6 +87,42 @@ fn chaos_over_faulted_tcp_holds_invariants_and_reruns_byte_identical() {
 }
 
 #[test]
+fn spans_armed_chaos_reruns_byte_identical_on_both_transports() {
+    // Span tracing is part of the observable-behaviour contract when
+    // armed: the same faulted schedule must reproduce the entire
+    // cross-node span forest byte-for-byte on rerun, over loopback and
+    // over real sockets — including the crash/restore leg, where the
+    // restored shard restarts an empty span log at the same tick both
+    // times.
+    let cfg = ChaosConfig {
+        spans: true,
+        ..ChaosConfig::default()
+    };
+    let schedule = generate(4242, &cfg.bounds());
+    assert!(!schedule.faults.is_empty());
+    let baseline = run(&ChaosConfig::default(), &schedule);
+    assert!(baseline.passed());
+    for backend in [ChaosBackend::Loopback, ChaosBackend::Tcp] {
+        let a = run_on(&cfg, &schedule, backend);
+        assert!(
+            a.passed(),
+            "spans-armed chaos run violated an invariant ({backend:?}):\n{}",
+            a.violation.unwrap().render()
+        );
+        let b = run_on(&cfg, &schedule, backend);
+        assert!(b.passed());
+        assert_eq!(
+            a.fingerprint, b.fingerprint,
+            "spans-armed rerun must fingerprint byte-identically ({backend:?})"
+        );
+        assert!(
+            a.fingerprint.len() > baseline.fingerprint.len(),
+            "armed spans must actually contribute bytes to the fingerprint"
+        );
+    }
+}
+
+#[test]
 fn crash_with_a_parked_handoff_in_flight_recovers() {
     // The hand-written worst case the satellite bugfixes exist for:
     // corrupt the receiver's Admit *and* the probe-first Owns so a

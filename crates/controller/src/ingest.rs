@@ -390,7 +390,11 @@ mod tests {
         for i in 0..200u64 {
             // A spike at i=150 lands inside the window but outside a
             // 16-sample tail — the quantile staircase must carry it.
-            let cpu = if i == 150 { 6.0 } else { 0.5 + (i % 7) as f64 * 0.1 };
+            let cpu = if i == 150 {
+                6.0
+            } else {
+                0.5 + (i % 7) as f64 * 0.1
+            };
             t.ingest(&sample(cpu, 2048, 100.0 + i as f64));
         }
         let sk = t.sketch(&SketchConfig { marks: 9, tail: 16 });

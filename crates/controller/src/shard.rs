@@ -26,7 +26,7 @@ use crate::migration::plan_migration;
 use crate::resolver::{FleetPlacement, ReSolver};
 use crate::snapshot::{ShardSnapshot, TRACE_CHECKPOINT_CAP};
 use kairos_core::ConsolidationEngine;
-use kairos_obs::{DecisionEvent, DecisionLog, MetricsRegistry, TracedEvent};
+use kairos_obs::{DecisionEvent, DecisionLog, MetricsRegistry, SpanLog, TracedEvent};
 use kairos_solver::{evaluate, greedy_pack, Assignment, Evaluation};
 use kairos_traces::{AggregateSketch, ShardAggregate, SketchConfig};
 use kairos_types::{KairosError, WorkloadProfile};
@@ -225,6 +225,12 @@ pub struct ShardController {
     metrics: ShardMetrics,
     /// The deterministic decision trace (tick-stamped, ring-buffered).
     log: DecisionLog,
+    /// The causal span log: evict/admit record child spans under
+    /// whatever context the caller installed (locally or from an RPC
+    /// frame's span section), chaining this shard's work into the
+    /// balancer's cross-node trace. Disabled by default — zero records,
+    /// zero wire change.
+    spans: SpanLog,
     /// Objective of the current plan at its adoption — the "before" side
     /// of the next [`DecisionEvent::Replanned`] event. Checkpointed so a
     /// restored shard's trace continues instead of forking.
@@ -256,6 +262,7 @@ impl ShardController {
             summary_cache: None,
             metrics: ShardMetrics::new(MetricsRegistry::new()),
             log: DecisionLog::new(),
+            spans: SpanLog::new(0),
             last_objective_bits: 0,
         }
     }
@@ -298,6 +305,26 @@ impl ShardController {
     /// are kept.
     pub fn set_tracing(&mut self, enabled: bool) {
         self.log.set_enabled(enabled);
+    }
+
+    /// Configure causal span tracing: the node id this shard's spans
+    /// carry (`kairos_obs::span::node_for_shard` and friends) and
+    /// whether spans record at all. Disabled (the default) the evict /
+    /// admit paths record nothing and RPC frames stay span-free.
+    pub fn configure_spans(&mut self, node: u32, enabled: bool) {
+        self.spans.set_node(node);
+        self.spans.set_enabled(enabled);
+    }
+
+    /// The shard's span log (read side: queries, RPC payloads).
+    pub fn span_log(&self) -> &SpanLog {
+        &self.spans
+    }
+
+    /// The canonical span bytes (workspace codec `Vec<SpanRecord>`) —
+    /// included in chaos fingerprints when spans are enabled.
+    pub fn span_bytes(&self) -> Vec<u8> {
+        self.spans.span_bytes()
     }
 
     /// Drop the cached balancer summary — called on every state change a
@@ -1147,6 +1174,13 @@ impl ShardController {
         if self.planned_once {
             self.membership_changed = true;
         }
+        // Chain into the caller's trace: locally that's the balance
+        // round's handoff span; over RPC it's the context the frame's
+        // span section delivered. No installed context ⇒ no span.
+        if let Some(parent) = kairos_obs::span::current() {
+            self.spans
+                .open_child(parent, "evict", self.ticks(), &[("tenant", name)]);
+        }
         self.log.record(
             self.ticks(),
             DecisionEvent::TenantEvicted {
@@ -1178,6 +1212,10 @@ impl ShardController {
         self.ingester.insert(&name, telemetry);
         if replicas > 1 {
             self.replicas.insert(name.clone(), replicas);
+        }
+        if let Some(parent) = kairos_obs::span::current() {
+            self.spans
+                .open_child(parent, "admit", self.ticks(), &[("tenant", &name)]);
         }
         self.log.record(
             self.ticks(),

@@ -15,7 +15,7 @@
 
 use crate::handoff::{HandoffOutcome, HandoffRecord};
 use kairos_controller::{ShardController, ShardSummary, TelemetrySource, TenantHandoff};
-use kairos_obs::{DecisionEvent, DecisionLog};
+use kairos_obs::{span, DecisionEvent, DecisionLog, SpanLog};
 use kairos_types::WorkloadProfile;
 use std::collections::BTreeMap;
 
@@ -391,6 +391,15 @@ impl BalancerSoftState {
 /// produce byte-identical balancer traces by construction (same policy
 /// code, same recorder discipline). Pass a
 /// [`DecisionLog::disabled`] sink to trace nothing.
+///
+/// `spans` is the balancer's causal span log. When enabled, the round
+/// opens a root `balance_round` span and installs its context for the
+/// whole round; each handoff and parked retry opens a child span whose
+/// context is installed across the shard calls it makes — so the
+/// shard-side `evict`/`admit` spans (local or delivered through an RPC
+/// frame's span section) chain into one cross-node tree. Disabled (the
+/// default), nothing records and no frame grows a span section.
+#[allow(clippy::too_many_arguments)]
 pub fn run_balance_round<H: ShardHandle>(
     shards: &mut [H],
     cfg: &BalancerConfig,
@@ -399,8 +408,12 @@ pub fn run_balance_round<H: ShardHandle>(
     cooldown: &mut BTreeMap<String, u64>,
     parked: &mut Vec<ParkedHandoff>,
     log: &mut DecisionLog,
+    spans: &mut SpanLog,
 ) -> Vec<HandoffRecord> {
     let mut records = Vec::new();
+    let round_label = round.to_string();
+    let round_ctx = spans.open_root("balance_round", tick, &[("round", &round_label)]);
+    let _round_span = span::install(round_ctx);
     let pending = std::mem::take(parked);
     for entry in pending {
         let ParkedHandoff {
@@ -408,6 +421,19 @@ pub fn run_balance_round<H: ShardHandle>(
             receiver,
             tenant,
         } = entry;
+        let retry_ctx = round_ctx.and_then(|ctx| {
+            spans.open_child(
+                ctx,
+                "parked_retry",
+                tick,
+                &[
+                    ("tenant", &tenant.name),
+                    ("donor", &donor.to_string()),
+                    ("receiver", &receiver.to_string()),
+                ],
+            )
+        });
+        let _retry_span = span::install(retry_ctx);
         match shards.get_mut(receiver).and_then(|r| r.owns(&tenant.name)) {
             // The original admit landed and only its response was
             // lost: surface the transfer so the caller re-routes.
@@ -624,7 +650,23 @@ pub fn run_balance_round<H: ShardHandle>(
             );
             // Phase 2 — transfer: evict (frees capacity on the donor)
             // then admit (telemetry travels as a checksummed wire
-            // frame; the receiver replans membership next tick).
+            // frame; the receiver replans membership next tick). The
+            // handoff span's context covers the whole handshake,
+            // including rollback probes, so both shards' spans chain
+            // under it.
+            let handoff_ctx = round_ctx.and_then(|ctx| {
+                spans.open_child(
+                    ctx,
+                    "handoff",
+                    tick,
+                    &[
+                        ("tenant", &tenant),
+                        ("donor", &donor.to_string()),
+                        ("receiver", &to.to_string()),
+                    ],
+                )
+            });
+            let _handoff_span = span::install(handoff_ctx);
             let mut evicted = shards[donor].evict(&tenant);
             if evicted.is_none() && shards[donor].owns(&tenant) == Some(false) {
                 // The eviction came back empty while the donor provably

@@ -23,7 +23,9 @@ use kairos_controller::{
     TRACE_CHECKPOINT_CAP,
 };
 use kairos_core::ConsolidationEngine;
-use kairos_obs::{DecisionLog, MetricsRegistry, TracedEvent};
+use kairos_obs::{
+    DecisionLog, HealthMonitor, MetricsRegistry, ParkedAges, SpanLog, SpanRecord, TracedEvent,
+};
 use kairos_solver::{evaluate, Assignment, ConsolidationProblem, Evaluation};
 use kairos_store::StoreError;
 use kairos_types::WorkloadProfile;
@@ -262,6 +264,22 @@ pub struct FleetController {
     /// fan-out join, so the stream is deterministic at any thread
     /// count). Shard-loop events live in each shard's own log.
     log: DecisionLog,
+    /// Balancer-side causal span log (`balance_round` roots plus
+    /// `handoff`/`parked_retry` children); shard-side spans live in each
+    /// shard's own log. Disabled by default.
+    spans: SpanLog,
+    /// The health watchdog, when armed via [`FleetController::set_health`].
+    /// Observed once per tick over the fleet + shard registries; newly
+    /// fired rules record [`kairos_obs::DecisionEvent::HealthFlagged`]
+    /// events. `None` (the default) costs nothing and keeps the decision
+    /// trace byte-identical to a watchdog-free run.
+    health: Option<HealthMonitor>,
+    /// First-seen balance round per parked tenant — feeds the
+    /// `kairos_fleet_parked_oldest_rounds` gauge the watchdog's
+    /// aged-parked-handoff rule watches. Kept out of
+    /// [`crate::balancer::BalancerSoftState`]: ages are derivable
+    /// observability, not resume state.
+    parked_ages: ParkedAges,
 }
 
 impl FleetController {
@@ -296,6 +314,9 @@ impl FleetController {
             gate: BalanceGate::default(),
             metrics: FleetMetrics::new(MetricsRegistry::new()),
             log: DecisionLog::new(),
+            spans: SpanLog::new(kairos_obs::span::NODE_BALANCER),
+            health: None,
+            parked_ages: ParkedAges::new(),
         }
     }
 
@@ -360,6 +381,59 @@ impl FleetController {
         for shard in &mut self.shards {
             shard.set_tracing(enabled);
         }
+    }
+
+    /// Enable or disable causal span tracing fleet-wide: the balancer's
+    /// span log (node id `span::NODE_BALANCER`) and every shard's (node
+    /// id `span::node_for_shard(i)`). Disabled (the default) nothing
+    /// records, and RPC deployments emit span-free frames.
+    pub fn set_span_tracing(&mut self, enabled: bool) {
+        self.spans.set_enabled(enabled);
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            shard.configure_spans(kairos_obs::span::node_for_shard(i), enabled);
+        }
+    }
+
+    /// The balancer-side span log.
+    pub fn span_log(&self) -> &SpanLog {
+        &self.spans
+    }
+
+    /// Renumber the balancer-side span log's node id — a zone gives its
+    /// internal fleet balancer a zone-scoped id
+    /// (`span::node_for_zone_balancer`) so two zones' internal rounds
+    /// never collide in span-id space.
+    pub fn set_span_node(&mut self, node: u32) {
+        self.spans.set_node(node);
+    }
+
+    /// The balancer-side canonical span bytes (workspace codec).
+    pub fn span_bytes(&self) -> Vec<u8> {
+        self.spans.span_bytes()
+    }
+
+    /// Every span in the control plane — balancer first, then each
+    /// shard's, in shard order. The flight-recorder query layer and the
+    /// span-tree assembler consume this merged view.
+    pub fn all_spans(&self) -> Vec<SpanRecord> {
+        let mut all = self.spans.to_vec();
+        for shard in &self.shards {
+            all.extend(shard.span_log().to_vec());
+        }
+        all
+    }
+
+    /// Arm the health watchdog with `monitor` (e.g.
+    /// `HealthMonitor::new()` for the default rule set). Observed once
+    /// per tick; newly fired rules land in the decision trace as
+    /// `HealthFlagged` events.
+    pub fn set_health(&mut self, monitor: Option<HealthMonitor>) {
+        self.health = monitor;
+    }
+
+    /// The watchdog's current report, if one is armed.
+    pub fn health_report(&self) -> Option<kairos_obs::HealthReport> {
+        self.health.as_ref().map(|m| m.report().clone())
     }
 
     pub fn map(&self) -> &ShardMap {
@@ -563,7 +637,41 @@ impl FleetController {
             self.metrics.poll_tick_usecs.record(usecs);
         }
         self.metrics.parked_depth.set(self.parked.len() as f64);
+        self.observe_health();
         FleetTickReport { outcomes, handoffs }
+    }
+
+    /// One watchdog observation, when armed: refresh the parked-age
+    /// gauge, evaluate every rule over the fleet + shard registries, and
+    /// trace the rules that newly fired this tick.
+    fn observe_health(&mut self) {
+        let Some(mut monitor) = self.health.take() else {
+            return;
+        };
+        let parked_tenants: Vec<String> =
+            self.parked.iter().map(|p| p.tenant.name.clone()).collect();
+        let oldest = self.parked_ages.update(
+            self.metrics.balance_rounds.get(),
+            parked_tenants.iter().map(|s| s.as_str()),
+        );
+        self.metrics
+            .registry()
+            .gauge("kairos_fleet_parked_oldest_rounds")
+            .set(oldest as f64);
+        let tick = self.metrics.ticks.get();
+        let mut registries: Vec<&MetricsRegistry> = vec![self.metrics.registry()];
+        registries.extend(self.shards.iter().map(|s| s.metrics_registry()));
+        for finding in monitor.observe(tick, &registries) {
+            self.log.record(
+                tick,
+                kairos_obs::DecisionEvent::HealthFlagged {
+                    rule: finding.rule.clone(),
+                    metric: finding.metric.clone(),
+                    severity: finding.severity.name().to_string(),
+                },
+            );
+        }
+        self.health = Some(monitor);
     }
 
     /// Fan the per-shard ticks out across the configured worker threads.
@@ -611,6 +719,7 @@ impl FleetController {
             &mut self.probe_cooldown,
             &mut self.parked,
             &mut self.log,
+            &mut self.spans,
         );
         debug_assert!(
             self.parked.is_empty(),
@@ -758,6 +867,9 @@ impl FleetController {
             gate: BalanceGate::default(),
             metrics,
             log: DecisionLog::restore(snapshot.trace, kairos_obs::events::DEFAULT_TRACE_CAP, true),
+            spans: SpanLog::new(kairos_obs::span::NODE_BALANCER),
+            health: None,
+            parked_ages: ParkedAges::new(),
         })
     }
 

@@ -47,11 +47,15 @@
 //! as shards multiply (the `"hierarchy"` section of `BENCH_fleet.json`
 //! pins this).
 
-use crate::balancer::{run_balance_round, BalancerConfig, EvictedTenant, ParkedHandoff, ShardHandle};
+use crate::balancer::{
+    run_balance_round, BalancerConfig, EvictedTenant, ParkedHandoff, ShardHandle,
+};
 use crate::fleet::FleetController;
 use crate::handoff::{HandoffOutcome, HandoffRecord};
 use kairos_controller::{ShardSummary, TelemetrySource, TenantHandoff, TenantLoad};
-use kairos_obs::{Counter, DecisionEvent, DecisionLog, Histogram, MetricsRegistry, TracedEvent};
+use kairos_obs::{
+    Counter, DecisionEvent, DecisionLog, Histogram, MetricsRegistry, SpanLog, TracedEvent,
+};
 use kairos_traces::AggregateSketch;
 use kairos_types::{Bytes, DiskDemand, Rate, WorkloadProfile};
 use std::collections::BTreeMap;
@@ -142,6 +146,11 @@ pub struct Zone {
     /// and the balance round both ask for the summary each round, and
     /// the underlying per-shard summaries are themselves cached.
     rollup_cache: Option<(u64, ZoneRollup)>,
+    /// Zone-level causal spans (`zone_evict`/`zone_admit`, node id
+    /// `span::node_for_zone(id)`): the middle layer of the cross-zone
+    /// group-move trace, between the root's `handoff` span and the
+    /// member shards' `evict`/`admit` spans.
+    spans: SpanLog,
 }
 
 impl Zone {
@@ -153,6 +162,7 @@ impl Zone {
             groups,
             binder,
             rollup_cache: None,
+            spans: SpanLog::new(kairos_obs::span::node_for_zone(id)),
         }
     }
 
@@ -171,6 +181,32 @@ impl Zone {
 
     pub fn fleet_mut(&mut self) -> &mut FleetController {
         &mut self.fleet
+    }
+
+    /// Enable or disable causal span tracing for the whole zone: the
+    /// zone's own log plus its fleet, with member shards renumbered into
+    /// the hierarchy's node-id space (`span::node_for_zone_shard`).
+    pub fn set_span_tracing(&mut self, enabled: bool) {
+        self.spans.set_enabled(enabled);
+        self.fleet.set_span_tracing(enabled);
+        self.fleet
+            .set_span_node(kairos_obs::span::node_for_zone_balancer(self.id));
+        for (i, shard) in self.fleet.shards_mut().iter_mut().enumerate() {
+            shard.configure_spans(kairos_obs::span::node_for_zone_shard(self.id, i), enabled);
+        }
+    }
+
+    /// The zone-level span log (`zone_evict`/`zone_admit` spans).
+    pub fn span_log(&self) -> &SpanLog {
+        &self.spans
+    }
+
+    /// Every span recorded in this zone — zone-level first, then the
+    /// fleet's (balancer + member shards).
+    pub fn all_spans(&self) -> Vec<kairos_obs::SpanRecord> {
+        let mut all = self.spans.to_vec();
+        all.extend(self.fleet.all_spans());
+        all
     }
 
     /// One monitoring interval for the whole zone: every shard ticks and
@@ -367,6 +403,19 @@ impl ShardHandle for Zone {
         if members.is_empty() {
             return None;
         }
+        // Chain the member evictions under a zone-level span: the root's
+        // handoff context (installed locally, or delivered by the Evict
+        // frame's span section) parents it; each member shard's `evict`
+        // span parents under this one in turn.
+        let zone_ctx = kairos_obs::span::current().and_then(|parent| {
+            self.spans.open_child(
+                parent,
+                "zone_evict",
+                self.fleet.stats().ticks,
+                &[("group", tenant)],
+            )
+        });
+        let _zone_span = kairos_obs::span::install(zone_ctx);
         let mut frames: Vec<Vec<u8>> = Vec::with_capacity(members.len());
         for member in &members {
             // In-process evictions cannot fail for resident tenants.
@@ -417,6 +466,11 @@ impl ShardHandle for Zone {
         let Some(shard) = self.emptiest_shard() else {
             return Err(tenant);
         };
+        let zone_ctx = kairos_obs::span::current().and_then(|parent| {
+            self.spans
+                .open_child(parent, "zone_admit", at_tick, &[("group", &group)])
+        });
+        let _zone_span = kairos_obs::span::install(zone_ctx);
         let sketch = self.fleet.shards()[shard].sketch_config();
         for (name, replicas, telemetry, source) in members {
             self.fleet.admit_handoff(
@@ -513,6 +567,10 @@ pub struct RootBalancer {
     log: DecisionLog,
     moves: Vec<HandoffRecord>,
     metrics: RootMetrics,
+    /// Root-level causal spans (`balance_round` roots with
+    /// `handoff`/`parked_retry` children, node id `span::NODE_ROOT`) —
+    /// the top of the cross-zone group-move trace.
+    spans: SpanLog,
 }
 
 impl RootBalancer {
@@ -526,6 +584,7 @@ impl RootBalancer {
             log: DecisionLog::new(),
             moves: Vec::new(),
             metrics: RootMetrics::new(),
+            spans: SpanLog::new(kairos_obs::span::NODE_ROOT),
         }
     }
 
@@ -572,6 +631,17 @@ impl RootBalancer {
         self.log.set_enabled(enabled);
     }
 
+    /// Enable or disable the root's causal span tracing (the zones have
+    /// their own [`Zone::set_span_tracing`]).
+    pub fn set_span_tracing(&mut self, enabled: bool) {
+        self.spans.set_enabled(enabled);
+    }
+
+    /// The root's span log.
+    pub fn span_log(&self) -> &SpanLog {
+        &self.spans
+    }
+
     /// One root balance round at fleet tick `tick`: summarize every
     /// zone (traced as [`DecisionEvent::ZoneSummarized`]), then run the
     /// shared balance policy over the roll-ups, moving whole groups
@@ -611,6 +681,7 @@ impl RootBalancer {
             &mut self.cooldown,
             &mut self.parked,
             &mut self.log,
+            &mut self.spans,
         );
         for record in &records {
             match record.outcome {
@@ -621,8 +692,7 @@ impl RootBalancer {
                         tick,
                         DecisionEvent::GroupMoved {
                             group: record.tenant.clone(),
-                            tenants: group_sizes.get(&record.tenant).copied().unwrap_or(0)
-                                as usize,
+                            tenants: group_sizes.get(&record.tenant).copied().unwrap_or(0) as usize,
                             from_zone: record.from,
                             to_zone: to,
                         },
@@ -710,7 +780,11 @@ mod tests {
         assert_eq!(members, 4);
         // The roll-up is constant-size: its encoded length must not
         // scale with the monitoring window (sketch marks dominate).
-        assert!(rollup.encoded_len() < 4096, "rollup {}B", rollup.encoded_len());
+        assert!(
+            rollup.encoded_len() < 4096,
+            "rollup {}B",
+            rollup.encoded_len()
+        );
     }
 
     #[test]
@@ -769,7 +843,7 @@ mod tests {
                 .count();
         }
         assert!(completed > 0, "root must move at least one group");
-        assert!(zones[1].fleet().map().len() > 0);
+        assert!(!zones[1].fleet().map().is_empty());
         let events = root.trace_events();
         assert!(events
             .iter()

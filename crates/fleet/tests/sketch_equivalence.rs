@@ -189,11 +189,7 @@ fn sketched_summaries_preserve_decision_inputs_exactly() {
         sketched.tick();
         lossless.tick();
     }
-    for (a, b) in sketched
-        .shards()
-        .iter()
-        .zip(lossless.shards().iter())
-    {
+    for (a, b) in sketched.shards().iter().zip(lossless.shards().iter()) {
         let sa = a.summary();
         let sb = b.summary();
         assert_eq!(sa.machines_used, sb.machines_used);

@@ -68,7 +68,9 @@ use kairos_fleet::{
     run_balance_round, BalanceGate, BalancerSoftState, EvictedTenant, FleetAudit, FleetConfig,
     FleetMetrics, FleetStats, HandoffOutcome, HandoffRecord, ParkedHandoff, ShardHandle, ShardMap,
 };
-use kairos_obs::{DecisionEvent, DecisionLog, MetricsRegistry, TracedEvent};
+use kairos_obs::{
+    DecisionEvent, DecisionLog, HealthMonitor, MetricsRegistry, ParkedAges, SpanLog, TracedEvent,
+};
 use kairos_solver::{evaluate, Assignment};
 use kairos_traces::AggregateSketch;
 use kairos_types::WorkloadProfile;
@@ -265,6 +267,31 @@ pub struct BalancerNode {
     /// thread, drained into the decision trace on the tick thread (the
     /// trace itself is single-writer).
     auth_reject_notes: Arc<Mutex<Vec<String>>>,
+    /// Balancer-side causal span log (`balance_round` roots plus
+    /// `handoff`/`parked_retry` children); shard-side spans live on the
+    /// shard nodes and chain in via each RPC frame's span section.
+    spans: SpanLog,
+    /// The health watchdog, when armed ([`BalancerNode::set_health`]).
+    /// Observed once per **balance round** over the balancer +
+    /// process-global registries; newly fired rules trace as
+    /// `HealthFlagged`.
+    health: Option<HealthMonitor>,
+    /// Last balance round the watchdog observed — round cadence matters
+    /// because trend rules (sync-lag growth) watch gauges that only
+    /// move once per round; observing between rounds would read
+    /// plateaus and never see strict growth.
+    health_round: Option<u64>,
+    /// First-seen balance round per parked tenant — feeds the
+    /// `kairos_fleet_parked_oldest_rounds` gauge the watchdog's
+    /// aged-parked-handoff rule watches.
+    parked_ages: ParkedAges,
+    /// Last health report, shared with the lease endpoint's server
+    /// thread so `Health` is answerable without crossing the balancer's
+    /// mutable state (same discipline as the announce inbox).
+    lease_health: Arc<Mutex<kairos_obs::HealthReport>>,
+    /// Span-bytes snapshot for the lease endpoint's `Spans` answer,
+    /// refreshed after each balance round (the only time spans record).
+    lease_spans: Arc<Mutex<Vec<u8>>>,
 }
 
 /// Maximum sync-retry backoff, in balance rounds.
@@ -327,6 +354,12 @@ impl BalancerNode {
             sync_lag: None,
             announce_inbox: Arc::new(Mutex::new(Vec::new())),
             auth_reject_notes: Arc::new(Mutex::new(Vec::new())),
+            spans: SpanLog::new(kairos_obs::span::NODE_BALANCER),
+            health: None,
+            health_round: None,
+            parked_ages: ParkedAges::new(),
+            lease_health: Arc::new(Mutex::new(kairos_obs::HealthReport::default())),
+            lease_spans: Arc::new(Mutex::new(Vec::new())),
         })
     }
 
@@ -430,6 +463,94 @@ impl BalancerNode {
     /// logs are owned by the shard nodes).
     pub fn set_tracing(&mut self, enabled: bool) {
         self.log.set_enabled(enabled);
+    }
+
+    /// Enable or disable this balancer's causal span tracing. Shard-side
+    /// span logs are owned by the shard nodes (enable them there with
+    /// `ShardController::configure_spans`); the context chains over RPC
+    /// through each frame's span section either way.
+    pub fn set_span_tracing(&mut self, enabled: bool) {
+        self.spans.set_enabled(enabled);
+    }
+
+    /// The balancer-side span log.
+    pub fn span_log(&self) -> &SpanLog {
+        &self.spans
+    }
+
+    /// The balancer-side canonical span bytes (workspace codec).
+    pub fn span_bytes(&self) -> Vec<u8> {
+        self.spans.span_bytes()
+    }
+
+    /// One shard node's span-log bytes over RPC; `None` for down shards.
+    pub fn shard_spans(&mut self, shard: usize) -> Option<Vec<u8>> {
+        if self.links[shard].down(self.lease.miss_limit) {
+            return None;
+        }
+        match self.links[shard].call(&Request::Spans) {
+            Ok(Response::Spans(bytes)) => Some(bytes),
+            _ => None,
+        }
+    }
+
+    /// Arm (or disarm, with `None`) the health watchdog. Observed once
+    /// per balance round; newly fired rules land in the decision trace
+    /// as `HealthFlagged` events, so an armed watchdog's trace is only
+    /// byte-identical across runs if the runs are healthy in the same
+    /// rounds — chaos fingerprint runs keep it disarmed.
+    pub fn set_health(&mut self, monitor: Option<HealthMonitor>) {
+        self.health = monitor;
+        self.health_round = None;
+    }
+
+    /// The watchdog's current report, if one is armed.
+    pub fn health_report(&self) -> Option<kairos_obs::HealthReport> {
+        self.health.as_ref().map(|m| m.report().clone())
+    }
+
+    /// One watchdog observation, when armed (see
+    /// [`FleetController::set_health`]'s in-process counterpart): refresh
+    /// the parked-age gauge, evaluate every rule over the balancer +
+    /// process-global registries, trace what newly fired.
+    fn observe_health(&mut self) {
+        if self.health.is_none() {
+            return;
+        }
+        // Round cadence: the gauges the trend rules watch (sync lag,
+        // parked ages) only move when a balance round runs, so
+        // per-tick observations between rounds would read plateaus.
+        let round = self.metrics.balance_rounds.get();
+        if self.health_round == Some(round) {
+            return;
+        }
+        self.health_round = Some(round);
+        let Some(mut monitor) = self.health.take() else {
+            return;
+        };
+        let parked_tenants: Vec<String> =
+            self.parked.iter().map(|p| p.tenant.name.clone()).collect();
+        let oldest = self
+            .parked_ages
+            .update(round, parked_tenants.iter().map(|s| s.as_str()));
+        self.metrics
+            .registry()
+            .gauge("kairos_fleet_parked_oldest_rounds")
+            .set(oldest as f64);
+        let tick = self.metrics.ticks.get();
+        let registries = [self.metrics.registry(), kairos_obs::global()];
+        for finding in monitor.observe(tick, &registries) {
+            self.log.record(
+                tick,
+                DecisionEvent::HealthFlagged {
+                    rule: finding.rule.clone(),
+                    metric: finding.metric.clone(),
+                    severity: finding.severity.name().to_string(),
+                },
+            );
+        }
+        *self.lease_health.lock().expect("lease health lock") = monitor.report().clone();
+        self.health = Some(monitor);
     }
 
     /// Capture this balancer's current soft state — exactly what a
@@ -611,6 +732,7 @@ impl BalancerNode {
             self.metrics.poll_tick_usecs.record(usecs);
         }
         self.metrics.parked_depth.set(self.parked.len() as f64);
+        self.observe_health();
         NetTickReport {
             outcomes,
             handoffs,
@@ -658,6 +780,7 @@ impl BalancerNode {
             &mut self.cooldown,
             &mut self.parked,
             &mut self.log,
+            &mut self.spans,
         );
         for record in &records {
             match record.outcome {
@@ -671,6 +794,9 @@ impl BalancerNode {
             }
         }
         self.handoff_log.extend(records.iter().cloned());
+        if self.spans.is_enabled() {
+            *self.lease_spans.lock().expect("lease spans lock") = self.spans.span_bytes();
+        }
         self.sync_to_standbys();
         records
     }
@@ -1085,9 +1211,12 @@ impl BalancerNode {
 
     /// Serve this balancer's own lease endpoint: standbys ping it and
     /// promote when it goes quiet, and restored shard nodes announce
-    /// themselves here for rejoin. Only `Ping` and `Announce` are
-    /// answered — the balancer's mutable state never crosses this
-    /// endpoint (announces land in an inbox the tick thread drains).
+    /// themselves here for rejoin. The balancer's mutable state never
+    /// crosses this endpoint: `Ping` and `Announce` touch dedicated
+    /// shared cells (announces land in an inbox the tick thread
+    /// drains), and the observability read side — `Metrics`, `Health`,
+    /// `Spans` for `kairos-top` and the CI scrape — answers from the
+    /// shared registry and tick-thread-refreshed snapshots.
     pub fn serve_lease(
         &self,
         transport: &dyn Transport,
@@ -1096,6 +1225,9 @@ impl BalancerNode {
         let ticks = self.lease_ticks.clone();
         let inbox = self.announce_inbox.clone();
         let reject_notes = self.auth_reject_notes.clone();
+        let registry = self.metrics.registry().clone();
+        let health = self.lease_health.clone();
+        let spans = self.lease_spans.clone();
         let served = endpoint.to_string();
         let handler: Handler = Arc::new(Mutex::new(move |request_frame: &[u8]| {
             let key = crate::auth::process_key();
@@ -1115,8 +1247,21 @@ impl BalancerNode {
                             .push((shard, endpoint, generation));
                         Response::Done
                     }
+                    Ok(Request::Metrics) => Response::Metrics {
+                        json: kairos_obs::render_json_all(&[&registry, kairos_obs::global()]),
+                        prometheus: kairos_obs::render_prometheus_all(&[
+                            &registry,
+                            kairos_obs::global(),
+                        ]),
+                    },
+                    Ok(Request::Health) => Response::Health(
+                        health.lock().expect("lease health lock").clone(),
+                    ),
+                    Ok(Request::Spans) => Response::Spans(
+                        spans.lock().expect("lease spans lock").clone(),
+                    ),
                     Ok(other) => Response::Error(format!(
-                        "balancer lease endpoint answers Ping/Announce only, got {other:?}"
+                        "balancer lease endpoint answers Ping/Announce/Metrics/Health/Spans, got {other:?}"
                     )),
                     Err(e) => Response::Error(format!("bad request frame: {e}")),
                 },

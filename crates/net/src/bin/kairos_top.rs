@@ -1,0 +1,354 @@
+//! `kairos-top`: the operator console. Polls the `Metrics`, `Health`,
+//! `Spans` and flight-recorder `Query` RPCs of every endpoint named on
+//! the command line and renders one refreshing fleet table — per-node
+//! ticks, load gauges, parked-handoff pressure, watchdog findings and
+//! the most recent trace roots — over the same control transport the
+//! balancer uses. No sidecar, no scrape config: if a node serves RPCs,
+//! `kairos-top` can watch it.
+//!
+//! ```text
+//! kairos-top 127.0.0.1:9301 127.0.0.1:9302 --interval-ms 1000
+//! kairos-top 127.0.0.1:9301 --once --strict     # CI: validate + exit
+//! kairos-top 127.0.0.1:9301 --trace 0xffff00010000002a
+//! ```
+//!
+//! `--once` prints a single snapshot and exits (exit code 1 under
+//! `--strict` if any node reports a critical finding or renders a
+//! malformed Prometheus exposition line — the CI surface job runs
+//! exactly this). `--trace ID` additionally queries every endpoint for
+//! one trace id and prints the assembled cross-node span tree.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use kairos_net::transport::Transport;
+use kairos_net::{rpc, Request, Response, TcpTransport};
+use kairos_obs::{assemble_trees, render_span_tree, SpanRecord, TraceQuery};
+
+/// Everything one poll learned about one endpoint.
+struct NodeSample {
+    endpoint: String,
+    /// `Err` carries the connect/call failure; the row still renders.
+    status: Result<NodeStats, String>,
+}
+
+struct NodeStats {
+    ticks: u64,
+    /// `series name (with labels) -> value` parsed from the Prometheus
+    /// exposition text.
+    metrics: BTreeMap<String, f64>,
+    /// Exposition lines that failed validation (empty on a healthy node).
+    malformed: Vec<String>,
+    health: kairos_obs::HealthReport,
+    /// Newest-first root spans (name, tick, node).
+    recent_roots: Vec<SpanRecord>,
+    span_count: usize,
+}
+
+fn main() {
+    let options = match Options::parse(std::env::args().skip(1)) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("kairos-top: {message}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let transport = TcpTransport::new();
+    loop {
+        let samples: Vec<NodeSample> = options
+            .endpoints
+            .iter()
+            .map(|endpoint| sample(&transport, endpoint))
+            .collect();
+        if !options.once {
+            // Clear + home: the table redraws in place like top(1).
+            print!("\x1b[2J\x1b[H");
+        }
+        print!("{}", render(&samples));
+        if let Some(trace_id) = options.trace {
+            print!("{}", render_trace(&transport, &options.endpoints, trace_id));
+        }
+        if options.once {
+            if options.strict && !strict_ok(&samples) {
+                std::process::exit(1);
+            }
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(options.interval_ms));
+    }
+}
+
+const USAGE: &str = "usage: kairos-top <endpoint>... [--once] [--strict] \
+[--interval-ms N] [--trace ID]";
+
+struct Options {
+    endpoints: Vec<String>,
+    once: bool,
+    strict: bool,
+    interval_ms: u64,
+    trace: Option<u64>,
+}
+
+impl Options {
+    fn parse(args: impl Iterator<Item = String>) -> Result<Options, String> {
+        let mut options = Options {
+            endpoints: Vec::new(),
+            once: false,
+            strict: false,
+            interval_ms: 1000,
+            trace: None,
+        };
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--once" => options.once = true,
+                "--strict" => options.strict = true,
+                "--interval-ms" => {
+                    let value = args.next().ok_or("--interval-ms needs a value")?;
+                    options.interval_ms = value
+                        .parse()
+                        .map_err(|_| format!("bad --interval-ms {value:?}"))?;
+                }
+                "--trace" => {
+                    let value = args.next().ok_or("--trace needs a value")?;
+                    let parsed = match value.strip_prefix("0x") {
+                        Some(hex) => u64::from_str_radix(hex, 16),
+                        None => value.parse(),
+                    };
+                    options.trace = Some(parsed.map_err(|_| format!("bad --trace id {value:?}"))?);
+                }
+                flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+                endpoint => options.endpoints.push(endpoint.to_string()),
+            }
+        }
+        if options.endpoints.is_empty() {
+            return Err("no endpoints given".to_string());
+        }
+        Ok(options)
+    }
+}
+
+/// Poll one endpoint's full observability surface. Any failure marks
+/// the row down rather than aborting the sweep — half a fleet table
+/// still tells the operator which half is gone.
+fn sample(transport: &TcpTransport, endpoint: &str) -> NodeSample {
+    let status = (|| -> Result<NodeStats, String> {
+        let mut conn = transport
+            .connect(endpoint)
+            .map_err(|e| format!("connect: {e}"))?;
+        let conn = conn.as_mut();
+        let ticks = match rpc::call(conn, &Request::Ping).map_err(|e| format!("ping: {e}"))? {
+            Response::Pong { ticks } => ticks,
+            other => return Err(format!("ping answered {other:?}")),
+        };
+        let prometheus =
+            match rpc::call(conn, &Request::Metrics).map_err(|e| format!("metrics: {e}"))? {
+                Response::Metrics { prometheus, .. } => prometheus,
+                other => return Err(format!("metrics answered {other:?}")),
+            };
+        let mut metrics = BTreeMap::new();
+        let mut malformed = Vec::new();
+        for line in prometheus.lines() {
+            if let Err(reason) = kairos_obs::metrics::validate_exposition_line(line) {
+                malformed.push(reason);
+                continue;
+            }
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some((series, value)) = line.rsplit_once(' ') {
+                if let Ok(value) = value.parse::<f64>() {
+                    metrics.insert(series.to_string(), value);
+                }
+            }
+        }
+        let health = match rpc::call(conn, &Request::Health).map_err(|e| format!("health: {e}"))? {
+            Response::Health(report) => report,
+            other => return Err(format!("health answered {other:?}")),
+        };
+        let spans: Vec<SpanRecord> =
+            match rpc::call(conn, &Request::Spans).map_err(|e| format!("spans: {e}"))? {
+                Response::Spans(bytes) => {
+                    serde::from_bytes(&bytes).map_err(|e| format!("span decode: {e:?}"))?
+                }
+                other => return Err(format!("spans answered {other:?}")),
+            };
+        let span_count = spans.len();
+        let mut recent_roots: Vec<SpanRecord> = spans
+            .into_iter()
+            .filter(|s| s.parent == kairos_obs::span::NO_PARENT)
+            .collect();
+        recent_roots.reverse();
+        recent_roots.truncate(3);
+        Ok(NodeStats {
+            ticks,
+            metrics,
+            malformed,
+            health,
+            recent_roots,
+            span_count,
+        })
+    })();
+    NodeSample {
+        endpoint: endpoint.to_string(),
+        status,
+    }
+}
+
+/// Whether a node looks like a balancer (fleet-level registry) or a
+/// shard, inferred from which metric families it exposes.
+fn role(stats: &NodeStats) -> &'static str {
+    if stats
+        .metrics
+        .keys()
+        .any(|name| name.starts_with("kairos_fleet_"))
+    {
+        "balancer"
+    } else if stats
+        .metrics
+        .keys()
+        .any(|name| name.starts_with("kairos_shard_"))
+    {
+        "shard"
+    } else {
+        "node"
+    }
+}
+
+fn metric(stats: &NodeStats, name: &str) -> Option<f64> {
+    stats.metrics.get(name).copied()
+}
+
+fn cell(value: Option<f64>) -> String {
+    match value {
+        Some(v) if v.fract() == 0.0 && v.abs() < 1e15 => format!("{}", v as i64),
+        Some(v) => format!("{v:.1}"),
+        None => "-".to_string(),
+    }
+}
+
+fn render(samples: &[NodeSample]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<22} {:<9} {:>8} {:>7} {:>7} {:>7} {:>7} {:>8}  RECENT",
+        "ENDPOINT", "ROLE", "TICKS", "ROUNDS", "MOVES", "PARKED", "SPANS", "HEALTH"
+    );
+    for sample in samples {
+        match &sample.status {
+            Ok(stats) => {
+                let role = role(stats);
+                let (rounds, moves, parked) = match role {
+                    "balancer" => (
+                        metric(stats, "kairos_fleet_balance_rounds_total"),
+                        metric(stats, "kairos_fleet_handoffs_completed_total"),
+                        metric(stats, "kairos_fleet_parked_depth"),
+                    ),
+                    _ => (None, metric(stats, "kairos_shard_moves_total"), None),
+                };
+                let health = match stats.health.max_severity() {
+                    None => "ok".to_string(),
+                    Some(severity) => {
+                        format!("{}x{}", severity.name(), stats.health.findings.len())
+                    }
+                };
+                let recent = stats
+                    .recent_roots
+                    .iter()
+                    .map(|s| format!("{}@{}", s.name, s.tick))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                let _ = writeln!(
+                    out,
+                    "{:<22} {:<9} {:>8} {:>7} {:>7} {:>7} {:>7} {:>8}  {}",
+                    sample.endpoint,
+                    role,
+                    stats.ticks,
+                    cell(rounds),
+                    cell(moves),
+                    cell(parked),
+                    stats.span_count,
+                    health,
+                    recent,
+                );
+            }
+            Err(reason) => {
+                let _ = writeln!(out, "{:<22} {:<9} {}", sample.endpoint, "DOWN", reason);
+            }
+        }
+    }
+    // Findings and malformed lines expand below the table — the table
+    // row only carries the count.
+    for sample in samples {
+        let Ok(stats) = &sample.status else { continue };
+        for finding in &stats.health.findings {
+            let _ = writeln!(
+                out,
+                "  ! {} · {} · {} on {}: {} (value {:.3})",
+                sample.endpoint,
+                finding.severity.name().to_uppercase(),
+                finding.rule,
+                finding.metric,
+                finding.detail,
+                finding.value,
+            );
+        }
+        for reason in &stats.malformed {
+            let _ = writeln!(
+                out,
+                "  ! {} · malformed exposition: {}",
+                sample.endpoint, reason
+            );
+        }
+    }
+    out
+}
+
+/// Query every endpoint for one trace id, merge the answers, and print
+/// the assembled cross-node span tree(s).
+fn render_trace(transport: &TcpTransport, endpoints: &[String], trace_id: u64) -> String {
+    let query = TraceQuery::for_trace(trace_id);
+    let mut spans: Vec<SpanRecord> = Vec::new();
+    let mut out = String::new();
+    for endpoint in endpoints {
+        let answer = (|| -> Result<kairos_obs::QueryResult, String> {
+            let mut conn = transport
+                .connect(endpoint)
+                .map_err(|e| format!("connect: {e}"))?;
+            match rpc::call(
+                conn.as_mut(),
+                &Request::Query {
+                    query: query.clone(),
+                },
+            )
+            .map_err(|e| format!("query: {e}"))?
+            {
+                Response::Query(result) => Ok(result),
+                other => Err(format!("query answered {other:?}")),
+            }
+        })();
+        match answer {
+            Ok(result) => spans.extend(result.spans),
+            Err(reason) => {
+                let _ = writeln!(out, "trace {trace_id:#x}: {endpoint} unqueried ({reason})");
+            }
+        }
+    }
+    spans.sort_by_key(|s| (s.trace_id, s.span_id));
+    spans.dedup();
+    let _ = writeln!(out, "\ntrace {trace_id:#x} · {} spans", spans.len());
+    for tree in assemble_trees(&spans) {
+        out.push_str(&render_span_tree(&tree));
+    }
+    out
+}
+
+/// `--strict` gate: every node answered, no critical finding, no
+/// malformed exposition line anywhere.
+fn strict_ok(samples: &[NodeSample]) -> bool {
+    samples.iter().all(|sample| match &sample.status {
+        Ok(stats) => !stats.health.has_critical() && stats.malformed.is_empty(),
+        Err(_) => false,
+    })
+}

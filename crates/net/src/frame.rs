@@ -6,11 +6,22 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic  b"KNET"
-//! 4       4     protocol version (u32 LE, see RPC_WIRE_VERSION)
-//! 8       8     payload length (u64 LE)
-//! 16      n     payload (shims/serde wire format: a Request or Response)
-//! 16+n    4     CRC-32 (IEEE, u32 LE) over bytes [0, 16+n)
+//! 4       4     protocol version (u32 LE, see RPC_WIRE_VERSION; the
+//!               high bit is SPAN_FLAG — span section present)
+//! 8       8     payload length (u64 LE; payload only, excludes the
+//!               span section)
+//! [16     28    span section (only when SPAN_FLAG): trace id (u64),
+//!               span id (u64), origin node (u32), tick (u64), all LE]
+//! 16|44   n     payload (shims/serde wire format: a Request or Response)
+//! …+n     4     CRC-32 (IEEE, u32 LE) over everything before it
 //! ```
+//!
+//! The span section is **optional and additive**: a frame without
+//! [`SPAN_FLAG`] is bit-for-bit the pre-span wire format, which is the
+//! compatibility property the transport-equivalence suite pins. When
+//! present, the section sits inside the CRC (and under the auth tag),
+//! so a damaged or forged span context is rejected with the same
+//! discipline as a damaged payload.
 //!
 //! The layout deliberately mirrors `kairos-store`'s snapshot frame (and
 //! reuses its CRC) so one validation discipline covers both the
@@ -43,16 +54,57 @@ pub const RPC_WIRE_VERSION: u32 = 1;
 /// on gigabytes.
 pub const MAX_PAYLOAD_LEN: u64 = 64 << 20;
 
+/// High bit of the version field: a 28-byte span section follows the
+/// header. Frames without it are byte-identical to the pre-span format.
+pub const SPAN_FLAG: u32 = 0x8000_0000;
+
+/// Size of the optional span section: trace id + span id + origin + tick.
+pub const SPAN_SECTION_LEN: usize = 8 + 8 + 4 + 8;
+
 const HEADER_LEN: usize = 16;
 const TRAILER_LEN: usize = 4;
 
+use kairos_obs::span::SpanContext;
+
+fn span_section(ctx: &SpanContext) -> [u8; SPAN_SECTION_LEN] {
+    let mut out = [0u8; SPAN_SECTION_LEN];
+    out[0..8].copy_from_slice(&ctx.trace_id.to_le_bytes());
+    out[8..16].copy_from_slice(&ctx.span_id.to_le_bytes());
+    out[16..20].copy_from_slice(&ctx.origin.to_le_bytes());
+    out[20..28].copy_from_slice(&ctx.tick.to_le_bytes());
+    out
+}
+
+fn parse_span_section(bytes: &[u8]) -> SpanContext {
+    SpanContext {
+        trace_id: u64::from_le_bytes(bytes[0..8].try_into().expect("sized slice")),
+        span_id: u64::from_le_bytes(bytes[8..16].try_into().expect("sized slice")),
+        origin: u32::from_le_bytes(bytes[16..20].try_into().expect("sized slice")),
+        tick: u64::from_le_bytes(bytes[20..28].try_into().expect("sized slice")),
+    }
+}
+
 /// Encode `value` into a complete frame (header + payload + CRC).
 pub fn encode_frame<T: Serialize + ?Sized>(value: &T) -> Vec<u8> {
+    encode_frame_with_span(value, None)
+}
+
+/// [`encode_frame`], optionally carrying a span context in the frame
+/// header's span section. `None` produces the exact pre-span bytes.
+pub fn encode_frame_with_span<T: Serialize + ?Sized>(
+    value: &T,
+    span: Option<SpanContext>,
+) -> Vec<u8> {
     let payload = serde::to_bytes(value);
-    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + TRAILER_LEN);
+    let span_len = if span.is_some() { SPAN_SECTION_LEN } else { 0 };
+    let mut out = Vec::with_capacity(HEADER_LEN + span_len + payload.len() + TRAILER_LEN);
     out.extend_from_slice(&NET_MAGIC);
-    out.extend_from_slice(&RPC_WIRE_VERSION.to_le_bytes());
+    let version = RPC_WIRE_VERSION | if span.is_some() { SPAN_FLAG } else { 0 };
+    out.extend_from_slice(&version.to_le_bytes());
     out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    if let Some(ctx) = &span {
+        out.extend_from_slice(&span_section(ctx));
+    }
     out.extend_from_slice(&payload);
     let crc = kairos_store::crc32(&out);
     out.extend_from_slice(&crc.to_le_bytes());
@@ -60,26 +112,42 @@ pub fn encode_frame<T: Serialize + ?Sized>(value: &T) -> Vec<u8> {
 }
 
 /// Validate a complete frame (magic, version, length, CRC) and decode
-/// its payload. Never panics on malformed input.
+/// its payload, dropping any span section. Never panics on malformed
+/// input.
 pub fn decode_frame<T: Deserialize>(bytes: &[u8]) -> Result<T, NetError> {
+    decode_frame_with_span(bytes).map(|(value, _)| value)
+}
+
+/// [`decode_frame`], also returning the span context the frame carried
+/// (if its [`SPAN_FLAG`] was set). Server handlers install it for the
+/// duration of the dispatch so nested work chains to the caller's span.
+pub fn decode_frame_with_span<T: Deserialize>(
+    bytes: &[u8],
+) -> Result<(T, Option<SpanContext>), NetError> {
     if bytes.len() < HEADER_LEN + TRAILER_LEN {
         return Err(NetError::Truncated);
     }
     if bytes[..4] != NET_MAGIC {
         return Err(NetError::BadMagic);
     }
-    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("sized slice"));
+    let version_field = u32::from_le_bytes(bytes[4..8].try_into().expect("sized slice"));
+    let version = version_field & !SPAN_FLAG;
     if version != RPC_WIRE_VERSION {
         return Err(NetError::UnsupportedVersion {
             found: version,
             expected: RPC_WIRE_VERSION,
         });
     }
+    let span_len = if version_field & SPAN_FLAG != 0 {
+        SPAN_SECTION_LEN
+    } else {
+        0
+    };
     let payload_len = u64::from_le_bytes(bytes[8..16].try_into().expect("sized slice"));
     if payload_len > MAX_PAYLOAD_LEN {
         return Err(NetError::Oversized(payload_len));
     }
-    let expected_total = (HEADER_LEN as u64)
+    let expected_total = (HEADER_LEN as u64 + span_len as u64)
         .checked_add(payload_len)
         .and_then(|n| n.checked_add(TRAILER_LEN as u64));
     if expected_total != Some(bytes.len() as u64) {
@@ -90,7 +158,12 @@ pub fn decode_frame<T: Deserialize>(bytes: &[u8]) -> Result<T, NetError> {
     if kairos_store::crc32(&bytes[..body_end]) != stored_crc {
         return Err(NetError::ChecksumMismatch);
     }
-    serde::from_bytes(&bytes[HEADER_LEN..body_end]).map_err(NetError::Decode)
+    let span =
+        (span_len > 0).then(|| parse_span_section(&bytes[HEADER_LEN..HEADER_LEN + span_len]));
+    let payload_start = HEADER_LEN + span_len;
+    serde::from_bytes(&bytes[payload_start..body_end])
+        .map(|value| (value, span))
+        .map_err(NetError::Decode)
 }
 
 /// Write one frame to a blocking stream.
@@ -120,23 +193,29 @@ pub fn read_frame_with_trailer(r: &mut impl Read, extra: usize) -> Result<Vec<u8
     if header[..4] != NET_MAGIC {
         return Err(NetError::BadMagic);
     }
-    let version = u32::from_le_bytes(header[4..8].try_into().expect("sized slice"));
+    let version_field = u32::from_le_bytes(header[4..8].try_into().expect("sized slice"));
+    let version = version_field & !SPAN_FLAG;
     if version != RPC_WIRE_VERSION {
         return Err(NetError::UnsupportedVersion {
             found: version,
             expected: RPC_WIRE_VERSION,
         });
     }
+    let span_len = if version_field & SPAN_FLAG != 0 {
+        SPAN_SECTION_LEN
+    } else {
+        0
+    };
     let payload_len = u64::from_le_bytes(header[8..16].try_into().expect("sized slice"));
     if payload_len > MAX_PAYLOAD_LEN {
         return Err(NetError::Oversized(payload_len));
     }
-    let rest = payload_len as usize + TRAILER_LEN + extra;
+    let rest = span_len + payload_len as usize + TRAILER_LEN + extra;
     let mut frame = Vec::with_capacity(HEADER_LEN + rest);
     frame.extend_from_slice(&header);
     frame.resize(HEADER_LEN + rest, 0);
     r.read_exact(&mut frame[HEADER_LEN..])?;
-    let body_end = HEADER_LEN + payload_len as usize;
+    let body_end = HEADER_LEN + span_len + payload_len as usize;
     let crc_bytes: [u8; TRAILER_LEN] = frame[body_end..body_end + TRAILER_LEN]
         .try_into()
         .expect("sized slice");
@@ -173,6 +252,55 @@ mod tests {
             decode_frame::<u8>(&frame),
             Err(NetError::Oversized(_))
         ));
+    }
+
+    #[test]
+    fn span_section_roundtrips_and_stays_inside_the_crc() {
+        let ctx = SpanContext {
+            trace_id: 0xDEAD_BEEF_0000_0001,
+            span_id: 0xDEAD_BEEF_0000_0002,
+            origin: 7,
+            tick: 42,
+        };
+        let frame = encode_frame_with_span(&(String::from("tenant"), 9u64), Some(ctx));
+        // Streams the extra 28 bytes transparently.
+        let mut stream: &[u8] = &frame;
+        let read = read_frame_with_trailer(&mut stream, 0).expect("span frame reads");
+        assert_eq!(read, frame);
+        let (back, span): ((String, u64), _) =
+            decode_frame_with_span(&read).expect("decodes with span");
+        assert_eq!(back, (String::from("tenant"), 9));
+        assert_eq!(span, Some(ctx));
+        // decode_frame tolerates and drops the section.
+        let plain: (String, u64) = decode_frame(&frame).expect("decodes without span");
+        assert_eq!(plain, back);
+        // A flipped bit inside the span section fails the CRC.
+        let mut damaged = frame.clone();
+        damaged[20] ^= 0x01;
+        assert!(matches!(
+            decode_frame_with_span::<(String, u64)>(&damaged),
+            Err(NetError::ChecksumMismatch)
+        ));
+    }
+
+    #[test]
+    fn spanless_frames_are_byte_identical_to_the_pre_span_format() {
+        let value = (String::from("tenant"), 7u64);
+        let frame = encode_frame_with_span(&value, None);
+        assert_eq!(frame, encode_frame(&value));
+        // Reconstruct the pre-span layout by hand: the bytes must match
+        // exactly — absent flag ⇒ the old wire format, bit for bit.
+        let payload = serde::to_bytes(&value);
+        let mut expected = Vec::new();
+        expected.extend_from_slice(&NET_MAGIC);
+        expected.extend_from_slice(&RPC_WIRE_VERSION.to_le_bytes());
+        expected.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        expected.extend_from_slice(&payload);
+        let crc = kairos_store::crc32(&expected);
+        expected.extend_from_slice(&crc.to_le_bytes());
+        assert_eq!(frame, expected);
+        let (_, span) = decode_frame_with_span::<(String, u64)>(&frame).expect("decodes");
+        assert!(span.is_none());
     }
 
     #[test]

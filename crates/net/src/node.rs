@@ -183,6 +183,10 @@ struct NodeState {
     shutdown: bool,
     /// Self-healing membership, when configured (see [`AnnounceState`]).
     announce: Option<AnnounceState>,
+    /// The health watchdog, when armed ([`ShardNode::set_health`]).
+    /// Observed on every `Tick` dispatch over the shard + process-global
+    /// registries; the current report answers the `Health` RPC.
+    health: Option<kairos_obs::HealthMonitor>,
 }
 
 /// One shard served over a transport. See module docs.
@@ -209,6 +213,7 @@ impl ShardNode {
                 evict_outbox: Vec::new(),
                 shutdown: false,
                 announce: None,
+                health: None,
             })),
         }
     }
@@ -261,8 +266,16 @@ impl ShardNode {
         let handler: Handler = Arc::new(Mutex::new(move |request_frame: &[u8]| {
             let key = crate::auth::process_key();
             let response = match crate::auth::verify(request_frame, key) {
-                Ok(base) => match frame::decode_frame::<Request>(base) {
-                    Ok(request) => dispatch(&state, request),
+                Ok(base) => match frame::decode_frame_with_span::<Request>(base) {
+                    Ok((request, span)) => {
+                        // Install the caller's span context (if the frame
+                        // carried one) for the dispatch: the shard's
+                        // evict/admit spans then chain under the
+                        // balancer's handoff span across the process
+                        // boundary. Span-free frames install nothing.
+                        let _span = kairos_obs::span::install(span);
+                        dispatch(&state, request)
+                    }
                     // A damaged request frame touches no state —
                     // validation precedes dispatch, always.
                     Err(e) => Response::Error(format!("bad request frame: {e}")),
@@ -328,6 +341,12 @@ impl ShardNode {
         f(&mut self.state.lock().expect("node state lock").shard)
     }
 
+    /// Arm (or disarm, with `None`) the node's health watchdog. Observed
+    /// on every `Tick` dispatch; the `Health` RPC serves the report.
+    pub fn set_health(&self, monitor: Option<kairos_obs::HealthMonitor>) {
+        self.state.lock().expect("node state lock").health = monitor;
+    }
+
     /// Did a `Shutdown` RPC arrive? (The node process's exit signal.)
     pub fn shutdown_requested(&self) -> bool {
         self.state.lock().expect("node state lock").shutdown
@@ -352,6 +371,18 @@ fn dispatch(state: &Arc<Mutex<NodeState>>, request: Request) -> Response {
             if let Some(announce) = state.announce.as_mut() {
                 if announce.pending && now >= announce.next_attempt_tick {
                     announce.attempt(now);
+                }
+            }
+            // One watchdog observation per tick, when armed; newly fired
+            // rules land in the shard's decision trace.
+            if let Some(monitor) = state.health.as_mut() {
+                let registries = [shard.metrics_registry(), kairos_obs::global()];
+                for finding in monitor.observe(now, &registries) {
+                    shard.record_event(kairos_obs::DecisionEvent::HealthFlagged {
+                        rule: finding.rule.clone(),
+                        metric: finding.metric.clone(),
+                        severity: finding.severity.name().to_string(),
+                    });
                 }
             }
             Response::Tick(outcome)
@@ -480,5 +511,18 @@ fn dispatch(state: &Arc<Mutex<NodeState>>, request: Request) -> Response {
         // Balancer-role requests; a shard node is the wrong peer.
         Request::SyncState { .. } => Response::Error("sync_state: not a balancer standby".into()),
         Request::Announce { .. } => Response::Error("announce: not a balancer".into()),
+        Request::Query { query } => Response::Query(kairos_obs::run_query(
+            &query,
+            &shard.trace_events(),
+            &shard.span_log().to_vec(),
+        )),
+        Request::Health => Response::Health(
+            state
+                .health
+                .as_ref()
+                .map(|m| m.report().clone())
+                .unwrap_or_default(),
+        ),
+        Request::Spans => Response::Spans(shard.span_bytes()),
     }
 }

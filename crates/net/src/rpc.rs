@@ -108,6 +108,18 @@ pub enum Request {
         endpoint: String,
         generation: u64,
     },
+    /// Flight-recorder query: run a [`kairos_obs::TraceQuery`] against
+    /// the node's decision log and span log. Any node answers "show me
+    /// everything about tenant T between ticks a..b" (or one trace id)
+    /// without shipping whole logs. Answered with [`Response::Query`].
+    Query { query: kairos_obs::TraceQuery },
+    /// The node's current health report (watchdog rules evaluated over
+    /// its metrics registries). Answered with [`Response::Health`].
+    Health,
+    /// The node's span log as canonical codec bytes
+    /// (`Vec<SpanRecord>` through the workspace codec) — the span
+    /// counterpart of [`Request::Trace`].
+    Spans,
 }
 
 /// What a shard node answers.
@@ -154,6 +166,12 @@ pub enum Response {
     Synced {
         round: u64,
     },
+    /// The node's answer to a flight-recorder [`Request::Query`].
+    Query(kairos_obs::QueryResult),
+    /// The node's current [`kairos_obs::HealthReport`].
+    Health(kairos_obs::HealthReport),
+    /// The node's span log bytes (see [`Request::Spans`]).
+    Spans(Vec<u8>),
 }
 
 /// The wire tag (enum variant index) a request encodes with — the first
@@ -196,7 +214,11 @@ fn net_metrics() -> &'static NetMetrics {
 pub fn call(conn: &mut dyn Conn, request: &Request) -> Result<Response, NetError> {
     let metrics = net_metrics();
     let key = crate::auth::process_key();
-    let frame = crate::auth::seal(frame::encode_frame(request), key);
+    // The caller's active span context (if any) rides in the frame
+    // header's span section, so the server's nested work chains into
+    // the caller's trace. No context ⇒ the exact pre-span wire bytes.
+    let span = kairos_obs::span::current();
+    let frame = crate::auth::seal(frame::encode_frame_with_span(request, span), key);
     metrics.rpcs.inc();
     metrics.bytes_sent.add(frame.len() as u64);
     let started = std::time::Instant::now();

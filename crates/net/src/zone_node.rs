@@ -59,8 +59,13 @@ impl ZoneNode {
         let handler: Handler = Arc::new(Mutex::new(move |request_frame: &[u8]| {
             let key = crate::auth::process_key();
             let response = match crate::auth::verify(request_frame, key) {
-                Ok(base) => match frame::decode_frame::<Request>(base) {
-                    Ok(request) => dispatch(&state, request),
+                Ok(base) => match frame::decode_frame_with_span::<Request>(base) {
+                    Ok((request, span)) => {
+                        // The root's handoff span context (when the frame
+                        // carries one) parents this zone's spans.
+                        let _span = kairos_obs::span::install(span);
+                        dispatch(&state, request)
+                    }
                     Err(e) => Response::Error(format!("bad request frame: {e}")),
                 },
                 Err(_) => Response::Error("unauthenticated frame".into()),
@@ -151,6 +156,19 @@ fn dispatch(state: &Arc<Mutex<ZoneNodeState>>, request: Request) -> Response {
             prometheus: zone.fleet().metrics_prometheus(),
         },
         Request::Trace => Response::Trace(zone.fleet().trace_bytes()),
+        Request::Query { query } => {
+            // The zone's whole flight recorder: fleet-level events, then
+            // every member shard's, joined with every span recorded at
+            // any level of the zone (zone spans, balancer spans, member
+            // shard spans).
+            let mut events = zone.fleet().trace_events();
+            for shard in zone.fleet().shards() {
+                events.extend(shard.trace_events());
+            }
+            Response::Query(kairos_obs::run_query(&query, &events, &zone.all_spans()))
+        }
+        Request::Health => Response::Health(zone.fleet().health_report().unwrap_or_default()),
+        Request::Spans => Response::Spans(serde::to_bytes(&zone.all_spans())),
         Request::Shutdown => {
             state.shutdown = true;
             Response::Done

@@ -487,3 +487,165 @@ fn faulted_run_conserves_ownership_and_reruns_byte_identical() {
         "final membership diverged between reruns"
     );
 }
+
+/// The spans-enabled leg of the equivalence property (observability
+/// tentpole): with causal span tracing armed on both fleets, the span
+/// logs — balancer roots, handoff children, shard-side evict/admit
+/// spans chained through the frame's span section — must be
+/// **record-identical** between the in-process reference and the RPC
+/// fleet, on loopback and TCP alike (`KAIROS_NET_TRANSPORT=tcp`).
+#[test]
+fn spans_enabled_fleet_records_identical_trees_over_rpc() {
+    let seed_rng = SplitMix64::from_env(0x4E7F_1EE7);
+    let specs = tenant_specs(&mut seed_rng.clone());
+
+    let mut reference = build_reference(&specs);
+    reference.set_span_tracing(true);
+
+    let transport = transport();
+    let escrow = SourceEscrow::new();
+    let mut nodes = Vec::new();
+    let mut handles = Vec::new();
+    for shard in 0..SHARDS {
+        let node = ShardNode::new(
+            config().shard,
+            kairos_core::ConsolidationEngine::builder().build(),
+            Box::new(escrow.clone()),
+        );
+        node.with_shard(|s| s.configure_spans(kairos_obs::span::node_for_shard(shard), true));
+        let handle = node
+            .serve(transport.as_ref(), &bind_endpoint(shard))
+            .expect("shard node serves");
+        nodes.push(node);
+        handles.push(handle);
+    }
+    let endpoints: Vec<String> = handles.iter().map(|h| h.endpoint.clone()).collect();
+    let mut balancer = BalancerNode::connect(
+        config(),
+        LeaseConfig::default(),
+        transport.clone(),
+        &endpoints,
+    )
+    .expect("balancer connects");
+    balancer.set_span_tracing(true);
+    for spec in &specs {
+        escrow.park(Box::new(make_source(spec)));
+        balancer
+            .add_workload_to(spec.shard, &spec.name, spec.replicas)
+            .expect("registration");
+    }
+    for shard in 0..SHARDS {
+        balancer
+            .add_anti_affinity(&format!("s{shard}-t1"), &format!("s{shard}-t2"))
+            .expect("anti-affinity registration");
+    }
+
+    for _ in 0..TICKS {
+        reference.tick();
+        let report = balancer.tick();
+        assert!(report.down.is_empty());
+    }
+    assert!(
+        reference.stats().handoffs_completed > 0,
+        "no handoffs; span chaining across the wire went unexercised"
+    );
+
+    // Balancer-side spans byte-identical; each shard's span log fetched
+    // over the Spans RPC matches the reference shard's bytes exactly.
+    assert!(
+        !reference.span_log().is_empty(),
+        "armed reference recorded no spans; equality vacuous"
+    );
+    assert_eq!(
+        reference.span_log().span_bytes(),
+        balancer.span_bytes(),
+        "balancer span logs diverged between in-process and RPC"
+    );
+    for (shard, ctrl) in reference.shards().iter().enumerate() {
+        let remote = balancer
+            .shard_spans(shard)
+            .expect("shard answers the Spans RPC");
+        assert_eq!(
+            ctrl.span_bytes(),
+            remote,
+            "shard {shard} span logs diverged between in-process and RPC"
+        );
+    }
+
+    // And the handoff trace reconstructs as trees: every handoff span
+    // hangs off a balance_round root, with its shard-side evict/admit
+    // children chained through the frame's span section.
+    let mut all = balancer.span_log().to_vec();
+    for shard in 0..SHARDS {
+        let bytes = balancer.shard_spans(shard).expect("alive");
+        let records: Vec<kairos_obs::SpanRecord> = serde::from_bytes(&bytes).expect("decodes");
+        all.extend(records);
+    }
+    let trees = kairos_obs::assemble_trees(&all);
+    assert!(trees.iter().all(|t| t.span.name == "balance_round"));
+    let cross_node = trees.iter().flat_map(|t| &t.children).find(|h| {
+        h.span.name == "handoff"
+            && h.children
+                .iter()
+                .any(|c| c.span.name == "evict" || c.span.name == "admit")
+    });
+    assert!(
+        cross_node.is_some(),
+        "no handoff span carried shard-side children across the transport"
+    );
+}
+
+/// Wire-compat guard: a frame encoded without a span context is
+/// **byte-identical** to the pre-span layout — magic, version word
+/// (span flag clear), payload length, payload, CRC — so span-unaware
+/// peers and recorded PR-8 traffic decode unchanged, and span frames
+/// differ only by the flag bit plus the 28-byte span section.
+#[test]
+fn spanless_frames_keep_the_pre_span_wire_layout() {
+    let request = kairos_net::Request::Owns {
+        tenant: "t-wire".to_string(),
+    };
+    let bytes = kairos_net::frame::encode_frame(&request);
+    let payload = serde::to_bytes(&request);
+
+    // Hand-assemble the PR-8 layout.
+    let mut expected = Vec::new();
+    expected.extend_from_slice(&kairos_net::NET_MAGIC);
+    expected.extend_from_slice(&kairos_net::RPC_WIRE_VERSION.to_le_bytes());
+    expected.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    expected.extend_from_slice(&payload);
+    let crc = kairos_store::crc32(&expected);
+    expected.extend_from_slice(&crc.to_le_bytes());
+    assert_eq!(bytes, expected, "spanless frame layout drifted");
+
+    // With a span context attached the version word gains only the
+    // flag bit and the 28-byte section slots between header and
+    // payload; everything else is unchanged.
+    let ctx = kairos_obs::SpanContext {
+        trace_id: 7,
+        span_id: 9,
+        origin: 3,
+        tick: 41,
+    };
+    let spanned = kairos_net::frame::encode_frame_with_span(&request, Some(ctx));
+    assert_eq!(
+        spanned.len(),
+        bytes.len() + kairos_net::frame::SPAN_SECTION_LEN
+    );
+    let version = u32::from_le_bytes(spanned[4..8].try_into().unwrap());
+    assert_eq!(
+        version & !kairos_net::frame::SPAN_FLAG,
+        kairos_net::RPC_WIRE_VERSION
+    );
+    assert_ne!(version & kairos_net::frame::SPAN_FLAG, 0);
+    // Span-tolerant decode of both; the plain frame also decodes with
+    // the pre-span decoder.
+    let (back, none) =
+        kairos_net::frame::decode_frame_with_span::<kairos_net::Request>(&bytes).expect("decodes");
+    assert_eq!(format!("{back:?}"), format!("{request:?}"));
+    assert!(none.is_none());
+    let (back, some) = kairos_net::frame::decode_frame_with_span::<kairos_net::Request>(&spanned)
+        .expect("decodes");
+    assert_eq!(format!("{back:?}"), format!("{request:?}"));
+    assert_eq!(some, Some(ctx));
+}

@@ -833,3 +833,144 @@ fn standby_promotes_deterministically_when_the_balancer_dies() {
     assert!(promoted.stats().ticks > 20);
     let _ = handoffs_before;
 }
+
+/// The health-watchdog regression (observability tentpole): armed with
+/// the default rule catalog, the balancer's watchdog must stay silent
+/// while the fleet is healthy, flag a **growing standby sync lag**
+/// (critical) once the sync endpoint goes dark, flag a **parked
+/// handoff aging past its round budget** (critical) when every retry
+/// keeps failing, serve both findings over the lease endpoint's
+/// `Health` RPC, and clear the lag finding once sync heals.
+#[test]
+fn watchdog_flags_induced_sync_lag_and_aged_parked_handoffs() {
+    let lease = LeaseConfig { miss_limit: 2 };
+    let mut c = cluster_with(lease, shed_cfg());
+    c.balancer
+        .set_health(Some(kairos_obs::HealthMonitor::new()));
+    let _lease_handle = c
+        .balancer
+        .serve_lease(c.transport.as_ref(), "balancer-0")
+        .expect("lease endpoint serves");
+    let endpoints: Vec<String> = (0..SHARDS).map(|s| format!("shard-{s}")).collect();
+    let standby_node = BalancerNode::connect(shed_cfg(), lease, c.transport.clone(), &endpoints)
+        .expect("standby connects");
+    let mut standby = StandbyBalancer::new(standby_node, "balancer-0", 1);
+    standby
+        .serve_sync(c.transport.as_ref(), "standby-sync")
+        .expect("sync endpoint serves");
+    c.balancer.add_standby_sync("standby-sync");
+
+    // Clean leg: synced standby, nothing parked — the watchdog must
+    // not page (the two critical rules stay quiet; wall-clock-shaped
+    // warnings are tolerated, criticals are not).
+    for _ in 0..24 {
+        c.balancer.tick();
+        assert_eq!(standby.watch_tick(), StandbyAction::Watching);
+    }
+    let clean = c.balancer.health_report().expect("watchdog armed");
+    assert!(
+        !clean.has_critical(),
+        "healthy fleet must not page critical: {clean:?}"
+    );
+    assert!(
+        clean
+            .findings
+            .iter()
+            .all(|f| f.metric != "kairos_fleet_sync_lag_rounds"
+                && f.metric != "kairos_fleet_parked_oldest_rounds"),
+        "clean run flagged an induced-condition metric: {clean:?}"
+    );
+
+    // Induce sync lag: the standby's sync endpoint goes dark, so the
+    // acked round freezes while the primary's round line advances —
+    // the lag gauge grows every balance round and the trend rule must
+    // fire critical.
+    c.transport.partition("standby-sync");
+    let mut lag_flagged = false;
+    for _ in 0..60 {
+        c.balancer.tick();
+        let report = c.balancer.health_report().expect("armed");
+        if report.findings.iter().any(|f| {
+            f.rule == "gauge-growing"
+                && f.metric == "kairos_fleet_sync_lag_rounds"
+                && f.severity == kairos_obs::Severity::Critical
+        }) {
+            lag_flagged = true;
+            break;
+        }
+    }
+    assert!(lag_flagged, "growing sync lag must page critical");
+    assert!(
+        c.balancer.trace_events().iter().any(|e| matches!(
+            &e.event,
+            kairos_obs::DecisionEvent::HealthFlagged { metric, severity, .. }
+                if metric == "kairos_fleet_sync_lag_rounds" && severity == "critical"
+        )),
+        "the flag transition lands in the decision trace"
+    );
+
+    // Induce an aged parked handoff: overload shard 0 so it must shed,
+    // and corrupt every Admit/Owns at the receiver so each round's
+    // retry fails and the tenant stays parked past the 8-round budget.
+    let heavies: Vec<String> = (0..4).map(|i| format!("s0-heavy{i}")).collect();
+    for name in &heavies {
+        c.escrow
+            .park(Box::new(make_source(name, tps_of(name, 600.0))));
+        c.balancer.add_workload_to(0, name, 1).expect("registers");
+    }
+    let admit_tag = kairos_net::rpc::wire_tag(&kairos_net::Request::Admit { frame: Vec::new() });
+    let owns_tag = kairos_net::rpc::wire_tag(&kairos_net::Request::Owns {
+        tenant: String::new(),
+    });
+    c.transport
+        .corrupt_next_calls_matching("shard-1", admit_tag, 500);
+    c.transport
+        .corrupt_next_calls_matching("shard-1", owns_tag, 500);
+    let mut aged_flagged = false;
+    for _ in 0..100 {
+        c.balancer.tick();
+        let report = c.balancer.health_report().expect("armed");
+        if report.findings.iter().any(|f| {
+            f.rule == "gauge-above"
+                && f.metric == "kairos_fleet_parked_oldest_rounds"
+                && f.severity == kairos_obs::Severity::Critical
+        }) {
+            aged_flagged = true;
+            break;
+        }
+    }
+    assert!(aged_flagged, "an aged parked handoff must page critical");
+
+    // Both findings answerable over the lease endpoint's Health RPC —
+    // what kairos-top scrapes.
+    let mut conn = c.transport.connect("balancer-0").expect("connects");
+    match kairos_net::rpc::call(conn.as_mut(), &kairos_net::Request::Health) {
+        Ok(kairos_net::Response::Health(report)) => {
+            assert!(report.has_critical(), "RPC-served report pages: {report:?}");
+            assert!(report
+                .findings
+                .iter()
+                .any(|f| f.metric == "kairos_fleet_parked_oldest_rounds"));
+        }
+        other => panic!("Health RPC answered {other:?}"),
+    }
+
+    // Sync heals: the standby catches up, the lag gauge stops growing,
+    // and the trend finding clears (the parked lot may still be aging).
+    c.transport.heal("standby-sync");
+    let mut lag_cleared = false;
+    for _ in 0..40 {
+        c.balancer.tick();
+        standby.watch_tick();
+        let report = c.balancer.health_report().expect("armed");
+        if !report
+            .findings
+            .iter()
+            .any(|f| f.metric == "kairos_fleet_sync_lag_rounds")
+        {
+            lag_cleared = true;
+            break;
+        }
+    }
+    assert!(lag_cleared, "healed sync must clear the lag finding");
+}

@@ -54,8 +54,7 @@ fn source_for(name: &str) -> Box<dyn TelemetrySource> {
         .fold(0, |acc, b| acc * 10 + u64::from(b - b'0'));
     let tps = 180.0 + 17.0 * (digits % 13) as f64;
     Box::new(
-        SyntheticSource::new(name, 300.0, Bytes::gib(4), RatePattern::Flat { tps })
-            .with_noise(0.0),
+        SyntheticSource::new(name, 300.0, Bytes::gib(4), RatePattern::Flat { tps }).with_noise(0.0),
     )
 }
 
@@ -110,7 +109,9 @@ fn root() -> RootBalancer {
     })
 }
 
-fn record_sig(records: &[kairos_fleet::HandoffRecord]) -> Vec<(String, usize, Option<usize>, u64, String)> {
+fn record_sig(
+    records: &[kairos_fleet::HandoffRecord],
+) -> Vec<(String, usize, Option<usize>, u64, String)> {
     records
         .iter()
         .map(|r| {
@@ -164,7 +165,10 @@ fn rpc_root_rounds_match_in_process_zones() {
     }
 
     // Same policy code path, same inputs: identical move history.
-    assert_eq!(record_sig(ref_root.handoffs()), record_sig(net_root.handoffs()));
+    assert_eq!(
+        record_sig(ref_root.handoffs()),
+        record_sig(net_root.handoffs())
+    );
     let completed = net_root
         .handoffs()
         .iter()
@@ -175,7 +179,12 @@ fn rpc_root_rounds_match_in_process_zones() {
     // Membership agrees zone-by-zone with the reference.
     for (z, node) in nodes.iter().enumerate() {
         let net_tenants = node.with_zone(|zone| {
-            let mut t: Vec<String> = zone.fleet().map().entries().map(|(n, _)| n.to_string()).collect();
+            let mut t: Vec<String> = zone
+                .fleet()
+                .map()
+                .entries()
+                .map(|(n, _)| n.to_string())
+                .collect();
             t.sort();
             t
         });
@@ -199,6 +208,166 @@ fn rpc_root_rounds_match_in_process_zones() {
             let _ = kairos_fleet::balancer::ShardHandle::owns(remote, &group_name(g));
         }
     }
+    for handle in handles {
+        handle.stop();
+    }
+}
+
+/// The observability tentpole's acceptance property: with span tracing
+/// armed at every level, one cross-zone group move reconstructs as a
+/// **single span tree** — root `balance_round` → `handoff` →
+/// `zone_evict`/`zone_admit` → member-shard `evict`/`admit` — and the
+/// tree is queryable by trace id from any node via the `Query` RPC.
+/// Span *structure* is transport-invariant: the in-process reference
+/// run records the identical span forest.
+#[test]
+fn cross_zone_group_move_reconstructs_one_span_tree() {
+    // --- reference: in-process zones, spans armed ---
+    let mut ref_zones = build_zones();
+    for zone in &mut ref_zones {
+        zone.set_span_tracing(true);
+    }
+    let mut ref_root = root();
+    ref_root.set_span_tracing(true);
+    for tick in 1..=TICKS {
+        for zone in &mut ref_zones {
+            zone.tick();
+        }
+        if tick % ROOT_EVERY == 0 {
+            ref_root.run_round(&mut ref_zones, tick);
+        }
+    }
+
+    // --- networked: the same zones behind ZoneNodes, spans armed ---
+    let transport = transport();
+    let nodes: Vec<ZoneNode> = build_zones().into_iter().map(ZoneNode::new).collect();
+    for node in &nodes {
+        node.with_zone(|zone| zone.set_span_tracing(true));
+    }
+    let mut handles = Vec::new();
+    let mut remotes = Vec::new();
+    for (z, node) in nodes.iter().enumerate() {
+        let handle = node
+            .serve(transport.as_ref(), &bind_endpoint(z))
+            .expect("zone serves");
+        let remote = RemoteZone::connect(transport.as_ref(), &handle.endpoint, 300.0)
+            .expect("root connects");
+        handles.push(handle);
+        remotes.push(remote);
+    }
+    let mut net_root = root();
+    net_root.set_span_tracing(true);
+    for tick in 1..=TICKS {
+        for remote in &mut remotes {
+            remote.tick().expect("zone ticks over rpc");
+        }
+        if tick % ROOT_EVERY == 0 {
+            net_root.run_round(&mut remotes, tick);
+        }
+    }
+
+    // Span structure is deterministic and transport-invariant: the
+    // whole forest (root + zones + member shards) is record-identical
+    // across the two legs.
+    let mut ref_spans = ref_root.span_log().to_vec();
+    for zone in &ref_zones {
+        ref_spans.extend(zone.all_spans());
+    }
+    let mut net_spans = net_root.span_log().to_vec();
+    for node in &nodes {
+        net_spans.extend(node.with_zone(|zone| zone.all_spans()));
+    }
+    let key = |s: &kairos_obs::SpanRecord| (s.trace_id, s.span_id);
+    ref_spans.sort_by_key(key);
+    net_spans.sort_by_key(key);
+    assert!(!net_spans.is_empty(), "armed spans must record");
+    assert_eq!(
+        ref_spans, net_spans,
+        "span structure diverged across transports"
+    );
+
+    // Pick a completed group move and find its round's trace id via
+    // the root-level handoff span tagged with the group name.
+    let completed = net_root
+        .handoffs()
+        .iter()
+        .find(|r| r.outcome == HandoffOutcome::Completed)
+        .expect("the overloaded zone must shed a group");
+    let handoff_span = net_root
+        .span_log()
+        .to_vec()
+        .into_iter()
+        .find(|s| {
+            s.name == "handoff"
+                && s.tags
+                    .iter()
+                    .any(|(k, v)| k == "tenant" && v == &completed.tenant)
+        })
+        .expect("the completed move recorded a root handoff span");
+    let trace_id = handoff_span.trace_id;
+
+    // Queryable from any node: every zone answers the trace-id query
+    // over RPC; the union plus the root's own spans assembles into
+    // exactly one tree.
+    let query = kairos_obs::TraceQuery::for_trace(trace_id);
+    let mut result = kairos_obs::QueryResult::default();
+    result.spans.extend(
+        net_root
+            .span_log()
+            .to_vec()
+            .into_iter()
+            .filter(|s| s.trace_id == trace_id),
+    );
+    for handle in &handles {
+        let mut conn = transport.connect(&handle.endpoint).expect("connects");
+        match kairos_net::rpc::call(
+            conn.as_mut(),
+            &kairos_net::Request::Query {
+                query: query.clone(),
+            },
+        ) {
+            Ok(kairos_net::Response::Query(answer)) => result.merge(answer),
+            other => panic!("Query RPC answered {other:?}"),
+        }
+    }
+    let trees = kairos_obs::assemble_trees(&result.spans);
+    assert_eq!(trees.len(), 1, "one round, one tree");
+    let tree = &trees[0];
+    assert_eq!(tree.span.name, "balance_round");
+    let handoff = tree
+        .children
+        .iter()
+        .find(|c| c.span.span_id == handoff_span.span_id)
+        .expect("the handoff hangs off the round root");
+    let zone_sides: Vec<&str> = handoff
+        .children
+        .iter()
+        .map(|c| c.span.name.as_str())
+        .collect();
+    assert!(
+        zone_sides.contains(&"zone_evict"),
+        "donor zone span missing: {zone_sides:?}"
+    );
+    assert!(
+        zone_sides.contains(&"zone_admit"),
+        "receiver zone span missing: {zone_sides:?}"
+    );
+    let member_ops: usize = handoff
+        .children
+        .iter()
+        .map(|zc| {
+            zc.children
+                .iter()
+                .filter(|m| m.span.name == "evict" || m.span.name == "admit")
+                .count()
+        })
+        .sum();
+    assert!(
+        member_ops >= 1,
+        "member-shard evict/admit spans missing under the zone spans:\n{}",
+        kairos_obs::render_span_tree(tree)
+    );
+
     for handle in handles {
         handle.stop();
     }

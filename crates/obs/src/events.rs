@@ -21,7 +21,9 @@ use std::collections::VecDeque;
 ///
 /// v3: hierarchy events ([`DecisionEvent::ZoneSummarized`],
 /// [`DecisionEvent::GroupMoved`]) appended for the balancer-of-balancers.
-pub const TRACE_WIRE_VERSION: u32 = 3;
+///
+/// v4: [`DecisionEvent::HealthFlagged`] appended for the watchdog.
+pub const TRACE_WIRE_VERSION: u32 = 4;
 
 /// Default ring capacity: large enough to hold every event of the test
 /// and example runs (so checkpoint/restore preserves full history), small
@@ -187,6 +189,24 @@ pub enum DecisionEvent {
         tenants: usize,
         from_zone: usize,
         to_zone: usize,
+    },
+
+    // --- health watchdog -------------------------------------------------
+    // Appended in trace v4; enum wire tags are variant indices, so new
+    // variants go at the end.
+    /// A health rule **started** firing (the edge, not every firing
+    /// observation — the watchdog records transitions so the trace
+    /// links a why chain without an alarm storm). The observed value
+    /// stays out: it is wall-clock-shaped and belongs to the metrics
+    /// registry, and the watchdog itself is never enabled inside
+    /// determinism-fingerprinted runs.
+    HealthFlagged {
+        /// The rule-kind slug (`gauge-above`, `gauge-growing`,
+        /// `counter-rate`, `p99-regression`).
+        rule: String,
+        metric: String,
+        /// Severity name (`info`/`warning`/`critical`).
+        severity: String,
     },
 }
 
@@ -361,6 +381,74 @@ mod tests {
         let bytes = log.trace_bytes();
         let decoded: Vec<TracedEvent> = serde::from_bytes(&bytes).expect("decodes");
         assert_eq!(decoded, log.to_vec());
+    }
+
+    #[test]
+    fn ring_at_the_default_cap_keeps_seq_continuity_across_eviction() {
+        let mut log = DecisionLog::new();
+        let overflow = 137u64;
+        for i in 0..DEFAULT_TRACE_CAP as u64 + overflow {
+            log.record(i, ev(&format!("t{i}")));
+        }
+        assert_eq!(log.len(), DEFAULT_TRACE_CAP, "ring caps at exactly 65536");
+        // The oldest `overflow` events evicted; seqs run contiguously
+        // from `overflow` to cap+overflow-1 with no gap at the seam.
+        let seqs: Vec<u64> = log.events().map(|e| e.seq).collect();
+        assert_eq!(seqs[0], overflow);
+        assert_eq!(
+            *seqs.last().unwrap(),
+            DEFAULT_TRACE_CAP as u64 + overflow - 1
+        );
+        assert!(
+            seqs.windows(2).all(|w| w[1] == w[0] + 1),
+            "seq gap inside the ring"
+        );
+    }
+
+    #[test]
+    fn restore_of_a_full_ring_resumes_after_the_cap() {
+        let mut log = DecisionLog::new();
+        for i in 0..DEFAULT_TRACE_CAP as u64 + 5 {
+            log.record(i, ev("x"));
+        }
+        let mut restored = DecisionLog::restore(log.to_vec(), DEFAULT_TRACE_CAP, true);
+        assert_eq!(restored.len(), DEFAULT_TRACE_CAP);
+        restored.record(99_999, ev("after"));
+        log.record(99_999, ev("after"));
+        assert_eq!(
+            restored.trace_bytes(),
+            log.trace_bytes(),
+            "restored full ring must continue byte-identically"
+        );
+        // A further record still evicts exactly one from the front.
+        assert_eq!(restored.len(), DEFAULT_TRACE_CAP);
+    }
+
+    #[test]
+    fn query_over_a_partially_evicted_tick_range_returns_the_retained_tail() {
+        let mut log = DecisionLog::new();
+        // One event per tick; ticks 0..cap+100, so ticks 0..99 evict.
+        let total = DEFAULT_TRACE_CAP as u64 + 100;
+        for tick in 0..total {
+            log.record(tick, ev(&format!("t{tick}")));
+        }
+        let events = log.to_vec();
+        // Requested range [50, 150] straddles the eviction horizon at
+        // tick 100: the answer is exactly the retained ticks 100..=150,
+        // not an error and not a silent full-range claim.
+        let q = crate::query::TraceQuery {
+            tick_from: Some(50),
+            tick_to: Some(150),
+            ..crate::query::TraceQuery::default()
+        };
+        let got = crate::query::run_query(&q, &events, &[]);
+        let ticks: Vec<u64> = got.events.iter().map(|e| e.tick).collect();
+        assert_eq!(ticks.first(), Some(&100), "evicted head not resurrected");
+        assert_eq!(ticks.last(), Some(&150));
+        assert_eq!(ticks.len(), 51);
+        // Detectability: the first surviving seq exceeds the requested
+        // lower bound, which is how a caller knows the range truncated.
+        assert!(got.events.first().unwrap().seq > 50);
     }
 
     #[test]

@@ -238,6 +238,33 @@ impl MetricsRegistry {
         map.entry(name.to_string()).or_default().clone()
     }
 
+    /// Read a counter **without registering it** — `None` if the name
+    /// was never registered here. The health watchdog reads through
+    /// this so probing a metric can never create a zero-valued ghost.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.inner
+            .counters
+            .lock()
+            .unwrap()
+            .get(name)
+            .map(Counter::get)
+    }
+
+    /// Read a gauge without registering it (see [`Self::counter_value`]).
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.inner
+            .gauges
+            .lock()
+            .unwrap()
+            .get(name)
+            .map(FloatCell::get)
+    }
+
+    /// A handle to an existing histogram without registering it.
+    pub fn histogram_view(&self, name: &str) -> Option<Histogram> {
+        self.inner.histograms.lock().unwrap().get(name).cloned()
+    }
+
     /// Flat JSON object: counters as integers, gauges as floats,
     /// histograms expanded to `_count/_mean/_p50/_p99` keys.
     pub fn render_json(&self) -> String {
@@ -251,13 +278,16 @@ impl MetricsRegistry {
     }
 
     fn collect_json(&self, out: &mut Vec<String>) {
+        // Metric names may carry inline labels (`x{shard="0"}`); the
+        // embedded quotes must escape or the JSON key is invalid.
         for (name, c) in self.inner.counters.lock().unwrap().iter() {
-            out.push(format!("\"{name}\":{}", c.get()));
+            out.push(format!("\"{}\":{}", json_escape(name), c.get()));
         }
         for (name, g) in self.inner.gauges.lock().unwrap().iter() {
-            out.push(format!("\"{name}\":{:.6}", g.get()));
+            out.push(format!("\"{}\":{:.6}", json_escape(name), g.get()));
         }
         for (name, h) in self.inner.histograms.lock().unwrap().iter() {
+            let name = json_escape(name);
             out.push(format!("\"{name}_count\":{}", h.count()));
             out.push(format!("\"{name}_mean\":{:.3}", h.mean()));
             out.push(format!("\"{name}_p50\":{}", h.percentile(0.50)));
@@ -286,10 +316,87 @@ impl MetricsRegistry {
                     h.percentile(q)
                 );
             }
-            let _ = writeln!(out, "{lead}_sum{{{}}} {}", labels_bare(name), h.sum());
-            let _ = writeln!(out, "{lead}_count{{{}}} {}", labels_bare(name), h.count());
+            // An unlabeled summary's _sum/_count carry no brace pair at
+            // all — `name_sum{}` is not valid exposition format.
+            let inner = labels_bare(name);
+            let braced = if inner.is_empty() {
+                String::new()
+            } else {
+                format!("{{{inner}}}")
+            };
+            let _ = writeln!(out, "{lead}_sum{braced} {}", h.sum());
+            let _ = writeln!(out, "{lead}_count{braced} {}", h.count());
         }
     }
+}
+
+/// Escape a metric name for use inside a JSON string (inline labels
+/// carry `"` characters).
+fn json_escape(name: &str) -> String {
+    name.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Validate one line of Prometheus text exposition format: a comment,
+/// or `name[{label="v",...}] value` where `name` is
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*` and `value` parses as a float. Returns
+/// the offending reason for invalid lines — the CI surface job and the
+/// format-validation test both run every rendered line through this.
+pub fn validate_exposition_line(line: &str) -> Result<(), String> {
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(());
+    }
+    let (series, value) = line
+        .rsplit_once(' ')
+        .ok_or_else(|| format!("no value separator: {line:?}"))?;
+    if value.parse::<f64>().is_err() {
+        return Err(format!("unparseable value {value:?} in {line:?}"));
+    }
+    let (name, labels) = match series.split_once('{') {
+        Some((name, rest)) => {
+            let labels = rest
+                .strip_suffix('}')
+                .ok_or_else(|| format!("unclosed label braces: {line:?}"))?;
+            (name, Some(labels))
+        }
+        None => (series, None),
+    };
+    let mut chars = name.chars();
+    let lead_ok = chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':');
+    if !lead_ok || !chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':') {
+        return Err(format!("bad metric name {name:?} in {line:?}"));
+    }
+    if let Some(labels) = labels {
+        if labels.is_empty() {
+            return Err(format!("empty label braces in {line:?}"));
+        }
+        for pair in labels.split(',') {
+            let (key, val) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("label {pair:?} has no '=' in {line:?}"))?;
+            let mut kchars = key.chars();
+            let key_ok = kchars
+                .next()
+                .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+                && kchars.all(|c| c.is_ascii_alphanumeric() || c == '_');
+            if !key_ok {
+                return Err(format!("bad label name {key:?} in {line:?}"));
+            }
+            if !(val.len() >= 2 && val.starts_with('"') && val.ends_with('"')) {
+                return Err(format!("unquoted label value {val:?} in {line:?}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// [`validate_exposition_line`] over a whole document.
+pub fn validate_exposition(text: &str) -> Result<(), String> {
+    for line in text.lines() {
+        validate_exposition_line(line)?;
+    }
+    Ok(())
 }
 
 /// `name{label="x"}` → `name` (for `# TYPE` lines).
@@ -445,5 +552,64 @@ mod tests {
         assert!(text.contains("# TYPE tick_usecs summary"));
         assert!(text.contains("tick_usecs{quantile=\"0.5\",kind=\"poll\"}"));
         assert!(text.contains("tick_usecs_count{kind=\"poll\"} 1"));
+    }
+
+    #[test]
+    fn every_rendered_line_is_valid_exposition_format() {
+        let reg = MetricsRegistry::new();
+        reg.counter("plain_total").add(3);
+        reg.counter("labeled_total{shard=\"0\"}").inc();
+        reg.gauge("depth").set(1.25);
+        reg.gauge("lag{zone=\"2\"}").set(-0.5);
+        reg.histogram("plain_usecs").record(42);
+        reg.histogram("labeled_usecs{kind=\"poll\",shard=\"1\"}")
+            .record(7);
+        let text = reg.render_prometheus();
+        for line in text.lines() {
+            validate_exposition_line(line).unwrap_or_else(|e| panic!("{e}"));
+        }
+        // The p50/p99 summary quantiles are present for both shapes.
+        assert!(text.contains("plain_usecs{quantile=\"0.5\"} "));
+        assert!(text.contains("plain_usecs{quantile=\"0.99\"} "));
+        assert!(text.contains("labeled_usecs{quantile=\"0.99\",kind=\"poll\",shard=\"1\"} "));
+        // Unlabeled summaries carry no empty brace pair.
+        assert!(text.contains("plain_usecs_sum 42"), "{text}");
+        assert!(text.contains("plain_usecs_count 1"));
+        assert!(!text.contains("{}"), "empty braces leaked: {text}");
+        // And the validator actually rejects malformed shapes.
+        assert!(validate_exposition_line("x_sum{} 1").is_err());
+        assert!(validate_exposition_line("9bad 1").is_err());
+        assert!(validate_exposition_line("x{a=b} 1").is_err());
+        assert!(validate_exposition_line("x 1 2 nope").is_err());
+        assert!(validate_exposition_line("x").is_err());
+    }
+
+    #[test]
+    fn labeled_names_render_as_valid_json() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c_total{shard=\"0\"}").add(2);
+        reg.histogram("h_usecs{kind=\"solve\"}").record(5);
+        let json = reg.render_json();
+        // Embedded label quotes must be escaped, keys stay unique.
+        assert!(json.contains("\"c_total{shard=\\\"0\\\"}\":2"), "{json}");
+        assert!(
+            json.contains("\"h_usecs{kind=\\\"solve\\\"}_count\":1"),
+            "{json}"
+        );
+        // Structural validity: quotes are balanced once unescaped
+        // sequences are stripped.
+        let stripped = json.replace("\\\"", "");
+        assert_eq!(stripped.matches('"').count() % 2, 0, "{json}");
+    }
+
+    #[test]
+    fn value_lookups_never_register() {
+        let reg = MetricsRegistry::new();
+        assert_eq!(reg.counter_value("nope"), None);
+        assert_eq!(reg.gauge_value("nope"), None);
+        assert!(reg.histogram_view("nope").is_none());
+        assert!(!reg.render_prometheus().contains("nope"));
+        reg.counter("yes_total").add(7);
+        assert_eq!(reg.counter_value("yes_total"), Some(7));
     }
 }

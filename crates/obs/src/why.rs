@@ -182,37 +182,17 @@ pub fn render_event(event: &DecisionEvent) -> String {
         } => format!(
             "group {group} ({tenants} tenants) moved: zone {from_zone} -> zone {to_zone}"
         ),
+        HealthFlagged {
+            rule,
+            metric,
+            severity,
+        } => format!("health watchdog flagged {severity}: {rule} fired on {metric}"),
     }
 }
 
-/// Does a fleet-level event concern this shard?
-fn concerns_shard(event: &DecisionEvent, shard: usize) -> bool {
-    use DecisionEvent::*;
-    match event {
-        DonorFlagged { shard: s, .. }
-        | LeaseMiss { shard: s, .. }
-        | ShardDown { shard: s }
-        | ShardRejoined { shard: s, .. } => *s == shard,
-        HandoffProposed {
-            donor, receiver, ..
-        }
-        | HandoffCompleted {
-            donor, receiver, ..
-        }
-        | HandoffFailed {
-            donor, receiver, ..
-        }
-        | HandoffParked {
-            donor, receiver, ..
-        }
-        | ParkedRetried {
-            donor, receiver, ..
-        } => *donor == shard || *receiver == shard,
-        HandoffNoReceiver { donor, .. } => *donor == shard,
-        NodeAnnounced { shard: s, .. } => *s == shard,
-        _ => false,
-    }
-}
+// The shard-relevance predicate lives in the query layer now
+// ([`crate::query::concerns_shard`]); the why chain filters through it.
+use crate::query::concerns_shard;
 
 fn is_plan_event(event: &DecisionEvent) -> bool {
     matches!(

@@ -25,12 +25,12 @@ pub mod rrd;
 pub mod sketch;
 
 pub use aggregate::{sum_tail_aligned, sum_tail_aligned_refs, ShardAggregate};
-pub use sketch::{
-    AggregateSketch, SeriesSketch, SketchConfig, MAX_SKETCH_MARKS, MAX_SKETCH_TAIL,
-    SKETCH_WIRE_VERSION,
-};
 pub use fleet::{
     fleet_mean_utilization, generate_all, generate_fleet, Dataset, FleetConfig, ServerTrace,
 };
 pub use predict::{fleet_total_cpu, predict_last_period, Prediction};
 pub use rrd::{ArchiveSpec, Consolidation, Rrd};
+pub use sketch::{
+    AggregateSketch, SeriesSketch, SketchConfig, MAX_SKETCH_MARKS, MAX_SKETCH_TAIL,
+    SKETCH_WIRE_VERSION,
+};

@@ -83,8 +83,8 @@ impl SketchConfig {
     /// finalizer over both fields). Summary caches key on it so a config
     /// change — not just a state change — invalidates cached roll-ups.
     pub fn digest(&self) -> u64 {
-        let mut z = ((self.marks as u64) << 32 | self.tail as u64)
-            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z =
+            ((self.marks as u64) << 32 | self.tail as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^ (z >> 31)
@@ -143,10 +143,14 @@ impl Deserialize for SeriesSketch {
             return Err(serde::Error::msg("series sketch: oversized mark/tail set"));
         }
         if marks.is_empty() != (len == 0) || tail.len() as u64 > len {
-            return Err(serde::Error::msg("series sketch: length bookkeeping broken"));
+            return Err(serde::Error::msg(
+                "series sketch: length bookkeeping broken",
+            ));
         }
-        if marks.windows(2).any(|w| !(w[0] <= w[1])) || marks.iter().any(|m| !m.is_finite()) {
-            return Err(serde::Error::msg("series sketch: marks not finite ascending"));
+        if marks.windows(2).any(|w| w[0] > w[1]) || marks.iter().any(|m| !m.is_finite()) {
+            return Err(serde::Error::msg(
+                "series sketch: marks not finite ascending",
+            ));
         }
         if tail.iter().any(|v| !v.is_finite()) {
             return Err(serde::Error::msg("series sketch: non-finite tail sample"));
@@ -446,7 +450,10 @@ mod tests {
     #[test]
     fn sum_is_peak_conservative() {
         let a = SeriesSketch::of(&ramp(100), &SketchConfig::default());
-        let b = SeriesSketch::of(&TimeSeries::constant(300.0, 2.0, 50), &SketchConfig::default());
+        let b = SeriesSketch::of(
+            &TimeSeries::constant(300.0, 2.0, 50),
+            &SketchConfig::default(),
+        );
         let total = SeriesSketch::sum([&a, &b], 300.0);
         assert!((total.peak() - (a.peak() + b.peak())).abs() < 1e-12);
         assert_eq!(total.len(), 100);

@@ -31,6 +31,16 @@
 //!    and within budget on every shard, cross-process handoffs
 //!    completed, and no tenant was lost or duplicated anywhere in the
 //!    timeline.
+//!
+//! With `KAIROS_OBS_SURFACE=1` the run additionally arms the full
+//! observability plane — causal span tracing on every process and the
+//! health watchdog on every node — then, before teardown, scrapes
+//! `Metrics`/`Health` from every shard over RPC, validates each
+//! Prometheus exposition line, dumps the assembled span trees to
+//! `target/obs-surface/`, runs the `kairos-top` console once in strict
+//! mode against the live fleet, and exits nonzero on any critical
+//! finding or malformed line. The CI `obs-surface` job runs exactly
+//! this.
 
 use kairos::controller::{ControllerConfig, SyntheticSource};
 use kairos::fleet::{BalancerConfig, FleetConfig};
@@ -106,6 +116,12 @@ fn ckpt_path(dir: &str, shard: usize) -> String {
     format!("{dir}/shard-{shard}.ksnp")
 }
 
+/// Observability-surface mode: the child processes inherit the
+/// environment, so one variable arms spans + watchdog fleet-wide.
+fn obs_surface() -> bool {
+    std::env::var("KAIROS_OBS_SURFACE").map(|v| v == "1") == Ok(true)
+}
+
 // ---------------------------------------------------------------------
 // Child role: one shard node process.
 // ---------------------------------------------------------------------
@@ -127,6 +143,12 @@ fn run_shard_node(shard: usize, ckpt_dir: &str, restore: bool) -> ! {
     } else {
         ShardNode::new(shard_cfg(), engine, binder)
     };
+    if obs_surface() {
+        // Same arming on fresh and restore paths: a respawned process
+        // restarts an empty span log but records from rejoin on.
+        node.with_shard(|s| s.configure_spans(kairos::obs::span::node_for_shard(shard), true));
+        node.set_health(Some(kairos::obs::HealthMonitor::new()));
+    }
     let transport = TcpTransport::new();
     let handle = node
         .serve(&transport, "127.0.0.1:0")
@@ -236,6 +258,19 @@ fn main() {
     ));
     let mut lease_handle = Some(lease_handle);
     let mut promoted: Option<BalancerNode> = None;
+    if obs_surface() {
+        // Both balancers trace and watch from tick one, so the spans and
+        // health reports survive the mid-run promotion.
+        let primary = primary.as_mut().expect("alive");
+        primary.set_span_tracing(true);
+        primary.set_health(Some(kairos::obs::HealthMonitor::new()));
+        let standby = standby.as_mut().expect("alive");
+        standby.node_mut().set_span_tracing(true);
+        standby
+            .node_mut()
+            .set_health(Some(kairos::obs::HealthMonitor::new()));
+        println!("observability surface armed: spans + watchdog on every process\n");
+    }
 
     // --- register tenants over RPC --------------------------------------
     {
@@ -427,10 +462,147 @@ fn main() {
         "the promotion must be on the promoted balancer's own trace"
     );
 
+    if obs_surface() {
+        let endpoints: Vec<String> = procs.iter().map(|p| p.endpoint.clone()).collect();
+        surface_scrape(&endpoints, &mut final_balancer);
+    }
+
     // --- teardown --------------------------------------------------------
     final_balancer.shutdown_shards();
     for p in &mut procs {
         let _ = p.child.wait();
     }
     println!("\nall fleet-over-TCP acceptance properties passed.");
+}
+
+// ---------------------------------------------------------------------
+// Observability-surface scrape (KAIROS_OBS_SURFACE=1): the CI gate.
+// ---------------------------------------------------------------------
+
+/// Scrape `Metrics`/`Health` from every live shard over RPC, validate
+/// the exposition text, dump span trees to `target/obs-surface/`, run
+/// `kairos-top --once --strict` against the fleet, and exit nonzero on
+/// any critical finding or malformed line.
+fn surface_scrape(endpoints: &[String], balancer: &mut BalancerNode) {
+    use kairos::obs::{assemble_trees, render_span_tree, SpanRecord};
+
+    println!("\n== observability surface scrape ==");
+    let dump_dir = std::path::Path::new("target/obs-surface");
+    std::fs::create_dir_all(dump_dir).expect("dump dir");
+    let transport = TcpTransport::new();
+    let mut problems: Vec<String> = Vec::new();
+
+    // A quiet shard (no handoff touched it since its last restart) has a
+    // legitimately empty log, so emptiness is only a problem fleet-wide.
+    let dump_spans = |label: &str, bytes: &[u8], problems: &mut Vec<String>| -> usize {
+        let spans: Vec<SpanRecord> = match serde::from_bytes(bytes) {
+            Ok(spans) => spans,
+            Err(e) => {
+                problems.push(format!("{label}: span log bytes undecodable: {e:?}"));
+                return 0;
+            }
+        };
+        let mut text = String::new();
+        for tree in assemble_trees(&spans) {
+            text.push_str(&render_span_tree(&tree));
+            text.push('\n');
+        }
+        let path = dump_dir.join(format!("{label}.spans.txt"));
+        std::fs::write(&path, &text).expect("span dump writable");
+        println!(
+            "{label}: {} spans dumped to {}",
+            spans.len(),
+            path.display()
+        );
+        spans.len()
+    };
+    let mut shard_span_total = 0usize;
+
+    for (shard, endpoint) in endpoints.iter().enumerate() {
+        let mut conn = transport.connect(endpoint).expect("shard reachable");
+        let conn = conn.as_mut();
+        match kairos_net::rpc::call(conn, &kairos_net::Request::Metrics) {
+            Ok(kairos_net::Response::Metrics { prometheus, .. }) => {
+                for line in prometheus.lines() {
+                    if let Err(reason) = kairos::obs::metrics::validate_exposition_line(line) {
+                        problems.push(format!("shard-{shard}: malformed exposition: {reason}"));
+                    }
+                }
+                println!(
+                    "shard-{shard}: {} exposition lines validated",
+                    prometheus.lines().count()
+                );
+            }
+            other => problems.push(format!("shard-{shard}: metrics scrape failed: {other:?}")),
+        }
+        match kairos_net::rpc::call(conn, &kairos_net::Request::Health) {
+            Ok(kairos_net::Response::Health(report)) => {
+                print!("shard-{shard} health: {}", report.render());
+                if report.has_critical() {
+                    problems.push(format!(
+                        "shard-{shard}: critical finding: {}",
+                        report.render()
+                    ));
+                }
+            }
+            other => problems.push(format!("shard-{shard}: health scrape failed: {other:?}")),
+        }
+        match kairos_net::rpc::call(conn, &kairos_net::Request::Spans) {
+            Ok(kairos_net::Response::Spans(bytes)) => {
+                shard_span_total += dump_spans(&format!("shard-{shard}"), &bytes, &mut problems);
+            }
+            other => problems.push(format!("shard-{shard}: span scrape failed: {other:?}")),
+        }
+    }
+    if shard_span_total == 0 {
+        problems.push("no shard recorded a single span despite armed tracing".to_string());
+    }
+
+    // The promoted balancer's own log (it serves no endpoint here).
+    if dump_spans("balancer", &balancer.span_bytes(), &mut problems) == 0 {
+        problems.push("balancer: armed span log recorded nothing".to_string());
+    }
+    if let Some(report) = balancer.health_report() {
+        print!("balancer health: {}", report.render());
+        if report.has_critical() {
+            problems.push(format!("balancer: critical finding: {}", report.render()));
+        }
+    } else {
+        problems.push("balancer: watchdog was armed but reports nothing".to_string());
+    }
+
+    // The operator console against the live fleet: `--strict` repeats
+    // the critical-finding and exposition checks from the outside.
+    let exe = std::env::current_exe().expect("own path");
+    let top = exe
+        .parent()
+        .and_then(|p| p.parent())
+        .map(|p| p.join("kairos-top"))
+        .filter(|p| p.exists());
+    match top {
+        Some(top) => {
+            let output = Command::new(&top)
+                .args(endpoints)
+                .arg("--once")
+                .arg("--strict")
+                .output()
+                .expect("kairos-top runs");
+            print!("{}", String::from_utf8_lossy(&output.stdout));
+            if !output.status.success() {
+                problems.push(format!("kairos-top --strict failed: {}", output.status));
+            }
+        }
+        None => problems.push(
+            "kairos-top binary not built (cargo build --release -p kairos-net --bins)".to_string(),
+        ),
+    }
+
+    if !problems.is_empty() {
+        eprintln!("\nobservability surface FAILED:");
+        for p in &problems {
+            eprintln!("  - {p}");
+        }
+        std::process::exit(1);
+    }
+    println!("observability surface clean: exposition valid, no critical findings");
 }
